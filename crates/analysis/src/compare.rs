@@ -1,0 +1,177 @@
+//! Paper-vs-measured comparison checks.
+//!
+//! Each experiment asserts *shape*, not absolute numbers: who wins, by
+//! roughly what factor, where crossovers fall. A [`Check`] records one
+//! such expectation; [`Scorecard`] collects and renders them for
+//! EXPERIMENTS.md.
+
+use std::fmt;
+
+/// Outcome of one expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// What is being checked (e.g. "Table I: CAC setup speedup").
+    pub name: String,
+    /// The paper's value, rendered.
+    pub expected: String,
+    /// Our measured value, rendered.
+    pub measured: String,
+    /// Did the measured value satisfy the expectation?
+    pub ok: bool,
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — paper: {}, measured: {}",
+            if self.ok { "PASS" } else { "MISS" },
+            self.name,
+            self.expected,
+            self.measured
+        )
+    }
+}
+
+/// A collection of checks for one experiment.
+#[derive(Debug, Default)]
+pub struct Scorecard {
+    checks: Vec<Check>,
+}
+
+impl Scorecard {
+    /// Empty scorecard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check that `measured` is within `tol` *relative* error of the
+    /// paper's value.
+    pub fn within(&mut self, name: &str, paper: f64, measured: f64, tol: f64) -> &mut Self {
+        let ok = (measured - paper).abs() <= tol * paper.abs().max(f64::MIN_POSITIVE);
+        self.checks.push(Check {
+            name: name.to_string(),
+            expected: format!("{paper:.3} (±{:.0}%)", tol * 100.0),
+            measured: format!("{measured:.3}"),
+            ok,
+        });
+        self
+    }
+
+    /// Check that `measured` lies inside the paper's `(lo, hi)` band,
+    /// widened by `slack` relative on both sides.
+    pub fn in_band(&mut self, name: &str, band: (f64, f64), measured: f64, slack: f64) -> &mut Self {
+        let lo = band.0 * (1.0 - slack);
+        let hi = band.1 * (1.0 + slack);
+        let ok = measured >= lo && measured <= hi;
+        self.checks.push(Check {
+            name: name.to_string(),
+            expected: format!("{:.2}–{:.2}", band.0, band.1),
+            measured: format!("{measured:.3}"),
+            ok,
+        });
+        self
+    }
+
+    /// Check a qualitative ordering `a < b` (who-wins shape checks).
+    pub fn less(&mut self, name: &str, a_label: &str, a: f64, b_label: &str, b: f64) -> &mut Self {
+        self.checks.push(Check {
+            name: name.to_string(),
+            expected: format!("{a_label} < {b_label}"),
+            measured: format!("{a:.3} vs {b:.3}"),
+            ok: a < b,
+        });
+        self
+    }
+
+    /// Record an arbitrary boolean expectation.
+    pub fn expect(&mut self, name: &str, expected: &str, measured: &str, ok: bool) -> &mut Self {
+        self.checks.push(Check {
+            name: name.to_string(),
+            expected: expected.to_string(),
+            measured: measured.to_string(),
+            ok,
+        });
+        self
+    }
+
+    /// All checks.
+    pub fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.ok).count()
+    }
+
+    /// Number of checks recorded.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// `true` when no checks are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// `true` when every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Render the scorecard.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!("{c}\n"));
+        }
+        out.push_str(&format!("{} / {} checks passed\n", self.passed(), self.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_tolerance() {
+        let mut s = Scorecard::new();
+        s.within("setup", 28.72, 28.72, 0.01);
+        s.within("setup-off", 28.72, 35.0, 0.05);
+        assert!(s.checks()[0].ok);
+        assert!(!s.checks()[1].ok);
+        assert_eq!(s.passed(), 1);
+        assert!(!s.all_ok());
+    }
+
+    #[test]
+    fn band_checks() {
+        let mut s = Scorecard::new();
+        s.in_band("prep speedup", (16.29, 16.98), 16.5, 0.0);
+        s.in_band("prep speedup slack", (16.29, 16.98), 18.0, 0.10);
+        s.in_band("way off", (16.29, 16.98), 40.0, 0.10);
+        assert!(s.checks()[0].ok);
+        assert!(s.checks()[1].ok);
+        assert!(!s.checks()[2].ok);
+    }
+
+    #[test]
+    fn ordering_checks() {
+        let mut s = Scorecard::new();
+        s.less("failures", "Rattrap", 0.013, "VM", 0.097);
+        assert!(s.all_ok());
+        s.less("wrong", "VM", 0.097, "Rattrap", 0.013);
+        assert!(!s.all_ok());
+    }
+
+    #[test]
+    fn render_contains_verdicts() {
+        let mut s = Scorecard::new();
+        s.within("x", 1.0, 1.0, 0.1);
+        let r = s.render();
+        assert!(r.contains("[PASS]"));
+        assert!(r.contains("1 / 1 checks passed"));
+    }
+}

@@ -1,0 +1,130 @@
+//! ASCII renderings of the paper's figure types: stacked-bar phase
+//! decompositions, time-series plots, and CDFs.
+
+/// Render a horizontal bar chart of labelled values (one bar each),
+/// scaled to `width` characters at the maximum value.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (label, v) in entries {
+        let bars = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!("{label:<label_w$} | {} {v:.3}\n", "#".repeat(bars)));
+    }
+    out
+}
+
+/// Render a stacked horizontal bar per entry: each entry has segments
+/// `(segment label, value)`; segment legends print once.
+pub fn stacked_bars(
+    title: &str,
+    segments: &[&str],
+    entries: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['#', '=', ':', '+', 'o', '.'];
+    let totals: Vec<f64> = entries.iter().map(|(_, vs)| vs.iter().sum()).collect();
+    let max = totals.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    out.push_str("legend:");
+    for (i, s) in segments.iter().enumerate() {
+        out.push_str(&format!(" [{}]={}", GLYPHS[i % GLYPHS.len()], s));
+    }
+    out.push('\n');
+    for ((label, vs), total) in entries.iter().zip(&totals) {
+        out.push_str(&format!("{label:<label_w$} |"));
+        for (i, v) in vs.iter().enumerate() {
+            let n = ((v / max) * width as f64).round() as usize;
+            out.push_str(&GLYPHS[i % GLYPHS.len()].to_string().repeat(n));
+        }
+        out.push_str(&format!(" {total:.3}\n"));
+    }
+    out
+}
+
+/// Render a time series as rows of `(t, value)` down-sampled to at most
+/// `max_points` lines with a unicode-free bar per line.
+pub fn time_series(title: &str, values: &[f64], unit: &str, max_points: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    if values.is_empty() {
+        return out;
+    }
+    let stride = (values.len() + max_points - 1) / max_points;
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    for (i, chunk) in values.chunks(stride).enumerate() {
+        let v = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        let bars = ((v / max) * 50.0).round() as usize;
+        out.push_str(&format!("{:>5}s | {:<50} {v:.2} {unit}\n", i * stride, "*".repeat(bars)));
+    }
+    out
+}
+
+/// Render CDF curves (shared x grid) as a table of `x  F_1(x) … F_k(x)`.
+pub fn cdf_table(title: &str, labels: &[&str], curves: &[Vec<(f64, f64)>]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!("{:>10}", "x"));
+    for l in labels {
+        out.push_str(&format!("{l:>14}"));
+    }
+    out.push('\n');
+    let points = curves.iter().map(|c| c.len()).min().unwrap_or(0);
+    for i in 0..points {
+        out.push_str(&format!("{:>10.2}", curves[0][i].0));
+        for c in curves {
+            out.push_str(&format!("{:>14.3}", c[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("t", &[("a".into(), 1.0), ("b".into(), 2.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].matches('#').count() == 5);
+        assert!(lines[2].matches('#').count() == 10);
+    }
+
+    #[test]
+    fn stacked_bars_include_legend_and_totals() {
+        let s = stacked_bars(
+            "phases",
+            &["compute", "prep"],
+            &[("VM".into(), vec![1.0, 3.0]), ("Rattrap".into(), vec![1.0, 0.2])],
+            20,
+        );
+        assert!(s.contains("[#]=compute"));
+        assert!(s.contains("[=]=prep"));
+        assert!(s.contains("4.000"));
+        assert!(s.contains("1.200"));
+    }
+
+    #[test]
+    fn time_series_downsamples() {
+        let vals: Vec<f64> = (0..180).map(|i| i as f64).collect();
+        let s = time_series("cpu", &vals, "%", 20);
+        let lines = s.lines().count();
+        assert!(lines <= 22, "{lines} lines");
+    }
+
+    #[test]
+    fn cdf_table_has_all_columns() {
+        let c1 = vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)];
+        let c2 = vec![(0.0, 0.1), (1.0, 0.8), (2.0, 1.0)];
+        let s = cdf_table("speedups", &["Rattrap", "VM"], &[c1, c2]);
+        assert!(s.contains("Rattrap"));
+        assert!(s.lines().count() == 5);
+    }
+
+    #[test]
+    fn empty_series_render_cleanly() {
+        let s = time_series("empty", &[], "x", 10);
+        assert!(s.contains("empty"));
+    }
+}

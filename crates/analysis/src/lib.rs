@@ -1,0 +1,18 @@
+//! # analysis — tables, ASCII figures, and paper-vs-measured checks
+//!
+//! The presentation layer of the experiment harness: aligned ASCII
+//! tables ([`table`]), stacked-bar / time-series / CDF renderings in
+//! the shapes the paper's figures use ([`figure`]), and the
+//! [`compare::Scorecard`] that records how each reproduction compares
+//! to the published numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod figure;
+pub mod table;
+
+pub use compare::{Check, Scorecard};
+pub use figure::{bar_chart, cdf_table, stacked_bars, time_series};
+pub use table::{fnum, fpct, fx, Table};

@@ -1,0 +1,38 @@
+//! Criterion bench of the end-to-end simulation — one run per platform
+//! per workload (the engine behind Figs. 1/9/10 and Tables I/II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rattrap::{run_scenario, PlatformKind, ScenarioConfig};
+use std::hint::black_box;
+use workloads::WorkloadKind;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload_path");
+    for platform in PlatformKind::ALL {
+        group.bench_function(format!("sim_5x20_ocr_{}", platform.label()), |b| {
+            b.iter(|| {
+                let cfg =
+                    ScenarioConfig::paper_default(platform.config(), WorkloadKind::Ocr, 7);
+                black_box(run_scenario(cfg))
+            })
+        });
+    }
+    group.bench_function("sim_5x20_virusscan_rattrap", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::paper_default(
+                PlatformKind::Rattrap.config(),
+                WorkloadKind::VirusScan,
+                7,
+            );
+            black_box(run_scenario(cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Table I's hot path: provisioning and tearing
+//! down each runtime class (real kernel + filesystem work; the boot
+//! *durations* are simulated but the bring-up is genuinely executed).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hostkernel::HostSpec;
+use std::hint::black_box;
+use virt::{CloudHost, RuntimeClass};
+
+fn bench_provision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_startup");
+    for class in RuntimeClass::ALL {
+        group.bench_function(format!("provision_{:?}", class), |b| {
+            b.iter_batched(
+                || {
+                    let mut host = CloudHost::new(HostSpec::paper_server());
+                    host.kernel.load_android_container_driver();
+                    host
+                },
+                |mut host| {
+                    let (id, setup) = host.provision(black_box(class)).expect("room");
+                    black_box((id, setup));
+                    host
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("provision_teardown_cycle_cac", |b| {
+        let mut host = CloudHost::new(HostSpec::paper_server());
+        host.kernel.load_android_container_driver();
+        b.iter(|| {
+            let (id, _) = host.provision(RuntimeClass::CacOptimized).expect("room");
+            host.teardown(black_box(id)).expect("live instance");
+        })
+    });
+    group.bench_function("load_android_container_driver", |b| {
+        b.iter_batched(
+            || hostkernel::Kernel::new(HostSpec::paper_server()),
+            |mut k| {
+                black_box(k.load_android_container_driver());
+                k
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_provision);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches of the real compute kernels behind the four
+//! benchmark applications — these validate the *relative* compute
+//! weights the offloading profiles encode (OCR heaviest per byte,
+//! chess bursty, scan throughput-bound, Linpack cubic).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simkit::SimRng;
+use std::hint::black_box;
+use workloads::chess::{best_move, perft, Board};
+use workloads::linpack;
+use workloads::ocr::{generate_request, recognize};
+use workloads::virusscan::{generate_corpus, generate_database, scan};
+
+fn bench_chess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chess");
+    let board = Board::start();
+    group.bench_function("perft3_start", |b| b.iter(|| black_box(perft(&board, 3))));
+    let kiwipete =
+        Board::from_fen("r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1")
+            .expect("valid FEN");
+    group.bench_function("alphabeta_d3_kiwipete", |b| {
+        b.iter(|| black_box(best_move(&kiwipete, 3)))
+    });
+    group.finish();
+}
+
+fn bench_ocr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocr");
+    let mut rng = SimRng::new(1);
+    let req = generate_request(8, &mut rng);
+    group.throughput(Throughput::Bytes(req.image.byte_size()));
+    group.bench_function("recognize_8_words", |b| b.iter(|| black_box(recognize(&req.image))));
+    group.finish();
+}
+
+fn bench_virusscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virusscan");
+    let mut rng = SimRng::new(2);
+    let db = generate_database(1000, &mut rng);
+    let corpus = generate_corpus(20, 16 * 1024, 0.1, &db, &mut rng);
+    let bytes: u64 = corpus.iter().map(|f| f.data.len() as u64).sum();
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("scan_20x16k_1000sigs", |b| {
+        b.iter(|| black_box(scan(&db, &corpus)))
+    });
+    group.bench_function("build_automaton_1000sigs", |b| {
+        b.iter(|| black_box(workloads::virusscan::AhoCorasick::build(
+            &db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>(),
+        )))
+    });
+    group.finish();
+}
+
+fn bench_linpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linpack");
+    for n in [50usize, 100, 200] {
+        group.bench_function(format!("lu_solve_n{n}"), |b| {
+            let mut rng = SimRng::new(3);
+            b.iter(|| black_box(linpack::run(n, &mut rng).expect("nonsingular")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chess, bench_ocr, bench_virusscan, bench_linpack
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerate the paper's ablations experiment. Usage: `exp_ablations [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::ablations::run(seed);
+    println!("{}", out.render());
+}

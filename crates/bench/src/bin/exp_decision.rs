@@ -1,0 +1,6 @@
+//! Regenerate the offloading-decision study. Usage: `exp_decision [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::decision::run(seed);
+    println!("{}", out.render());
+}

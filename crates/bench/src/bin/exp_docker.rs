@@ -1,0 +1,6 @@
+//! Regenerate the Docker provisioning study. Usage: `exp_docker [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::docker::run(seed);
+    println!("{}", out.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig11 experiment. Usage: `exp_fig11 [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::fig11::run(seed);
+    println!("{}", out.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig3 experiment. Usage: `exp_fig3 [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::fig3::run(seed);
+    println!("{}", out.render());
+}

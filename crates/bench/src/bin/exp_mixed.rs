@@ -1,0 +1,6 @@
+//! Regenerate the mixed-tenancy experiment. Usage: `exp_mixed [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::mixed::run(seed);
+    println!("{}", out.render());
+}

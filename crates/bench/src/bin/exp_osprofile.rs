@@ -1,0 +1,6 @@
+//! Regenerate the paper's osprofile experiment. Usage: `exp_osprofile [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::osprofile::run(seed);
+    println!("{}", out.render());
+}

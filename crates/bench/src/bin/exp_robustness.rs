@@ -1,0 +1,6 @@
+//! Multi-seed robustness study. Usage: `exp_robustness [seed offset]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::robustness::run(seed);
+    println!("{}", out.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate the scheduler warm-pool ablation. Usage: `exp_scheduler [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::scheduler::run(seed);
+    println!("{}", out.render());
+}

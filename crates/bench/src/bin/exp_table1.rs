@@ -1,0 +1,6 @@
+//! Regenerate the paper's table1 experiment. Usage: `exp_table1 [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    let out = rattrap_bench::experiments::table1::run(seed);
+    println!("{}", out.render());
+}

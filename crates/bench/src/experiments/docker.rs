@@ -1,0 +1,145 @@
+//! Docker-based provisioning study (§VIII future work): does a
+//! Docker-style distribution path deliver the "real just-in-time
+//! provision of Cloud Android Container"?
+//!
+//! Compares startup latency of the LXC prototype (Table I) against a
+//! registry-backed daemon under cold-eager, cold-lazy (Slacker) and
+//! warm-cache pulls, plus the registry dedup effect for derived
+//! per-app images.
+
+use super::ExperimentOutput;
+use analysis::{fnum, Scorecard, Table};
+use dockerlike::{cloud_android_layers, Daemon, Layer, Manifest, PullStrategy, Registry};
+use simkit::SimTime;
+use virt::RuntimeClass;
+
+/// Run the provisioning comparison.
+pub fn run(_seed: u64) -> ExperimentOutput {
+    let mut sc = Scorecard::new();
+    let mut table = Table::new(
+        "container provisioning strategies",
+        &["Strategy", "Latency(s)", "Transferred(MiB)"],
+    );
+
+    // Baselines from the paper's prototype.
+    let vm = RuntimeClass::AndroidVm.boot_sequence().total();
+    let lxc = RuntimeClass::CacOptimized.boot_sequence().total();
+    table.row(&["Android VM (Table I)".into(), fnum(vm.as_secs_f64(), 2), "-".into()]);
+    table.row(&["LXC CAC, prebuilt rootfs (Table I)".into(), fnum(lxc.as_secs_f64(), 2), "-".into()]);
+
+    // Registry with the cloud-android image.
+    let mut registry = Registry::new();
+    let layers: Vec<Layer> = cloud_android_layers().into_iter().map(|(l, _)| l).collect();
+    let manifest = Manifest::new("rattrap/cloud-android", "4.4-r2", &layers);
+    let reference = manifest.reference();
+    registry.push(manifest, layers);
+
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+
+    let mut cold_eager_daemon = Daemon::new();
+    let cold_eager = cold_eager_daemon
+        .create(&registry, &reference, PullStrategy::Eager, SimTime::ZERO)
+        .expect("image pushed");
+    table.row(&[
+        "Docker cold, eager pull".into(),
+        fnum(cold_eager.latency.as_secs_f64(), 2),
+        fnum(mib(cold_eager.pull.bytes_transferred), 1),
+    ]);
+
+    let mut lazy_daemon = Daemon::new();
+    let cold_lazy = lazy_daemon
+        .create(&registry, &reference, PullStrategy::Lazy, SimTime::ZERO)
+        .expect("image pushed");
+    table.row(&[
+        "Docker cold, lazy pull (Slacker)".into(),
+        fnum(cold_lazy.latency.as_secs_f64(), 2),
+        fnum(mib(cold_lazy.pull.bytes_transferred), 1),
+    ]);
+
+    let warm = cold_eager_daemon
+        .create(&registry, &reference, PullStrategy::Eager, SimTime::ZERO)
+        .expect("image pushed");
+    table.row(&[
+        "Docker warm cache".into(),
+        fnum(warm.latency.as_secs_f64(), 2),
+        fnum(mib(warm.pull.bytes_transferred), 1),
+    ]);
+
+    // Shape checks.
+    sc.less(
+        "warm Docker ≈ LXC prebuilt",
+        "warm",
+        warm.latency.as_secs_f64(),
+        "LXC + 0.1s",
+        lxc.as_secs_f64() + 0.1,
+    );
+    sc.less(
+        "lazy pull beats eager cold start",
+        "lazy",
+        cold_lazy.latency.as_secs_f64(),
+        "eager",
+        cold_eager.latency.as_secs_f64(),
+    );
+    sc.less(
+        "even a cold eager Docker start beats the VM",
+        "Docker cold",
+        cold_eager.latency.as_secs_f64(),
+        "VM",
+        vm.as_secs_f64(),
+    );
+    sc.expect(
+        "lazy cold start is near just-in-time",
+        "< 2× LXC startup",
+        &format!("{:.2}s", cold_lazy.latency.as_secs_f64()),
+        cold_lazy.latency.as_secs_f64() < 2.0 * lxc.as_secs_f64(),
+    );
+
+    // Dedup: derived per-app image pulls only its delta.
+    let base_layers: Vec<Layer> = registry
+        .manifest(&reference)
+        .expect("pushed")
+        .layers
+        .iter()
+        .map(|&d| registry.blob(d).expect("blob present").clone())
+        .collect();
+    let app_delta = {
+        let mut img = containerfs::FsImage::new();
+        img.insert(
+            "/data/app/chessgame.apk".to_string(),
+            containerfs::FileEntry::new(2 << 20, containerfs::FileCategory::OffloadData),
+        );
+        dockerlike::image::layer_from_image("chessgame app", &img)
+    };
+    let mut all = base_layers;
+    all.push(app_delta.clone());
+    let derived = Manifest::new("rattrap/chessgame", "1.0", &all);
+    let derived_ref = derived.reference();
+    registry.push(derived, all);
+    let derived_pull = cold_eager_daemon
+        .create(&registry, &derived_ref, PullStrategy::Eager, SimTime::ZERO)
+        .expect("derived image pushed");
+    table.row(&[
+        "Docker derived app image (dedup)".into(),
+        fnum(derived_pull.latency.as_secs_f64(), 2),
+        fnum(mib(derived_pull.pull.bytes_transferred), 1),
+    ]);
+    sc.expect(
+        "derived image transfers only the app layer",
+        "= 2 MiB",
+        &format!("{:.1} MiB", mib(derived_pull.pull.bytes_transferred)),
+        derived_pull.pull.bytes_transferred == app_delta.size,
+    );
+
+    ExperimentOutput { id: "Docker provisioning (§VIII)", body: table.render(), scorecard: sc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docker_study_shape_holds() {
+        let out = run(0);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 1 — phase details and offloading speedups of the first 20
+//! requests on the existing (VM-based) cloud platform, one panel per
+//! workload.
+
+use super::ExperimentOutput;
+use analysis::{fnum, Scorecard, Table};
+use rattrap::{run_scenario, PlatformKind, ScenarioConfig};
+use workloads::WorkloadKind;
+
+/// Run Fig. 1: a single device issuing 20 requests against the VM
+/// platform, for each workload.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let mut body = String::new();
+    let mut sc = Scorecard::new();
+
+    for kind in WorkloadKind::ALL {
+        let mut cfg =
+            ScenarioConfig::paper_default(PlatformKind::VmBaseline.config(), kind, seed);
+        cfg.devices = 1;
+        cfg.requests_per_device = 20;
+        let report = run_scenario(cfg);
+
+        let mut table = Table::new(
+            &format!("Fig. 1 ({kind}) — phases of the first 20 requests, VM platform",
+                kind = kind.label()),
+            &["Req", "Connect(ms)", "Transfer(ms)", "Prep(ms)", "Compute(ms)", "Speedup"],
+        );
+        let mut reqs = report.requests.clone();
+        reqs.sort_by_key(|r| r.seq_on_device);
+        for r in &reqs {
+            table.row(&[
+                format!("{}", r.seq_on_device + 1),
+                fnum(r.phases.network_connection.as_millis_f64(), 1),
+                fnum(r.phases.data_transfer.as_millis_f64(), 1),
+                fnum(r.phases.runtime_preparation.as_millis_f64(), 1),
+                fnum(r.phases.computation_execution.as_millis_f64(), 1),
+                fnum(r.speedup(), 2),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+
+        // Observation 1: the first request is an offloading failure
+        // caused by the long runtime preparation.
+        let first = reqs.first().expect("20 requests ran");
+        sc.expect(
+            &format!("{}: first request is an offloading failure", kind.label()),
+            "speedup < 1",
+            &format!("{:.2}", first.speedup()),
+            first.is_offloading_failure(),
+        );
+        sc.expect(
+            &format!("{}: first-request prep dominated by VM boot", kind.label()),
+            "> 20 s",
+            &format!("{:.1}s", first.phases.runtime_preparation.as_secs_f64()),
+            first.phases.runtime_preparation.as_secs_f64() > 20.0,
+        );
+        // Steady state: offloading succeeds.
+        let warm_ok = reqs[5..].iter().filter(|r| !r.is_offloading_failure()).count();
+        sc.expect(
+            &format!("{}: warm requests succeed", kind.label()),
+            "> 90% of requests 6–20",
+            &format!("{warm_ok}/15"),
+            warm_ok >= 14,
+        );
+        // The first request also carries the mobile code.
+        sc.expect(
+            &format!("{}: first request carries mobile code", kind.label()),
+            "code transferred once",
+            &format!("{} bytes", first.code_bytes_sent),
+            first.code_transferred && reqs[1..].iter().all(|r| !r.code_transferred),
+        );
+    }
+
+    ExperimentOutput { id: "Fig. 1", body, scorecard: sc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_observation1() {
+        let out = run(super::super::DEFAULT_SEED);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 9 — average performance of offloading requests: per-phase
+//! decomposition for Rattrap / Rattrap(W/O) / VM, normalized to the VM
+//! total, per workload. Also the §VI-C speedup bands.
+
+use super::ExperimentOutput;
+use analysis::{stacked_bars, Scorecard};
+use rattrap::config::paper;
+use rattrap::{run_scenario, PlatformKind, ScenarioConfig, SimulationReport};
+use std::collections::BTreeMap;
+use workloads::WorkloadKind;
+
+/// Mean phase seconds of a report: (compute, prep, transfer).
+fn mean_phases(rep: &SimulationReport) -> (f64, f64, f64) {
+    (
+        rep.mean_of(|r| r.phases.computation_execution.as_secs_f64()),
+        rep.mean_of(|r| r.phases.runtime_preparation.as_secs_f64()),
+        rep.mean_of(|r| {
+            (r.phases.data_transfer + r.phases.network_connection).as_secs_f64()
+        }),
+    )
+}
+
+/// Run Fig. 9: §VI-C setup (5 devices × 20 requests, LAN WiFi), three
+/// platforms per workload, identical request inflow.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let mut body = String::new();
+    let mut sc = Scorecard::new();
+    let mut prep_speedups = Vec::new();
+    let mut transfer_speedups = Vec::new();
+    let mut compute_speedups_rt = Vec::new();
+    let mut compute_speedups_wo = Vec::new();
+
+    for kind in WorkloadKind::ALL {
+        let mut phases: BTreeMap<PlatformKind, (f64, f64, f64)> = BTreeMap::new();
+        for platform in PlatformKind::ALL {
+            let cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
+            let rep = run_scenario(cfg);
+            phases.insert(platform, mean_phases(&rep));
+        }
+        let vm = phases[&PlatformKind::VmBaseline];
+        let vm_total = vm.0 + vm.1 + vm.2;
+        let entries: Vec<(String, Vec<f64>)> = PlatformKind::ALL
+            .iter()
+            .map(|p| {
+                let (c, r, t) = phases[p];
+                (p.label().to_string(), vec![c / vm_total, r / vm_total, t / vm_total])
+            })
+            .collect();
+        body.push_str(&stacked_bars(
+            &format!("Fig. 9 ({}) — normalized mean request time", kind.label()),
+            &["compute", "runtime prep", "data transfer"],
+            &entries,
+            50,
+        ));
+        body.push('\n');
+
+        let rt = phases[&PlatformKind::Rattrap];
+        let wo = phases[&PlatformKind::RattrapWithout];
+        prep_speedups.push(vm.1 / rt.1);
+        transfer_speedups.push(vm.2 / rt.2);
+        compute_speedups_rt.push(vm.0 / rt.0);
+        compute_speedups_wo.push(vm.0 / wo.0);
+
+        sc.less(
+            &format!("{}: Rattrap total below VM total", kind.label()),
+            "Rattrap",
+            rt.0 + rt.1 + rt.2,
+            "VM",
+            vm_total,
+        );
+        sc.less(
+            &format!("{}: W/O total between Rattrap and VM", kind.label()),
+            "Rattrap(W/O)",
+            wo.0 + wo.1 + wo.2,
+            "VM",
+            vm_total,
+        );
+    }
+
+    // §VI-C bands (generous slack: queueing noise and our substrate).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    sc.in_band(
+        "runtime-prep speedup, Rattrap (band 16.29–16.98)",
+        paper::PREP_SPEEDUP_RATTRAP,
+        mean(&prep_speedups),
+        0.35,
+    );
+    sc.in_band(
+        "data-transfer speedup, Rattrap (band 1.17–2.04)",
+        paper::TRANSFER_SPEEDUP_RATTRAP,
+        mean(&transfer_speedups),
+        0.30,
+    );
+    sc.in_band(
+        "computation speedup, Rattrap (band 1.05–1.40)",
+        paper::COMPUTE_SPEEDUP_RATTRAP,
+        mean(&compute_speedups_rt),
+        0.15,
+    );
+    sc.in_band(
+        "computation speedup, W/O (band 1.02–1.13)",
+        paper::COMPUTE_SPEEDUP_WO,
+        mean(&compute_speedups_wo),
+        0.10,
+    );
+
+    body.push_str(&format!(
+        "speedups vs VM — prep: {:?}\n           transfer: {:?}\n            compute: {:?}\n",
+        prep_speedups.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        transfer_speedups.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        compute_speedups_rt.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
+    ));
+
+    ExperimentOutput { id: "Fig. 9", body, scorecard: sc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_reproduces_section_vi_c() {
+        let out = run(super::super::DEFAULT_SEED);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

@@ -1,0 +1,48 @@
+//! One module per table/figure of the paper's evaluation. Each exposes
+//! a `run(seed) -> ExperimentOutput` so the `exp_*` binaries stay thin
+//! and integration tests can exercise the full harness.
+
+pub mod ablations;
+pub mod decision;
+pub mod docker;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig9;
+pub mod mixed;
+pub mod osprofile;
+pub mod robustness;
+pub mod scheduler;
+pub mod table1;
+pub mod table2;
+
+use analysis::Scorecard;
+
+/// What every experiment produces: human-readable output plus the
+/// paper-vs-measured scorecard.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"Table I"`.
+    pub id: &'static str,
+    /// Rendered tables/figures.
+    pub body: String,
+    /// Shape checks against the published numbers.
+    pub scorecard: Scorecard,
+}
+
+impl ExperimentOutput {
+    /// Render body + scorecard.
+    pub fn render(&self) -> String {
+        format!("{}\n{}\n", self.body, self.scorecard.render())
+    }
+}
+
+/// The default seed the binaries use (override with the first CLI arg).
+pub const DEFAULT_SEED: u64 = 20170529; // IPDPS'17 started May 29, 2017
+
+/// Parse the seed from CLI args.
+pub fn seed_from_args() -> u64 {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}

@@ -1,0 +1,126 @@
+//! Robustness — do the headline reproduction results hold across seeds,
+//! or were they tuned to one lucky sample? Runs the Fig. 9 speedup
+//! bands and the Fig. 11 ordering on several independent seeds in
+//! parallel and reports mean ± stddev.
+
+use super::ExperimentOutput;
+use analysis::{fnum, Scorecard, Table};
+use rattrap::{run_scenario, PlatformKind, ScenarioConfig};
+use rayon::prelude::*;
+use simkit::OnlineStats;
+use workloads::WorkloadKind;
+
+/// Seeds deliberately unrelated to the default.
+const SEEDS: [u64; 5] = [11, 2_027, 31_337, 424_242, 9_999_991];
+
+struct SeedResult {
+    prep_speedup: f64,
+    transfer_speedup: f64,
+    compute_speedup: f64,
+    rattrap_failures: f64,
+    vm_failures: f64,
+}
+
+fn one_seed(seed: u64) -> SeedResult {
+    let mut prep = Vec::new();
+    let mut transfer = Vec::new();
+    let mut compute = Vec::new();
+    let mut fail = [0.0f64; 2];
+    let mut means = std::collections::BTreeMap::new();
+    for kind in WorkloadKind::ALL {
+        for platform in PlatformKind::ALL {
+            let cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
+            let rep = run_scenario(cfg);
+            means.insert(
+                (kind, platform),
+                (
+                    rep.mean_of(|r| r.phases.computation_execution.as_secs_f64()),
+                    rep.mean_of(|r| r.phases.runtime_preparation.as_secs_f64()),
+                    rep.mean_of(|r| {
+                        (r.phases.data_transfer + r.phases.network_connection).as_secs_f64()
+                    }),
+                    rep.failure_rate(),
+                ),
+            );
+        }
+    }
+    for kind in WorkloadKind::ALL {
+        let vm = means[&(kind, PlatformKind::VmBaseline)];
+        let rt = means[&(kind, PlatformKind::Rattrap)];
+        compute.push(vm.0 / rt.0);
+        prep.push(vm.1 / rt.1);
+        transfer.push(vm.2 / rt.2);
+        fail[0] += rt.3 / 4.0;
+        fail[1] += vm.3 / 4.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    SeedResult {
+        prep_speedup: mean(&prep),
+        transfer_speedup: mean(&transfer),
+        compute_speedup: mean(&compute),
+        rattrap_failures: fail[0],
+        vm_failures: fail[1],
+    }
+}
+
+/// Run the robustness study (the `seed` argument shifts every seed).
+pub fn run(seed: u64) -> ExperimentOutput {
+    let results: Vec<SeedResult> =
+        SEEDS.par_iter().map(|&s| one_seed(s.wrapping_add(seed))).collect();
+
+    let mut prep = OnlineStats::new();
+    let mut transfer = OnlineStats::new();
+    let mut compute = OnlineStats::new();
+    let mut rt_fail = OnlineStats::new();
+    let mut vm_fail = OnlineStats::new();
+    for r in &results {
+        prep.push(r.prep_speedup);
+        transfer.push(r.transfer_speedup);
+        compute.push(r.compute_speedup);
+        rt_fail.push(r.rattrap_failures);
+        vm_fail.push(r.vm_failures);
+    }
+
+    let mut table = Table::new(
+        &format!("robustness across {} seeds (mean ± σ)", SEEDS.len()),
+        &["Metric", "Paper", "Mean", "StdDev"],
+    );
+    table.row(&["prep speedup (Rattrap vs VM)".into(), "16.29–16.98".into(), fnum(prep.mean(), 2), fnum(prep.std_dev(), 2)]);
+    table.row(&["transfer speedup".into(), "1.17–2.04".into(), fnum(transfer.mean(), 2), fnum(transfer.std_dev(), 2)]);
+    table.row(&["compute speedup".into(), "1.05–1.40".into(), fnum(compute.mean(), 2), fnum(compute.std_dev(), 2)]);
+    table.row(&["Rattrap failure rate".into(), "—".into(), fnum(rt_fail.mean(), 3), fnum(rt_fail.std_dev(), 3)]);
+    table.row(&["VM failure rate".into(), "—".into(), fnum(vm_fail.mean(), 3), fnum(vm_fail.std_dev(), 3)]);
+
+    let mut sc = Scorecard::new();
+    sc.in_band("prep speedup mean across seeds", (16.29, 16.98), prep.mean(), 0.35);
+    sc.in_band("transfer speedup mean across seeds", (1.17, 2.04), transfer.mean(), 0.30);
+    sc.in_band("compute speedup mean across seeds", (1.05, 1.40), compute.mean(), 0.15);
+    sc.expect(
+        "prep speedup is stable",
+        "σ/mean < 15%",
+        &format!("{:.1}%", 100.0 * prep.std_dev() / prep.mean()),
+        prep.std_dev() / prep.mean() < 0.15,
+    );
+    sc.expect(
+        "failure ordering holds on every seed",
+        "Rattrap < VM, all seeds",
+        &format!(
+            "{:?}",
+            results.iter().map(|r| r.rattrap_failures < r.vm_failures).collect::<Vec<_>>()
+        ),
+        results.iter().all(|r| r.rattrap_failures < r.vm_failures),
+    );
+
+    ExperimentOutput { id: "Robustness", body: table.render(), scorecard: sc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robustness_holds_across_seeds() {
+        let out = run(0);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

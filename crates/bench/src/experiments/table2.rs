@@ -1,0 +1,83 @@
+//! Table II — total migrated data (download / upload) per workload for
+//! Rattrap, Rattrap(W/O) and the VM platform.
+
+use super::ExperimentOutput;
+use analysis::{Scorecard, Table};
+use rattrap::config::paper;
+use rattrap::{run_scenario, PlatformKind, ScenarioConfig};
+use workloads::WorkloadKind;
+
+/// Run Table II with the §VI-C setup.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let mut table = Table::new(
+        "Table II — total data transmitted (KB)",
+        &[
+            "Workload",
+            "↓Rattrap",
+            "↓W/O",
+            "↓VM",
+            "↑Rattrap",
+            "↑W/O",
+            "↑VM",
+        ],
+    );
+    let mut sc = Scorecard::new();
+
+    for (wi, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        for platform in PlatformKind::ALL {
+            let cfg = ScenarioConfig::paper_default(platform.config(), *kind, seed);
+            let rep = run_scenario(cfg);
+            up.push(rep.total_upload_bytes() / 1024);
+            down.push(rep.total_download_bytes() / 1024);
+        }
+        table.row(&[
+            kind.label().to_string(),
+            down[0].to_string(),
+            down[1].to_string(),
+            down[2].to_string(),
+            up[0].to_string(),
+            up[1].to_string(),
+            up[2].to_string(),
+        ]);
+
+        // Compare against the paper's totals (tolerant: payloads are
+        // sampled, the paper's were measured).
+        for (pi, platform) in PlatformKind::ALL.iter().enumerate() {
+            sc.within(
+                &format!("{} upload, {}", kind.label(), platform.label()),
+                paper::TABLE2_UPLOAD_KB[wi][pi] as f64,
+                up[pi] as f64,
+                0.12,
+            );
+            sc.within(
+                &format!("{} download, {}", kind.label(), platform.label()),
+                paper::TABLE2_DOWNLOAD_KB[wi][pi] as f64,
+                down[pi] as f64,
+                0.15,
+            );
+        }
+        // The qualitative claim: Rattrap uploads strictly less.
+        sc.less(
+            &format!("{}: code cache reduces upload", kind.label()),
+            "Rattrap",
+            up[0] as f64,
+            "VM",
+            up[2] as f64,
+        );
+    }
+
+    ExperimentOutput { id: "Table II", body: table.render(), scorecard: sc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_paper_totals() {
+        let out = run(super::super::DEFAULT_SEED);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

@@ -1,0 +1,14 @@
+//! # rattrap-bench — experiment harnesses regenerating every table and
+//! figure of the paper's evaluation
+//!
+//! One module per experiment under [`experiments`]; `exp_*` binaries
+//! print each experiment, `exp_all` runs the whole evaluation; Criterion
+//! benches under `benches/` measure the real compute kernels and the
+//! platform hot paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{ExperimentOutput, DEFAULT_SEED};

@@ -1,0 +1,133 @@
+//! File entries and the categories used by the OS-profiling experiments.
+
+/// What a file in the Android image is for — the granularity at which
+/// the paper profiles redundancy (§III-E) and strips the OS (§IV-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileCategory {
+    /// Pre-installed Android applications (Camera, Gallery, …).
+    BuiltinApp,
+    /// Hardware-facing shared libraries (`.so`) stripped by customization.
+    RedundantSharedLib,
+    /// Kernel driver modules (`.ko`) for phone hardware.
+    KernelModule,
+    /// Firmware blobs (`.bin`).
+    Firmware,
+    /// Framework jars/dex needed to execute offloaded code.
+    Framework,
+    /// ART/Dalvik runtime.
+    Runtime,
+    /// Core native libraries (bionic, libbinder, …) that offloading uses.
+    CoreLib,
+    /// Fonts, media codecs config, misc /system data that gets touched.
+    SystemData,
+    /// Boot ramdisk / rootfs contents.
+    Rootfs,
+    /// `/data` — dalvik-cache and app state.
+    UserData,
+    /// `/cache` partition contents.
+    Cache,
+    /// `/vendor` partition contents.
+    Vendor,
+    /// Kernel + ramdisk boot images (VM-only; containers share the host
+    /// kernel).
+    BootImage,
+    /// Configuration written per container instance.
+    InstanceConfig,
+    /// Files created by offloaded code at run time.
+    OffloadData,
+}
+
+impl FileCategory {
+    /// Is this category required to serve offloading requests?
+    ///
+    /// Observation 4 of the paper: hardware support (apps, `.so`, `.ko`,
+    /// `.bin`) is never accessed by offloaded code; frameworks, runtime
+    /// and core libraries are.
+    pub const fn needed_for_offloading(self) -> bool {
+        !matches!(
+            self,
+            FileCategory::BuiltinApp
+                | FileCategory::RedundantSharedLib
+                | FileCategory::KernelModule
+                | FileCategory::Firmware
+        )
+    }
+
+    /// Is the category shareable read-only between containers (i.e. does
+    /// it belong in the Shared Resource Layer)?
+    ///
+    /// Pre-warmed `/data` (dalvik-cache) and `/cache` contents are
+    /// byte-identical across Cloud Android Containers, so Rattrap ships
+    /// them in the shared layer too; only per-instance configuration and
+    /// offloaded data stay private — which is how a container's
+    /// exclusive footprint drops to ~7.1 MB (Table I).
+    pub const fn shareable(self) -> bool {
+        matches!(
+            self,
+            FileCategory::Framework
+                | FileCategory::Runtime
+                | FileCategory::CoreLib
+                | FileCategory::SystemData
+                | FileCategory::Rootfs
+                | FileCategory::Vendor
+                | FileCategory::UserData
+                | FileCategory::Cache
+        )
+    }
+
+    /// Must the file exist inside a container at all? Boot images
+    /// (kernel + ramdisk) are only meaningful to VMs — containers share
+    /// the host kernel (§IV-B2).
+    pub const fn required_in_container(self) -> bool {
+        !matches!(self, FileCategory::BootImage)
+    }
+}
+
+/// One file in an image or layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Size in bytes.
+    pub size: u64,
+    /// Category for profiling/customization decisions.
+    pub category: FileCategory,
+}
+
+impl FileEntry {
+    /// Convenience constructor.
+    pub fn new(size: u64, category: FileCategory) -> Self {
+        FileEntry { size, category }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_categories_are_not_needed() {
+        assert!(!FileCategory::BuiltinApp.needed_for_offloading());
+        assert!(!FileCategory::KernelModule.needed_for_offloading());
+        assert!(!FileCategory::Firmware.needed_for_offloading());
+        assert!(!FileCategory::RedundantSharedLib.needed_for_offloading());
+        assert!(FileCategory::Framework.needed_for_offloading());
+        assert!(FileCategory::Runtime.needed_for_offloading());
+    }
+
+    #[test]
+    fn shareable_excludes_instance_state() {
+        assert!(FileCategory::Framework.shareable());
+        assert!(FileCategory::UserData.shareable(), "pre-warmed dalvik-cache is shared");
+        assert!(!FileCategory::InstanceConfig.shareable());
+        assert!(!FileCategory::OffloadData.shareable());
+        assert!(!FileCategory::BootImage.shareable());
+    }
+
+    #[test]
+    fn boot_image_is_vm_only() {
+        assert!(!FileCategory::BootImage.required_in_container());
+        assert!(FileCategory::Framework.required_in_container());
+        // The boot image *is* accessed (by the VM boot), so it does not
+        // count toward the never-accessed redundancy of Observation 4.
+        assert!(FileCategory::BootImage.needed_for_offloading());
+    }
+}

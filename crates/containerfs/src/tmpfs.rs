@@ -1,0 +1,166 @@
+//! In-memory filesystem for the Sharing Offloading I/O layer (§IV-C,
+//! Fig. 7b).
+//!
+//! Rattrap places offloaded files in one shared tmpfs instead of each
+//! container's private disk layer. Two properties from the paper are
+//! modelled: memory-backed capacity accounting (the "interesting
+//! tradeoff between I/O performance and memory footprint") and
+//! *burn-after-reading* — migrated data is a one-time deal, so files are
+//! dropped after consumption, keeping the layer small and private.
+
+use std::collections::BTreeMap;
+
+/// Error returned when a write would exceed the tmpfs capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmpfsFull {
+    /// Bytes the write needed.
+    pub requested: u64,
+    /// Bytes that were free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for TmpfsFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tmpfs full: requested {}, available {}", self.requested, self.available)
+    }
+}
+
+impl std::error::Error for TmpfsFull {}
+
+/// A memory-backed filesystem with burn-after-reading semantics.
+#[derive(Debug)]
+pub struct Tmpfs {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    files: BTreeMap<String, u64>,
+    /// Bytes ever written (throughput accounting).
+    total_written: u64,
+    /// Files consumed via burn-after-reading.
+    burned: u64,
+}
+
+impl Tmpfs {
+    /// A tmpfs capped at `capacity` bytes of memory.
+    pub fn new(capacity: u64) -> Self {
+        Tmpfs { capacity, used: 0, peak: 0, files: BTreeMap::new(), total_written: 0, burned: 0 }
+    }
+
+    /// Store `size` bytes at `path` (replacing any previous file there).
+    pub fn write(&mut self, path: &str, size: u64) -> Result<(), TmpfsFull> {
+        let existing = self.files.get(path).copied().unwrap_or(0);
+        let needed = size.saturating_sub(existing);
+        if self.used + needed > self.capacity {
+            return Err(TmpfsFull { requested: needed, available: self.capacity - self.used });
+        }
+        self.used = self.used - existing + size;
+        self.peak = self.peak.max(self.used);
+        self.total_written += size;
+        self.files.insert(path.to_string(), size);
+        Ok(())
+    }
+
+    /// Size of the file at `path`.
+    pub fn size_of(&self, path: &str) -> Option<u64> {
+        self.files.get(path).copied()
+    }
+
+    /// Read and delete — the burn-after-reading path for migrated data.
+    /// Returns the size consumed.
+    pub fn consume(&mut self, path: &str) -> Option<u64> {
+        let size = self.files.remove(path)?;
+        self.used -= size;
+        self.burned += 1;
+        Some(size)
+    }
+
+    /// Delete without reading.
+    pub fn remove(&mut self, path: &str) -> bool {
+        if let Some(size) = self.files.remove(path) {
+            self.used -= size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Memory currently used.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Peak memory used.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Live file count.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Bytes ever written.
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// Files consumed via [`consume`](Tmpfs::consume).
+    pub fn burned(&self) -> u64 {
+        self.burned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_consume_cycle() {
+        let mut t = Tmpfs::new(1000);
+        t.write("/offload/ocr-input.png", 400).unwrap();
+        assert_eq!(t.size_of("/offload/ocr-input.png"), Some(400));
+        assert_eq!(t.used(), 400);
+        assert_eq!(t.consume("/offload/ocr-input.png"), Some(400));
+        assert_eq!(t.used(), 0, "burn after reading frees memory");
+        assert_eq!(t.consume("/offload/ocr-input.png"), None);
+        assert_eq!(t.burned(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = Tmpfs::new(100);
+        t.write("/a", 80).unwrap();
+        let err = t.write("/b", 30).unwrap_err();
+        assert_eq!(err.available, 20);
+        assert_eq!(t.file_count(), 1, "failed write stores nothing");
+    }
+
+    #[test]
+    fn overwrite_accounts_delta() {
+        let mut t = Tmpfs::new(100);
+        t.write("/a", 60).unwrap();
+        // Replacing a 60-byte file with 90 only needs 30 more.
+        t.write("/a", 90).unwrap();
+        assert_eq!(t.used(), 90);
+        // Shrinking frees memory.
+        t.write("/a", 10).unwrap();
+        assert_eq!(t.used(), 10);
+        assert_eq!(t.peak(), 90);
+        assert_eq!(t.total_written(), 160);
+    }
+
+    #[test]
+    fn remove_without_reading() {
+        let mut t = Tmpfs::new(100);
+        t.write("/x", 50).unwrap();
+        assert!(t.remove("/x"));
+        assert!(!t.remove("/x"));
+        assert_eq!(t.used(), 0);
+        assert_eq!(t.burned(), 0, "remove is not a burn");
+    }
+}

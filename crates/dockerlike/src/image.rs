@@ -1,0 +1,257 @@
+//! Content-addressed layers, image manifests, and the blob store.
+
+use crate::sha256::{sha256, to_hex, Sha256};
+use containerfs::FsImage;
+use std::collections::BTreeMap;
+
+/// A content digest (`sha256:…`), the identity of a layer blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Docker-style rendering, e.g. `sha256:ba7816bf…` (truncated).
+    pub fn short(&self) -> String {
+        format!("sha256:{}", &to_hex(&self.0)[..12])
+    }
+
+    /// Full hex rendering.
+    pub fn hex(&self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+/// One image layer: a named filesystem delta, content-addressed.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// Content digest over the layer's (path, size, category) stream.
+    pub digest: Digest,
+    /// Human-readable description (the Dockerfile step, in spirit).
+    pub description: String,
+    /// Bytes the layer occupies (compressed ≈ uncompressed here).
+    pub size: u64,
+    /// File count in the delta.
+    pub files: usize,
+}
+
+/// Build a layer from a filesystem delta. The digest covers the full
+/// content listing, so identical deltas are identical blobs wherever
+/// they are built — the property Docker's layer dedup rests on.
+pub fn layer_from_image(description: &str, delta: &FsImage) -> Layer {
+    let mut h = Sha256::new();
+    for (path, entry) in delta.iter() {
+        h.update(path.as_bytes());
+        h.update(&entry.size.to_be_bytes());
+        h.update(format!("{:?}", entry.category).as_bytes());
+        h.update(&[0]);
+    }
+    Layer {
+        digest: Digest(h.finalize()),
+        description: description.to_string(),
+        size: delta.total_bytes(),
+        files: delta.file_count(),
+    }
+}
+
+/// An image manifest: ordered layers plus a config digest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Repository name, e.g. `rattrap/cloud-android`.
+    pub name: String,
+    /// Tag, e.g. `4.4-r2-custom`.
+    pub tag: String,
+    /// Layer digests, bottom → top.
+    pub layers: Vec<Digest>,
+    /// Digest of the config blob (we hash the name+tag+layer list).
+    pub config: Digest,
+}
+
+impl Manifest {
+    /// Assemble a manifest over `layers`.
+    pub fn new(name: &str, tag: &str, layers: &[Layer]) -> Self {
+        let mut h = Sha256::new();
+        h.update(name.as_bytes());
+        h.update(tag.as_bytes());
+        for l in layers {
+            h.update(&l.digest.0);
+        }
+        Manifest {
+            name: name.to_string(),
+            tag: tag.to_string(),
+            layers: layers.iter().map(|l| l.digest).collect(),
+            config: Digest(h.finalize()),
+        }
+    }
+
+    /// `name:tag` reference.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+}
+
+/// A store of layer blobs keyed by digest, with reference counts —
+/// both the registry's backend and the daemon's local cache.
+#[derive(Debug, Default)]
+pub struct BlobStore {
+    blobs: BTreeMap<Digest, (Layer, u32)>,
+}
+
+impl BlobStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a blob (idempotent — content addressing dedups).
+    /// Returns `true` if the blob was new.
+    pub fn put(&mut self, layer: Layer) -> bool {
+        match self.blobs.get_mut(&layer.digest) {
+            Some((_, refs)) => {
+                *refs += 1;
+                false
+            }
+            None => {
+                self.blobs.insert(layer.digest, (layer, 1));
+                true
+            }
+        }
+    }
+
+    /// Is a blob present?
+    pub fn has(&self, digest: Digest) -> bool {
+        self.blobs.contains_key(&digest)
+    }
+
+    /// Fetch a blob's metadata.
+    pub fn get(&self, digest: Digest) -> Option<&Layer> {
+        self.blobs.get(&digest).map(|(l, _)| l)
+    }
+
+    /// Drop one reference; removes the blob at zero. Returns bytes freed.
+    pub fn release(&mut self, digest: Digest) -> u64 {
+        match self.blobs.get_mut(&digest) {
+            Some((layer, refs)) => {
+                *refs -= 1;
+                if *refs == 0 {
+                    let size = layer.size;
+                    self.blobs.remove(&digest);
+                    size
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Total bytes stored (each blob once — the dedup property).
+    pub fn total_bytes(&self) -> u64 {
+        self.blobs.values().map(|(l, _)| l.size).sum()
+    }
+
+    /// Number of distinct blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+/// Split the customized Cloud Android image into the layer stack a
+/// Dockerfile would produce: base rootfs → framework → runtime →
+/// system data, ready for `FROM rattrap/cloud-android`.
+pub fn cloud_android_layers() -> Vec<(Layer, FsImage)> {
+    let full = containerfs::android_x86_44_image();
+    let (custom, _) = containerfs::customize(&full);
+    let split = |pred: &dyn Fn(&str) -> bool| -> FsImage {
+        custom.partition(|p, _| pred(&p.to_string())).0
+    };
+    let base = split(&|p: &str| {
+        p.starts_with("/rootfs") || p.starts_with("/vendor") || p.starts_with("/cache")
+    });
+    let framework = split(&|p: &str| p.starts_with("/system/framework"));
+    let runtime = split(&|p: &str| p.starts_with("/system/lib"));
+    let sysdata = split(&|p: &str| p.starts_with("/system/etc") || p.starts_with("/data"));
+    vec![
+        (layer_from_image("base rootfs + vendor", &base), base),
+        (layer_from_image("android framework", &framework), framework),
+        (layer_from_image("art runtime + core libs", &runtime), runtime),
+        (layer_from_image("system data + dalvik-cache", &sysdata), sysdata),
+    ]
+}
+
+/// Hash arbitrary config bytes (exposed for tests / registry auth).
+pub fn digest_of(data: &[u8]) -> Digest {
+    Digest(sha256(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containerfs::{FileCategory, FileEntry};
+
+    fn img(paths: &[(&str, u64)]) -> FsImage {
+        let mut i = FsImage::new();
+        for &(p, size) in paths {
+            i.insert(p.to_string(), FileEntry::new(size, FileCategory::Framework));
+        }
+        i
+    }
+
+    #[test]
+    fn identical_deltas_share_a_digest() {
+        let a = layer_from_image("a", &img(&[("/x", 10), ("/y", 20)]));
+        let b = layer_from_image("b", &img(&[("/x", 10), ("/y", 20)]));
+        assert_eq!(a.digest, b.digest, "content addressing ignores the description");
+        let c = layer_from_image("c", &img(&[("/x", 10), ("/y", 21)]));
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn blob_store_dedups_and_refcounts() {
+        let mut store = BlobStore::new();
+        let l = layer_from_image("l", &img(&[("/x", 100)]));
+        assert!(store.put(l.clone()));
+        assert!(!store.put(l.clone()), "second put is a dedup hit");
+        assert_eq!(store.total_bytes(), 100, "stored once");
+        assert_eq!(store.release(l.digest), 0, "still referenced");
+        assert_eq!(store.release(l.digest), 100, "last ref frees");
+        assert!(store.is_empty());
+        assert_eq!(store.release(l.digest), 0, "releasing a ghost is safe");
+    }
+
+    #[test]
+    fn manifest_is_stable_and_ordered() {
+        let l1 = layer_from_image("1", &img(&[("/a", 1)]));
+        let l2 = layer_from_image("2", &img(&[("/b", 2)]));
+        let m = Manifest::new("rattrap/cloud-android", "4.4", &[l1.clone(), l2.clone()]);
+        let m2 = Manifest::new("rattrap/cloud-android", "4.4", &[l1.clone(), l2.clone()]);
+        assert_eq!(m.config, m2.config);
+        let swapped = Manifest::new("rattrap/cloud-android", "4.4", &[l2, l1]);
+        assert_ne!(m.config, swapped.config, "layer order matters");
+        assert_eq!(m.reference(), "rattrap/cloud-android:4.4");
+    }
+
+    #[test]
+    fn cloud_android_splits_cover_the_custom_image() {
+        let layers = cloud_android_layers();
+        assert_eq!(layers.len(), 4);
+        let total: u64 = layers.iter().map(|(l, _)| l.size).sum();
+        let (custom, _) = containerfs::customize(&containerfs::android_x86_44_image());
+        assert_eq!(total, custom.total_bytes(), "layers partition the image");
+        // Digests are pairwise distinct.
+        let mut ds: Vec<_> = layers.iter().map(|(l, _)| l.digest).collect();
+        ds.sort();
+        ds.dedup();
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn digest_rendering() {
+        let d = digest_of(b"abc");
+        assert_eq!(d.short(), "sha256:ba7816bf8f01");
+        assert_eq!(d.hex().len(), 64);
+    }
+}

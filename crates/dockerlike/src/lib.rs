@@ -1,0 +1,25 @@
+//! # dockerlike — Docker-style image distribution for Cloud Android
+//! Containers
+//!
+//! The paper's future work (§VIII): "We will also explore the
+//! possibility of Rattrap implemented on Docker, which may bring about
+//! the real just-in-time provision of Cloud Android Container." This
+//! crate builds that path: content-addressed layers over a from-scratch
+//! SHA-256 ([`mod@sha256`]), image manifests and a dedup'ing blob store
+//! ([`image`]), a push/pull registry ([`registry`]), and a daemon with
+//! eager and Slacker-style lazy pull strategies ([`daemon`]) whose
+//! startup latencies the `exp_docker` experiment compares against the
+//! LXC prototype.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemon;
+pub mod image;
+pub mod registry;
+pub mod sha256;
+
+pub use daemon::{CreateReceipt, Daemon, JitContainer, PullStrategy, STARTUP_WORKING_SET};
+pub use image::{cloud_android_layers, digest_of, BlobStore, Digest, Layer, Manifest};
+pub use registry::{PullReceipt, Registry, RegistryError};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,83 @@
+//! Property tests for the content-addressed store and SHA-256.
+
+use dockerlike::image::{layer_from_image, BlobStore, Manifest};
+use dockerlike::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(0usize..2048, 0..8),
+    ) {
+        let whole = sha256(&data);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c.max(prev)]);
+            prev = c.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), whole);
+    }
+
+    /// Distinct inputs produce distinct digests (collision-freedom on
+    /// small random inputs — a sanity check, not a proof).
+    #[test]
+    fn sha256_injective_on_samples(a in prop::collection::vec(any::<u8>(), 0..64),
+                                   b in prop::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// BlobStore: total bytes equals the sum of distinct blob sizes no
+    /// matter how many duplicate puts occur, and full release drains it.
+    #[test]
+    fn blobstore_dedup_invariant(sizes in prop::collection::vec(1u64..10_000, 1..20),
+                                 dups in 1u32..4) {
+        let mut store = BlobStore::new();
+        let mut layers = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let mut img = containerfs::FsImage::new();
+            img.insert(
+                format!("/blob/{i}"),
+                containerfs::FileEntry::new(size, containerfs::FileCategory::OffloadData),
+            );
+            layers.push(layer_from_image(&format!("l{i}"), &img));
+        }
+        for _ in 0..dups {
+            for l in &layers {
+                store.put(l.clone());
+            }
+        }
+        let expect: u64 = layers.iter().map(|l| l.size).sum();
+        prop_assert_eq!(store.total_bytes(), expect, "stored once regardless of dup puts");
+        // Release every reference: the store drains completely.
+        for _ in 0..dups {
+            for l in &layers {
+                store.release(l.digest);
+            }
+        }
+        prop_assert!(store.is_empty());
+    }
+
+    /// Manifest config digests are injective over (name, tag, layers).
+    #[test]
+    fn manifest_identity(n1 in "[a-z]{3,8}", n2 in "[a-z]{3,8}", size in 1u64..1000) {
+        let mut img = containerfs::FsImage::new();
+        img.insert("/x".to_string(),
+            containerfs::FileEntry::new(size, containerfs::FileCategory::OffloadData));
+        let l = layer_from_image("l", &img);
+        let a = Manifest::new(&n1, "1.0", &[l.clone()]);
+        let b = Manifest::new(&n2, "1.0", &[l]);
+        if n1 == n2 {
+            prop_assert_eq!(a.config, b.config);
+        } else {
+            prop_assert_ne!(a.config, b.config);
+        }
+    }
+}

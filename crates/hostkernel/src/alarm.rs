@@ -1,0 +1,120 @@
+//! `/dev/alarm` driver state — RTC-based alarms for timer messages.
+
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifier of a pending alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlarmId(pub u64);
+
+/// One namespace's alarm driver instance.
+#[derive(Debug, Default)]
+pub struct AlarmDriver {
+    /// Pending alarms: id → (due time, owning pid).
+    pending: BTreeMap<u64, (SimTime, u32)>,
+    next_id: u64,
+    fired: u64,
+}
+
+impl AlarmDriver {
+    /// Fresh driver instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm an alarm for `pid` due at `due`.
+    pub fn set(&mut self, pid: u32, due: SimTime) -> AlarmId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(id, (due, pid));
+        AlarmId(id)
+    }
+
+    /// Disarm an alarm; `true` if it was still pending.
+    pub fn cancel(&mut self, id: AlarmId) -> bool {
+        self.pending.remove(&id.0).is_some()
+    }
+
+    /// The earliest pending due time, for event-loop integration.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.pending.values().map(|&(t, _)| t).min()
+    }
+
+    /// Fire every alarm due at or before `now`; returns `(id, pid)` pairs
+    /// in id order (deterministic).
+    pub fn fire_due(&mut self, now: SimTime) -> Vec<(AlarmId, u32)> {
+        let due: Vec<u64> =
+            self.pending.iter().filter(|(_, &(t, _))| t <= now).map(|(&id, _)| id).collect();
+        let mut out = Vec::with_capacity(due.len());
+        for id in due {
+            let (_, pid) = self.pending.remove(&id).expect("id came from pending");
+            self.fired += 1;
+            out.push((AlarmId(id), pid));
+        }
+        out
+    }
+
+    /// Number of alarms still pending.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total alarms fired over the driver's lifetime.
+    pub fn fired_count(&self) -> u64 {
+        self.fired
+    }
+
+    /// Drop all alarms owned by `pid` (process exit).
+    pub fn reap_process(&mut self, pid: u32) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|_, &mut (_, owner)| owner != pid);
+        before - self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_fire_in_order() {
+        let mut d = AlarmDriver::new();
+        let a = d.set(1, SimTime::from_secs(5));
+        let b = d.set(2, SimTime::from_secs(3));
+        assert_eq!(d.next_due(), Some(SimTime::from_secs(3)));
+        let fired = d.fire_due(SimTime::from_secs(4));
+        assert_eq!(fired, vec![(b, 2)]);
+        assert_eq!(d.pending_count(), 1);
+        let fired = d.fire_due(SimTime::from_secs(10));
+        assert_eq!(fired, vec![(a, 1)]);
+        assert_eq!(d.fired_count(), 2);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut d = AlarmDriver::new();
+        let a = d.set(1, SimTime::from_secs(1));
+        assert!(d.cancel(a));
+        assert!(!d.cancel(a));
+        assert!(d.fire_due(SimTime::from_secs(2)).is_empty());
+    }
+
+    #[test]
+    fn reap_drops_only_owner() {
+        let mut d = AlarmDriver::new();
+        d.set(1, SimTime::from_secs(1));
+        d.set(1, SimTime::from_secs(2));
+        d.set(2, SimTime::from_secs(3));
+        assert_eq!(d.reap_process(1), 2);
+        assert_eq!(d.pending_count(), 1);
+    }
+
+    #[test]
+    fn fire_due_same_instant_is_deterministic() {
+        let mut d = AlarmDriver::new();
+        let t = SimTime::from_secs(1);
+        let ids: Vec<_> = (0..5).map(|pid| d.set(pid, t)).collect();
+        let fired = d.fire_due(t);
+        assert_eq!(fired.iter().map(|&(id, _)| id).collect::<Vec<_>>(), ids);
+    }
+}

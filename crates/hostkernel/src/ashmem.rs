@@ -1,0 +1,179 @@
+//! `/dev/ashmem` driver state — anonymous shared memory regions.
+
+use crate::error::{KernelError, KernelResult};
+use std::collections::BTreeMap;
+
+/// Identifier of an ashmem region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AshmemId(pub u64);
+
+#[derive(Debug)]
+struct Region {
+    name: String,
+    size: u64,
+    owner_pid: u32,
+    pinned: bool,
+}
+
+/// One namespace's ashmem instance with a total-size budget.
+#[derive(Debug)]
+pub struct AshmemDriver {
+    regions: BTreeMap<u64, Region>,
+    next_id: u64,
+    budget_bytes: u64,
+    used_bytes: u64,
+}
+
+impl AshmemDriver {
+    /// A driver instance with `budget_bytes` of backing memory.
+    pub fn new(budget_bytes: u64) -> Self {
+        AshmemDriver { regions: BTreeMap::new(), next_id: 0, budget_bytes, used_bytes: 0 }
+    }
+
+    /// Create a named region of `size` bytes for `owner_pid`.
+    pub fn create(&mut self, name: &str, size: u64, owner_pid: u32) -> KernelResult<AshmemId> {
+        if self.used_bytes + size > self.budget_bytes {
+            return Err(KernelError::OutOfMemory { requested: size });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.regions
+            .insert(id, Region { name: name.to_string(), size, owner_pid, pinned: true });
+        self.used_bytes += size;
+        Ok(AshmemId(id))
+    }
+
+    /// Unpin a region, making it reclaimable under memory pressure.
+    pub fn unpin(&mut self, id: AshmemId) -> KernelResult<()> {
+        match self.regions.get_mut(&id.0) {
+            Some(r) => {
+                r.pinned = false;
+                Ok(())
+            }
+            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+        }
+    }
+
+    /// Re-pin a region; fails if it was already reclaimed.
+    pub fn pin(&mut self, id: AshmemId) -> KernelResult<()> {
+        match self.regions.get_mut(&id.0) {
+            Some(r) => {
+                r.pinned = true;
+                Ok(())
+            }
+            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+        }
+    }
+
+    /// Reclaim unpinned regions until at least `needed` bytes are free,
+    /// oldest first. Returns bytes actually reclaimed.
+    pub fn shrink(&mut self, needed: u64) -> u64 {
+        let mut reclaimed = 0;
+        let victims: Vec<u64> = self
+            .regions
+            .iter()
+            .filter(|(_, r)| !r.pinned)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            if reclaimed >= needed {
+                break;
+            }
+            let r = self.regions.remove(&id).expect("victim exists");
+            self.used_bytes -= r.size;
+            reclaimed += r.size;
+        }
+        reclaimed
+    }
+
+    /// Destroy a region explicitly.
+    pub fn destroy(&mut self, id: AshmemId) -> KernelResult<()> {
+        match self.regions.remove(&id.0) {
+            Some(r) => {
+                self.used_bytes -= r.size;
+                Ok(())
+            }
+            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+        }
+    }
+
+    /// Drop every region owned by `pid`; returns bytes freed.
+    pub fn reap_process(&mut self, pid: u32) -> u64 {
+        let victims: Vec<u64> = self
+            .regions
+            .iter()
+            .filter(|(_, r)| r.owner_pid == pid)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut freed = 0;
+        for id in victims {
+            let r = self.regions.remove(&id).expect("victim exists");
+            self.used_bytes -= r.size;
+            freed += r.size;
+        }
+        freed
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Name of a region (for diagnostics).
+    pub fn name_of(&self, id: AshmemId) -> Option<&str> {
+        self.regions.get(&id.0).map(|r| r.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_within_budget() {
+        let mut a = AshmemDriver::new(1024);
+        let id = a.create("dalvik-heap", 512, 1).unwrap();
+        assert_eq!(a.used_bytes(), 512);
+        assert_eq!(a.name_of(id), Some("dalvik-heap"));
+        let err = a.create("too-big", 1024, 1).unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { requested: 1024 }));
+    }
+
+    #[test]
+    fn destroy_frees_budget() {
+        let mut a = AshmemDriver::new(1024);
+        let id = a.create("r", 1000, 1).unwrap();
+        a.destroy(id).unwrap();
+        assert_eq!(a.used_bytes(), 0);
+        assert!(a.destroy(id).is_err());
+        assert!(a.create("r2", 1024, 1).is_ok());
+    }
+
+    #[test]
+    fn shrink_reclaims_only_unpinned() {
+        let mut a = AshmemDriver::new(4096);
+        let pinned = a.create("pinned", 1024, 1).unwrap();
+        let loose = a.create("loose", 1024, 1).unwrap();
+        a.unpin(loose).unwrap();
+        assert_eq!(a.shrink(512), 1024);
+        assert_eq!(a.region_count(), 1);
+        assert!(a.pin(pinned).is_ok());
+        assert!(a.pin(loose).is_err(), "reclaimed region cannot be re-pinned");
+    }
+
+    #[test]
+    fn reap_frees_owner_regions() {
+        let mut a = AshmemDriver::new(4096);
+        a.create("a", 100, 1).unwrap();
+        a.create("b", 200, 1).unwrap();
+        a.create("c", 300, 2).unwrap();
+        assert_eq!(a.reap_process(1), 300);
+        assert_eq!(a.used_bytes(), 300);
+        assert_eq!(a.region_count(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Pseudo-device nodes and per-namespace driver state.
+//!
+//! Android's kernel additions are *pseudo* drivers — no physical device
+//! behind them — which is what makes the Android Container Driver
+//! portable across hardware (§IV-B1). Each [`DeviceKind`] appears as a
+//! `/dev` node inside a container once its module is loaded, and the
+//! device-namespace framework (from Cells, adapted to the cloud in
+//! Rattrap) gives every container an isolated instance of the driver
+//! state while sharing the single loaded module.
+
+/// The Android pseudo devices Rattrap multiplexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// `/dev/binder` — Android's IPC transport.
+    Binder,
+    /// `/dev/alarm` — RTC-based alarms for timer messages.
+    Alarm,
+    /// `/dev/log/*` — lightweight RAM log buffers.
+    Logger,
+    /// `/dev/ashmem` — anonymous shared memory.
+    Ashmem,
+    /// `/dev/sw_sync` — software sync timelines (graphics fences).
+    SwSync,
+}
+
+impl DeviceKind {
+    /// The `/dev` path of the node.
+    pub const fn dev_path(self) -> &'static str {
+        match self {
+            DeviceKind::Binder => "/dev/binder",
+            DeviceKind::Alarm => "/dev/alarm",
+            DeviceKind::Logger => "/dev/log/main",
+            DeviceKind::Ashmem => "/dev/ashmem",
+            DeviceKind::SwSync => "/dev/sw_sync",
+        }
+    }
+
+    /// All device kinds, in deterministic order.
+    pub const ALL: [DeviceKind; 5] = [
+        DeviceKind::Binder,
+        DeviceKind::Alarm,
+        DeviceKind::Logger,
+        DeviceKind::Ashmem,
+        DeviceKind::SwSync,
+    ];
+}
+
+/// An open handle to a device inside one namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceHandle {
+    /// Which device this handle refers to.
+    pub kind: DeviceKind,
+    /// The namespace whose driver instance backs the handle.
+    pub namespace: u32,
+    /// File-descriptor-like identifier, unique per (namespace, kind).
+    pub fd: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_paths_are_distinct() {
+        let mut paths: Vec<&str> = DeviceKind::ALL.iter().map(|k| k.dev_path()).collect();
+        paths.sort_unstable();
+        paths.dedup();
+        assert_eq!(paths.len(), DeviceKind::ALL.len());
+    }
+
+    #[test]
+    fn binder_path_matches_android() {
+        assert_eq!(DeviceKind::Binder.dev_path(), "/dev/binder");
+    }
+}

@@ -1,0 +1,394 @@
+//! The host kernel: module loading, device namespaces, processes,
+//! cgroups, and the driver instances behind each namespace's `/dev`.
+//!
+//! This is the "general purpose server OS" of the paper, extended at
+//! runtime by the Android Container Driver. The two properties the
+//! evaluation leans on are modelled exactly:
+//!
+//! 1. **Dynamic extension** — Android syscalls return `ENODEV` until the
+//!    corresponding module is loaded; loading takes milliseconds and no
+//!    reboot; unloading reclaims kernel memory but is refused while any
+//!    container still references the module (`EBUSY`).
+//! 2. **Device-namespace multiplexing** — every container namespace gets
+//!    a private instance of each driver's state while sharing the single
+//!    loaded module, the Cells mechanism adapted to the cloud (§IV-B1).
+
+use crate::alarm::AlarmDriver;
+use crate::ashmem::AshmemDriver;
+use crate::binder::BinderContext;
+use crate::cgroup::CgroupManager;
+use crate::device::{DeviceHandle, DeviceKind};
+use crate::error::{KernelError, KernelResult};
+use crate::logger::LoggerDriver;
+use crate::module::{module_by_name, ModuleSpec, ANDROID_CONTAINER_DRIVER};
+use crate::process::ProcessTable;
+use simkit::SimDuration;
+use std::collections::BTreeMap;
+
+/// Static description of the host machine (§V: 2 × 6-core Xeon X5650).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// Physical cores.
+    pub cores: u32,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Installed DRAM, bytes.
+    pub memory_bytes: u64,
+    /// HDD sequential bandwidth, bytes/s.
+    pub disk_bandwidth: f64,
+}
+
+impl HostSpec {
+    /// The paper's evaluation server: 2 × six-core Xeon X5650 2.66 GHz,
+    /// 16 GB DRAM, 300 GB HDD (§V). HDD bandwidth ~120 MB/s sequential.
+    pub fn paper_server() -> Self {
+        HostSpec {
+            cores: 12,
+            clock_ghz: 2.66,
+            memory_bytes: 16 * 1024 * 1024 * 1024,
+            disk_bandwidth: 120.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LoadedModule {
+    spec: &'static ModuleSpec,
+    /// References held by containers (module_get/module_put).
+    refs: u32,
+}
+
+/// Per-namespace driver instances, created lazily on first open.
+#[derive(Debug, Default)]
+struct NamespaceState {
+    binder: Option<BinderContext>,
+    alarm: Option<AlarmDriver>,
+    logger: Option<LoggerDriver>,
+    ashmem: Option<AshmemDriver>,
+    next_fd: u32,
+}
+
+/// The simulated host kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    host: HostSpec,
+    modules: BTreeMap<&'static str, LoadedModule>,
+    namespaces: BTreeMap<u32, NamespaceState>,
+    next_ns: u32,
+    /// Global process table.
+    pub processes: ProcessTable,
+    /// Cgroup hierarchy.
+    pub cgroups: CgroupManager,
+    kernel_memory: u64,
+}
+
+/// Default ashmem budget per namespace: half the container allocation is
+/// a generous ceiling for offloading workloads.
+const ASHMEM_BUDGET: u64 = 64 * 1024 * 1024;
+
+impl Kernel {
+    /// Boot a kernel on `host`. The host namespace (id 0) exists from
+    /// the start.
+    pub fn new(host: HostSpec) -> Self {
+        let mut namespaces = BTreeMap::new();
+        namespaces.insert(0, NamespaceState::default());
+        Kernel {
+            host,
+            modules: BTreeMap::new(),
+            namespaces,
+            next_ns: 1,
+            processes: ProcessTable::new(),
+            cgroups: CgroupManager::new(),
+            kernel_memory: 0,
+        }
+    }
+
+    /// Host machine description.
+    pub fn host(&self) -> HostSpec {
+        self.host
+    }
+
+    /// Kernel memory consumed by loaded modules.
+    pub fn kernel_memory(&self) -> u64 {
+        self.kernel_memory
+    }
+
+    // ---- modules -------------------------------------------------------
+
+    /// `insmod name`. Returns the simulated load latency; loading an
+    /// already-loaded module is a no-op costing zero time.
+    pub fn load_module(&mut self, name: &str) -> KernelResult<SimDuration> {
+        let spec = module_by_name(name)
+            .ok_or_else(|| KernelError::NotFound { what: format!("module {name}") })?;
+        if self.modules.contains_key(spec.name) {
+            return Ok(SimDuration::ZERO);
+        }
+        self.modules.insert(spec.name, LoadedModule { spec, refs: 0 });
+        self.kernel_memory += spec.kernel_memory_bytes;
+        Ok(spec.load_time)
+    }
+
+    /// Load the entire Android Container Driver package; returns total
+    /// `insmod` latency for modules that were not already resident.
+    pub fn load_android_container_driver(&mut self) -> SimDuration {
+        ANDROID_CONTAINER_DRIVER.iter().fold(SimDuration::ZERO, |acc, m| {
+            acc + self.load_module(m.name).expect("package modules are known")
+        })
+    }
+
+    /// `rmmod name`. Fails with `EBUSY` while containers hold references.
+    pub fn unload_module(&mut self, name: &str) -> KernelResult<()> {
+        let m = self
+            .modules
+            .get(name)
+            .ok_or_else(|| KernelError::NotFound { what: format!("module {name}") })?;
+        if m.refs > 0 {
+            return Err(KernelError::Busy { holder: format!("{} containers", m.refs) });
+        }
+        let m = self.modules.remove(name).expect("checked above");
+        self.kernel_memory -= m.spec.kernel_memory_bytes;
+        Ok(())
+    }
+
+    /// Is a module currently resident?
+    pub fn module_loaded(&self, name: &str) -> bool {
+        self.modules.contains_key(name)
+    }
+
+    /// Take a reference on every package module (container start).
+    pub fn module_get_package(&mut self) -> KernelResult<()> {
+        for spec in ANDROID_CONTAINER_DRIVER {
+            match self.modules.get_mut(spec.name) {
+                Some(m) => m.refs += 1,
+                None => {
+                    // Roll back references taken so far to stay consistent.
+                    for prev in ANDROID_CONTAINER_DRIVER {
+                        if prev.name == spec.name {
+                            break;
+                        }
+                        self.modules.get_mut(prev.name).expect("was just incremented").refs -= 1;
+                    }
+                    return Err(KernelError::NoSuchDevice { device: spec.provides[0].dev_path() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop the package reference (container stop).
+    pub fn module_put_package(&mut self) {
+        for spec in ANDROID_CONTAINER_DRIVER {
+            if let Some(m) = self.modules.get_mut(spec.name) {
+                m.refs = m.refs.saturating_sub(1);
+            }
+        }
+    }
+
+    // ---- namespaces ----------------------------------------------------
+
+    /// Create a fresh device namespace (one per container).
+    pub fn create_namespace(&mut self) -> u32 {
+        let ns = self.next_ns;
+        self.next_ns += 1;
+        self.namespaces.insert(ns, NamespaceState::default());
+        ns
+    }
+
+    /// Tear a namespace down: kill its processes and drop driver state.
+    pub fn destroy_namespace(&mut self, ns: u32) -> KernelResult<()> {
+        if ns == 0 {
+            return Err(KernelError::NotPermitted { reason: "cannot destroy host namespace".into() });
+        }
+        self.namespaces
+            .remove(&ns)
+            .ok_or(KernelError::NoSuchNamespace { ns })?;
+        self.processes.kill_namespace(ns);
+        Ok(())
+    }
+
+    /// Does the namespace exist?
+    pub fn namespace_exists(&self, ns: u32) -> bool {
+        self.namespaces.contains_key(&ns)
+    }
+
+    /// Number of live namespaces (including the host's).
+    pub fn namespace_count(&self) -> usize {
+        self.namespaces.len()
+    }
+
+    // ---- devices -------------------------------------------------------
+
+    /// Open a device node inside `ns`. Returns `ENODEV` unless the
+    /// providing module is loaded; instantiates per-namespace driver
+    /// state on first open.
+    pub fn open_device(&mut self, ns: u32, kind: DeviceKind) -> KernelResult<DeviceHandle> {
+        let module = crate::module::module_providing(kind).expect("every kind has a module");
+        if !self.modules.contains_key(module.name) {
+            return Err(KernelError::NoSuchDevice { device: kind.dev_path() });
+        }
+        let state = self
+            .namespaces
+            .get_mut(&ns)
+            .ok_or(KernelError::NoSuchNamespace { ns })?;
+        match kind {
+            DeviceKind::Binder => {
+                state.binder.get_or_insert_with(BinderContext::new);
+            }
+            DeviceKind::Alarm => {
+                state.alarm.get_or_insert_with(AlarmDriver::new);
+            }
+            DeviceKind::Logger => {
+                state.logger.get_or_insert_with(LoggerDriver::default);
+            }
+            DeviceKind::Ashmem => {
+                state.ashmem.get_or_insert_with(|| AshmemDriver::new(ASHMEM_BUDGET));
+            }
+            DeviceKind::SwSync => {} // stateless in this model
+        }
+        let fd = state.next_fd;
+        state.next_fd += 1;
+        Ok(DeviceHandle { kind, namespace: ns, fd })
+    }
+
+    fn ns_state(&mut self, ns: u32) -> KernelResult<&mut NamespaceState> {
+        self.namespaces.get_mut(&ns).ok_or(KernelError::NoSuchNamespace { ns })
+    }
+
+    /// The namespace's binder context (must have been opened).
+    pub fn binder_mut(&mut self, ns: u32) -> KernelResult<&mut BinderContext> {
+        self.ns_state(ns)?
+            .binder
+            .as_mut()
+            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Binder.dev_path() })
+    }
+
+    /// The namespace's alarm driver (must have been opened).
+    pub fn alarm_mut(&mut self, ns: u32) -> KernelResult<&mut AlarmDriver> {
+        self.ns_state(ns)?
+            .alarm
+            .as_mut()
+            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Alarm.dev_path() })
+    }
+
+    /// The namespace's logger (must have been opened).
+    pub fn logger_mut(&mut self, ns: u32) -> KernelResult<&mut LoggerDriver> {
+        self.ns_state(ns)?
+            .logger
+            .as_mut()
+            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Logger.dev_path() })
+    }
+
+    /// The namespace's ashmem driver (must have been opened).
+    pub fn ashmem_mut(&mut self, ns: u32) -> KernelResult<&mut AshmemDriver> {
+        self.ns_state(ns)?
+            .ashmem
+            .as_mut()
+            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Ashmem.dev_path() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(HostSpec::paper_server())
+    }
+
+    #[test]
+    fn device_requires_module() {
+        let mut k = kernel();
+        let ns = k.create_namespace();
+        // Binder before insmod: ENODEV — the exact failure the Android
+        // Container Driver exists to prevent.
+        let err = k.open_device(ns, DeviceKind::Binder).unwrap_err();
+        assert_eq!(err, KernelError::NoSuchDevice { device: "/dev/binder" });
+        k.load_module("android_binder.ko").unwrap();
+        assert!(k.open_device(ns, DeviceKind::Binder).is_ok());
+    }
+
+    #[test]
+    fn module_load_is_idempotent_and_accounted() {
+        let mut k = kernel();
+        let t1 = k.load_module("ashmem.ko").unwrap();
+        assert!(t1 > SimDuration::ZERO);
+        let mem = k.kernel_memory();
+        assert!(mem > 0);
+        let t2 = k.load_module("ashmem.ko").unwrap();
+        assert_eq!(t2, SimDuration::ZERO);
+        assert_eq!(k.kernel_memory(), mem, "no double charge");
+    }
+
+    #[test]
+    fn unload_respects_references() {
+        let mut k = kernel();
+        k.load_android_container_driver();
+        k.module_get_package().unwrap();
+        let err = k.unload_module("android_binder.ko").unwrap_err();
+        assert!(matches!(err, KernelError::Busy { .. }));
+        k.module_put_package();
+        k.unload_module("android_binder.ko").unwrap();
+        assert!(!k.module_loaded("android_binder.ko"));
+        assert!(k.kernel_memory() < crate::module::total_package_memory());
+    }
+
+    #[test]
+    fn module_get_fails_atomically_when_package_incomplete() {
+        let mut k = kernel();
+        k.load_module("android_binder.ko").unwrap();
+        // Package incomplete: get must fail and leave zero references so
+        // the loaded module can still be unloaded.
+        assert!(k.module_get_package().is_err());
+        assert!(k.unload_module("android_binder.ko").is_ok());
+    }
+
+    #[test]
+    fn namespaces_isolate_binder_state() {
+        let mut k = kernel();
+        k.load_android_container_driver();
+        let a = k.create_namespace();
+        let b = k.create_namespace();
+        k.open_device(a, DeviceKind::Binder).unwrap();
+        k.open_device(b, DeviceKind::Binder).unwrap();
+        k.binder_mut(a).unwrap().register_service("activity", 10).unwrap();
+        // Namespace b sees no such service: isolation via device namespaces.
+        assert!(k.binder_mut(b).unwrap().lookup("activity").is_none());
+        assert!(k.binder_mut(a).unwrap().lookup("activity").is_some());
+    }
+
+    #[test]
+    fn destroy_namespace_kills_processes() {
+        let mut k = kernel();
+        let ns = k.create_namespace();
+        let init = k.processes.spawn(ns, "/init", 0);
+        k.processes.fork(init, "zygote").unwrap();
+        assert_eq!(k.processes.len(), 2);
+        k.destroy_namespace(ns).unwrap();
+        assert_eq!(k.processes.len(), 0);
+        assert!(!k.namespace_exists(ns));
+        assert!(k.destroy_namespace(ns).is_err());
+    }
+
+    #[test]
+    fn host_namespace_is_protected() {
+        let mut k = kernel();
+        assert!(matches!(k.destroy_namespace(0), Err(KernelError::NotPermitted { .. })));
+    }
+
+    #[test]
+    fn paper_server_spec() {
+        let h = HostSpec::paper_server();
+        assert_eq!(h.cores, 12);
+        assert!((h.clock_ghz - 2.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_driver_package_loads_quickly() {
+        let mut k = kernel();
+        let t = k.load_android_container_driver();
+        assert!(t < SimDuration::from_millis(200));
+        assert_eq!(k.kernel_memory(), crate::module::total_package_memory());
+        // Second call is free.
+        assert_eq!(k.load_android_container_driver(), SimDuration::ZERO);
+    }
+}

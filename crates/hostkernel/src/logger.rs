@@ -1,0 +1,158 @@
+//! `/dev/log/*` driver state — Android's lightweight RAM ring-buffer log.
+
+use std::collections::VecDeque;
+
+/// A single log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Priority (2 = verbose … 7 = fatal, as in Android's `android_LogPriority`).
+    pub priority: u8,
+    /// Log tag.
+    pub tag: String,
+    /// Message body.
+    pub message: String,
+    /// Writing pid.
+    pub pid: u32,
+}
+
+impl LogRecord {
+    fn size_bytes(&self) -> usize {
+        // header (priority + pid + lengths) + payload, matching the
+        // logger_entry layout closely enough for capacity accounting.
+        20 + self.tag.len() + self.message.len()
+    }
+}
+
+/// One namespace's ring-buffer logger instance.
+#[derive(Debug)]
+pub struct LoggerDriver {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    records: VecDeque<LogRecord>,
+    /// Records evicted by ring wrap-around.
+    dropped: u64,
+    /// Total records ever written.
+    written: u64,
+}
+
+impl LoggerDriver {
+    /// Android's default main buffer is 256 KiB.
+    pub const DEFAULT_CAPACITY: usize = 256 * 1024;
+
+    /// A logger with the given ring capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "logger capacity must be positive");
+        LoggerDriver {
+            capacity_bytes,
+            used_bytes: 0,
+            records: VecDeque::new(),
+            dropped: 0,
+            written: 0,
+        }
+    }
+
+    /// Write a record, evicting the oldest entries if the ring is full.
+    pub fn write(&mut self, record: LogRecord) {
+        let size = record.size_bytes();
+        // Records bigger than the whole ring are truncated to fit in
+        // spirit; we simply account them at capacity.
+        let size = size.min(self.capacity_bytes);
+        while self.used_bytes + size > self.capacity_bytes {
+            let old = self.records.pop_front().expect("used > 0 implies records");
+            self.used_bytes -= old.size_bytes().min(self.capacity_bytes);
+            self.dropped += 1;
+        }
+        self.used_bytes += size;
+        self.records.push_back(record);
+        self.written += 1;
+    }
+
+    /// Read the most recent `n` records (oldest first), like `logcat -t n`.
+    pub fn tail(&self, n: usize) -> Vec<&LogRecord> {
+        let start = self.records.len().saturating_sub(n);
+        self.records.iter().skip(start).collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Records lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records written over the driver's lifetime.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl Default for LoggerDriver {
+    fn default() -> Self {
+        LoggerDriver::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tag: &str, msg: &str) -> LogRecord {
+        LogRecord { priority: 4, tag: tag.into(), message: msg.into(), pid: 1 }
+    }
+
+    #[test]
+    fn write_and_tail() {
+        let mut log = LoggerDriver::default();
+        log.write(rec("zygote", "boot"));
+        log.write(rec("system_server", "ready"));
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].tag, "zygote");
+        assert_eq!(tail[1].tag, "system_server");
+        assert_eq!(log.tail(1)[0].tag, "system_server");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        // Tiny ring: each record is 20 + 1 + 1 = 22 bytes.
+        let mut log = LoggerDriver::new(50);
+        log.write(rec("a", "1"));
+        log.write(rec("b", "2"));
+        assert_eq!(log.len(), 2);
+        log.write(rec("c", "3")); // would exceed 50 → evicts "a"
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.tail(10)[0].tag, "b");
+        assert_eq!(log.written(), 3);
+    }
+
+    #[test]
+    fn oversized_record_fits_alone() {
+        let mut log = LoggerDriver::new(32);
+        log.write(LogRecord { priority: 6, tag: "t".into(), message: "x".repeat(1000), pid: 1 });
+        assert_eq!(log.len(), 1);
+        assert!(log.used_bytes() <= 32);
+    }
+
+    #[test]
+    fn used_bytes_never_exceeds_capacity() {
+        let mut log = LoggerDriver::new(200);
+        for i in 0..100 {
+            log.write(rec("tag", &format!("message number {i}")));
+            assert!(log.used_bytes() <= 200);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Android-specific syscall surface.
+//!
+//! Mobile code inside a Cloud Android Container "is able to make
+//! Android-specific system calls" once the kernel is extended (§IV-B1).
+//! This module is that surface: a typed syscall enum dispatched against
+//! the calling process's device namespace. It is what the `virt` and
+//! `rattrap` crates drive when simulated Android processes run.
+
+use crate::alarm::AlarmId;
+use crate::ashmem::AshmemId;
+use crate::binder::BinderHandle;
+use crate::device::DeviceKind;
+use crate::error::KernelResult;
+use crate::kernel::Kernel;
+use simkit::SimTime;
+
+/// The Android syscalls the offloading path exercises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Syscall {
+    /// Open one of the Android pseudo devices.
+    OpenDevice(DeviceKind),
+    /// Publish a binder service (ServiceManager `addService`).
+    BinderRegister {
+        /// Service name, e.g. `"activity"`.
+        service: String,
+    },
+    /// Synchronous binder transaction.
+    BinderTransact {
+        /// Target service.
+        service: String,
+        /// Payload size in bytes.
+        payload_bytes: u64,
+    },
+    /// Asynchronous (one-way) binder transaction.
+    BinderTransactOneway {
+        /// Target service.
+        service: String,
+        /// Payload size in bytes.
+        payload_bytes: u64,
+    },
+    /// Subscribe to a service's death (`linkToDeath`).
+    BinderLinkToDeath {
+        /// Service to watch.
+        service: String,
+    },
+    /// Arm an RTC alarm.
+    AlarmSet {
+        /// Absolute due time.
+        due: SimTime,
+    },
+    /// Disarm an alarm.
+    AlarmCancel {
+        /// Alarm to cancel.
+        id: AlarmId,
+    },
+    /// Append to the RAM log.
+    LogWrite {
+        /// Priority (2–7).
+        priority: u8,
+        /// Log tag.
+        tag: String,
+        /// Message body.
+        message: String,
+    },
+    /// Create an anonymous shared-memory region.
+    AshmemCreate {
+        /// Region name.
+        name: String,
+        /// Region size, bytes.
+        size: u64,
+    },
+    /// Fork the calling process (Zygote specialization).
+    Fork {
+        /// Name for the child.
+        child_name: String,
+    },
+    /// Exit the calling process.
+    Exit,
+}
+
+/// Successful syscall results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyscallRet {
+    /// No interesting return value.
+    Unit,
+    /// A new pid (from `Fork`).
+    Pid(u32),
+    /// A binder service handle.
+    Binder(BinderHandle),
+    /// The pid that serviced a transaction.
+    ServedBy(u32),
+    /// An armed alarm.
+    Alarm(AlarmId),
+    /// A new ashmem region.
+    Ashmem(AshmemId),
+    /// An opened device fd.
+    Fd(u32),
+}
+
+impl Kernel {
+    /// Dispatch `call` on behalf of `pid`, routing device access through
+    /// the process's namespace.
+    pub fn syscall(&mut self, pid: u32, call: Syscall) -> KernelResult<SyscallRet> {
+        let ns = self.processes.get(pid)?.namespace;
+        match call {
+            Syscall::OpenDevice(kind) => {
+                let h = self.open_device(ns, kind)?;
+                Ok(SyscallRet::Fd(h.fd))
+            }
+            Syscall::BinderRegister { service } => {
+                let h = self.binder_mut(ns)?.register_service(&service, pid)?;
+                Ok(SyscallRet::Binder(h))
+            }
+            Syscall::BinderTransact { service, payload_bytes } => {
+                let served = self.binder_mut(ns)?.transact(&service, payload_bytes)?;
+                Ok(SyscallRet::ServedBy(served))
+            }
+            Syscall::BinderTransactOneway { service, payload_bytes } => {
+                self.binder_mut(ns)?.transact_oneway(pid, &service, payload_bytes)?;
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::BinderLinkToDeath { service } => {
+                self.binder_mut(ns)?.link_to_death(pid, &service)?;
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::AlarmSet { due } => {
+                let id = self.alarm_mut(ns)?.set(pid, due);
+                Ok(SyscallRet::Alarm(id))
+            }
+            Syscall::AlarmCancel { id } => {
+                self.alarm_mut(ns)?.cancel(id);
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::LogWrite { priority, tag, message } => {
+                self.logger_mut(ns)?.write(crate::logger::LogRecord {
+                    priority,
+                    tag,
+                    message,
+                    pid,
+                });
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::AshmemCreate { name, size } => {
+                let id = self.ashmem_mut(ns)?.create(&name, size, pid)?;
+                Ok(SyscallRet::Ashmem(id))
+            }
+            Syscall::Fork { child_name } => {
+                let child = self.processes.fork(pid, &child_name)?;
+                Ok(SyscallRet::Pid(child))
+            }
+            Syscall::Exit => {
+                // Clean up driver state owned by the process, then zombify.
+                if let Ok(b) = self.binder_mut(ns) {
+                    b.reap_process(pid);
+                }
+                if let Ok(a) = self.alarm_mut(ns) {
+                    a.reap_process(pid);
+                }
+                if let Ok(m) = self.ashmem_mut(ns) {
+                    m.reap_process(pid);
+                }
+                self.processes.exit(pid)?;
+                Ok(SyscallRet::Unit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::KernelError;
+    use crate::kernel::HostSpec;
+
+    /// Boot a kernel with the driver package loaded and a container
+    /// namespace holding an init process.
+    fn booted() -> (Kernel, u32, u32) {
+        let mut k = Kernel::new(HostSpec::paper_server());
+        k.load_android_container_driver();
+        let ns = k.create_namespace();
+        let init = k.processes.spawn(ns, "/init", 0);
+        (k, ns, init)
+    }
+
+    #[test]
+    fn android_boot_sequence_via_syscalls() {
+        // The user-space boot of §IV-B2 expressed as syscalls: init opens
+        // devices, forks zygote, zygote registers core services.
+        let (mut k, _ns, init) = booted();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder)).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger)).unwrap();
+        let SyscallRet::Pid(zygote) =
+            k.syscall(init, Syscall::Fork { child_name: "zygote".into() }).unwrap()
+        else {
+            panic!("fork returns pid")
+        };
+        let SyscallRet::Pid(system_server) =
+            k.syscall(zygote, Syscall::Fork { child_name: "system_server".into() }).unwrap()
+        else {
+            panic!("fork returns pid")
+        };
+        k.syscall(system_server, Syscall::BinderRegister { service: "activity".into() }).unwrap();
+        k.syscall(system_server, Syscall::BinderRegister { service: "package".into() }).unwrap();
+        // An app process can now transact with the activity manager.
+        let SyscallRet::Pid(app) =
+            k.syscall(zygote, Syscall::Fork { child_name: "com.bench.ocr".into() }).unwrap()
+        else {
+            panic!("fork returns pid")
+        };
+        let r = k
+            .syscall(app, Syscall::BinderTransact { service: "activity".into(), payload_bytes: 128 })
+            .unwrap();
+        assert_eq!(r, SyscallRet::ServedBy(system_server));
+    }
+
+    #[test]
+    fn syscalls_fail_without_driver_modules() {
+        let mut k = Kernel::new(HostSpec::paper_server());
+        let ns = k.create_namespace();
+        let p = k.processes.spawn(ns, "app", 0);
+        let err = k.syscall(p, Syscall::OpenDevice(DeviceKind::Binder)).unwrap_err();
+        assert!(matches!(err, KernelError::NoSuchDevice { .. }));
+    }
+
+    #[test]
+    fn transact_before_open_is_enodev() {
+        let (mut k, _ns, init) = booted();
+        let err = k
+            .syscall(init, Syscall::BinderTransact { service: "x".into(), payload_bytes: 1 })
+            .unwrap_err();
+        assert!(matches!(err, KernelError::NoSuchDevice { .. }));
+    }
+
+    #[test]
+    fn alarm_set_and_log_write() {
+        let (mut k, ns, init) = booted();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm)).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger)).unwrap();
+        k.syscall(init, Syscall::AlarmSet { due: SimTime::from_secs(60) }).unwrap();
+        k.syscall(
+            init,
+            Syscall::LogWrite { priority: 4, tag: "init".into(), message: "boot done".into() },
+        )
+        .unwrap();
+        assert_eq!(k.alarm_mut(ns).unwrap().pending_count(), 1);
+        assert_eq!(k.logger_mut(ns).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn exit_reaps_driver_state() {
+        let (mut k, ns, init) = booted();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder)).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm)).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem)).unwrap();
+        let SyscallRet::Pid(svc) =
+            k.syscall(init, Syscall::Fork { child_name: "service".into() }).unwrap()
+        else {
+            panic!()
+        };
+        k.syscall(svc, Syscall::BinderRegister { service: "media".into() }).unwrap();
+        k.syscall(svc, Syscall::AlarmSet { due: SimTime::from_secs(5) }).unwrap();
+        k.syscall(svc, Syscall::AshmemCreate { name: "buf".into(), size: 4096 }).unwrap();
+        k.syscall(svc, Syscall::Exit).unwrap();
+        assert!(k.binder_mut(ns).unwrap().lookup("media").is_none());
+        assert_eq!(k.alarm_mut(ns).unwrap().pending_count(), 0);
+        assert_eq!(k.ashmem_mut(ns).unwrap().used_bytes(), 0);
+    }
+
+    #[test]
+    fn ashmem_budget_enforced_via_syscall() {
+        let (mut k, _ns, init) = booted();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem)).unwrap();
+        let err = k
+            .syscall(
+                init,
+                Syscall::AshmemCreate { name: "huge".into(), size: 1 << 40 },
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+    }
+}

@@ -1,0 +1,16 @@
+//! # netsim — mobile ↔ cloud network scenarios
+//!
+//! The four network environments of the paper's evaluation (§VI-A) —
+//! LAN WiFi, WAN WiFi, 4G and 3G — with the paper's measured cellular
+//! bandwidths, plus a stateful [`Link`] model producing connection and
+//! transfer times for the Network Connection and Data Transfer phases
+//! of an offloading request (§III-B).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod link;
+pub mod scenario;
+
+pub use link::Link;
+pub use scenario::{Direction, LinkParams, NetworkScenario};

@@ -1,0 +1,154 @@
+//! The four network scenarios of the evaluation (§VI-A).
+//!
+//! Bandwidths for 3G and 4G are the paper's own measurements; WiFi
+//! figures are typical of the 2016-era 802.11n links the testbed used.
+//! "Upstream" is device → cloud (the direction offloading pushes code
+//! and files), "downstream" is cloud → device (results).
+
+use simkit::units::mbps;
+use simkit::SimDuration;
+
+/// A network environment between the mobile device and the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetworkScenario {
+    /// Same-LAN WiFi: stable and fast.
+    LanWifi,
+    /// WAN WiFi through a public IP: ~60 ms latency, stable.
+    WanWifi,
+    /// Cellular 4G: good bandwidth, less stable than WiFi.
+    FourG,
+    /// Cellular 3G: high latency, very limited bandwidth, unstable.
+    ThreeG,
+}
+
+impl NetworkScenario {
+    /// All scenarios in the order the paper's figures list them.
+    pub const ALL: [NetworkScenario; 4] = [
+        NetworkScenario::LanWifi,
+        NetworkScenario::WanWifi,
+        NetworkScenario::FourG,
+        NetworkScenario::ThreeG,
+    ];
+
+    /// Display label used in tables and figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            NetworkScenario::LanWifi => "LAN",
+            NetworkScenario::WanWifi => "WAN",
+            NetworkScenario::FourG => "4G",
+            NetworkScenario::ThreeG => "3G",
+        }
+    }
+
+    /// Is this a cellular (3G/4G) radio, for the power model?
+    pub const fn is_cellular(self) -> bool {
+        matches!(self, NetworkScenario::FourG | NetworkScenario::ThreeG)
+    }
+
+    /// Link parameters for this scenario.
+    pub fn params(self) -> LinkParams {
+        match self {
+            NetworkScenario::LanWifi => LinkParams {
+                rtt: SimDuration::from_millis(2),
+                rtt_jitter_frac: 0.15,
+                upstream_bps: mbps(40.0),
+                downstream_bps: mbps(40.0),
+                loss_rate: 0.001,
+                instability: 0.02,
+            },
+            NetworkScenario::WanWifi => LinkParams {
+                // "WAN WiFi has about 60ms latency" (§VI-A).
+                rtt: SimDuration::from_millis(60),
+                rtt_jitter_frac: 0.2,
+                upstream_bps: mbps(20.0),
+                downstream_bps: mbps(20.0),
+                loss_rate: 0.005,
+                instability: 0.05,
+            },
+            NetworkScenario::FourG => LinkParams {
+                rtt: SimDuration::from_millis(70),
+                rtt_jitter_frac: 0.35,
+                // "upstream bandwidth is 48.97Mbps and downstream
+                // bandwidth is 7.64Mbps" (§VI-A).
+                upstream_bps: mbps(48.97),
+                downstream_bps: mbps(7.64),
+                loss_rate: 0.01,
+                instability: 0.12,
+            },
+            NetworkScenario::ThreeG => LinkParams {
+                rtt: SimDuration::from_millis(250),
+                rtt_jitter_frac: 0.5,
+                // "upstream bandwidth is 0.38Mbps and downstream
+                // bandwidth is 0.09Mbps" (§VI-A).
+                upstream_bps: mbps(0.38),
+                downstream_bps: mbps(0.09),
+                loss_rate: 0.03,
+                instability: 0.25,
+            },
+        }
+    }
+}
+
+/// Physical characteristics of a scenario's link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Median round-trip time.
+    pub rtt: SimDuration,
+    /// RTT jitter as a fraction of the median (log-normal spread).
+    pub rtt_jitter_frac: f64,
+    /// Device → cloud bandwidth, bytes/s.
+    pub upstream_bps: f64,
+    /// Cloud → device bandwidth, bytes/s.
+    pub downstream_bps: f64,
+    /// Packet loss probability (drives TCP retransmission stalls).
+    pub loss_rate: f64,
+    /// Probability that a transfer hits a bandwidth dip ("the change of
+    /// context" the paper notes for cellular links).
+    pub instability: f64,
+}
+
+/// Transfer direction relative to the mobile device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Device → cloud (offloaded code, parameters, files).
+    Upload,
+    /// Cloud → device (results).
+    Download,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_ordering_matches_quality() {
+        // RTT: LAN < WAN < 4G < 3G.
+        let rtts: Vec<_> = NetworkScenario::ALL.iter().map(|s| s.params().rtt).collect();
+        assert!(rtts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_cellular_bandwidths() {
+        let p3 = NetworkScenario::ThreeG.params();
+        assert!((p3.upstream_bps - 47_500.0).abs() < 1.0); // 0.38 Mbps
+        assert!((p3.downstream_bps - 11_250.0).abs() < 1.0); // 0.09 Mbps
+        let p4 = NetworkScenario::FourG.params();
+        assert!((p4.upstream_bps / 125_000.0 - 48.97).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cellular_flag() {
+        assert!(NetworkScenario::ThreeG.is_cellular());
+        assert!(NetworkScenario::FourG.is_cellular());
+        assert!(!NetworkScenario::LanWifi.is_cellular());
+        assert!(!NetworkScenario::WanWifi.is_cellular());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = NetworkScenario::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

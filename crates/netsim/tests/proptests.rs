@@ -1,0 +1,56 @@
+//! Property tests for the network models.
+
+use netsim::{Direction, Link, NetworkScenario};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimRng};
+
+fn scenario_from(i: u8) -> NetworkScenario {
+    NetworkScenario::ALL[i as usize % 4]
+}
+
+proptest! {
+    /// Transfer time is monotone in size for every scenario/direction.
+    #[test]
+    fn transfer_monotone_in_bytes(s in any::<u8>(), a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let link = Link::new(scenario_from(s));
+        let (lo, hi) = (a.min(b), a.max(b));
+        for dir in [Direction::Upload, Direction::Download] {
+            let t_lo = link.expected_transfer_time(lo, dir);
+            let t_hi = link.expected_transfer_time(hi, dir);
+            prop_assert!(t_lo <= t_hi, "{lo} vs {hi} bytes");
+        }
+    }
+
+    /// Sampled transfer times are strictly positive and the sampler is
+    /// deterministic per seed.
+    #[test]
+    fn transfers_positive_and_deterministic(s in any::<u8>(), bytes in 1u64..5_000_000, seed in any::<u64>()) {
+        let link = Link::new(scenario_from(s));
+        let t1 = link.transfer_time(bytes, Direction::Upload, &mut SimRng::new(seed));
+        let t2 = link.transfer_time(bytes, Direction::Upload, &mut SimRng::new(seed));
+        prop_assert_eq!(t1, t2);
+        prop_assert!(t1 > SimDuration::ZERO);
+    }
+
+    /// Connection setup never beats the physical RTT floor (1.5 RTT ×
+    /// minimum log-normal jitter is still > 0.5 RTT).
+    #[test]
+    fn connect_time_has_rtt_floor(s in any::<u8>(), seed in any::<u64>()) {
+        let scenario = scenario_from(s);
+        let link = Link::new(scenario);
+        let t = link.connect_time(&mut SimRng::new(seed));
+        prop_assert!(t > scenario.params().rtt.mul_f64(0.2), "{t} vs rtt");
+    }
+
+    /// Expected transfer time respects scenario quality ordering for
+    /// uploads: LAN ≤ WAN at every size (same for 4G vs 3G).
+    #[test]
+    fn scenario_quality_ordering(bytes in 1u64..20_000_000) {
+        let lan = Link::new(NetworkScenario::LanWifi).expected_transfer_time(bytes, Direction::Upload);
+        let wan = Link::new(NetworkScenario::WanWifi).expected_transfer_time(bytes, Direction::Upload);
+        let g4 = Link::new(NetworkScenario::FourG).expected_transfer_time(bytes, Direction::Download);
+        let g3 = Link::new(NetworkScenario::ThreeG).expected_transfer_time(bytes, Direction::Download);
+        prop_assert!(lan <= wan);
+        prop_assert!(g4 <= g3);
+    }
+}

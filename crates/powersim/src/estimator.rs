@@ -1,0 +1,179 @@
+//! Energy accounting for local execution vs. offloaded requests.
+//!
+//! The Fig. 10 experiment records the phases of each offloading request
+//! and replays them against a power model. [`EnergyEstimator`] is that
+//! replay: phase durations in, millijoules out.
+
+use crate::model::DevicePowerModel;
+use netsim::NetworkScenario;
+use simkit::SimDuration;
+
+/// Phase durations of one offloading request, as seen by the *device*.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OffloadPhases {
+    /// Establishing the connection to the cloud.
+    pub connect: SimDuration,
+    /// Uploading code/parameters/files.
+    pub upload: SimDuration,
+    /// Waiting while the cloud prepares the runtime and computes.
+    pub cloud_wait: SimDuration,
+    /// Downloading the result.
+    pub download: SimDuration,
+}
+
+impl OffloadPhases {
+    /// Total wall time of the request.
+    pub fn total(&self) -> SimDuration {
+        self.connect + self.upload + self.cloud_wait + self.download
+    }
+}
+
+/// Energy in millijoules.
+pub type MilliJoules = f64;
+
+/// Estimates device-side energy from phase timings.
+#[derive(Debug, Clone)]
+pub struct EnergyEstimator {
+    model: DevicePowerModel,
+}
+
+impl EnergyEstimator {
+    /// An estimator over the given model.
+    pub fn new(model: DevicePowerModel) -> Self {
+        EnergyEstimator { model }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &DevicePowerModel {
+        &self.model
+    }
+
+    /// Energy to run the task entirely on the device.
+    pub fn local_execution(&self, compute_time: SimDuration) -> MilliJoules {
+        (self.model.cpu_active_mw + self.model.base_mw) * compute_time.as_secs_f64()
+    }
+
+    /// Energy of one offloaded request under `scenario`.
+    ///
+    /// Connect + upload hold the radio in TX-class states, the cloud
+    /// wait keeps only the idle radio and a lightly loaded CPU, the
+    /// download holds RX, and the radio then pays its full tail before
+    /// demoting. Promotion energy is charged once per request.
+    pub fn offloaded_request(
+        &self,
+        scenario: NetworkScenario,
+        phases: OffloadPhases,
+    ) -> MilliJoules {
+        let radio = self.model.radio_for(scenario);
+        let base_cpu = self.model.cpu_wait_mw + self.model.base_mw;
+        let mut mj = radio.promotion_mj;
+        mj += (radio.tx_mw + base_cpu) * (phases.connect + phases.upload).as_secs_f64();
+        mj += (radio.idle_mw + base_cpu) * phases.cloud_wait.as_secs_f64();
+        mj += (radio.rx_mw + base_cpu) * phases.download.as_secs_f64();
+        mj += radio.tail_mw * radio.tail_time.as_secs_f64();
+        mj
+    }
+
+    /// Normalized energy: offloaded energy divided by local-execution
+    /// energy for the same task (the y-axis of Fig. 10). Values < 1 mean
+    /// offloading extends battery life.
+    pub fn normalized(
+        &self,
+        scenario: NetworkScenario,
+        phases: OffloadPhases,
+        local_compute: SimDuration,
+    ) -> f64 {
+        let local = self.local_execution(local_compute);
+        if local <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.offloaded_request(scenario, phases) / local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DevicePowerModel;
+
+    fn est() -> EnergyEstimator {
+        EnergyEstimator::new(DevicePowerModel::power_tutor_default())
+    }
+
+    fn phases(connect_ms: u64, up_ms: u64, wait_ms: u64, down_ms: u64) -> OffloadPhases {
+        OffloadPhases {
+            connect: SimDuration::from_millis(connect_ms),
+            upload: SimDuration::from_millis(up_ms),
+            cloud_wait: SimDuration::from_millis(wait_ms),
+            download: SimDuration::from_millis(down_ms),
+        }
+    }
+
+    #[test]
+    fn local_energy_scales_with_time() {
+        let e = est();
+        let one = e.local_execution(SimDuration::from_secs(1));
+        let two = e.local_execution(SimDuration::from_secs(2));
+        assert!((two / one - 2.0).abs() < 1e-9);
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn offloading_compute_heavy_task_saves_energy() {
+        // 20 s of local compute vs a 2 s round trip over LAN: offloading
+        // must win comfortably (the basic premise of the paper).
+        let e = est();
+        let n = e.normalized(
+            NetworkScenario::LanWifi,
+            phases(5, 200, 1800, 50),
+            SimDuration::from_secs(20),
+        );
+        assert!(n < 0.2, "normalized energy {n}");
+    }
+
+    #[test]
+    fn offloading_tiny_task_over_3g_wastes_energy() {
+        // 0.2 s of local compute offloaded over 3G with big tails: lose.
+        let e = est();
+        let n = e.normalized(
+            NetworkScenario::ThreeG,
+            phases(400, 2000, 500, 1000),
+            SimDuration::from_millis(200),
+        );
+        assert!(n > 1.0, "normalized energy {n}");
+    }
+
+    #[test]
+    fn wait_phase_is_cheap() {
+        let e = est();
+        let waiting = e.offloaded_request(NetworkScenario::LanWifi, phases(0, 0, 10_000, 0));
+        let uploading = e.offloaded_request(NetworkScenario::LanWifi, phases(0, 10_000, 0, 0));
+        assert!(uploading > 3.0 * waiting, "upload {uploading} vs wait {waiting}");
+    }
+
+    #[test]
+    fn three_g_request_costs_more_than_wifi() {
+        let e = est();
+        let p = phases(50, 500, 1000, 100);
+        let wifi = e.offloaded_request(NetworkScenario::LanWifi, p);
+        let cell = e.offloaded_request(NetworkScenario::ThreeG, p);
+        assert!(cell > wifi, "3g {cell} wifi {wifi}");
+    }
+
+    #[test]
+    fn shorter_cloud_wait_reduces_energy() {
+        // Rattrap's whole energy win: faster runtime prep → shorter
+        // request → less radio/CPU time.
+        let e = est();
+        let slow = e.offloaded_request(NetworkScenario::WanWifi, phases(90, 400, 28_000, 100));
+        let fast = e.offloaded_request(NetworkScenario::WanWifi, phases(90, 400, 1_750, 100));
+        assert!(fast < slow * 0.5, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn zero_local_compute_normalizes_to_infinity() {
+        let e = est();
+        let n = e.normalized(NetworkScenario::LanWifi, phases(1, 1, 1, 1), SimDuration::ZERO);
+        assert!(n.is_infinite());
+    }
+}

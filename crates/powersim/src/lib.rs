@@ -1,0 +1,17 @@
+//! # powersim — PowerTutor-style device energy model
+//!
+//! The paper measures battery impact with PowerTutor (§V) and reports
+//! energy normalized to all-local execution (Fig. 10). This crate is
+//! the replay side of that experiment: a component power model
+//! ([`model`]) — CPU, WiFi, and cellular radios with promotion and tail
+//! states — and an estimator ([`estimator`]) that converts the recorded
+//! phases of an offloading request into millijoules.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod estimator;
+pub mod model;
+
+pub use estimator::{EnergyEstimator, MilliJoules, OffloadPhases};
+pub use model::{DevicePowerModel, RadioProfile};

@@ -1,0 +1,126 @@
+//! PowerTutor-style component power model (§V: "The power consumption
+//! measurement is based on PowerTutor").
+//!
+//! PowerTutor (Zhang et al., CODES/ISSS'10) models phone power as a sum
+//! of per-component state machines. We keep the components that matter
+//! to offloading — CPU, WiFi, and the cellular radio with its
+//! promotion/tail states — with coefficients from the PowerTutor paper
+//! (HTC Dream/Magic class) and LTE figures from follow-up literature
+//! for the 4G scenario the original tool predates. Absolute milliwatts
+//! only shift all bars together; Fig. 10 is normalized, so the *ratios*
+//! (radio ≫ idle CPU, 3G tails ≫ WiFi tails) are what matter.
+
+use netsim::NetworkScenario;
+use simkit::SimDuration;
+
+/// Power draw and timing of one radio interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioProfile {
+    /// Transmitting (device → cloud), mW.
+    pub tx_mw: f64,
+    /// Receiving (cloud → device), mW.
+    pub rx_mw: f64,
+    /// Connected-but-idle (e.g. 3G FACH / WiFi low), mW.
+    pub idle_mw: f64,
+    /// Power held during the post-transfer tail, mW.
+    pub tail_mw: f64,
+    /// How long the radio lingers in the tail state after activity.
+    pub tail_time: SimDuration,
+    /// Ramp-up cost to promote the radio from idle to active, mJ.
+    pub promotion_mj: f64,
+}
+
+/// The whole device's power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DevicePowerModel {
+    /// CPU fully busy on the offloadable computation, mW.
+    pub cpu_active_mw: f64,
+    /// CPU while the device waits for a cloud response, mW.
+    pub cpu_wait_mw: f64,
+    /// Baseline system draw always present (kept out of comparisons by
+    /// normalization but needed for absolute numbers), mW.
+    pub base_mw: f64,
+    /// WiFi radio (used for LAN and WAN scenarios).
+    pub wifi: RadioProfile,
+    /// 3G radio.
+    pub three_g: RadioProfile,
+    /// 4G radio.
+    pub four_g: RadioProfile,
+}
+
+impl DevicePowerModel {
+    /// Coefficients in the PowerTutor style for a 2016-class handset.
+    pub fn power_tutor_default() -> Self {
+        DevicePowerModel {
+            cpu_active_mw: 680.0,
+            cpu_wait_mw: 85.0,
+            base_mw: 25.0,
+            wifi: RadioProfile {
+                tx_mw: 720.0,
+                rx_mw: 520.0,
+                idle_mw: 20.0,
+                tail_mw: 120.0,
+                tail_time: SimDuration::from_millis(250),
+                promotion_mj: 10.0,
+            },
+            three_g: RadioProfile {
+                // PowerTutor: DCH ≈ 570 mW, FACH ≈ 401 mW; tails are the
+                // dominant 3G cost (DCH→FACH ≈ 5 s, FACH→IDLE ≈ 12 s; we
+                // charge the DCH tail at FACH power).
+                tx_mw: 570.0,
+                rx_mw: 570.0,
+                idle_mw: 10.0,
+                tail_mw: 401.0,
+                tail_time: SimDuration::from_secs(5),
+                promotion_mj: 800.0,
+            },
+            four_g: RadioProfile {
+                // LTE draws more while active but tails are shorter.
+                tx_mw: 1250.0,
+                rx_mw: 1000.0,
+                idle_mw: 12.0,
+                tail_mw: 350.0,
+                tail_time: SimDuration::from_millis(1500),
+                promotion_mj: 400.0,
+            },
+        }
+    }
+
+    /// The radio profile a network scenario uses.
+    pub fn radio_for(&self, scenario: NetworkScenario) -> &RadioProfile {
+        match scenario {
+            NetworkScenario::LanWifi | NetworkScenario::WanWifi => &self.wifi,
+            NetworkScenario::ThreeG => &self.three_g,
+            NetworkScenario::FourG => &self.four_g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radio_mapping() {
+        let m = DevicePowerModel::power_tutor_default();
+        assert_eq!(m.radio_for(NetworkScenario::LanWifi).tx_mw, m.wifi.tx_mw);
+        assert_eq!(m.radio_for(NetworkScenario::WanWifi).tx_mw, m.wifi.tx_mw);
+        assert_eq!(m.radio_for(NetworkScenario::ThreeG).tail_time, SimDuration::from_secs(5));
+        assert!(m.radio_for(NetworkScenario::FourG).tx_mw > m.wifi.tx_mw);
+    }
+
+    #[test]
+    fn cellular_tails_dominate_wifi_tails() {
+        let m = DevicePowerModel::power_tutor_default();
+        let tail_mj = |r: &RadioProfile| r.tail_mw * r.tail_time.as_secs_f64();
+        assert!(tail_mj(&m.three_g) > 20.0 * tail_mj(&m.wifi));
+        assert!(tail_mj(&m.four_g) > tail_mj(&m.wifi));
+        assert!(tail_mj(&m.three_g) > tail_mj(&m.four_g));
+    }
+
+    #[test]
+    fn waiting_is_much_cheaper_than_computing() {
+        let m = DevicePowerModel::power_tutor_default();
+        assert!(m.cpu_active_mw > 5.0 * m.cpu_wait_mw);
+    }
+}

@@ -1,0 +1,305 @@
+//! Dispatcher + Container DB (§IV-A).
+//!
+//! The Container DB stores the state of every runtime instance as the
+//! basis of resource management; the Dispatcher allocates execution
+//! environments for arriving requests. With the cache table's CID
+//! column it "tends to allocate offloading tasks to the Cloud Android
+//! Container where requests from the same application have been
+//! executed before, which saves the time for loading codes" (§IV-D).
+
+use simkit::SimTime;
+use std::collections::BTreeMap;
+use virt::{InstanceId, RuntimeClass};
+
+/// Lifecycle state of a runtime instance as tracked by the Container DB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Still booting; becomes ready at the given instant.
+    Booting {
+        /// When boot completes.
+        ready_at: SimTime,
+    },
+    /// Ready to execute offloaded code.
+    Ready,
+}
+
+/// One Container DB record.
+#[derive(Debug, Clone)]
+pub struct ContainerRecord {
+    /// The instance.
+    pub id: InstanceId,
+    /// Runtime class.
+    pub class: RuntimeClass,
+    /// Current state.
+    pub state: InstanceState,
+    /// Requests currently executing or queued on the instance.
+    pub active_jobs: u32,
+    /// Last time the instance finished a job (for idle reclamation).
+    pub last_active: SimTime,
+    /// Device that owns this instance (VM-per-device model), if any.
+    pub owner_device: Option<u32>,
+}
+
+/// The Container DB.
+#[derive(Debug, Default)]
+pub struct ContainerDb {
+    records: BTreeMap<u32, ContainerRecord>,
+}
+
+impl ContainerDb {
+    /// Empty DB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a newly provisioned instance.
+    pub fn register(
+        &mut self,
+        id: InstanceId,
+        class: RuntimeClass,
+        ready_at: SimTime,
+        owner_device: Option<u32>,
+    ) {
+        self.records.insert(
+            id.0,
+            ContainerRecord {
+                id,
+                class,
+                state: InstanceState::Booting { ready_at },
+                active_jobs: 0,
+                last_active: ready_at,
+                owner_device,
+            },
+        );
+    }
+
+    /// Mark an instance ready (boot completed).
+    pub fn mark_ready(&mut self, id: InstanceId) {
+        if let Some(r) = self.records.get_mut(&id.0) {
+            r.state = InstanceState::Ready;
+        }
+    }
+
+    /// Remove a record (teardown).
+    pub fn remove(&mut self, id: InstanceId) -> Option<ContainerRecord> {
+        self.records.remove(&id.0)
+    }
+
+    /// Record lookup.
+    pub fn get(&self, id: InstanceId) -> Option<&ContainerRecord> {
+        self.records.get(&id.0)
+    }
+
+    /// Mutable record lookup.
+    pub fn get_mut(&mut self, id: InstanceId) -> Option<&mut ContainerRecord> {
+        self.records.get_mut(&id.0)
+    }
+
+    /// All records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ContainerRecord> {
+        self.records.values()
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no instances exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Instances idle (no jobs) since before `cutoff`.
+    pub fn idle_since(&self, cutoff: SimTime) -> Vec<InstanceId> {
+        self.records
+            .values()
+            .filter(|r| {
+                r.active_jobs == 0
+                    && r.last_active <= cutoff
+                    && matches!(r.state, InstanceState::Ready)
+            })
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+/// Where the dispatcher decided to run a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Run on this existing instance (ready or still booting).
+    Existing(InstanceId),
+    /// No suitable instance: the platform must provision a new one.
+    Provision,
+}
+
+/// Dispatcher policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// One instance per device (the VM-based baseline) instead of a
+    /// shared pool.
+    pub per_device_instances: bool,
+    /// Use the cache table's CID column to prefer instances that have
+    /// already loaded the app's code.
+    pub cache_affinity: bool,
+    /// Hard cap on pool size (shared-pool mode).
+    pub max_instances: usize,
+}
+
+/// The Dispatcher.
+#[derive(Debug)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+}
+
+impl Dispatcher {
+    /// A dispatcher with the given policy.
+    pub fn new(policy: DispatchPolicy) -> Self {
+        Dispatcher { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Decide where a request from `device` for app `aid` should run.
+    /// `cid_hint` is the warehouse's CID column for the app.
+    pub fn place(
+        &self,
+        db: &ContainerDb,
+        device: u32,
+        cid_hint: &[InstanceId],
+    ) -> Placement {
+        if self.policy.per_device_instances {
+            // VM baseline: the device's own VM, provisioned on first use.
+            return match db.iter().find(|r| r.owner_device == Some(device)) {
+                Some(r) => Placement::Existing(r.id),
+                None => Placement::Provision,
+            };
+        }
+        // Rattrap pool. 1) cache affinity: a live instance that already
+        // loaded the code and is not overloaded.
+        if self.policy.cache_affinity {
+            let best = cid_hint
+                .iter()
+                .filter_map(|&id| db.get(id))
+                .filter(|r| r.active_jobs < 2)
+                .min_by_key(|r| (r.active_jobs, r.id.0));
+            if let Some(r) = best {
+                return Placement::Existing(r.id);
+            }
+        }
+        // 2) An idle ready instance.
+        if let Some(r) = db
+            .iter()
+            .filter(|r| matches!(r.state, InstanceState::Ready) && r.active_jobs == 0)
+            .min_by_key(|r| r.id.0)
+        {
+            return Placement::Existing(r.id);
+        }
+        // 3) Grow the pool if allowed.
+        if db.len() < self.policy.max_instances {
+            return Placement::Provision;
+        }
+        // 4) Least-loaded instance (booting ones count — requests wait).
+        match db.iter().min_by_key(|r| (r.active_jobs, r.id.0)) {
+            Some(r) => Placement::Existing(r.id),
+            None => Placement::Provision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn pool_dispatcher(max: usize) -> Dispatcher {
+        Dispatcher::new(DispatchPolicy {
+            per_device_instances: false,
+            cache_affinity: true,
+            max_instances: max,
+        })
+    }
+
+    #[test]
+    fn vm_mode_is_per_device() {
+        let d = Dispatcher::new(DispatchPolicy {
+            per_device_instances: true,
+            cache_affinity: false,
+            max_instances: 100,
+        });
+        let mut db = ContainerDb::new();
+        assert_eq!(d.place(&db, 0, &[]), Placement::Provision);
+        db.register(InstanceId(0), RuntimeClass::AndroidVm, t(29), Some(0));
+        db.register(InstanceId(1), RuntimeClass::AndroidVm, t(29), Some(1));
+        assert_eq!(d.place(&db, 0, &[]), Placement::Existing(InstanceId(0)));
+        assert_eq!(d.place(&db, 1, &[]), Placement::Existing(InstanceId(1)));
+        assert_eq!(d.place(&db, 2, &[]), Placement::Provision, "third device needs its own VM");
+    }
+
+    #[test]
+    fn cache_affinity_prefers_cid_column() {
+        let d = pool_dispatcher(8);
+        let mut db = ContainerDb::new();
+        for i in 0..3 {
+            db.register(InstanceId(i), RuntimeClass::CacOptimized, t(0), None);
+            db.mark_ready(InstanceId(i));
+        }
+        // Instance 2 has the code; instance 0 is idle but cold.
+        assert_eq!(
+            d.place(&db, 0, &[InstanceId(2)]),
+            Placement::Existing(InstanceId(2)),
+            "affinity wins over lower-id idle instances"
+        );
+    }
+
+    #[test]
+    fn overloaded_affinity_target_is_skipped() {
+        let d = pool_dispatcher(8);
+        let mut db = ContainerDb::new();
+        db.register(InstanceId(0), RuntimeClass::CacOptimized, t(0), None);
+        db.register(InstanceId(1), RuntimeClass::CacOptimized, t(0), None);
+        db.mark_ready(InstanceId(0));
+        db.mark_ready(InstanceId(1));
+        db.get_mut(InstanceId(1)).unwrap().active_jobs = 2;
+        assert_eq!(
+            d.place(&db, 0, &[InstanceId(1)]),
+            Placement::Existing(InstanceId(0)),
+            "hot but saturated instance loses to an idle one"
+        );
+    }
+
+    #[test]
+    fn pool_grows_until_cap_then_queues() {
+        let d = pool_dispatcher(2);
+        let mut db = ContainerDb::new();
+        assert_eq!(d.place(&db, 0, &[]), Placement::Provision);
+        db.register(InstanceId(0), RuntimeClass::CacOptimized, t(2), None);
+        db.get_mut(InstanceId(0)).unwrap().active_jobs = 1;
+        assert_eq!(d.place(&db, 0, &[]), Placement::Provision, "busy pool below cap grows");
+        db.register(InstanceId(1), RuntimeClass::CacOptimized, t(2), None);
+        db.get_mut(InstanceId(1)).unwrap().active_jobs = 3;
+        // At cap: pick the least-loaded even though it's booting.
+        assert_eq!(d.place(&db, 0, &[]), Placement::Existing(InstanceId(0)));
+    }
+
+    #[test]
+    fn idle_since_respects_state_and_jobs() {
+        let mut db = ContainerDb::new();
+        db.register(InstanceId(0), RuntimeClass::CacOptimized, t(0), None);
+        db.register(InstanceId(1), RuntimeClass::CacOptimized, t(0), None);
+        db.register(InstanceId(2), RuntimeClass::CacOptimized, t(0), None);
+        db.mark_ready(InstanceId(0));
+        db.mark_ready(InstanceId(1));
+        // 2 stays booting. 1 is busy.
+        db.get_mut(InstanceId(1)).unwrap().active_jobs = 1;
+        db.get_mut(InstanceId(0)).unwrap().last_active = t(10);
+        assert_eq!(db.idle_since(t(50)), vec![InstanceId(0)]);
+        assert!(db.idle_since(t(5)).is_empty());
+    }
+}

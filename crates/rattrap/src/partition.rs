@@ -1,0 +1,375 @@
+//! Method-level code partitioning — the MAUI/CloneCloud layer of §II.
+//!
+//! The offloading frameworks the paper builds under (MAUI, CloneCloud,
+//! ThinkAir) decide *which methods* of an app run in the cloud: each
+//! method is annotated with its compute cost and the state that must
+//! cross the network if a call edge is cut, and the framework solves
+//! for the placement minimizing end-to-end latency (or energy). We
+//! implement the tree-structured case exactly with dynamic programming
+//! — each node is placed Local or Remote, non-offloadable methods
+//! (UI, sensors, camera) are pinned Local, and cut edges pay their
+//! state-transfer cost.
+
+use simkit::units::Megacycles;
+use std::collections::BTreeMap;
+
+/// Where a method executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// On the device.
+    Local,
+    /// In the Cloud Android Container.
+    Remote,
+}
+
+/// One method in the app's call tree.
+#[derive(Debug, Clone)]
+pub struct MethodNode {
+    /// Method name (diagnostics).
+    pub name: String,
+    /// Compute cost of the method body (excluding callees).
+    pub compute: Megacycles,
+    /// Bytes that must cross the network if this method's caller runs
+    /// on the other side (arguments + return + captured state).
+    pub state_bytes: u64,
+    /// `false` pins the method to the device (UI, sensors, camera).
+    pub offloadable: bool,
+    /// Indices of callee methods.
+    pub children: Vec<usize>,
+}
+
+/// A rooted call tree.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    nodes: Vec<MethodNode>,
+}
+
+/// Error for malformed graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError(pub String);
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid call graph: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl CallGraph {
+    /// Build from nodes; node 0 is the root (the entry point, always
+    /// Local — the user taps the screen on the device). Validates that
+    /// children form a tree.
+    pub fn new(nodes: Vec<MethodNode>) -> Result<Self, GraphError> {
+        if nodes.is_empty() {
+            return Err(GraphError("empty graph".into()));
+        }
+        let mut seen_as_child = vec![false; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            for &c in &n.children {
+                if c >= nodes.len() {
+                    return Err(GraphError(format!("node {i} references missing child {c}")));
+                }
+                if c == 0 {
+                    return Err(GraphError("root cannot be a child".into()));
+                }
+                if seen_as_child[c] {
+                    return Err(GraphError(format!("node {c} has two parents (not a tree)")));
+                }
+                seen_as_child[c] = true;
+            }
+        }
+        Ok(CallGraph { nodes })
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &MethodNode {
+        &self.nodes[i]
+    }
+
+    /// Number of methods.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for a graph with no methods (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Execution environment costs for the partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionCosts {
+    /// Device effective speed, GHz-equivalents (clock × efficiency).
+    pub device_eff_ghz: f64,
+    /// Server effective speed, GHz-equivalents.
+    pub server_eff_ghz: f64,
+    /// Network bandwidth for state transfer, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-cut-edge round-trip latency, seconds.
+    pub rtt_s: f64,
+}
+
+impl PartitionCosts {
+    fn exec_s(&self, work: Megacycles, placement: Placement) -> f64 {
+        let ghz = match placement {
+            Placement::Local => self.device_eff_ghz,
+            Placement::Remote => self.server_eff_ghz,
+        };
+        work.seconds_at(ghz, 1.0)
+    }
+
+    fn transfer_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bps + self.rtt_s
+    }
+}
+
+/// The partitioning result.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Placement per node index.
+    pub placements: Vec<Placement>,
+    /// Predicted end-to-end latency under the plan, seconds.
+    pub latency_s: f64,
+    /// Predicted all-local latency, for comparison.
+    pub all_local_s: f64,
+}
+
+impl PartitionPlan {
+    /// Methods placed remotely.
+    pub fn remote_count(&self) -> usize {
+        self.placements.iter().filter(|&&p| p == Placement::Remote).count()
+    }
+
+    /// Speedup over running everything on the device.
+    pub fn speedup(&self) -> f64 {
+        if self.latency_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.all_local_s / self.latency_s
+    }
+}
+
+/// Solve the optimal partition by tree DP.
+///
+/// `cost[v][p]` = cost of v's subtree with v placed at `p` =
+/// `exec(v, p) + Σ_c min over q of (cost[c][q] + cut(c) if q ≠ p)`.
+/// Non-offloadable nodes admit only `p = Local`; the root is pinned
+/// Local (the request originates on the device).
+pub fn partition(graph: &CallGraph, costs: &PartitionCosts) -> PartitionPlan {
+    let n = graph.len();
+    // memo[v] = (cost_local, cost_remote, choices_local, choices_remote)
+    let mut memo: BTreeMap<usize, ([f64; 2], [Vec<Placement>; 2])> = BTreeMap::new();
+
+    // Post-order traversal without recursion (tree, so no cycles).
+    let order = post_order(graph);
+    for &v in &order {
+        let node = graph.node(v);
+        let mut cost = [f64::INFINITY; 2];
+        let mut child_choice: [Vec<Placement>; 2] = [Vec::new(), Vec::new()];
+        let placements: &[Placement] = if node.offloadable && v != 0 {
+            &[Placement::Local, Placement::Remote]
+        } else {
+            &[Placement::Local]
+        };
+        for &p in placements {
+            let pi = p as usize; // Local = 0, Remote = 1
+            let mut total = costs.exec_s(node.compute, p);
+            let mut choices = Vec::with_capacity(node.children.len());
+            for &c in &node.children {
+                let (child_costs, _) = memo.get(&c).expect("post-order processed children");
+                let child = graph.node(c);
+                let stay = child_costs[pi];
+                let cross_p = match p {
+                    Placement::Local => Placement::Remote,
+                    Placement::Remote => Placement::Local,
+                };
+                let cross = child_costs[cross_p as usize] + costs.transfer_s(child.state_bytes);
+                if stay <= cross {
+                    total += stay;
+                    choices.push(p);
+                } else {
+                    total += cross;
+                    choices.push(cross_p);
+                }
+            }
+            cost[pi] = total;
+            child_choice[pi] = choices;
+        }
+        memo.insert(v, (cost, child_choice));
+    }
+
+    // Root is Local; walk down recovering placements.
+    let mut placements = vec![Placement::Local; n];
+    let mut stack = vec![(0usize, Placement::Local)];
+    while let Some((v, p)) = stack.pop() {
+        placements[v] = p;
+        let (_, choices) = memo.get(&v).expect("computed");
+        let chosen = &choices[p as usize];
+        for (i, &c) in graph.node(v).children.iter().enumerate() {
+            stack.push((c, chosen[i]));
+        }
+    }
+
+    let latency_s = memo.get(&0).expect("root computed").0[0];
+    let all_local_s = order
+        .iter()
+        .map(|&v| costs.exec_s(graph.node(v).compute, Placement::Local))
+        .sum();
+    PartitionPlan { placements, latency_s, all_local_s }
+}
+
+fn post_order(graph: &CallGraph) -> Vec<usize> {
+    let mut order = Vec::with_capacity(graph.len());
+    let mut stack = vec![(0usize, false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            order.push(v);
+        } else {
+            stack.push((v, true));
+            for &c in &graph.node(v).children {
+                stack.push((c, false));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, mc: f64, state: u64, offloadable: bool, children: Vec<usize>) -> MethodNode {
+        MethodNode {
+            name: name.into(),
+            compute: Megacycles(mc),
+            state_bytes: state,
+            offloadable,
+            children,
+        }
+    }
+
+    /// A face-recognition-style app: UI root, heavy detect/recognize
+    /// pipeline, a sensor reader pinned local.
+    fn face_app() -> CallGraph {
+        CallGraph::new(vec![
+            node("onTap", 5.0, 0, false, vec![1, 4]),
+            node("processPhoto", 50.0, 200_000, true, vec![2, 3]),
+            node("detectFaces", 3_000.0, 50_000, true, vec![]),
+            node("recognize", 5_000.0, 80_000, true, vec![]),
+            node("readGps", 2.0, 100, false, vec![]),
+        ])
+        .expect("valid tree")
+    }
+
+    fn lan_costs() -> PartitionCosts {
+        PartitionCosts {
+            device_eff_ghz: 0.48,
+            server_eff_ghz: 2.5,
+            bandwidth_bps: 5.0e6,
+            rtt_s: 0.002,
+        }
+    }
+
+    #[test]
+    fn heavy_methods_offload_on_lan() {
+        let plan = partition(&face_app(), &lan_costs());
+        assert_eq!(plan.placements[0], Placement::Local, "root pinned");
+        assert_eq!(plan.placements[4], Placement::Local, "sensor pinned");
+        assert_eq!(plan.placements[2], Placement::Remote, "detectFaces offloads");
+        assert_eq!(plan.placements[3], Placement::Remote, "recognize offloads");
+        assert!(plan.speedup() > 2.0, "speedup {}", plan.speedup());
+        assert!(plan.latency_s < plan.all_local_s);
+    }
+
+    #[test]
+    fn nothing_offloads_on_a_dead_network() {
+        let costs = PartitionCosts { bandwidth_bps: 100.0, rtt_s: 2.0, ..lan_costs() };
+        let plan = partition(&face_app(), &costs);
+        assert_eq!(plan.remote_count(), 0, "cut edges too expensive");
+        assert!((plan.latency_s - plan.all_local_s).abs() < 1e-9);
+        assert!((plan.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parent_offloads_with_its_heavy_children() {
+        // processPhoto itself is light, but hoisting it remote merges
+        // the two child cut-edges into one — the classic MAUI win.
+        let plan = partition(&face_app(), &lan_costs());
+        assert_eq!(
+            plan.placements[1],
+            Placement::Remote,
+            "light parent rides along with heavy children"
+        );
+    }
+
+    #[test]
+    fn free_network_offloads_everything_offloadable() {
+        let costs = PartitionCosts { bandwidth_bps: 1e12, rtt_s: 0.0, ..lan_costs() };
+        let plan = partition(&face_app(), &costs);
+        assert_eq!(plan.remote_count(), 3, "every offloadable method goes remote");
+    }
+
+    #[test]
+    fn plan_cost_matches_manual_evaluation() {
+        // Independently evaluate the returned placement and compare.
+        let g = face_app();
+        let costs = lan_costs();
+        let plan = partition(&g, &costs);
+        let mut manual = 0.0;
+        for v in 0..g.len() {
+            manual += costs.exec_s(g.node(v).compute, plan.placements[v]);
+        }
+        // Cut edges: parent/child placement differs.
+        for v in 0..g.len() {
+            for &c in &g.node(v).children {
+                if plan.placements[v] != plan.placements[c] {
+                    manual += costs.transfer_s(g.node(c).state_bytes);
+                }
+            }
+        }
+        assert!((manual - plan.latency_s).abs() < 1e-9, "{manual} vs {}", plan.latency_s);
+    }
+
+    #[test]
+    fn dp_beats_naive_all_or_nothing() {
+        // The mixed plan must be at least as good as both extremes.
+        let g = face_app();
+        let costs = lan_costs();
+        let plan = partition(&g, &costs);
+        // All-local cost:
+        assert!(plan.latency_s <= plan.all_local_s + 1e-12);
+        // All-remote-offloadable (single cut at each pinned boundary):
+        let mut all_remote = 0.0;
+        for v in 0..g.len() {
+            let p = if g.node(v).offloadable && v != 0 { Placement::Remote } else { Placement::Local };
+            all_remote += costs.exec_s(g.node(v).compute, p);
+        }
+        for v in 0..g.len() {
+            for &c in &g.node(v).children {
+                let pv = if g.node(v).offloadable && v != 0 { Placement::Remote } else { Placement::Local };
+                let pc = if g.node(c).offloadable { Placement::Remote } else { Placement::Local };
+                if pv != pc {
+                    all_remote += costs.transfer_s(g.node(c).state_bytes);
+                }
+            }
+        }
+        assert!(plan.latency_s <= all_remote + 1e-12);
+    }
+
+    #[test]
+    fn graph_validation() {
+        assert!(CallGraph::new(vec![]).is_err());
+        let dangling = CallGraph::new(vec![node("r", 1.0, 0, false, vec![5])]);
+        assert!(dangling.is_err());
+        let two_parents = CallGraph::new(vec![
+            node("r", 1.0, 0, false, vec![1, 2]),
+            node("a", 1.0, 0, true, vec![2]),
+            node("b", 1.0, 0, true, vec![]),
+        ]);
+        assert!(two_parents.is_err());
+        let root_child = CallGraph::new(vec![node("r", 1.0, 0, false, vec![0])]);
+        assert!(root_child.is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Platform configurations: the three systems the evaluation compares
+//! (§VI-A) plus the ablation knobs of DESIGN.md §5.
+
+use crate::dispatcher::DispatchPolicy;
+use virt::RuntimeClass;
+
+/// Which cloud platform is serving the offloading requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlatformKind {
+    /// Full Rattrap.
+    Rattrap,
+    /// Rattrap without OS optimization, sharing, or code cache —
+    /// "we only replace VM with Container" (§VI-A).
+    RattrapWithout,
+    /// The VM-based cloud platform baseline.
+    VmBaseline,
+}
+
+impl PlatformKind {
+    /// All platforms, Rattrap first (the paper's legend order).
+    pub const ALL: [PlatformKind; 3] =
+        [PlatformKind::Rattrap, PlatformKind::RattrapWithout, PlatformKind::VmBaseline];
+
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PlatformKind::Rattrap => "Rattrap",
+            PlatformKind::RattrapWithout => "Rattrap(W/O)",
+            PlatformKind::VmBaseline => "VM",
+        }
+    }
+
+    /// The standard configuration of this platform.
+    pub fn config(self) -> PlatformConfig {
+        match self {
+            PlatformKind::Rattrap => PlatformConfig {
+                kind: self,
+                runtime_class: RuntimeClass::CacOptimized,
+                code_cache: true,
+                cache_affinity: true,
+                access_control: true,
+                per_device_instances: false,
+                max_instances: 8,
+                warm_spares: 0,
+            },
+            PlatformKind::RattrapWithout => PlatformConfig {
+                kind: self,
+                runtime_class: RuntimeClass::CacUnoptimized,
+                code_cache: false,
+                cache_affinity: false,
+                access_control: true,
+                per_device_instances: true,
+                max_instances: 64,
+                warm_spares: 0,
+            },
+            PlatformKind::VmBaseline => PlatformConfig {
+                kind: self,
+                runtime_class: RuntimeClass::AndroidVm,
+                code_cache: false,
+                cache_affinity: false,
+                access_control: false,
+                per_device_instances: true,
+                max_instances: 64,
+                warm_spares: 0,
+            },
+        }
+    }
+}
+
+/// Full platform configuration (the ablation surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformConfig {
+    /// Which named platform this configuration describes.
+    pub kind: PlatformKind,
+    /// Runtime environment class to provision.
+    pub runtime_class: RuntimeClass,
+    /// App Warehouse code cache enabled?
+    pub code_cache: bool,
+    /// Dispatcher CID affinity enabled?
+    pub cache_affinity: bool,
+    /// Request-based Access Controller enabled?
+    pub access_control: bool,
+    /// One runtime per device (VM model) vs a shared pool.
+    pub per_device_instances: bool,
+    /// Pool cap in shared-pool mode.
+    pub max_instances: usize,
+    /// Warm spare instances the Monitor & Scheduler keeps pre-started
+    /// (0 = the paper's on-demand prototype).
+    pub warm_spares: usize,
+}
+
+impl PlatformConfig {
+    /// Dispatcher policy implied by the configuration.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        DispatchPolicy {
+            per_device_instances: self.per_device_instances,
+            cache_affinity: self.cache_affinity,
+            max_instances: self.max_instances,
+        }
+    }
+
+    /// Ablation helper: same platform with the code cache toggled.
+    pub fn with_code_cache(mut self, on: bool) -> Self {
+        self.code_cache = on;
+        self.cache_affinity = self.cache_affinity && on;
+        self
+    }
+
+    /// Ablation helper: toggle dispatcher affinity alone.
+    pub fn with_affinity(mut self, on: bool) -> Self {
+        self.cache_affinity = on;
+        self
+    }
+
+    /// Ablation helper: change the runtime class (e.g. optimized
+    /// containers without the code cache).
+    pub fn with_runtime(mut self, class: RuntimeClass) -> Self {
+        self.runtime_class = class;
+        self
+    }
+
+    /// Ablation helper: keep a warm pool of pre-started instances.
+    pub fn with_warm_spares(mut self, n: usize) -> Self {
+        self.warm_spares = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_configs_match_section_vi_a() {
+        let r = PlatformKind::Rattrap.config();
+        assert_eq!(r.runtime_class, RuntimeClass::CacOptimized);
+        assert!(r.code_cache && r.cache_affinity);
+        let wo = PlatformKind::RattrapWithout.config();
+        assert_eq!(wo.runtime_class, RuntimeClass::CacUnoptimized);
+        assert!(!wo.code_cache, "W/O: no code cache mechanism");
+        let vm = PlatformKind::VmBaseline.config();
+        assert_eq!(vm.runtime_class, RuntimeClass::AndroidVm);
+        assert!(vm.per_device_instances, "clients push code into each VM");
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let c = PlatformKind::Rattrap.config().with_code_cache(false);
+        assert!(!c.code_cache);
+        assert!(!c.cache_affinity, "affinity needs the cache table");
+        let c2 = PlatformKind::Rattrap.config().with_affinity(false);
+        assert!(c2.code_cache && !c2.cache_affinity);
+        let c3 = PlatformKind::VmBaseline.config().with_runtime(RuntimeClass::CacOptimized);
+        assert_eq!(c3.runtime_class, RuntimeClass::CacOptimized);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut l: Vec<_> = PlatformKind::ALL.iter().map(|p| p.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 3);
+    }
+}

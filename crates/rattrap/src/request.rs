@@ -1,0 +1,172 @@
+//! Per-request records: the phase decomposition of §III-B and the
+//! quantities every figure of the evaluation is computed from.
+
+use netsim::NetworkScenario;
+use simkit::{SimDuration, SimTime};
+use workloads::WorkloadKind;
+
+/// The four phases of an offloading request (§III-B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Establishing the device ↔ cloud connection.
+    pub network_connection: SimDuration,
+    /// Moving code, files, parameters and results.
+    pub data_transfer: SimDuration,
+    /// Setting up the mobile code runtime (boot wait, queueing for a
+    /// runtime, loading code into the runtime).
+    pub runtime_preparation: SimDuration,
+    /// Executing the offloaded computation (including its offloading I/O).
+    pub computation_execution: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// Total response time.
+    pub fn total(&self) -> SimDuration {
+        self.network_connection
+            + self.data_transfer
+            + self.runtime_preparation
+            + self.computation_execution
+    }
+}
+
+/// The complete record of one served offloading request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Global request sequence number.
+    pub id: u64,
+    /// Issuing device.
+    pub device: u32,
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Network scenario the request travelled over.
+    pub scenario: NetworkScenario,
+    /// Index of this request within its device's sequence (0-based).
+    pub seq_on_device: u32,
+    /// When the device issued the request.
+    pub arrived_at: SimTime,
+    /// When the response reached the device.
+    pub completed_at: SimTime,
+    /// Phase decomposition.
+    pub phases: PhaseBreakdown,
+    /// Bytes uploaded (code + payload + control).
+    pub upload_bytes: u64,
+    /// …of which mobile code.
+    pub code_bytes_sent: u64,
+    /// Bytes downloaded (results).
+    pub download_bytes: u64,
+    /// Did the request include a code transfer (cache miss / new runtime)?
+    pub code_transferred: bool,
+    /// Was the app's code already loaded in the chosen runtime (CID hit)?
+    pub cid_affinity_hit: bool,
+    /// Time the same task takes locally on the device.
+    pub local_execution: SimDuration,
+    /// Upload time component alone (for the energy replay).
+    pub upload_time: SimDuration,
+    /// Download time component alone.
+    pub download_time: SimDuration,
+    /// The client's decision engine kept the task on the device (no
+    /// offload happened; phases are zero and response = local time).
+    pub executed_locally: bool,
+}
+
+impl RequestRecord {
+    /// Offloading response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.completed_at - self.arrived_at
+    }
+
+    /// "Offloading speedup refers to the ratio of local execution time
+    /// and offloading response time" (§III-B).
+    pub fn speedup(&self) -> f64 {
+        let resp = self.response_time().as_secs_f64();
+        if resp <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.local_execution.as_secs_f64() / resp
+    }
+
+    /// "When offloading speedup is larger than 1, code offloading
+    /// outperforms local execution; otherwise, we call it an offloading
+    /// failure."
+    pub fn is_offloading_failure(&self) -> bool {
+        self.speedup() <= 1.0
+    }
+
+    /// Device-side wait while the cloud works (for the energy model).
+    pub fn cloud_wait(&self) -> SimDuration {
+        self.phases.runtime_preparation + self.phases.computation_execution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(local_s: f64, phases: PhaseBreakdown) -> RequestRecord {
+        RequestRecord {
+            id: 0,
+            device: 0,
+            kind: WorkloadKind::Ocr,
+            scenario: NetworkScenario::LanWifi,
+            seq_on_device: 0,
+            arrived_at: SimTime::from_secs(10),
+            completed_at: SimTime::from_secs(10) + phases.total(),
+            phases,
+            upload_bytes: 0,
+            code_bytes_sent: 0,
+            download_bytes: 0,
+            code_transferred: false,
+            cid_affinity_hit: false,
+            local_execution: SimDuration::from_secs_f64(local_s),
+            upload_time: SimDuration::ZERO,
+            download_time: SimDuration::ZERO,
+            executed_locally: false,
+        }
+    }
+
+    #[test]
+    fn phases_sum_to_total() {
+        let p = PhaseBreakdown {
+            network_connection: SimDuration::from_millis(5),
+            data_transfer: SimDuration::from_millis(100),
+            runtime_preparation: SimDuration::from_millis(1750),
+            computation_execution: SimDuration::from_millis(2500),
+        };
+        assert_eq!(p.total(), SimDuration::from_millis(4355));
+    }
+
+    #[test]
+    fn speedup_and_failure_classification() {
+        let fast = record(
+            10.0,
+            PhaseBreakdown {
+                computation_execution: SimDuration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        assert!((fast.speedup() - 5.0).abs() < 1e-9);
+        assert!(!fast.is_offloading_failure());
+
+        let slow = record(
+            2.0,
+            PhaseBreakdown {
+                runtime_preparation: SimDuration::from_secs(28),
+                computation_execution: SimDuration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        assert!(slow.speedup() < 0.1);
+        assert!(slow.is_offloading_failure(), "cold-start VM request fails");
+    }
+
+    #[test]
+    fn response_time_matches_timestamps() {
+        let p = PhaseBreakdown {
+            computation_execution: SimDuration::from_secs(3),
+            ..Default::default()
+        };
+        let r = record(1.0, p);
+        assert_eq!(r.response_time(), SimDuration::from_secs(3));
+        assert_eq!(r.cloud_wait(), SimDuration::from_secs(3));
+    }
+}

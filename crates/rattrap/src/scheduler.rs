@@ -1,0 +1,286 @@
+//! Monitor & Scheduler (§IV-A, Fig. 4).
+//!
+//! Rattrap "conducts resource scheduling at process-level, rather than
+//! at VM-level in existing platforms": because Cloud Android Containers
+//! are ordinary process groups under cgroups, the platform can watch
+//! per-instance load and act on it cheaply — grow a warm pool before
+//! requests arrive, reclaim idle instances, and rebalance `cpu.shares`
+//! toward busy containers. The [`Monitor`] keeps EWMA load estimates per
+//! instance; the [`Scheduler`] turns a Container-DB snapshot into scale
+//! and share actions the platform applies.
+
+use crate::dispatcher::{ContainerDb, InstanceState};
+use simkit::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use virt::InstanceId;
+
+/// Pool-management policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolPolicy {
+    /// Ready-and-idle instances to keep pre-provisioned. Zero restores
+    /// pure on-demand provisioning (the paper's default prototype); the
+    /// paper notes pre-starting trades resource cost for cold starts —
+    /// this knob is the ablation for that trade-off.
+    pub warm_spares: usize,
+    /// Never exceed this many instances.
+    pub max_instances: usize,
+    /// Reclaim instances idle for longer than this.
+    pub idle_teardown: SimDuration,
+}
+
+impl PoolPolicy {
+    /// The paper's prototype: on-demand, bounded pool.
+    pub fn on_demand(max_instances: usize, idle_teardown: SimDuration) -> Self {
+        PoolPolicy { warm_spares: 0, max_instances, idle_teardown }
+    }
+}
+
+/// Actions the scheduler asks the platform to take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleAction {
+    /// Provision this many new instances.
+    Provision(usize),
+    /// Tear these idle instances down.
+    Teardown(Vec<InstanceId>),
+}
+
+/// EWMA load monitor over container instances.
+#[derive(Debug)]
+pub struct Monitor {
+    alpha: f64,
+    load: BTreeMap<u32, f64>,
+}
+
+impl Monitor {
+    /// A monitor smoothing with factor `alpha` in `(0, 1]` (higher =
+    /// more reactive).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        Monitor { alpha, load: BTreeMap::new() }
+    }
+
+    /// Feed one observation of an instance's active jobs.
+    pub fn observe(&mut self, id: InstanceId, active_jobs: u32) {
+        let entry = self.load.entry(id.0).or_insert(active_jobs as f64);
+        *entry = self.alpha * active_jobs as f64 + (1.0 - self.alpha) * *entry;
+    }
+
+    /// Smoothed load of an instance (0 if never observed).
+    pub fn load_of(&self, id: InstanceId) -> f64 {
+        self.load.get(&id.0).copied().unwrap_or(0.0)
+    }
+
+    /// Forget a torn-down instance.
+    pub fn forget(&mut self, id: InstanceId) {
+        self.load.remove(&id.0);
+    }
+
+    /// Mean smoothed load across known instances.
+    pub fn mean_load(&self) -> f64 {
+        if self.load.is_empty() {
+            0.0
+        } else {
+            self.load.values().sum::<f64>() / self.load.len() as f64
+        }
+    }
+}
+
+/// The scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: PoolPolicy,
+}
+
+impl Scheduler {
+    /// A scheduler applying `policy`.
+    pub fn new(policy: PoolPolicy) -> Self {
+        Scheduler { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> PoolPolicy {
+        self.policy
+    }
+
+    /// Plan scale actions from a Container-DB snapshot at `now`.
+    ///
+    /// Keeps `warm_spares` ready-and-idle instances (booting ones count
+    /// toward the target so we don't over-provision while they come up)
+    /// and reclaims instances idle past the policy window — but never
+    /// below the warm-spare floor.
+    pub fn plan(&self, db: &ContainerDb, now: SimTime) -> Vec<ScaleAction> {
+        let mut actions = Vec::new();
+        let ready_idle = db
+            .iter()
+            .filter(|r| matches!(r.state, InstanceState::Ready) && r.active_jobs == 0)
+            .count();
+        let booting = db
+            .iter()
+            .filter(|r| matches!(r.state, InstanceState::Booting { .. }))
+            .count();
+        let spare_supply = ready_idle + booting;
+        if spare_supply < self.policy.warm_spares && db.len() < self.policy.max_instances {
+            let want = (self.policy.warm_spares - spare_supply)
+                .min(self.policy.max_instances - db.len());
+            if want > 0 {
+                actions.push(ScaleAction::Provision(want));
+            }
+        }
+        // Idle reclamation, preserving the warm floor. Nothing can have
+        // been idle long enough before one full window has elapsed.
+        if now.as_micros() < self.policy.idle_teardown.as_micros() {
+            return actions;
+        }
+        let cutoff = SimTime::from_micros(
+            now.as_micros().saturating_sub(self.policy.idle_teardown.as_micros()),
+        );
+        let mut reclaimable = db.idle_since(cutoff);
+        let keep = self.policy.warm_spares.min(reclaimable.len());
+        // Keep the *newest* spares warm; reclaim the oldest first.
+        reclaimable.sort_by_key(|id| id.0);
+        let victims: Vec<InstanceId> =
+            reclaimable.into_iter().take(ready_idle.saturating_sub(keep)).collect();
+        if !victims.is_empty() {
+            actions.push(ScaleAction::Teardown(victims));
+        }
+        actions
+    }
+
+    /// Compute `cpu.shares` per instance proportional to smoothed load
+    /// (floor 256, busy instances up to 4096) — process-level resource
+    /// control a VM platform cannot do without a hypervisor round trip.
+    pub fn rebalance_shares(&self, db: &ContainerDb, monitor: &Monitor) -> BTreeMap<u32, u32> {
+        let mut shares = BTreeMap::new();
+        for rec in db.iter() {
+            let load = monitor.load_of(rec.id);
+            let s = (1024.0 * (0.25 + load)).clamp(256.0, 4096.0) as u32;
+            shares.insert(rec.id.0, s);
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virt::RuntimeClass;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn db_with(n: usize, ready: bool) -> ContainerDb {
+        let mut db = ContainerDb::new();
+        for i in 0..n {
+            db.register(InstanceId(i as u32), RuntimeClass::CacOptimized, t(0), None);
+            if ready {
+                db.mark_ready(InstanceId(i as u32));
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn on_demand_policy_never_pre_provisions() {
+        let s = Scheduler::new(PoolPolicy::on_demand(8, SimDuration::from_secs(120)));
+        let db = ContainerDb::new();
+        assert!(s.plan(&db, t(0)).is_empty());
+    }
+
+    #[test]
+    fn warm_pool_fills_to_target() {
+        let s = Scheduler::new(PoolPolicy {
+            warm_spares: 2,
+            max_instances: 8,
+            idle_teardown: SimDuration::from_secs(120),
+        });
+        let db = ContainerDb::new();
+        assert_eq!(s.plan(&db, t(0)), vec![ScaleAction::Provision(2)]);
+        // One booting instance counts toward the target.
+        let mut db = ContainerDb::new();
+        db.register(InstanceId(0), RuntimeClass::CacOptimized, t(2), None);
+        assert_eq!(s.plan(&db, t(0)), vec![ScaleAction::Provision(1)]);
+    }
+
+    #[test]
+    fn warm_pool_respects_max_instances() {
+        let s = Scheduler::new(PoolPolicy {
+            warm_spares: 4,
+            max_instances: 2,
+            idle_teardown: SimDuration::from_secs(120),
+        });
+        let mut db = db_with(2, true);
+        for i in 0..2 {
+            db.get_mut(InstanceId(i)).unwrap().active_jobs = 1;
+        }
+        assert!(s.plan(&db, t(0)).is_empty(), "at cap: no provisioning");
+    }
+
+    #[test]
+    fn busy_pool_with_spares_needs_nothing() {
+        let s = Scheduler::new(PoolPolicy {
+            warm_spares: 1,
+            max_instances: 8,
+            idle_teardown: SimDuration::from_secs(120),
+        });
+        let mut db = db_with(3, true);
+        db.get_mut(InstanceId(0)).unwrap().active_jobs = 2;
+        // 1 and 2 are ready-idle: spare supply 2 ≥ 1.
+        assert!(s.plan(&db, t(10)).is_empty());
+    }
+
+    #[test]
+    fn idle_reclamation_preserves_warm_floor() {
+        let s = Scheduler::new(PoolPolicy {
+            warm_spares: 1,
+            max_instances: 8,
+            idle_teardown: SimDuration::from_secs(100),
+        });
+        let mut db = db_with(3, true);
+        for i in 0..3 {
+            db.get_mut(InstanceId(i)).unwrap().last_active = t(0);
+        }
+        let actions = s.plan(&db, t(1000));
+        // 3 idle, keep 1 warm → tear down 2 (oldest ids first).
+        assert_eq!(
+            actions,
+            vec![ScaleAction::Teardown(vec![InstanceId(0), InstanceId(1)])]
+        );
+    }
+
+    #[test]
+    fn monitor_ewma_tracks_load() {
+        let mut m = Monitor::new(0.5);
+        let id = InstanceId(0);
+        m.observe(id, 4);
+        assert!((m.load_of(id) - 4.0).abs() < 1e-9, "first observation seeds the EWMA");
+        m.observe(id, 0);
+        assert!((m.load_of(id) - 2.0).abs() < 1e-9);
+        m.observe(id, 0);
+        assert!((m.load_of(id) - 1.0).abs() < 1e-9);
+        m.forget(id);
+        assert_eq!(m.load_of(id), 0.0);
+    }
+
+    #[test]
+    fn share_rebalancing_favours_busy_instances() {
+        let s = Scheduler::new(PoolPolicy::on_demand(8, SimDuration::from_secs(120)));
+        let db = db_with(2, true);
+        let mut m = Monitor::new(1.0);
+        m.observe(InstanceId(0), 3);
+        m.observe(InstanceId(1), 0);
+        let shares = s.rebalance_shares(&db, &m);
+        assert!(shares[&0] > 3 * shares[&1], "busy gets {} idle gets {}", shares[&0], shares[&1]);
+        assert!(shares[&1] >= 256, "floor respected");
+        assert!(shares[&0] <= 4096, "ceiling respected");
+    }
+
+    #[test]
+    fn mean_load_summary() {
+        let mut m = Monitor::new(1.0);
+        assert_eq!(m.mean_load(), 0.0);
+        m.observe(InstanceId(0), 2);
+        m.observe(InstanceId(1), 4);
+        assert!((m.mean_load() - 3.0).abs() < 1e-9);
+    }
+}

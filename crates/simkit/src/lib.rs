@@ -1,0 +1,33 @@
+//! # simkit — deterministic discrete-event simulation toolkit
+//!
+//! The substrate under the Rattrap reproduction: a microsecond-resolution
+//! simulated clock ([`time`]), a deterministic event queue ([`event`]),
+//! fair-share resource models for CPUs / disks / links ([`resource`]),
+//! seeded randomness with the distributions the experiments need
+//! ([`random`]), online statistics and empirical CDFs ([`stats`]),
+//! one-second timeline sampling for server-load figures ([`sampler`]),
+//! and the unit conventions shared by every crate ([`units`]).
+//!
+//! Design rules:
+//! * No wall-clock time anywhere — simulations are pure functions of
+//!   their inputs and a `u64` seed.
+//! * Ties in the event queue break by scheduling order, and resource
+//!   completion ties break by job id, so runs are bit-reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod random;
+pub mod resource;
+pub mod sampler;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventId, EventQueue};
+pub use random::{derive_seed, SimRng};
+pub use resource::{FairShareResource, JobId, MemoryPool};
+pub use sampler::TimelineSampler;
+pub use stats::{Cdf, OnlineStats};
+pub use time::{SimDuration, SimTime};

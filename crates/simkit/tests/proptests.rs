@@ -1,0 +1,139 @@
+//! Property-based tests for simkit invariants.
+
+use proptest::prelude::*;
+use simkit::{Cdf, EventQueue, FairShareResource, OnlineStats, SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// scheduling order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Equal-time events pop in scheduling (FIFO) order.
+    #[test]
+    fn event_queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn event_queue_cancellation(spec in prop::collection::vec((0u64..1000, any::<bool>()), 1..100)) {
+        let mut q = EventQueue::new();
+        let mut expect = 0usize;
+        let mut to_cancel = Vec::new();
+        for &(t, cancel) in &spec {
+            let id = q.schedule(SimTime::from_micros(t), ());
+            if cancel {
+                to_cancel.push(id);
+            } else {
+                expect += 1;
+            }
+        }
+        for id in to_cancel {
+            prop_assert!(q.cancel(id));
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Work is conserved on a fair-share resource: total completed work
+    /// after all jobs drain equals the sum of submitted work.
+    #[test]
+    fn fair_share_conserves_work(
+        jobs in prop::collection::vec((0.0f64..50.0, 0u64..10_000), 1..40),
+        capacity in 0.5f64..16.0,
+    ) {
+        let mut r = FairShareResource::new(capacity, 1.0);
+        let mut q = EventQueue::new();
+        let mut submitted = 0.0;
+        for &(work, at_us) in &jobs {
+            q.schedule(SimTime::from_micros(at_us), work);
+        }
+        // Drive arrivals, then drain completions interleaved.
+        let mut active = 0usize;
+        loop {
+            let next_arrival = q.peek_time();
+            let next_done = r.next_completion();
+            match (next_arrival, next_done) {
+                (Some(ta), Some((td, jid))) if td <= ta => {
+                    r.remove_job(td, jid);
+                    active -= 1;
+                }
+                (Some(_), _) => {
+                    let (t, work) = q.pop().unwrap();
+                    submitted += work;
+                    r.add_job(t, work);
+                    active += 1;
+                }
+                (None, Some((td, jid))) => {
+                    r.remove_job(td, jid);
+                    active -= 1;
+                }
+                (None, None) => break,
+            }
+        }
+        prop_assert_eq!(active, 0);
+        prop_assert!((r.completed_work() - submitted).abs() < 1e-6 * submitted.max(1.0),
+            "completed {} vs submitted {}", r.completed_work(), submitted);
+    }
+
+    /// OnlineStats::merge is equivalent to pushing sequentially, for any
+    /// split point.
+    #[test]
+    fn stats_merge_associative(data in prop::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let mut whole = OnlineStats::new();
+        data.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        data[..split].iter().for_each(|&x| a.push(x));
+        data[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * whole.variance().abs().max(1.0));
+    }
+
+    /// CDF invariants: monotone, bounded, quantile within sample range.
+    #[test]
+    fn cdf_invariants(data in prop::collection::vec(-1e3f64..1e3, 1..300), q in 0.0f64..1.0) {
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Cdf::from_samples(data);
+        prop_assert_eq!(cdf.fraction_le(hi), 1.0);
+        prop_assert_eq!(cdf.fraction_le(lo - 1.0), 0.0);
+        let quant = cdf.quantile(q).unwrap();
+        prop_assert!(quant >= lo && quant <= hi);
+        // fraction_le is monotone in its argument.
+        prop_assert!(cdf.fraction_le(lo) <= cdf.fraction_le((lo + hi) / 2.0));
+        prop_assert!(cdf.fraction_le((lo + hi) / 2.0) <= cdf.fraction_le(hi));
+    }
+
+    /// Durations formed from seconds round-trip within 1 µs.
+    #[test]
+    fn duration_roundtrip(s in 0.0f64..1e6) {
+        let d = SimDuration::from_secs_f64(s);
+        prop_assert!((d.as_secs_f64() - s).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,235 @@
+//! A multi-server Rattrap deployment — toward the §VIII goal of
+//! "making Rattrap available on public clouds": several cloud hosts
+//! behind one placement layer, with memory-aware placement and
+//! migration-based rebalancing built on [`mod@crate::migrate`].
+
+use crate::host::{CloudHost, HostError, InstanceId};
+use crate::migrate::{migrate, MigrationReceipt};
+use crate::spec::RuntimeClass;
+use hostkernel::HostSpec;
+use simkit::{SimDuration, SimTime};
+
+/// A container's cluster-wide address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterAddr {
+    /// Index of the host within the cluster.
+    pub host: usize,
+    /// Instance id on that host.
+    pub instance: InstanceId,
+}
+
+/// A fleet of cloud hosts.
+#[derive(Debug)]
+pub struct Cluster {
+    hosts: Vec<CloudHost>,
+}
+
+impl Cluster {
+    /// Bring up `n` identical hosts with the Android Container Driver
+    /// pre-loaded (a Rattrap fleet is provisioned that way).
+    pub fn new(n: usize, spec: HostSpec) -> Self {
+        assert!(n > 0, "a cluster needs at least one host");
+        let hosts = (0..n)
+            .map(|_| {
+                let mut h = CloudHost::new(spec);
+                h.kernel.load_android_container_driver();
+                h
+            })
+            .collect();
+        Cluster { hosts }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `true` for an empty cluster (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Host accessor.
+    pub fn host(&self, i: usize) -> &CloudHost {
+        &self.hosts[i]
+    }
+
+    /// Mutable host accessor.
+    pub fn host_mut(&mut self, i: usize) -> &mut CloudHost {
+        &mut self.hosts[i]
+    }
+
+    /// Provision on the host with the most free memory (ties to the
+    /// lowest index, keeping placement deterministic).
+    pub fn provision_least_loaded(
+        &mut self,
+        class: RuntimeClass,
+    ) -> Result<(ClusterAddr, SimDuration), HostError> {
+        let target = (0..self.hosts.len())
+            .min_by_key(|&i| (self.hosts[i].memory_reserved(), i))
+            .expect("non-empty cluster");
+        let (instance, setup) = self.hosts[target].provision(class)?;
+        Ok((ClusterAddr { host: target, instance }, setup))
+    }
+
+    /// Total instances across hosts.
+    pub fn instance_count(&self) -> usize {
+        self.hosts.iter().map(|h| h.instance_count()).sum()
+    }
+
+    /// Total reserved memory across hosts.
+    pub fn memory_reserved(&self) -> u64 {
+        self.hosts.iter().map(|h| h.memory_reserved()).sum()
+    }
+
+    /// Total physical disk across hosts (each host pays for its own
+    /// shared layer once).
+    pub fn total_disk_usage(&self) -> u64 {
+        self.hosts.iter().map(|h| h.total_disk_usage()).sum()
+    }
+
+    /// Memory imbalance: max − min reserved bytes across hosts.
+    pub fn memory_imbalance(&self) -> u64 {
+        let reserved: Vec<u64> = self.hosts.iter().map(|h| h.memory_reserved()).collect();
+        let max = reserved.iter().copied().max().unwrap_or(0);
+        let min = reserved.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// One rebalancing round: while the busiest host exceeds the
+    /// least-busy host by more than one container's memory, migrate an
+    /// idle container across. Returns the migrations performed.
+    pub fn rebalance(
+        &mut self,
+        link_bps: f64,
+        now: SimTime,
+    ) -> Result<Vec<(ClusterAddr, ClusterAddr, MigrationReceipt)>, HostError> {
+        let mut moves = Vec::new();
+        for _ in 0..self.instance_count() {
+            let (mut hot, mut cold) = (0usize, 0usize);
+            for i in 0..self.hosts.len() {
+                if self.hosts[i].memory_reserved() > self.hosts[hot].memory_reserved() {
+                    hot = i;
+                }
+                if self.hosts[i].memory_reserved() < self.hosts[cold].memory_reserved() {
+                    cold = i;
+                }
+            }
+            // Pick a migratable (container) instance on the hot host.
+            let candidate = self.hosts[hot]
+                .instance_ids()
+                .into_iter()
+                .find(|&id| {
+                    self.hosts[hot].instance(id).map(|i| i.class.is_container()).unwrap_or(false)
+                });
+            let Some(victim) = candidate else { break };
+            let victim_mem = self.hosts[hot]
+                .instance(victim)
+                .expect("candidate exists")
+                .class
+                .spec()
+                .memory_bytes;
+            if self.hosts[hot].memory_reserved()
+                < self.hosts[cold].memory_reserved() + 2 * victim_mem
+            {
+                break; // balanced enough: moving would just oscillate
+            }
+            let (src, dst) = split_two(&mut self.hosts, hot, cold);
+            let receipt = migrate(src, victim, dst, link_bps, now)?;
+            let new_addr = ClusterAddr { host: cold, instance: receipt.new_id };
+            moves.push((ClusterAddr { host: hot, instance: victim }, new_addr, receipt));
+        }
+        Ok(moves)
+    }
+}
+
+/// Split two distinct mutable references out of the host vector.
+fn split_two(hosts: &mut [CloudHost], a: usize, b: usize) -> (&mut CloudHost, &mut CloudHost) {
+    assert_ne!(a, b, "cannot migrate a host onto itself");
+    if a < b {
+        let (lo, hi) = hosts.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = hosts.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, HostSpec::paper_server())
+    }
+
+    #[test]
+    fn placement_spreads_across_hosts() {
+        let mut c = cluster(3);
+        let mut per_host = [0usize; 3];
+        for _ in 0..9 {
+            let (addr, _) = c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+            per_host[addr.host] += 1;
+        }
+        assert_eq!(per_host, [3, 3, 3], "round-robin under equal load");
+        assert_eq!(c.instance_count(), 9);
+    }
+
+    #[test]
+    fn placement_prefers_free_memory_not_host_order() {
+        let mut c = cluster(2);
+        // Preload host 0 with a fat VM.
+        c.host_mut(0).provision(RuntimeClass::AndroidVm).unwrap();
+        let (addr, _) = c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+        assert_eq!(addr.host, 1, "the empty host wins");
+    }
+
+    #[test]
+    fn rebalance_moves_containers_from_hot_to_cold() {
+        let mut c = cluster(2);
+        for _ in 0..6 {
+            c.host_mut(0).provision(RuntimeClass::CacOptimized).unwrap();
+        }
+        let before = c.memory_imbalance();
+        let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
+        assert!(!moves.is_empty(), "hot/cold split must trigger migrations");
+        assert!(c.memory_imbalance() < before);
+        // Loaded apps would survive (migration test covers that); here
+        // check accounting: total count is preserved.
+        assert_eq!(c.instance_count(), 6);
+        for (_, to, _) in &moves {
+            assert_eq!(to.host, 1);
+        }
+    }
+
+    #[test]
+    fn rebalance_is_stable_when_balanced() {
+        let mut c = cluster(2);
+        for _ in 0..2 {
+            c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+        }
+        let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
+        assert!(moves.is_empty(), "1-1 split must not oscillate");
+    }
+
+    #[test]
+    fn vms_are_not_rebalanced() {
+        let mut c = cluster(2);
+        for _ in 0..3 {
+            c.host_mut(0).provision(RuntimeClass::AndroidVm).unwrap();
+        }
+        let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
+        assert!(moves.is_empty(), "VMs cannot checkpoint-migrate");
+    }
+
+    #[test]
+    fn cluster_disk_pays_shared_layer_per_host() {
+        let mut c = cluster(2);
+        let empty = c.total_disk_usage();
+        for _ in 0..4 {
+            c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+        }
+        // 4 containers add only ~28 MiB of private state cluster-wide.
+        assert!(c.total_disk_usage() - empty < 40 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,31 @@
+//! # virt — runtime environments: Android VM vs Cloud Android Container
+//!
+//! Implements the code runtime environments the evaluation compares
+//! (Table I): the VirtualBox Android-x86 VM baseline, the
+//! non-optimized Cloud Android Container of Rattrap(W/O), and the fully
+//! optimized Cloud Android Container.
+//!
+//! * [`boot`] — the Fig. 6 boot sequences, calibrated to Table I's
+//!   setup times (28.72 s / 6.80 s / 1.75 s).
+//! * [`spec`] — per-class memory, vCPU, and efficiency parameters.
+//! * [`mod@migrate`] — Zap-style checkpoint/restore and live migration of
+//!   containers between hosts (only private state travels).
+//! * [`host`] — [`CloudHost`]: provisions instances against the real
+//!   `hostkernel` (driver modules, namespaces, Zygote bring-up via
+//!   syscalls) and `containerfs` (shared-layer union mounts, tmpfs
+//!   offloading I/O), with fleet-level disk/memory accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boot;
+pub mod cluster;
+pub mod host;
+pub mod migrate;
+pub mod spec;
+
+pub use boot::{android_vm_boot, cac_optimized_boot, cac_unoptimized_boot, BootSequence, BootStage};
+pub use cluster::{Cluster, ClusterAddr};
+pub use host::{CloudHost, HostError, InstanceId, RuntimeInstance};
+pub use migrate::{checkpoint, migrate, migrate_precopy, restore, Checkpoint, MigrationReceipt};
+pub use spec::{RuntimeClass, RuntimeSpec, TMPFS_BANDWIDTH};

@@ -1,0 +1,30 @@
+//! # workloads — the four benchmark applications, for real
+//!
+//! The paper evaluates four representative offloading workloads
+//! (§III-A). This crate implements each as genuinely executable Rust —
+//! not stubs — plus the calibrated offload profiles the discrete-event
+//! simulation ships over its simulated network:
+//!
+//! * [`ocr`] — bitmap-font rendering with noise + a template-matching
+//!   recogniser (the paper uses Tesseract through JNI).
+//! * [`chess`] — a full legal-move chess engine (castling, en passant,
+//!   promotion; perft-validated) with alpha-beta search (CuckooChess in
+//!   the paper).
+//! * [`virusscan`] — a from-scratch Aho–Corasick signature scanner over
+//!   synthetic corpora.
+//! * [`linpack`] — LU factorisation with partial pivoting and the
+//!   classic residual acceptance check.
+//! * [`profile`] — per-workload task descriptors (code size, payload,
+//!   compute megacycles, offload I/O) reverse-engineered from Table II,
+//!   Fig. 1 and Fig. 3.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chess;
+pub mod linpack;
+pub mod ocr;
+pub mod profile;
+pub mod virusscan;
+
+pub use profile::{TaskRequest, WorkloadKind, WorkloadProfile};

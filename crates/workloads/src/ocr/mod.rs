@@ -1,0 +1,70 @@
+//! OCR — the computation-intensive benchmark with file transfer
+//! (§III-A). The paper's version wraps Google Tesseract behind JNI;
+//! ours renders text to noisy bitmaps and recognises it with template
+//! matching, exercising the same shape of work: a sizable image upload
+//! followed by CPU-bound recognition.
+
+pub mod font;
+pub mod image;
+pub mod recognize;
+
+pub use image::{add_noise, render_text, GrayImage};
+pub use recognize::{recognize, OcrResult};
+
+use simkit::SimRng;
+
+/// One offloadable OCR request: an image to recognise.
+#[derive(Debug, Clone)]
+pub struct OcrRequest {
+    /// The scanned page.
+    pub image: GrayImage,
+    /// Ground-truth text (for accuracy checks; not transferred).
+    pub truth: String,
+}
+
+/// Generate a request with `words` pseudo-words of noisy text.
+pub fn generate_request(words: usize, rng: &mut SimRng) -> OcrRequest {
+    const VOCAB: [&str; 12] = [
+        "CLOUD", "MOBILE", "OFFLOAD", "CONTAINER", "ANDROID", "BINDER", "KERNEL", "RATTRAP",
+        "DRIVER", "IMAGE", "CACHE", "LAYER",
+    ];
+    let text: Vec<&str> =
+        (0..words).map(|_| VOCAB[rng.uniform_u64(0, VOCAB.len() as u64 - 1) as usize]).collect();
+    let truth = text.join(" ");
+    let mut image = render_text(&truth);
+    add_noise(&mut image, 25.0, 0.01, rng);
+    OcrRequest { image, truth }
+}
+
+/// Execute an OCR request (cloud-side code path).
+pub fn execute(req: &OcrRequest) -> OcrResult {
+    recognize(&req.image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_requests_recognise_accurately() {
+        let mut rng = SimRng::new(1);
+        let req = generate_request(5, &mut rng);
+        let r = execute(&req);
+        let errors = r
+            .text
+            .chars()
+            .zip(req.truth.chars())
+            .filter(|(a, b)| a != b)
+            .count()
+            + r.text.len().abs_diff(req.truth.len());
+        assert!(errors <= 2, "truth {:?} got {:?}", req.truth, r.text);
+    }
+
+    #[test]
+    fn request_sizes_grow_with_words() {
+        let mut rng = SimRng::new(2);
+        let small = generate_request(2, &mut rng);
+        let large = generate_request(20, &mut rng);
+        assert!(large.image.byte_size() > 5 * small.image.byte_size());
+    }
+}

@@ -1,0 +1,144 @@
+//! Template-matching recogniser — the compute kernel of the OCR
+//! workload (the paper's OCR uses Tesseract via JNI; ours is a
+//! from-scratch correlation matcher over the same glyph geometry).
+
+use super::font::{char_at, glyph, template_count, GLYPH_H, GLYPH_SPACING, GLYPH_W};
+use super::image::{GrayImage, RENDER_SCALE};
+
+/// Result of recognising one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcrResult {
+    /// Recognised text.
+    pub text: String,
+    /// Mean per-character confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Template comparisons performed (compute-cost proxy).
+    pub comparisons: u64,
+}
+
+/// Binarize with a fixed mid-gray threshold.
+fn is_ink(img: &GrayImage, x: usize, y: usize) -> bool {
+    img.get(x, y) < 128
+}
+
+/// Score a glyph template against the image cell at (x0, y0):
+/// fraction of agreeing pixels over the scaled glyph box.
+fn match_score(img: &GrayImage, x0: usize, y0: usize, g: &[u8; 7]) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for gy in 0..GLYPH_H {
+        for gx in 0..GLYPH_W {
+            let want = super::font::pixel(g, gx, gy);
+            for sy in 0..RENDER_SCALE {
+                for sx in 0..RENDER_SCALE {
+                    let x = x0 + gx * RENDER_SCALE + sx;
+                    let y = y0 + gy * RENDER_SCALE + sy;
+                    if x < img.width && y < img.height {
+                        total += 1;
+                        if is_ink(img, x, y) == want {
+                            agree += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+/// Recognise a single-line image produced by
+/// [`render_text`](super::image::render_text) (possibly noisy).
+pub fn recognize(img: &GrayImage) -> OcrResult {
+    let cell_w = (GLYPH_W + GLYPH_SPACING) * RENDER_SCALE;
+    let margin = 2 * RENDER_SCALE;
+    if img.width <= 2 * margin || img.height <= 2 * margin {
+        return OcrResult { text: String::new(), confidence: 0.0, comparisons: 0 };
+    }
+    let cells = (img.width - 2 * margin) / cell_w;
+    let mut text = String::with_capacity(cells);
+    let mut conf_sum = 0.0;
+    let mut comparisons = 0u64;
+    for c in 0..cells {
+        let x0 = margin + c * cell_w;
+        let mut best = (0usize, -1.0f64);
+        for t in 0..template_count() {
+            let g = glyph(char_at(t)).expect("template chars have glyphs");
+            let score = match_score(img, x0, margin, g);
+            comparisons += 1;
+            if score > best.1 {
+                best = (t, score);
+            }
+        }
+        text.push(char_at(best.0));
+        conf_sum += best.1;
+    }
+    let confidence = if cells == 0 { 0.0 } else { conf_sum / cells as f64 };
+    // Trim trailing spaces the cell grid may have produced.
+    let text = text.trim_end().to_string();
+    OcrResult { text, confidence, comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocr::image::{add_noise, render_text};
+    use simkit::SimRng;
+
+    #[test]
+    fn clean_text_round_trips() {
+        for text in ["HELLO WORLD", "RATTRAP 2017", "THE QUICK BROWN FOX 123"] {
+            let img = render_text(text);
+            let r = recognize(&img);
+            assert_eq!(r.text, text);
+            assert!(r.confidence > 0.99, "confidence {}", r.confidence);
+        }
+    }
+
+    #[test]
+    fn survives_moderate_noise() {
+        let mut rng = SimRng::new(42);
+        let text = "OFFLOAD THIS TO THE CLOUD";
+        let mut img = render_text(text);
+        add_noise(&mut img, 30.0, 0.02, &mut rng);
+        let r = recognize(&img);
+        // Allow a couple of character errors under noise.
+        let errors = r
+            .text
+            .chars()
+            .zip(text.chars())
+            .filter(|(a, b)| a != b)
+            .count()
+            + r.text.len().abs_diff(text.len());
+        assert!(errors <= 2, "got {:?} ({errors} errors)", r.text);
+    }
+
+    #[test]
+    fn heavy_noise_lowers_confidence() {
+        let mut rng = SimRng::new(43);
+        let mut clean = render_text("CONFIDENCE");
+        let clean_conf = recognize(&clean).confidence;
+        add_noise(&mut clean, 120.0, 0.25, &mut rng);
+        let noisy_conf = recognize(&clean).confidence;
+        assert!(noisy_conf < clean_conf);
+    }
+
+    #[test]
+    fn comparisons_scale_with_text_length() {
+        let short = recognize(&render_text("AB"));
+        let long = recognize(&render_text("ABCDEFGH"));
+        assert_eq!(short.comparisons, 2 * template_count() as u64);
+        assert_eq!(long.comparisons, 8 * template_count() as u64);
+    }
+
+    #[test]
+    fn degenerate_images() {
+        let tiny = GrayImage::blank(3, 3);
+        let r = recognize(&tiny);
+        assert_eq!(r.text, "");
+        assert_eq!(r.comparisons, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! From-scratch Aho–Corasick multi-pattern matcher — the signature
+//! engine behind the VirusScan benchmark.
+
+use std::collections::VecDeque;
+
+/// A match: which pattern, ending at which byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// Index of the matched pattern (order of insertion).
+    pub pattern: usize,
+    /// Byte offset one past the end of the match.
+    pub end: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Child per byte value; u32::MAX = absent.
+    next: Box<[u32; 256]>,
+    /// Failure link.
+    fail: u32,
+    /// Pattern indices ending at this node.
+    output: Vec<usize>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { next: Box::new([u32::MAX; 256]), fail: 0, output: Vec::new() }
+    }
+}
+
+/// Compiled Aho–Corasick automaton over byte patterns.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Build the automaton from `patterns`. Empty patterns are ignored.
+    pub fn build<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let mut nodes = vec![Node::new()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        // Trie construction.
+        for (idx, pat) in patterns.iter().enumerate() {
+            let bytes = pat.as_ref();
+            pattern_lens.push(bytes.len());
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut cur = 0u32;
+            for &b in bytes {
+                let slot = nodes[cur as usize].next[b as usize];
+                cur = if slot == u32::MAX {
+                    let id = nodes.len() as u32;
+                    nodes[cur as usize].next[b as usize] = id;
+                    nodes.push(Node::new());
+                    id
+                } else {
+                    slot
+                };
+            }
+            nodes[cur as usize].output.push(idx);
+        }
+        // BFS to set failure links and convert to a full goto function.
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            let child = nodes[0].next[b];
+            if child == u32::MAX {
+                nodes[0].next[b] = 0;
+            } else {
+                nodes[child as usize].fail = 0;
+                queue.push_back(child);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let fail_u = nodes[u as usize].fail;
+            // Merge outputs along the failure chain.
+            let inherited = nodes[fail_u as usize].output.clone();
+            nodes[u as usize].output.extend(inherited);
+            for b in 0..256 {
+                let child = nodes[u as usize].next[b];
+                let via_fail = nodes[fail_u as usize].next[b];
+                if child == u32::MAX {
+                    nodes[u as usize].next[b] = via_fail;
+                } else {
+                    nodes[child as usize].fail = via_fail;
+                    queue.push_back(child);
+                }
+            }
+        }
+        AhoCorasick { nodes, pattern_lens }
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// Length of pattern `idx`.
+    pub fn pattern_len(&self, idx: usize) -> usize {
+        self.pattern_lens[idx]
+    }
+
+    /// Find every match in `haystack` (overlapping included).
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<PatternMatch> {
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.nodes[state as usize].next[b as usize];
+            for &pat in &self.nodes[state as usize].output {
+                out.push(PatternMatch { pattern: pat, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Does `haystack` contain any pattern? Early-exits on first hit.
+    pub fn contains_any(&self, haystack: &[u8]) -> bool {
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.nodes[state as usize].next[b as usize];
+            if !self.nodes[state as usize].output.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_he_she_his_hers() {
+        let ac = AhoCorasick::build(&["he", "she", "his", "hers"]);
+        let matches = ac.find_all(b"ushers");
+        // "ushers" contains she (ends 4), he (ends 4), hers (ends 6).
+        let found: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(found.contains(&(1, 4)), "she");
+        assert!(found.contains(&(0, 4)), "he");
+        assert!(found.contains(&(3, 6)), "hers");
+        assert_eq!(matches.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_matches_reported() {
+        let ac = AhoCorasick::build(&["aa"]);
+        let matches = ac.find_all(b"aaaa");
+        assert_eq!(matches.len(), 3, "aa at ends 2,3,4");
+    }
+
+    #[test]
+    fn no_match_in_clean_input() {
+        let ac = AhoCorasick::build(&["virus", "trojan"]);
+        assert!(ac.find_all(b"perfectly clean file contents").is_empty());
+        assert!(!ac.contains_any(b"still clean"));
+    }
+
+    #[test]
+    fn contains_any_early_exit_agrees_with_find_all() {
+        let ac = AhoCorasick::build(&["abc", "bcd"]);
+        for hay in [&b"xxabcdxx"[..], b"zzz", b"bcd", b"ab"] {
+            assert_eq!(ac.contains_any(hay), !ac.find_all(hay).is_empty());
+        }
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let sig: &[u8] = &[0x4D, 0x5A, 0x90, 0x00];
+        let ac = AhoCorasick::build(&[sig]);
+        let mut hay = vec![0u8; 100];
+        hay.extend_from_slice(sig);
+        hay.extend_from_slice(&[1, 2, 3]);
+        let m = ac.find_all(&hay);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].end, 104);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let ac = AhoCorasick::build(&["", "x"]);
+        assert_eq!(ac.pattern_count(), 2);
+        let m = ac.find_all(b"x");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].pattern, 1);
+    }
+
+    #[test]
+    fn pattern_prefix_of_another() {
+        let ac = AhoCorasick::build(&["ab", "abcd"]);
+        let m = ac.find_all(b"abcd");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn state_count_reflects_shared_prefixes() {
+        let ac = AhoCorasick::build(&["abc", "abd"]);
+        // root + a + b + c + d = 5 states.
+        assert_eq!(ac.state_count(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! VirusScan — the I/O-heavy benchmark (§III-A): checks target files
+//! against a virus database, spawning more I/O than the other workloads.
+
+pub mod aho;
+pub mod scanner;
+
+pub use aho::{AhoCorasick, PatternMatch};
+pub use scanner::{generate_corpus, generate_database, scan, CorpusFile, ScanReport, Signature};
+
+/// One offloadable scan request.
+#[derive(Debug, Clone)]
+pub struct ScanRequest {
+    /// Files to scan.
+    pub corpus: Vec<CorpusFile>,
+}
+
+/// Execute a scan request against a database (the cloud side keeps the
+/// database resident; the files are the migrated data).
+pub fn execute(db: &[Signature], req: &ScanRequest) -> ScanReport {
+    scan(db, &req.corpus)
+}

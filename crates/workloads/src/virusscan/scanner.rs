@@ -1,0 +1,161 @@
+//! The VirusScan workload: a synthetic signature database, a synthetic
+//! file corpus, and a scanner that checks the corpus against the
+//! database — "spawns more I/O requests than other benchmarks" (§III-A).
+
+use super::aho::AhoCorasick;
+use simkit::SimRng;
+
+/// A virus signature: name + byte pattern.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Malware family name.
+    pub name: String,
+    /// Byte pattern scanned for.
+    pub pattern: Vec<u8>,
+}
+
+/// Generate a deterministic signature database of `count` entries with
+/// patterns of 8–24 bytes.
+pub fn generate_database(count: usize, rng: &mut SimRng) -> Vec<Signature> {
+    (0..count)
+        .map(|i| {
+            let len = rng.uniform_u64(8, 24) as usize;
+            // High bytes make accidental matches in ASCII-ish corpora rare.
+            let pattern: Vec<u8> =
+                (0..len).map(|_| rng.uniform_u64(128, 255) as u8).collect();
+            Signature { name: format!("SIG-{i:05}"), pattern }
+        })
+        .collect()
+}
+
+/// A synthetic file to scan.
+#[derive(Debug, Clone)]
+pub struct CorpusFile {
+    /// File name.
+    pub name: String,
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Ground truth: indices of signatures implanted in the file.
+    pub implanted: Vec<usize>,
+}
+
+/// Generate `count` files of ~`mean_size` bytes; a fraction
+/// `infection_rate` get a random signature implanted at a random offset.
+pub fn generate_corpus(
+    count: usize,
+    mean_size: usize,
+    infection_rate: f64,
+    db: &[Signature],
+    rng: &mut SimRng,
+) -> Vec<CorpusFile> {
+    (0..count)
+        .map(|i| {
+            let size = (rng.normal_at_least(mean_size as f64, mean_size as f64 * 0.3, 64.0))
+                as usize;
+            // Printable-ASCII body: disjoint from the high-byte signatures.
+            let mut data: Vec<u8> =
+                (0..size).map(|_| rng.uniform_u64(32, 126) as u8).collect();
+            let mut implanted = Vec::new();
+            if !db.is_empty() && rng.bernoulli(infection_rate) {
+                let sig = rng.uniform_u64(0, db.len() as u64 - 1) as usize;
+                let pat = &db[sig].pattern;
+                if data.len() > pat.len() {
+                    let at = rng.uniform_u64(0, (data.len() - pat.len()) as u64) as usize;
+                    data[at..at + pat.len()].copy_from_slice(pat);
+                    implanted.push(sig);
+                }
+            }
+            CorpusFile { name: format!("file-{i:04}.bin"), data, implanted }
+        })
+        .collect()
+}
+
+/// Result of scanning one corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Bytes read.
+    pub bytes_scanned: u64,
+    /// `(file index, signature index)` detections.
+    pub detections: Vec<(usize, usize)>,
+}
+
+/// Scan `corpus` against `db`.
+pub fn scan(db: &[Signature], corpus: &[CorpusFile]) -> ScanReport {
+    let ac = AhoCorasick::build(
+        &db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>(),
+    );
+    let mut report = ScanReport { files_scanned: 0, bytes_scanned: 0, detections: Vec::new() };
+    for (fi, file) in corpus.iter().enumerate() {
+        report.files_scanned += 1;
+        report.bytes_scanned += file.data.len() as u64;
+        let mut hits: Vec<usize> = ac.find_all(&file.data).iter().map(|m| m.pattern).collect();
+        hits.sort_unstable();
+        hits.dedup();
+        for sig in hits {
+            report.detections.push((fi, sig));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0x5CA4)
+    }
+
+    #[test]
+    fn database_is_deterministic() {
+        let a = generate_database(50, &mut rng());
+        let b = generate_database(50, &mut rng());
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pattern, y.pattern);
+        }
+    }
+
+    #[test]
+    fn scan_finds_every_implant_and_nothing_else() {
+        let mut r = rng();
+        let db = generate_database(200, &mut r);
+        let corpus = generate_corpus(80, 4096, 0.25, &db, &mut r);
+        let report = scan(&db, &corpus);
+        assert_eq!(report.files_scanned, 80);
+        // Every implanted signature is detected…
+        for (fi, file) in corpus.iter().enumerate() {
+            for &sig in &file.implanted {
+                assert!(
+                    report.detections.contains(&(fi, sig)),
+                    "missed implant {sig} in file {fi}"
+                );
+            }
+        }
+        // …and there are no false positives (ASCII body vs high-byte
+        // signatures).
+        let truth: usize = corpus.iter().map(|f| f.implanted.len()).sum();
+        assert_eq!(report.detections.len(), truth);
+        assert!(truth > 5, "infection rate should implant a good handful");
+    }
+
+    #[test]
+    fn clean_corpus_scans_clean() {
+        let mut r = rng();
+        let db = generate_database(100, &mut r);
+        let corpus = generate_corpus(20, 2048, 0.0, &db, &mut r);
+        let report = scan(&db, &corpus);
+        assert!(report.detections.is_empty());
+        assert!(report.bytes_scanned > 20 * 1000);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let report = scan(&[], &[]);
+        assert_eq!(report.files_scanned, 0);
+        assert_eq!(report.bytes_scanned, 0);
+        assert!(report.detections.is_empty());
+    }
+}

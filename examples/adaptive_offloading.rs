@@ -1,0 +1,42 @@
+//! The client-side decision engine adapting to network conditions: the
+//! same workload mix is offloaded on LAN WiFi, selectively offloaded on
+//! 4G, and mostly kept local on the paper's measured 3G link.
+//!
+//! Run with: `cargo run --release --example adaptive_offloading`
+
+use netsim::NetworkScenario;
+use rattrap::{DeviceSpec, LinkEstimator, Objective, OffloadDecider};
+use simkit::{SimDuration, SimRng};
+use workloads::WorkloadKind;
+
+fn main() {
+    println!("=== adaptive offloading across network scenarios ===\n");
+    let latency = OffloadDecider::new(DeviceSpec::default_handset(), Objective::Latency);
+    let energy = OffloadDecider::new(DeviceSpec::default_handset(), Objective::Energy);
+    let mut rng = SimRng::new(0xADA);
+
+    for scenario in NetworkScenario::ALL {
+        println!("--- {} ---", scenario.label());
+        let link = LinkEstimator::seeded_from(scenario);
+        for kind in WorkloadKind::ALL {
+            let task = kind.profile().sample(&mut rng);
+            let by_latency = latency.decide(scenario, &link, &task, 0, SimDuration::ZERO);
+            let by_energy = energy.decide(scenario, &link, &task, 0, SimDuration::ZERO);
+            println!(
+                "  {:<10} remote {:>7.2}s vs local {:>6.2}s | energy {:>8.0} vs {:>7.0} mJ | latency: {:<7} energy: {}",
+                kind.label(),
+                by_latency.predicted_remote.as_secs_f64(),
+                by_latency.predicted_local.as_secs_f64(),
+                by_energy.remote_energy_mj,
+                by_energy.local_energy_mj,
+                if by_latency.offload { "OFFLOAD" } else { "local" },
+                if by_energy.offload { "OFFLOAD" } else { "local" },
+            );
+        }
+        println!();
+    }
+    println!("On LAN everything offloads; on the paper's 3G link (0.38 Mbps up,");
+    println!("0.09 Mbps down) the transfer-bound workloads stay on the device —");
+    println!("the energy objective is stricter still because of the 3G radio's");
+    println!("promotion cost and five-second tail.");
+}

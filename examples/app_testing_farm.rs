@@ -1,0 +1,62 @@
+//! Mobile app testing — one of the §VIII use cases for Cloud Android
+//! Containers: a CI farm that needs N fresh Android environments to run
+//! a test matrix. Containers make environment-per-test affordable; VMs
+//! don't.
+//!
+//! Run with: `cargo run --release --example app_testing_farm [n_tests]`
+
+use hostkernel::HostSpec;
+use simkit::units::format_bytes;
+use simkit::SimDuration;
+use virt::{CloudHost, HostError, RuntimeClass};
+
+fn farm_run(class: RuntimeClass, tests: usize) -> (usize, SimDuration, u64, u64) {
+    let mut host = CloudHost::new(HostSpec::paper_server());
+    host.kernel.load_android_container_driver();
+    // Provision as many parallel environments as memory allows (capped
+    // at the test count), run the matrix in waves.
+    let mut envs = Vec::new();
+    let mut setup_total = SimDuration::ZERO;
+    while envs.len() < tests {
+        match host.provision(class) {
+            Ok((id, setup)) => {
+                setup_total += setup;
+                envs.push(id);
+            }
+            Err(HostError::OutOfMemory(_)) => break,
+            Err(e) => panic!("provision failed: {e}"),
+        }
+    }
+    let parallel = envs.len().max(1);
+    let waves = tests.div_ceil(parallel);
+    // Each test: install APK + run 30 s of instrumented tests.
+    let per_wave = SimDuration::from_secs(30) + SimDuration::from_millis(400);
+    let boot = class.boot_sequence().total();
+    // Environments must be *fresh* per test: each wave reboots them.
+    let wall = (boot + per_wave).mul_f64(waves as f64);
+    (parallel, wall, host.memory_reserved(), host.total_disk_usage())
+}
+
+fn main() {
+    let tests: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    println!("=== Android app-testing farm: {tests}-test matrix, fresh env per test ===\n");
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>12}",
+        "Runtime", "parallel", "wall time", "memory", "disk"
+    );
+    for class in [RuntimeClass::AndroidVm, RuntimeClass::CacUnoptimized, RuntimeClass::CacOptimized]
+    {
+        let (parallel, wall, mem, disk) = farm_run(class, tests);
+        println!(
+            "{:<22} {:>9} {:>11.0}s {:>12} {:>12}",
+            class.label(),
+            parallel,
+            wall.as_secs_f64(),
+            format_bytes(mem),
+            format_bytes(disk)
+        );
+    }
+    println!("\nThe optimized container farm fits several times more parallel environments in");
+    println!("the same DRAM and reboots each in 1.75s instead of 28.7s — the");
+    println!("fresh-environment-per-test discipline becomes affordable.");
+}

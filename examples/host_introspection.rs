@@ -1,0 +1,41 @@
+//! What an operator sees on a Rattrap server: `lsmod` before/after the
+//! Android Container Driver loads, `ps` across container namespaces,
+//! meminfo, and a container live-migration between two hosts.
+//!
+//! Run with: `cargo run --release --example host_introspection`
+
+use hostkernel::procfs::{lsmod, meminfo, ps};
+use hostkernel::HostSpec;
+use simkit::SimTime;
+use virt::{migrate, CloudHost, RuntimeClass};
+
+fn main() {
+    let mut host_a = CloudHost::new(HostSpec::paper_server());
+    println!("=== host A, stock server ===");
+    println!("$ lsmod\n{}", lsmod(&host_a.kernel));
+
+    host_a.kernel.load_android_container_driver();
+    println!("$ insmod android_container_driver/*.ko");
+    println!("$ lsmod\n{}", lsmod(&host_a.kernel));
+
+    let (c1, t1) = host_a.provision(RuntimeClass::CacOptimized).expect("fresh host");
+    let (_c2, _) = host_a.provision(RuntimeClass::CacOptimized).expect("fresh host");
+    host_a.load_app(c1, "com.bench.chessgame", 2 << 20).expect("live");
+    println!("provisioned two cloud android containers (first in {t1})\n");
+    println!("$ ps --namespaces\n{}", ps(&host_a.kernel));
+    println!("$ cat /proc/meminfo\n{}", meminfo(&host_a.kernel));
+
+    // Live-migrate container 1 to a second host over 10 GbE.
+    let mut host_b = CloudHost::new(HostSpec::paper_server());
+    let receipt = migrate(&mut host_a, c1, &mut host_b, 1.25e9, SimTime::ZERO).expect("migratable");
+    println!(
+        "$ rattrap migrate cac-{} host-b   # {} MiB of state, {} downtime",
+        c1.0,
+        receipt.state_bytes >> 20,
+        receipt.downtime
+    );
+    println!("\n=== host B after migration ===");
+    println!("$ ps --namespaces\n{}", ps(&host_b.kernel));
+    let reload = host_b.load_app(receipt.new_id, "com.bench.chessgame", 2 << 20).expect("live");
+    println!("chess code still warm on host B: classload cost {reload}");
+}

@@ -1,0 +1,66 @@
+//! MAUI-style method-level partitioning of a benchmark app's call
+//! graph: which methods should run in the Cloud Android Container,
+//! under each network scenario?
+//!
+//! Run with: `cargo run --release --example method_partitioning`
+
+use netsim::NetworkScenario;
+use rattrap::{partition, CallGraph, MethodNode, MethodPlacement, PartitionCosts};
+use simkit::units::Megacycles;
+
+/// The OCR app as an annotated call tree: UI entry, image capture
+/// (camera — pinned local), preprocessing, and the heavy recognition
+/// pipeline.
+fn ocr_app() -> CallGraph {
+    let node = |name: &str, mc: f64, state: u64, offloadable: bool, children: Vec<usize>| MethodNode {
+        name: name.into(),
+        compute: Megacycles(mc),
+        state_bytes: state,
+        offloadable,
+        children,
+    };
+    CallGraph::new(vec![
+        node("onScanButton", 4.0, 0, false, vec![1, 2]),          // 0: UI
+        node("capturePhoto", 120.0, 0, false, vec![]),            // 1: camera
+        node("runOcr", 30.0, 290_000, true, vec![3, 4, 5]),       // 2: pipeline root
+        node("binarize", 450.0, 290_000, true, vec![]),           // 3
+        node("segmentGlyphs", 900.0, 120_000, true, vec![]),      // 4
+        node("matchTemplates", 5_200.0, 60_000, true, vec![6]),   // 5: the JNI hot loop
+        node("rankCandidates", 300.0, 8_000, true, vec![]),       // 6
+    ])
+    .expect("valid tree")
+}
+
+fn main() {
+    println!("=== method-level partitioning of the OCR app ===\n");
+    let app = ocr_app();
+    for scenario in NetworkScenario::ALL {
+        let p = scenario.params();
+        let costs = PartitionCosts {
+            device_eff_ghz: 0.48,
+            server_eff_ghz: 2.53, // 2.66 GHz × 0.95 container efficiency
+            bandwidth_bps: p.upstream_bps,
+            rtt_s: p.rtt.as_secs_f64(),
+        };
+        let plan = partition(&app, &costs);
+        println!("--- {} (uplink {:.2} Mbps, rtt {:.0} ms) ---", scenario.label(),
+            p.upstream_bps * 8.0 / 1e6, p.rtt.as_millis_f64());
+        for i in 0..app.len() {
+            let place = match plan.placements[i] {
+                MethodPlacement::Remote => "CLOUD",
+                MethodPlacement::Local => "device",
+            };
+            println!("  {:<16} {:>7.0} Mc  → {}", app.node(i).name, app.node(i).compute.0, place);
+        }
+        println!(
+            "  end-to-end {:.2}s vs all-local {:.2}s  (speedup {:.2}x)\n",
+            plan.latency_s,
+            plan.all_local_s,
+            plan.speedup()
+        );
+    }
+    println!("On WiFi the whole recognition pipeline offloads. On the paper's");
+    println!("3G uplink the partitioner retreats to shipping only the hottest");
+    println!("subtree (matchTemplates, 60 KB of state) — paying one narrow cut");
+    println!("instead of the pipeline's 290 KB image upload.");
+}

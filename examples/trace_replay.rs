@@ -1,0 +1,47 @@
+//! Replay a synthetic LiveLab-style day of app usage against all three
+//! platforms — the Fig. 11 experiment at example scale.
+//!
+//! Run with: `cargo run --release --example trace_replay [hours]`
+
+use analysis::{fpct, Table};
+use rattrap::PlatformKind;
+use simkit::SimDuration;
+use traces::{generate, run_trace_experiment, stats, TraceConfig};
+use workloads::WorkloadKind;
+
+fn main() {
+    let hours: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cfg = TraceConfig {
+        users: 5,
+        duration: SimDuration::from_secs(hours * 3600),
+        ..Default::default()
+    };
+    let trace = generate(&cfg);
+    let ts = stats(&trace, SimDuration::from_secs(120));
+    println!(
+        "trace: {} requests over {hours}h from {} users (median gap {:.1}s, {} of requests follow a cold gap)\n",
+        ts.requests,
+        cfg.users,
+        ts.median_gap_s,
+        fpct(ts.cold_gap_fraction)
+    );
+
+    let results = run_trace_experiment(WorkloadKind::ChessGame, &cfg, &PlatformKind::ALL);
+    let mut table = Table::new(
+        "trace replay (ChessGame)",
+        &["Platform", "Requests", "Failures", "Median speedup", "P(speedup>3)"],
+    );
+    for r in &results {
+        table.row(&[
+            r.platform.label().to_string(),
+            r.requests.to_string(),
+            fpct(r.failure_rate),
+            format!("{:.2}", r.speedup_cdf.median().unwrap_or(0.0)),
+            fpct(r.speedup3_fraction),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Rattrap's sub-2s container start turns nearly every session-start");
+    println!("cold hit into a served request; the VM's 28.7s boot makes the");
+    println!("first requests of every session offloading failures.");
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests on the end-to-end simulation.
+
+use proptest::prelude::*;
+use rattrap::{run_scenario, ArrivalModel, PlatformKind, ScenarioConfig};
+use workloads::WorkloadKind;
+
+fn workload_from(i: u8) -> WorkloadKind {
+    WorkloadKind::ALL[i as usize % 4]
+}
+
+fn platform_from(i: u8) -> PlatformKind {
+    PlatformKind::ALL[i as usize % 3]
+}
+
+/// A small scenario keeps each proptest case fast.
+fn small_scenario(platform: PlatformKind, workload: WorkloadKind, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_default(platform.config(), workload, seed);
+    cfg.devices = 2;
+    cfg.requests_per_device = 4;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every issued request completes exactly once, regardless of
+    /// platform, workload or seed.
+    #[test]
+    fn all_requests_complete(seed in any::<u64>(), w in any::<u8>(), p in any::<u8>()) {
+        let rep = run_scenario(small_scenario(platform_from(p), workload_from(w), seed));
+        prop_assert_eq!(rep.requests.len(), 8);
+        let mut ids: Vec<u64> = rep.requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), 8, "no duplicated completions");
+    }
+
+    /// Phase decomposition is consistent: the four phases sum to the
+    /// response time, and every phase is non-negative.
+    #[test]
+    fn phases_sum_to_response(seed in any::<u64>(), w in any::<u8>(), p in any::<u8>()) {
+        let rep = run_scenario(small_scenario(platform_from(p), workload_from(w), seed));
+        for r in &rep.requests {
+            let total = r.phases.total().as_secs_f64();
+            let response = r.response_time().as_secs_f64();
+            prop_assert!((total - response).abs() < 2e-3,
+                "phases {total} vs response {response} (req {})", r.id);
+            prop_assert!(r.completed_at >= r.arrived_at);
+        }
+    }
+
+    /// Byte accounting: upload covers code + control at minimum, and
+    /// totals equal the per-request sums.
+    #[test]
+    fn byte_conservation(seed in any::<u64>(), w in any::<u8>(), p in any::<u8>()) {
+        let rep = run_scenario(small_scenario(platform_from(p), workload_from(w), seed));
+        let sum: u64 = rep.requests.iter().map(|r| r.upload_bytes).sum();
+        prop_assert_eq!(rep.total_upload_bytes(), sum);
+        for r in &rep.requests {
+            prop_assert!(r.upload_bytes >= r.code_bytes_sent);
+            prop_assert!(r.code_transferred == (r.code_bytes_sent > 0));
+        }
+    }
+
+    /// Determinism: identical configs produce identical reports.
+    #[test]
+    fn determinism(seed in any::<u64>(), w in any::<u8>(), p in any::<u8>()) {
+        let a = run_scenario(small_scenario(platform_from(p), workload_from(w), seed));
+        let b = run_scenario(small_scenario(platform_from(p), workload_from(w), seed));
+        prop_assert_eq!(&a.requests, &b.requests);
+        prop_assert_eq!(a.instances_provisioned, b.instances_provisioned);
+        prop_assert_eq!(a.peak_memory_bytes, b.peak_memory_bytes);
+    }
+
+    /// CPU timeline levels are valid fractions.
+    #[test]
+    fn cpu_levels_bounded(seed in any::<u64>(), p in any::<u8>()) {
+        let rep = run_scenario(small_scenario(platform_from(p), WorkloadKind::Linpack, seed));
+        prop_assert!(rep.cpu_timeline.iter().all(|&l| (0.0..=1.0 + 1e-9).contains(&l)));
+    }
+
+    /// The same request inflow hits every platform: per-request task
+    /// payloads (seeded per device+seq) are identical across platforms.
+    #[test]
+    fn same_inflow_across_platforms(seed in any::<u64>(), w in any::<u8>()) {
+        let kind = workload_from(w);
+        let a = run_scenario(small_scenario(PlatformKind::Rattrap, kind, seed));
+        let b = run_scenario(small_scenario(PlatformKind::VmBaseline, kind, seed));
+        let key = |rep: &rattrap::SimulationReport| {
+            let mut v: Vec<(u32, u32, u64)> = rep
+                .requests
+                .iter()
+                .map(|r| (r.device, r.seq_on_device, r.upload_bytes - r.code_bytes_sent))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(key(&a), key(&b), "payloads must match across platforms");
+    }
+
+    /// Trace mode serves exactly the requests in the trace.
+    #[test]
+    fn trace_mode_serves_trace(seed in any::<u64>(), n in 1usize..12) {
+        let trace: Vec<Vec<simkit::SimTime>> = vec![
+            (0..n).map(|i| simkit::SimTime::from_secs(10 * i as u64)).collect(),
+        ];
+        let mut cfg = small_scenario(PlatformKind::Rattrap, WorkloadKind::ChessGame, seed);
+        cfg.devices = 1;
+        cfg.arrivals = ArrivalModel::Trace(trace);
+        let rep = run_scenario(cfg);
+        prop_assert_eq!(rep.requests.len(), n);
+    }
+}
