@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, full test suite.
+# Run from the repo root. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "CI OK"

@@ -60,7 +60,13 @@ impl Scorecard {
 
     /// Check that `measured` lies inside the paper's `(lo, hi)` band,
     /// widened by `slack` relative on both sides.
-    pub fn in_band(&mut self, name: &str, band: (f64, f64), measured: f64, slack: f64) -> &mut Self {
+    pub fn in_band(
+        &mut self,
+        name: &str,
+        band: (f64, f64),
+        measured: f64,
+        slack: f64,
+    ) -> &mut Self {
         let lo = band.0 * (1.0 - slack);
         let hi = band.1 * (1.0 + slack);
         let ok = measured >= lo && measured <= hi;
@@ -126,7 +132,11 @@ impl Scorecard {
         for c in &self.checks {
             out.push_str(&format!("{c}\n"));
         }
-        out.push_str(&format!("{} / {} checks passed\n", self.passed(), self.len()));
+        out.push_str(&format!(
+            "{} / {} checks passed\n",
+            self.passed(),
+            self.len()
+        ));
         out
     }
 }

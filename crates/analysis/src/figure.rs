@@ -4,12 +4,19 @@
 /// Render a horizontal bar chart of labelled values (one bar each),
 /// scaled to `width` characters at the maximum value.
 pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String {
-    let max = entries.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
     let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = format!("== {title} ==\n");
     for (label, v) in entries {
         let bars = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!("{label:<label_w$} | {} {v:.3}\n", "#".repeat(bars)));
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.3}\n",
+            "#".repeat(bars)
+        ));
     }
     out
 }
@@ -24,7 +31,11 @@ pub fn stacked_bars(
 ) -> String {
     const GLYPHS: [char; 6] = ['#', '=', ':', '+', 'o', '.'];
     let totals: Vec<f64> = entries.iter().map(|(_, vs)| vs.iter().sum()).collect();
-    let max = totals.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let max = totals
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
     let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = format!("== {title} ==\n");
     out.push_str("legend:");
@@ -50,12 +61,20 @@ pub fn time_series(title: &str, values: &[f64], unit: &str, max_points: usize) -
     if values.is_empty() {
         return out;
     }
-    let stride = (values.len() + max_points - 1) / max_points;
-    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let stride = values.len().div_ceil(max_points);
+    let max = values
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
     for (i, chunk) in values.chunks(stride).enumerate() {
         let v = chunk.iter().sum::<f64>() / chunk.len() as f64;
         let bars = ((v / max) * 50.0).round() as usize;
-        out.push_str(&format!("{:>5}s | {:<50} {v:.2} {unit}\n", i * stride, "*".repeat(bars)));
+        out.push_str(&format!(
+            "{:>5}s | {:<50} {v:.2} {unit}\n",
+            i * stride,
+            "*".repeat(bars)
+        ));
     }
     out
 }
@@ -96,7 +115,10 @@ mod tests {
         let s = stacked_bars(
             "phases",
             &["compute", "prep"],
-            &[("VM".into(), vec![1.0, 3.0]), ("Rattrap".into(), vec![1.0, 0.2])],
+            &[
+                ("VM".into(), vec![1.0, 3.0]),
+                ("Rattrap".into(), vec![1.0, 0.2]),
+            ],
             20,
         );
         assert!(s.contains("[#]=compute"));

@@ -59,17 +59,21 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, &w) in widths.iter().enumerate().take(cols) {
                 if i > 0 {
                     line.push_str("  ");
                 }
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = cell.chars().next().map(|c| c.is_ascii_digit() || c == '-' || c == '+').unwrap_or(false);
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                    .unwrap_or(false);
                 if numeric {
-                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                    line.push_str(&format!("{cell:>w$}"));
                 } else {
-                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                    line.push_str(&format!("{cell:<w$}"));
                 }
             }
             line.trim_end().to_string()
@@ -98,7 +102,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -163,7 +174,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fx(16.406), "16.41x");
         assert_eq!(fpct(0.0133), "1.3%");
     }

@@ -11,8 +11,7 @@ fn bench_simulation(c: &mut Criterion) {
     for platform in PlatformKind::ALL {
         group.bench_function(format!("sim_5x20_ocr_{}", platform.label()), |b| {
             b.iter(|| {
-                let cfg =
-                    ScenarioConfig::paper_default(platform.config(), WorkloadKind::Ocr, 7);
+                let cfg = ScenarioConfig::paper_default(platform.config(), WorkloadKind::Ocr, 7);
                 black_box(run_scenario(cfg))
             })
         });

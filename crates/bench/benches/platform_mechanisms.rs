@@ -86,12 +86,15 @@ fn bench_binder(c: &mut Criterion) {
         .iter()
         .enumerate()
     {
-        ctx.register_service(svc, i as u32 + 1).expect("unique names");
+        ctx.register_service(svc, i as u32 + 1)
+            .expect("unique names");
     }
     group.bench_function("transact", |b| {
         b.iter(|| black_box(ctx.transact("offloadcontroller", 256)))
     });
-    group.bench_function("lookup_service", |b| b.iter(|| black_box(ctx.lookup("media"))));
+    group.bench_function("lookup_service", |b| {
+        b.iter(|| black_box(ctx.lookup("media")))
+    });
     group.finish();
 }
 

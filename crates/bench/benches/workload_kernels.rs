@@ -29,7 +29,9 @@ fn bench_ocr(c: &mut Criterion) {
     let mut rng = SimRng::new(1);
     let req = generate_request(8, &mut rng);
     group.throughput(Throughput::Bytes(req.image.byte_size()));
-    group.bench_function("recognize_8_words", |b| b.iter(|| black_box(recognize(&req.image))));
+    group.bench_function("recognize_8_words", |b| {
+        b.iter(|| black_box(recognize(&req.image)))
+    });
     group.finish();
 }
 
@@ -44,9 +46,11 @@ fn bench_virusscan(c: &mut Criterion) {
         b.iter(|| black_box(scan(&db, &corpus)))
     });
     group.bench_function("build_automaton_1000sigs", |b| {
-        b.iter(|| black_box(workloads::virusscan::AhoCorasick::build(
-            &db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>(),
-        )))
+        b.iter(|| {
+            black_box(workloads::virusscan::AhoCorasick::build(
+                &db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>(),
+            ))
+        })
     });
     group.finish();
 }

@@ -19,7 +19,8 @@ fn main() {
         .unwrap_or(exp::DEFAULT_SEED);
     // Each experiment is independent and deterministic given the seed:
     // run them in parallel, print in paper order.
-    let jobs: Vec<(&str, fn(u64) -> exp::ExperimentOutput)> = vec![
+    type Job = (&'static str, fn(u64) -> exp::ExperimentOutput);
+    let jobs: Vec<Job> = vec![
         ("fig1", exp::fig1::run),
         ("fig2", exp::fig2::run),
         ("fig3", exp::fig3::run),

@@ -26,7 +26,14 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let mut sc = Scorecard::new();
     let mut table = Table::new(
         "Ablations (ChessGame + VirusScan, LAN, 5×20 requests)",
-        &["Configuration", "Response(s)", "Prep(s)", "Transfer(s)", "Compute(s)", "Upload(MB)"],
+        &[
+            "Configuration",
+            "Response(s)",
+            "Prep(s)",
+            "Transfer(s)",
+            "Compute(s)",
+            "Upload(MB)",
+        ],
     );
 
     let mut run_cfg = |label: &str, cfg: ScenarioConfig| -> (f64, f64, f64, f64, f64) {
@@ -46,14 +53,28 @@ pub fn run(seed: u64) -> ExperimentOutput {
 
     // --- 1. Code cache on/off (ChessGame: code-dominated migration) ----
     let base = PlatformKind::Rattrap.config();
-    let full =
-        run_cfg("Rattrap (full)", ScenarioConfig::paper_default(base, WorkloadKind::ChessGame, seed));
+    let full = run_cfg(
+        "Rattrap (full)",
+        ScenarioConfig::paper_default(base, WorkloadKind::ChessGame, seed),
+    );
     let no_cache = run_cfg(
         "  - code cache",
         ScenarioConfig::paper_default(base.with_code_cache(false), WorkloadKind::ChessGame, seed),
     );
-    sc.less("code cache cuts upload volume", "with cache", full.4, "without", no_cache.4);
-    sc.less("code cache cuts transfer time", "with cache", full.2, "without", no_cache.2);
+    sc.less(
+        "code cache cuts upload volume",
+        "with cache",
+        full.4,
+        "without",
+        no_cache.4,
+    );
+    sc.less(
+        "code cache cuts transfer time",
+        "with cache",
+        full.2,
+        "without",
+        no_cache.2,
+    );
 
     // --- 2. Dispatcher CID affinity on/off ------------------------------
     let no_affinity = run_cfg(
@@ -68,8 +89,10 @@ pub fn run(seed: u64) -> ExperimentOutput {
     );
 
     // --- 3. OS customization / shared layer (runtime class) -------------
-    let vs_full =
-        run_cfg("Rattrap (VirusScan)", ScenarioConfig::paper_default(base, WorkloadKind::VirusScan, seed));
+    let vs_full = run_cfg(
+        "Rattrap (VirusScan)",
+        ScenarioConfig::paper_default(base, WorkloadKind::VirusScan, seed),
+    );
     let vs_unopt = run_cfg(
         "  - OS optimization",
         ScenarioConfig::paper_default(
@@ -78,7 +101,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
             seed,
         ),
     );
-    sc.less("OS optimization cuts prep", "optimized", vs_full.1, "unoptimized", vs_unopt.1);
+    sc.less(
+        "OS optimization cuts prep",
+        "optimized",
+        vs_full.1,
+        "unoptimized",
+        vs_unopt.1,
+    );
 
     // --- 4. Shared offloading I/O (tmpfs) vs exclusive disk I/O ---------
     // CacUnoptimized keeps everything else container-grade but routes
@@ -108,7 +137,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
     sc.expect(
         "lazy driver loading is cheap",
         "< 0.2 s, < 4 MB kernel memory",
-        &format!("{:.3}s, {:.2} MB", load_time.as_secs_f64(), lazy_mem_after as f64 / 1e6),
+        &format!(
+            "{:.3}s, {:.2} MB",
+            load_time.as_secs_f64(),
+            lazy_mem_after as f64 / 1e6
+        ),
         load_time.as_secs_f64() < 0.2 && lazy_mem_after < 4_000_000 && lazy_mem_before == 0,
     );
     // Unloading reclaims everything once containers are gone.
@@ -122,7 +155,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         kernel.kernel_memory() == 0,
     );
 
-    ExperimentOutput { id: "Ablations", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Ablations",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -21,12 +21,21 @@ pub fn run(seed: u64) -> ExperimentOutput {
         let profile = kind.profile();
         let mut table = Table::new(
             &format!("offloading decisions ({})", kind.label()),
-            &["Scenario", "Offloaded", "Adaptive(s)", "AlwaysOffload(s)", "AlwaysLocal(s)"],
+            &[
+                "Scenario",
+                "Offloaded",
+                "Adaptive(s)",
+                "AlwaysOffload(s)",
+                "AlwaysLocal(s)",
+            ],
         );
         let mut offload_fracs = Vec::new();
         for scenario in NetworkScenario::ALL {
             let link = LinkEstimator::seeded_from(scenario);
-            let mut rng = SimRng::new(simkit::derive_seed(seed, kind as u64 * 16 + scenario as u64));
+            let mut rng = SimRng::new(simkit::derive_seed(
+                seed,
+                kind as u64 * 16 + scenario as u64,
+            ));
             let (mut n_off, mut t_adaptive, mut t_offload, mut t_local) = (0usize, 0.0, 0.0, 0.0);
             let n = 200;
             for _ in 0..n {
@@ -55,7 +64,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
             // The adaptive policy never loses to either static policy
             // (it picks the predicted-better arm per task).
             sc.expect(
-                &format!("{} {}: adaptive ≤ min(static)", kind.label(), scenario.label()),
+                &format!(
+                    "{} {}: adaptive ≤ min(static)",
+                    kind.label(),
+                    scenario.label()
+                ),
                 "adaptive ≤ min(always-offload, always-local)",
                 &format!(
                     "{:.2} vs min({:.2},{:.2})",
@@ -91,11 +104,19 @@ pub fn run(seed: u64) -> ExperimentOutput {
     sc.expect(
         "VirusScan stays local on 3G",
         "no offload",
-        &format!("remote {:.1}s vs local {:.1}s", scan.predicted_remote.as_secs_f64(), scan.predicted_local.as_secs_f64()),
+        &format!(
+            "remote {:.1}s vs local {:.1}s",
+            scan.predicted_remote.as_secs_f64(),
+            scan.predicted_local.as_secs_f64()
+        ),
         !scan.offload,
     );
 
-    ExperimentOutput { id: "Decision study", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Decision study",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

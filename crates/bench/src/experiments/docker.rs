@@ -24,8 +24,16 @@ pub fn run(_seed: u64) -> ExperimentOutput {
     // Baselines from the paper's prototype.
     let vm = RuntimeClass::AndroidVm.boot_sequence().total();
     let lxc = RuntimeClass::CacOptimized.boot_sequence().total();
-    table.row(&["Android VM (Table I)".into(), fnum(vm.as_secs_f64(), 2), "-".into()]);
-    table.row(&["LXC CAC, prebuilt rootfs (Table I)".into(), fnum(lxc.as_secs_f64(), 2), "-".into()]);
+    table.row(&[
+        "Android VM (Table I)".into(),
+        fnum(vm.as_secs_f64(), 2),
+        "-".into(),
+    ]);
+    table.row(&[
+        "LXC CAC, prebuilt rootfs (Table I)".into(),
+        fnum(lxc.as_secs_f64(), 2),
+        "-".into(),
+    ]);
 
     // Registry with the cloud-android image.
     let mut registry = Registry::new();
@@ -130,7 +138,11 @@ pub fn run(_seed: u64) -> ExperimentOutput {
         derived_pull.pull.bytes_transferred == app_delta.size,
     );
 
-    ExperimentOutput { id: "Docker provisioning (§VIII)", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Docker provisioning (§VIII)",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -14,16 +14,24 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let mut sc = Scorecard::new();
 
     for kind in WorkloadKind::ALL {
-        let mut cfg =
-            ScenarioConfig::paper_default(PlatformKind::VmBaseline.config(), kind, seed);
+        let mut cfg = ScenarioConfig::paper_default(PlatformKind::VmBaseline.config(), kind, seed);
         cfg.devices = 1;
         cfg.requests_per_device = 20;
         let report = run_scenario(cfg);
 
         let mut table = Table::new(
-            &format!("Fig. 1 ({kind}) — phases of the first 20 requests, VM platform",
-                kind = kind.label()),
-            &["Req", "Connect(ms)", "Transfer(ms)", "Prep(ms)", "Compute(ms)", "Speedup"],
+            &format!(
+                "Fig. 1 ({kind}) — phases of the first 20 requests, VM platform",
+                kind = kind.label()
+            ),
+            &[
+                "Req",
+                "Connect(ms)",
+                "Transfer(ms)",
+                "Prep(ms)",
+                "Compute(ms)",
+                "Speedup",
+            ],
         );
         let mut reqs = report.requests.clone();
         reqs.sort_by_key(|r| r.seq_on_device);
@@ -56,7 +64,10 @@ pub fn run(seed: u64) -> ExperimentOutput {
             first.phases.runtime_preparation.as_secs_f64() > 20.0,
         );
         // Steady state: offloading succeeds.
-        let warm_ok = reqs[5..].iter().filter(|r| !r.is_offloading_failure()).count();
+        let warm_ok = reqs[5..]
+            .iter()
+            .filter(|r| !r.is_offloading_failure())
+            .count();
         sc.expect(
             &format!("{}: warm requests succeed", kind.label()),
             "> 90% of requests 6–20",
@@ -72,7 +83,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         );
     }
 
-    ExperimentOutput { id: "Fig. 1", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 1",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -21,8 +21,26 @@ fn mean_normalized(rep: &SimulationReport, est: &EnergyEstimator) -> f64 {
     })
 }
 
+/// Mean normalized energy over [`super::REPLICATIONS`] independent
+/// runs on derived seeds, executed in parallel (order-preserving, so
+/// identical to the serial loop).
+fn replicated_energy(
+    platform: PlatformKind,
+    kind: WorkloadKind,
+    scenario: NetworkScenario,
+    seed: u64,
+    est: &EnergyEstimator,
+) -> f64 {
+    let runs = super::replicate(seed, super::REPLICATIONS, |s| {
+        let mut cfg = ScenarioConfig::paper_default(platform.config(), kind, s);
+        cfg.scenario = scenario;
+        mean_normalized(&run_scenario(cfg), est)
+    });
+    runs.iter().sum::<f64>() / runs.len() as f64
+}
+
 /// Run Fig. 10: every workload × scenario × platform; energy normalized
-/// to local execution (= 1.0).
+/// to local execution (= 1.0), averaged over parallel replications.
 pub fn run(seed: u64) -> ExperimentOutput {
     let est = EnergyEstimator::new(DevicePowerModel::power_tutor_default());
     let mut body = String::new();
@@ -30,17 +48,17 @@ pub fn run(seed: u64) -> ExperimentOutput {
 
     for kind in WorkloadKind::ALL {
         let mut table = Table::new(
-            &format!("Fig. 10 ({}) — normalized energy (local = 1.0)", kind.label()),
+            &format!(
+                "Fig. 10 ({}) — normalized energy (local = 1.0)",
+                kind.label()
+            ),
             &["Scenario", "Rattrap", "Rattrap(W/O)", "VM"],
         );
         let mut lan_values = Vec::new();
         for scenario in NetworkScenario::ALL {
             let mut row = vec![scenario.label().to_string()];
             for platform in PlatformKind::ALL {
-                let mut cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
-                cfg.scenario = scenario;
-                let rep = run_scenario(cfg);
-                let e = mean_normalized(&rep, &est);
+                let e = replicated_energy(platform, kind, scenario, seed, &est);
                 row.push(format!("{e:.3}"));
                 if scenario == NetworkScenario::LanWifi {
                     lan_values.push(e);
@@ -54,8 +72,20 @@ pub fn run(seed: u64) -> ExperimentOutput {
         // First observation of §VI-D: both Rattrap variants beat the VM
         // platform on energy.
         let (rt, wo, vm) = (lan_values[0], lan_values[1], lan_values[2]);
-        sc.less(&format!("{} LAN: Rattrap beats VM on energy", kind.label()), "Rattrap", rt, "VM", vm);
-        sc.less(&format!("{} LAN: W/O beats VM on energy", kind.label()), "W/O", wo, "VM", vm);
+        sc.less(
+            &format!("{} LAN: Rattrap beats VM on energy", kind.label()),
+            "Rattrap",
+            rt,
+            "VM",
+            vm,
+        );
+        sc.less(
+            &format!("{} LAN: W/O beats VM on energy", kind.label()),
+            "W/O",
+            wo,
+            "VM",
+            vm,
+        );
         // Offloading extends battery life in the LAN scenario.
         sc.expect(
             &format!("{} LAN: offloading saves energy vs local", kind.label()),
@@ -71,9 +101,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let ratio = |kind: WorkloadKind| {
         let mut e = Vec::new();
         for platform in [PlatformKind::Rattrap, PlatformKind::VmBaseline] {
-            let cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
-            let rep = run_scenario(cfg);
-            e.push(mean_normalized(&rep, &est));
+            e.push(replicated_energy(
+                platform,
+                kind,
+                NetworkScenario::LanWifi,
+                seed,
+                &est,
+            ));
         }
         e[1] / e[0] // VM energy / Rattrap energy
     };
@@ -101,11 +135,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let ocr_adv = |scenario: NetworkScenario| {
         let mut e = Vec::new();
         for platform in [PlatformKind::Rattrap, PlatformKind::VmBaseline] {
-            let mut cfg =
-                ScenarioConfig::paper_default(platform.config(), WorkloadKind::Ocr, seed);
-            cfg.scenario = scenario;
-            let rep = run_scenario(cfg);
-            e.push(mean_normalized(&rep, &est));
+            e.push(replicated_energy(
+                platform,
+                WorkloadKind::Ocr,
+                scenario,
+                seed,
+                &est,
+            ));
         }
         e[1] / e[0]
     };
@@ -119,7 +155,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         lan_adv,
     );
 
-    ExperimentOutput { id: "Fig. 10", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 10",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

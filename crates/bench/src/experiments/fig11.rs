@@ -23,9 +23,12 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let results = run_trace_experiment(WorkloadKind::ChessGame, &trace_cfg, &PlatformKind::ALL);
 
     let labels: Vec<&str> = results.iter().map(|r| r.platform.label()).collect();
-    let curves: Vec<Vec<(f64, f64)>> =
-        results.iter().map(|r| r.speedup_cdf.curve(24)).collect();
-    let mut body = cdf_table("Fig. 11 — speedup CDF (ChessGame, trace replay)", &labels, &curves);
+    let curves: Vec<Vec<(f64, f64)>> = results.iter().map(|r| r.speedup_cdf.curve(24)).collect();
+    let mut body = cdf_table(
+        "Fig. 11 — speedup CDF (ChessGame, trace replay)",
+        &labels,
+        &curves,
+    );
     body.push('\n');
     for r in &results {
         body.push_str(&format!(
@@ -45,9 +48,26 @@ pub fn run(seed: u64) -> ExperimentOutput {
 
     let mut sc = Scorecard::new();
     // Failure ordering and magnitudes (paper: 1.3% / 7.7% / 9.7%).
-    sc.less("failures: Rattrap < W/O", "Rattrap", rt.failure_rate, "W/O", wo.failure_rate);
-    sc.less("failures: Rattrap < VM", "Rattrap", rt.failure_rate, "VM", vm.failure_rate);
-    sc.within("Rattrap failure rate", paper::TRACE_FAILURE_RATES[0], rt.failure_rate, 2.0);
+    sc.less(
+        "failures: Rattrap < W/O",
+        "Rattrap",
+        rt.failure_rate,
+        "W/O",
+        wo.failure_rate,
+    );
+    sc.less(
+        "failures: Rattrap < VM",
+        "Rattrap",
+        rt.failure_rate,
+        "VM",
+        vm.failure_rate,
+    );
+    sc.within(
+        "Rattrap failure rate",
+        paper::TRACE_FAILURE_RATES[0],
+        rt.failure_rate,
+        2.0,
+    );
     sc.expect(
         "VM failure rate near paper's 9.7%",
         "4%–20%",
@@ -65,7 +85,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
     sc.expect(
         "Rattrap ≈ W/O above 3x, Rattrap slightly ahead",
         "Rattrap ≥ W/O − 5pp",
-        &format!("{} vs {}", fpct(rt.speedup3_fraction), fpct(wo.speedup3_fraction)),
+        &format!(
+            "{} vs {}",
+            fpct(rt.speedup3_fraction),
+            fpct(wo.speedup3_fraction)
+        ),
         rt.speedup3_fraction >= wo.speedup3_fraction - 0.05,
     );
     sc.expect(
@@ -75,7 +99,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         rt.requests == wo.requests && wo.requests == vm.requests,
     );
 
-    ExperimentOutput { id: "Fig. 11", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 11",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         let report = run_scenario(cfg);
         body.push_str(&time_series(
             &format!("Fig. 2 ({}) — CPU utilization", kind.label()),
-            &report.cpu_timeline.iter().map(|l| l * 100.0).collect::<Vec<_>>(),
+            &report
+                .cpu_timeline
+                .iter()
+                .map(|l| l * 100.0)
+                .collect::<Vec<_>>(),
             "%",
             36,
         ));
@@ -38,7 +42,10 @@ pub fn run(seed: u64) -> ExperimentOutput {
         // Observation 2 shape checks.
         let boot_cpu: f64 = report.cpu_timeline[..30].iter().sum::<f64>() / 30.0;
         sc.expect(
-            &format!("{}: server load present during VM boot (0–30 s)", kind.label()),
+            &format!(
+                "{}: server load present during VM boot (0–30 s)",
+                kind.label()
+            ),
             "> 15% mean CPU",
             &format!("{:.0}%", boot_cpu * 100.0),
             boot_cpu > 0.15,
@@ -68,7 +75,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         scan_writes,
     );
 
-    ExperimentOutput { id: "Fig. 2", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 2",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -24,17 +24,23 @@ pub fn run(seed: u64) -> ExperimentOutput {
             let reqs: Vec<_> = report.requests.iter().filter(|r| r.device == vm).collect();
             let code: u64 = reqs.iter().map(|r| r.code_bytes_sent).sum();
             let control: u64 = reqs.len() as u64 * profile.control_bytes;
-            let files: u64 =
-                reqs.iter().map(|r| r.upload_bytes).sum::<u64>() - code - control;
+            let files: u64 = reqs.iter().map(|r| r.upload_bytes).sum::<u64>() - code - control;
             let total = (code + files + control).max(1) as f64;
             entries.push((
                 format!("VM {}", vm + 1),
-                vec![code as f64 / total, files as f64 / total, control as f64 / total],
+                vec![
+                    code as f64 / total,
+                    files as f64 / total,
+                    control as f64 / total,
+                ],
             ));
             code_fracs.push(code as f64 / total);
         }
         body.push_str(&stacked_bars(
-            &format!("Fig. 3 ({}) — migrated-data composition per VM", kind.label()),
+            &format!(
+                "Fig. 3 ({}) — migrated-data composition per VM",
+                kind.label()
+            ),
             &["mobile code", "files+params", "control"],
             &entries,
             40,
@@ -47,9 +53,17 @@ pub fn run(seed: u64) -> ExperimentOutput {
             "5 × app code",
             &format!(
                 "{} bytes total",
-                report.requests.iter().map(|r| r.code_bytes_sent).sum::<u64>()
+                report
+                    .requests
+                    .iter()
+                    .map(|r| r.code_bytes_sent)
+                    .sum::<u64>()
             ),
-            report.requests.iter().map(|r| r.code_bytes_sent).sum::<u64>()
+            report
+                .requests
+                .iter()
+                .map(|r| r.code_bytes_sent)
+                .sum::<u64>()
                 == 5 * profile.app_code_bytes,
         );
         // …and for ChessGame/Linpack the code is > 50 % of migrated data.
@@ -74,7 +88,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         }
     }
 
-    ExperimentOutput { id: "Fig. 3", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 3",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -14,14 +14,28 @@ fn mean_phases(rep: &SimulationReport) -> (f64, f64, f64) {
     (
         rep.mean_of(|r| r.phases.computation_execution.as_secs_f64()),
         rep.mean_of(|r| r.phases.runtime_preparation.as_secs_f64()),
-        rep.mean_of(|r| {
-            (r.phases.data_transfer + r.phases.network_connection).as_secs_f64()
-        }),
+        rep.mean_of(|r| (r.phases.data_transfer + r.phases.network_connection).as_secs_f64()),
     )
 }
 
+/// Mean phase decomposition over [`super::REPLICATIONS`] independent
+/// runs on derived seeds, executed in parallel — results are identical
+/// to the serial loop (the vendored `rayon` preserves input order).
+fn replicated_phases(platform: PlatformKind, kind: WorkloadKind, seed: u64) -> (f64, f64, f64) {
+    let runs = super::replicate(seed, super::REPLICATIONS, |s| {
+        let cfg = ScenarioConfig::paper_default(platform.config(), kind, s);
+        mean_phases(&run_scenario(cfg))
+    });
+    let n = runs.len() as f64;
+    let sum = runs
+        .iter()
+        .fold((0.0, 0.0, 0.0), |a, r| (a.0 + r.0, a.1 + r.1, a.2 + r.2));
+    (sum.0 / n, sum.1 / n, sum.2 / n)
+}
+
 /// Run Fig. 9: §VI-C setup (5 devices × 20 requests, LAN WiFi), three
-/// platforms per workload, identical request inflow.
+/// platforms per workload, identical request inflow, averaged over
+/// parallel replications.
 pub fn run(seed: u64) -> ExperimentOutput {
     let mut body = String::new();
     let mut sc = Scorecard::new();
@@ -33,9 +47,7 @@ pub fn run(seed: u64) -> ExperimentOutput {
     for kind in WorkloadKind::ALL {
         let mut phases: BTreeMap<PlatformKind, (f64, f64, f64)> = BTreeMap::new();
         for platform in PlatformKind::ALL {
-            let cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
-            let rep = run_scenario(cfg);
-            phases.insert(platform, mean_phases(&rep));
+            phases.insert(platform, replicated_phases(platform, kind, seed));
         }
         let vm = phases[&PlatformKind::VmBaseline];
         let vm_total = vm.0 + vm.1 + vm.2;
@@ -43,7 +55,10 @@ pub fn run(seed: u64) -> ExperimentOutput {
             .iter()
             .map(|p| {
                 let (c, r, t) = phases[p];
-                (p.label().to_string(), vec![c / vm_total, r / vm_total, t / vm_total])
+                (
+                    p.label().to_string(),
+                    vec![c / vm_total, r / vm_total, t / vm_total],
+                )
             })
             .collect();
         body.push_str(&stacked_bars(
@@ -106,12 +121,25 @@ pub fn run(seed: u64) -> ExperimentOutput {
 
     body.push_str(&format!(
         "speedups vs VM — prep: {:?}\n           transfer: {:?}\n            compute: {:?}\n",
-        prep_speedups.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
-        transfer_speedups.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
-        compute_speedups_rt.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        prep_speedups
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        transfer_speedups
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        compute_speedups_rt
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
     ));
 
-    ExperimentOutput { id: "Fig. 9", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Fig. 9",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +150,30 @@ mod tests {
     fn fig9_reproduces_section_vi_c() {
         let out = run(super::super::DEFAULT_SEED);
         assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+
+    #[test]
+    fn parallel_replications_identical_to_serial() {
+        let seed = super::super::DEFAULT_SEED;
+        let parallel = replicated_phases(PlatformKind::Rattrap, WorkloadKind::Ocr, seed);
+        // The serial reference: same derived seeds, plain loop.
+        let runs: Vec<(f64, f64, f64)> = (0..super::super::REPLICATIONS)
+            .map(|i| {
+                let cfg = ScenarioConfig::paper_default(
+                    PlatformKind::Rattrap.config(),
+                    WorkloadKind::Ocr,
+                    simkit::derive_seed(seed, i),
+                );
+                mean_phases(&run_scenario(cfg))
+            })
+            .collect();
+        let n = runs.len() as f64;
+        let serial = runs
+            .iter()
+            .fold((0.0, 0.0, 0.0), |a, r| (a.0 + r.0, a.1 + r.1, a.2 + r.2));
+        let serial = (serial.0 / n, serial.1 / n, serial.2 / n);
+        // Bit-identical, not approximately equal: same seeds, same
+        // fold order, order-preserving parallel map.
+        assert_eq!(parallel, serial);
     }
 }

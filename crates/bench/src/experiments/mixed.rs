@@ -31,7 +31,15 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let mut sc = Scorecard::new();
     let mut table = Table::new(
         "mixed tenancy: 5 devices, 4 distinct apps, one cloud",
-        &["Platform", "Requests", "Failures", "MeanResp(s)", "Instances", "PeakMem(MiB)", "Upload(MB)"],
+        &[
+            "Platform",
+            "Requests",
+            "Failures",
+            "MeanResp(s)",
+            "Instances",
+            "PeakMem(MiB)",
+            "Upload(MB)",
+        ],
     );
 
     let mut reports = Vec::new();
@@ -113,7 +121,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         rt.access_checks >= 300,
     );
 
-    ExperimentOutput { id: "Mixed tenancy", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Mixed tenancy",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

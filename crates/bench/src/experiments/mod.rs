@@ -42,7 +42,26 @@ impl ExperimentOutput {
 /// The default seed the binaries use (override with the first CLI arg).
 pub const DEFAULT_SEED: u64 = 20170529; // IPDPS'17 started May 29, 2017
 
+/// Number of independent replications the averaging experiments run.
+pub const REPLICATIONS: u64 = 3;
+
+/// Run `n` independent replications of `f` in parallel, one derived
+/// seed each, returning results in replication order.
+///
+/// Replication `i` always receives `derive_seed(seed, i)`, and the
+/// vendored `rayon` collects in input order, so the output is
+/// bit-identical to the serial loop `(0..n).map(..)` — parallelism is
+/// pure wall-clock speedup, never a source of nondeterminism.
+pub fn replicate<R: Send>(seed: u64, n: u64, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    use rayon::prelude::*;
+    let seeds: Vec<u64> = (0..n).map(|i| simkit::derive_seed(seed, i)).collect();
+    seeds.par_iter().map(|&s| f(s)).collect()
+}
+
 /// Parse the seed from CLI args.
 pub fn seed_from_args() -> u64 {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
 }

@@ -36,7 +36,10 @@ pub fn run(_seed: u64) -> ExperimentOutput {
     t.row_str(&["shared library files (.so)", &report.removed_so.to_string()]);
     t.row_str(&["kernel modules (.ko)", &report.removed_ko.to_string()]);
     t.row_str(&["firmware libraries (.bin)", &report.removed_bin.to_string()]);
-    t.row_str(&["boot images (kernel+initrd)", &report.removed_boot.to_string()]);
+    t.row_str(&[
+        "boot images (kernel+initrd)",
+        &report.removed_boot.to_string(),
+    ]);
     body.push_str(&t.render());
     body.push_str(&format!(
         "customized OS: {} kept ({} of the full image)\n",
@@ -50,9 +53,24 @@ pub fn run(_seed: u64) -> ExperimentOutput {
         custom.total_bytes() as f64 / private as f64
     ));
 
-    sc.within("Observation 4: 771 MB never accessed", 771.0, untouched as f64 / (1 << 20) as f64, 0.01);
-    sc.within("Observation 4: 68.4% never accessed", 0.684, tracker.untouched_fraction(&img), 0.01);
-    sc.within("/system share 87.4%", 0.874, system as f64 / total as f64, 0.01);
+    sc.within(
+        "Observation 4: 771 MB never accessed",
+        771.0,
+        untouched as f64 / (1 << 20) as f64,
+        0.01,
+    );
+    sc.within(
+        "Observation 4: 68.4% never accessed",
+        0.684,
+        tracker.untouched_fraction(&img),
+        0.01,
+    );
+    sc.within(
+        "/system share 87.4%",
+        0.874,
+        system as f64 / total as f64,
+        0.01,
+    );
     sc.expect(
         "§IV-B3 inventory counts",
         "20 apps, 197 .so, 4372 .ko, 396 .bin",
@@ -97,7 +115,11 @@ pub fn run(_seed: u64) -> ExperimentOutput {
         usage[0] > 5 * gib(1),
     );
 
-    ExperimentOutput { id: "§III-E / §IV-B3 OS profile", body, scorecard: sc }
+    ExperimentOutput {
+        id: "§III-E / §IV-B3 OS profile",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -65,8 +65,10 @@ fn one_seed(seed: u64) -> SeedResult {
 
 /// Run the robustness study (the `seed` argument shifts every seed).
 pub fn run(seed: u64) -> ExperimentOutput {
-    let results: Vec<SeedResult> =
-        SEEDS.par_iter().map(|&s| one_seed(s.wrapping_add(seed))).collect();
+    let results: Vec<SeedResult> = SEEDS
+        .par_iter()
+        .map(|&s| one_seed(s.wrapping_add(seed)))
+        .collect();
 
     let mut prep = OnlineStats::new();
     let mut transfer = OnlineStats::new();
@@ -85,16 +87,56 @@ pub fn run(seed: u64) -> ExperimentOutput {
         &format!("robustness across {} seeds (mean ± σ)", SEEDS.len()),
         &["Metric", "Paper", "Mean", "StdDev"],
     );
-    table.row(&["prep speedup (Rattrap vs VM)".into(), "16.29–16.98".into(), fnum(prep.mean(), 2), fnum(prep.std_dev(), 2)]);
-    table.row(&["transfer speedup".into(), "1.17–2.04".into(), fnum(transfer.mean(), 2), fnum(transfer.std_dev(), 2)]);
-    table.row(&["compute speedup".into(), "1.05–1.40".into(), fnum(compute.mean(), 2), fnum(compute.std_dev(), 2)]);
-    table.row(&["Rattrap failure rate".into(), "—".into(), fnum(rt_fail.mean(), 3), fnum(rt_fail.std_dev(), 3)]);
-    table.row(&["VM failure rate".into(), "—".into(), fnum(vm_fail.mean(), 3), fnum(vm_fail.std_dev(), 3)]);
+    table.row(&[
+        "prep speedup (Rattrap vs VM)".into(),
+        "16.29–16.98".into(),
+        fnum(prep.mean(), 2),
+        fnum(prep.std_dev(), 2),
+    ]);
+    table.row(&[
+        "transfer speedup".into(),
+        "1.17–2.04".into(),
+        fnum(transfer.mean(), 2),
+        fnum(transfer.std_dev(), 2),
+    ]);
+    table.row(&[
+        "compute speedup".into(),
+        "1.05–1.40".into(),
+        fnum(compute.mean(), 2),
+        fnum(compute.std_dev(), 2),
+    ]);
+    table.row(&[
+        "Rattrap failure rate".into(),
+        "—".into(),
+        fnum(rt_fail.mean(), 3),
+        fnum(rt_fail.std_dev(), 3),
+    ]);
+    table.row(&[
+        "VM failure rate".into(),
+        "—".into(),
+        fnum(vm_fail.mean(), 3),
+        fnum(vm_fail.std_dev(), 3),
+    ]);
 
     let mut sc = Scorecard::new();
-    sc.in_band("prep speedup mean across seeds", (16.29, 16.98), prep.mean(), 0.35);
-    sc.in_band("transfer speedup mean across seeds", (1.17, 2.04), transfer.mean(), 0.30);
-    sc.in_band("compute speedup mean across seeds", (1.05, 1.40), compute.mean(), 0.15);
+    sc.in_band(
+        "prep speedup mean across seeds",
+        (16.29, 16.98),
+        prep.mean(),
+        0.35,
+    );
+    sc.in_band(
+        "transfer speedup mean across seeds",
+        (1.17, 2.04),
+        transfer.mean(),
+        0.30,
+    );
+    sc.in_band(
+        "compute speedup mean across seeds",
+        (1.05, 1.40),
+        compute.mean(),
+        0.15,
+    );
     sc.expect(
         "prep speedup is stable",
         "σ/mean < 15%",
@@ -106,12 +148,19 @@ pub fn run(seed: u64) -> ExperimentOutput {
         "Rattrap < VM, all seeds",
         &format!(
             "{:?}",
-            results.iter().map(|r| r.rattrap_failures < r.vm_failures).collect::<Vec<_>>()
+            results
+                .iter()
+                .map(|r| r.rattrap_failures < r.vm_failures)
+                .collect::<Vec<_>>()
         ),
         results.iter().all(|r| r.rattrap_failures < r.vm_failures),
     );
 
-    ExperimentOutput { id: "Robustness", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Robustness",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
     );
 
     let mut results = Vec::new();
-    for (label, spares) in [("Rattrap on-demand", 0usize), ("Rattrap + 1 warm spare", 1), ("Rattrap + 2 warm spares", 2)] {
+    for (label, spares) in [
+        ("Rattrap on-demand", 0usize),
+        ("Rattrap + 1 warm spare", 1),
+        ("Rattrap + 2 warm spares", 2),
+    ] {
         let platform = PlatformKind::Rattrap.config().with_warm_spares(spares);
         let rep = run_scenario(trace_scenario(platform, trace.clone(), seed));
         let (fail, prep, mem) = summarize(&rep);
@@ -60,9 +64,18 @@ pub fn run(seed: u64) -> ExperimentOutput {
         results.push((fail, prep, mem));
     }
     // The VM baseline for contrast: pre-starting would be the only cure.
-    let vm = run_scenario(trace_scenario(PlatformKind::VmBaseline.config(), trace.clone(), seed));
+    let vm = run_scenario(trace_scenario(
+        PlatformKind::VmBaseline.config(),
+        trace.clone(),
+        seed,
+    ));
     let (vm_fail, vm_prep, vm_mem) = summarize(&vm);
-    table.row(&["VM on-demand".to_string(), fpct(vm_fail), fnum(vm_prep, 3), fnum(vm_mem, 0)]);
+    table.row(&[
+        "VM on-demand".to_string(),
+        fpct(vm_fail),
+        fnum(vm_prep, 3),
+        fnum(vm_mem, 0),
+    ]);
 
     let (od_fail, od_prep, od_mem) = results[0];
     let (w2_fail, w2_prep, w2_mem) = results[2];
@@ -72,7 +85,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
         &format!("{} vs {}", fpct(w2_fail), fpct(od_fail)),
         w2_fail <= od_fail + 1e-9,
     );
-    sc.less("warm spares cut mean prep", "warm-2", w2_prep, "on-demand", od_prep);
+    sc.less(
+        "warm spares cut mean prep",
+        "warm-2",
+        w2_prep,
+        "on-demand",
+        od_prep,
+    );
     sc.expect(
         "warm pool costs held memory",
         "peak(warm2) ≥ peak(on-demand)",
@@ -101,7 +120,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
     );
     let _ = vm_mem;
 
-    ExperimentOutput { id: "Scheduler ablation", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Scheduler ablation",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

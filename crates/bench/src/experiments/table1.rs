@@ -58,8 +58,18 @@ pub fn run(_seed: u64) -> ExperimentOutput {
 
     let s_wo = setups[0] / setups[1];
     let s_opt = setups[0] / setups[2];
-    sc.within("§VI-B setup speedup, CAC non-optimized", paper::SETUP_SPEEDUPS[0], s_wo, 0.03);
-    sc.within("§VI-B setup speedup, CAC optimized", paper::SETUP_SPEEDUPS[1], s_opt, 0.03);
+    sc.within(
+        "§VI-B setup speedup, CAC non-optimized",
+        paper::SETUP_SPEEDUPS[0],
+        s_wo,
+        0.03,
+    );
+    sc.within(
+        "§VI-B setup speedup, CAC optimized",
+        paper::SETUP_SPEEDUPS[1],
+        s_opt,
+        0.03,
+    );
 
     let mut body = table.render();
     body.push_str(&format!(
@@ -81,7 +91,11 @@ pub fn run(_seed: u64) -> ExperimentOutput {
         }
     }
 
-    ExperimentOutput { id: "Table I", body, scorecard: sc }
+    ExperimentOutput {
+        id: "Table I",
+        body,
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +109,10 @@ mod tests {
         assert!(out.body.contains("28.72s"));
         assert!(out.body.contains("1.75s"));
         assert!(out.body.contains("512.0 MiB"));
-        assert!(out.body.contains("6.8 MiB"), "optimized CAC disk:\n{}", out.body);
+        assert!(
+            out.body.contains("6.8 MiB"),
+            "optimized CAC disk:\n{}",
+            out.body
+        );
     }
 }

@@ -68,7 +68,11 @@ pub fn run(seed: u64) -> ExperimentOutput {
         );
     }
 
-    ExperimentOutput { id: "Table II", body: table.render(), scorecard: sc }
+    ExperimentOutput {
+        id: "Table II",
+        body: table.render(),
+        scorecard: sc,
+    }
 }
 
 #[cfg(test)]

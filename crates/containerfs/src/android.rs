@@ -33,10 +33,16 @@ pub fn android_x86_44_image() -> FsImage {
 
     // --- /system: hardware support that offloading never touches -------
     for i in 0..BUILTIN_APP_COUNT {
-        img.insert(format!("/system/app/Builtin{i:02}.apk"), FileEntry::new(6349 * KIB, C::BuiltinApp));
+        img.insert(
+            format!("/system/app/Builtin{i:02}.apk"),
+            FileEntry::new(6349 * KIB, C::BuiltinApp),
+        );
     }
     for i in 0..REDUNDANT_SO_COUNT {
-        img.insert(format!("/system/lib/hw/libhw{i:03}.so"), FileEntry::new(380 * KIB, C::RedundantSharedLib));
+        img.insert(
+            format!("/system/lib/hw/libhw{i:03}.so"),
+            FileEntry::new(380 * KIB, C::RedundantSharedLib),
+        );
     }
     for i in 0..KERNEL_MODULE_COUNT {
         img.insert(
@@ -45,37 +51,70 @@ pub fn android_x86_44_image() -> FsImage {
         );
     }
     for i in 0..FIRMWARE_COUNT {
-        img.insert(format!("/system/etc/firmware/fw{i:03}.bin"), FileEntry::new(270 * KIB, C::Firmware));
+        img.insert(
+            format!("/system/etc/firmware/fw{i:03}.bin"),
+            FileEntry::new(270 * KIB, C::Firmware),
+        );
     }
 
     // --- /system: what offloaded code actually uses --------------------
     for i in 0..60 {
-        img.insert(format!("/system/framework/framework{i:02}.jar"), FileEntry::new(2048 * KIB, C::Framework));
+        img.insert(
+            format!("/system/framework/framework{i:02}.jar"),
+            FileEntry::new(2048 * KIB, C::Framework),
+        );
     }
     for i in 0..10 {
-        img.insert(format!("/system/lib/art/runtime{i}.oat"), FileEntry::new(4096 * KIB, C::Runtime));
+        img.insert(
+            format!("/system/lib/art/runtime{i}.oat"),
+            FileEntry::new(4096 * KIB, C::Runtime),
+        );
     }
     for i in 0..95 {
-        img.insert(format!("/system/lib/libcore{i:02}.so"), FileEntry::new(410 * KIB, C::CoreLib));
+        img.insert(
+            format!("/system/lib/libcore{i:02}.so"),
+            FileEntry::new(410 * KIB, C::CoreLib),
+        );
     }
     for i in 0..40 {
-        img.insert(format!("/system/etc/data{i:02}.dat"), FileEntry::new(405 * KIB, C::SystemData));
+        img.insert(
+            format!("/system/etc/data{i:02}.dat"),
+            FileEntry::new(405 * KIB, C::SystemData),
+        );
     }
 
     // --- outside /system ------------------------------------------------
-    img.insert("/boot/kernel".to_string(), FileEntry::new(8192 * KIB, C::BootImage));
-    img.insert("/boot/initrd.img".to_string(), FileEntry::new(75_694 * KIB, C::BootImage));
+    img.insert(
+        "/boot/kernel".to_string(),
+        FileEntry::new(8192 * KIB, C::BootImage),
+    );
+    img.insert(
+        "/boot/initrd.img".to_string(),
+        FileEntry::new(75_694 * KIB, C::BootImage),
+    );
     for i in 0..25 {
-        img.insert(format!("/rootfs/bin{i:02}"), FileEntry::new(410 * KIB, C::Rootfs));
+        img.insert(
+            format!("/rootfs/bin{i:02}"),
+            FileEntry::new(410 * KIB, C::Rootfs),
+        );
     }
     for i in 0..30 {
-        img.insert(format!("/data/dalvik-cache/art{i:02}"), FileEntry::new(1024 * KIB, C::UserData));
+        img.insert(
+            format!("/data/dalvik-cache/art{i:02}"),
+            FileEntry::new(1024 * KIB, C::UserData),
+        );
     }
     for i in 0..5 {
-        img.insert(format!("/cache/blob{i}"), FileEntry::new(1024 * KIB, C::Cache));
+        img.insert(
+            format!("/cache/blob{i}"),
+            FileEntry::new(1024 * KIB, C::Cache),
+        );
     }
     for i in 0..15 {
-        img.insert(format!("/vendor/lib{i:02}.so"), FileEntry::new(988 * KIB, C::Vendor));
+        img.insert(
+            format!("/vendor/lib{i:02}.so"),
+            FileEntry::new(988 * KIB, C::Vendor),
+        );
     }
 
     img
@@ -139,14 +178,35 @@ pub fn container_rootfs_unoptimized(full: &FsImage) -> FsImage {
 pub fn instance_private_files(container_id: u32) -> FsImage {
     let mut img = FsImage::new();
     let base = format!("/containers/cac-{container_id}");
-    img.insert(format!("{base}/etc/hostname"), FileEntry::new(KIB, C::InstanceConfig));
-    img.insert(format!("{base}/etc/net.conf"), FileEntry::new(4 * KIB, C::InstanceConfig));
-    img.insert(format!("{base}/system/build.prop"), FileEntry::new(8 * KIB, C::InstanceConfig));
-    img.insert(format!("{base}/data/system/instance.db"), FileEntry::new(2 * MIB, C::InstanceConfig));
-    img.insert(format!("{base}/data/misc/wifi.state"), FileEntry::new(64 * KIB, C::InstanceConfig));
-    img.insert(format!("{base}/data/local/dispatcher.sock"), FileEntry::new(KIB, C::InstanceConfig));
+    img.insert(
+        format!("{base}/etc/hostname"),
+        FileEntry::new(KIB, C::InstanceConfig),
+    );
+    img.insert(
+        format!("{base}/etc/net.conf"),
+        FileEntry::new(4 * KIB, C::InstanceConfig),
+    );
+    img.insert(
+        format!("{base}/system/build.prop"),
+        FileEntry::new(8 * KIB, C::InstanceConfig),
+    );
+    img.insert(
+        format!("{base}/data/system/instance.db"),
+        FileEntry::new(2 * MIB, C::InstanceConfig),
+    );
+    img.insert(
+        format!("{base}/data/misc/wifi.state"),
+        FileEntry::new(64 * KIB, C::InstanceConfig),
+    );
+    img.insert(
+        format!("{base}/data/local/dispatcher.sock"),
+        FileEntry::new(KIB, C::InstanceConfig),
+    );
     // Working scratch pre-allocated for offloaded code.
-    img.insert(format!("{base}/data/local/tmp/scratch"), FileEntry::new(5 * MIB - 330 * KIB, C::OffloadData));
+    img.insert(
+        format!("{base}/data/local/tmp/scratch"),
+        FileEntry::new(5 * MIB - 330 * KIB, C::OffloadData),
+    );
     img
 }
 
@@ -155,7 +215,14 @@ pub fn instance_private_files(container_id: u32) -> FsImage {
 pub fn track_offloading_accesses(full: &FsImage) -> AccessTracker {
     let mut t = AccessTracker::new();
     // The VM boot reads kernel + ramdisk + rootfs + core system pieces…
-    for cat in [C::BootImage, C::Rootfs, C::Framework, C::Runtime, C::CoreLib, C::SystemData] {
+    for cat in [
+        C::BootImage,
+        C::Rootfs,
+        C::Framework,
+        C::Runtime,
+        C::CoreLib,
+        C::SystemData,
+    ] {
         t.touch_category(full, cat);
     }
     // …and serving requests touches /data, /cache and /vendor.
@@ -181,7 +248,11 @@ mod tests {
         assert!(close(total, 1126.4, 0.01), "total {total} MiB");
         let system = img.bytes_under("/system") as f64 / MIB as f64;
         assert!(close(system, 985.0, 0.01), "/system {system} MiB");
-        assert!(close(system / total, 0.874, 0.01), "share {}", system / total);
+        assert!(
+            close(system / total, 0.874, 0.01),
+            "share {}",
+            system / total
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn shareable_excludes_instance_state() {
         assert!(FileCategory::Framework.shareable());
-        assert!(FileCategory::UserData.shareable(), "pre-warmed dalvik-cache is shared");
+        assert!(
+            FileCategory::UserData.shareable(),
+            "pre-warmed dalvik-cache is shared"
+        );
         assert!(!FileCategory::InstanceConfig.shareable());
         assert!(!FileCategory::OffloadData.shareable());
         assert!(!FileCategory::BootImage.shareable());

@@ -163,10 +163,19 @@ mod tests {
 
     fn sample() -> FsImage {
         let mut img = FsImage::new();
-        img.insert("/system/framework/core.jar", FileEntry::new(1000, C::Framework));
-        img.insert("/system/app/Camera.apk", FileEntry::new(2000, C::BuiltinApp));
+        img.insert(
+            "/system/framework/core.jar",
+            FileEntry::new(1000, C::Framework),
+        );
+        img.insert(
+            "/system/app/Camera.apk",
+            FileEntry::new(2000, C::BuiltinApp),
+        );
         img.insert("/system/lib/libbinder.so", FileEntry::new(500, C::CoreLib));
-        img.insert("/data/dalvik-cache/boot.art", FileEntry::new(300, C::UserData));
+        img.insert(
+            "/data/dalvik-cache/boot.art",
+            FileEntry::new(300, C::UserData),
+        );
         img
     }
 

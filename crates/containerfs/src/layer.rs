@@ -41,7 +41,14 @@ impl LayerStore {
     pub fn publish(&mut self, name: &str, files: FsImage) -> LayerId {
         let id = self.next_id;
         self.next_id += 1;
-        self.layers.insert(id, StoredLayer { name: name.to_string(), files, refs: 0 });
+        self.layers.insert(
+            id,
+            StoredLayer {
+                name: name.to_string(),
+                files,
+                refs: 0,
+            },
+        );
         LayerId(id)
     }
 
@@ -122,7 +129,12 @@ impl UnionMount {
         for &l in &lowers {
             store.incref(l);
         }
-        UnionMount { lowers, upper: FsImage::new(), whiteouts: BTreeSet::new(), stats: CowStats::default() }
+        UnionMount {
+            lowers,
+            upper: FsImage::new(),
+            whiteouts: BTreeSet::new(),
+            stats: CowStats::default(),
+        }
     }
 
     /// Unmount, releasing the lower-layer references.
@@ -180,10 +192,12 @@ impl UnionMount {
             return false;
         }
         self.upper.remove(path);
-        let in_lower = self
-            .lowers
-            .iter()
-            .any(|&l| store.get(l).map(|l| l.files.get(path).is_some()).unwrap_or(false));
+        let in_lower = self.lowers.iter().any(|&l| {
+            store
+                .get(l)
+                .map(|l| l.files.get(path).is_some())
+                .unwrap_or(false)
+        });
         if in_lower {
             self.whiteouts.insert(path.to_string());
             self.stats.whiteouts += 1;
@@ -241,7 +255,10 @@ mod tests {
 
     fn base_layer(store: &mut LayerStore) -> LayerId {
         let mut img = FsImage::new();
-        img.insert("/system/framework/core.jar", FileEntry::new(1000, C::Framework));
+        img.insert(
+            "/system/framework/core.jar",
+            FileEntry::new(1000, C::Framework),
+        );
         img.insert("/system/lib/libc.so", FileEntry::new(500, C::CoreLib));
         store.publish("shared-resource-layer", img)
     }
@@ -255,7 +272,10 @@ mod tests {
         let patch = store.publish("patch", over);
         let m = UnionMount::new(&mut store, vec![base, patch]);
         assert_eq!(m.lookup(&store, "/system/lib/libc.so").unwrap().size, 600);
-        assert_eq!(m.lookup(&store, "/system/framework/core.jar").unwrap().size, 1000);
+        assert_eq!(
+            m.lookup(&store, "/system/framework/core.jar").unwrap().size,
+            1000
+        );
         assert!(m.lookup(&store, "/nope").is_none());
     }
 
@@ -264,7 +284,11 @@ mod tests {
         let mut store = LayerStore::new();
         let base = base_layer(&mut store);
         let mut m = UnionMount::new(&mut store, vec![base]);
-        m.write(&store, "/system/lib/libc.so", FileEntry::new(700, C::CoreLib));
+        m.write(
+            &store,
+            "/system/lib/libc.so",
+            FileEntry::new(700, C::CoreLib),
+        );
         assert_eq!(m.stats().copy_ups, 1);
         assert_eq!(m.stats().copied_bytes, 500);
         assert_eq!(m.lookup(&store, "/system/lib/libc.so").unwrap().size, 700);
@@ -314,7 +338,11 @@ mod tests {
         let mut store = LayerStore::new();
         let base = base_layer(&mut store);
         let mut m = UnionMount::new(&mut store, vec![base]);
-        m.write(&store, "/system/lib/libc.so", FileEntry::new(700, C::CoreLib));
+        m.write(
+            &store,
+            "/system/lib/libc.so",
+            FileEntry::new(700, C::CoreLib),
+        );
         m.delete(&store, "/system/framework/core.jar");
         // Visible: only the copied-up libc (700).
         assert_eq!(m.logical_bytes(&store), 700);
@@ -327,7 +355,11 @@ mod tests {
         let mut mounts = Vec::new();
         for i in 0..10 {
             let mut m = UnionMount::new(&mut store, vec![base]);
-            m.write(&store, &format!("/etc/cfg{i}"), FileEntry::new(10, C::InstanceConfig));
+            m.write(
+                &store,
+                &format!("/etc/cfg{i}"),
+                FileEntry::new(10, C::InstanceConfig),
+            );
             mounts.push(m);
         }
         let refs: Vec<&UnionMount> = mounts.iter().collect();

@@ -21,7 +21,11 @@ pub struct TmpfsFull {
 
 impl std::fmt::Display for TmpfsFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tmpfs full: requested {}, available {}", self.requested, self.available)
+        write!(
+            f,
+            "tmpfs full: requested {}, available {}",
+            self.requested, self.available
+        )
     }
 }
 
@@ -43,7 +47,14 @@ pub struct Tmpfs {
 impl Tmpfs {
     /// A tmpfs capped at `capacity` bytes of memory.
     pub fn new(capacity: u64) -> Self {
-        Tmpfs { capacity, used: 0, peak: 0, files: BTreeMap::new(), total_written: 0, burned: 0 }
+        Tmpfs {
+            capacity,
+            used: 0,
+            peak: 0,
+            files: BTreeMap::new(),
+            total_written: 0,
+            burned: 0,
+        }
     }
 
     /// Store `size` bytes at `path` (replacing any previous file there).
@@ -51,7 +62,10 @@ impl Tmpfs {
         let existing = self.files.get(path).copied().unwrap_or(0);
         let needed = size.saturating_sub(existing);
         if self.used + needed > self.capacity {
-            return Err(TmpfsFull { requested: needed, available: self.capacity - self.used });
+            return Err(TmpfsFull {
+                requested: needed,
+                available: self.capacity - self.used,
+            });
         }
         self.used = self.used - existing + size;
         self.peak = self.peak.max(self.used);

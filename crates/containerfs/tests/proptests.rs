@@ -20,7 +20,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn base_image(paths: &[u8]) -> FsImage {
     let mut img = FsImage::new();
     for &p in paths {
-        img.insert(format!("/file/{p}"), FileEntry::new(100 + p as u64, FileCategory::Framework));
+        img.insert(
+            format!("/file/{p}"),
+            FileEntry::new(100 + p as u64, FileCategory::Framework),
+        );
     }
     img
 }

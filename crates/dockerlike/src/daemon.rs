@@ -70,8 +70,8 @@ impl Daemon {
     pub fn new() -> Self {
         Daemon {
             cache: BlobStore::new(),
-            registry_bandwidth: 125.0e6,        // 1 Gbps
-            unpack_bandwidth: 400.0e6,          // untar + mount
+            registry_bandwidth: 125.0e6, // 1 Gbps
+            unpack_bandwidth: 400.0e6,   // untar + mount
             containers: BTreeMap::new(),
             next_id: 0,
         }
@@ -86,8 +86,11 @@ impl Daemon {
         now: SimTime,
     ) -> Result<CreateReceipt, RegistryError> {
         let (manifest, pull) = registry.pull(reference, &mut self.cache)?;
-        let image_bytes: u64 =
-            manifest.layers.iter().map(|&d| self.cache.get(d).map(|l| l.size).unwrap_or(0)).sum();
+        let image_bytes: u64 = manifest
+            .layers
+            .iter()
+            .map(|&d| self.cache.get(d).map(|l| l.size).unwrap_or(0))
+            .sum();
 
         let (transfer_bytes, unpack_bytes, lazy_remainder) = match strategy {
             PullStrategy::Eager => (pull.bytes_transferred, pull.bytes_transferred, 0),
@@ -122,7 +125,11 @@ impl Daemon {
             },
         );
         let _ = image_bytes;
-        Ok(CreateReceipt { container: id, latency, pull })
+        Ok(CreateReceipt {
+            container: id,
+            latency,
+            pull,
+        })
     }
 
     /// Remove a container, releasing its image layers from the cache
@@ -174,10 +181,16 @@ mod tests {
     fn cold_eager_create_pays_the_full_pull() {
         let (reg, image) = registry_with_image();
         let mut d = Daemon::new();
-        let r = d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
+        let r = d
+            .create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.pull.layers_fetched, 4);
         // ~273 MiB over 1 Gbps ≈ 2.3 s + unpack + 1.5 s boot.
-        assert!(r.latency > SimDuration::from_secs(3), "cold eager: {}", r.latency);
+        assert!(
+            r.latency > SimDuration::from_secs(3),
+            "cold eager: {}",
+            r.latency
+        );
         assert_eq!(d.container_count(), 1);
     }
 
@@ -185,21 +198,32 @@ mod tests {
     fn warm_create_approaches_lxc_startup() {
         let (reg, image) = registry_with_image();
         let mut d = Daemon::new();
-        d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
-        let r = d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
+        d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
+        let r = d
+            .create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.pull.bytes_transferred, 0);
         // Warm start = container boot only (≈1.5 s).
-        assert!(r.latency < SimDuration::from_millis(1_600), "warm: {}", r.latency);
+        assert!(
+            r.latency < SimDuration::from_millis(1_600),
+            "warm: {}",
+            r.latency
+        );
     }
 
     #[test]
     fn lazy_cold_create_is_near_just_in_time() {
         let (reg, image) = registry_with_image();
         let mut eager = Daemon::new();
-        let cold_eager =
-            eager.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap().latency;
+        let cold_eager = eager
+            .create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap()
+            .latency;
         let mut lazy = Daemon::new();
-        let r = lazy.create(&reg, &image, PullStrategy::Lazy, SimTime::ZERO).unwrap();
+        let r = lazy
+            .create(&reg, &image, PullStrategy::Lazy, SimTime::ZERO)
+            .unwrap();
         assert!(
             r.latency.as_secs_f64() < cold_eager.as_secs_f64() * 0.55,
             "lazy {} vs eager {}",
@@ -210,15 +234,23 @@ mod tests {
         assert!(c.lazy_remainder > 0, "most bytes fault in later");
         // The claim of §VIII: lazy Docker pull ≈ "real just-in-time
         // provision" — under 2× the warm boot.
-        assert!(r.latency < SimDuration::from_millis(2_600), "lazy cold: {}", r.latency);
+        assert!(
+            r.latency < SimDuration::from_millis(2_600),
+            "lazy cold: {}",
+            r.latency
+        );
     }
 
     #[test]
     fn remove_releases_cache_references() {
         let (reg, image) = registry_with_image();
         let mut d = Daemon::new();
-        let a = d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
-        let b = d.create(&reg, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
+        let a = d
+            .create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
+        let b = d
+            .create(&reg, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
         assert!(d.cache.total_bytes() > 0);
         assert!(d.remove(&reg, a.container));
         assert!(d.cache.total_bytes() > 0, "b still pins the layers");
@@ -231,6 +263,8 @@ mod tests {
     fn unknown_image_errors() {
         let (reg, _) = registry_with_image();
         let mut d = Daemon::new();
-        assert!(d.create(&reg, "ghost:latest", PullStrategy::Eager, SimTime::ZERO).is_err());
+        assert!(d
+            .create(&reg, "ghost:latest", PullStrategy::Eager, SimTime::ZERO)
+            .is_err());
     }
 }

@@ -165,9 +165,7 @@ impl BlobStore {
 pub fn cloud_android_layers() -> Vec<(Layer, FsImage)> {
     let full = containerfs::android_x86_44_image();
     let (custom, _) = containerfs::customize(&full);
-    let split = |pred: &dyn Fn(&str) -> bool| -> FsImage {
-        custom.partition(|p, _| pred(&p.to_string())).0
-    };
+    let split = |pred: &dyn Fn(&str) -> bool| -> FsImage { custom.partition(|p, _| pred(p)).0 };
     let base = split(&|p: &str| {
         p.starts_with("/rootfs") || p.starts_with("/vendor") || p.starts_with("/cache")
     });
@@ -177,8 +175,14 @@ pub fn cloud_android_layers() -> Vec<(Layer, FsImage)> {
     vec![
         (layer_from_image("base rootfs + vendor", &base), base),
         (layer_from_image("android framework", &framework), framework),
-        (layer_from_image("art runtime + core libs", &runtime), runtime),
-        (layer_from_image("system data + dalvik-cache", &sysdata), sysdata),
+        (
+            layer_from_image("art runtime + core libs", &runtime),
+            runtime,
+        ),
+        (
+            layer_from_image("system data + dalvik-cache", &sysdata),
+            sysdata,
+        ),
     ]
 }
 
@@ -204,7 +208,10 @@ mod tests {
     fn identical_deltas_share_a_digest() {
         let a = layer_from_image("a", &img(&[("/x", 10), ("/y", 20)]));
         let b = layer_from_image("b", &img(&[("/x", 10), ("/y", 20)]));
-        assert_eq!(a.digest, b.digest, "content addressing ignores the description");
+        assert_eq!(
+            a.digest, b.digest,
+            "content addressing ignores the description"
+        );
         let c = layer_from_image("c", &img(&[("/x", 10), ("/y", 21)]));
         assert_ne!(a.digest, c.digest);
     }

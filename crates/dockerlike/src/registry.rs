@@ -66,7 +66,9 @@ impl Registry {
 
     /// Blob metadata lookup.
     pub fn blob(&self, digest: Digest) -> Result<&Layer, RegistryError> {
-        self.blobs.get(digest).ok_or_else(|| RegistryError::MissingBlob(digest.short()))
+        self.blobs
+            .get(digest)
+            .ok_or_else(|| RegistryError::MissingBlob(digest.short()))
     }
 
     /// Pull `reference` into `local`, skipping blobs the local store
@@ -113,7 +115,10 @@ mod tests {
 
     fn app_layer(name: &str, bytes: u64) -> Layer {
         let mut img = FsImage::new();
-        img.insert(format!("/data/app/{name}.apk"), FileEntry::new(bytes, FileCategory::OffloadData));
+        img.insert(
+            format!("/data/app/{name}.apk"),
+            FileEntry::new(bytes, FileCategory::OffloadData),
+        );
         layer_from_image(&format!("app {name}"), &img)
     }
 
@@ -154,8 +159,11 @@ mod tests {
         let mut reg = Registry::new();
         let base = push_cloud_android(&mut reg);
         // A derived image: base layers + one app layer.
-        let base_layers: Vec<Layer> =
-            base.layers.iter().map(|&d| reg.blob(d).unwrap().clone()).collect();
+        let base_layers: Vec<Layer> = base
+            .layers
+            .iter()
+            .map(|&d| reg.blob(d).unwrap().clone())
+            .collect();
         let app = app_layer("chessgame", 2 << 20);
         let mut all = base_layers.clone();
         all.push(app.clone());
@@ -178,9 +186,15 @@ mod tests {
             reg.stored_bytes()
         };
         // Pushing a derived image adds only the app layer's bytes.
-        let base = reg.manifest("rattrap/cloud-android:4.4-r2").unwrap().clone();
-        let base_layers: Vec<Layer> =
-            base.layers.iter().map(|&d| reg.blob(d).unwrap().clone()).collect();
+        let base = reg
+            .manifest("rattrap/cloud-android:4.4-r2")
+            .unwrap()
+            .clone();
+        let base_layers: Vec<Layer> = base
+            .layers
+            .iter()
+            .map(|&d| reg.blob(d).unwrap().clone())
+            .collect();
         let app = app_layer("ocr", 1 << 20);
         let mut all = base_layers;
         all.push(app.clone());

@@ -72,7 +72,7 @@ proptest! {
         img.insert("/x".to_string(),
             containerfs::FileEntry::new(size, containerfs::FileCategory::OffloadData));
         let l = layer_from_image("l", &img);
-        let a = Manifest::new(&n1, "1.0", &[l.clone()]);
+        let a = Manifest::new(&n1, "1.0", std::slice::from_ref(&l));
         let b = Manifest::new(&n2, "1.0", &[l]);
         if n1 == n2 {
             prop_assert_eq!(a.config, b.config);

@@ -43,8 +43,12 @@ impl AlarmDriver {
     /// Fire every alarm due at or before `now`; returns `(id, pid)` pairs
     /// in id order (deterministic).
     pub fn fire_due(&mut self, now: SimTime) -> Vec<(AlarmId, u32)> {
-        let due: Vec<u64> =
-            self.pending.iter().filter(|(_, &(t, _))| t <= now).map(|(&id, _)| id).collect();
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, &(t, _))| t <= now)
+            .map(|(&id, _)| id)
+            .collect();
         let mut out = Vec::with_capacity(due.len());
         for id in due {
             let (_, pid) = self.pending.remove(&id).expect("id came from pending");

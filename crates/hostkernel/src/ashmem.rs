@@ -27,7 +27,12 @@ pub struct AshmemDriver {
 impl AshmemDriver {
     /// A driver instance with `budget_bytes` of backing memory.
     pub fn new(budget_bytes: u64) -> Self {
-        AshmemDriver { regions: BTreeMap::new(), next_id: 0, budget_bytes, used_bytes: 0 }
+        AshmemDriver {
+            regions: BTreeMap::new(),
+            next_id: 0,
+            budget_bytes,
+            used_bytes: 0,
+        }
     }
 
     /// Create a named region of `size` bytes for `owner_pid`.
@@ -37,8 +42,15 @@ impl AshmemDriver {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.regions
-            .insert(id, Region { name: name.to_string(), size, owner_pid, pinned: true });
+        self.regions.insert(
+            id,
+            Region {
+                name: name.to_string(),
+                size,
+                owner_pid,
+                pinned: true,
+            },
+        );
         self.used_bytes += size;
         Ok(AshmemId(id))
     }
@@ -50,7 +62,9 @@ impl AshmemDriver {
                 r.pinned = false;
                 Ok(())
             }
-            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+            None => Err(KernelError::NotFound {
+                what: format!("ashmem region {}", id.0),
+            }),
         }
     }
 
@@ -61,7 +75,9 @@ impl AshmemDriver {
                 r.pinned = true;
                 Ok(())
             }
-            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+            None => Err(KernelError::NotFound {
+                what: format!("ashmem region {}", id.0),
+            }),
         }
     }
 
@@ -93,7 +109,9 @@ impl AshmemDriver {
                 self.used_bytes -= r.size;
                 Ok(())
             }
-            None => Err(KernelError::NotFound { what: format!("ashmem region {}", id.0) }),
+            None => Err(KernelError::NotFound {
+                what: format!("ashmem region {}", id.0),
+            }),
         }
     }
 
@@ -163,7 +181,10 @@ mod tests {
         assert_eq!(a.shrink(512), 1024);
         assert_eq!(a.region_count(), 1);
         assert!(a.pin(pinned).is_ok());
-        assert!(a.pin(loose).is_err(), "reclaimed region cannot be re-pinned");
+        assert!(
+            a.pin(loose).is_err(),
+            "reclaimed region cannot be re-pinned"
+        );
     }
 
     #[test]

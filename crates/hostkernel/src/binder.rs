@@ -70,7 +70,9 @@ impl BinderContext {
     /// `svcmgr_publish`: duplicate names are rejected.
     pub fn register_service(&mut self, service: &str, pid: u32) -> KernelResult<BinderHandle> {
         if self.services.contains_key(service) {
-            return Err(KernelError::AlreadyExists { what: format!("binder service {service}") });
+            return Err(KernelError::AlreadyExists {
+                what: format!("binder service {service}"),
+            });
         }
         let handle = BinderHandle(self.next_handle);
         self.next_handle += 1;
@@ -99,7 +101,9 @@ impl BinderContext {
             }
             None => {
                 self.stats.failed += 1;
-                Err(KernelError::NotFound { what: format!("binder service {service}") })
+                Err(KernelError::NotFound {
+                    what: format!("binder service {service}"),
+                })
             }
         }
     }
@@ -116,16 +120,21 @@ impl BinderContext {
             Some(&(_, pid)) => {
                 self.stats.transactions += 1;
                 self.stats.bytes_transferred += payload_bytes;
-                self.oneway_queues.entry(pid).or_default().push(OnewayTransaction {
-                    service: service.to_string(),
-                    from,
-                    payload_bytes,
-                });
+                self.oneway_queues
+                    .entry(pid)
+                    .or_default()
+                    .push(OnewayTransaction {
+                        service: service.to_string(),
+                        from,
+                        payload_bytes,
+                    });
                 Ok(())
             }
             None => {
                 self.stats.failed += 1;
-                Err(KernelError::NotFound { what: format!("binder service {service}") })
+                Err(KernelError::NotFound {
+                    what: format!("binder service {service}"),
+                })
             }
         }
     }
@@ -145,7 +154,9 @@ impl BinderContext {
     /// (`linkToDeath`). Fails if the service does not exist.
     pub fn link_to_death(&mut self, watcher: u32, service: &str) -> KernelResult<()> {
         if !self.services.contains_key(service) {
-            return Err(KernelError::NotFound { what: format!("binder service {service}") });
+            return Err(KernelError::NotFound {
+                what: format!("binder service {service}"),
+            });
         }
         let watchers = self.death_links.entry(service.to_string()).or_default();
         if !watchers.contains(&watcher) {
@@ -169,8 +180,10 @@ impl BinderContext {
             if let Some(watchers) = self.death_links.remove(&service) {
                 for watcher in watchers {
                     if watcher != pid {
-                        notifications
-                            .push(DeathNotification { service: service.clone(), watcher });
+                        notifications.push(DeathNotification {
+                            service: service.clone(),
+                            watcher,
+                        });
                     }
                 }
             }
@@ -232,7 +245,10 @@ mod tests {
         ctx.register_service("a", 1).unwrap();
         ctx.register_service("b", 1).unwrap();
         ctx.register_service("c", 2).unwrap();
-        assert!(ctx.reap_process(1).is_empty(), "no watchers, no notifications");
+        assert!(
+            ctx.reap_process(1).is_empty(),
+            "no watchers, no notifications"
+        );
         assert_eq!(ctx.service_names(), vec!["c"]);
         // Transacting to a dead service now fails.
         assert!(ctx.transact("a", 1).is_err());
@@ -266,11 +282,29 @@ mod tests {
         ctx.link_to_death(20, "package").unwrap();
         assert!(ctx.link_to_death(20, "ghost").is_err());
         let mut notes = ctx.reap_process(10);
-        notes.sort_by(|a, b| (a.service.clone(), a.watcher).cmp(&(b.service.clone(), b.watcher)));
+        notes.sort_by_key(|n| (n.service.clone(), n.watcher));
         assert_eq!(notes.len(), 3);
-        assert_eq!(notes[0], DeathNotification { service: "activity".into(), watcher: 20 });
-        assert_eq!(notes[1], DeathNotification { service: "activity".into(), watcher: 21 });
-        assert_eq!(notes[2], DeathNotification { service: "package".into(), watcher: 20 });
+        assert_eq!(
+            notes[0],
+            DeathNotification {
+                service: "activity".into(),
+                watcher: 20
+            }
+        );
+        assert_eq!(
+            notes[1],
+            DeathNotification {
+                service: "activity".into(),
+                watcher: 21
+            }
+        );
+        assert_eq!(
+            notes[2],
+            DeathNotification {
+                service: "package".into(),
+                watcher: 20
+            }
+        );
     }
 
     #[test]

@@ -60,26 +60,34 @@ impl CgroupManager {
     /// Remove a cgroup; fails while it still has members.
     pub fn remove(&mut self, id: CgroupId) -> KernelResult<()> {
         match self.groups.get(&id.0) {
-            Some(g) if !g.members.is_empty() => {
-                Err(KernelError::Busy { holder: format!("cgroup {} has members", g.name) })
-            }
+            Some(g) if !g.members.is_empty() => Err(KernelError::Busy {
+                holder: format!("cgroup {} has members", g.name),
+            }),
             Some(_) => {
                 self.groups.remove(&id.0);
                 Ok(())
             }
-            None => Err(KernelError::NotFound { what: format!("cgroup {}", id.0) }),
+            None => Err(KernelError::NotFound {
+                what: format!("cgroup {}", id.0),
+            }),
         }
     }
 
     /// Attach a pid to a cgroup (and implicitly detach from any other).
     pub fn attach(&mut self, id: CgroupId, pid: u32) -> KernelResult<()> {
         if !self.groups.contains_key(&id.0) {
-            return Err(KernelError::NotFound { what: format!("cgroup {}", id.0) });
+            return Err(KernelError::NotFound {
+                what: format!("cgroup {}", id.0),
+            });
         }
         for g in self.groups.values_mut() {
             g.members.remove(&pid);
         }
-        self.groups.get_mut(&id.0).expect("checked above").members.insert(pid);
+        self.groups
+            .get_mut(&id.0)
+            .expect("checked above")
+            .members
+            .insert(pid);
         Ok(())
     }
 
@@ -88,7 +96,9 @@ impl CgroupManager {
         let g = self
             .groups
             .get_mut(&id.0)
-            .ok_or_else(|| KernelError::NotFound { what: format!("cgroup {}", id.0) })?;
+            .ok_or_else(|| KernelError::NotFound {
+                what: format!("cgroup {}", id.0),
+            })?;
         if g.memory_used + bytes > g.memory_limit {
             return Err(KernelError::CgroupLimit {
                 what: format!(
@@ -107,7 +117,9 @@ impl CgroupManager {
         let g = self
             .groups
             .get_mut(&id.0)
-            .ok_or_else(|| KernelError::NotFound { what: format!("cgroup {}", id.0) })?;
+            .ok_or_else(|| KernelError::NotFound {
+                what: format!("cgroup {}", id.0),
+            })?;
         debug_assert!(bytes <= g.memory_used, "uncharging more than charged");
         g.memory_used = g.memory_used.saturating_sub(bytes);
         Ok(())
@@ -119,7 +131,9 @@ impl CgroupManager {
         let g = self
             .groups
             .get_mut(&id.0)
-            .ok_or_else(|| KernelError::NotFound { what: format!("cgroup {}", id.0) })?;
+            .ok_or_else(|| KernelError::NotFound {
+                what: format!("cgroup {}", id.0),
+            })?;
         g.cpu_shares = shares;
         Ok(())
     }
@@ -137,7 +151,9 @@ impl CgroupManager {
 
     /// Immutable access to a group.
     pub fn get(&self, id: CgroupId) -> KernelResult<&Cgroup> {
-        self.groups.get(&id.0).ok_or_else(|| KernelError::NotFound { what: format!("cgroup {}", id.0) })
+        self.groups.get(&id.0).ok_or_else(|| KernelError::NotFound {
+            what: format!("cgroup {}", id.0),
+        })
     }
 
     /// Number of groups.

@@ -93,10 +93,19 @@ mod tests {
     #[test]
     fn display_is_errno_flavoured() {
         assert_eq!(
-            KernelError::NoSuchDevice { device: "/dev/binder" }.to_string(),
+            KernelError::NoSuchDevice {
+                device: "/dev/binder"
+            }
+            .to_string(),
             "ENODEV: no such device /dev/binder"
         );
-        assert!(KernelError::NoSuchProcess { pid: 9 }.to_string().contains("ESRCH"));
-        assert!(KernelError::Busy { holder: "container-1".into() }.to_string().contains("EBUSY"));
+        assert!(KernelError::NoSuchProcess { pid: 9 }
+            .to_string()
+            .contains("ESRCH"));
+        assert!(KernelError::Busy {
+            holder: "container-1".into()
+        }
+        .to_string()
+        .contains("EBUSY"));
     }
 }

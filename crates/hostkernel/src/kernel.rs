@@ -118,12 +118,14 @@ impl Kernel {
     /// `insmod name`. Returns the simulated load latency; loading an
     /// already-loaded module is a no-op costing zero time.
     pub fn load_module(&mut self, name: &str) -> KernelResult<SimDuration> {
-        let spec = module_by_name(name)
-            .ok_or_else(|| KernelError::NotFound { what: format!("module {name}") })?;
+        let spec = module_by_name(name).ok_or_else(|| KernelError::NotFound {
+            what: format!("module {name}"),
+        })?;
         if self.modules.contains_key(spec.name) {
             return Ok(SimDuration::ZERO);
         }
-        self.modules.insert(spec.name, LoadedModule { spec, refs: 0 });
+        self.modules
+            .insert(spec.name, LoadedModule { spec, refs: 0 });
         self.kernel_memory += spec.kernel_memory_bytes;
         Ok(spec.load_time)
     }
@@ -131,9 +133,11 @@ impl Kernel {
     /// Load the entire Android Container Driver package; returns total
     /// `insmod` latency for modules that were not already resident.
     pub fn load_android_container_driver(&mut self) -> SimDuration {
-        ANDROID_CONTAINER_DRIVER.iter().fold(SimDuration::ZERO, |acc, m| {
-            acc + self.load_module(m.name).expect("package modules are known")
-        })
+        ANDROID_CONTAINER_DRIVER
+            .iter()
+            .fold(SimDuration::ZERO, |acc, m| {
+                acc + self.load_module(m.name).expect("package modules are known")
+            })
     }
 
     /// `rmmod name`. Fails with `EBUSY` while containers hold references.
@@ -141,9 +145,13 @@ impl Kernel {
         let m = self
             .modules
             .get(name)
-            .ok_or_else(|| KernelError::NotFound { what: format!("module {name}") })?;
+            .ok_or_else(|| KernelError::NotFound {
+                what: format!("module {name}"),
+            })?;
         if m.refs > 0 {
-            return Err(KernelError::Busy { holder: format!("{} containers", m.refs) });
+            return Err(KernelError::Busy {
+                holder: format!("{} containers", m.refs),
+            });
         }
         let m = self.modules.remove(name).expect("checked above");
         self.kernel_memory -= m.spec.kernel_memory_bytes;
@@ -166,9 +174,14 @@ impl Kernel {
                         if prev.name == spec.name {
                             break;
                         }
-                        self.modules.get_mut(prev.name).expect("was just incremented").refs -= 1;
+                        self.modules
+                            .get_mut(prev.name)
+                            .expect("was just incremented")
+                            .refs -= 1;
                     }
-                    return Err(KernelError::NoSuchDevice { device: spec.provides[0].dev_path() });
+                    return Err(KernelError::NoSuchDevice {
+                        device: spec.provides[0].dev_path(),
+                    });
                 }
             }
         }
@@ -197,7 +210,9 @@ impl Kernel {
     /// Tear a namespace down: kill its processes and drop driver state.
     pub fn destroy_namespace(&mut self, ns: u32) -> KernelResult<()> {
         if ns == 0 {
-            return Err(KernelError::NotPermitted { reason: "cannot destroy host namespace".into() });
+            return Err(KernelError::NotPermitted {
+                reason: "cannot destroy host namespace".into(),
+            });
         }
         self.namespaces
             .remove(&ns)
@@ -224,7 +239,9 @@ impl Kernel {
     pub fn open_device(&mut self, ns: u32, kind: DeviceKind) -> KernelResult<DeviceHandle> {
         let module = crate::module::module_providing(kind).expect("every kind has a module");
         if !self.modules.contains_key(module.name) {
-            return Err(KernelError::NoSuchDevice { device: kind.dev_path() });
+            return Err(KernelError::NoSuchDevice {
+                device: kind.dev_path(),
+            });
         }
         let state = self
             .namespaces
@@ -241,17 +258,25 @@ impl Kernel {
                 state.logger.get_or_insert_with(LoggerDriver::default);
             }
             DeviceKind::Ashmem => {
-                state.ashmem.get_or_insert_with(|| AshmemDriver::new(ASHMEM_BUDGET));
+                state
+                    .ashmem
+                    .get_or_insert_with(|| AshmemDriver::new(ASHMEM_BUDGET));
             }
             DeviceKind::SwSync => {} // stateless in this model
         }
         let fd = state.next_fd;
         state.next_fd += 1;
-        Ok(DeviceHandle { kind, namespace: ns, fd })
+        Ok(DeviceHandle {
+            kind,
+            namespace: ns,
+            fd,
+        })
     }
 
     fn ns_state(&mut self, ns: u32) -> KernelResult<&mut NamespaceState> {
-        self.namespaces.get_mut(&ns).ok_or(KernelError::NoSuchNamespace { ns })
+        self.namespaces
+            .get_mut(&ns)
+            .ok_or(KernelError::NoSuchNamespace { ns })
     }
 
     /// The namespace's binder context (must have been opened).
@@ -259,7 +284,9 @@ impl Kernel {
         self.ns_state(ns)?
             .binder
             .as_mut()
-            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Binder.dev_path() })
+            .ok_or(KernelError::NoSuchDevice {
+                device: DeviceKind::Binder.dev_path(),
+            })
     }
 
     /// The namespace's alarm driver (must have been opened).
@@ -267,7 +294,9 @@ impl Kernel {
         self.ns_state(ns)?
             .alarm
             .as_mut()
-            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Alarm.dev_path() })
+            .ok_or(KernelError::NoSuchDevice {
+                device: DeviceKind::Alarm.dev_path(),
+            })
     }
 
     /// The namespace's logger (must have been opened).
@@ -275,7 +304,9 @@ impl Kernel {
         self.ns_state(ns)?
             .logger
             .as_mut()
-            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Logger.dev_path() })
+            .ok_or(KernelError::NoSuchDevice {
+                device: DeviceKind::Logger.dev_path(),
+            })
     }
 
     /// The namespace's ashmem driver (must have been opened).
@@ -283,7 +314,9 @@ impl Kernel {
         self.ns_state(ns)?
             .ashmem
             .as_mut()
-            .ok_or(KernelError::NoSuchDevice { device: DeviceKind::Ashmem.dev_path() })
+            .ok_or(KernelError::NoSuchDevice {
+                device: DeviceKind::Ashmem.dev_path(),
+            })
     }
 }
 
@@ -302,7 +335,12 @@ mod tests {
         // Binder before insmod: ENODEV — the exact failure the Android
         // Container Driver exists to prevent.
         let err = k.open_device(ns, DeviceKind::Binder).unwrap_err();
-        assert_eq!(err, KernelError::NoSuchDevice { device: "/dev/binder" });
+        assert_eq!(
+            err,
+            KernelError::NoSuchDevice {
+                device: "/dev/binder"
+            }
+        );
         k.load_module("android_binder.ko").unwrap();
         assert!(k.open_device(ns, DeviceKind::Binder).is_ok());
     }
@@ -350,7 +388,10 @@ mod tests {
         let b = k.create_namespace();
         k.open_device(a, DeviceKind::Binder).unwrap();
         k.open_device(b, DeviceKind::Binder).unwrap();
-        k.binder_mut(a).unwrap().register_service("activity", 10).unwrap();
+        k.binder_mut(a)
+            .unwrap()
+            .register_service("activity", 10)
+            .unwrap();
         // Namespace b sees no such service: isolation via device namespaces.
         assert!(k.binder_mut(b).unwrap().lookup("activity").is_none());
         assert!(k.binder_mut(a).unwrap().lookup("activity").is_some());
@@ -372,7 +413,10 @@ mod tests {
     #[test]
     fn host_namespace_is_protected() {
         let mut k = kernel();
-        assert!(matches!(k.destroy_namespace(0), Err(KernelError::NotPermitted { .. })));
+        assert!(matches!(
+            k.destroy_namespace(0),
+            Err(KernelError::NotPermitted { .. })
+        ));
     }
 
     #[test]

@@ -110,7 +110,12 @@ mod tests {
     use super::*;
 
     fn rec(tag: &str, msg: &str) -> LogRecord {
-        LogRecord { priority: 4, tag: tag.into(), message: msg.into(), pid: 1 }
+        LogRecord {
+            priority: 4,
+            tag: tag.into(),
+            message: msg.into(),
+            pid: 1,
+        }
     }
 
     #[test]
@@ -142,7 +147,12 @@ mod tests {
     #[test]
     fn oversized_record_fits_alone() {
         let mut log = LoggerDriver::new(32);
-        log.write(LogRecord { priority: 6, tag: "t".into(), message: "x".repeat(1000), pid: 1 });
+        log.write(LogRecord {
+            priority: 6,
+            tag: "t".into(),
+            message: "x".repeat(1000),
+            pid: 1,
+        });
         assert_eq!(log.len(), 1);
         assert!(log.used_bytes() <= 32);
     }

@@ -70,12 +70,17 @@ pub fn module_by_name(name: &str) -> Option<&'static ModuleSpec> {
 
 /// The module that provides `kind`, if any.
 pub fn module_providing(kind: DeviceKind) -> Option<&'static ModuleSpec> {
-    ANDROID_CONTAINER_DRIVER.iter().find(|m| m.provides.contains(&kind))
+    ANDROID_CONTAINER_DRIVER
+        .iter()
+        .find(|m| m.provides.contains(&kind))
 }
 
 /// Total kernel memory of the whole driver package when fully loaded.
 pub fn total_package_memory() -> u64 {
-    ANDROID_CONTAINER_DRIVER.iter().map(|m| m.kernel_memory_bytes).sum()
+    ANDROID_CONTAINER_DRIVER
+        .iter()
+        .map(|m| m.kernel_memory_bytes)
+        .sum()
 }
 
 /// Total `insmod` latency of loading the whole package sequentially.
@@ -98,13 +103,19 @@ mod tests {
             DeviceKind::Ashmem,
             DeviceKind::SwSync,
         ] {
-            assert!(module_providing(kind).is_some(), "no module provides {kind:?}");
+            assert!(
+                module_providing(kind).is_some(),
+                "no module provides {kind:?}"
+            );
         }
     }
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(module_by_name("android_binder.ko").unwrap().provides, &[DeviceKind::Binder]);
+        assert_eq!(
+            module_by_name("android_binder.ko").unwrap().provides,
+            &[DeviceKind::Binder]
+        );
         assert!(module_by_name("nvidia.ko").is_none());
     }
 

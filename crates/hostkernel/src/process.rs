@@ -48,7 +48,11 @@ pub struct ProcessTable {
 impl ProcessTable {
     /// Empty table. Host pids start at 1.
     pub fn new() -> Self {
-        ProcessTable { procs: BTreeMap::new(), next_pid: 1, ns_next: BTreeMap::new() }
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            ns_next: BTreeMap::new(),
+        }
     }
 
     /// Spawn a process in `namespace`. The first process of a namespace
@@ -89,12 +93,16 @@ impl ProcessTable {
 
     /// Look up a process by host pid.
     pub fn get(&self, pid: u32) -> KernelResult<&Process> {
-        self.procs.get(&pid).ok_or(KernelError::NoSuchProcess { pid })
+        self.procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })
     }
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, pid: u32) -> KernelResult<&mut Process> {
-        self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess { pid })
+        self.procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })
     }
 
     /// Mark a process as exited (zombie until reaped).
@@ -109,7 +117,9 @@ impl ProcessTable {
             Some(p) if p.state == ProcessState::Zombie => {
                 Ok(self.procs.remove(&pid).expect("checked above"))
             }
-            Some(_) => Err(KernelError::NotPermitted { reason: format!("pid {pid} not a zombie") }),
+            Some(_) => Err(KernelError::NotPermitted {
+                reason: format!("pid {pid} not a zombie"),
+            }),
             None => Err(KernelError::NoSuchProcess { pid }),
         }
     }
@@ -132,7 +142,10 @@ impl ProcessTable {
 
     /// All processes in `namespace`, ascending host pid.
     pub fn in_namespace(&self, namespace: u32) -> Vec<&Process> {
-        self.procs.values().filter(|p| p.namespace == namespace).collect()
+        self.procs
+            .values()
+            .filter(|p| p.namespace == namespace)
+            .collect()
     }
 
     /// Total live processes.
@@ -156,7 +169,11 @@ mod tests {
         let init_a = t.spawn(1, "/init", 0);
         let init_b = t.spawn(2, "/init", 0);
         assert_eq!(t.get(init_a).unwrap().ns_pid, 1);
-        assert_eq!(t.get(init_b).unwrap().ns_pid, 1, "each namespace has its own pid 1");
+        assert_eq!(
+            t.get(init_b).unwrap().ns_pid,
+            1,
+            "each namespace has its own pid 1"
+        );
         assert_ne!(init_a, init_b, "host pids are global");
     }
 

@@ -84,7 +84,11 @@ mod tests {
         assert!(out.contains("android_binder"));
         assert!(out.contains("ashmem"));
         k.unload_module("ashmem.ko").unwrap();
-        assert!(!lsmod(&k).contains("ashmem "), "unloaded module disappears:\n{}", lsmod(&k));
+        assert!(
+            !lsmod(&k).contains("ashmem "),
+            "unloaded module disappears:\n{}",
+            lsmod(&k)
+        );
     }
 
     #[test]

@@ -111,12 +111,19 @@ impl Kernel {
                 let h = self.binder_mut(ns)?.register_service(&service, pid)?;
                 Ok(SyscallRet::Binder(h))
             }
-            Syscall::BinderTransact { service, payload_bytes } => {
+            Syscall::BinderTransact {
+                service,
+                payload_bytes,
+            } => {
                 let served = self.binder_mut(ns)?.transact(&service, payload_bytes)?;
                 Ok(SyscallRet::ServedBy(served))
             }
-            Syscall::BinderTransactOneway { service, payload_bytes } => {
-                self.binder_mut(ns)?.transact_oneway(pid, &service, payload_bytes)?;
+            Syscall::BinderTransactOneway {
+                service,
+                payload_bytes,
+            } => {
+                self.binder_mut(ns)?
+                    .transact_oneway(pid, &service, payload_bytes)?;
                 Ok(SyscallRet::Unit)
             }
             Syscall::BinderLinkToDeath { service } => {
@@ -131,7 +138,11 @@ impl Kernel {
                 self.alarm_mut(ns)?.cancel(id);
                 Ok(SyscallRet::Unit)
             }
-            Syscall::LogWrite { priority, tag, message } => {
+            Syscall::LogWrite {
+                priority,
+                tag,
+                message,
+            } => {
                 self.logger_mut(ns)?.write(crate::logger::LogRecord {
                     priority,
                     tag,
@@ -187,28 +198,66 @@ mod tests {
         // The user-space boot of §IV-B2 expressed as syscalls: init opens
         // devices, forks zygote, zygote registers core services.
         let (mut k, _ns, init) = booted();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder)).unwrap();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger)).unwrap();
-        let SyscallRet::Pid(zygote) =
-            k.syscall(init, Syscall::Fork { child_name: "zygote".into() }).unwrap()
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder))
+            .unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger))
+            .unwrap();
+        let SyscallRet::Pid(zygote) = k
+            .syscall(
+                init,
+                Syscall::Fork {
+                    child_name: "zygote".into(),
+                },
+            )
+            .unwrap()
         else {
             panic!("fork returns pid")
         };
-        let SyscallRet::Pid(system_server) =
-            k.syscall(zygote, Syscall::Fork { child_name: "system_server".into() }).unwrap()
+        let SyscallRet::Pid(system_server) = k
+            .syscall(
+                zygote,
+                Syscall::Fork {
+                    child_name: "system_server".into(),
+                },
+            )
+            .unwrap()
         else {
             panic!("fork returns pid")
         };
-        k.syscall(system_server, Syscall::BinderRegister { service: "activity".into() }).unwrap();
-        k.syscall(system_server, Syscall::BinderRegister { service: "package".into() }).unwrap();
+        k.syscall(
+            system_server,
+            Syscall::BinderRegister {
+                service: "activity".into(),
+            },
+        )
+        .unwrap();
+        k.syscall(
+            system_server,
+            Syscall::BinderRegister {
+                service: "package".into(),
+            },
+        )
+        .unwrap();
         // An app process can now transact with the activity manager.
-        let SyscallRet::Pid(app) =
-            k.syscall(zygote, Syscall::Fork { child_name: "com.bench.ocr".into() }).unwrap()
+        let SyscallRet::Pid(app) = k
+            .syscall(
+                zygote,
+                Syscall::Fork {
+                    child_name: "com.bench.ocr".into(),
+                },
+            )
+            .unwrap()
         else {
             panic!("fork returns pid")
         };
         let r = k
-            .syscall(app, Syscall::BinderTransact { service: "activity".into(), payload_bytes: 128 })
+            .syscall(
+                app,
+                Syscall::BinderTransact {
+                    service: "activity".into(),
+                    payload_bytes: 128,
+                },
+            )
             .unwrap();
         assert_eq!(r, SyscallRet::ServedBy(system_server));
     }
@@ -218,7 +267,9 @@ mod tests {
         let mut k = Kernel::new(HostSpec::paper_server());
         let ns = k.create_namespace();
         let p = k.processes.spawn(ns, "app", 0);
-        let err = k.syscall(p, Syscall::OpenDevice(DeviceKind::Binder)).unwrap_err();
+        let err = k
+            .syscall(p, Syscall::OpenDevice(DeviceKind::Binder))
+            .unwrap_err();
         assert!(matches!(err, KernelError::NoSuchDevice { .. }));
     }
 
@@ -226,7 +277,13 @@ mod tests {
     fn transact_before_open_is_enodev() {
         let (mut k, _ns, init) = booted();
         let err = k
-            .syscall(init, Syscall::BinderTransact { service: "x".into(), payload_bytes: 1 })
+            .syscall(
+                init,
+                Syscall::BinderTransact {
+                    service: "x".into(),
+                    payload_bytes: 1,
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, KernelError::NoSuchDevice { .. }));
     }
@@ -234,12 +291,24 @@ mod tests {
     #[test]
     fn alarm_set_and_log_write() {
         let (mut k, ns, init) = booted();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm)).unwrap();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger)).unwrap();
-        k.syscall(init, Syscall::AlarmSet { due: SimTime::from_secs(60) }).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm))
+            .unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Logger))
+            .unwrap();
         k.syscall(
             init,
-            Syscall::LogWrite { priority: 4, tag: "init".into(), message: "boot done".into() },
+            Syscall::AlarmSet {
+                due: SimTime::from_secs(60),
+            },
+        )
+        .unwrap();
+        k.syscall(
+            init,
+            Syscall::LogWrite {
+                priority: 4,
+                tag: "init".into(),
+                message: "boot done".into(),
+            },
         )
         .unwrap();
         assert_eq!(k.alarm_mut(ns).unwrap().pending_count(), 1);
@@ -249,17 +318,45 @@ mod tests {
     #[test]
     fn exit_reaps_driver_state() {
         let (mut k, ns, init) = booted();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder)).unwrap();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm)).unwrap();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem)).unwrap();
-        let SyscallRet::Pid(svc) =
-            k.syscall(init, Syscall::Fork { child_name: "service".into() }).unwrap()
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Binder))
+            .unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Alarm))
+            .unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem))
+            .unwrap();
+        let SyscallRet::Pid(svc) = k
+            .syscall(
+                init,
+                Syscall::Fork {
+                    child_name: "service".into(),
+                },
+            )
+            .unwrap()
         else {
             panic!()
         };
-        k.syscall(svc, Syscall::BinderRegister { service: "media".into() }).unwrap();
-        k.syscall(svc, Syscall::AlarmSet { due: SimTime::from_secs(5) }).unwrap();
-        k.syscall(svc, Syscall::AshmemCreate { name: "buf".into(), size: 4096 }).unwrap();
+        k.syscall(
+            svc,
+            Syscall::BinderRegister {
+                service: "media".into(),
+            },
+        )
+        .unwrap();
+        k.syscall(
+            svc,
+            Syscall::AlarmSet {
+                due: SimTime::from_secs(5),
+            },
+        )
+        .unwrap();
+        k.syscall(
+            svc,
+            Syscall::AshmemCreate {
+                name: "buf".into(),
+                size: 4096,
+            },
+        )
+        .unwrap();
         k.syscall(svc, Syscall::Exit).unwrap();
         assert!(k.binder_mut(ns).unwrap().lookup("media").is_none());
         assert_eq!(k.alarm_mut(ns).unwrap().pending_count(), 0);
@@ -269,11 +366,15 @@ mod tests {
     #[test]
     fn ashmem_budget_enforced_via_syscall() {
         let (mut k, _ns, init) = booted();
-        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem)).unwrap();
+        k.syscall(init, Syscall::OpenDevice(DeviceKind::Ashmem))
+            .unwrap();
         let err = k
             .syscall(
                 init,
-                Syscall::AshmemCreate { name: "huge".into(), size: 1 << 40 },
+                Syscall::AshmemCreate {
+                    name: "huge".into(),
+                    size: 1 << 40,
+                },
             )
             .unwrap_err();
         assert!(matches!(err, KernelError::OutOfMemory { .. }));

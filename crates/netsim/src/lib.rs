@@ -11,6 +11,8 @@
 
 pub mod link;
 pub mod scenario;
+pub mod shared;
 
 pub use link::Link;
 pub use scenario::{Direction, LinkParams, NetworkScenario};
+pub use shared::SharedLink;

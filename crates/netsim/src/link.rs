@@ -18,7 +18,10 @@ pub struct Link {
 impl Link {
     /// A link in the given scenario.
     pub fn new(scenario: NetworkScenario) -> Self {
-        Link { scenario, params: scenario.params() }
+        Link {
+            scenario,
+            params: scenario.params(),
+        }
     }
 
     /// The scenario this link models.
@@ -105,8 +108,14 @@ mod tests {
     #[test]
     fn zero_bytes_is_free() {
         let l = Link::new(NetworkScenario::LanWifi);
-        assert_eq!(l.transfer_time(0, Direction::Upload, &mut rng()), SimDuration::ZERO);
-        assert_eq!(l.expected_transfer_time(0, Direction::Download), SimDuration::ZERO);
+        assert_eq!(
+            l.transfer_time(0, Direction::Upload, &mut rng()),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            l.expected_transfer_time(0, Direction::Download),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -116,7 +125,10 @@ mod tests {
         let mut mean = |s: NetworkScenario| {
             let l = Link::new(s);
             let total: f64 = (0..200)
-                .map(|_| l.transfer_time(bytes, Direction::Upload, &mut r).as_secs_f64())
+                .map(|_| {
+                    l.transfer_time(bytes, Direction::Upload, &mut r)
+                        .as_secs_f64()
+                })
                 .sum();
             total / 200.0
         };
@@ -144,7 +156,10 @@ mod tests {
         let lan = Link::new(NetworkScenario::LanWifi);
         let wan = Link::new(NetworkScenario::WanWifi);
         let mean = |l: &Link, r: &mut SimRng| {
-            (0..300).map(|_| l.connect_time(r).as_secs_f64()).sum::<f64>() / 300.0
+            (0..300)
+                .map(|_| l.connect_time(r).as_secs_f64())
+                .sum::<f64>()
+                / 300.0
         };
         let lan_mean = mean(&lan, &mut r);
         let wan_mean = mean(&wan, &mut r);
@@ -158,10 +173,15 @@ mod tests {
         let mut r = rng();
         let bytes = kib(2000);
         let sampled: f64 = (0..2000)
-            .map(|_| l.transfer_time(bytes, Direction::Upload, &mut r).as_secs_f64())
+            .map(|_| {
+                l.transfer_time(bytes, Direction::Upload, &mut r)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / 2000.0;
-        let expected = l.expected_transfer_time(bytes, Direction::Upload).as_secs_f64();
+        let expected = l
+            .expected_transfer_time(bytes, Direction::Upload)
+            .as_secs_f64();
         assert!(
             (sampled - expected).abs() / expected < 0.15,
             "sampled {sampled} vs expected {expected}"
@@ -172,7 +192,9 @@ mod tests {
     fn sampled_rtt_is_positive_and_centered() {
         let l = Link::new(NetworkScenario::FourG);
         let mut r = rng();
-        let samples: Vec<f64> = (0..1000).map(|_| l.sample_rtt(&mut r).as_secs_f64()).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|_| l.sample_rtt(&mut r).as_secs_f64())
+            .collect();
         assert!(samples.iter().all(|&s| s > 0.0));
         let median = {
             let mut v = samples.clone();

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn scenario_ordering_matches_quality() {
         // RTT: LAN < WAN < 4G < 3G.
-        let rtts: Vec<_> = NetworkScenario::ALL.iter().map(|s| s.params().rtt).collect();
+        let rtts: Vec<_> = NetworkScenario::ALL
+            .iter()
+            .map(|s| s.params().rtt)
+            .collect();
         assert!(rtts.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -1,0 +1,186 @@
+//! Contended shared medium: concurrent transfers fair-share bandwidth.
+//!
+//! [`Link`] prices each transfer independently — correct while the
+//! access point is not the bottleneck (the paper's 5-device LAN).
+//! [`SharedLink`] models the regime where it *is*: a cell or AP of
+//! fixed aggregate bandwidth on which every in-flight transfer gets a
+//! max-min fair share, built directly on
+//! [`simkit::FairShareExecutor`] — the identical engine that drives
+//! the server CPU and the offloading disk, with work measured in
+//! bytes and capacity in bytes/s.
+//!
+//! Usage mirrors the executor: [`SharedLink::begin_transfer`] to start
+//! a flow, [`SharedLink::reschedule`] after every mutation to keep a
+//! completion-check event in the queue, [`SharedLink::poll`] from that
+//! event's handler to collect finished transfers (stale epochs return
+//! `None` and must be ignored).
+//!
+//! [`Link`]: crate::Link
+
+use crate::scenario::{Direction, NetworkScenario};
+use simkit::{EventQueue, FairShareExecutor, JobId, SimTime};
+
+/// A shared medium of fixed aggregate bandwidth. `T` is the caller's
+/// per-transfer payload (request id, flow descriptor, …).
+#[derive(Debug)]
+pub struct SharedLink<T> {
+    exec: FairShareExecutor<T>,
+    capacity_bps: f64,
+}
+
+impl<T> SharedLink<T> {
+    /// A medium moving `capacity_bps` bytes/s in aggregate; a single
+    /// flow is additionally capped at `per_flow_bps` (a device NIC or
+    /// modulation limit). Pass `per_flow_bps = capacity_bps` for no
+    /// per-flow cap.
+    pub fn new(capacity_bps: f64, per_flow_bps: f64) -> Self {
+        SharedLink {
+            exec: FairShareExecutor::new(capacity_bps, per_flow_bps),
+            capacity_bps,
+        }
+    }
+
+    /// A medium with the aggregate bandwidth of `scenario` in the given
+    /// direction, flows capped only by the medium itself.
+    pub fn for_scenario(scenario: NetworkScenario, direction: Direction) -> Self {
+        let params = scenario.params();
+        let bps = match direction {
+            Direction::Upload => params.upstream_bps,
+            Direction::Download => params.downstream_bps,
+        };
+        Self::new(bps, bps)
+    }
+
+    /// Aggregate bandwidth, bytes/s.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn active_transfers(&self) -> usize {
+        self.exec.active_jobs()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.exec.is_idle()
+    }
+
+    /// Start moving `bytes` across the medium at `now`.
+    pub fn begin_transfer(&mut self, now: SimTime, bytes: u64, payload: T) -> JobId {
+        self.exec.submit(now, bytes as f64, payload)
+    }
+
+    /// Abort an in-flight transfer, returning its payload.
+    pub fn cancel(&mut self, now: SimTime, transfer: JobId) -> Option<T> {
+        self.exec.cancel(now, transfer)
+    }
+
+    /// Re-arm the completion check after any mutation. `make_event`
+    /// receives the new epoch; embed it in the scheduled event and hand
+    /// it back to [`SharedLink::poll`].
+    pub fn reschedule<E>(
+        &mut self,
+        now: SimTime,
+        queue: &mut EventQueue<E>,
+        make_event: impl FnOnce(u64) -> E,
+    ) {
+        self.exec.reschedule(now, queue, make_event);
+    }
+
+    /// Collect transfers finished by `now`. Returns `None` for a stale
+    /// epoch (a newer check supersedes this event).
+    pub fn poll(&mut self, now: SimTime, epoch: u64) -> Option<Vec<(JobId, T)>> {
+        self.exec.poll(now, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a SharedLink event loop to completion, returning
+    /// (finish time, payload) per transfer in completion order.
+    fn drain(link: &mut SharedLink<u32>, queue: &mut EventQueue<u64>) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        while let Some((now, epoch)) = queue.pop() {
+            let Some(finished) = link.poll(now, epoch) else {
+                continue;
+            };
+            for (_, payload) in finished {
+                out.push((now, payload));
+            }
+            link.reschedule(now, queue, |e| e);
+        }
+        out
+    }
+
+    #[test]
+    fn solo_transfer_moves_at_full_bandwidth() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 2_000_000, 7);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        let done = drain(&mut link, &mut queue);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 7);
+        // 2 MB over 1 MB/s ≈ 2 s (+ check slack).
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 2.0).abs() < 1e-3, "finished at {t}");
+        assert!(link.is_idle());
+    }
+
+    #[test]
+    fn concurrent_transfers_halve_each_other() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 1_000_000, 1);
+        link.begin_transfer(SimTime::ZERO, 1_000_000, 2);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        assert_eq!(link.active_transfers(), 2);
+        let done = drain(&mut link, &mut queue);
+        // Each 1 MB flow gets 0.5 MB/s: both finish together at ≈ 2 s,
+        // drained in job order.
+        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![1, 2]);
+        for (t, _) in &done {
+            let secs = t.as_secs_f64();
+            assert!((secs - 2.0).abs() < 1e-3, "finished at {secs}");
+        }
+    }
+
+    #[test]
+    fn per_flow_cap_binds_a_lone_flow() {
+        // 10 MB/s medium, flows capped at 1 MB/s (a slow client NIC).
+        let mut link: SharedLink<u32> = SharedLink::new(10_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 3_000_000, 9);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        let done = drain(&mut link, &mut queue);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 3.0).abs() < 1e-3, "capped flow finished at {t}");
+    }
+
+    #[test]
+    fn stale_epochs_are_ignored() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 1_000_000, 1);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        let stale = link.exec.epoch();
+        // A second transfer invalidates the first check.
+        link.begin_transfer(SimTime::ZERO, 500_000, 2);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        assert_eq!(link.poll(SimTime::from_secs(10), stale), None);
+        let done = drain(&mut link, &mut queue);
+        assert_eq!(done.len(), 2);
+        // The short flow wins despite starting later.
+        assert_eq!(done[0].1, 2);
+    }
+
+    #[test]
+    fn scenario_construction_uses_published_bandwidths() {
+        let up = SharedLink::<u32>::for_scenario(NetworkScenario::ThreeG, Direction::Upload);
+        // §VI-A: 0.38 Mbps upstream 3G.
+        assert!((up.capacity_bps() - 0.38e6 / 8.0).abs() / up.capacity_bps() < 0.05);
+    }
+}

@@ -148,7 +148,10 @@ mod tests {
         let e = est();
         let waiting = e.offloaded_request(NetworkScenario::LanWifi, phases(0, 0, 10_000, 0));
         let uploading = e.offloaded_request(NetworkScenario::LanWifi, phases(0, 10_000, 0, 0));
-        assert!(uploading > 3.0 * waiting, "upload {uploading} vs wait {waiting}");
+        assert!(
+            uploading > 3.0 * waiting,
+            "upload {uploading} vs wait {waiting}"
+        );
     }
 
     #[test]
@@ -173,7 +176,11 @@ mod tests {
     #[test]
     fn zero_local_compute_normalizes_to_infinity() {
         let e = est();
-        let n = e.normalized(NetworkScenario::LanWifi, phases(1, 1, 1, 1), SimDuration::ZERO);
+        let n = e.normalized(
+            NetworkScenario::LanWifi,
+            phases(1, 1, 1, 1),
+            SimDuration::ZERO,
+        );
         assert!(n.is_infinite());
     }
 }

@@ -105,7 +105,10 @@ mod tests {
         let m = DevicePowerModel::power_tutor_default();
         assert_eq!(m.radio_for(NetworkScenario::LanWifi).tx_mw, m.wifi.tx_mw);
         assert_eq!(m.radio_for(NetworkScenario::WanWifi).tx_mw, m.wifi.tx_mw);
-        assert_eq!(m.radio_for(NetworkScenario::ThreeG).tail_time, SimDuration::from_secs(5));
+        assert_eq!(
+            m.radio_for(NetworkScenario::ThreeG).tail_time,
+            SimDuration::from_secs(5)
+        );
         assert!(m.radio_for(NetworkScenario::FourG).tx_mw > m.wifi.tx_mw);
     }
 

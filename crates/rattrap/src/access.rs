@@ -110,7 +110,10 @@ impl AccessController {
         if self.tables.contains_key(app_id) {
             return false;
         }
-        self.tables.insert(app_id.to_string(), PermissionTable::for_profile(expected_payload));
+        self.tables.insert(
+            app_id.to_string(),
+            PermissionTable::for_profile(expected_payload),
+        );
         true
     }
 
@@ -184,7 +187,10 @@ mod tests {
     fn analysis_happens_once_per_app() {
         let mut c = controller();
         assert!(c.admit("com.bench.ocr", 280 * 1024));
-        assert!(!c.admit("com.bench.ocr", 280 * 1024), "second admit is a no-op");
+        assert!(
+            !c.admit("com.bench.ocr", 280 * 1024),
+            "second admit is a no-op"
+        );
         assert_eq!(c.analyzed_apps(), 1);
     }
 
@@ -192,9 +198,25 @@ mod tests {
     fn normal_offloading_workflow_passes() {
         let mut c = controller();
         c.admit("app", 100 * 1024);
-        assert!(c.check("app", &Action::FsWrite { bytes: 50 * 1024 }).is_ok());
-        assert!(c.check("app", &Action::BinderCall { service: "activity".into() }).is_ok());
-        assert!(c.check("app", &Action::NetConnect { dest: "client".into() }).is_ok());
+        assert!(c
+            .check("app", &Action::FsWrite { bytes: 50 * 1024 })
+            .is_ok());
+        assert!(c
+            .check(
+                "app",
+                &Action::BinderCall {
+                    service: "activity".into()
+                }
+            )
+            .is_ok());
+        assert!(c
+            .check(
+                "app",
+                &Action::NetConnect {
+                    dest: "client".into()
+                }
+            )
+            .is_ok());
         assert!(c.check("app", &Action::SpawnProcess).is_ok());
         assert_eq!(c.violation_count("app"), 0);
     }
@@ -205,7 +227,12 @@ mod tests {
         c.admit("mal", 1024);
         for i in 0..3 {
             assert!(!c.is_blocked("mal"), "not blocked before threshold (i={i})");
-            let r = c.check("mal", &Action::BinderCall { service: "telephony".into() });
+            let r = c.check(
+                "mal",
+                &Action::BinderCall {
+                    service: "telephony".into(),
+                },
+            );
             assert!(matches!(r, Err(Denial::Violation { .. })));
         }
         assert!(c.is_blocked("mal"));
@@ -218,7 +245,12 @@ mod tests {
     fn oversized_write_is_a_violation() {
         let mut c = controller();
         c.admit("app", 1024);
-        let r = c.check("app", &Action::FsWrite { bytes: 100 * 1024 * 1024 });
+        let r = c.check(
+            "app",
+            &Action::FsWrite {
+                bytes: 100 * 1024 * 1024,
+            },
+        );
         assert!(matches!(r, Err(Denial::Violation { .. })));
         assert_eq!(c.violation_count("app"), 1);
     }
@@ -227,7 +259,12 @@ mod tests {
     fn warehouse_cross_reads_always_denied() {
         let mut c = controller();
         c.admit("spy", 1024);
-        let r = c.check("spy", &Action::WarehouseRead { aid: "8d6d1b5".into() });
+        let r = c.check(
+            "spy",
+            &Action::WarehouseRead {
+                aid: "8d6d1b5".into(),
+            },
+        );
         assert!(matches!(r, Err(Denial::Violation { .. })));
     }
 

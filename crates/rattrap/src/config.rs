@@ -21,7 +21,10 @@ pub struct DeviceSpec {
 impl DeviceSpec {
     /// Default handset model.
     pub fn default_handset() -> Self {
-        DeviceSpec { clock_ghz: 1.2, efficiency: 0.4 }
+        DeviceSpec {
+            clock_ghz: 1.2,
+            efficiency: 0.4,
+        }
     }
 
     /// Time to execute `work` locally on the device.
@@ -97,7 +100,11 @@ mod tests {
         let work = Megacycles(2660.0);
         let local = d.local_execution_time(work).as_secs_f64();
         let server = work.seconds_at(2.66, 1.0);
-        assert!(local / server > 4.0 && local / server < 8.0, "ratio {}", local / server);
+        assert!(
+            local / server > 4.0 && local / server < 8.0,
+            "ratio {}",
+            local / server
+        );
     }
 
     #[test]
@@ -109,8 +116,7 @@ mod tests {
         for kind in WorkloadKind::ALL {
             let p = kind.profile();
             let local = d.local_execution_time(Megacycles(p.compute_megacycles_mean));
-            let server =
-                Megacycles(p.compute_megacycles_mean).seconds_at(2.66, 0.95);
+            let server = Megacycles(p.compute_megacycles_mean).seconds_at(2.66, 0.95);
             let transfer = p.payload_bytes_mean as f64 / (40.0e6 / 8.0);
             let warm = server + transfer + 0.05;
             assert!(

@@ -60,7 +60,11 @@ pub struct LinkEstimator {
 impl LinkEstimator {
     /// Fresh estimator (α = 0.3, reactive but stable).
     pub fn new() -> Self {
-        LinkEstimator { rtt_s: Ewma::new(0.3), up_bps: Ewma::new(0.3), down_bps: Ewma::new(0.3) }
+        LinkEstimator {
+            rtt_s: Ewma::new(0.3),
+            up_bps: Ewma::new(0.3),
+            down_bps: Ewma::new(0.3),
+        }
     }
 
     /// Record a measured connection setup (≈1.5 RTT).
@@ -199,7 +203,13 @@ impl OffloadDecider {
             }
             Objective::Energy => remote_energy_mj < self.margin * local_energy_mj,
         };
-        DecisionReport { offload, predicted_remote, predicted_local, remote_energy_mj, local_energy_mj }
+        DecisionReport {
+            offload,
+            predicted_remote,
+            predicted_local,
+            remote_energy_mj,
+            local_energy_mj,
+        }
     }
 
     /// Convenience: decide for a workload's *mean* task.
@@ -219,7 +229,11 @@ impl OffloadDecider {
             compute: simkit::units::Megacycles(profile.compute_megacycles_mean),
             io_bytes: 0,
         };
-        let code = if code_cached { 0 } else { profile.app_code_bytes };
+        let code = if code_cached {
+            0
+        } else {
+            profile.app_code_bytes
+        };
         self.decide(scenario, link, &task, code, expected_prep)
     }
 }
@@ -276,7 +290,13 @@ mod tests {
                 true,
                 SimDuration::ZERO,
             );
-            assert!(r.offload, "{}: remote {} local {}", kind.label(), r.predicted_remote, r.predicted_local);
+            assert!(
+                r.offload,
+                "{}: remote {} local {}",
+                kind.label(),
+                r.predicted_remote,
+                r.predicted_local
+            );
         }
     }
 
@@ -293,7 +313,11 @@ mod tests {
             true,
             SimDuration::ZERO,
         );
-        assert!(!scan.offload, "VirusScan on 3G: remote {}", scan.predicted_remote);
+        assert!(
+            !scan.offload,
+            "VirusScan on 3G: remote {}",
+            scan.predicted_remote
+        );
         // OCR's local run is so slow (≈14 s) that even a ~6 s 3G upload
         // still wins on latency — matching Fig. 10, where 3G OCR loses
         // on *energy* but the paper still offloads it.
@@ -304,7 +328,11 @@ mod tests {
             true,
             SimDuration::ZERO,
         );
-        assert!(ocr.offload, "OCR on 3G latency: remote {}", ocr.predicted_remote);
+        assert!(
+            ocr.offload,
+            "OCR on 3G latency: remote {}",
+            ocr.predicted_remote
+        );
         // Linpack's few hundred bytes win remotely, trivially.
         let lp = d.decide_mean(
             NetworkScenario::ThreeG,
@@ -321,7 +349,13 @@ mod tests {
         let d = decider(Objective::Latency);
         let link = LinkEstimator::seeded_from(NetworkScenario::LanWifi);
         let profile = WorkloadKind::ChessGame.profile();
-        let warm = d.decide_mean(NetworkScenario::LanWifi, &link, &profile, true, SimDuration::ZERO);
+        let warm = d.decide_mean(
+            NetworkScenario::LanWifi,
+            &link,
+            &profile,
+            true,
+            SimDuration::ZERO,
+        );
         assert!(warm.offload);
         // A 28.7 s VM boot in the prep estimate makes offloading lose.
         let cold = d.decide_mean(
@@ -340,7 +374,10 @@ mod tests {
             true,
             SimDuration::from_millis(1_750),
         );
-        assert!(rattrap_cold.offload, "a Rattrap cold start is still worth offloading");
+        assert!(
+            rattrap_cold.offload,
+            "a Rattrap cold start is still worth offloading"
+        );
     }
 
     #[test]
@@ -350,10 +387,20 @@ mod tests {
         let d = decider(Objective::Latency);
         let link = LinkEstimator::seeded_from(NetworkScenario::WanWifi);
         let profile = WorkloadKind::ChessGame.profile();
-        let cached =
-            d.decide_mean(NetworkScenario::WanWifi, &link, &profile, true, SimDuration::ZERO);
-        let uncached =
-            d.decide_mean(NetworkScenario::WanWifi, &link, &profile, false, SimDuration::ZERO);
+        let cached = d.decide_mean(
+            NetworkScenario::WanWifi,
+            &link,
+            &profile,
+            true,
+            SimDuration::ZERO,
+        );
+        let uncached = d.decide_mean(
+            NetworkScenario::WanWifi,
+            &link,
+            &profile,
+            false,
+            SimDuration::ZERO,
+        );
         assert!(
             uncached.predicted_remote > cached.predicted_remote + SimDuration::from_millis(500),
             "code transfer costs ~0.9 s on WAN"
@@ -368,12 +415,25 @@ mod tests {
         let en = decider(Objective::Energy);
         let link = LinkEstimator::seeded_from(NetworkScenario::ThreeG);
         let profile = WorkloadKind::ChessGame.profile();
-        let by_latency =
-            lat.decide_mean(NetworkScenario::ThreeG, &link, &profile, true, SimDuration::ZERO);
-        let by_energy =
-            en.decide_mean(NetworkScenario::ThreeG, &link, &profile, true, SimDuration::ZERO);
+        let by_latency = lat.decide_mean(
+            NetworkScenario::ThreeG,
+            &link,
+            &profile,
+            true,
+            SimDuration::ZERO,
+        );
+        let by_energy = en.decide_mean(
+            NetworkScenario::ThreeG,
+            &link,
+            &profile,
+            true,
+            SimDuration::ZERO,
+        );
         // Energy says no (3G radio cost); latency may still say yes.
-        assert!(!by_energy.offload, "energy objective rejects 3G chess offload");
+        assert!(
+            !by_energy.offload,
+            "energy objective rejects 3G chess offload"
+        );
         assert!(by_energy.remote_energy_mj > by_energy.local_energy_mj * 0.9);
         let _ = by_latency;
     }

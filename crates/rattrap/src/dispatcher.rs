@@ -165,12 +165,7 @@ impl Dispatcher {
 
     /// Decide where a request from `device` for app `aid` should run.
     /// `cid_hint` is the warehouse's CID column for the app.
-    pub fn place(
-        &self,
-        db: &ContainerDb,
-        device: u32,
-        cid_hint: &[InstanceId],
-    ) -> Placement {
+    pub fn place(&self, db: &ContainerDb, device: u32, cid_hint: &[InstanceId]) -> Placement {
         if self.policy.per_device_instances {
             // VM baseline: the device's own VM, provisioned on first use.
             return match db.iter().find(|r| r.owner_device == Some(device)) {
@@ -239,7 +234,11 @@ mod tests {
         db.register(InstanceId(1), RuntimeClass::AndroidVm, t(29), Some(1));
         assert_eq!(d.place(&db, 0, &[]), Placement::Existing(InstanceId(0)));
         assert_eq!(d.place(&db, 1, &[]), Placement::Existing(InstanceId(1)));
-        assert_eq!(d.place(&db, 2, &[]), Placement::Provision, "third device needs its own VM");
+        assert_eq!(
+            d.place(&db, 2, &[]),
+            Placement::Provision,
+            "third device needs its own VM"
+        );
     }
 
     #[test]
@@ -281,7 +280,11 @@ mod tests {
         assert_eq!(d.place(&db, 0, &[]), Placement::Provision);
         db.register(InstanceId(0), RuntimeClass::CacOptimized, t(2), None);
         db.get_mut(InstanceId(0)).unwrap().active_jobs = 1;
-        assert_eq!(d.place(&db, 0, &[]), Placement::Provision, "busy pool below cap grows");
+        assert_eq!(
+            d.place(&db, 0, &[]),
+            Placement::Provision,
+            "busy pool below cap grows"
+        );
         db.register(InstanceId(1), RuntimeClass::CacOptimized, t(2), None);
         db.get_mut(InstanceId(1)).unwrap().active_jobs = 3;
         // At cap: pick the least-loaded even though it's booting.

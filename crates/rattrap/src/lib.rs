@@ -31,6 +31,8 @@ pub mod access;
 pub mod config;
 pub mod decision;
 pub mod dispatcher;
+pub mod lifecycle;
+pub mod metrics;
 pub mod partition;
 pub mod platform;
 pub mod request;
@@ -42,9 +44,16 @@ pub use access::{AccessController, Action, Denial, PermissionTable};
 pub use config::DeviceSpec;
 pub use decision::{DecisionReport, Ewma, LinkEstimator, Objective, OffloadDecider};
 pub use dispatcher::{ContainerDb, DispatchPolicy, Dispatcher, Placement};
-pub use partition::{partition, CallGraph, MethodNode, PartitionCosts, PartitionPlan, Placement as MethodPlacement};
+pub use lifecycle::{Phase, PhaseLog, PhaseObserver, PhaseTransition, RequestLifecycle};
+pub use metrics::{CollectingSink, CountingSink, ReportHasher, ReportSummary, RequestSink};
+pub use partition::{
+    partition, CallGraph, MethodNode, PartitionCosts, PartitionPlan, Placement as MethodPlacement,
+};
 pub use platform::{PlatformConfig, PlatformKind};
 pub use request::{PhaseBreakdown, RequestRecord};
 pub use scheduler::{Monitor, PoolPolicy, ScaleAction, Scheduler};
-pub use simulation::{run_scenario, ArrivalModel, ScenarioConfig, Simulation, SimulationReport};
+pub use simulation::{
+    run_scenario, run_scenario_with_sink, ArrivalModel, ScenarioConfig, Simulation,
+    SimulationReport,
+};
 pub use warehouse::{aid_of, Aid, AppWarehouse, WarehouseStats};

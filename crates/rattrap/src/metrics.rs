@@ -1,0 +1,234 @@
+//! Report sinks and canonical digests.
+//!
+//! The simulation core hands every completed [`RequestRecord`] to a
+//! [`RequestSink`]. The default sink materializes the familiar
+//! [`SimulationReport`]; streaming sinks (bounded-memory accumulators
+//! for large trace replays) consume each record as it completes and
+//! never hold the full request vector. The canonical
+//! [`SimulationReport::digest`] is the determinism contract: the same
+//! scenario and seed must produce the same digest on every run, before
+//! and after any engine refactor.
+
+use crate::request::RequestRecord;
+use crate::simulation::SimulationReport;
+
+/// Consumes completed requests one at a time, in completion order
+/// (ties in completion time arrive in engine event order, which is
+/// deterministic for a fixed seed).
+pub trait RequestSink {
+    /// Accept one completed request.
+    fn accept(&mut self, record: RequestRecord);
+}
+
+/// The default sink: collects every record for a full
+/// [`SimulationReport`].
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// Records in completion order.
+    pub records: Vec<RequestRecord>,
+}
+
+impl RequestSink for CollectingSink {
+    fn accept(&mut self, record: RequestRecord) {
+        self.records.push(record);
+    }
+}
+
+/// A sink that only counts completions — the cheapest possible probe,
+/// useful when an experiment needs throughput but no per-request data.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Completed requests seen.
+    pub completed: u64,
+}
+
+impl RequestSink for CountingSink {
+    fn accept(&mut self, _record: RequestRecord) {
+        self.completed += 1;
+    }
+}
+
+/// Everything a run produces *besides* the per-request records: the
+/// Fig. 2 timelines, cache/access counters and host-resource peaks.
+///
+/// [`Simulation::run_with_sink`] returns this while streaming the
+/// records themselves into a [`RequestSink`], so experiments on very
+/// large traces never materialize a `Vec<RequestRecord>`.
+///
+/// [`Simulation::run_with_sink`]: crate::simulation::Simulation::run_with_sink
+#[derive(Debug, Clone)]
+pub struct ReportSummary {
+    /// CPU utilization per second (fraction of provisioned vCPUs busy).
+    pub cpu_timeline: Vec<f64>,
+    /// Disk reads, MB/s per second.
+    pub io_read_mb_s: Vec<f64>,
+    /// Disk writes, MB/s per second.
+    pub io_write_mb_s: Vec<f64>,
+    /// Code-cache statistics.
+    pub warehouse_stats: crate::warehouse::WarehouseStats,
+    /// Access-controller filter invocations.
+    pub access_checks: u64,
+    /// Instances provisioned over the run.
+    pub instances_provisioned: u32,
+    /// Peak host memory reserved, bytes.
+    pub peak_memory_bytes: u64,
+    /// Physical disk in use at the end of the run, bytes.
+    pub final_disk_bytes: u64,
+    /// Peak physical disk over the run, bytes.
+    pub peak_disk_bytes: u64,
+    /// Simulated instant the last request completed.
+    pub finished_at: simkit::SimTime,
+    /// Requests delivered to the sink.
+    pub completed_requests: u64,
+}
+
+/// Streaming FNV-1a (64-bit) over a canonical byte serialization.
+///
+/// Not cryptographic — it only needs to make accidental report drift
+/// loud, and FNV keeps the golden test free of dependencies.
+#[derive(Debug, Clone)]
+pub struct ReportHasher {
+    state: u64,
+}
+
+impl Default for ReportHasher {
+    fn default() -> Self {
+        ReportHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl ReportHasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` bit-exactly.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn hash_record(h: &mut ReportHasher, r: &RequestRecord) {
+    h.write_u64(r.id);
+    h.write_u64(r.device as u64);
+    h.write(format!("{:?}", r.kind).as_bytes());
+    h.write(format!("{:?}", r.scenario).as_bytes());
+    h.write_u64(r.seq_on_device as u64);
+    h.write_u64(r.arrived_at.as_micros());
+    h.write_u64(r.completed_at.as_micros());
+    h.write_u64(r.phases.network_connection.as_micros());
+    h.write_u64(r.phases.data_transfer.as_micros());
+    h.write_u64(r.phases.runtime_preparation.as_micros());
+    h.write_u64(r.phases.computation_execution.as_micros());
+    h.write_u64(r.upload_bytes);
+    h.write_u64(r.code_bytes_sent);
+    h.write_u64(r.download_bytes);
+    h.write(&[
+        r.code_transferred as u8,
+        r.cid_affinity_hit as u8,
+        r.executed_locally as u8,
+    ]);
+    h.write_u64(r.local_execution.as_micros());
+    h.write_u64(r.upload_time.as_micros());
+    h.write_u64(r.download_time.as_micros());
+}
+
+impl SimulationReport {
+    /// Canonical 64-bit digest over every field of the report:
+    /// requests (all fields, µs-exact times), the three per-second
+    /// timelines (bit-exact floats), cache/access counters and
+    /// host-resource peaks. Two reports share a digest iff they are
+    /// observably identical.
+    pub fn digest(&self) -> u64 {
+        let mut h = ReportHasher::new();
+        h.write_u64(self.requests.len() as u64);
+        for r in &self.requests {
+            hash_record(&mut h, r);
+        }
+        for series in [&self.cpu_timeline, &self.io_read_mb_s, &self.io_write_mb_s] {
+            h.write_u64(series.len() as u64);
+            for &v in series.iter() {
+                h.write_f64(v);
+            }
+        }
+        h.write_u64(self.warehouse_stats.hits);
+        h.write_u64(self.warehouse_stats.misses);
+        h.write_u64(self.warehouse_stats.evictions);
+        h.write_u64(self.warehouse_stats.bytes_saved);
+        h.write_u64(self.access_checks);
+        h.write_u64(self.instances_provisioned as u64);
+        h.write_u64(self.peak_memory_bytes);
+        h.write_u64(self.final_disk_bytes);
+        h.write_u64(self.peak_disk_bytes);
+        h.write_u64(self.finished_at.as_micros());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let mut h = ReportHasher::new();
+        assert_eq!(h.finish(), 0xcbf29ce484222325, "offset basis");
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h2 = ReportHasher::new();
+        h2.write(b"foobar");
+        assert_eq!(h2.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn collecting_sink_preserves_order() {
+        use crate::request::PhaseBreakdown;
+        use simkit::{SimDuration, SimTime};
+        let mut sink = CollectingSink::default();
+        for id in 0..3u64 {
+            sink.accept(RequestRecord {
+                id,
+                device: 0,
+                kind: workloads::WorkloadKind::Ocr,
+                scenario: netsim::NetworkScenario::LanWifi,
+                seq_on_device: id as u32,
+                arrived_at: SimTime::ZERO,
+                completed_at: SimTime::from_secs_f64(id as f64),
+                phases: PhaseBreakdown::default(),
+                upload_bytes: 0,
+                code_bytes_sent: 0,
+                download_bytes: 0,
+                code_transferred: false,
+                cid_affinity_hit: false,
+                local_execution: SimDuration::ZERO,
+                upload_time: SimDuration::ZERO,
+                download_time: SimDuration::ZERO,
+                executed_locally: false,
+            });
+        }
+        let ids: Vec<u64> = sink.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -139,7 +139,10 @@ pub struct PartitionPlan {
 impl PartitionPlan {
     /// Methods placed remotely.
     pub fn remote_count(&self) -> usize {
-        self.placements.iter().filter(|&&p| p == Placement::Remote).count()
+        self.placements
+            .iter()
+            .filter(|&&p| p == Placement::Remote)
+            .count()
     }
 
     /// Speedup over running everything on the device.
@@ -217,7 +220,11 @@ pub fn partition(graph: &CallGraph, costs: &PartitionCosts) -> PartitionPlan {
         .iter()
         .map(|&v| costs.exec_s(graph.node(v).compute, Placement::Local))
         .sum();
-    PartitionPlan { placements, latency_s, all_local_s }
+    PartitionPlan {
+        placements,
+        latency_s,
+        all_local_s,
+    }
 }
 
 fn post_order(graph: &CallGraph) -> Vec<usize> {
@@ -240,7 +247,13 @@ fn post_order(graph: &CallGraph) -> Vec<usize> {
 mod tests {
     use super::*;
 
-    fn node(name: &str, mc: f64, state: u64, offloadable: bool, children: Vec<usize>) -> MethodNode {
+    fn node(
+        name: &str,
+        mc: f64,
+        state: u64,
+        offloadable: bool,
+        children: Vec<usize>,
+    ) -> MethodNode {
         MethodNode {
             name: name.into(),
             compute: Megacycles(mc),
@@ -277,7 +290,11 @@ mod tests {
         let plan = partition(&face_app(), &lan_costs());
         assert_eq!(plan.placements[0], Placement::Local, "root pinned");
         assert_eq!(plan.placements[4], Placement::Local, "sensor pinned");
-        assert_eq!(plan.placements[2], Placement::Remote, "detectFaces offloads");
+        assert_eq!(
+            plan.placements[2],
+            Placement::Remote,
+            "detectFaces offloads"
+        );
         assert_eq!(plan.placements[3], Placement::Remote, "recognize offloads");
         assert!(plan.speedup() > 2.0, "speedup {}", plan.speedup());
         assert!(plan.latency_s < plan.all_local_s);
@@ -285,7 +302,11 @@ mod tests {
 
     #[test]
     fn nothing_offloads_on_a_dead_network() {
-        let costs = PartitionCosts { bandwidth_bps: 100.0, rtt_s: 2.0, ..lan_costs() };
+        let costs = PartitionCosts {
+            bandwidth_bps: 100.0,
+            rtt_s: 2.0,
+            ..lan_costs()
+        };
         let plan = partition(&face_app(), &costs);
         assert_eq!(plan.remote_count(), 0, "cut edges too expensive");
         assert!((plan.latency_s - plan.all_local_s).abs() < 1e-9);
@@ -306,9 +327,17 @@ mod tests {
 
     #[test]
     fn free_network_offloads_everything_offloadable() {
-        let costs = PartitionCosts { bandwidth_bps: 1e12, rtt_s: 0.0, ..lan_costs() };
+        let costs = PartitionCosts {
+            bandwidth_bps: 1e12,
+            rtt_s: 0.0,
+            ..lan_costs()
+        };
         let plan = partition(&face_app(), &costs);
-        assert_eq!(plan.remote_count(), 3, "every offloadable method goes remote");
+        assert_eq!(
+            plan.remote_count(),
+            3,
+            "every offloadable method goes remote"
+        );
     }
 
     #[test]
@@ -329,7 +358,11 @@ mod tests {
                 }
             }
         }
-        assert!((manual - plan.latency_s).abs() < 1e-9, "{manual} vs {}", plan.latency_s);
+        assert!(
+            (manual - plan.latency_s).abs() < 1e-9,
+            "{manual} vs {}",
+            plan.latency_s
+        );
     }
 
     #[test]
@@ -343,13 +376,25 @@ mod tests {
         // All-remote-offloadable (single cut at each pinned boundary):
         let mut all_remote = 0.0;
         for v in 0..g.len() {
-            let p = if g.node(v).offloadable && v != 0 { Placement::Remote } else { Placement::Local };
+            let p = if g.node(v).offloadable && v != 0 {
+                Placement::Remote
+            } else {
+                Placement::Local
+            };
             all_remote += costs.exec_s(g.node(v).compute, p);
         }
         for v in 0..g.len() {
             for &c in &g.node(v).children {
-                let pv = if g.node(v).offloadable && v != 0 { Placement::Remote } else { Placement::Local };
-                let pc = if g.node(c).offloadable { Placement::Remote } else { Placement::Local };
+                let pv = if g.node(v).offloadable && v != 0 {
+                    Placement::Remote
+                } else {
+                    Placement::Local
+                };
+                let pc = if g.node(c).offloadable {
+                    Placement::Remote
+                } else {
+                    Placement::Local
+                };
                 if pv != pc {
                     all_remote += costs.transfer_s(g.node(c).state_bytes);
                 }

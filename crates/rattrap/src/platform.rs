@@ -18,8 +18,11 @@ pub enum PlatformKind {
 
 impl PlatformKind {
     /// All platforms, Rattrap first (the paper's legend order).
-    pub const ALL: [PlatformKind; 3] =
-        [PlatformKind::Rattrap, PlatformKind::RattrapWithout, PlatformKind::VmBaseline];
+    pub const ALL: [PlatformKind; 3] = [
+        PlatformKind::Rattrap,
+        PlatformKind::RattrapWithout,
+        PlatformKind::VmBaseline,
+    ];
 
     /// Display label.
     pub const fn label(self) -> &'static str {
@@ -150,7 +153,9 @@ mod tests {
         assert!(!c.cache_affinity, "affinity needs the cache table");
         let c2 = PlatformKind::Rattrap.config().with_affinity(false);
         assert!(c2.code_cache && !c2.cache_affinity);
-        let c3 = PlatformKind::VmBaseline.config().with_runtime(RuntimeClass::CacOptimized);
+        let c3 = PlatformKind::VmBaseline
+            .config()
+            .with_runtime(RuntimeClass::CacOptimized);
         assert_eq!(c3.runtime_class, RuntimeClass::CacOptimized);
     }
 

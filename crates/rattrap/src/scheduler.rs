@@ -31,7 +31,11 @@ pub struct PoolPolicy {
 impl PoolPolicy {
     /// The paper's prototype: on-demand, bounded pool.
     pub fn on_demand(max_instances: usize, idle_teardown: SimDuration) -> Self {
-        PoolPolicy { warm_spares: 0, max_instances, idle_teardown }
+        PoolPolicy {
+            warm_spares: 0,
+            max_instances,
+            idle_teardown,
+        }
     }
 }
 
@@ -56,7 +60,10 @@ impl Monitor {
     /// more reactive).
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
-        Monitor { alpha, load: BTreeMap::new() }
+        Monitor {
+            alpha,
+            load: BTreeMap::new(),
+        }
     }
 
     /// Feed one observation of an instance's active jobs.
@@ -120,8 +127,8 @@ impl Scheduler {
             .count();
         let spare_supply = ready_idle + booting;
         if spare_supply < self.policy.warm_spares && db.len() < self.policy.max_instances {
-            let want = (self.policy.warm_spares - spare_supply)
-                .min(self.policy.max_instances - db.len());
+            let want =
+                (self.policy.warm_spares - spare_supply).min(self.policy.max_instances - db.len());
             if want > 0 {
                 actions.push(ScaleAction::Provision(want));
             }
@@ -132,14 +139,17 @@ impl Scheduler {
             return actions;
         }
         let cutoff = SimTime::from_micros(
-            now.as_micros().saturating_sub(self.policy.idle_teardown.as_micros()),
+            now.as_micros()
+                .saturating_sub(self.policy.idle_teardown.as_micros()),
         );
         let mut reclaimable = db.idle_since(cutoff);
         let keep = self.policy.warm_spares.min(reclaimable.len());
         // Keep the *newest* spares warm; reclaim the oldest first.
         reclaimable.sort_by_key(|id| id.0);
-        let victims: Vec<InstanceId> =
-            reclaimable.into_iter().take(ready_idle.saturating_sub(keep)).collect();
+        let victims: Vec<InstanceId> = reclaimable
+            .into_iter()
+            .take(ready_idle.saturating_sub(keep))
+            .collect();
         if !victims.is_empty() {
             actions.push(ScaleAction::Teardown(victims));
         }
@@ -253,7 +263,10 @@ mod tests {
         let mut m = Monitor::new(0.5);
         let id = InstanceId(0);
         m.observe(id, 4);
-        assert!((m.load_of(id) - 4.0).abs() < 1e-9, "first observation seeds the EWMA");
+        assert!(
+            (m.load_of(id) - 4.0).abs() < 1e-9,
+            "first observation seeds the EWMA"
+        );
         m.observe(id, 0);
         assert!((m.load_of(id) - 2.0).abs() < 1e-9);
         m.observe(id, 0);
@@ -270,7 +283,12 @@ mod tests {
         m.observe(InstanceId(0), 3);
         m.observe(InstanceId(1), 0);
         let shares = s.rebalance_shares(&db, &m);
-        assert!(shares[&0] > 3 * shares[&1], "busy gets {} idle gets {}", shares[&0], shares[&1]);
+        assert!(
+            shares[&0] > 3 * shares[&1],
+            "busy gets {} idle gets {}",
+            shares[&0],
+            shares[&1]
+        );
         assert!(shares[&1] >= 256, "floor respected");
         assert!(shares[&0] <= 4096, "ceiling respected");
     }

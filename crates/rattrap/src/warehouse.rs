@@ -141,7 +141,10 @@ impl AppWarehouse {
 
     /// Containers that already hold this app's code, preferred-first.
     pub fn containers_with(&self, aid: &Aid) -> &[InstanceId] {
-        self.entries.get(aid).map(|e| e.containers.as_slice()).unwrap_or(&[])
+        self.entries
+            .get(aid)
+            .map(|e| e.containers.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Forget a torn-down container in every CID column.

@@ -1,0 +1,105 @@
+//! Golden determinism contract for the simulation engine.
+//!
+//! Runs the paper-default scenario for every platform × two workloads
+//! at a fixed seed and pins the canonical digest of the full
+//! [`SimulationReport`] (every request field, the per-second
+//! timelines, and all counters). Any engine change that shifts a
+//! single microsecond, byte, or float bit in observable output fails
+//! here.
+//!
+//! If a change is *meant* to alter results, regenerate the constants
+//! with:
+//!
+//! ```text
+//! cargo test -p rattrap --test golden_determinism -- --nocapture
+//! ```
+//!
+//! and copy the `GOLDEN` table printed by the failing test — but treat
+//! that as an interface change, not a routine update.
+
+use rattrap::platform::PlatformKind;
+use rattrap::simulation::{run_scenario, ScenarioConfig};
+use workloads::WorkloadKind;
+
+const GOLDEN_SEED: u64 = 0x2017_0529;
+
+/// (platform, workload, digest) — regenerate per the module docs.
+const GOLDEN: &[(PlatformKind, WorkloadKind, u64)] = &[
+    (
+        PlatformKind::VmBaseline,
+        WorkloadKind::Ocr,
+        0x6d96c6bde469f110,
+    ),
+    (
+        PlatformKind::RattrapWithout,
+        WorkloadKind::Ocr,
+        0x256e66f827b2e478,
+    ),
+    (PlatformKind::Rattrap, WorkloadKind::Ocr, 0x988d5275376ae587),
+    (
+        PlatformKind::VmBaseline,
+        WorkloadKind::ChessGame,
+        0x97c8e42d90150c02,
+    ),
+    (
+        PlatformKind::RattrapWithout,
+        WorkloadKind::ChessGame,
+        0x72954e4daf2737e8,
+    ),
+    (
+        PlatformKind::Rattrap,
+        WorkloadKind::ChessGame,
+        0x412b19c69fb41ff3,
+    ),
+];
+
+fn digest_of(platform: PlatformKind, workload: WorkloadKind) -> u64 {
+    let cfg = ScenarioConfig::paper_default(platform.config(), workload, GOLDEN_SEED);
+    run_scenario(cfg).digest()
+}
+
+#[test]
+fn reports_match_committed_digests() {
+    let mut mismatches = Vec::new();
+    for &(platform, workload, expected) in GOLDEN {
+        let actual = digest_of(platform, workload);
+        println!("    (PlatformKind::{platform:?}, WorkloadKind::{workload:?}, {actual:#018x}),");
+        if actual != expected {
+            mismatches.push(format!(
+                "{}/{:?}: expected {expected:#018x}, got {actual:#018x}",
+                platform.label(),
+                workload
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "simulation output drifted from the golden digests \
+         (see module docs to regenerate deliberately):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn digests_are_stable_across_runs_in_process() {
+    let a = digest_of(PlatformKind::Rattrap, WorkloadKind::Ocr);
+    let b = digest_of(PlatformKind::Rattrap, WorkloadKind::Ocr);
+    assert_eq!(a, b, "same config + seed must be bit-identical");
+}
+
+#[test]
+fn digests_distinguish_seeds_and_platforms() {
+    let base = digest_of(PlatformKind::Rattrap, WorkloadKind::Ocr);
+    let other_platform = digest_of(PlatformKind::VmBaseline, WorkloadKind::Ocr);
+    assert_ne!(base, other_platform, "digest must see platform differences");
+    let cfg = ScenarioConfig::paper_default(
+        PlatformKind::Rattrap.config(),
+        WorkloadKind::Ocr,
+        GOLDEN_SEED + 1,
+    );
+    assert_ne!(
+        base,
+        run_scenario(cfg).digest(),
+        "digest must see seed differences"
+    );
+}

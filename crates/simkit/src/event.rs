@@ -99,7 +99,11 @@ impl<E> EventQueue<E> {
     /// the queue clamps such events to `now` so the clock never runs
     /// backwards, and debug builds panic to surface the bug early.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -1,0 +1,270 @@
+//! Generic fair-share execution engine.
+//!
+//! Every contended device in the workspace — server CPU, offloading
+//! disk, device-side CPU, shared network links — follows the same
+//! event-loop pattern on top of [`FairShareResource`]: submit work,
+//! schedule a completion check at the predicted next-finish instant,
+//! and invalidate stale checks whenever the job set mutates (a
+//! mutation changes every job's rate, so previously predicted finish
+//! times are wrong). [`FairShareExecutor`] owns that pattern once:
+//!
+//! * it assigns [`JobId`]s and maps them to caller payloads,
+//! * [`FairShareExecutor::reschedule`] bumps the *epoch* and schedules
+//!   the next completion-check event into the caller's [`EventQueue`],
+//! * [`FairShareExecutor::poll`] rejects checks carrying a stale epoch
+//!   and otherwise drains every finished job (remaining work ≤
+//!   [`WORK_EPS`]) in ascending job-id order — deterministically.
+//!
+//! The caller stays in charge of its own event type: `reschedule`
+//! takes a constructor closure from the fresh epoch to an event, so an
+//! executor embeds in any simulation without dynamic dispatch.
+
+use crate::event::EventQueue;
+use crate::resource::{FairShareResource, JobId};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Work remaining at or below this is "done" (float slack on
+/// resources). Shared by every executor-driven device so completion
+/// semantics never drift between them.
+pub const WORK_EPS: f64 = 1e-9;
+
+/// Completion instants round to the microsecond grid; scheduling a
+/// hair early would find the job with a sliver of work left and spin.
+const CHECK_SLACK: SimDuration = SimDuration::from_micros(2);
+
+/// A fair-shared device plus the epoch/job-map bookkeeping needed to
+/// drive it from a discrete-event loop. `T` is the caller's per-job
+/// payload (typically a request index), returned on completion.
+#[derive(Debug, Clone)]
+pub struct FairShareExecutor<T> {
+    resource: FairShareResource,
+    epoch: u64,
+    jobs: BTreeMap<u64, T>,
+}
+
+impl<T> FairShareExecutor<T> {
+    /// An executor over a fresh device with `capacity` units/s shared
+    /// among jobs individually capped at `per_job_cap` units/s.
+    ///
+    /// # Panics
+    /// Panics if either argument is not strictly positive and finite
+    /// (see [`FairShareResource::new`]).
+    pub fn new(capacity: f64, per_job_cap: f64) -> Self {
+        Self::from_resource(FairShareResource::new(capacity, per_job_cap))
+    }
+
+    /// Wrap an existing resource.
+    pub fn from_resource(resource: FairShareResource) -> Self {
+        FairShareExecutor {
+            resource,
+            epoch: 0,
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying shared device (read-only; mutations must go
+    /// through the executor so the bookkeeping stays consistent).
+    pub fn resource(&self) -> &FairShareResource {
+        &self.resource
+    }
+
+    /// Number of jobs currently executing.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job is executing.
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Current scheduling epoch (advances on every [`reschedule`]).
+    ///
+    /// [`reschedule`]: FairShareExecutor::reschedule
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Submit `work` units at `now`, tagged with `payload`. The caller
+    /// must follow up with [`reschedule`] (after any batch of
+    /// submissions) so a completion check covers the new job.
+    ///
+    /// [`reschedule`]: FairShareExecutor::reschedule
+    pub fn submit(&mut self, now: SimTime, work: f64, payload: T) -> JobId {
+        let job = self.resource.add_job(now, work);
+        self.jobs.insert(job.0, payload);
+        job
+    }
+
+    /// Abort a job, returning its payload (or `None` if unknown).
+    pub fn cancel(&mut self, now: SimTime, job: JobId) -> Option<T> {
+        let payload = self.jobs.remove(&job.0)?;
+        self.resource.remove_job(now, job);
+        Some(payload)
+    }
+
+    /// Advance the device to `now`, invalidate any outstanding
+    /// completion check by bumping the epoch, and — if jobs remain —
+    /// schedule a fresh check into `queue` at the predicted next
+    /// completion (with grid slack), built by `make_event` from the
+    /// new epoch.
+    pub fn reschedule<E>(
+        &mut self,
+        now: SimTime,
+        queue: &mut EventQueue<E>,
+        make_event: impl FnOnce(u64) -> E,
+    ) {
+        self.resource.advance_to(now);
+        self.epoch += 1;
+        if let Some((t, _)) = self.resource.next_completion() {
+            queue.schedule(t.max(now) + CHECK_SLACK, make_event(self.epoch));
+        }
+    }
+
+    /// Handle a completion-check event stamped with `epoch`.
+    ///
+    /// Returns `None` for a stale check (a newer [`reschedule`]
+    /// superseded it — the event must be ignored). Otherwise advances
+    /// the device to `now` and drains every job whose remaining work is
+    /// at or below [`WORK_EPS`], in ascending job-id order, returning
+    /// `(id, payload)` pairs. The caller processes the completions and
+    /// then calls [`reschedule`] once to cover the survivors.
+    ///
+    /// [`reschedule`]: FairShareExecutor::reschedule
+    pub fn poll(&mut self, now: SimTime, epoch: u64) -> Option<Vec<(JobId, T)>> {
+        if epoch != self.epoch {
+            return None;
+        }
+        self.resource.advance_to(now);
+        let finished: Vec<u64> = self
+            .jobs
+            .keys()
+            .copied()
+            .filter(|&j| {
+                self.resource
+                    .remaining(JobId(j))
+                    .map(|r| r <= WORK_EPS)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(finished.len());
+        for j in finished {
+            let payload = self.jobs.remove(&j).expect("tracked job");
+            self.resource.remove_job(now, JobId(j));
+            out.push((JobId(j), payload));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Ev {
+        Check(u64),
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    /// Drive an executor through its queue until idle; returns
+    /// completions as (finish time, payload).
+    fn drain(exec: &mut FairShareExecutor<u32>, queue: &mut EventQueue<Ev>) -> Vec<(SimTime, u32)> {
+        let mut done = Vec::new();
+        while let Some((now, Ev::Check(epoch))) = queue.pop() {
+            let Some(finished) = exec.poll(now, epoch) else {
+                continue;
+            };
+            for (_, payload) in finished {
+                done.push((now, payload));
+            }
+            exec.reschedule(now, queue, Ev::Check);
+        }
+        done
+    }
+
+    #[test]
+    fn single_job_completes_at_predicted_instant() {
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        let mut queue = EventQueue::new();
+        exec.submit(SimTime::ZERO, 3.0, 7u32);
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        let done = drain(&mut exec, &mut queue);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 7);
+        assert!((done[0].0.as_secs_f64() - 3.0).abs() < 1e-3);
+        assert!(exec.is_idle());
+    }
+
+    #[test]
+    fn stale_epoch_is_rejected() {
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        exec.submit(SimTime::ZERO, 5.0, 1u32);
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        let stale = exec.epoch();
+        // A later submission invalidates the outstanding check.
+        exec.submit(t(1.0), 5.0, 2u32);
+        exec.reschedule(t(1.0), &mut queue, Ev::Check);
+        assert_eq!(
+            exec.poll(t(2.0), stale),
+            None,
+            "stale check must be ignored"
+        );
+        assert_eq!(exec.active_jobs(), 2, "stale poll must not drain jobs");
+    }
+
+    #[test]
+    fn contending_jobs_fair_share_and_finish_in_work_order() {
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        let mut queue = EventQueue::new();
+        // Two jobs from t=0: 1 unit and 3 units at 0.5/s each.
+        exec.submit(SimTime::ZERO, 1.0, 10u32);
+        exec.submit(SimTime::ZERO, 3.0, 30u32);
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        let done = drain(&mut exec, &mut queue);
+        assert_eq!(
+            done.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            vec![10, 30]
+        );
+        // 1-unit job: shared until t=2. 3-unit job: 2 left at t=2, alone → t=4.
+        assert!((done[0].0.as_secs_f64() - 2.0).abs() < 1e-3);
+        assert!((done[1].0.as_secs_f64() - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn simultaneous_completions_drain_in_job_id_order() {
+        let mut exec = FairShareExecutor::new(2.0, 1.0);
+        let mut queue = EventQueue::new();
+        exec.submit(SimTime::ZERO, 1.0, 100u32);
+        exec.submit(SimTime::ZERO, 1.0, 200u32);
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        let done = drain(&mut exec, &mut queue);
+        assert_eq!(
+            done.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            vec![100, 200]
+        );
+        assert_eq!(done[0].0, done[1].0, "both finish at the same instant");
+    }
+
+    #[test]
+    fn cancel_removes_job_and_returns_payload() {
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        let job = exec.submit(SimTime::ZERO, 5.0, 9u32);
+        assert_eq!(exec.cancel(t(1.0), job), Some(9));
+        assert_eq!(exec.cancel(t(1.0), job), None);
+        assert!(exec.is_idle());
+    }
+
+    #[test]
+    fn no_check_scheduled_when_idle() {
+        let mut exec: FairShareExecutor<u32> = FairShareExecutor::new(1.0, 1.0);
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        assert!(queue.is_empty(), "idle executor schedules nothing");
+    }
+}

@@ -3,6 +3,8 @@
 //! The substrate under the Rattrap reproduction: a microsecond-resolution
 //! simulated clock ([`time`]), a deterministic event queue ([`event`]),
 //! fair-share resource models for CPUs / disks / links ([`resource`]),
+//! a generic epoch-validated execution engine driving those resources
+//! from an event loop ([`executor`]),
 //! seeded randomness with the distributions the experiments need
 //! ([`random`]), online statistics and empirical CDFs ([`stats`]),
 //! one-second timeline sampling for server-load figures ([`sampler`]),
@@ -18,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod executor;
 pub mod random;
 pub mod resource;
 pub mod sampler;
@@ -26,6 +29,7 @@ pub mod time;
 pub mod units;
 
 pub use event::{EventId, EventQueue};
+pub use executor::{FairShareExecutor, WORK_EPS};
 pub use random::{derive_seed, SimRng};
 pub use resource::{FairShareResource, JobId, MemoryPool};
 pub use sampler::TimelineSampler;

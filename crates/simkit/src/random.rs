@@ -30,7 +30,9 @@ pub struct SimRng {
 impl SimRng {
     /// Seed a new stream.
     pub fn new(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed) }
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Fork an independent child stream identified by `stream`.
@@ -94,7 +96,10 @@ impl SimRng {
     /// Pareto with scale `x_min > 0` and shape `alpha > 0` — heavy-tailed
     /// think times in the trace generator.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         x_min / (1.0 - self.uniform01()).powf(1.0 / alpha)
     }
 

@@ -47,8 +47,14 @@ impl FairShareResource {
     /// # Panics
     /// Panics if either argument is not strictly positive and finite.
     pub fn new(capacity: f64, per_job_cap: f64) -> Self {
-        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
-        assert!(per_job_cap > 0.0 && per_job_cap.is_finite(), "per-job cap must be positive");
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive"
+        );
+        assert!(
+            per_job_cap > 0.0 && per_job_cap.is_finite(),
+            "per-job cap must be positive"
+        );
         FairShareResource {
             capacity,
             per_job_cap,
@@ -147,10 +153,11 @@ impl FairShareResource {
         if rate <= 0.0 {
             return None;
         }
-        let (&id, &rem) = self
-            .jobs
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("work is finite").then(a.0.cmp(b.0)))?;
+        let (&id, &rem) = self.jobs.iter().min_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .expect("work is finite")
+                .then(a.0.cmp(b.0))
+        })?;
         let dt = SimDuration::from_secs_f64(rem / rate);
         Some((self.last_update.saturating_add(dt), JobId(id)))
     }
@@ -175,7 +182,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "out of memory: requested {} bytes, {} available", self.requested, self.available)
+        write!(
+            f,
+            "out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
     }
 }
 
@@ -184,7 +195,11 @@ impl std::error::Error for OutOfMemory {}
 impl MemoryPool {
     /// A pool holding `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        MemoryPool { capacity, used: 0, peak: 0 }
+        MemoryPool {
+            capacity,
+            used: 0,
+            peak: 0,
+        }
     }
 
     /// Total capacity in bytes.
@@ -210,7 +225,10 @@ impl MemoryPool {
     /// Reserve `bytes`, failing if the pool would overflow.
     pub fn reserve(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
         if bytes > self.available() {
-            return Err(OutOfMemory { requested: bytes, available: self.available() });
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.available(),
+            });
         }
         self.used += bytes;
         self.peak = self.peak.max(self.used);

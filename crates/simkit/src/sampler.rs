@@ -33,7 +33,7 @@ impl TimelineSampler {
     /// Panics if `bin_width` is zero.
     pub fn new(bin_width: SimDuration, horizon: SimDuration) -> Self {
         assert!(!bin_width.is_zero(), "bin width must be positive");
-        let bins = (horizon.as_micros() + bin_width.as_micros() - 1) / bin_width.as_micros();
+        let bins = horizon.as_micros().div_ceil(bin_width.as_micros());
         TimelineSampler {
             bin_width,
             weighted: vec![0.0; bins as usize],

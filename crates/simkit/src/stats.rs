@@ -13,7 +13,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add a sample.
@@ -101,7 +107,10 @@ impl Cdf {
     /// # Panics
     /// Panics if any sample is NaN.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "CDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Cdf { sorted: samples }
     }
@@ -249,7 +258,10 @@ mod tests {
         let c = Cdf::from_samples(samples);
         let curve = c.curve(50);
         assert_eq!(curve.len(), 50);
-        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1), "CDF must be monotone");
+        assert!(
+            curve.windows(2).all(|w| w[1].1 >= w[0].1),
+            "CDF must be monotone"
+        );
         assert_eq!(curve.last().unwrap().1, 1.0);
     }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for simkit invariants.
 
 use proptest::prelude::*;
-use simkit::{Cdf, EventQueue, FairShareResource, OnlineStats, SimDuration, SimTime};
+use simkit::{
+    Cdf, EventQueue, FairShareExecutor, FairShareResource, OnlineStats, SimDuration, SimTime,
+};
 
 proptest! {
     /// Events always pop in non-decreasing time order, regardless of the
@@ -135,5 +137,85 @@ proptest! {
     fn duration_roundtrip(s in 0.0f64..1e6) {
         let d = SimDuration::from_secs_f64(s);
         prop_assert!((d.as_secs_f64() - s).abs() < 1e-6);
+    }
+
+    /// N simultaneously submitted jobs on a [`FairShareExecutor`]
+    /// complete in work-proportional order: with equal fair shares,
+    /// less work always finishes no later, and equal work drains in
+    /// job-id order. Works are multiples of 0.01 core-seconds so
+    /// distinct works are separated by far more than the executor's
+    /// µs-quantized check instants.
+    #[test]
+    fn executor_completes_in_work_proportional_order(
+        centiworks in prop::collection::vec(1u32..1000, 1..40),
+        capacity in 0.5f64..8.0,
+    ) {
+        let mut exec: FairShareExecutor<usize> =
+            FairShareExecutor::new(capacity, capacity);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let works: Vec<f64> = centiworks.iter().map(|&c| c as f64 / 100.0).collect();
+        for (i, &w) in works.iter().enumerate() {
+            exec.submit(SimTime::ZERO, w, i);
+        }
+        exec.reschedule(SimTime::ZERO, &mut q, |e| e);
+        let mut completed: Vec<usize> = Vec::new();
+        while let Some((now, epoch)) = q.pop() {
+            let Some(finished) = exec.poll(now, epoch) else { continue };
+            completed.extend(finished.into_iter().map(|(_, i)| i));
+            exec.reschedule(now, &mut q, |e| e);
+        }
+        prop_assert_eq!(completed.len(), works.len(), "every job completes");
+        prop_assert!(exec.is_idle());
+        // Expected order: ascending (work, submission index).
+        let mut expect: Vec<usize> = (0..works.len()).collect();
+        expect.sort_by(|&a, &b| {
+            works[a].partial_cmp(&works[b]).unwrap().then(a.cmp(&b))
+        });
+        prop_assert_eq!(completed, expect);
+    }
+
+    /// Total work served by a [`FairShareExecutor`] equals total work
+    /// submitted within `WORK_EPS` per job, no matter how submissions
+    /// interleave with completions.
+    #[test]
+    fn executor_serves_exactly_what_was_submitted(
+        arrivals in prop::collection::vec((0u64..5_000_000, 0.01f64..5.0), 1..60),
+        capacity in 0.5f64..4.0,
+    ) {
+        let mut exec: FairShareExecutor<f64> =
+            FairShareExecutor::new(capacity, 1.0);
+        #[derive(Clone)]
+        enum Ev { Submit(f64), Check(u64) }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut submitted = 0.0f64;
+        for &(t, w) in &arrivals {
+            q.schedule(SimTime::from_micros(t), Ev::Submit(w));
+            submitted += w;
+        }
+        let mut served = 0.0f64;
+        let mut completions = 0usize;
+        while let Some((now, ev)) = q.pop() {
+            match ev {
+                Ev::Submit(w) => {
+                    exec.submit(now, w, w);
+                    exec.reschedule(now, &mut q, Ev::Check);
+                }
+                Ev::Check(epoch) => {
+                    let Some(finished) = exec.poll(now, epoch) else { continue };
+                    for (_, w) in finished {
+                        served += w;
+                        completions += 1;
+                    }
+                    exec.reschedule(now, &mut q, Ev::Check);
+                }
+            }
+        }
+        prop_assert_eq!(completions, arrivals.len(), "all jobs complete");
+        prop_assert!(exec.is_idle());
+        // Each completed job ran to within WORK_EPS of its work.
+        prop_assert!(
+            (served - submitted).abs() <= simkit::WORK_EPS * arrivals.len() as f64 + 1e-9,
+            "served {} vs submitted {}", served, submitted
+        );
     }
 }

@@ -13,4 +13,7 @@ pub mod livelab;
 pub mod replay;
 
 pub use livelab::{generate, stats, TraceConfig, TraceStats, DIURNAL};
-pub use replay::{run_trace_experiment, PlatformTraceResult};
+pub use replay::{
+    run_trace_experiment, run_trace_experiment_streaming, PlatformTraceResult, SpeedupSink,
+    StreamingTraceResult,
+};

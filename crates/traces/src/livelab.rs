@@ -117,10 +117,17 @@ pub fn stats(trace: &[Vec<SimTime>], cold_threshold: SimDuration) -> TraceStats 
         }
     }
     if gaps.is_empty() {
-        return TraceStats { requests, cold_gap_fraction: 1.0, median_gap_s: 0.0 };
+        return TraceStats {
+            requests,
+            cold_gap_fraction: 1.0,
+            median_gap_s: 0.0,
+        };
     }
     gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
-    let cold = gaps.iter().filter(|&&g| g > cold_threshold.as_secs_f64()).count();
+    let cold = gaps
+        .iter()
+        .filter(|&&g| g > cold_threshold.as_secs_f64())
+        .count();
     TraceStats {
         requests,
         // +users: each user's first request is cold by definition.
@@ -152,7 +159,10 @@ mod tests {
 
     #[test]
     fn trace_is_bursty() {
-        let cfg = TraceConfig { duration: SimDuration::from_secs(24 * 3600), ..Default::default() };
+        let cfg = TraceConfig {
+            duration: SimDuration::from_secs(24 * 3600),
+            ..Default::default()
+        };
         let trace = generate(&cfg);
         let s = stats(&trace, SimDuration::from_secs(60));
         assert!(s.requests > 200, "enough requests: {}", s.requests);
@@ -170,15 +180,23 @@ mod tests {
         // Daytime window (starts 08:00) vs the same length overnight:
         // generate a 16 h trace and compare first 8 h vs last 8 h… the
         // trace wraps at midnight, so just check the table itself.
-        assert!(DIURNAL[3] < 0.1, "3am is quiet");
-        assert!(DIURNAL[19] > 0.9, "evening peak");
+        let night = DIURNAL[3];
+        let evening = DIURNAL[19];
+        assert!(night < 0.1, "3am is quiet: {night}");
+        assert!(evening > 0.9, "evening peak: {evening}");
         assert_eq!(DIURNAL.len(), 24);
     }
 
     #[test]
     fn more_sessions_more_requests() {
-        let small = generate(&TraceConfig { sessions_per_hour: 1.0, ..Default::default() });
-        let big = generate(&TraceConfig { sessions_per_hour: 6.0, ..Default::default() });
+        let small = generate(&TraceConfig {
+            sessions_per_hour: 1.0,
+            ..Default::default()
+        });
+        let big = generate(&TraceConfig {
+            sessions_per_hour: 6.0,
+            ..Default::default()
+        });
         let count = |t: &Vec<Vec<SimTime>>| t.iter().map(|u| u.len()).sum::<usize>();
         assert!(count(&big) > 2 * count(&small));
     }

@@ -31,7 +31,10 @@ impl BootSequence {
         BootSequence {
             stages: stages
                 .iter()
-                .map(|&(name, ms)| BootStage { name, duration: SimDuration::from_millis(ms) })
+                .map(|&(name, ms)| BootStage {
+                    name,
+                    duration: SimDuration::from_millis(ms),
+                })
                 .collect(),
         }
     }
@@ -43,7 +46,9 @@ impl BootSequence {
 
     /// Total boot time.
     pub fn total(&self) -> SimDuration {
-        self.stages.iter().fold(SimDuration::ZERO, |acc, s| acc + s.duration)
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration)
     }
 
     /// Cumulative time at the end of each stage (for timeline plots).
@@ -108,8 +113,14 @@ mod tests {
     #[test]
     fn totals_match_table1() {
         assert_eq!(android_vm_boot().total(), SimDuration::from_millis(28_720));
-        assert_eq!(cac_unoptimized_boot().total(), SimDuration::from_millis(6_800));
-        assert_eq!(cac_optimized_boot().total(), SimDuration::from_millis(1_750));
+        assert_eq!(
+            cac_unoptimized_boot().total(),
+            SimDuration::from_millis(6_800)
+        );
+        assert_eq!(
+            cac_optimized_boot().total(),
+            SimDuration::from_millis(1_750)
+        );
     }
 
     #[test]
@@ -119,17 +130,26 @@ mod tests {
         let opt = cac_optimized_boot().total().as_secs_f64();
         // "4.22x speedup of preparation time" and "16.41x".
         assert!((vm / wo - 4.22).abs() < 0.05, "W/O speedup {}", vm / wo);
-        assert!((vm / opt - 16.41).abs() < 0.1, "optimized speedup {}", vm / opt);
+        assert!(
+            (vm / opt - 16.41).abs() < 0.1,
+            "optimized speedup {}",
+            vm / opt
+        );
     }
 
     #[test]
     fn container_boots_have_no_kernel_stage() {
         for seq in [cac_unoptimized_boot(), cac_optimized_boot()] {
-            assert!(seq.stages().iter().all(|s| !s.name.contains("kernel")),
-                "containers share the host kernel");
+            assert!(
+                seq.stages().iter().all(|s| !s.name.contains("kernel")),
+                "containers share the host kernel"
+            );
             assert!(seq.stages().iter().all(|s| !s.name.contains("bootloader")));
         }
-        assert!(android_vm_boot().stages().iter().any(|s| s.name.contains("kernel")));
+        assert!(android_vm_boot()
+            .stages()
+            .iter()
+            .any(|s| s.name.contains("kernel")));
     }
 
     #[test]

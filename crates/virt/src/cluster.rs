@@ -69,7 +69,13 @@ impl Cluster {
             .min_by_key(|&i| (self.hosts[i].memory_reserved(), i))
             .expect("non-empty cluster");
         let (instance, setup) = self.hosts[target].provision(class)?;
-        Ok((ClusterAddr { host: target, instance }, setup))
+        Ok((
+            ClusterAddr {
+                host: target,
+                instance,
+            },
+            setup,
+        ))
     }
 
     /// Total instances across hosts.
@@ -116,12 +122,12 @@ impl Cluster {
                 }
             }
             // Pick a migratable (container) instance on the hot host.
-            let candidate = self.hosts[hot]
-                .instance_ids()
-                .into_iter()
-                .find(|&id| {
-                    self.hosts[hot].instance(id).map(|i| i.class.is_container()).unwrap_or(false)
-                });
+            let candidate = self.hosts[hot].instance_ids().into_iter().find(|&id| {
+                self.hosts[hot]
+                    .instance(id)
+                    .map(|i| i.class.is_container())
+                    .unwrap_or(false)
+            });
             let Some(victim) = candidate else { break };
             let victim_mem = self.hosts[hot]
                 .instance(victim)
@@ -136,8 +142,18 @@ impl Cluster {
             }
             let (src, dst) = split_two(&mut self.hosts, hot, cold);
             let receipt = migrate(src, victim, dst, link_bps, now)?;
-            let new_addr = ClusterAddr { host: cold, instance: receipt.new_id };
-            moves.push((ClusterAddr { host: hot, instance: victim }, new_addr, receipt));
+            let new_addr = ClusterAddr {
+                host: cold,
+                instance: receipt.new_id,
+            };
+            moves.push((
+                ClusterAddr {
+                    host: hot,
+                    instance: victim,
+                },
+                new_addr,
+                receipt,
+            ));
         }
         Ok(moves)
     }
@@ -168,7 +184,9 @@ mod tests {
         let mut c = cluster(3);
         let mut per_host = [0usize; 3];
         for _ in 0..9 {
-            let (addr, _) = c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+            let (addr, _) = c
+                .provision_least_loaded(RuntimeClass::CacOptimized)
+                .unwrap();
             per_host[addr.host] += 1;
         }
         assert_eq!(per_host, [3, 3, 3], "round-robin under equal load");
@@ -180,7 +198,9 @@ mod tests {
         let mut c = cluster(2);
         // Preload host 0 with a fat VM.
         c.host_mut(0).provision(RuntimeClass::AndroidVm).unwrap();
-        let (addr, _) = c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+        let (addr, _) = c
+            .provision_least_loaded(RuntimeClass::CacOptimized)
+            .unwrap();
         assert_eq!(addr.host, 1, "the empty host wins");
     }
 
@@ -206,7 +226,8 @@ mod tests {
     fn rebalance_is_stable_when_balanced() {
         let mut c = cluster(2);
         for _ in 0..2 {
-            c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+            c.provision_least_loaded(RuntimeClass::CacOptimized)
+                .unwrap();
         }
         let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
         assert!(moves.is_empty(), "1-1 split must not oscillate");
@@ -227,7 +248,8 @@ mod tests {
         let mut c = cluster(2);
         let empty = c.total_disk_usage();
         for _ in 0..4 {
-            c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+            c.provision_least_loaded(RuntimeClass::CacOptimized)
+                .unwrap();
         }
         // 4 containers add only ~28 MiB of private state cluster-wide.
         assert!(c.total_disk_usage() - empty < 40 * 1024 * 1024);

@@ -13,8 +13,8 @@
 use crate::boot::BootSequence;
 use crate::spec::{RuntimeClass, RuntimeSpec, TMPFS_BANDWIDTH};
 use containerfs::{
-    android_x86_44_image, customize, instance_private_files, FsImage, LayerId, LayerStore,
-    Tmpfs, UnionMount,
+    android_x86_44_image, customize, instance_private_files, FsImage, LayerId, LayerStore, Tmpfs,
+    UnionMount,
 };
 use hostkernel::{CgroupId, DeviceKind, HostSpec, Kernel, KernelError, Syscall, SyscallRet};
 use simkit::resource::OutOfMemory;
@@ -113,8 +113,10 @@ impl CloudHost {
         let kernel = Kernel::new(spec);
         let full = android_x86_44_image();
         let (custom, _) = customize(&full);
-        let container_rootfs_bytes =
-            full.partition(|_, f| f.category.required_in_container()).0.total_bytes();
+        let container_rootfs_bytes = full
+            .partition(|_, f| f.category.required_in_container())
+            .0
+            .total_bytes();
         let full_image_bytes = full.total_bytes();
         let mut layers = LayerStore::new();
         let shared_layer = layers.publish("shared-resource-layer", custom);
@@ -139,7 +141,10 @@ impl CloudHost {
 
     /// Provision a runtime of `class`. Returns the instance id and its
     /// setup latency (Table I's Setup Time).
-    pub fn provision(&mut self, class: RuntimeClass) -> Result<(InstanceId, SimDuration), HostError> {
+    pub fn provision(
+        &mut self,
+        class: RuntimeClass,
+    ) -> Result<(InstanceId, SimDuration), HostError> {
         let spec: RuntimeSpec = class.spec();
         self.memory.reserve(spec.memory_bytes)?;
         let result = self.provision_inner(class, spec);
@@ -164,24 +169,39 @@ impl CloudHost {
             self.kernel.module_get_package()?;
             let ns = self.kernel.create_namespace();
             let init = self.kernel.processes.spawn(ns, "/init", 0);
-            for kind in
-                [DeviceKind::Binder, DeviceKind::Logger, DeviceKind::Alarm, DeviceKind::Ashmem]
-            {
+            for kind in [
+                DeviceKind::Binder,
+                DeviceKind::Logger,
+                DeviceKind::Alarm,
+                DeviceKind::Ashmem,
+            ] {
                 self.kernel.syscall(init, Syscall::OpenDevice(kind))?;
             }
-            let SyscallRet::Pid(zygote) =
-                self.kernel.syscall(init, Syscall::Fork { child_name: "zygote".into() })?
+            let SyscallRet::Pid(zygote) = self.kernel.syscall(
+                init,
+                Syscall::Fork {
+                    child_name: "zygote".into(),
+                },
+            )?
             else {
                 unreachable!("fork returns a pid");
             };
-            let SyscallRet::Pid(system_server) =
-                self.kernel.syscall(zygote, Syscall::Fork { child_name: "system_server".into() })?
+            let SyscallRet::Pid(system_server) = self.kernel.syscall(
+                zygote,
+                Syscall::Fork {
+                    child_name: "system_server".into(),
+                },
+            )?
             else {
                 unreachable!("fork returns a pid");
             };
             for service in ["activity", "package", "offloadcontroller"] {
-                self.kernel
-                    .syscall(system_server, Syscall::BinderRegister { service: service.into() })?;
+                self.kernel.syscall(
+                    system_server,
+                    Syscall::BinderRegister {
+                        service: service.into(),
+                    },
+                )?;
             }
             let (mount, exclusive) = match class {
                 RuntimeClass::CacOptimized => {
@@ -204,7 +224,11 @@ impl CloudHost {
         };
 
         let cgroup = self.kernel.cgroups.create(
-            &format!("{}-{}", if class.is_container() { "cac" } else { "vm" }, id.0),
+            &format!(
+                "{}-{}",
+                if class.is_container() { "cac" } else { "vm" },
+                id.0
+            ),
             1024,
             spec.memory_bytes,
         );
@@ -233,7 +257,10 @@ impl CloudHost {
     /// Tear an instance down, releasing memory, processes, namespaces,
     /// mounts and module references.
     pub fn teardown(&mut self, id: InstanceId) -> Result<(), HostError> {
-        let inst = self.instances.remove(&id.0).ok_or(HostError::NoSuchInstance(id))?;
+        let inst = self
+            .instances
+            .remove(&id.0)
+            .ok_or(HostError::NoSuchInstance(id))?;
         self.memory.release(inst.class.spec().memory_bytes);
         if inst.class.is_container() {
             self.kernel.destroy_namespace(inst.namespace)?;
@@ -251,12 +278,16 @@ impl CloudHost {
 
     /// Immutable instance access.
     pub fn instance(&self, id: InstanceId) -> Result<&RuntimeInstance, HostError> {
-        self.instances.get(&id.0).ok_or(HostError::NoSuchInstance(id))
+        self.instances
+            .get(&id.0)
+            .ok_or(HostError::NoSuchInstance(id))
     }
 
     /// Mutable instance access.
     pub fn instance_mut(&mut self, id: InstanceId) -> Result<&mut RuntimeInstance, HostError> {
-        self.instances.get_mut(&id.0).ok_or(HostError::NoSuchInstance(id))
+        self.instances
+            .get_mut(&id.0)
+            .ok_or(HostError::NoSuchInstance(id))
     }
 
     /// Instance ids in creation order.
@@ -284,7 +315,8 @@ impl CloudHost {
             return Ok(SimDuration::ZERO);
         }
         let io_eff = inst.class.spec().io_efficiency;
-        let t = CLASSLOAD_FIXED + SimDuration::from_secs_f64(code_bytes as f64 / (disk_bw * io_eff));
+        let t =
+            CLASSLOAD_FIXED + SimDuration::from_secs_f64(code_bytes as f64 / (disk_bw * io_eff));
         inst.apps_loaded.insert(app_id.to_string());
         Ok(t)
     }
@@ -293,7 +325,11 @@ impl CloudHost {
     /// instance. Optimized containers go through the shared in-memory
     /// layer (and account the bytes in the tmpfs); the rest hit the HDD
     /// behind their virtualization I/O path.
-    pub fn offload_io_time(&mut self, id: InstanceId, bytes: u64) -> Result<SimDuration, HostError> {
+    pub fn offload_io_time(
+        &mut self,
+        id: InstanceId,
+        bytes: u64,
+    ) -> Result<SimDuration, HostError> {
         let disk_bw = self.host_spec().disk_bandwidth;
         let spec = self.instance(id)?.class.spec();
         if spec.uses_shared_io_layer {
@@ -304,7 +340,9 @@ impl CloudHost {
             }
             Ok(SimDuration::from_secs_f64(bytes as f64 / TMPFS_BANDWIDTH))
         } else {
-            Ok(SimDuration::from_secs_f64(bytes as f64 / (disk_bw * spec.io_efficiency)))
+            Ok(SimDuration::from_secs_f64(
+                bytes as f64 / (disk_bw * spec.io_efficiency),
+            ))
         }
     }
 
@@ -313,7 +351,11 @@ impl CloudHost {
     /// savings" headline.
     pub fn total_disk_usage(&self) -> u64 {
         self.layers.total_shared_bytes()
-            + self.instances.values().map(|i| i.exclusive_disk_bytes).sum::<u64>()
+            + self
+                .instances
+                .values()
+                .map(|i| i.exclusive_disk_bytes)
+                .sum::<u64>()
     }
 
     /// Host DRAM currently reserved by instances.
@@ -328,7 +370,9 @@ impl CloudHost {
 
     /// Bytes of the published Shared Resource Layer.
     pub fn shared_layer_bytes(&self) -> u64 {
-        self.layers.layer_bytes(self.shared_layer).expect("published at construction")
+        self.layers
+            .layer_bytes(self.shared_layer)
+            .expect("published at construction")
     }
 }
 
@@ -351,7 +395,11 @@ mod tests {
         assert!(t_wo >= SimDuration::from_millis(6_800));
         assert!(t_wo < SimDuration::from_millis(6_900));
         let (_, t_opt) = h.provision(RuntimeClass::CacOptimized).unwrap();
-        assert_eq!(t_opt, SimDuration::from_millis(1_750), "modules already loaded");
+        assert_eq!(
+            t_opt,
+            SimDuration::from_millis(1_750),
+            "modules already loaded"
+        );
     }
 
     #[test]
@@ -365,14 +413,25 @@ mod tests {
         let zygote = inst.zygote_pid.unwrap();
         let SyscallRet::Pid(app) = h
             .kernel
-            .syscall(zygote, Syscall::Fork { child_name: "com.bench.ocr".into() })
+            .syscall(
+                zygote,
+                Syscall::Fork {
+                    child_name: "com.bench.ocr".into(),
+                },
+            )
             .unwrap()
         else {
             panic!()
         };
         let served = h
             .kernel
-            .syscall(app, Syscall::BinderTransact { service: "activity".into(), payload_bytes: 64 })
+            .syscall(
+                app,
+                Syscall::BinderTransact {
+                    service: "activity".into(),
+                    payload_bytes: 64,
+                },
+            )
             .unwrap();
         assert!(matches!(served, SyscallRet::ServedBy(_)));
     }
@@ -386,10 +445,29 @@ mod tests {
         let ns_b = h.instance(b).unwrap().namespace;
         assert_ne!(ns_a, ns_b);
         // Services registered in a's namespace are invisible in b's.
-        assert!(h.kernel.binder_mut(ns_a).unwrap().lookup("activity").is_some());
-        assert!(h.kernel.binder_mut(ns_b).unwrap().lookup("activity").is_some());
-        h.kernel.binder_mut(ns_a).unwrap().register_service("only-a", 999).unwrap();
-        assert!(h.kernel.binder_mut(ns_b).unwrap().lookup("only-a").is_none());
+        assert!(h
+            .kernel
+            .binder_mut(ns_a)
+            .unwrap()
+            .lookup("activity")
+            .is_some());
+        assert!(h
+            .kernel
+            .binder_mut(ns_b)
+            .unwrap()
+            .lookup("activity")
+            .is_some());
+        h.kernel
+            .binder_mut(ns_a)
+            .unwrap()
+            .register_service("only-a", 999)
+            .unwrap();
+        assert!(h
+            .kernel
+            .binder_mut(ns_b)
+            .unwrap()
+            .lookup("only-a")
+            .is_none());
     }
 
     #[test]
@@ -398,13 +476,22 @@ mod tests {
         let base = h.total_disk_usage(); // shared layer only
         let (vm, _) = h.provision(RuntimeClass::AndroidVm).unwrap();
         let vm_disk = h.instance(vm).unwrap().exclusive_disk_bytes;
-        assert!((vm_disk as f64 / gib(1) as f64 - 1.10).abs() < 0.01, "VM ≈ 1.1 GiB");
+        assert!(
+            (vm_disk as f64 / gib(1) as f64 - 1.10).abs() < 0.01,
+            "VM ≈ 1.1 GiB"
+        );
         let (wo, _) = h.provision(RuntimeClass::CacUnoptimized).unwrap();
         let wo_disk = h.instance(wo).unwrap().exclusive_disk_bytes;
-        assert!((wo_disk as f64 / gib(1) as f64 - 1.02).abs() < 0.01, "W/O ≈ 1.02 GiB");
+        assert!(
+            (wo_disk as f64 / gib(1) as f64 - 1.02).abs() < 0.01,
+            "W/O ≈ 1.02 GiB"
+        );
         let (opt, _) = h.provision(RuntimeClass::CacOptimized).unwrap();
         let opt_disk = h.instance(opt).unwrap().exclusive_disk_bytes;
-        assert!(opt_disk < mib(8), "optimized CAC < 7.1 MB + slack, got {opt_disk}");
+        assert!(
+            opt_disk < mib(8),
+            "optimized CAC < 7.1 MB + slack, got {opt_disk}"
+        );
         assert_eq!(h.total_disk_usage(), base + vm_disk + wo_disk + opt_disk);
     }
 
@@ -470,9 +557,13 @@ mod tests {
     fn app_loading_costs_once_per_runtime() {
         let mut h = host();
         let (id, _) = h.provision(RuntimeClass::CacOptimized).unwrap();
-        let t1 = h.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024).unwrap();
+        let t1 = h
+            .load_app(id, "com.bench.chessgame", 2 * 1024 * 1024)
+            .unwrap();
         assert!(t1 > CLASSLOAD_FIXED);
-        let t2 = h.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024).unwrap();
+        let t2 = h
+            .load_app(id, "com.bench.chessgame", 2 * 1024 * 1024)
+            .unwrap();
         assert_eq!(t2, SimDuration::ZERO, "already loaded");
         let t3 = h.load_app(id, "com.bench.linpack", 137_216).unwrap();
         assert!(t3 > SimDuration::ZERO);

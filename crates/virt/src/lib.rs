@@ -24,7 +24,9 @@ pub mod host;
 pub mod migrate;
 pub mod spec;
 
-pub use boot::{android_vm_boot, cac_optimized_boot, cac_unoptimized_boot, BootSequence, BootStage};
+pub use boot::{
+    android_vm_boot, cac_optimized_boot, cac_unoptimized_boot, BootSequence, BootStage,
+};
 pub use cluster::{Cluster, ClusterAddr};
 pub use host::{CloudHost, HostError, InstanceId, RuntimeInstance};
 pub use migrate::{checkpoint, migrate, migrate_precopy, restore, Checkpoint, MigrationReceipt};

@@ -54,7 +54,10 @@ const RESTORE_FIXED: SimDuration = SimDuration::from_millis(350);
 /// Freeze `id` on `host` and serialize its state. The container keeps
 /// running until [`migrate`] tears it down; checkpoint alone is also
 /// the snapshot path for fault tolerance.
-pub fn checkpoint(host: &CloudHost, id: InstanceId) -> Result<(Checkpoint, SimDuration), HostError> {
+pub fn checkpoint(
+    host: &CloudHost,
+    id: InstanceId,
+) -> Result<(Checkpoint, SimDuration), HostError> {
     let inst = host.instance(id)?;
     if !inst.class.is_container() {
         return Err(HostError::Kernel(hostkernel::KernelError::NotPermitted {
@@ -71,8 +74,7 @@ pub fn checkpoint(host: &CloudHost, id: InstanceId) -> Result<(Checkpoint, SimDu
         upper,
         memory_bytes: inst.class.spec().peak_memory_bytes,
     };
-    let freeze =
-        SimDuration::from_secs_f64(ckpt.state_bytes() as f64 / CHECKPOINT_BANDWIDTH);
+    let freeze = SimDuration::from_secs_f64(ckpt.state_bytes() as f64 / CHECKPOINT_BANDWIDTH);
     Ok((ckpt, freeze))
 }
 
@@ -80,7 +82,10 @@ pub fn checkpoint(host: &CloudHost, id: InstanceId) -> Result<(Checkpoint, SimDu
 /// and the restore latency. Restore replaces the Android boot: the
 /// process tree comes back from the image instead of re-running init
 /// and Zygote preload.
-pub fn restore(host: &mut CloudHost, ckpt: &Checkpoint) -> Result<(InstanceId, SimDuration), HostError> {
+pub fn restore(
+    host: &mut CloudHost,
+    ckpt: &Checkpoint,
+) -> Result<(InstanceId, SimDuration), HostError> {
     let (id, _boot_setup) = host.provision(ckpt.class)?;
     // Process tree, namespaces and mounts exist; reinstate the
     // container's logical state.
@@ -150,7 +155,11 @@ pub fn migrate_precopy(
     let downtime = final_freeze + final_transfer + RESTORE_FIXED;
     let _ = restore_fixed;
     src.teardown(id)?;
-    Ok(MigrationReceipt { new_id, downtime, state_bytes: total_bytes as u64 + dirty as u64 })
+    Ok(MigrationReceipt {
+        new_id,
+        downtime,
+        state_bytes: total_bytes as u64 + dirty as u64,
+    })
 }
 
 #[cfg(test)]
@@ -160,21 +169,27 @@ mod tests {
     use simkit::units::mib;
 
     fn two_hosts() -> (CloudHost, CloudHost) {
-        (CloudHost::new(HostSpec::paper_server()), CloudHost::new(HostSpec::paper_server()))
+        (
+            CloudHost::new(HostSpec::paper_server()),
+            CloudHost::new(HostSpec::paper_server()),
+        )
     }
 
     #[test]
     fn migration_preserves_loaded_apps() {
         let (mut src, mut dst) = two_hosts();
         let (id, _) = src.provision(RuntimeClass::CacOptimized).unwrap();
-        src.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024).unwrap();
+        src.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024)
+            .unwrap();
         src.load_app(id, "com.bench.linpack", 137_216).unwrap();
 
         let r = migrate(&mut src, id, &mut dst, 1.25e9 / 8.0 * 8.0, SimTime::ZERO).unwrap();
         assert_eq!(src.instance_count(), 0, "source torn down");
         assert_eq!(dst.instance_count(), 1);
         // The warm code state survived: loading again is free.
-        let t = dst.load_app(r.new_id, "com.bench.chessgame", 2 * 1024 * 1024).unwrap();
+        let t = dst
+            .load_app(r.new_id, "com.bench.chessgame", 2 * 1024 * 1024)
+            .unwrap();
         assert_eq!(t, SimDuration::ZERO, "app resident after migration");
         let t2 = dst.load_app(r.new_id, "com.bench.ocr", 1_435_648).unwrap();
         assert!(t2 > SimDuration::ZERO, "new apps still cost");
@@ -187,7 +202,11 @@ mod tests {
         let r = migrate(&mut src, id, &mut dst, 125.0e6, SimTime::ZERO).unwrap();
         // Dirty state ≈ 96 MB pages + ~7 MB upper — nowhere near the
         // 1 GiB a VM image would be.
-        assert!(r.state_bytes < 120 * 1024 * 1024, "state {} bytes", r.state_bytes);
+        assert!(
+            r.state_bytes < 120 * 1024 * 1024,
+            "state {} bytes",
+            r.state_bytes
+        );
         assert!(r.state_bytes > mib(90), "pages dominate");
     }
 
@@ -199,7 +218,12 @@ mod tests {
         let (mut src2, mut dst2) = two_hosts();
         let (b, _) = src2.provision(RuntimeClass::CacOptimized).unwrap();
         let slow = migrate(&mut src2, b, &mut dst2, 12.5e6, SimTime::ZERO).unwrap();
-        assert!(slow.downtime > fast.downtime.mul_f64(3.0), "{} vs {}", slow.downtime, fast.downtime);
+        assert!(
+            slow.downtime > fast.downtime.mul_f64(3.0),
+            "{} vs {}",
+            slow.downtime,
+            fast.downtime
+        );
     }
 
     #[test]
@@ -216,7 +240,11 @@ mod tests {
         let (ckpt, freeze) = checkpoint(&src, id).unwrap();
         assert!(freeze > SimDuration::ZERO);
         assert_eq!(ckpt.class, RuntimeClass::CacUnoptimized);
-        assert_eq!(src.instance_count(), 1, "snapshot does not kill the container");
+        assert_eq!(
+            src.instance_count(),
+            1,
+            "snapshot does not kill the container"
+        );
     }
 
     #[test]
@@ -225,7 +253,8 @@ mod tests {
         // and re-loading code, even counting the transfer.
         let (mut src, mut dst) = two_hosts();
         let (id, _) = src.provision(RuntimeClass::CacOptimized).unwrap();
-        src.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024).unwrap();
+        src.load_app(id, "com.bench.chessgame", 2 * 1024 * 1024)
+            .unwrap();
         let r = migrate(&mut src, id, &mut dst, 1.25e9, SimTime::ZERO).unwrap();
         // Fresh provisioning on dst would cost 1.75 s boot + ~0.19 s
         // classload; migration downtime over 10 Gbps must beat it.

@@ -17,8 +17,11 @@ pub enum RuntimeClass {
 
 impl RuntimeClass {
     /// All classes, VM first (the paper's table order).
-    pub const ALL: [RuntimeClass; 3] =
-        [RuntimeClass::AndroidVm, RuntimeClass::CacUnoptimized, RuntimeClass::CacOptimized];
+    pub const ALL: [RuntimeClass; 3] = [
+        RuntimeClass::AndroidVm,
+        RuntimeClass::CacUnoptimized,
+        RuntimeClass::CacOptimized,
+    ];
 
     /// Table label.
     pub const fn label(self) -> &'static str {
@@ -41,8 +44,8 @@ impl RuntimeClass {
                 class: self,
                 memory_bytes: mib(512), // "recommended to run with 512MB"
                 vcpus: 1,
-                cpu_efficiency: 0.95,  // hardware-virtualization overhead
-                io_efficiency: 0.55,   // VirtualBox emulated disk path
+                cpu_efficiency: 0.95, // hardware-virtualization overhead
+                io_efficiency: 0.55,  // VirtualBox emulated disk path
                 peak_memory_bytes: mib(512),
                 uses_shared_io_layer: false,
             },
@@ -62,7 +65,7 @@ impl RuntimeClass {
                 cpu_efficiency: 0.995,
                 io_efficiency: 0.90,
                 peak_memory_bytes: 96_350_000, // 96.35 MB (decimal)
-                uses_shared_io_layer: true, // tmpfs Sharing Offloading I/O
+                uses_shared_io_layer: true,    // tmpfs Sharing Offloading I/O
             },
         }
     }
@@ -73,6 +76,17 @@ impl RuntimeClass {
             RuntimeClass::AndroidVm => android_vm_boot(),
             RuntimeClass::CacUnoptimized => cac_unoptimized_boot(),
             RuntimeClass::CacOptimized => cac_optimized_boot(),
+        }
+    }
+
+    /// Bytes read from disk while booting (Fig. 2's early read plateau):
+    /// a VM streams most of its image, an unoptimized container its
+    /// rootfs, an optimized container only the shared-layer metadata.
+    pub fn boot_read_bytes(self) -> f64 {
+        match self {
+            RuntimeClass::AndroidVm => 350.0e6,
+            RuntimeClass::CacUnoptimized => 150.0e6,
+            RuntimeClass::CacOptimized => 25.0e6,
         }
     }
 }

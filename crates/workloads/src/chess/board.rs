@@ -77,7 +77,11 @@ impl Piece {
 
     /// Parse a FEN piece character.
     pub fn from_char(c: char) -> Option<Piece> {
-        let color = if c.is_ascii_uppercase() { Color::White } else { Color::Black };
+        let color = if c.is_ascii_uppercase() {
+            Color::White
+        } else {
+            Color::Black
+        };
         let kind = match c.to_ascii_lowercase() {
             'p' => PieceKind::Pawn,
             'n' => PieceKind::Knight,
@@ -220,7 +224,10 @@ impl Board {
     pub fn king_square(&self, color: Color) -> Option<Square> {
         (0..64).map(Square).find(|&sq| {
             self.squares[sq.0 as usize]
-                == Some(Piece { color, kind: PieceKind::King })
+                == Some(Piece {
+                    color,
+                    kind: PieceKind::King,
+                })
         })
     }
 
@@ -239,7 +246,10 @@ impl Board {
     pub fn from_fen(fen: &str) -> Result<Board, FenError> {
         let fields: Vec<&str> = fen.split_whitespace().collect();
         if fields.len() < 4 {
-            return Err(FenError(format!("expected ≥4 fields, got {}", fields.len())));
+            return Err(FenError(format!(
+                "expected ≥4 fields, got {}",
+                fields.len()
+            )));
         }
         let mut board = Board::empty();
         let ranks: Vec<&str> = fields[0].split('/').collect();
@@ -352,11 +362,17 @@ mod tests {
         let b = Board::start();
         assert_eq!(
             b.piece_at(Square::parse("e1").unwrap()),
-            Some(Piece { color: Color::White, kind: PieceKind::King })
+            Some(Piece {
+                color: Color::White,
+                kind: PieceKind::King
+            })
         );
         assert_eq!(
             b.piece_at(Square::parse("d8").unwrap()),
-            Some(Piece { color: Color::Black, kind: PieceKind::Queen })
+            Some(Piece {
+                color: Color::Black,
+                kind: PieceKind::Queen
+            })
         );
         assert_eq!(b.piece_at(Square::parse("e4").unwrap()), None);
         assert_eq!(b.pieces_of(Color::White).len(), 16);
@@ -381,9 +397,18 @@ mod tests {
     fn fen_errors() {
         assert!(Board::from_fen("").is_err());
         assert!(Board::from_fen("8/8/8/8/8/8/8 w - -").is_err(), "7 ranks");
-        assert!(Board::from_fen("9/8/8/8/8/8/8/8 w - -").is_err(), "bad file count");
-        assert!(Board::from_fen("x7/8/8/8/8/8/8/8 w - -").is_err(), "bad piece");
-        assert!(Board::from_fen("8/8/8/8/8/8/8/8 z - -").is_err(), "bad side");
+        assert!(
+            Board::from_fen("9/8/8/8/8/8/8/8 w - -").is_err(),
+            "bad file count"
+        );
+        assert!(
+            Board::from_fen("x7/8/8/8/8/8/8/8 w - -").is_err(),
+            "bad piece"
+        );
+        assert!(
+            Board::from_fen("8/8/8/8/8/8/8/8 z - -").is_err(),
+            "bad side"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
         let b = Board::from_fen("4k3/8/8/8/8/8/8/3QK3 w - - 0 1").unwrap();
         assert!(evaluate(&b) > 800, "white queen up: {}", evaluate(&b));
         let b_black_view = Board::from_fen("4k3/8/8/8/8/8/8/3QK3 b - - 0 1").unwrap();
-        assert!(evaluate(&b_black_view) < -800, "same position from black's view");
+        assert!(
+            evaluate(&b_black_view) < -800,
+            "same position from black's view"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ mod tests {
 
     #[test]
     fn execute_end_to_end() {
-        let req = ChessRequest { fen: Board::start().to_fen(), depth: 2 };
+        let req = ChessRequest {
+            fen: Board::start().to_fen(),
+            depth: 2,
+        };
         let r = execute(&req).unwrap();
         assert!(r.best_move.is_some());
         assert!(r.nodes > 20);
@@ -45,7 +48,10 @@ mod tests {
 
     #[test]
     fn execute_rejects_bad_fen() {
-        let req = ChessRequest { fen: "not a fen".into(), depth: 2 };
+        let req = ChessRequest {
+            fen: "not a fen".into(),
+            depth: 2,
+        };
         assert!(execute(&req).is_err());
     }
 }

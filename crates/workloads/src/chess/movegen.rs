@@ -16,7 +16,11 @@ pub struct Move {
 impl Move {
     /// Plain move constructor.
     pub fn new(from: Square, to: Square) -> Move {
-        Move { from, to, promotion: None }
+        Move {
+            from,
+            to,
+            promotion: None,
+        }
     }
 
     /// UCI text, e.g. `e2e4` or `e7e8q`.
@@ -49,14 +53,34 @@ impl Move {
             Some(b'n') => Some(PieceKind::Knight),
             _ => return None,
         };
-        Some(Move { from, to, promotion })
+        Some(Move {
+            from,
+            to,
+            promotion,
+        })
     }
 }
 
-const KNIGHT_DELTAS: [(i8, i8); 8] =
-    [(1, 2), (2, 1), (2, -1), (1, -2), (-1, -2), (-2, -1), (-2, 1), (-1, 2)];
-const KING_DELTAS: [(i8, i8); 8] =
-    [(0, 1), (1, 1), (1, 0), (1, -1), (0, -1), (-1, -1), (-1, 0), (-1, 1)];
+const KNIGHT_DELTAS: [(i8, i8); 8] = [
+    (1, 2),
+    (2, 1),
+    (2, -1),
+    (1, -2),
+    (-1, -2),
+    (-2, -1),
+    (-2, 1),
+    (-1, 2),
+];
+const KING_DELTAS: [(i8, i8); 8] = [
+    (0, 1),
+    (1, 1),
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+];
 const BISHOP_DIRS: [(i8, i8); 4] = [(1, 1), (1, -1), (-1, -1), (-1, 1)];
 const ROOK_DIRS: [(i8, i8); 4] = [(0, 1), (1, 0), (0, -1), (-1, 0)];
 
@@ -122,8 +146,17 @@ fn push_pawn_moves(board: &Board, from: Square, moves: &mut Vec<Move>) {
 
     let add = |to: Square, moves: &mut Vec<Move>| {
         if to.rank() == last_rank {
-            for kind in [PieceKind::Queen, PieceKind::Rook, PieceKind::Bishop, PieceKind::Knight] {
-                moves.push(Move { from, to, promotion: Some(kind) });
+            for kind in [
+                PieceKind::Queen,
+                PieceKind::Rook,
+                PieceKind::Bishop,
+                PieceKind::Knight,
+            ] {
+                moves.push(Move {
+                    from,
+                    to,
+                    promotion: Some(kind),
+                });
             }
         } else {
             moves.push(Move::new(from, to));
@@ -194,7 +227,12 @@ fn push_castling(board: &Board, moves: &mut Vec<Move>) {
         Color::Black => (board.castling.black_king, board.castling.black_queen),
     };
     let king_sq = Square::at(4, rank);
-    if board.piece_at(king_sq) != Some(Piece { color, kind: PieceKind::King }) {
+    if board.piece_at(king_sq)
+        != Some(Piece {
+            color,
+            kind: PieceKind::King,
+        })
+    {
         return;
     }
     let enemy = color.opponent();
@@ -204,7 +242,11 @@ fn push_castling(board: &Board, moves: &mut Vec<Move>) {
     if king_side
         && board.piece_at(Square::at(5, rank)).is_none()
         && board.piece_at(Square::at(6, rank)).is_none()
-        && board.piece_at(Square::at(7, rank)) == Some(Piece { color, kind: PieceKind::Rook })
+        && board.piece_at(Square::at(7, rank))
+            == Some(Piece {
+                color,
+                kind: PieceKind::Rook,
+            })
         && !is_attacked(board, Square::at(5, rank), enemy)
         && !is_attacked(board, Square::at(6, rank), enemy)
     {
@@ -214,7 +256,11 @@ fn push_castling(board: &Board, moves: &mut Vec<Move>) {
         && board.piece_at(Square::at(3, rank)).is_none()
         && board.piece_at(Square::at(2, rank)).is_none()
         && board.piece_at(Square::at(1, rank)).is_none()
-        && board.piece_at(Square::at(0, rank)) == Some(Piece { color, kind: PieceKind::Rook })
+        && board.piece_at(Square::at(0, rank))
+            == Some(Piece {
+                color,
+                kind: PieceKind::Rook,
+            })
         && !is_attacked(board, Square::at(3, rank), enemy)
         && !is_attacked(board, Square::at(2, rank), enemy)
     {
@@ -253,7 +299,10 @@ pub fn apply_move(board: &Board, mv: Move) -> Board {
 
     // En-passant capture removes the pawn behind the target square.
     if piece.kind == PieceKind::Pawn && Some(mv.to) == b.en_passant && captured.is_none() {
-        let victim = mv.to.offset(0, -color.forward()).expect("ep victim on board");
+        let victim = mv
+            .to
+            .offset(0, -color.forward())
+            .expect("ep victim on board");
         b.set_piece(victim, None);
     }
 
@@ -288,22 +337,20 @@ pub fn apply_move(board: &Board, mv: Move) -> Board {
 
     // Castling-rights updates.
     let mut c = b.castling;
-    let touch = |c: &mut Castling, sq: Square| {
-        match (sq.file(), sq.rank()) {
-            (4, 0) => {
-                c.white_king = false;
-                c.white_queen = false;
-            }
-            (0, 0) => c.white_queen = false,
-            (7, 0) => c.white_king = false,
-            (4, 7) => {
-                c.black_king = false;
-                c.black_queen = false;
-            }
-            (0, 7) => c.black_queen = false,
-            (7, 7) => c.black_king = false,
-            _ => {}
+    let touch = |c: &mut Castling, sq: Square| match (sq.file(), sq.rank()) {
+        (4, 0) => {
+            c.white_king = false;
+            c.white_queen = false;
         }
+        (0, 0) => c.white_queen = false,
+        (7, 0) => c.white_king = false,
+        (4, 7) => {
+            c.black_king = false;
+            c.black_queen = false;
+        }
+        (0, 7) => c.black_queen = false,
+        (7, 7) => c.black_king = false,
+        _ => {}
     };
     touch(&mut c, mv.from);
     touch(&mut c, mv.to);
@@ -340,7 +387,10 @@ pub fn perft(board: &Board, depth: u32) -> u64 {
     if depth == 1 {
         return moves.len() as u64;
     }
-    moves.iter().map(|&mv| perft(&apply_move(board, mv), depth - 1)).sum()
+    moves
+        .iter()
+        .map(|&mv| perft(&apply_move(board, mv), depth - 1))
+        .sum()
 }
 
 #[cfg(test)]
@@ -359,10 +409,9 @@ mod tests {
     #[test]
     fn perft_kiwipete_catches_castling_and_ep_bugs() {
         // "Kiwipete": the classic stress position. Depth 1 = 48, 2 = 2039.
-        let b = Board::from_fen(
-            "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1",
-        )
-        .unwrap();
+        let b =
+            Board::from_fen("r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1")
+                .unwrap();
         assert_eq!(perft(&b, 1), 48);
         assert_eq!(perft(&b, 2), 2_039);
     }
@@ -379,8 +428,8 @@ mod tests {
     #[test]
     fn perft_promotion_position() {
         // CPW position 5: depth 1 = 44, 2 = 1486.
-        let b = Board::from_fen("rnbq1k1r/pp1Pbppp/2p5/8/2B5/8/PPP1NnPP/RNBQK2R w KQ - 1 8")
-            .unwrap();
+        let b =
+            Board::from_fen("rnbq1k1r/pp1Pbppp/2p5/8/2B5/8/PPP1NnPP/RNBQK2R w KQ - 1 8").unwrap();
         assert_eq!(perft(&b, 1), 44);
         assert_eq!(perft(&b, 2), 1_486);
     }
@@ -391,7 +440,11 @@ mod tests {
         let ep = Move::new(Square::parse("e5").unwrap(), Square::parse("d6").unwrap());
         assert!(legal_moves(&b).contains(&ep));
         let after = apply_move(&b, ep);
-        assert_eq!(after.piece_at(Square::parse("d5").unwrap()), None, "victim pawn gone");
+        assert_eq!(
+            after.piece_at(Square::parse("d5").unwrap()),
+            None,
+            "victim pawn gone"
+        );
         assert_eq!(
             after.piece_at(Square::parse("d6").unwrap()).unwrap().kind,
             PieceKind::Pawn
@@ -404,7 +457,10 @@ mod tests {
         let oo = Move::new(Square::parse("e1").unwrap(), Square::parse("g1").unwrap());
         assert!(legal_moves(&b).contains(&oo));
         let after = apply_move(&b, oo);
-        assert_eq!(after.piece_at(Square::parse("f1").unwrap()).unwrap().kind, PieceKind::Rook);
+        assert_eq!(
+            after.piece_at(Square::parse("f1").unwrap()).unwrap().kind,
+            PieceKind::Rook
+        );
         assert_eq!(after.piece_at(Square::parse("h1").unwrap()), None);
         assert!(!after.castling.white_king && !after.castling.white_queen);
         assert!(after.castling.black_king, "black rights untouched");
@@ -415,7 +471,10 @@ mod tests {
         // Black rook on f8 covers f1.
         let b = Board::from_fen("5r2/8/8/8/8/8/8/R3K2R w KQ - 0 1").unwrap();
         let oo = Move::new(Square::parse("e1").unwrap(), Square::parse("g1").unwrap());
-        assert!(!legal_moves(&b).contains(&oo), "castling through f1 is illegal");
+        assert!(
+            !legal_moves(&b).contains(&oo),
+            "castling through f1 is illegal"
+        );
         let ooo = Move::new(Square::parse("e1").unwrap(), Square::parse("c1").unwrap());
         assert!(legal_moves(&b).contains(&ooo), "queenside is fine");
     }
@@ -441,16 +500,17 @@ mod tests {
         assert_eq!(promos.len(), 4);
         assert!(promos.iter().all(|m| m.promotion.is_some()));
         let after = apply_move(&b, promos[0]);
-        assert_eq!(after.piece_at(Square::parse("a8").unwrap()).unwrap().kind, PieceKind::Queen);
+        assert_eq!(
+            after.piece_at(Square::parse("a8").unwrap()).unwrap().kind,
+            PieceKind::Queen
+        );
     }
 
     #[test]
     fn checkmate_has_no_legal_moves() {
         // Fool's mate final position; white is mated.
-        let b = Board::from_fen(
-            "rnb1kbnr/pppp1ppp/8/4p3/6Pq/5P2/PPPPP2P/RNBQKBNR w KQkq - 1 3",
-        )
-        .unwrap();
+        let b = Board::from_fen("rnb1kbnr/pppp1ppp/8/4p3/6Pq/5P2/PPPPP2P/RNBQKBNR w KQkq - 1 3")
+            .unwrap();
         assert!(in_check(&b, Color::White));
         assert!(legal_moves(&b).is_empty());
     }

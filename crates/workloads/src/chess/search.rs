@@ -35,7 +35,11 @@ pub struct Searcher {
 impl Searcher {
     /// A searcher allowed to visit at most `node_budget` nodes.
     pub fn new(node_budget: u64) -> Self {
-        Searcher { nodes: 0, node_budget, table: None }
+        Searcher {
+            nodes: 0,
+            node_budget,
+            table: None,
+        }
     }
 
     /// Enable a transposition table with `slots` entries.
@@ -71,7 +75,12 @@ impl Searcher {
             .collect();
         // MVV ordering: take the biggest victim first.
         captures.sort_by_key(|m| {
-            std::cmp::Reverse(board.piece_at(m.to).map(|p| piece_value(p.kind)).unwrap_or(0))
+            std::cmp::Reverse(
+                board
+                    .piece_at(m.to)
+                    .map(|p| piece_value(p.kind))
+                    .unwrap_or(0),
+            )
         });
         for mv in captures {
             let score = -self.quiesce(&apply_move(board, mv), -beta, -alpha);
@@ -127,7 +136,11 @@ impl Searcher {
         ordered.sort_by_key(|m| {
             let tt_bonus = if Some(*m) == tt_move { 100_000 } else { 0 };
             std::cmp::Reverse(
-                tt_bonus + board.piece_at(m.to).map(|p| piece_value(p.kind)).unwrap_or(-1),
+                tt_bonus
+                    + board
+                        .piece_at(m.to)
+                        .map(|p| piece_value(p.kind))
+                        .unwrap_or(-1),
             )
         });
 
@@ -153,7 +166,13 @@ impl Searcher {
             } else {
                 Bound::Exact
             };
-            tt.store(TtEntry { key, depth, score: best, bound, best: best_move });
+            tt.store(TtEntry {
+                key,
+                depth,
+                score: best,
+                bound,
+                best: best_move,
+            });
         }
         best
     }
@@ -162,8 +181,17 @@ impl Searcher {
     pub fn search(&mut self, board: &Board, max_depth: u32) -> SearchResult {
         let moves = legal_moves(board);
         if moves.is_empty() {
-            let score = if in_check(board, board.side) { -MATE_SCORE } else { 0 };
-            return SearchResult { best_move: None, score, nodes: 1, depth: 0 };
+            let score = if in_check(board, board.side) {
+                -MATE_SCORE
+            } else {
+                0
+            };
+            return SearchResult {
+                best_move: None,
+                score,
+                nodes: 1,
+                depth: 0,
+            };
         }
         let mut best_move = moves[0];
         let mut best_score = 0;
@@ -173,8 +201,13 @@ impl Searcher {
             let mut iter_score = -MATE_SCORE - 1;
             let mut alpha = -MATE_SCORE - 1;
             for &mv in &moves {
-                let score =
-                    -self.negamax(&apply_move(board, mv), depth - 1, -MATE_SCORE - 1, -alpha, 1);
+                let score = -self.negamax(
+                    &apply_move(board, mv),
+                    depth - 1,
+                    -MATE_SCORE - 1,
+                    -alpha,
+                    1,
+                );
                 if score > iter_score {
                     iter_score = score;
                     iter_best = mv;
@@ -239,7 +272,10 @@ mod tests {
         let mv = r.best_move.unwrap();
         if mv.from == Square::parse("e4").unwrap() {
             // Queen moved: must not be capturable by the pawn.
-            assert_ne!(mv.to.name(), "d5".to_string() /* defended? no – d5 capture is fine */);
+            assert_ne!(
+                mv.to.name(),
+                "d5".to_string() /* defended? no – d5 capture is fine */
+            );
         }
         // Whatever it chose, the score must not reflect a lost queen.
         assert!(r.score > -400, "score {}", r.score);
@@ -247,10 +283,8 @@ mod tests {
 
     #[test]
     fn terminal_positions_report_correctly() {
-        let mate = Board::from_fen(
-            "rnb1kbnr/pppp1ppp/8/4p3/6Pq/5P2/PPPPP2P/RNBQKBNR w KQkq - 1 3",
-        )
-        .unwrap();
+        let mate = Board::from_fen("rnb1kbnr/pppp1ppp/8/4p3/6Pq/5P2/PPPPP2P/RNBQKBNR w KQkq - 1 3")
+            .unwrap();
         let r = best_move(&mate, 2);
         assert_eq!(r.best_move, None);
         assert_eq!(r.score, -MATE_SCORE);
@@ -266,7 +300,12 @@ mod tests {
         let b = Board::start();
         let shallow = best_move(&b, 1);
         let deep = best_move(&b, 3);
-        assert!(deep.nodes > 10 * shallow.nodes, "{} vs {}", deep.nodes, shallow.nodes);
+        assert!(
+            deep.nodes > 10 * shallow.nodes,
+            "{} vs {}",
+            deep.nodes,
+            shallow.nodes
+        );
         assert_eq!(deep.depth, 3);
     }
 
@@ -297,10 +336,9 @@ mod tests {
 
     #[test]
     fn tt_reduces_node_count_at_depth() {
-        let b = Board::from_fen(
-            "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1",
-        )
-        .unwrap();
+        let b =
+            Board::from_fen("r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1")
+                .unwrap();
         let plain = Searcher::new(u64::MAX).search(&b, 4);
         let mut tt_searcher = Searcher::new(u64::MAX).with_table(1 << 16);
         let with_tt = tt_searcher.search(&b, 4);
@@ -317,10 +355,9 @@ mod tests {
 
     #[test]
     fn search_is_deterministic() {
-        let b = Board::from_fen(
-            "r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1",
-        )
-        .unwrap();
+        let b =
+            Board::from_fen("r3k2r/p1ppqpb1/bn2pnp1/3PN3/1p2P3/2N2Q1p/PPPBBPPP/R3K2R w KQkq - 0 1")
+                .unwrap();
         let a = best_move(&b, 3);
         let c = best_move(&b, 3);
         assert_eq!(a, c);

@@ -55,7 +55,16 @@ impl Zobrist {
             pieces,
             side_to_move: next(),
             castling: [next(), next(), next(), next()],
-            en_passant_file: [next(), next(), next(), next(), next(), next(), next(), next()],
+            en_passant_file: [
+                next(),
+                next(),
+                next(),
+                next(),
+                next(),
+                next(),
+                next(),
+                next(),
+            ],
         }
     }
 
@@ -133,7 +142,13 @@ impl TranspositionTable {
     /// A table with `capacity` slots, rounded up to a power of two.
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.next_power_of_two().max(16);
-        TranspositionTable { entries: vec![None; cap], mask: cap - 1, hits: 0, misses: 0, stores: 0 }
+        TranspositionTable {
+            entries: vec![None; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+            stores: 0,
+        }
     }
 
     /// Probe for `key`; returns entries whose full key matches.
@@ -241,7 +256,13 @@ mod tests {
     fn tt_probe_store_cycle() {
         let mut tt = TranspositionTable::new(1024);
         assert!(tt.probe(42).is_none());
-        tt.store(TtEntry { key: 42, depth: 3, score: 17, bound: Bound::Exact, best: None });
+        tt.store(TtEntry {
+            key: 42,
+            depth: 3,
+            score: 17,
+            bound: Bound::Exact,
+            best: None,
+        });
         let e = tt.probe(42).expect("stored");
         assert_eq!(e.score, 17);
         assert_eq!(e.bound, Bound::Exact);
@@ -255,11 +276,32 @@ mod tests {
         // Two keys landing in the same slot (same low bits).
         let a = 0x10u64;
         let b = a + tt.capacity() as u64;
-        tt.store(TtEntry { key: a, depth: 6, score: 1, bound: Bound::Exact, best: None });
-        tt.store(TtEntry { key: b, depth: 2, score: 2, bound: Bound::Exact, best: None });
-        assert!(tt.probe(a).is_some(), "deeper entry survives a shallow challenger");
+        tt.store(TtEntry {
+            key: a,
+            depth: 6,
+            score: 1,
+            bound: Bound::Exact,
+            best: None,
+        });
+        tt.store(TtEntry {
+            key: b,
+            depth: 2,
+            score: 2,
+            bound: Bound::Exact,
+            best: None,
+        });
+        assert!(
+            tt.probe(a).is_some(),
+            "deeper entry survives a shallow challenger"
+        );
         assert!(tt.probe(b).is_none());
-        tt.store(TtEntry { key: b, depth: 9, score: 2, bound: Bound::Exact, best: None });
+        tt.store(TtEntry {
+            key: b,
+            depth: 9,
+            score: 2,
+            bound: Bound::Exact,
+            best: None,
+        });
         assert!(tt.probe(b).is_some(), "deeper challenger replaces");
     }
 
@@ -268,7 +310,16 @@ mod tests {
         let mut tt = TranspositionTable::new(16);
         let a = 0x20u64;
         let aliased = a + tt.capacity() as u64; // same slot, different key
-        tt.store(TtEntry { key: a, depth: 1, score: 5, bound: Bound::Exact, best: None });
-        assert!(tt.probe(aliased).is_none(), "index collision must not alias");
+        tt.store(TtEntry {
+            key: a,
+            depth: 1,
+            score: 5,
+            bound: Bound::Exact,
+            best: None,
+        });
+        assert!(
+            tt.probe(aliased).is_none(),
+            "index collision must not alias"
+        );
     }
 }

@@ -14,7 +14,10 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of order `n`.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Order of the matrix.
@@ -48,9 +51,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.n..(r + 1) * self.n];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -120,8 +123,8 @@ pub fn lu_solve(lu: &Matrix, pivots: &[usize], b: &[f64]) -> Vec<f64> {
     // Apply the full permutation first (the factorisation swaps whole
     // rows, LAPACK-style, so P must be applied to b before any
     // elimination — interleaving would corrupt already-reduced entries).
-    for k in 0..n {
-        x.swap(k, pivots[k]);
+    for (k, &p) in pivots.iter().enumerate().take(n) {
+        x.swap(k, p);
     }
     // Forward substitution through L (unit diagonal).
     for k in 0..n {
@@ -162,8 +165,11 @@ pub fn run(n: usize, rng: &mut SimRng) -> Result<LinpackResult, Singular> {
     let x = lu_solve(&lu, &pivots, &b);
     // Residual ‖A·x − b‖∞.
     let ax = a.mul_vec(&x);
-    let residual =
-        ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+    let residual = ax
+        .iter()
+        .zip(&b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
     let norm_a = (0..n)
         .map(|r| (0..n).map(|c| a.get(r, c).abs()).sum::<f64>())
         .fold(0.0f64, f64::max);
@@ -231,7 +237,11 @@ mod tests {
         let r = run(100, &mut rng()).unwrap();
         assert_eq!(r.n, 100);
         // The canonical Linpack pass criterion.
-        assert!(r.normalized_residual < 16.0, "normalized residual {}", r.normalized_residual);
+        assert!(
+            r.normalized_residual < 16.0,
+            "normalized residual {}",
+            r.normalized_residual
+        );
         assert!(r.residual < 1e-9, "residual {}", r.residual);
         assert!(r.flops > 600_000.0);
     }

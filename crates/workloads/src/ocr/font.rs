@@ -98,9 +98,9 @@ mod tests {
 
     #[test]
     fn glyphs_are_distinct() {
-        for i in 0..GLYPHS.len() {
-            for j in (i + 1)..GLYPHS.len() {
-                assert_ne!(GLYPHS[i], GLYPHS[j], "{} and {} share a bitmap", char_at(i), char_at(j));
+        for (i, gi) in GLYPHS.iter().enumerate() {
+            for (j, gj) in GLYPHS.iter().enumerate().skip(i + 1) {
+                assert_ne!(gi, gj, "{} and {} share a bitmap", char_at(i), char_at(j));
             }
         }
     }

@@ -18,7 +18,11 @@ pub struct GrayImage {
 impl GrayImage {
     /// A blank (white) image.
     pub fn blank(width: usize, height: usize) -> Self {
-        GrayImage { width, height, pixels: vec![255; width * height] }
+        GrayImage {
+            width,
+            height,
+            pixels: vec![255; width * height],
+        }
     }
 
     /// Pixel accessor.

@@ -25,11 +25,22 @@ pub struct OcrRequest {
 /// Generate a request with `words` pseudo-words of noisy text.
 pub fn generate_request(words: usize, rng: &mut SimRng) -> OcrRequest {
     const VOCAB: [&str; 12] = [
-        "CLOUD", "MOBILE", "OFFLOAD", "CONTAINER", "ANDROID", "BINDER", "KERNEL", "RATTRAP",
-        "DRIVER", "IMAGE", "CACHE", "LAYER",
+        "CLOUD",
+        "MOBILE",
+        "OFFLOAD",
+        "CONTAINER",
+        "ANDROID",
+        "BINDER",
+        "KERNEL",
+        "RATTRAP",
+        "DRIVER",
+        "IMAGE",
+        "CACHE",
+        "LAYER",
     ];
-    let text: Vec<&str> =
-        (0..words).map(|_| VOCAB[rng.uniform_u64(0, VOCAB.len() as u64 - 1) as usize]).collect();
+    let text: Vec<&str> = (0..words)
+        .map(|_| VOCAB[rng.uniform_u64(0, VOCAB.len() as u64 - 1) as usize])
+        .collect();
     let truth = text.join(" ");
     let mut image = render_text(&truth);
     add_noise(&mut image, 25.0, 0.01, rng);

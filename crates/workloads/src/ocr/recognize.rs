@@ -56,7 +56,11 @@ pub fn recognize(img: &GrayImage) -> OcrResult {
     let cell_w = (GLYPH_W + GLYPH_SPACING) * RENDER_SCALE;
     let margin = 2 * RENDER_SCALE;
     if img.width <= 2 * margin || img.height <= 2 * margin {
-        return OcrResult { text: String::new(), confidence: 0.0, comparisons: 0 };
+        return OcrResult {
+            text: String::new(),
+            confidence: 0.0,
+            comparisons: 0,
+        };
     }
     let cells = (img.width - 2 * margin) / cell_w;
     let mut text = String::with_capacity(cells);
@@ -76,10 +80,18 @@ pub fn recognize(img: &GrayImage) -> OcrResult {
         text.push(char_at(best.0));
         conf_sum += best.1;
     }
-    let confidence = if cells == 0 { 0.0 } else { conf_sum / cells as f64 };
+    let confidence = if cells == 0 {
+        0.0
+    } else {
+        conf_sum / cells as f64
+    };
     // Trim trailing spaces the cell grid may have produced.
     let text = text.trim_end().to_string();
-    OcrResult { text, confidence, comparisons }
+    OcrResult {
+        text,
+        confidence,
+        comparisons,
+    }
 }
 
 #[cfg(test)]

@@ -30,8 +30,12 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All workloads, in the paper's presentation order.
-    pub const ALL: [WorkloadKind; 4] =
-        [WorkloadKind::Ocr, WorkloadKind::ChessGame, WorkloadKind::VirusScan, WorkloadKind::Linpack];
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Ocr,
+        WorkloadKind::ChessGame,
+        WorkloadKind::VirusScan,
+        WorkloadKind::Linpack,
+    ];
 
     /// Display label.
     pub const fn label(self) -> &'static str {
@@ -175,7 +179,11 @@ impl WorkloadProfile {
             self.compute_megacycles_mean * 0.15,
         );
         let result = rng
-            .normal_at_least(self.result_bytes_mean as f64, self.result_bytes_mean as f64 * 0.2, 16.0)
+            .normal_at_least(
+                self.result_bytes_mean as f64,
+                self.result_bytes_mean as f64 * 0.2,
+                16.0,
+            )
             .round() as u64;
         TaskRequest {
             kind: self.kind,
@@ -203,7 +211,9 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 4);
-        assert!(WorkloadKind::ALL.iter().all(|w| w.app_id().starts_with("com.bench.")));
+        assert!(WorkloadKind::ALL
+            .iter()
+            .all(|w| w.app_id().starts_with("com.bench.")));
     }
 
     #[test]
@@ -214,7 +224,12 @@ mod tests {
             let p = kind.profile();
             let code = p.app_code_bytes as f64;
             let rest = (20 * p.mean_request_upload()) as f64;
-            assert!(code / (code + rest) > 0.5, "{}: {}", kind.label(), code / (code + rest));
+            assert!(
+                code / (code + rest) > 0.5,
+                "{}: {}",
+                kind.label(),
+                code / (code + rest)
+            );
         }
         // …while OCR and VirusScan are payload-dominated.
         for kind in [WorkloadKind::Ocr, WorkloadKind::VirusScan] {
@@ -251,8 +266,10 @@ mod tests {
         let p = WorkloadKind::VirusScan.profile();
         let mut rng = SimRng::new(6);
         let n = 4000;
-        let mean_payload: f64 =
-            (0..n).map(|_| p.sample(&mut rng).payload_bytes as f64).sum::<f64>() / n as f64;
+        let mean_payload: f64 = (0..n)
+            .map(|_| p.sample(&mut rng).payload_bytes as f64)
+            .sum::<f64>()
+            / n as f64;
         let expected = p.payload_bytes_mean as f64;
         assert!(
             (mean_payload - expected).abs() / expected < 0.05,

@@ -24,7 +24,11 @@ struct Node {
 
 impl Node {
     fn new() -> Self {
-        Node { next: Box::new([u32::MAX; 256]), fail: 0, output: Vec::new() }
+        Node {
+            next: Box::new([u32::MAX; 256]),
+            fail: 0,
+            output: Vec::new(),
+        }
     }
 }
 
@@ -88,7 +92,10 @@ impl AhoCorasick {
                 }
             }
         }
-        AhoCorasick { nodes, pattern_lens }
+        AhoCorasick {
+            nodes,
+            pattern_lens,
+        }
     }
 
     /// Number of automaton states.
@@ -113,7 +120,10 @@ impl AhoCorasick {
         for (i, &b) in haystack.iter().enumerate() {
             state = self.nodes[state as usize].next[b as usize];
             for &pat in &self.nodes[state as usize].output {
-                out.push(PatternMatch { pattern: pat, end: i + 1 });
+                out.push(PatternMatch {
+                    pattern: pat,
+                    end: i + 1,
+                });
             }
         }
         out

@@ -21,9 +21,11 @@ pub fn generate_database(count: usize, rng: &mut SimRng) -> Vec<Signature> {
         .map(|i| {
             let len = rng.uniform_u64(8, 24) as usize;
             // High bytes make accidental matches in ASCII-ish corpora rare.
-            let pattern: Vec<u8> =
-                (0..len).map(|_| rng.uniform_u64(128, 255) as u8).collect();
-            Signature { name: format!("SIG-{i:05}"), pattern }
+            let pattern: Vec<u8> = (0..len).map(|_| rng.uniform_u64(128, 255) as u8).collect();
+            Signature {
+                name: format!("SIG-{i:05}"),
+                pattern,
+            }
         })
         .collect()
 }
@@ -50,11 +52,10 @@ pub fn generate_corpus(
 ) -> Vec<CorpusFile> {
     (0..count)
         .map(|i| {
-            let size = (rng.normal_at_least(mean_size as f64, mean_size as f64 * 0.3, 64.0))
-                as usize;
+            let size =
+                (rng.normal_at_least(mean_size as f64, mean_size as f64 * 0.3, 64.0)) as usize;
             // Printable-ASCII body: disjoint from the high-byte signatures.
-            let mut data: Vec<u8> =
-                (0..size).map(|_| rng.uniform_u64(32, 126) as u8).collect();
+            let mut data: Vec<u8> = (0..size).map(|_| rng.uniform_u64(32, 126) as u8).collect();
             let mut implanted = Vec::new();
             if !db.is_empty() && rng.bernoulli(infection_rate) {
                 let sig = rng.uniform_u64(0, db.len() as u64 - 1) as usize;
@@ -65,7 +66,11 @@ pub fn generate_corpus(
                     implanted.push(sig);
                 }
             }
-            CorpusFile { name: format!("file-{i:04}.bin"), data, implanted }
+            CorpusFile {
+                name: format!("file-{i:04}.bin"),
+                data,
+                implanted,
+            }
         })
         .collect()
 }
@@ -83,10 +88,12 @@ pub struct ScanReport {
 
 /// Scan `corpus` against `db`.
 pub fn scan(db: &[Signature], corpus: &[CorpusFile]) -> ScanReport {
-    let ac = AhoCorasick::build(
-        &db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>(),
-    );
-    let mut report = ScanReport { files_scanned: 0, bytes_scanned: 0, detections: Vec::new() };
+    let ac = AhoCorasick::build(&db.iter().map(|s| s.pattern.as_slice()).collect::<Vec<_>>());
+    let mut report = ScanReport {
+        files_scanned: 0,
+        bytes_scanned: 0,
+        detections: Vec::new(),
+    };
     for (fi, file) in corpus.iter().enumerate() {
         report.files_scanned += 1;
         report.bytes_scanned += file.data.len() as u64;

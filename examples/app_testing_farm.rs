@@ -34,18 +34,29 @@ fn farm_run(class: RuntimeClass, tests: usize) -> (usize, SimDuration, u64, u64)
     let boot = class.boot_sequence().total();
     // Environments must be *fresh* per test: each wave reboots them.
     let wall = (boot + per_wave).mul_f64(waves as f64);
-    (parallel, wall, host.memory_reserved(), host.total_disk_usage())
+    (
+        parallel,
+        wall,
+        host.memory_reserved(),
+        host.total_disk_usage(),
+    )
 }
 
 fn main() {
-    let tests: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let tests: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
     println!("=== Android app-testing farm: {tests}-test matrix, fresh env per test ===\n");
     println!(
         "{:<22} {:>9} {:>12} {:>12} {:>12}",
         "Runtime", "parallel", "wall time", "memory", "disk"
     );
-    for class in [RuntimeClass::AndroidVm, RuntimeClass::CacUnoptimized, RuntimeClass::CacOptimized]
-    {
+    for class in [
+        RuntimeClass::AndroidVm,
+        RuntimeClass::CacUnoptimized,
+        RuntimeClass::CacOptimized,
+    ] {
         let (parallel, wall, mem, disk) = farm_run(class, tests);
         println!(
             "{:<22} {:>9} {:>11.0}s {:>12} {:>12}",

@@ -9,7 +9,10 @@ use workloads::chess::{apply_move, in_check, legal_moves, Board, Searcher};
 use workloads::WorkloadKind;
 
 fn main() {
-    let depth: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let depth: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     println!("=== engine self-play at depth {depth} (TT enabled) ===\n");
     let mut board = Board::start();
     let mut history = Vec::new();
@@ -20,7 +23,11 @@ fn main() {
         let moves = legal_moves(&board);
         if moves.is_empty() {
             if in_check(&board, board.side) {
-                println!("\ncheckmate — {:?} wins after {} plies", board.side.opponent(), ply);
+                println!(
+                    "\ncheckmate — {:?} wins after {} plies",
+                    board.side.opponent(),
+                    ply
+                );
             } else {
                 println!("\nstalemate after {} plies", ply);
             }

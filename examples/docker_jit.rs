@@ -16,19 +16,42 @@ fn main() {
     let layers: Vec<Layer> = cloud_android_layers().into_iter().map(|(l, _)| l).collect();
     println!("image layers:");
     for l in &layers {
-        println!("  {}  {:>8} KiB  {:>5} files  {}", l.digest.short(), l.size / 1024, l.files, l.description);
+        println!(
+            "  {}  {:>8} KiB  {:>5} files  {}",
+            l.digest.short(),
+            l.size / 1024,
+            l.files,
+            l.description
+        );
     }
     let manifest = Manifest::new("rattrap/cloud-android", "4.4-r2", &layers);
     let image = manifest.reference();
     registry.push(manifest, layers);
-    println!("\npushed {image} ({} MiB in registry)\n", registry.stored_bytes() >> 20);
+    println!(
+        "\npushed {image} ({} MiB in registry)\n",
+        registry.stored_bytes() >> 20
+    );
 
     // Reference points from Table I.
-    println!("Android VM boot (Table I)         : {:.2}s", RuntimeClass::AndroidVm.boot_sequence().total().as_secs_f64());
-    println!("LXC CAC, prebuilt rootfs (Table I): {:.2}s\n", RuntimeClass::CacOptimized.boot_sequence().total().as_secs_f64());
+    println!(
+        "Android VM boot (Table I)         : {:.2}s",
+        RuntimeClass::AndroidVm
+            .boot_sequence()
+            .total()
+            .as_secs_f64()
+    );
+    println!(
+        "LXC CAC, prebuilt rootfs (Table I): {:.2}s\n",
+        RuntimeClass::CacOptimized
+            .boot_sequence()
+            .total()
+            .as_secs_f64()
+    );
 
     let mut eager = Daemon::new();
-    let cold = eager.create(&registry, &image, PullStrategy::Eager, SimTime::ZERO).expect("pushed");
+    let cold = eager
+        .create(&registry, &image, PullStrategy::Eager, SimTime::ZERO)
+        .expect("pushed");
     println!(
         "docker cold, eager pull  : {:.2}s  ({} layers, {} MiB moved)",
         cold.latency.as_secs_f64(),
@@ -37,7 +60,9 @@ fn main() {
     );
 
     let mut lazy = Daemon::new();
-    let jit = lazy.create(&registry, &image, PullStrategy::Lazy, SimTime::ZERO).expect("pushed");
+    let jit = lazy
+        .create(&registry, &image, PullStrategy::Lazy, SimTime::ZERO)
+        .expect("pushed");
     let c = lazy.container(jit.container).expect("created");
     println!(
         "docker cold, lazy pull   : {:.2}s  (startup set only; {} MiB fault in later)",
@@ -45,7 +70,9 @@ fn main() {
         c.lazy_remainder >> 20
     );
 
-    let warm = eager.create(&registry, &image, PullStrategy::Eager, SimTime::ZERO).expect("pushed");
+    let warm = eager
+        .create(&registry, &image, PullStrategy::Eager, SimTime::ZERO)
+        .expect("pushed");
     println!(
         "docker warm cache        : {:.2}s  ({} layers cached, 0 bytes moved)",
         warm.latency.as_secs_f64(),

@@ -18,9 +18,15 @@ fn main() {
     println!("$ insmod android_container_driver/*.ko");
     println!("$ lsmod\n{}", lsmod(&host_a.kernel));
 
-    let (c1, t1) = host_a.provision(RuntimeClass::CacOptimized).expect("fresh host");
-    let (_c2, _) = host_a.provision(RuntimeClass::CacOptimized).expect("fresh host");
-    host_a.load_app(c1, "com.bench.chessgame", 2 << 20).expect("live");
+    let (c1, t1) = host_a
+        .provision(RuntimeClass::CacOptimized)
+        .expect("fresh host");
+    let (_c2, _) = host_a
+        .provision(RuntimeClass::CacOptimized)
+        .expect("fresh host");
+    host_a
+        .load_app(c1, "com.bench.chessgame", 2 << 20)
+        .expect("live");
     println!("provisioned two cloud android containers (first in {t1})\n");
     println!("$ ps --namespaces\n{}", ps(&host_a.kernel));
     println!("$ cat /proc/meminfo\n{}", meminfo(&host_a.kernel));
@@ -36,6 +42,8 @@ fn main() {
     );
     println!("\n=== host B after migration ===");
     println!("$ ps --namespaces\n{}", ps(&host_b.kernel));
-    let reload = host_b.load_app(receipt.new_id, "com.bench.chessgame", 2 << 20).expect("live");
+    let reload = host_b
+        .load_app(receipt.new_id, "com.bench.chessgame", 2 << 20)
+        .expect("live");
     println!("chess code still warm on host B: classload cost {reload}");
 }

@@ -12,21 +12,22 @@ use simkit::units::Megacycles;
 /// (camera — pinned local), preprocessing, and the heavy recognition
 /// pipeline.
 fn ocr_app() -> CallGraph {
-    let node = |name: &str, mc: f64, state: u64, offloadable: bool, children: Vec<usize>| MethodNode {
-        name: name.into(),
-        compute: Megacycles(mc),
-        state_bytes: state,
-        offloadable,
-        children,
-    };
+    let node =
+        |name: &str, mc: f64, state: u64, offloadable: bool, children: Vec<usize>| MethodNode {
+            name: name.into(),
+            compute: Megacycles(mc),
+            state_bytes: state,
+            offloadable,
+            children,
+        };
     CallGraph::new(vec![
-        node("onScanButton", 4.0, 0, false, vec![1, 2]),          // 0: UI
-        node("capturePhoto", 120.0, 0, false, vec![]),            // 1: camera
-        node("runOcr", 30.0, 290_000, true, vec![3, 4, 5]),       // 2: pipeline root
-        node("binarize", 450.0, 290_000, true, vec![]),           // 3
-        node("segmentGlyphs", 900.0, 120_000, true, vec![]),      // 4
-        node("matchTemplates", 5_200.0, 60_000, true, vec![6]),   // 5: the JNI hot loop
-        node("rankCandidates", 300.0, 8_000, true, vec![]),       // 6
+        node("onScanButton", 4.0, 0, false, vec![1, 2]), // 0: UI
+        node("capturePhoto", 120.0, 0, false, vec![]),   // 1: camera
+        node("runOcr", 30.0, 290_000, true, vec![3, 4, 5]), // 2: pipeline root
+        node("binarize", 450.0, 290_000, true, vec![]),  // 3
+        node("segmentGlyphs", 900.0, 120_000, true, vec![]), // 4
+        node("matchTemplates", 5_200.0, 60_000, true, vec![6]), // 5: the JNI hot loop
+        node("rankCandidates", 300.0, 8_000, true, vec![]), // 6
     ])
     .expect("valid tree")
 }
@@ -43,14 +44,23 @@ fn main() {
             rtt_s: p.rtt.as_secs_f64(),
         };
         let plan = partition(&app, &costs);
-        println!("--- {} (uplink {:.2} Mbps, rtt {:.0} ms) ---", scenario.label(),
-            p.upstream_bps * 8.0 / 1e6, p.rtt.as_millis_f64());
+        println!(
+            "--- {} (uplink {:.2} Mbps, rtt {:.0} ms) ---",
+            scenario.label(),
+            p.upstream_bps * 8.0 / 1e6,
+            p.rtt.as_millis_f64()
+        );
         for i in 0..app.len() {
             let place = match plan.placements[i] {
                 MethodPlacement::Remote => "CLOUD",
                 MethodPlacement::Local => "device",
             };
-            println!("  {:<16} {:>7.0} Mc  → {}", app.node(i).name, app.node(i).compute.0, place);
+            println!(
+                "  {:<16} {:>7.0} Mc  → {}",
+                app.node(i).name,
+                app.node(i).compute.0,
+                place
+            );
         }
         println!(
             "  end-to-end {:.2}s vs all-local {:.2}s  (speedup {:.2}x)\n",

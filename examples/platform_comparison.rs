@@ -20,7 +20,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("=== platform comparison: {} (5 devices x 20 requests, LAN WiFi) ===\n", kind.label());
+    println!(
+        "=== platform comparison: {} (5 devices x 20 requests, LAN WiFi) ===\n",
+        kind.label()
+    );
 
     let mut table = Table::new(
         "mean per-request breakdown",
@@ -42,14 +45,20 @@ fn main() {
         table.row(&[
             platform.label().to_string(),
             fnum(rep.mean_of(|r| r.response_time().as_secs_f64()), 3),
-            fnum(rep.mean_of(|r| r.phases.runtime_preparation.as_secs_f64()), 3),
+            fnum(
+                rep.mean_of(|r| r.phases.runtime_preparation.as_secs_f64()),
+                3,
+            ),
             fnum(
                 rep.mean_of(|r| {
                     (r.phases.data_transfer + r.phases.network_connection).as_secs_f64()
                 }),
                 3,
             ),
-            fnum(rep.mean_of(|r| r.phases.computation_execution.as_secs_f64()), 3),
+            fnum(
+                rep.mean_of(|r| r.phases.computation_execution.as_secs_f64()),
+                3,
+            ),
             fpct(rep.failure_rate()),
             fnum(rep.total_upload_bytes() as f64 / 1e6, 2),
             fnum(rep.peak_disk_bytes as f64 / 1e9, 2),

@@ -30,8 +30,13 @@ fn main() {
     );
 
     // 3. Provision an optimized Cloud Android Container.
-    let (cac, setup) = host.provision(RuntimeClass::CacOptimized).expect("room on a fresh host");
-    println!("cloud android container ready in {} (vs 28.72s for an Android VM)", setup);
+    let (cac, setup) = host
+        .provision(RuntimeClass::CacOptimized)
+        .expect("room on a fresh host");
+    println!(
+        "cloud android container ready in {} (vs 28.72s for an Android VM)",
+        setup
+    );
     let inst = host.instance(cac).expect("provisioned");
     println!(
         "container #{} — namespace {}, private disk {} KiB, zygote pid {}",
@@ -48,15 +53,24 @@ fn main() {
     let aid = aid_of(app);
     let profile = WorkloadKind::ChessGame.profile();
     if !warehouse.lookup(&aid) {
-        println!("\ncode cache MISS for {app} (AID {}) — uploading {} KiB APK", aid.0, profile.app_code_bytes / 1024);
+        println!(
+            "\ncode cache MISS for {app} (AID {}) — uploading {} KiB APK",
+            aid.0,
+            profile.app_code_bytes / 1024
+        );
         warehouse.insert(aid.clone(), app, profile.app_code_bytes);
     }
-    let load = host.load_app(cac, app, profile.app_code_bytes).expect("container is live");
+    let load = host
+        .load_app(cac, app, profile.app_code_bytes)
+        .expect("container is live");
     warehouse.note_loaded(&aid, cac);
     println!("classloader took {load}");
 
     // 5. Execute the offloaded computation — a real alpha-beta search.
-    let req = ChessRequest { fen: Board::start().to_fen(), depth: 4 };
+    let req = ChessRequest {
+        fen: Board::start().to_fen(),
+        depth: 4,
+    };
     let result = execute(&req).expect("valid FEN");
     println!(
         "\noffloaded search: best move {} (score {} cp, {} nodes, depth {})",
@@ -72,9 +86,16 @@ fn main() {
     println!(
         "second request: cache HIT — {} KiB of upload avoided, CID hint = {:?}",
         warehouse.stats().bytes_saved / 1024,
-        warehouse.containers_with(&aid).iter().map(|c| c.0).collect::<Vec<_>>()
+        warehouse
+            .containers_with(&aid)
+            .iter()
+            .map(|c| c.0)
+            .collect::<Vec<_>>()
     );
 
     host.teardown(cac).expect("clean teardown");
-    println!("\ncontainer torn down; host memory in use: {} bytes", host.memory_reserved());
+    println!(
+        "\ncontainer torn down; host memory in use: {} bytes",
+        host.memory_reserved()
+    );
 }

@@ -7,7 +7,9 @@ use simkit::SimRng;
 use workloads::chess::{execute as chess_execute, Board, ChessRequest};
 use workloads::linpack;
 use workloads::ocr::{execute as ocr_execute, generate_request};
-use workloads::virusscan::{execute as scan_execute, generate_corpus, generate_database, ScanRequest};
+use workloads::virusscan::{
+    execute as scan_execute, generate_corpus, generate_database, ScanRequest,
+};
 
 fn main() {
     let mut rng = SimRng::new(0xBEEF);
@@ -16,10 +18,19 @@ fn main() {
     // --- OCR: render noisy text, recognise it back ---------------------
     let req = generate_request(6, &mut rng);
     let result = ocr_execute(&req);
-    println!("[OCR] image {}x{} ({} KiB)", req.image.width, req.image.height, req.image.byte_size() / 1024);
+    println!(
+        "[OCR] image {}x{} ({} KiB)",
+        req.image.width,
+        req.image.height,
+        req.image.byte_size() / 1024
+    );
     println!("      truth: {:?}", req.truth);
-    println!("      read : {:?} (confidence {:.1}%, {} template comparisons)\n",
-        result.text, result.confidence * 100.0, result.comparisons);
+    println!(
+        "      read : {:?} (confidence {:.1}%, {} template comparisons)\n",
+        result.text,
+        result.confidence * 100.0,
+        result.comparisons
+    );
 
     // --- ChessGame: alpha-beta search on the Kiwipete position ----------
     let chess = ChessRequest {
@@ -28,8 +39,12 @@ fn main() {
     };
     let search = chess_execute(&chess).expect("valid FEN");
     println!("[ChessGame] position: {}", chess.fen);
-    println!("            best move {} (score {} cp, {} nodes searched)\n",
-        search.best_move.expect("moves exist").uci(), search.score, search.nodes);
+    println!(
+        "            best move {} (score {} cp, {} nodes searched)\n",
+        search.best_move.expect("moves exist").uci(),
+        search.score,
+        search.nodes
+    );
     let perft3 = workloads::chess::perft(&Board::start(), 3);
     println!("            movegen sanity: perft(3) from start = {perft3} (expect 8902)\n");
 
@@ -38,13 +53,32 @@ fn main() {
     let corpus = generate_corpus(60, 8192, 0.2, &db, &mut rng);
     let truth: usize = corpus.iter().map(|f| f.implanted.len()).sum();
     let report = scan_execute(&db, &ScanRequest { corpus });
-    println!("[VirusScan] {} signatures, {} files, {} KiB scanned",
-        db.len(), report.files_scanned, report.bytes_scanned / 1024);
-    println!("            detections: {} (ground truth: {truth})\n", report.detections.len());
+    println!(
+        "[VirusScan] {} signatures, {} files, {} KiB scanned",
+        db.len(),
+        report.files_scanned,
+        report.bytes_scanned / 1024
+    );
+    println!(
+        "            detections: {} (ground truth: {truth})\n",
+        report.detections.len()
+    );
 
     // --- Linpack: LU solve with residual check ---------------------------
     let lp = linpack::run(300, &mut rng).expect("random matrices are nonsingular");
-    println!("[Linpack] n={}  residual {:.3e}  normalized residual {:.3}  ({:.1} MFLOP of work)",
-        lp.n, lp.residual, lp.normalized_residual, lp.flops / 1e6);
-    println!("          verdict: {}", if lp.normalized_residual < 16.0 { "PASSED" } else { "FAILED" });
+    println!(
+        "[Linpack] n={}  residual {:.3e}  normalized residual {:.3}  ({:.1} MFLOP of work)",
+        lp.n,
+        lp.residual,
+        lp.normalized_residual,
+        lp.flops / 1e6
+    );
+    println!(
+        "          verdict: {}",
+        if lp.normalized_residual < 16.0 {
+            "PASSED"
+        } else {
+            "FAILED"
+        }
+    );
 }

@@ -14,27 +14,45 @@ fn main() {
     // from the same app then share one permission table.
     controller.admit("com.bench.ocr", 280 * 1024);
     controller.admit("com.evil.miner", 4 * 1024);
-    println!("analyzed {} apps (analysis happens once per app)\n", controller.analyzed_apps());
+    println!(
+        "analyzed {} apps (analysis happens once per app)\n",
+        controller.analyzed_apps()
+    );
 
     // The benign OCR app's workflow sails through the filter.
     let benign = [
-        Action::NetConnect { dest: "device-0".into() },
+        Action::NetConnect {
+            dest: "device-0".into(),
+        },
         Action::FsWrite { bytes: 300 * 1024 },
-        Action::BinderCall { service: "offloadcontroller".into() },
+        Action::BinderCall {
+            service: "offloadcontroller".into(),
+        },
         Action::SpawnProcess,
     ];
     for action in &benign {
         let verdict = controller.check("com.bench.ocr", action);
-        println!("ocr     {action:<55?} → {}", if verdict.is_ok() { "allowed" } else { "DENIED" });
+        println!(
+            "ocr     {action:<55?} → {}",
+            if verdict.is_ok() { "allowed" } else { "DENIED" }
+        );
     }
 
     // The malicious app probes beyond its permission table.
     println!();
     let attacks = [
-        Action::BinderCall { service: "telephony".into() }, // not an offloading service
-        Action::WarehouseRead { aid: "8d6d1b5".into() },    // another app's cached code
-        Action::FsWrite { bytes: 500 * 1024 * 1024 },       // way over its declared payload
-        Action::NetConnect { dest: "device-0".into() },     // legitimate… but too late
+        Action::BinderCall {
+            service: "telephony".into(),
+        }, // not an offloading service
+        Action::WarehouseRead {
+            aid: "8d6d1b5".into(),
+        }, // another app's cached code
+        Action::FsWrite {
+            bytes: 500 * 1024 * 1024,
+        }, // way over its declared payload
+        Action::NetConnect {
+            dest: "device-0".into(),
+        }, // legitimate… but too late
     ];
     for action in &attacks {
         let verdict = controller.check("com.evil.miner", action);

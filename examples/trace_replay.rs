@@ -10,7 +10,10 @@ use traces::{generate, run_trace_experiment, stats, TraceConfig};
 use workloads::WorkloadKind;
 
 fn main() {
-    let hours: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let cfg = TraceConfig {
         users: 5,
         duration: SimDuration::from_secs(hours * 3600),
@@ -29,7 +32,13 @@ fn main() {
     let results = run_trace_experiment(WorkloadKind::ChessGame, &cfg, &PlatformKind::ALL);
     let mut table = Table::new(
         "trace replay (ChessGame)",
-        &["Platform", "Requests", "Failures", "Median speedup", "P(speedup>3)"],
+        &[
+            "Platform",
+            "Requests",
+            "Failures",
+            "Median speedup",
+            "P(speedup>3)",
+        ],
     );
     for r in &results {
         table.row(&[

@@ -14,7 +14,9 @@ fn cluster_survives_host_drain() {
     let mut c = Cluster::new(2, HostSpec::paper_server());
     for _ in 0..3 {
         let (id, _) = c.host_mut(0).provision(RuntimeClass::CacOptimized).unwrap();
-        c.host_mut(0).load_app(id, WorkloadKind::Ocr.app_id(), 1_435_648).unwrap();
+        c.host_mut(0)
+            .load_app(id, WorkloadKind::Ocr.app_id(), 1_435_648)
+            .unwrap();
     }
     let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
     assert!(!moves.is_empty());
@@ -40,7 +42,12 @@ fn migration_between_standalone_hosts_preserves_userspace() {
     let zygote = inst.zygote_pid.expect("containers have a zygote");
     let hostkernel::SyscallRet::Pid(app) = dst
         .kernel
-        .syscall(zygote, hostkernel::Syscall::Fork { child_name: "post-migration".into() })
+        .syscall(
+            zygote,
+            hostkernel::Syscall::Fork {
+                child_name: "post-migration".into(),
+            },
+        )
         .unwrap()
     else {
         panic!("fork returns a pid");
@@ -49,7 +56,10 @@ fn migration_between_standalone_hosts_preserves_userspace() {
         .kernel
         .syscall(
             app,
-            hostkernel::Syscall::BinderTransact { service: "activity".into(), payload_bytes: 32 },
+            hostkernel::Syscall::BinderTransact {
+                service: "activity".into(),
+                payload_bytes: 32,
+            },
         )
         .unwrap();
     assert!(matches!(served, hostkernel::SyscallRet::ServedBy(_)));
@@ -69,8 +79,12 @@ fn docker_registry_feeds_a_whole_cluster() {
     let mut total_transferred = 0;
     for _ in 0..3 {
         let mut daemon = Daemon::new();
-        let first = daemon.create(&registry, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
-        let second = daemon.create(&registry, &image, PullStrategy::Eager, SimTime::ZERO).unwrap();
+        let first = daemon
+            .create(&registry, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
+        let second = daemon
+            .create(&registry, &image, PullStrategy::Eager, SimTime::ZERO)
+            .unwrap();
         total_transferred += first.pull.bytes_transferred + second.pull.bytes_transferred;
         assert_eq!(second.pull.bytes_transferred, 0, "per-host cache dedups");
     }
@@ -82,12 +96,17 @@ fn docker_registry_feeds_a_whole_cluster() {
 fn placement_and_rebalance_keep_accounting_consistent() {
     let mut c = Cluster::new(3, HostSpec::paper_server());
     for _ in 0..7 {
-        c.provision_least_loaded(RuntimeClass::CacOptimized).unwrap();
+        c.provision_least_loaded(RuntimeClass::CacOptimized)
+            .unwrap();
     }
     let before_count = c.instance_count();
     let before_mem = c.memory_reserved();
     let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
-    assert_eq!(c.instance_count(), before_count, "rebalance conserves instances");
+    assert_eq!(
+        c.instance_count(),
+        before_count,
+        "rebalance conserves instances"
+    );
     assert_eq!(c.memory_reserved(), before_mem, "…and total memory");
     // Least-loaded placement means at most one container of imbalance,
     // so rebalancing has nothing to do.

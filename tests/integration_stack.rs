@@ -12,13 +12,17 @@ fn stock_server_becomes_offloading_host_without_reboot() {
     let mut kernel = Kernel::new(HostSpec::paper_server());
     let ns = kernel.create_namespace();
     let app = kernel.processes.spawn(ns, "com.bench.ocr", 0);
-    let err = kernel.syscall(app, Syscall::OpenDevice(DeviceKind::Binder)).unwrap_err();
+    let err = kernel
+        .syscall(app, Syscall::OpenDevice(DeviceKind::Binder))
+        .unwrap_err();
     assert!(matches!(err, KernelError::NoSuchDevice { .. }));
 
     // …until the Android Container Driver is insmod'ed, live.
     let t = kernel.load_android_container_driver();
     assert!(t.as_millis() < 200, "no recompile, no reboot: {t}");
-    assert!(kernel.syscall(app, Syscall::OpenDevice(DeviceKind::Binder)).is_ok());
+    assert!(kernel
+        .syscall(app, Syscall::OpenDevice(DeviceKind::Binder))
+        .is_ok());
 }
 
 #[test]
@@ -41,27 +45,47 @@ fn container_userspace_runs_on_shared_kernel_with_isolation() {
     let zygote_a = host.instance(a).unwrap().zygote_pid.unwrap();
     let SyscallRet::Pid(app_a) = host
         .kernel
-        .syscall(zygote_a, Syscall::Fork { child_name: "com.bench.chessgame".into() })
+        .syscall(
+            zygote_a,
+            Syscall::Fork {
+                child_name: "com.bench.chessgame".into(),
+            },
+        )
         .unwrap()
     else {
         panic!("fork returns pid")
     };
     let SyscallRet::ServedBy(server) = host
         .kernel
-        .syscall(app_a, Syscall::BinderTransact { service: "activity".into(), payload_bytes: 64 })
+        .syscall(
+            app_a,
+            Syscall::BinderTransact {
+                service: "activity".into(),
+                payload_bytes: 64,
+            },
+        )
         .unwrap()
     else {
         panic!("transact returns server pid")
     };
     let server_ns = host.kernel.processes.get(server).unwrap().namespace;
-    assert_eq!(server_ns, host.instance(a).unwrap().namespace, "served inside namespace a");
+    assert_eq!(
+        server_ns,
+        host.instance(a).unwrap().namespace,
+        "served inside namespace a"
+    );
 
     // Teardown of a leaves b fully functional.
     host.teardown(a).unwrap();
     let zygote_b = host.instance(b).unwrap().zygote_pid.unwrap();
     assert!(host
         .kernel
-        .syscall(zygote_b, Syscall::Fork { child_name: "still-works".into() })
+        .syscall(
+            zygote_b,
+            Syscall::Fork {
+                child_name: "still-works".into()
+            }
+        )
         .is_ok());
 }
 
@@ -74,8 +98,10 @@ fn shared_layer_is_physically_shared_across_the_fleet() {
         let (id, _) = host.provision(RuntimeClass::CacOptimized).unwrap();
         ids.push(id);
     }
-    let per_container: u64 =
-        ids.iter().map(|&id| host.instance(id).unwrap().exclusive_disk_bytes).sum();
+    let per_container: u64 = ids
+        .iter()
+        .map(|&id| host.instance(id).unwrap().exclusive_disk_bytes)
+        .sum();
     assert_eq!(host.total_disk_usage(), shared + per_container);
     // Six containers cost far less than six images.
     assert!(host.total_disk_usage() < shared + 6 * 8 * 1024 * 1024);
@@ -132,7 +158,10 @@ fn kernel_memory_fully_reclaimed_after_last_container() {
     // Busy modules refuse to unload while containers reference them.
     assert!(host.kernel.unload_module("android_binder.ko").is_err());
     host.teardown(a).unwrap();
-    assert!(host.kernel.unload_module("android_binder.ko").is_err(), "b still holds a ref");
+    assert!(
+        host.kernel.unload_module("android_binder.ko").is_err(),
+        "b still holds a ref"
+    );
     host.teardown(b).unwrap();
     for m in hostkernel::ANDROID_CONTAINER_DRIVER {
         host.kernel.unload_module(m.name).unwrap();

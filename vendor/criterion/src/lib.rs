@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! patches `criterion` to this vendored harness. It implements the
+//! surface the workspace's benches use — `Criterion::default()`,
+//! `sample_size`, `benchmark_group`, `bench_function`, `throughput`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring simple
+//! wall-clock medians with a small time budget per benchmark. No
+//! statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget; keeps full bench suites (and
+/// accidental execution under `cargo test`) fast.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// How batched inputs are grouped per measurement. All variants behave
+/// identically here: setup runs once per iteration, unmeasured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation in real criterion.
+    SmallInput,
+    /// Large inputs: fewer per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        let mut group = BenchmarkGroup {
+            _parent: self,
+            name: String::new(),
+            sample_size,
+            throughput: None,
+        };
+        group.bench_function(name, f);
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let label = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!("{label:<40} time: {per_iter:>12.3?} ({} iters)", b.iters);
+        if let (Some(Throughput::Bytes(bytes)), true) = (self.throughput, b.iters > 0) {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                let mibps = bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt: {mibps:.1} MiB/s"));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Close the group (prints nothing extra; parity with upstream).
+    pub fn finish(self) {}
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; the return value is black-boxed
+    /// so the work is not optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One calibration pass sizes the run to the time budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed();
+        let budget_iters = if first.is_zero() {
+            self.sample_size as u64
+        } else {
+            (TIME_BUDGET.as_nanos() / first.as_nanos().max(1)) as u64
+        };
+        let iters = budget_iters.clamp(1, self.sample_size as u64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed() + first;
+        self.iters = iters + 1;
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let first = t0.elapsed();
+        let budget_iters = if first.is_zero() {
+            self.sample_size as u64
+        } else {
+            (TIME_BUDGET.as_nanos() / first.as_nanos().max(1)) as u64
+        };
+        let iters = budget_iters.clamp(1, self.sample_size as u64);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.total = measured + first;
+        self.iters = iters + 1;
+    }
+}
+
+/// Defines a benchmark group function, in either the positional or the
+/// `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("rev", |b| {
+            b.iter_batched(
+                || (0..64u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    mod grouped {
+        use super::super::*;
+
+        fn noop_bench(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group!(benches, noop_bench);
+        criterion_group! {
+            name = configured;
+            config = Criterion::default().sample_size(7);
+            targets = noop_bench
+        }
+
+        #[test]
+        fn macros_expand_and_run() {
+            benches();
+            configured();
+        }
+    }
+}

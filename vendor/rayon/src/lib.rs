@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! patches `rayon` to this vendored implementation. It provides the
+//! surface the workspace uses — `par_iter()` on slices, arrays and
+//! vectors, `into_par_iter()` on vectors and ranges, and
+//! `.map(..).collect()` — executed genuinely in parallel on scoped
+//! `std::thread`s while preserving input order in the collected
+//! output, so parallel results are indistinguishable from serial ones.
+//!
+//! This matters for the workspace's determinism contract: experiment
+//! drivers fan replications out with `par_iter` and must produce
+//! byte-identical tables regardless of scheduling.
+
+#![forbid(unsafe_code)]
+
+/// A pending parallel iteration over already-materialized items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iteration, ready to collect.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Number of items to be processed.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there is nothing to process.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Execute the map across worker threads and collect results in
+    /// the original input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Map `items` in parallel, returning results in input order.
+///
+/// Contiguous chunks are handed to scoped threads and re-concatenated
+/// in chunk order, so ordering never depends on scheduling. Panics in
+/// workers propagate to the caller.
+fn run_ordered<I, R, F>(mut items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    while !items.is_empty() {
+        let take = chunk.min(items.len());
+        let rest = items.split_off(take);
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|ch| s.spawn(move || ch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The per-item type (a reference).
+    type Item: Send + 'a;
+
+    /// Start a parallel iteration borrowing from `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Consuming entry point: `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The per-item type (owned).
+    type Item: Send;
+
+    /// Start a parallel iteration consuming `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_static_arrays() {
+        static SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+        let v: Vec<u64> = SEEDS.par_iter().map(|&s| s + 1).collect();
+        assert_eq!(v, vec![12, 23, 34, 45, 56]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(v, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::<u8>::new().par_iter().map(|&x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn matches_serial_for_any_length() {
+        for n in [1usize, 2, 3, 7, 64, 257] {
+            let xs: Vec<usize> = (0..n).collect();
+            let par: Vec<usize> = xs.par_iter().map(|&x| x * x).collect();
+            let ser: Vec<usize> = xs.iter().map(|&x| x * x).collect();
+            assert_eq!(par, ser, "n = {n}");
+        }
+    }
+}
