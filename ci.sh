@@ -4,6 +4,27 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> toolchain pin"
+# The golden digests depend on consistent compiled semantics: verify
+# the active toolchain matches the channel pinned in
+# rust-toolchain.toml. Skipped gracefully where rustup is absent
+# (e.g. distro-packaged cargo) — the pin is advisory there.
+if command -v rustup >/dev/null 2>&1; then
+    pinned=$(sed -n 's/^channel = "\(.*\)"/\1/p' rust-toolchain.toml)
+    active=$(rustup show active-toolchain 2>/dev/null | awk 'NR==1{print $1}')
+    case "$active" in
+        "$pinned"-*|"$pinned")
+            echo "    active toolchain '$active' matches pinned channel '$pinned'" ;;
+        *)
+            echo "    ERROR: active toolchain '$active' does not match pinned channel '$pinned'" >&2
+            echo "    (rust-toolchain.toml should have selected it; is an override set?)" >&2
+            exit 1 ;;
+    esac
+else
+    echo "    rustup not found; skipping toolchain verification"
+fi
+rustc --version
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -18,11 +18,11 @@ fn mean_phases(rep: &SimulationReport) -> (f64, f64, f64) {
     )
 }
 
-/// Mean phase decomposition over [`super::REPLICATIONS`] independent
+/// Mean phase decomposition over [`super::replications`] independent
 /// runs on derived seeds, executed in parallel — results are identical
 /// to the serial loop (the vendored `rayon` preserves input order).
 fn replicated_phases(platform: PlatformKind, kind: WorkloadKind, seed: u64) -> (f64, f64, f64) {
-    let runs = super::replicate(seed, super::REPLICATIONS, |s| {
+    let runs = super::replicate(seed, super::replications(), |s| {
         let cfg = ScenarioConfig::paper_default(platform.config(), kind, s);
         mean_phases(&run_scenario(cfg))
     });
@@ -157,7 +157,7 @@ mod tests {
         let seed = super::super::DEFAULT_SEED;
         let parallel = replicated_phases(PlatformKind::Rattrap, WorkloadKind::Ocr, seed);
         // The serial reference: same derived seeds, plain loop.
-        let runs: Vec<(f64, f64, f64)> = (0..super::super::REPLICATIONS)
+        let runs: Vec<(f64, f64, f64)> = (0..super::super::replications())
             .map(|i| {
                 let cfg = ScenarioConfig::paper_default(
                     PlatformKind::Rattrap.config(),

@@ -45,6 +45,36 @@ pub const DEFAULT_SEED: u64 = 20170529; // IPDPS'17 started May 29, 2017
 /// Number of independent replications the averaging experiments run.
 pub const REPLICATIONS: u64 = 3;
 
+/// `true` when `RATTRAP_BENCH_SMOKE` is set (to anything but `0`): CI
+/// smoke mode. Experiments shrink to one replication and reduced
+/// request counts so the whole suite finishes in seconds. Smoke runs
+/// check that the harness *executes*, not that the paper's numbers
+/// hold — scorecards still render but bands may miss.
+pub fn smoke() -> bool {
+    std::env::var("RATTRAP_BENCH_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Replications to run: [`REPLICATIONS`] normally, 1 in smoke mode.
+pub fn replications() -> u64 {
+    if smoke() {
+        1
+    } else {
+        REPLICATIONS
+    }
+}
+
+/// Per-device request count for sweep experiments: `full` normally, a
+/// quarter (at least 2) in smoke mode.
+pub fn smoke_requests(full: u32) -> u32 {
+    if smoke() {
+        (full / 4).max(2)
+    } else {
+        full
+    }
+}
+
 /// Run `n` independent replications of `f` in parallel, one derived
 /// seed each, returning results in replication order.
 ///

@@ -1,17 +1,50 @@
-//! Robustness — do the headline reproduction results hold across seeds,
-//! or were they tuned to one lucky sample? Runs the Fig. 9 speedup
-//! bands and the Fig. 11 ordering on several independent seeds in
-//! parallel and reports mean ± stddev.
+//! Robustness — two studies in one experiment.
+//!
+//! **Seed robustness**: do the headline reproduction results hold
+//! across seeds, or were they tuned to one lucky sample? Runs the
+//! Fig. 9 speedup bands and the Fig. 11 ordering on several
+//! independent seeds in parallel and reports mean ± stddev.
+//!
+//! **Fault sweep**: how do the resilience policies degrade under an
+//! increasingly hostile fault plane? Sweeps fault intensity × policy
+//! (fail-fast / retry / retry+fallback) on the Rattrap platform and
+//! reports completion rate, retries, fallbacks, time lost to faults,
+//! and the p50/p99 response times of delivered requests against the
+//! no-fault baseline. The rate-0 column doubles as a determinism
+//! check: an explicit zero-rate plan must be bit-identical to the
+//! fault-free engine.
 
 use super::ExperimentOutput;
 use analysis::{fnum, Scorecard, Table};
-use rattrap::{run_scenario, PlatformKind, ScenarioConfig};
+use rattrap::{run_scenario, PlatformKind, ResiliencePolicy, ScenarioConfig, SimulationReport};
 use rayon::prelude::*;
-use simkit::OnlineStats;
+use simkit::{Cdf, FaultConfig, OnlineStats};
 use workloads::WorkloadKind;
 
 /// Seeds deliberately unrelated to the default.
 const SEEDS: [u64; 5] = [11, 2_027, 31_337, 424_242, 9_999_991];
+
+/// Fault intensities swept (multiplier on [`FaultConfig::scaled`]'s
+/// per-hour base rates; 0 is the determinism control).
+const INTENSITIES: [f64; 4] = [0.0, 1.0, 3.0, 6.0];
+
+/// The policies compared at every intensity.
+fn policies() -> [(&'static str, ResiliencePolicy); 3] {
+    [
+        ("fail-fast", ResiliencePolicy::none()),
+        ("retry", ResiliencePolicy::retry_only()),
+        ("standard", ResiliencePolicy::standard()),
+    ]
+}
+
+fn seeds() -> &'static [u64] {
+    // Smoke mode: two seeds still exercise the cross-seed machinery.
+    if super::smoke() {
+        &SEEDS[..2]
+    } else {
+        &SEEDS
+    }
+}
 
 struct SeedResult {
     prep_speedup: f64,
@@ -27,9 +60,15 @@ fn one_seed(seed: u64) -> SeedResult {
     let mut compute = Vec::new();
     let mut fail = [0.0f64; 2];
     let mut means = std::collections::BTreeMap::new();
-    for kind in WorkloadKind::ALL {
+    let workloads = WorkloadKind::ALL;
+    for kind in workloads {
         for platform in PlatformKind::ALL {
-            let cfg = ScenarioConfig::paper_default(platform.config(), kind, seed);
+            let cfg = ScenarioConfig {
+                requests_per_device: super::smoke_requests(
+                    rattrap::config::PAPER_REQUESTS_PER_DEVICE,
+                ),
+                ..ScenarioConfig::paper_default(platform.config(), kind, seed)
+            };
             let rep = run_scenario(cfg);
             means.insert(
                 (kind, platform),
@@ -44,14 +83,16 @@ fn one_seed(seed: u64) -> SeedResult {
             );
         }
     }
-    for kind in WorkloadKind::ALL {
+    // Each workload contributes equally to the platform failure rates.
+    let per_workload = workloads.len() as f64;
+    for kind in workloads {
         let vm = means[&(kind, PlatformKind::VmBaseline)];
         let rt = means[&(kind, PlatformKind::Rattrap)];
         compute.push(vm.0 / rt.0);
         prep.push(vm.1 / rt.1);
         transfer.push(vm.2 / rt.2);
-        fail[0] += rt.3 / 4.0;
-        fail[1] += vm.3 / 4.0;
+        fail[0] += rt.3 / per_workload;
+        fail[1] += vm.3 / per_workload;
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     SeedResult {
@@ -63,9 +104,66 @@ fn one_seed(seed: u64) -> SeedResult {
     }
 }
 
+// ---- fault sweep ---------------------------------------------------------
+
+struct SweepCell {
+    intensity: f64,
+    policy: &'static str,
+    digest: u64,
+    completion_rate: f64,
+    retries: u64,
+    fallbacks: u64,
+    abandoned: u64,
+    time_lost_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+}
+
+fn sweep_cfg(intensity: f64, policy: ResiliencePolicy, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        requests_per_device: super::smoke_requests(rattrap::config::PAPER_REQUESTS_PER_DEVICE),
+        faults: FaultConfig::scaled(intensity),
+        resilience: policy,
+        ..ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, seed)
+    }
+}
+
+fn sweep_cell(
+    intensity: f64,
+    name: &'static str,
+    policy: ResiliencePolicy,
+    seed: u64,
+) -> SweepCell {
+    let rep = run_scenario(sweep_cfg(intensity, policy, seed));
+    cell_of(intensity, name, &rep)
+}
+
+fn cell_of(intensity: f64, policy: &'static str, rep: &SimulationReport) -> SweepCell {
+    let total = rep.requests.len().max(1) as f64;
+    let delivered: Vec<f64> = rep
+        .requests
+        .iter()
+        .filter(|r| !r.abandoned)
+        .map(|r| r.completed_at.saturating_since(r.arrived_at).as_secs_f64())
+        .collect();
+    let cdf = Cdf::from_samples(delivered);
+    SweepCell {
+        intensity,
+        policy,
+        digest: rep.digest(),
+        completion_rate: 1.0 - rep.fault_stats.abandoned as f64 / total,
+        retries: rep.fault_stats.retries,
+        fallbacks: rep.fault_stats.fallbacks,
+        abandoned: rep.fault_stats.abandoned,
+        time_lost_s: rep.fault_stats.time_lost.as_secs_f64(),
+        p50_s: cdf.quantile(0.5).unwrap_or(0.0),
+        p99_s: cdf.quantile(0.99).unwrap_or(0.0),
+    }
+}
+
 /// Run the robustness study (the `seed` argument shifts every seed).
 pub fn run(seed: u64) -> ExperimentOutput {
-    let results: Vec<SeedResult> = SEEDS
+    let results: Vec<SeedResult> = seeds()
         .par_iter()
         .map(|&s| one_seed(s.wrapping_add(seed)))
         .collect();
@@ -84,7 +182,7 @@ pub fn run(seed: u64) -> ExperimentOutput {
     }
 
     let mut table = Table::new(
-        &format!("robustness across {} seeds (mean ± σ)", SEEDS.len()),
+        &format!("robustness across {} seeds (mean ± σ)", seeds().len()),
         &["Metric", "Paper", "Mean", "StdDev"],
     );
     table.row(&[
@@ -117,6 +215,55 @@ pub fn run(seed: u64) -> ExperimentOutput {
         fnum(vm_fail.mean(), 3),
         fnum(vm_fail.std_dev(), 3),
     ]);
+
+    // ---- fault sweep: intensity × policy, all cells in parallel. --------
+    let sweep_seed = super::DEFAULT_SEED.wrapping_add(seed);
+    let grid: Vec<(f64, &'static str, ResiliencePolicy)> = INTENSITIES
+        .iter()
+        .flat_map(|&i| policies().into_iter().map(move |(n, p)| (i, n, p)))
+        .collect();
+    let cells: Vec<SweepCell> = grid
+        .into_par_iter()
+        .map(|(i, n, p)| sweep_cell(i, n, p, sweep_seed))
+        .collect();
+    // The engine's own fault-free run, for the determinism control.
+    let baseline = run_scenario(ScenarioConfig {
+        requests_per_device: super::smoke_requests(rattrap::config::PAPER_REQUESTS_PER_DEVICE),
+        ..ScenarioConfig::paper_default(
+            PlatformKind::Rattrap.config(),
+            WorkloadKind::Ocr,
+            sweep_seed,
+        )
+    });
+    let baseline_cell = cell_of(0.0, "no-fault baseline", &baseline);
+
+    let mut sweep = Table::new(
+        "fault sweep — Rattrap/OCR, intensity × policy",
+        &[
+            "Intensity",
+            "Policy",
+            "Completed",
+            "Retries",
+            "Fallbacks",
+            "Abandoned",
+            "Lost (s)",
+            "p50 (s)",
+            "p99 (s)",
+        ],
+    );
+    for c in std::iter::once(&baseline_cell).chain(cells.iter()) {
+        sweep.row(&[
+            fnum(c.intensity, 1),
+            c.policy.to_string(),
+            format!("{:.1}%", 100.0 * c.completion_rate),
+            c.retries.to_string(),
+            c.fallbacks.to_string(),
+            c.abandoned.to_string(),
+            fnum(c.time_lost_s, 1),
+            fnum(c.p50_s, 2),
+            fnum(c.p99_s, 2),
+        ]);
+    }
 
     let mut sc = Scorecard::new();
     sc.in_band(
@@ -156,9 +303,65 @@ pub fn run(seed: u64) -> ExperimentOutput {
         results.iter().all(|r| r.rattrap_failures < r.vm_failures),
     );
 
+    // Fault-sweep contracts.
+    let at = |i: f64, p: &str| -> &SweepCell {
+        cells
+            .iter()
+            .find(|c| c.intensity == i && c.policy == p)
+            .expect("cell in grid")
+    };
+    let heaviest = *INTENSITIES.last().expect("non-empty sweep");
+    sc.expect(
+        "rate-0 plan is bit-identical to the fault-free engine",
+        &format!("{:#018x}", baseline_cell.digest),
+        &format!("{:#018x}", at(0.0, "fail-fast").digest),
+        at(0.0, "fail-fast").digest == baseline_cell.digest,
+    );
+    sc.expect(
+        "standard policy delivers every request at every intensity",
+        "completion 100% × 4",
+        &format!(
+            "{:?}",
+            INTENSITIES
+                .iter()
+                .map(|&i| at(i, "standard").completion_rate)
+                .collect::<Vec<_>>()
+        ),
+        INTENSITIES
+            .iter()
+            .all(|&i| at(i, "standard").completion_rate == 1.0),
+    );
+    let (ff, rt, st) = (
+        at(heaviest, "fail-fast"),
+        at(heaviest, "retry"),
+        at(heaviest, "standard"),
+    );
+    sc.expect(
+        "completion ordering at the heaviest intensity",
+        "standard ≥ retry ≥ fail-fast",
+        &format!(
+            "{:.2} / {:.2} / {:.2}",
+            st.completion_rate, rt.completion_rate, ff.completion_rate
+        ),
+        st.completion_rate >= rt.completion_rate && rt.completion_rate >= ff.completion_rate,
+    );
+    sc.expect(
+        "heavy faults force retries under a retrying policy",
+        "retries > 0",
+        &format!("{} / {}", rt.retries, st.retries),
+        rt.retries > 0 && st.retries > 0,
+    );
+    sc.less(
+        "faults push the delivered p99 up (standard policy)",
+        "no-fault p99",
+        baseline_cell.p99_s,
+        "heaviest p99",
+        st.p99_s,
+    );
+
     ExperimentOutput {
         id: "Robustness",
-        body: table.render(),
+        body: format!("{}\n{}", table.render(), sweep.render()),
         scorecard: sc,
     }
 }
@@ -171,5 +374,14 @@ mod tests {
     fn robustness_holds_across_seeds() {
         let out = run(0);
         assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+
+    #[test]
+    fn sweep_cells_are_deterministic() {
+        let a = sweep_cell(3.0, "standard", ResiliencePolicy::standard(), 77);
+        let b = sweep_cell(3.0, "standard", ResiliencePolicy::standard(), 77);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.p99_s, b.p99_s);
     }
 }

@@ -15,6 +15,15 @@
 //! event's handler to collect finished transfers (stale epochs return
 //! `None` and must be ignored).
 //!
+//! The fault plane hooks in through two extra mutations, both of which
+//! require the same follow-up [`SharedLink::reschedule`] as any other
+//! mutation (the predicted completion instants go stale):
+//! [`SharedLink::interrupt`] kills one in-flight transfer mid-stream
+//! and reports the bytes that did *not* make it (partial-progress
+//! accounting for resume-style retries), and [`SharedLink::degrade`] /
+//! [`SharedLink::restore`] open and close capacity-degradation epochs —
+//! bytes moved before the mutation are charged at the old rate.
+//!
 //! [`Link`]: crate::Link
 
 use crate::scenario::{Direction, NetworkScenario};
@@ -74,6 +83,43 @@ impl<T> SharedLink<T> {
     /// Abort an in-flight transfer, returning its payload.
     pub fn cancel(&mut self, now: SimTime, transfer: JobId) -> Option<T> {
         self.exec.cancel(now, transfer)
+    }
+
+    /// Interrupt an in-flight transfer at `now` (a link fault cut the
+    /// connection mid-stream). Returns the payload together with the
+    /// bytes that had **not** yet crossed the medium — the amount a
+    /// resume-style retry must still move — or `None` if the transfer
+    /// is unknown (already finished or cancelled). Follow up with
+    /// [`SharedLink::reschedule`]: the survivors' rates just changed.
+    pub fn interrupt(&mut self, now: SimTime, transfer: JobId) -> Option<(T, f64)> {
+        let remaining = self.exec.remaining(now, transfer)?;
+        let payload = self.exec.cancel(now, transfer)?;
+        Some((payload, remaining))
+    }
+
+    /// Enter a degradation epoch at `now`: aggregate capacity becomes
+    /// `factor` × the constructed capacity (`0 < factor ≤ 1`). Bytes
+    /// moved before `now` are charged at the previous rate. Follow up
+    /// with [`SharedLink::reschedule`]. Degradation epochs do not
+    /// compound — the factor always applies to the constructed
+    /// capacity, so overlapping windows should pre-combine their
+    /// factors (e.g. take the minimum).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn degrade(&mut self, now: SimTime, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        self.exec.set_capacity(now, self.capacity_bps * factor);
+    }
+
+    /// Close the current degradation epoch at `now`, restoring the
+    /// constructed aggregate capacity. Follow up with
+    /// [`SharedLink::reschedule`].
+    pub fn restore(&mut self, now: SimTime) {
+        self.exec.set_capacity(now, self.capacity_bps);
     }
 
     /// Re-arm the completion check after any mutation. `make_event`
@@ -175,6 +221,73 @@ mod tests {
         assert_eq!(done.len(), 2);
         // The short flow wins despite starting later.
         assert_eq!(done[0].1, 2);
+    }
+
+    #[test]
+    fn interrupt_reports_bytes_still_owed() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        let job = link.begin_transfer(SimTime::ZERO, 2_000_000, 5);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        // Cut the flow halfway: 1 s at 1 MB/s → 1 MB across, 1 MB owed.
+        let (payload, owed) = link.interrupt(SimTime::from_secs(1), job).unwrap();
+        assert_eq!(payload, 5);
+        assert!((owed - 1_000_000.0).abs() < 1.0, "owed {owed}");
+        assert!(link.is_idle());
+        assert_eq!(
+            link.interrupt(SimTime::from_secs(1), job),
+            None,
+            "double interrupt is a no-op"
+        );
+    }
+
+    #[test]
+    fn interrupt_speeds_up_survivors() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        let victim = link.begin_transfer(SimTime::ZERO, 4_000_000, 1);
+        link.begin_transfer(SimTime::ZERO, 1_500_000, 2);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        // At t=1 each flow moved 0.5 MB. Kill the victim; the survivor
+        // owes 1 MB at full rate → finishes at t=2.
+        link.interrupt(SimTime::from_secs(1), victim).unwrap();
+        link.reschedule(SimTime::from_secs(1), &mut queue, |e| e);
+        let done = drain(&mut link, &mut queue);
+        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![2]);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 2.0).abs() < 1e-3, "survivor finished at {t}");
+    }
+
+    #[test]
+    fn degradation_epoch_stretches_in_flight_transfers() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 2_000_000, 3);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        // At t=1, 1 MB across. Halve the link: the remaining 1 MB takes
+        // 2 s → finishes at t=3.
+        link.degrade(SimTime::from_secs(1), 0.5);
+        link.reschedule(SimTime::from_secs(1), &mut queue, |e| e);
+        let done = drain(&mut link, &mut queue);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 3.0).abs() < 1e-3, "degraded flow finished at {t}");
+    }
+
+    #[test]
+    fn restore_closes_the_degradation_epoch() {
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 3_000_000, 4);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        // [1 s, 2 s) at quarter rate: 1 MB + 0.25 MB across by t=2, the
+        // remaining 1.75 MB at full rate → finishes at t=3.75.
+        link.degrade(SimTime::from_secs(1), 0.25);
+        link.reschedule(SimTime::from_secs(1), &mut queue, |e| e);
+        link.restore(SimTime::from_secs(2));
+        link.reschedule(SimTime::from_secs(2), &mut queue, |e| e);
+        let done = drain(&mut link, &mut queue);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 3.75).abs() < 1e-3, "restored flow finished at {t}");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`scheduler`] — Monitor & Scheduler: warm pools, idle
 //!   reclamation, process-level cpu.shares rebalancing.
 //! * [`request`] — the §III-B phase decomposition per request.
+//! * [`resilience`] — per-phase timeouts, retry budgets with bounded
+//!   backoff, and graceful degradation to on-device execution.
 //! * [`simulation`] — the end-to-end discrete-event simulation every
 //!   figure and table is generated from.
 //! * [`config`] — calibration constants and the paper's published
@@ -36,6 +38,7 @@ pub mod metrics;
 pub mod partition;
 pub mod platform;
 pub mod request;
+pub mod resilience;
 pub mod scheduler;
 pub mod simulation;
 pub mod warehouse;
@@ -45,12 +48,15 @@ pub use config::DeviceSpec;
 pub use decision::{DecisionReport, Ewma, LinkEstimator, Objective, OffloadDecider};
 pub use dispatcher::{ContainerDb, DispatchPolicy, Dispatcher, Placement};
 pub use lifecycle::{Phase, PhaseLog, PhaseObserver, PhaseTransition, RequestLifecycle};
-pub use metrics::{CollectingSink, CountingSink, ReportHasher, ReportSummary, RequestSink};
+pub use metrics::{
+    CollectingSink, CountingSink, FaultStats, ReportHasher, ReportSummary, RequestSink,
+};
 pub use partition::{
     partition, CallGraph, MethodNode, PartitionCosts, PartitionPlan, Placement as MethodPlacement,
 };
 pub use platform::{PlatformConfig, PlatformKind};
 pub use request::{PhaseBreakdown, RequestRecord};
+pub use resilience::ResiliencePolicy;
 pub use scheduler::{Monitor, PoolPolicy, ScaleAction, Scheduler};
 pub use simulation::{
     run_scenario, run_scenario_with_sink, ArrivalModel, ScenarioConfig, Simulation,

@@ -55,12 +55,22 @@ pub enum Phase {
     /// Executing locally on the device (adaptive offloading declined
     /// the cloud).
     LocalExecution,
+    /// A fault killed the current attempt; the request is waiting out
+    /// its backoff before retrying. The failed attempt's wall-clock
+    /// and the backoff dwell are charged to *fault recovery*.
+    Retrying,
+    /// The retry budget is exhausted; the resilience policy degraded
+    /// gracefully and the task is finishing on the device's own CPU.
+    FallbackLocal,
     /// Response delivered.
     Done,
     /// Aborted without a response. No engine path produces this today
     /// (teardown races re-provision instead); observers and external
     /// drivers may still use it as a terminal marker.
     Failed,
+    /// The retry budget is exhausted and the policy allows no local
+    /// fallback: the request terminates without a response.
+    Abandoned,
 }
 
 /// Which §III-B bucket a phase's dwell time belongs to.
@@ -68,6 +78,7 @@ pub enum Phase {
 enum Bucket {
     RuntimePreparation,
     ComputationExecution,
+    FaultRecovery,
     /// Already priced at phase entry (link/device model) or free.
     None,
 }
@@ -75,19 +86,22 @@ enum Bucket {
 impl Phase {
     /// Terminal phases accept no further transitions.
     pub fn is_terminal(self) -> bool {
-        matches!(self, Phase::Done | Phase::Failed)
+        matches!(self, Phase::Done | Phase::Failed | Phase::Abandoned)
     }
 
     fn bucket(self) -> Bucket {
         match self {
             Phase::RuntimePrep | Phase::CodeLoad => Bucket::RuntimePreparation,
             Phase::Compute | Phase::OffloadIo => Bucket::ComputationExecution,
+            Phase::Retrying => Bucket::FaultRecovery,
             Phase::Dispatch
             | Phase::DataTransferUp
             | Phase::DataTransferDown
             | Phase::LocalExecution
+            | Phase::FallbackLocal
             | Phase::Done
-            | Phase::Failed => Bucket::None,
+            | Phase::Failed
+            | Phase::Abandoned => Bucket::None,
         }
     }
 }
@@ -151,6 +165,24 @@ impl PhaseObserver for PhaseLog {
     }
 }
 
+/// Where a retry resumes after a fault killed the previous attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeStage {
+    /// Restart the offload from placement + upload, still owing
+    /// `bytes` on the wire (the un-transferred remainder, or the full
+    /// payload when nothing made it across).
+    Upload {
+        /// Bytes the retry must move up.
+        bytes: u64,
+    },
+    /// The server side already finished; only the result download of
+    /// `bytes` remains.
+    Download {
+        /// Bytes the retry must move down.
+        bytes: u64,
+    },
+}
+
 /// One request's full in-flight state: its accumulating record, the
 /// sampled task, where it is placed, which executor jobs it holds, and
 /// the phase machine driving the §III-B accounting.
@@ -168,6 +200,16 @@ pub struct RequestLifecycle {
     pub disk_job: Option<JobId>,
     /// Code bytes still to be loaded into the runtime (0 = resident).
     pub code_to_load: u64,
+    /// Fault-retry attempts consumed so far.
+    pub attempts: u32,
+    /// Where the next retry resumes (set while in [`Phase::Retrying`]).
+    pub resume: Option<ResumeStage>,
+    /// Connect time charged up front for the in-flight transfer;
+    /// reversed if a timeout kills the attempt before it lands.
+    pub upfront_connect: SimDuration,
+    /// Transfer duration charged up front for the in-flight transfer;
+    /// reversed if a timeout kills the attempt before it lands.
+    pub upfront_transfer: SimDuration,
     phase: Phase,
     phase_started: SimTime,
 }
@@ -182,6 +224,10 @@ impl RequestLifecycle {
             cpu_job: None,
             disk_job: None,
             code_to_load: 0,
+            attempts: 0,
+            resume: None,
+            upfront_connect: SimDuration::ZERO,
+            upfront_transfer: SimDuration::ZERO,
             phase: Phase::Dispatch,
             phase_started: now,
         }
@@ -198,9 +244,13 @@ impl RequestLifecycle {
     }
 
     /// Move to `next` at `now`, charging the dwell time in the current
-    /// phase to its §III-B bucket. Entering [`Phase::Done`] stamps
-    /// `record.completed_at`. Returns `(departed phase, dwell)` for
-    /// observer dispatch.
+    /// phase to its §III-B bucket. Entering [`Phase::Retrying`]
+    /// redirects the departed phase's dwell to *fault recovery* — the
+    /// attempt produced nothing, so its wall-clock is fault loss, not
+    /// useful phase time (transfer phases additionally reverse their
+    /// up-front charges at the call site). Entering [`Phase::Done`] or
+    /// [`Phase::Abandoned`] stamps `record.completed_at`. Returns
+    /// `(departed phase, dwell)` for observer dispatch.
     ///
     /// # Panics
     /// Panics (debug builds) when advancing out of a terminal phase —
@@ -212,14 +262,20 @@ impl RequestLifecycle {
             self.phase
         );
         let dwell = now.saturating_since(self.phase_started);
-        match self.phase.bucket() {
+        let bucket = if next == Phase::Retrying {
+            Bucket::FaultRecovery
+        } else {
+            self.phase.bucket()
+        };
+        match bucket {
             Bucket::RuntimePreparation => self.record.phases.runtime_preparation += dwell,
             Bucket::ComputationExecution => self.record.phases.computation_execution += dwell,
+            Bucket::FaultRecovery => self.record.phases.fault_recovery += dwell,
             Bucket::None => {}
         }
         let from = std::mem::replace(&mut self.phase, next);
         self.phase_started = now;
-        if next == Phase::Done {
+        if next == Phase::Done || next == Phase::Abandoned {
             self.record.completed_at = now;
         }
         (from, dwell)
@@ -256,6 +312,9 @@ mod tests {
             upload_time: SimDuration::ZERO,
             download_time: SimDuration::ZERO,
             executed_locally: false,
+            retries: 0,
+            fell_back_local: false,
+            abandoned: false,
         };
         let task = WorkloadKind::Ocr
             .profile()
@@ -302,6 +361,38 @@ mod tests {
         rl.advance(t(3.0), Phase::Done);
         assert_eq!(rl.record.phases.total(), SimDuration::ZERO);
         assert_eq!(rl.record.completed_at, t(3.0));
+    }
+
+    #[test]
+    fn fault_redirects_dwell_to_fault_recovery() {
+        let mut rl = lifecycle();
+        rl.advance(SimTime::ZERO, Phase::DataTransferUp);
+        rl.advance(t(2.0), Phase::RuntimePrep);
+        rl.advance(t(3.0), Phase::Compute); // 1 s prep, charged normally
+                                            // A crash at t=7 kills the attempt: the 4 s of computation are
+                                            // fault loss, not useful execution.
+        rl.advance(t(7.0), Phase::Retrying);
+        assert_eq!(rl.record.phases.computation_execution, SimDuration::ZERO);
+        assert_eq!(rl.record.phases.fault_recovery, SimDuration::from_secs(4));
+        assert_eq!(
+            rl.record.phases.runtime_preparation,
+            SimDuration::from_secs(1),
+            "pre-fault phases keep their charges"
+        );
+        // 2 s of backoff dwell also lands in fault recovery.
+        rl.advance(t(9.0), Phase::DataTransferUp);
+        assert_eq!(rl.record.phases.fault_recovery, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn abandonment_is_terminal_and_stamps_completion() {
+        let mut rl = lifecycle();
+        rl.advance(SimTime::ZERO, Phase::DataTransferUp);
+        rl.advance(t(1.0), Phase::Retrying);
+        rl.advance(t(2.0), Phase::Abandoned);
+        assert!(rl.phase().is_terminal());
+        assert_eq!(rl.record.completed_at, t(2.0));
+        assert_eq!(rl.record.phases.fault_recovery, SimDuration::from_secs(2));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! scenario and seed must produce the same digest on every run, before
 //! and after any engine refactor.
 
+use crate::lifecycle::Phase;
 use crate::request::RequestRecord;
 use crate::simulation::SimulationReport;
+use simkit::SimDuration;
+use std::collections::BTreeMap;
 
 /// Consumes completed requests one at a time, in completion order
 /// (ties in completion time arrive in engine event order, which is
@@ -80,6 +83,40 @@ pub struct ReportSummary {
     pub finished_at: simkit::SimTime,
     /// Requests delivered to the sink.
     pub completed_requests: u64,
+    /// Fault-plane accounting (all zero on fault-free runs).
+    pub fault_stats: FaultStats,
+}
+
+/// What the fault plane did to a run: how many faults were scheduled
+/// and actually hit a request, and how the resilience policy absorbed
+/// them. Every field is zero when the fault plan is empty.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Fault events in the generated plan (including ones that struck
+    /// nothing, e.g. an outage while the link was idle).
+    pub injected: u64,
+    /// Attempt-killing strikes on live requests (a single request can
+    /// be struck several times).
+    pub strikes: u64,
+    /// Retry attempts launched after a strike.
+    pub retries: u64,
+    /// Requests that degraded gracefully to on-device execution.
+    pub fallbacks: u64,
+    /// Requests abandoned with no response.
+    pub abandoned: u64,
+    /// Wall-clock lost to faults across all requests (failed-attempt
+    /// dwell + backoff waits; the sum of `phases.fault_recovery`).
+    pub time_lost: SimDuration,
+    /// Strikes attributed to the lifecycle phase they interrupted.
+    pub strikes_by_phase: BTreeMap<Phase, u64>,
+}
+
+impl FaultStats {
+    /// Record one attempt-killing strike in `phase`.
+    pub fn record_strike(&mut self, phase: Phase) {
+        self.strikes += 1;
+        *self.strikes_by_phase.entry(phase).or_insert(0) += 1;
+    }
 }
 
 /// Streaming FNV-1a (64-bit) over a canonical byte serialization.
@@ -129,6 +166,12 @@ impl ReportHasher {
     }
 }
 
+// The canonical digest hashes exactly this field list. The resilience
+// fields (`phases.fault_recovery`, `retries`, `fell_back_local`,
+// `abandoned`) are deliberately NOT hashed: they are structurally zero
+// on fault-free runs, and excluding them keeps the six golden digests
+// valid across the fault-plane's introduction. Faulty runs still
+// differ through the hashed fields (completion times, bytes, phases).
 fn hash_record(h: &mut ReportHasher, r: &RequestRecord) {
     h.write_u64(r.id);
     h.write_u64(r.device as u64);
@@ -226,6 +269,9 @@ mod tests {
                 upload_time: SimDuration::ZERO,
                 download_time: SimDuration::ZERO,
                 executed_locally: false,
+                retries: 0,
+                fell_back_local: false,
+                abandoned: false,
             });
         }
         let ids: Vec<u64> = sink.records.iter().map(|r| r.id).collect();

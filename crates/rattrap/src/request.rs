@@ -17,6 +17,10 @@ pub struct PhaseBreakdown {
     pub runtime_preparation: SimDuration,
     /// Executing the offloaded computation (including its offloading I/O).
     pub computation_execution: SimDuration,
+    /// Time lost to faults: failed attempts (their reversed transfer
+    /// charges land here as wall-clock dwell) plus backoff waits before
+    /// retries. Zero on every fault-free request.
+    pub fault_recovery: SimDuration,
 }
 
 impl PhaseBreakdown {
@@ -26,6 +30,7 @@ impl PhaseBreakdown {
             + self.data_transfer
             + self.runtime_preparation
             + self.computation_execution
+            + self.fault_recovery
     }
 }
 
@@ -67,6 +72,14 @@ pub struct RequestRecord {
     /// The client's decision engine kept the task on the device (no
     /// offload happened; phases are zero and response = local time).
     pub executed_locally: bool,
+    /// Retry attempts consumed recovering from injected faults.
+    pub retries: u32,
+    /// The resilience policy gave up on the cloud and finished the
+    /// task on the device (graceful degradation).
+    pub fell_back_local: bool,
+    /// The request was abandoned after exhausting its retry budget
+    /// with no local fallback. `completed_at` stamps the abandonment.
+    pub abandoned: bool,
 }
 
 impl RequestRecord {
@@ -87,8 +100,12 @@ impl RequestRecord {
 
     /// "When offloading speedup is larger than 1, code offloading
     /// outperforms local execution; otherwise, we call it an offloading
-    /// failure."
+    /// failure." An abandoned request never produced a response at all
+    /// and always counts as a failure.
     pub fn is_offloading_failure(&self) -> bool {
+        if self.abandoned {
+            return true;
+        }
         self.speedup() <= 1.0
     }
 
@@ -121,6 +138,9 @@ mod tests {
             upload_time: SimDuration::ZERO,
             download_time: SimDuration::ZERO,
             executed_locally: false,
+            retries: 0,
+            fell_back_local: false,
+            abandoned: false,
         }
     }
 
@@ -131,8 +151,23 @@ mod tests {
             data_transfer: SimDuration::from_millis(100),
             runtime_preparation: SimDuration::from_millis(1750),
             computation_execution: SimDuration::from_millis(2500),
+            fault_recovery: SimDuration::from_millis(45),
         };
-        assert_eq!(p.total(), SimDuration::from_millis(4355));
+        assert_eq!(p.total(), SimDuration::from_millis(4400));
+    }
+
+    #[test]
+    fn abandoned_requests_always_count_as_failures() {
+        let mut r = record(
+            100.0,
+            PhaseBreakdown {
+                computation_execution: SimDuration::from_secs(1),
+                ..Default::default()
+            },
+        );
+        assert!(!r.is_offloading_failure(), "huge speedup");
+        r.abandoned = true;
+        assert!(r.is_offloading_failure(), "abandonment overrides speedup");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Resilience policies: how the platform absorbs injected faults.
+//!
+//! A [`ResiliencePolicy`] decides, per request, (a) how long each
+//! lifecycle phase may run before it is declared dead (per-phase
+//! timeouts), (b) how many retry attempts a request gets and how long
+//! to wait between them (bounded exponential backoff with
+//! deterministic jitter drawn from the simulation RNG), and (c) what
+//! happens when the budget runs out: degrade gracefully to on-device
+//! execution — the request completes slowly instead of failing — or
+//! abandon it.
+//!
+//! Everything here is pure arithmetic over the seeded RNG streams, so
+//! the retry schedule of a request is a function of the scenario seed
+//! alone: same seed, same faults, same backoff instants, same report.
+
+use crate::lifecycle::Phase;
+use simkit::{SimDuration, SimRng};
+
+/// Per-phase timeouts, retry budget, backoff shape, and the
+/// end-of-budget disposition for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Cap on one upload attempt ([`Phase::DataTransferUp`]).
+    pub upload_timeout: Option<SimDuration>,
+    /// Cap on runtime preparation ([`Phase::RuntimePrep`] +
+    /// [`Phase::CodeLoad`], each attempt phase timed separately).
+    pub prep_timeout: Option<SimDuration>,
+    /// Cap on server execution ([`Phase::Compute`] +
+    /// [`Phase::OffloadIo`], each phase timed separately).
+    pub compute_timeout: Option<SimDuration>,
+    /// Cap on one download attempt ([`Phase::DataTransferDown`]).
+    pub download_timeout: Option<SimDuration>,
+    /// Retry attempts granted after the first failure.
+    pub max_retries: u32,
+    /// First backoff delay; attempt `n` waits `base × 2^(n−1)`.
+    pub base_backoff: SimDuration,
+    /// Ceiling on any single backoff delay.
+    pub max_backoff: SimDuration,
+    /// Symmetric jitter fraction in `[0, 1]`: the delay is scaled by a
+    /// factor uniform in `[1 − jitter, 1 + jitter]`.
+    pub jitter_frac: f64,
+    /// After the budget: `true` finishes the task on the device
+    /// (graceful degradation), `false` abandons the request.
+    pub fallback_local: bool,
+}
+
+impl ResiliencePolicy {
+    /// Fail-fast: no timeouts, no retries, no fallback. The first
+    /// fault that strikes a request abandons it. This is the
+    /// [`Default`] — and on a fault-free run it is exactly a no-op, so
+    /// the golden digests are functions of the scenario alone.
+    pub fn none() -> Self {
+        ResiliencePolicy {
+            upload_timeout: None,
+            prep_timeout: None,
+            compute_timeout: None,
+            download_timeout: None,
+            max_retries: 0,
+            base_backoff: SimDuration::from_millis(200),
+            max_backoff: SimDuration::from_secs(5),
+            jitter_frac: 0.25,
+            fallback_local: false,
+        }
+    }
+
+    /// Retries only: three attempts behind per-phase timeouts and
+    /// bounded backoff, but no on-device fallback — a request that
+    /// exhausts the budget is abandoned.
+    pub fn retry_only() -> Self {
+        ResiliencePolicy {
+            upload_timeout: Some(SimDuration::from_secs(60)),
+            prep_timeout: Some(SimDuration::from_secs(45)),
+            compute_timeout: Some(SimDuration::from_secs(60)),
+            download_timeout: Some(SimDuration::from_secs(60)),
+            max_retries: 3,
+            ..ResiliencePolicy::none()
+        }
+    }
+
+    /// The full policy: retries as [`ResiliencePolicy::retry_only`],
+    /// then graceful degradation to on-device execution — every
+    /// request terminates with a response.
+    pub fn standard() -> Self {
+        ResiliencePolicy {
+            fallback_local: true,
+            ..ResiliencePolicy::retry_only()
+        }
+    }
+
+    /// The timeout governing `phase`, if any.
+    pub fn timeout_for(&self, phase: Phase) -> Option<SimDuration> {
+        match phase {
+            Phase::DataTransferUp => self.upload_timeout,
+            Phase::RuntimePrep | Phase::CodeLoad => self.prep_timeout,
+            Phase::Compute | Phase::OffloadIo => self.compute_timeout,
+            Phase::DataTransferDown => self.download_timeout,
+            _ => None,
+        }
+    }
+
+    /// `true` when the policy can never intervene: no timeouts are the
+    /// only *proactive* triggers, but reactive triggers (link faults,
+    /// crashes) still invoke the retry/fallback machinery, so this is
+    /// only `true` for a policy that also grants nothing on failure.
+    pub fn is_inert(&self) -> bool {
+        self.max_retries == 0
+            && !self.fallback_local
+            && self.upload_timeout.is_none()
+            && self.prep_timeout.is_none()
+            && self.compute_timeout.is_none()
+            && self.download_timeout.is_none()
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based): bounded
+    /// exponential with deterministic jitter from `rng`. Always draws
+    /// exactly one uniform variate, so the RNG stream consumption is
+    /// independent of the policy parameters.
+    pub fn backoff_delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let unit = rng.uniform01();
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = self
+            .base_backoff
+            .mul_f64((1u64 << shift) as f64)
+            .min(self.max_backoff);
+        let jitter = self.jitter_frac.clamp(0.0, 1.0);
+        let scale = 1.0 + jitter * (2.0 * unit - 1.0);
+        exp.mul_f64(scale).max(SimDuration::from_millis(1))
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = ResiliencePolicy::standard();
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::new(seed);
+            (1..=5)
+                .map(|a| policy.backoff_delay(a, &mut rng).as_micros())
+                .collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seed, different jitter");
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let policy = ResiliencePolicy {
+            jitter_frac: 0.0,
+            ..ResiliencePolicy::standard()
+        };
+        let mut rng = SimRng::new(1);
+        let d1 = policy.backoff_delay(1, &mut rng);
+        let d2 = policy.backoff_delay(2, &mut rng);
+        let d3 = policy.backoff_delay(3, &mut rng);
+        let d9 = policy.backoff_delay(9, &mut rng);
+        assert_eq!(d1, SimDuration::from_millis(200));
+        assert_eq!(d2, SimDuration::from_millis(400));
+        assert_eq!(d3, SimDuration::from_millis(800));
+        assert_eq!(d9, policy.max_backoff, "bounded at the ceiling");
+    }
+
+    #[test]
+    fn jitter_stays_within_the_band() {
+        let policy = ResiliencePolicy::standard(); // jitter 0.25
+        let mut rng = SimRng::new(3);
+        for attempt in 1..=4 {
+            let nominal = policy
+                .base_backoff
+                .mul_f64((1u64 << (attempt - 1)) as f64)
+                .min(policy.max_backoff)
+                .as_secs_f64();
+            for _ in 0..100 {
+                let d = policy.backoff_delay(attempt, &mut rng).as_secs_f64();
+                assert!(d >= nominal * 0.749 && d <= nominal * 1.251, "delay {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let policy = ResiliencePolicy::standard();
+        let mut rng = SimRng::new(4);
+        let d = policy.backoff_delay(u32::MAX, &mut rng);
+        assert!(d <= policy.max_backoff.mul_f64(1.25001));
+    }
+
+    #[test]
+    fn presets_have_the_advertised_shape() {
+        assert!(ResiliencePolicy::none().is_inert());
+        assert!(!ResiliencePolicy::retry_only().is_inert());
+        assert!(ResiliencePolicy::standard().fallback_local);
+        assert_eq!(ResiliencePolicy::default(), ResiliencePolicy::none());
+        let p = ResiliencePolicy::standard();
+        assert_eq!(p.timeout_for(Phase::DataTransferUp), p.upload_timeout);
+        assert_eq!(p.timeout_for(Phase::CodeLoad), p.prep_timeout);
+        assert_eq!(p.timeout_for(Phase::OffloadIo), p.compute_timeout);
+        assert_eq!(p.timeout_for(Phase::DataTransferDown), p.download_timeout);
+        assert_eq!(p.timeout_for(Phase::Dispatch), None);
+        assert_eq!(p.timeout_for(Phase::Retrying), None);
+    }
+}

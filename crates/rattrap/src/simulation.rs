@@ -28,13 +28,18 @@ use crate::access::{AccessController, Action};
 use crate::config::{DeviceSpec, IDLE_TEARDOWN, RANDOM_IO_FACTOR};
 use crate::decision::{LinkEstimator, Objective, OffloadDecider};
 use crate::dispatcher::{ContainerDb, Dispatcher, InstanceState, Placement};
-use crate::lifecycle::{Phase, PhaseObserver, RequestLifecycle};
-use crate::metrics::{CollectingSink, ReportSummary, RequestSink};
+use crate::lifecycle::{Phase, PhaseObserver, RequestLifecycle, ResumeStage};
+use crate::metrics::{CollectingSink, FaultStats, ReportSummary, RequestSink};
 use crate::platform::PlatformConfig;
 use crate::request::{PhaseBreakdown, RequestRecord};
+use crate::resilience::ResiliencePolicy;
 use crate::scheduler::{Monitor, PoolPolicy, ScaleAction, Scheduler};
 use crate::warehouse::{aid_of, AppWarehouse, WarehouseStats};
 use netsim::{Direction, Link, NetworkScenario};
+use simkit::faults::{
+    link_available_at, transfer_outcome, FaultConfig, FaultPlan, LinkWindow, StragglerWindow,
+    TransferOutcome,
+};
 use simkit::units::Megacycles;
 use simkit::{
     derive_seed, EventQueue, FairShareExecutor, FairShareResource, SimDuration, SimRng, SimTime,
@@ -90,6 +95,14 @@ pub struct ScenarioConfig {
     /// `executed_locally = true`). Off by default — the paper's
     /// experiments always offload.
     pub adaptive_offloading: bool,
+    /// Fault-injection intensities. All rates zero by default; an
+    /// inert config generates an empty plan and leaves the engine's
+    /// event stream bit-identical to the pre-fault-plane engine.
+    pub faults: FaultConfig,
+    /// How the platform absorbs injected faults (timeouts, retries,
+    /// fallback). The default [`ResiliencePolicy::none`] schedules no
+    /// timeout events, so fault-free runs stay bit-identical.
+    pub resilience: ResiliencePolicy,
 }
 
 impl ScenarioConfig {
@@ -111,6 +124,8 @@ impl ScenarioConfig {
             },
             device_workloads: None,
             adaptive_offloading: false,
+            faults: FaultConfig::none(),
+            resilience: ResiliencePolicy::none(),
         }
     }
 
@@ -148,6 +163,8 @@ pub struct SimulationReport {
     pub peak_disk_bytes: u64,
     /// Simulated instant the last request completed.
     pub finished_at: SimTime,
+    /// Fault-plane accounting (all zero on fault-free runs).
+    pub fault_stats: FaultStats,
 }
 
 impl SimulationReport {
@@ -182,18 +199,68 @@ impl SimulationReport {
     }
 }
 
+/// Engine events. Per-request events carry the slot *generation* that
+/// scheduled them: a fault invalidates every event of the killed
+/// attempt by bumping the slot's generation, so stale completions are
+/// dropped on receipt instead of corrupting a retried (or recycled)
+/// slot. Fault-free runs never bump a generation mid-request, so every
+/// check passes and the event stream is unchanged.
 #[derive(Debug, Clone)]
 enum Event {
-    Arrival { device: u32, seq: u32 },
-    UploadDone { req: usize },
-    BootDone { instance: InstanceId },
-    CodeLoaded { req: usize },
-    TmpfsIoDone { req: usize },
-    CpuCheck { epoch: u64 },
-    DiskCheck { epoch: u64 },
-    DeviceCpuCheck { device: u32, epoch: u64 },
-    RequestComplete { req: usize },
+    Arrival {
+        device: u32,
+        seq: u32,
+    },
+    UploadDone {
+        req: usize,
+        gen: u64,
+    },
+    BootDone {
+        instance: InstanceId,
+    },
+    CodeLoaded {
+        req: usize,
+        gen: u64,
+    },
+    TmpfsIoDone {
+        req: usize,
+        gen: u64,
+    },
+    CpuCheck {
+        epoch: u64,
+    },
+    DiskCheck {
+        epoch: u64,
+    },
+    DeviceCpuCheck {
+        device: u32,
+        epoch: u64,
+    },
+    RequestComplete {
+        req: usize,
+        gen: u64,
+    },
     IdleScan,
+    /// The `idx`-th instance crash of the fault plan fires.
+    InstanceFault {
+        idx: usize,
+    },
+    /// A link fault interrupts the in-flight transfer of `req`.
+    TransferFault {
+        req: usize,
+        gen: u64,
+    },
+    /// `req` has dwelt in `phase` past the policy timeout.
+    PhaseTimeout {
+        req: usize,
+        gen: u64,
+        phase: Phase,
+    },
+    /// Backoff elapsed; launch the next attempt of `req`.
+    Retry {
+        req: usize,
+        gen: u64,
+    },
 }
 
 /// The simulation state machine. Create with [`Simulation::new`], run
@@ -220,6 +287,9 @@ pub struct Simulation {
     /// in-flight count, not the run length.
     pending: Vec<RequestLifecycle>,
     free_slots: Vec<usize>,
+    /// Per-slot generation counters (see [`Event`]), parallel to
+    /// `pending`. Bumped on fault, completion, and slot recycling.
+    slot_gen: Vec<u64>,
     instance_queue: BTreeMap<InstanceId, VecDeque<usize>>,
     instance_busy: BTreeMap<InstanceId, bool>,
     /// Requests waiting for a specific instance to finish booting.
@@ -242,7 +312,21 @@ pub struct Simulation {
     monitor: Monitor,
     /// Lifecycle hooks fired on every phase transition.
     observers: Vec<Box<dyn PhaseObserver>>,
+    /// Link outage/degradation windows from the fault plan (empty on
+    /// fault-free runs, which keeps transfer pricing integer-exact).
+    link_windows: Vec<LinkWindow>,
+    /// Server slowdown windows from the fault plan.
+    straggler_windows: Vec<StragglerWindow>,
+    /// Instance crash schedule from the fault plan.
+    crash_events: Vec<(SimTime, u64)>,
+    /// What the faults did and how the policy absorbed them.
+    fault_stats: FaultStats,
 }
+
+/// Seed-stream tag for the fault plan, disjoint from every per-request
+/// stream (`(device << 32) | seq`) because real devices never reach
+/// `device = 0xFAB7`.
+const FAULT_SEED_STREAM: u64 = 0xFAB7_0000_0000_0001;
 
 impl Simulation {
     /// Build the simulation for `cfg`.
@@ -259,6 +343,7 @@ impl Simulation {
         let bin = SimDuration::from_secs(1);
         let horizon = cfg.sample_horizon;
         let dispatcher = Dispatcher::new(cfg.platform.dispatch_policy());
+        let fault_plan = FaultPlan::generate(&cfg.faults, derive_seed(cfg.seed, FAULT_SEED_STREAM));
         Simulation {
             queue: EventQueue::new(),
             host,
@@ -272,6 +357,7 @@ impl Simulation {
             device_cpus: BTreeMap::new(),
             pending: Vec::new(),
             free_slots: Vec::new(),
+            slot_gen: Vec::new(),
             instance_queue: BTreeMap::new(),
             instance_busy: BTreeMap::new(),
             boot_waiters: BTreeMap::new(),
@@ -293,6 +379,13 @@ impl Simulation {
             cfg,
             code_pushed: std::collections::BTreeSet::new(),
             observers: Vec::new(),
+            link_windows: fault_plan.link_windows(),
+            straggler_windows: fault_plan.straggler_windows(),
+            crash_events: fault_plan.crashes(),
+            fault_stats: FaultStats {
+                injected: fault_plan.len() as u64,
+                ..FaultStats::default()
+            },
         }
     }
 
@@ -329,6 +422,7 @@ impl Simulation {
             final_disk_bytes: summary.final_disk_bytes,
             peak_disk_bytes: summary.peak_disk_bytes,
             finished_at: summary.finished_at,
+            fault_stats: summary.fault_stats,
         }
     }
 
@@ -374,6 +468,13 @@ impl Simulation {
             }
         }
         self.queue.schedule(SimTime::from_secs(10), Event::IdleScan);
+        // Schedule the fault plan's instance crashes (none on
+        // fault-free runs — the loop body never executes and the event
+        // stream is untouched).
+        for idx in 0..self.crash_events.len() {
+            let at = self.crash_events[idx].0;
+            self.queue.schedule(at, Event::InstanceFault { idx });
+        }
 
         // The queue drains naturally: IdleScan stops rescheduling once
         // all expected requests completed, and resource checks stop when
@@ -421,6 +522,7 @@ impl Simulation {
             peak_disk_bytes: self.peak_disk,
             finished_at: self.finished_at,
             completed_requests: self.completed,
+            fault_stats: self.fault_stats.clone(),
         }
     }
 
@@ -449,10 +551,12 @@ impl Simulation {
         match self.free_slots.pop() {
             Some(slot) => {
                 self.pending[slot] = lifecycle;
+                self.slot_gen[slot] += 1;
                 slot
             }
             None => {
                 self.pending.push(lifecycle);
+                self.slot_gen.push(0);
                 self.pending.len() - 1
             }
         }
@@ -468,22 +572,67 @@ impl Simulation {
                 obs.on_transition(record, from, next, dwell, now);
             }
         }
+        // Arm the policy timeout for the phase just entered. The
+        // default policy has no timeouts, so fault-free runs schedule
+        // nothing here.
+        if let Some(timeout) = self.cfg.resilience.timeout_for(next) {
+            self.queue.schedule(
+                now + timeout,
+                Event::PhaseTimeout {
+                    req,
+                    gen: self.slot_gen[req],
+                    phase: next,
+                },
+            );
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Event, sink: &mut dyn RequestSink) {
         match ev {
             Event::Arrival { device, seq } => self.on_arrival(now, device, seq),
-            Event::UploadDone { req } => self.on_upload_done(now, req),
+            Event::UploadDone { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.on_upload_done(now, req);
+                }
+            }
             Event::BootDone { instance } => self.on_boot_done(now, instance),
-            Event::CodeLoaded { req } => self.on_code_loaded(now, req),
-            Event::TmpfsIoDone { req } => self.finish_io(now, req),
+            Event::CodeLoaded { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.on_code_loaded(now, req);
+                }
+            }
+            Event::TmpfsIoDone { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.finish_io(now, req);
+                }
+            }
             Event::CpuCheck { epoch } => self.on_cpu_check(now, epoch),
             Event::DiskCheck { epoch } => self.on_disk_check(now, epoch),
             Event::DeviceCpuCheck { device, epoch } => {
                 self.on_device_cpu_check(now, device, epoch, sink)
             }
-            Event::RequestComplete { req } => self.on_request_complete(now, req, sink),
+            Event::RequestComplete { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.on_request_complete(now, req, sink);
+                }
+            }
             Event::IdleScan => self.on_idle_scan(now),
+            Event::InstanceFault { idx } => self.on_instance_fault(now, idx, sink),
+            Event::TransferFault { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.on_transfer_fault(now, req, sink);
+                }
+            }
+            Event::PhaseTimeout { req, gen, phase } => {
+                if self.slot_gen[req] == gen && self.pending[req].phase() == phase {
+                    self.on_phase_timeout(now, req, sink);
+                }
+            }
+            Event::Retry { req, gen } => {
+                if self.slot_gen[req] == gen {
+                    self.on_retry(now, req);
+                }
+            }
         }
     }
 
@@ -526,6 +675,9 @@ impl Simulation {
                     upload_time: SimDuration::ZERO,
                     download_time: SimDuration::ZERO,
                     executed_locally: true,
+                    retries: 0,
+                    fell_back_local: false,
+                    abandoned: false,
                 };
                 self.next_req_id += 1;
                 let req = self.alloc_slot(RequestLifecycle::new(record, task, now));
@@ -620,12 +772,23 @@ impl Simulation {
         let affinity_hit = resident && !code_transferred;
         let code_to_load = if resident { 0 } else { profile.app_code_bytes };
 
-        // Network: connect + upload.
+        // Network: connect + upload. The transfer is walked across the
+        // fault plan's link windows; with no overlapping window the
+        // outcome is the integer-exact `now + connect + upload_time`.
         let connect = self.link.connect_time(&mut rng);
         let upload_bytes = task.payload_bytes + task.control_bytes + code_bytes_sent;
         let upload_time = self
             .link
             .transfer_time(upload_bytes, Direction::Upload, &mut rng);
+        let start = now + connect;
+        let outcome = transfer_outcome(&self.link_windows, start, upload_time);
+        // Interrupted attempts charge nothing up front: the whole
+        // attempt dwell is attributed to fault recovery when the
+        // TransferFault lands.
+        let (charged_connect, charged_upload) = match outcome {
+            TransferOutcome::Completes { at } => (connect, at.saturating_since(start)),
+            TransferOutcome::Interrupted { .. } => (SimDuration::ZERO, SimDuration::ZERO),
+        };
 
         let local = self.cfg.device_spec.local_execution_time(task.compute);
         let record = RequestRecord {
@@ -637,8 +800,8 @@ impl Simulation {
             arrived_at: now,
             completed_at: now, // finalized later
             phases: PhaseBreakdown {
-                network_connection: connect,
-                data_transfer: upload_time,
+                network_connection: charged_connect,
+                data_transfer: charged_upload,
                 ..Default::default()
             },
             upload_bytes,
@@ -647,19 +810,35 @@ impl Simulation {
             code_transferred,
             cid_affinity_hit: affinity_hit,
             local_execution: local,
-            upload_time,
+            upload_time: charged_upload,
             download_time: SimDuration::ZERO,
             executed_locally: false,
+            retries: 0,
+            fell_back_local: false,
+            abandoned: false,
         };
         self.next_req_id += 1;
 
         let mut lifecycle = RequestLifecycle::new(record, task, now);
         lifecycle.instance = Some(instance);
         lifecycle.code_to_load = code_to_load;
+        lifecycle.upfront_connect = charged_connect;
+        lifecycle.upfront_transfer = charged_upload;
         let req = self.alloc_slot(lifecycle);
         self.transition(now, req, Phase::DataTransferUp);
-        self.queue
-            .schedule(now + connect + upload_time, Event::UploadDone { req });
+        match outcome {
+            TransferOutcome::Completes { at } => {
+                let gen = self.slot_gen[req];
+                self.queue.schedule(at, Event::UploadDone { req, gen });
+            }
+            TransferOutcome::Interrupted { at, fraction_done } => {
+                let remaining =
+                    (((1.0 - fraction_done) * upload_bytes as f64).ceil() as u64).max(1);
+                self.pending[req].resume = Some(ResumeStage::Upload { bytes: remaining });
+                let gen = self.slot_gen[req];
+                self.queue.schedule(at, Event::TransferFault { req, gen });
+            }
+        }
     }
 
     fn provision(&mut self, now: SimTime, device: u32) -> Option<InstanceId> {
@@ -749,8 +928,9 @@ impl Simulation {
             let aid = aid_of(app_id);
             self.warehouse.note_loaded(&aid, instance);
         }
+        let gen = self.slot_gen[req];
         self.queue
-            .schedule(now + load_time, Event::CodeLoaded { req });
+            .schedule(now + load_time, Event::CodeLoaded { req, gen });
     }
 
     fn on_code_loaded(&mut self, now: SimTime, req: usize) {
@@ -767,7 +947,14 @@ impl Simulation {
             .unwrap_or(self.cfg.platform.runtime_class);
         let eff = class.spec().cpu_efficiency;
         let ghz = self.host.host_spec().clock_ghz;
-        let work_core_seconds = Megacycles(self.pending[req].task.compute.0).seconds_at(ghz, eff);
+        let mut work_core_seconds =
+            Megacycles(self.pending[req].task.compute.0).seconds_at(ghz, eff);
+        // Straggler fault: computations started inside a slowdown
+        // window carry the inflation factor (no window — fault-free or
+        // otherwise — touches the work term at all).
+        if let Some(factor) = self.straggler_factor_at(now) {
+            work_core_seconds *= factor;
+        }
         let job = self.cpu.submit(now, work_core_seconds, req);
         self.pending[req].cpu_job = Some(job);
         self.cpu
@@ -833,7 +1020,9 @@ impl Simulation {
                 now + t.max(SimDuration::from_micros(1)),
                 bytes as f64,
             );
-            self.queue.schedule(now + t, Event::TmpfsIoDone { req });
+            let gen = self.slot_gen[req];
+            self.queue
+                .schedule(now + t, Event::TmpfsIoDone { req, gen });
         } else {
             // Random-access traffic on the shared HDD, inflated by the
             // virtualization I/O path.
@@ -885,7 +1074,8 @@ impl Simulation {
             self.start_service(now, instance, next);
         }
 
-        // Download the result.
+        // Download the result, walked across the fault plan's link
+        // windows exactly like the upload.
         let device = self.pending[req].record.device;
         let seq = self.pending[req].record.seq_on_device;
         let mut rng = self.req_rng(device, seq).fork(0xD0);
@@ -894,16 +1084,55 @@ impl Simulation {
             .link
             .transfer_time(bytes, Direction::Download, &mut rng);
         self.pending[req].record.download_bytes = bytes;
-        self.pending[req].record.download_time = dl;
-        self.pending[req].record.phases.data_transfer += dl;
-        self.queue
-            .schedule(now + dl, Event::RequestComplete { req });
+        self.schedule_download(now, req, bytes, dl);
+    }
+
+    /// Price the download of `bytes` (nominal duration `dl`) starting
+    /// at `now` against the link windows, charge accordingly, and
+    /// schedule the completion or interruption event.
+    fn schedule_download(&mut self, now: SimTime, req: usize, bytes: u64, dl: SimDuration) {
+        match transfer_outcome(&self.link_windows, now, dl) {
+            TransferOutcome::Completes { at } => {
+                let actual = at.saturating_since(now);
+                let lc = &mut self.pending[req];
+                lc.record.download_time += actual;
+                lc.record.phases.data_transfer += actual;
+                lc.upfront_connect = SimDuration::ZERO;
+                lc.upfront_transfer = actual;
+                let gen = self.slot_gen[req];
+                self.queue.schedule(at, Event::RequestComplete { req, gen });
+            }
+            TransferOutcome::Interrupted { at, fraction_done } => {
+                let remaining = (((1.0 - fraction_done) * bytes as f64).ceil() as u64).max(1);
+                let lc = &mut self.pending[req];
+                lc.upfront_connect = SimDuration::ZERO;
+                lc.upfront_transfer = SimDuration::ZERO;
+                lc.resume = Some(ResumeStage::Download { bytes: remaining });
+                let gen = self.slot_gen[req];
+                self.queue.schedule(at, Event::TransferFault { req, gen });
+            }
+        }
     }
 
     fn on_request_complete(&mut self, now: SimTime, req: usize, sink: &mut dyn RequestSink) {
-        self.transition(now, req, Phase::Done);
+        self.complete_request(now, req, sink, Phase::Done);
+    }
+
+    /// Deliver `req` to the sink in terminal phase `terminal` (Done for
+    /// served or fallback requests, Abandoned for exhausted ones) and
+    /// recycle its slot. Abandoned requests still count as completed —
+    /// the run-termination accounting must drain every request.
+    fn complete_request(
+        &mut self,
+        now: SimTime,
+        req: usize,
+        sink: &mut dyn RequestSink,
+        terminal: Phase,
+    ) {
+        self.transition(now, req, terminal);
         self.completed += 1;
         self.finished_at = self.finished_at.max(now);
+        self.fault_stats.time_lost += self.pending[req].record.phases.fault_recovery;
         sink.accept(self.pending[req].record.clone());
 
         // Closed loop: think, then issue the next request.
@@ -918,7 +1147,9 @@ impl Simulation {
             }
         }
 
-        // The slot holds no live state now; recycle it.
+        // The slot holds no live state now; recycle it. The generation
+        // bump drops any event still in flight for this slot.
+        self.slot_gen[req] += 1;
         self.free_slots.push(req);
     }
 
@@ -927,6 +1158,341 @@ impl Simulation {
         if let Some(waiters) = self.boot_waiters.remove(&instance) {
             for req in waiters {
                 self.try_start_service(now, instance, req);
+            }
+        }
+    }
+
+    // ---- fault plane -----------------------------------------------------
+
+    /// The server slowdown factor at `t`, if any window covers it.
+    fn straggler_factor_at(&self, t: SimTime) -> Option<f64> {
+        let factor = self
+            .straggler_windows
+            .iter()
+            .filter(|w| w.start <= t && t < w.end)
+            .map(|w| w.factor)
+            .fold(1.0_f64, f64::max);
+        (factor > 1.0).then_some(factor)
+    }
+
+    /// An instance-crash event fires: pick the victim by the plan's
+    /// selector over the live instances (deterministic: sorted ids) and
+    /// kill it. A crash with no live instance fizzles.
+    fn on_instance_fault(&mut self, now: SimTime, idx: usize, sink: &mut dyn RequestSink) {
+        let selector = self.crash_events[idx].1;
+        let mut ids: Vec<InstanceId> = self.db.iter().map(|r| r.id).collect();
+        if ids.is_empty() {
+            return;
+        }
+        ids.sort();
+        let victim = ids[(selector % ids.len() as u64) as usize];
+        self.crash_instance(now, victim, sink);
+    }
+
+    /// Kill `victim` now: every request waiting on its boot, queued for
+    /// it, or being served by it loses the attempt. Requests still
+    /// *uploading* toward it are spared — their upload lands and the
+    /// existing instance-gone path re-provisions transparently, exactly
+    /// as for an idle-reclaimed instance.
+    fn crash_instance(&mut self, now: SimTime, victim: InstanceId, sink: &mut dyn RequestSink) {
+        if self.host.teardown(victim).is_err() {
+            return;
+        }
+        let mut hit: Vec<usize> = Vec::new();
+        if let Some(waiters) = self.boot_waiters.remove(&victim) {
+            hit.extend(waiters);
+        }
+        if let Some(queue) = self.instance_queue.get_mut(&victim) {
+            hit.extend(queue.drain(..));
+        }
+        for i in 0..self.pending.len() {
+            let lc = &self.pending[i];
+            if lc.instance == Some(victim)
+                && matches!(
+                    lc.phase(),
+                    Phase::CodeLoad | Phase::Compute | Phase::OffloadIo
+                )
+                && !hit.contains(&i)
+            {
+                hit.push(i);
+            }
+        }
+        hit.sort_unstable();
+        self.db.remove(victim);
+        self.instance_busy.remove(&victim);
+        self.instance_queue.remove(&victim);
+        self.warehouse.invalidate_container(victim);
+        self.monitor.forget(victim);
+        for req in hit {
+            let task = &self.pending[req].task;
+            let resume = ResumeStage::Upload {
+                bytes: task.payload_bytes + task.control_bytes,
+            };
+            self.fault_request(now, req, resume, sink);
+        }
+    }
+
+    /// A link fault interrupted the in-flight transfer of `req`; the
+    /// resume stage (with the partial-progress remainder) was stored
+    /// when the interruption was priced.
+    fn on_transfer_fault(&mut self, now: SimTime, req: usize, sink: &mut dyn RequestSink) {
+        let resume = self.pending[req].resume.take().unwrap_or_else(|| {
+            let task = &self.pending[req].task;
+            ResumeStage::Upload {
+                bytes: task.payload_bytes + task.control_bytes,
+            }
+        });
+        self.fault_request(now, req, resume, sink);
+    }
+
+    /// `req` dwelt past the policy timeout in its current phase. The
+    /// timeout knows nothing about partial progress, so the retry
+    /// restarts the pipeline stage from scratch.
+    fn on_phase_timeout(&mut self, now: SimTime, req: usize, sink: &mut dyn RequestSink) {
+        let task = &self.pending[req].task;
+        let resume = match self.pending[req].phase() {
+            Phase::DataTransferDown => ResumeStage::Download {
+                bytes: task.result_bytes,
+            },
+            _ => ResumeStage::Upload {
+                bytes: task.payload_bytes + task.control_bytes,
+            },
+        };
+        self.fault_request(now, req, resume, sink);
+    }
+
+    /// The attempt of `req` just died (crash, link fault, or timeout).
+    /// Undo the attempt's up-front charges and resource holds, park the
+    /// request in [`Phase::Retrying`], and spend the policy budget:
+    /// backoff + retry while attempts remain, then graceful degradation
+    /// to on-device execution, then abandonment.
+    fn fault_request(
+        &mut self,
+        now: SimTime,
+        req: usize,
+        resume: ResumeStage,
+        sink: &mut dyn RequestSink,
+    ) {
+        let phase = self.pending[req].phase();
+        self.fault_stats.record_strike(phase);
+        // Invalidate every event the dead attempt scheduled.
+        self.slot_gen[req] += 1;
+        let instance = self.pending[req].instance;
+        match phase {
+            Phase::DataTransferUp => {
+                // Reverse the up-front transfer charges (zero when the
+                // attempt was priced as interrupted) — the dwell lands
+                // in fault_recovery instead via the transition below.
+                let connect = self.pending[req].upfront_connect;
+                let transfer = self.pending[req].upfront_transfer;
+                let record = &mut self.pending[req].record;
+                record.phases.network_connection -= connect;
+                record.phases.data_transfer -= transfer;
+                record.upload_time -= transfer;
+                if let Some(id) = instance {
+                    if let Some(rec) = self.db.get_mut(id) {
+                        rec.active_jobs = rec.active_jobs.saturating_sub(1);
+                    }
+                }
+            }
+            Phase::RuntimePrep => {
+                if let Some(id) = instance {
+                    if let Some(waiters) = self.boot_waiters.get_mut(&id) {
+                        waiters.retain(|&r| r != req);
+                    }
+                    if let Some(queue) = self.instance_queue.get_mut(&id) {
+                        queue.retain(|&r| r != req);
+                    }
+                    if let Some(rec) = self.db.get_mut(id) {
+                        rec.active_jobs = rec.active_jobs.saturating_sub(1);
+                    }
+                }
+            }
+            Phase::CodeLoad | Phase::Compute | Phase::OffloadIo => {
+                if let Some(job) = self.pending[req].cpu_job.take() {
+                    self.cpu.cancel(now, job);
+                    self.cpu
+                        .reschedule(now, &mut self.queue, |epoch| Event::CpuCheck { epoch });
+                }
+                if let Some(job) = self.pending[req].disk_job.take() {
+                    self.disk.cancel(now, job);
+                    self.disk
+                        .reschedule(now, &mut self.queue, |epoch| Event::DiskCheck { epoch });
+                }
+                // Release the runtime like finish_io does — unless the
+                // fault *is* the runtime crashing, in which case it is
+                // already gone.
+                if let Some(id) = instance {
+                    if self.db.get(id).is_some() {
+                        self.instance_busy.insert(id, false);
+                        if let Some(rec) = self.db.get_mut(id) {
+                            rec.active_jobs = rec.active_jobs.saturating_sub(1);
+                            rec.last_active = now;
+                        }
+                        if let Some(next) = self.instance_queue.entry(id).or_default().pop_front() {
+                            self.start_service(now, id, next);
+                        }
+                    }
+                }
+            }
+            Phase::DataTransferDown => {
+                let transfer = self.pending[req].upfront_transfer;
+                let record = &mut self.pending[req].record;
+                record.phases.data_transfer -= transfer;
+                record.download_time -= transfer;
+            }
+            _ => {}
+        }
+        self.pending[req].upfront_connect = SimDuration::ZERO;
+        self.pending[req].upfront_transfer = SimDuration::ZERO;
+        self.pending[req].instance = None;
+
+        self.transition(now, req, Phase::Retrying);
+        self.pending[req].resume = Some(resume);
+        self.pending[req].attempts += 1;
+        let attempts = self.pending[req].attempts;
+        let policy = self.cfg.resilience.clone();
+        if attempts <= policy.max_retries {
+            let device = self.pending[req].record.device;
+            let seq = self.pending[req].record.seq_on_device;
+            let mut rng = self
+                .req_rng(device, seq)
+                .fork(0xB0FF ^ ((attempts as u64) << 16));
+            let backoff = policy.backoff_delay(attempts, &mut rng);
+            // Retrying into a known outage is pointless — wait it out.
+            let retry_at = link_available_at(&self.link_windows, now + backoff);
+            let gen = self.slot_gen[req];
+            self.queue.schedule(retry_at, Event::Retry { req, gen });
+        } else if policy.fallback_local {
+            self.fault_stats.fallbacks += 1;
+            self.pending[req].record.fell_back_local = true;
+            self.transition(now, req, Phase::FallbackLocal);
+            // Graceful degradation: finish on the device's own CPU,
+            // fair-shared with whatever else the device is running.
+            let device = self.pending[req].record.device;
+            let work = self.pending[req].record.local_execution.as_secs_f64();
+            let exec = self
+                .device_cpus
+                .entry(device)
+                .or_insert_with(|| FairShareExecutor::new(1.0, 1.0));
+            exec.submit(now, work, req);
+            exec.reschedule(now, &mut self.queue, |epoch| Event::DeviceCpuCheck {
+                device,
+                epoch,
+            });
+        } else {
+            self.fault_stats.abandoned += 1;
+            self.pending[req].record.abandoned = true;
+            self.complete_request(now, req, sink, Phase::Abandoned);
+        }
+    }
+
+    /// Backoff elapsed: launch the next attempt from the stored resume
+    /// stage. A download remainder re-prices only the missing bytes; an
+    /// upload restart re-places the request (the old instance may be
+    /// dead) and re-sends code if the new runtime needs it.
+    fn on_retry(&mut self, now: SimTime, req: usize) {
+        debug_assert_eq!(self.pending[req].phase(), Phase::Retrying);
+        let resume = self.pending[req].resume.take().unwrap_or_else(|| {
+            let task = &self.pending[req].task;
+            ResumeStage::Upload {
+                bytes: task.payload_bytes + task.control_bytes,
+            }
+        });
+        self.fault_stats.retries += 1;
+        self.pending[req].record.retries += 1;
+        let device = self.pending[req].record.device;
+        let seq = self.pending[req].record.seq_on_device;
+        let attempt = self.pending[req].attempts as u64;
+        match resume {
+            ResumeStage::Download { bytes } => {
+                self.transition(now, req, Phase::DataTransferDown);
+                let mut rng = self.req_rng(device, seq).fork(0xD0F0 ^ (attempt << 8));
+                let dl = self
+                    .link
+                    .transfer_time(bytes, Direction::Download, &mut rng);
+                self.schedule_download(now, req, bytes, dl);
+            }
+            ResumeStage::Upload { bytes } => {
+                let kind = self.pending[req].record.kind;
+                let app_id = kind.app_id();
+                let aid = aid_of(app_id);
+                let profile = kind.profile();
+                // Re-place: the original instance may be gone.
+                let cid_hint: Vec<InstanceId> = self.warehouse.containers_with(&aid).to_vec();
+                let placement = self.dispatcher.place(&self.db, device, &cid_hint);
+                let instance = match placement {
+                    Placement::Existing(id) => id,
+                    Placement::Provision => match self.provision(now, device) {
+                        Some(id) => id,
+                        None => self
+                            .dispatcher
+                            .place(&self.db, device, &[])
+                            .existing_or_first(&self.db)
+                            .expect("some instance exists"),
+                    },
+                };
+                if let Some(rec) = self.db.get_mut(instance) {
+                    rec.active_jobs += 1;
+                }
+                let code_transferred = if self.cfg.platform.code_cache {
+                    !self.warehouse.lookup(&aid)
+                } else {
+                    self.code_pushed.insert((instance, app_id))
+                };
+                let code_bytes_now = if code_transferred {
+                    profile.app_code_bytes
+                } else {
+                    0
+                };
+                if self.cfg.platform.code_cache && code_transferred {
+                    self.warehouse
+                        .insert(aid.clone(), app_id, profile.app_code_bytes);
+                }
+                let resident = self
+                    .host
+                    .instance(instance)
+                    .map(|i| i.apps_loaded.contains(app_id))
+                    .unwrap_or(false);
+                {
+                    let lc = &mut self.pending[req];
+                    lc.instance = Some(instance);
+                    lc.code_to_load = if resident { 0 } else { profile.app_code_bytes };
+                    lc.record.code_bytes_sent += code_bytes_now;
+                    lc.record.code_transferred |= code_transferred;
+                    lc.record.upload_bytes += code_bytes_now;
+                }
+                let mut rng = self.req_rng(device, seq).fork(0xFA00 ^ (attempt << 8));
+                let connect = self.link.connect_time(&mut rng);
+                let wire_bytes = bytes + code_bytes_now;
+                let up = self
+                    .link
+                    .transfer_time(wire_bytes, Direction::Upload, &mut rng);
+                self.transition(now, req, Phase::DataTransferUp);
+                let start = now + connect;
+                match transfer_outcome(&self.link_windows, start, up) {
+                    TransferOutcome::Completes { at } => {
+                        let actual = at.saturating_since(start);
+                        let lc = &mut self.pending[req];
+                        lc.record.phases.network_connection += connect;
+                        lc.record.phases.data_transfer += actual;
+                        lc.record.upload_time += actual;
+                        lc.upfront_connect = connect;
+                        lc.upfront_transfer = actual;
+                        let gen = self.slot_gen[req];
+                        self.queue.schedule(at, Event::UploadDone { req, gen });
+                    }
+                    TransferOutcome::Interrupted { at, fraction_done } => {
+                        let remaining =
+                            (((1.0 - fraction_done) * wire_bytes as f64).ceil() as u64).max(1);
+                        let lc = &mut self.pending[req];
+                        lc.upfront_connect = SimDuration::ZERO;
+                        lc.upfront_transfer = SimDuration::ZERO;
+                        lc.resume = Some(ResumeStage::Upload { bytes: remaining });
+                        let gen = self.slot_gen[req];
+                        self.queue.schedule(at, Event::TransferFault { req, gen });
+                    }
+                }
             }
         }
     }

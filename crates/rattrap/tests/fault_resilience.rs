@@ -1,0 +1,159 @@
+//! Fault plane + resilience policy contract.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Inertness** — a rate-zero fault plan plus the default policy
+//!    is *exactly* the fault-free engine: the digest matches the
+//!    golden anchor from `golden_determinism.rs` bit for bit.
+//! 2. **Determinism under fire** — the same faulty scenario at the
+//!    same seed produces the same report, twice and across policies'
+//!    RNG streams (faults draw from dedicated seed streams, never from
+//!    the request streams).
+//! 3. **Terminality** — whatever the fault plan throws at a run, every
+//!    request ends in a terminal phase: served, degraded to on-device
+//!    execution, or abandoned. No lifecycle is ever left in flight
+//!    (the run completing at all proves the event queue drained).
+
+use proptest::prelude::*;
+use rattrap::platform::PlatformKind;
+use rattrap::simulation::{run_scenario, ScenarioConfig};
+use rattrap::ResiliencePolicy;
+use simkit::FaultConfig;
+use workloads::WorkloadKind;
+
+const GOLDEN_SEED: u64 = 0x2017_0529;
+/// `Rattrap`/`Ocr` anchor from `golden_determinism.rs` — keep in sync.
+const RATTRAP_OCR_GOLDEN: u64 = 0x988d5275376ae587;
+
+fn faulty_cfg(intensity: f64, policy: ResiliencePolicy, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        faults: FaultConfig::scaled(intensity),
+        resilience: policy,
+        ..ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, seed)
+    }
+}
+
+#[test]
+fn rate_zero_plan_reproduces_the_golden_digest() {
+    let report = run_scenario(faulty_cfg(0.0, ResiliencePolicy::none(), GOLDEN_SEED));
+    assert_eq!(
+        report.digest(),
+        RATTRAP_OCR_GOLDEN,
+        "an explicit rate-0 fault plan must be bit-identical to the fault-free engine"
+    );
+    assert_eq!(report.fault_stats.injected, 0);
+    assert_eq!(report.fault_stats.strikes, 0);
+    assert_eq!(report.fault_stats.time_lost, simkit::SimDuration::ZERO);
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let a = run_scenario(faulty_cfg(4.0, ResiliencePolicy::standard(), GOLDEN_SEED));
+    let b = run_scenario(faulty_cfg(4.0, ResiliencePolicy::standard(), GOLDEN_SEED));
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "same faults, same seed, same policy => same report"
+    );
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_ne!(
+        a.digest(),
+        RATTRAP_OCR_GOLDEN,
+        "a heavy fault plan must visibly perturb the run"
+    );
+}
+
+#[test]
+fn heavy_faults_actually_strike_and_policies_respond() {
+    let report = run_scenario(faulty_cfg(6.0, ResiliencePolicy::standard(), GOLDEN_SEED));
+    let stats = &report.fault_stats;
+    assert!(stats.injected > 0, "scaled(6.0) must schedule faults");
+    assert!(stats.strikes > 0, "a heavy plan must hit live requests");
+    assert!(stats.retries > 0, "struck requests must retry");
+    assert_eq!(
+        stats.strikes,
+        stats.strikes_by_phase.values().sum::<u64>(),
+        "per-phase attribution must account for every strike"
+    );
+    assert!(
+        stats.time_lost > simkit::SimDuration::ZERO,
+        "strikes cost wall-clock"
+    );
+    let recovered: u64 = report
+        .requests
+        .iter()
+        .map(|r| r.phases.fault_recovery.as_micros())
+        .sum();
+    assert_eq!(
+        stats.time_lost.as_micros(),
+        recovered,
+        "time_lost is the sum of per-request fault_recovery"
+    );
+}
+
+#[test]
+fn standard_policy_always_delivers_a_response() {
+    for intensity in [1.0, 3.0, 6.0] {
+        let report = run_scenario(faulty_cfg(
+            intensity,
+            ResiliencePolicy::standard(),
+            GOLDEN_SEED,
+        ));
+        assert_eq!(report.fault_stats.abandoned, 0);
+        assert!(
+            report.requests.iter().all(|r| !r.abandoned),
+            "graceful degradation must leave no request unanswered at intensity {intensity}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every injected fault leads to a terminal request state: the run
+    /// drains (completing at all proves it), delivers exactly the
+    /// expected request count, stays within the retry budget, and
+    /// never double-disposes a request.
+    #[test]
+    fn every_request_terminates_under_any_fault_plan(
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..8.0,
+        policy_pick in 0usize..3,
+    ) {
+        let policy = match policy_pick {
+            0 => ResiliencePolicy::none(),
+            1 => ResiliencePolicy::retry_only(),
+            _ => ResiliencePolicy::standard(),
+        };
+        let budget = policy.max_retries;
+        let fallback = policy.fallback_local;
+        let cfg = faulty_cfg(intensity, policy, seed);
+        let expected = (cfg.devices * cfg.requests_per_device) as usize;
+        let report = run_scenario(cfg);
+
+        prop_assert_eq!(
+            report.requests.len(),
+            expected,
+            "every arrival must reach a terminal state"
+        );
+        for r in &report.requests {
+            prop_assert!(
+                r.retries <= budget,
+                "request {} used {} retries against a budget of {}",
+                r.id, r.retries, budget
+            );
+            prop_assert!(
+                !(r.abandoned && r.fell_back_local),
+                "abandoned and fallback are mutually exclusive dispositions"
+            );
+            prop_assert!(
+                !r.abandoned || !fallback,
+                "a fallback policy never abandons"
+            );
+        }
+        let abandoned = report.requests.iter().filter(|r| r.abandoned).count() as u64;
+        prop_assert_eq!(report.fault_stats.abandoned, abandoned);
+        let fallbacks = report.requests.iter().filter(|r| r.fell_back_local).count() as u64;
+        prop_assert_eq!(report.fault_stats.fallbacks, fallbacks);
+    }
+}

@@ -104,6 +104,31 @@ impl<T> FairShareExecutor<T> {
         Some(payload)
     }
 
+    /// Work still outstanding on `job` as of `now` (advances the
+    /// device first so the answer reflects progress up to `now`), or
+    /// `None` if the job is unknown. The caller must follow up with
+    /// [`reschedule`] if it mutates the job set based on the answer.
+    ///
+    /// [`reschedule`]: FairShareExecutor::reschedule
+    pub fn remaining(&mut self, now: SimTime, job: JobId) -> Option<f64> {
+        self.resource.advance_to(now);
+        self.resource.remaining(job)
+    }
+
+    /// Change the device capacity at `now` (degradation/restoration
+    /// epochs): work done so far is charged at the old rate, then the
+    /// new rate applies. The caller must follow up with [`reschedule`]
+    /// — the predicted completion instants are all stale.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite.
+    ///
+    /// [`reschedule`]: FairShareExecutor::reschedule
+    pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
+        self.resource.advance_to(now);
+        self.resource.set_capacity(capacity);
+    }
+
     /// Advance the device to `now`, invalidate any outstanding
     /// completion check by bumping the epoch, and — if jobs remain —
     /// schedule a fresh check into `queue` at the predicted next

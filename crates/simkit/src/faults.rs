@@ -1,0 +1,630 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded schedule of fault events — link outages,
+//! bandwidth-degradation windows, instance crashes and straggler
+//! slowdowns — derived from the scenario RNG via [`derive_seed`], so a
+//! replay with the same seed reproduces the identical fault schedule
+//! bit-for-bit. The plan is generated *ahead of time* (before the first
+//! simulated event) from independent per-class Poisson streams; the
+//! consuming engine therefore never draws fault randomness during the
+//! run, and an inert config ([`FaultConfig::none`] or any zero-rate
+//! scaling) yields an empty plan that perturbs nothing: the fault-free
+//! path stays bit-identical.
+//!
+//! Link-affecting faults are exposed as piecewise-constant
+//! [`LinkWindow`]s (rate factor 0 = outage, 0 < f < 1 = degradation);
+//! [`transfer_outcome`] walks a transfer analytically across those
+//! windows and reports either a (possibly stretched) completion instant
+//! or the interruption point with the fraction of bytes that made it
+//! across — the partial-progress input for resume-style retries.
+
+use crate::random::{derive_seed, SimRng};
+use crate::time::{SimDuration, SimTime};
+
+/// Per-class fault intensities. All rates are events per simulated
+/// hour over `[0, horizon)`; a rate of zero disables the class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Link outages (hard loss of connectivity) per hour.
+    pub outage_rate_per_hour: f64,
+    /// Mean outage duration (exponentially distributed).
+    pub mean_outage: SimDuration,
+    /// Bandwidth-degradation windows per hour.
+    pub degradation_rate_per_hour: f64,
+    /// Mean degradation-window duration (exponentially distributed).
+    pub mean_degradation: SimDuration,
+    /// Link-rate multiplier inside a degradation window, in `(0, 1)`.
+    pub degradation_factor: f64,
+    /// Instance crashes per hour.
+    pub crash_rate_per_hour: f64,
+    /// Straggler (server slowdown) windows per hour.
+    pub straggler_rate_per_hour: f64,
+    /// Mean straggler-window duration (exponentially distributed).
+    pub mean_straggler: SimDuration,
+    /// Work-inflation multiplier for compute submitted inside a
+    /// straggler window, `>= 1`.
+    pub straggler_factor: f64,
+    /// Faults are generated over `[0, horizon)`.
+    pub horizon: SimDuration,
+}
+
+impl FaultConfig {
+    /// No faults at all: every rate zero. Guaranteed to generate an
+    /// empty plan.
+    pub fn none() -> Self {
+        FaultConfig {
+            outage_rate_per_hour: 0.0,
+            mean_outage: SimDuration::from_secs(8),
+            degradation_rate_per_hour: 0.0,
+            mean_degradation: SimDuration::from_secs(20),
+            degradation_factor: 0.35,
+            crash_rate_per_hour: 0.0,
+            straggler_rate_per_hour: 0.0,
+            mean_straggler: SimDuration::from_secs(15),
+            straggler_factor: 6.0,
+            horizon: SimDuration::from_secs(2 * 3600),
+        }
+    }
+
+    /// The standard mixed-fault profile at `intensity` (events/hour per
+    /// class scale linearly; `0.0` is exactly [`FaultConfig::none`]'s
+    /// rates). Used by the fault-sweep experiment.
+    pub fn scaled(intensity: f64) -> Self {
+        FaultConfig {
+            outage_rate_per_hour: 10.0 * intensity,
+            degradation_rate_per_hour: 14.0 * intensity,
+            crash_rate_per_hour: 8.0 * intensity,
+            straggler_rate_per_hour: 10.0 * intensity,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// `true` when no class can generate an event.
+    pub fn is_inert(&self) -> bool {
+        (self.outage_rate_per_hour <= 0.0
+            && self.degradation_rate_per_hour <= 0.0
+            && self.crash_rate_per_hour <= 0.0
+            && self.straggler_rate_per_hour <= 0.0)
+            || self.horizon.is_zero()
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The device ↔ cloud link is down for `duration`; transfers in
+    /// flight are interrupted at onset.
+    LinkOutage {
+        /// How long the link stays down.
+        duration: SimDuration,
+    },
+    /// Link capacity is multiplied by `factor` for `duration`.
+    LinkDegradation {
+        /// Window length.
+        duration: SimDuration,
+        /// Rate multiplier in `(0, 1)`.
+        factor: f64,
+    },
+    /// A runtime instance dies. The victim is chosen *at fire time* by
+    /// the consumer as `selector % live_instances` over a sorted id
+    /// list, so the plan stays independent of engine state.
+    InstanceCrash {
+        /// Deterministic victim selector.
+        selector: u64,
+    },
+    /// Server work submitted inside the window is inflated by `factor`.
+    Straggler {
+        /// Window length.
+        duration: SimDuration,
+        /// Work multiplier, `>= 1`.
+        factor: f64,
+    },
+}
+
+/// A fault event: what happens and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Onset instant.
+    pub at: SimTime,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// A window during which the link runs at `rate_factor` × nominal
+/// (`0.0` = outage). Derived from a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Link-rate multiplier, `0.0 ..= 1.0`.
+    pub rate_factor: f64,
+}
+
+/// A window during which server compute submissions are inflated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Work multiplier, `>= 1`.
+    pub factor: f64,
+}
+
+/// The seeded, pre-generated schedule of fault events for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+// Per-class sub-stream tags for `derive_seed` — adding a class never
+// perturbs the streams of existing classes.
+const STREAM_OUTAGE: u64 = 0xFA01;
+const STREAM_DEGRADATION: u64 = 0xFA02;
+const STREAM_CRASH: u64 = 0xFA03;
+const STREAM_STRAGGLER: u64 = 0xFA04;
+
+impl FaultPlan {
+    /// An empty plan (what [`FaultConfig::none`] generates).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generate the schedule for `cfg` from `seed`. Each fault class
+    /// draws from its own derived sub-stream, so the schedule of one
+    /// class is independent of the others' rates; the merged event list
+    /// is sorted by onset (ties break by class declaration order, then
+    /// within-class order — fully deterministic).
+    pub fn generate(cfg: &FaultConfig, seed: u64) -> Self {
+        if cfg.is_inert() {
+            return FaultPlan::empty();
+        }
+        let horizon = cfg.horizon;
+        let mut events: Vec<(SimTime, u32, u32, FaultKind)> = Vec::new();
+        let mut class =
+            |rate: f64, stream: u64, tag: u32, mk: &mut dyn FnMut(&mut SimRng) -> FaultKind| {
+                if rate <= 0.0 {
+                    return;
+                }
+                let mut rng = SimRng::new(derive_seed(seed, stream));
+                let mean_gap = 3600.0 / rate;
+                let mut t = SimTime::ZERO;
+                let mut idx = 0u32;
+                loop {
+                    t = t.saturating_add(SimDuration::from_secs_f64(rng.exponential(mean_gap)));
+                    if t >= SimTime::ZERO + horizon {
+                        break;
+                    }
+                    let kind = mk(&mut rng);
+                    events.push((t, tag, idx, kind));
+                    idx += 1;
+                }
+            };
+        let dur = |rng: &mut SimRng, mean: SimDuration| {
+            SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64().max(1e-3)))
+                .max(SimDuration::from_millis(1))
+        };
+        class(cfg.outage_rate_per_hour, STREAM_OUTAGE, 0, &mut |rng| {
+            FaultKind::LinkOutage {
+                duration: dur(rng, cfg.mean_outage),
+            }
+        });
+        class(
+            cfg.degradation_rate_per_hour,
+            STREAM_DEGRADATION,
+            1,
+            &mut |rng| FaultKind::LinkDegradation {
+                duration: dur(rng, cfg.mean_degradation),
+                factor: cfg.degradation_factor.clamp(0.01, 1.0),
+            },
+        );
+        class(cfg.crash_rate_per_hour, STREAM_CRASH, 2, &mut |rng| {
+            FaultKind::InstanceCrash {
+                selector: rng.uniform_u64(0, u64::MAX),
+            }
+        });
+        class(
+            cfg.straggler_rate_per_hour,
+            STREAM_STRAGGLER,
+            3,
+            &mut |rng| FaultKind::Straggler {
+                duration: dur(rng, cfg.mean_straggler),
+                factor: cfg.straggler_factor.max(1.0),
+            },
+        );
+        events.sort_by_key(|a| (a.0, a.1, a.2));
+        FaultPlan {
+            events: events
+                .into_iter()
+                .map(|(at, _, _, kind)| FaultEvent { at, kind })
+                .collect(),
+        }
+    }
+
+    /// `true` when the plan holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The full schedule, sorted by onset.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Link-affecting windows (outages and degradations), sorted by
+    /// start.
+    pub fn link_windows(&self) -> Vec<LinkWindow> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkOutage { duration } => Some(LinkWindow {
+                    start: e.at,
+                    end: e.at.saturating_add(duration),
+                    rate_factor: 0.0,
+                }),
+                FaultKind::LinkDegradation { duration, factor } => Some(LinkWindow {
+                    start: e.at,
+                    end: e.at.saturating_add(duration),
+                    rate_factor: factor,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Straggler windows, sorted by start.
+    pub fn straggler_windows(&self) -> Vec<StragglerWindow> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Straggler { duration, factor } => Some(StragglerWindow {
+                    start: e.at,
+                    end: e.at.saturating_add(duration),
+                    factor,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Instance-crash events as `(at, selector)` pairs, sorted by onset.
+    pub fn crashes(&self) -> Vec<(SimTime, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::InstanceCrash { selector } => Some((e.at, selector)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// How a transfer priced against a set of [`LinkWindow`]s ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// The transfer finishes at `at` (`>= start + nominal` when
+    /// degradation windows stretched it).
+    Completes {
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// An outage cut the connection at `at`, with `fraction_done` of
+    /// the bytes already across (resume input for a retry).
+    Interrupted {
+        /// Interruption instant (outage onset, or the transfer start if
+        /// the link was already down).
+        at: SimTime,
+        /// Fraction of the transfer completed, in `[0, 1)`.
+        fraction_done: f64,
+    },
+}
+
+/// The effective link-rate factor at `t`: `0` if any outage window
+/// covers `t`, otherwise the minimum factor over covering degradation
+/// windows (`1.0` when none does).
+fn rate_factor_at(windows: &[LinkWindow], t: SimTime) -> f64 {
+    windows
+        .iter()
+        .filter(|w| w.start <= t && t < w.end)
+        .map(|w| w.rate_factor)
+        .fold(1.0, f64::min)
+}
+
+/// Walk a transfer of nominal duration `nominal` starting at `start`
+/// across the fault windows.
+///
+/// When no window overlaps the transfer this returns *exactly*
+/// `start + nominal` (pure integer arithmetic — the fault-free path is
+/// bit-identical to not pricing at all). Degradation stretches the
+/// transfer by `1/factor` inside each window; hitting an outage (or
+/// starting inside one) interrupts it at the outage boundary with the
+/// fraction completed so far.
+pub fn transfer_outcome(
+    windows: &[LinkWindow],
+    start: SimTime,
+    nominal: SimDuration,
+) -> TransferOutcome {
+    let nominal_end = start.saturating_add(nominal);
+    // Fast path: nothing overlaps [start, start + nominal) — exact.
+    if windows
+        .iter()
+        .all(|w| w.end <= start || w.start >= nominal_end)
+    {
+        return TransferOutcome::Completes { at: nominal_end };
+    }
+    let total = nominal.as_secs_f64();
+    if total <= 0.0 {
+        // A zero-length transfer can still start inside an outage.
+        if rate_factor_at(windows, start) == 0.0 {
+            return TransferOutcome::Interrupted {
+                at: start,
+                fraction_done: 0.0,
+            };
+        }
+        return TransferOutcome::Completes { at: nominal_end };
+    }
+    let mut done = 0.0f64;
+    let mut t = start;
+    loop {
+        let factor = rate_factor_at(windows, t);
+        if factor <= 0.0 {
+            return TransferOutcome::Interrupted {
+                at: t,
+                fraction_done: (done / total).clamp(0.0, 1.0 - 1e-9),
+            };
+        }
+        // The next instant the effective rate could change.
+        let boundary = windows
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .filter(|&b| b > t)
+            .min();
+        let needed = SimDuration::from_secs_f64((total - done) / factor);
+        let finish = t.saturating_add(needed);
+        match boundary {
+            Some(b) if b < finish => {
+                done += (b - t).as_secs_f64() * factor;
+                t = b;
+            }
+            _ => return TransferOutcome::Completes { at: finish },
+        }
+    }
+}
+
+/// The earliest instant `>= t` at which the link is up (outside every
+/// outage window). Retries that need the network wait at least until
+/// then.
+pub fn link_available_at(windows: &[LinkWindow], t: SimTime) -> SimTime {
+    let mut t = t;
+    loop {
+        let covering = windows
+            .iter()
+            .filter(|w| w.rate_factor == 0.0 && w.start <= t && t < w.end)
+            .map(|w| w.end)
+            .max();
+        match covering {
+            Some(end) => t = end,
+            None => return t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn inert_config_generates_empty_plan() {
+        assert!(FaultPlan::generate(&FaultConfig::none(), 42).is_empty());
+        assert!(FaultPlan::generate(&FaultConfig::scaled(0.0), 42).is_empty());
+        assert!(FaultConfig::scaled(0.0).is_inert());
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = FaultConfig::scaled(3.0);
+        let a = FaultPlan::generate(&cfg, 0xDEAD);
+        let b = FaultPlan::generate(&cfg, 0xDEAD);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&cfg, 0xBEEF);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Turning a class off must not move the others' events.
+        let full = FaultPlan::generate(&FaultConfig::scaled(2.0), 7);
+        let mut no_crash = FaultConfig::scaled(2.0);
+        no_crash.crash_rate_per_hour = 0.0;
+        let partial = FaultPlan::generate(&no_crash, 7);
+        let keep: Vec<_> = full
+            .events()
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultKind::InstanceCrash { .. }))
+            .copied()
+            .collect();
+        assert_eq!(keep, partial.events());
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_horizon() {
+        let cfg = FaultConfig {
+            horizon: SimDuration::from_secs(600),
+            ..FaultConfig::scaled(30.0)
+        };
+        let plan = FaultPlan::generate(&cfg, 11);
+        assert!(plan.len() > 4);
+        let ends: Vec<_> = plan.events().windows(2).collect();
+        assert!(ends.iter().all(|p| p[0].at <= p[1].at), "sorted by onset");
+        assert!(plan.events().iter().all(|e| e.at < t(600.0)));
+    }
+
+    #[test]
+    fn no_overlap_completes_exactly_at_nominal_end() {
+        let windows = vec![LinkWindow {
+            start: t(100.0),
+            end: t(110.0),
+            rate_factor: 0.0,
+        }];
+        let start = SimTime::from_micros(12_345);
+        let nominal = SimDuration::from_micros(6_789);
+        assert_eq!(
+            transfer_outcome(&windows, start, nominal),
+            TransferOutcome::Completes {
+                at: start + nominal
+            },
+            "integer-exact when untouched by any window"
+        );
+        assert_eq!(
+            transfer_outcome(&[], start, nominal),
+            TransferOutcome::Completes {
+                at: start + nominal
+            }
+        );
+    }
+
+    #[test]
+    fn outage_interrupts_with_partial_progress() {
+        // 10 s transfer starting at t=0; link dies at t=4.
+        let windows = vec![LinkWindow {
+            start: t(4.0),
+            end: t(9.0),
+            rate_factor: 0.0,
+        }];
+        match transfer_outcome(&windows, SimTime::ZERO, d(10.0)) {
+            TransferOutcome::Interrupted { at, fraction_done } => {
+                assert_eq!(at, t(4.0));
+                assert!((fraction_done - 0.4).abs() < 1e-9, "40% made it");
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starting_inside_an_outage_fails_immediately() {
+        let windows = vec![LinkWindow {
+            start: t(1.0),
+            end: t(5.0),
+            rate_factor: 0.0,
+        }];
+        match transfer_outcome(&windows, t(2.0), d(3.0)) {
+            TransferOutcome::Interrupted { at, fraction_done } => {
+                assert_eq!(at, t(2.0));
+                assert_eq!(fraction_done, 0.0);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        assert_eq!(link_available_at(&windows, t(2.0)), t(5.0));
+        assert_eq!(link_available_at(&windows, t(6.0)), t(6.0));
+    }
+
+    #[test]
+    fn degradation_stretches_the_transfer() {
+        // 10 s nominal at factor 0.5 covering the whole transfer → 20 s.
+        let windows = vec![LinkWindow {
+            start: SimTime::ZERO,
+            end: t(1000.0),
+            rate_factor: 0.5,
+        }];
+        match transfer_outcome(&windows, SimTime::ZERO, d(10.0)) {
+            TransferOutcome::Completes { at } => {
+                assert!((at.as_secs_f64() - 20.0).abs() < 1e-6, "at {at}");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_degradation_walks_segments() {
+        // 10 s nominal; first 5 s run at factor 0.5 (2.5 s of work done),
+        // remaining 7.5 s of work at full rate → completes at 12.5 s.
+        let windows = vec![LinkWindow {
+            start: SimTime::ZERO,
+            end: t(5.0),
+            rate_factor: 0.5,
+        }];
+        match transfer_outcome(&windows, SimTime::ZERO, d(10.0)) {
+            TransferOutcome::Completes { at } => {
+                assert!((at.as_secs_f64() - 12.5).abs() < 1e-6, "at {at}");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degradation_into_outage_interrupts_with_degraded_progress() {
+        // Factor 0.5 over [0, 4), outage at 4: 2 s of 10 s done → 20%.
+        let windows = vec![
+            LinkWindow {
+                start: SimTime::ZERO,
+                end: t(4.0),
+                rate_factor: 0.5,
+            },
+            LinkWindow {
+                start: t(4.0),
+                end: t(6.0),
+                rate_factor: 0.0,
+            },
+        ];
+        match transfer_outcome(&windows, SimTime::ZERO, d(10.0)) {
+            TransferOutcome::Interrupted { at, fraction_done } => {
+                assert_eq!(at, t(4.0));
+                assert!((fraction_done - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_minimum_factor() {
+        let windows = vec![
+            LinkWindow {
+                start: SimTime::ZERO,
+                end: t(100.0),
+                rate_factor: 0.8,
+            },
+            LinkWindow {
+                start: SimTime::ZERO,
+                end: t(100.0),
+                rate_factor: 0.25,
+            },
+        ];
+        assert_eq!(rate_factor_at(&windows, t(1.0)), 0.25);
+        match transfer_outcome(&windows, SimTime::ZERO, d(1.0)) {
+            TransferOutcome::Completes { at } => {
+                assert!((at.as_secs_f64() - 4.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_extraction_partitions_the_plan() {
+        let plan = FaultPlan::generate(&FaultConfig::scaled(4.0), 99);
+        let links = plan.link_windows().len();
+        let stragglers = plan.straggler_windows().len();
+        let crashes = plan.crashes().len();
+        assert_eq!(links + stragglers + crashes, plan.len());
+        assert!(plan
+            .link_windows()
+            .iter()
+            .all(|w| w.end > w.start && (0.0..=1.0).contains(&w.rate_factor)));
+        assert!(plan.straggler_windows().iter().all(|w| w.factor >= 1.0));
+    }
+}

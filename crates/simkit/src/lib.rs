@@ -6,7 +6,8 @@
 //! a generic epoch-validated execution engine driving those resources
 //! from an event loop ([`executor`]),
 //! seeded randomness with the distributions the experiments need
-//! ([`random`]), online statistics and empirical CDFs ([`stats`]),
+//! ([`random`]), a deterministic fault-injection plan ([`faults`]),
+//! online statistics and empirical CDFs ([`stats`]),
 //! one-second timeline sampling for server-load figures ([`sampler`]),
 //! and the unit conventions shared by every crate ([`units`]).
 //!
@@ -21,6 +22,7 @@
 
 pub mod event;
 pub mod executor;
+pub mod faults;
 pub mod random;
 pub mod resource;
 pub mod sampler;
@@ -30,6 +32,10 @@ pub mod units;
 
 pub use event::{EventId, EventQueue};
 pub use executor::{FairShareExecutor, WORK_EPS};
+pub use faults::{
+    link_available_at, transfer_outcome, FaultConfig, FaultEvent, FaultKind, FaultPlan, LinkWindow,
+    StragglerWindow, TransferOutcome,
+};
 pub use random::{derive_seed, SimRng};
 pub use resource::{FairShareResource, JobId, MemoryPool};
 pub use sampler::TimelineSampler;

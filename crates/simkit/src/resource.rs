@@ -70,6 +70,21 @@ impl FairShareResource {
         self.capacity
     }
 
+    /// Change the total capacity (degradation/restoration epochs).
+    /// Callers must [`advance_to`](Self::advance_to) the mutation
+    /// instant *first* so work already done is charged at the old rate,
+    /// and must re-validate any scheduled completion afterwards.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive"
+        );
+        self.capacity = capacity;
+    }
+
     /// Number of currently active jobs.
     pub fn active_jobs(&self) -> usize {
         self.jobs.len()
