@@ -37,4 +37,17 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+# Optional bench smoke: set RATTRAP_BENCH_SMOKE=1 to run the Fig. 9
+# harness at reduced size; set RATTRAP_TRACE=<path> to additionally
+# capture one instrumented replication as Chrome trace-event JSON and
+# validate it (the CI bench-smoke job wires both).
+if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
+    echo "==> bench smoke (exp_fig9)"
+    cargo run --release --offline -p rattrap-bench --bin exp_fig9 >/dev/null
+    if [ -n "${RATTRAP_TRACE:-}" ]; then
+        echo "==> validate trace ($RATTRAP_TRACE)"
+        cargo run --release --offline -p rattrap-bench --bin validate_trace -- "$RATTRAP_TRACE"
+    fi
+fi
+
 echo "CI OK"

@@ -1,0 +1,102 @@
+//! Overhead baseline for the observability plane.
+//!
+//! Two measurements, written to `BENCH_obsv.json` (path overridable
+//! via `BENCH_OBSV_OUT`) so later perf PRs have a committed baseline:
+//!
+//! 1. **Recorder throughput** — span begin/end pairs plus an instant,
+//!    recorded per wall-clock second into an enabled ring.
+//! 2. **Simulation overhead** — wall time of a full Fig. 9-scale
+//!    Rattrap/OCR run with the recorder disabled vs. enabled, and the
+//!    ratio. The disabled path is the zero-cost contract; the enabled
+//!    path is what `--trace` costs.
+//!
+//! The vendored Criterion stub has no machine-readable output, so this
+//! bench is a plain `harness = false` main with its own timing loop.
+
+use obsv::{AttrValue, Recorder, RecorderConfig, SpanId, Subsystem};
+use rattrap::{PlatformKind, ScenarioConfig, Simulation};
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::WorkloadKind;
+
+/// Median wall-seconds of `runs` invocations of `f`.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn recorder_throughput() -> f64 {
+    const EVENTS: u64 = 200_000;
+    let secs = median_secs(5, || {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        for i in 0..EVENTS {
+            rec.set_now(i);
+            let span = rec.span_start(Subsystem::Rattrap, "bench", SpanId::NONE);
+            rec.span_end_at(span, i + 1, vec![("i", AttrValue::U64(i))]);
+            rec.instant(Subsystem::Simkit, "tick", vec![]);
+        }
+        black_box(rec.event_count());
+    });
+    // 3 ring events per iteration: begin, end, instant.
+    (EVENTS * 3) as f64 / secs
+}
+
+fn sim_secs(instrumented: bool) -> f64 {
+    median_secs(15, || {
+        let cfg =
+            ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, 7);
+        let mut sim = Simulation::new(cfg);
+        if instrumented {
+            sim.set_recorder(Recorder::enabled(RecorderConfig::default()));
+        }
+        black_box(sim.run());
+    })
+}
+
+fn main() {
+    // `cargo bench` forwards harness flags like `--bench`; nothing to
+    // parse — configuration is env-only (`BENCH_OBSV_OUT`).
+    let meta = rattrap_bench::RunMeta::capture(rattrap_bench::DEFAULT_SEED);
+    println!("{}", meta.header());
+
+    let throughput = recorder_throughput();
+    println!("recorder throughput: {:.3e} events/sec", throughput);
+
+    // Warm allocator + caches so neither variant pays first-touch
+    // costs; the runs are ~4ms each, small enough for warmup to skew
+    // the ratio otherwise.
+    sim_secs(true);
+    let disabled = sim_secs(false);
+    let enabled = sim_secs(true);
+    let overhead = enabled / disabled;
+    println!("sim (recorder disabled): {disabled:.4}s");
+    println!("sim (recorder enabled):  {enabled:.4}s");
+    println!("enabled/disabled ratio:  {overhead:.3}");
+
+    let out = std::env::var("BENCH_OBSV_OUT").unwrap_or_else(|_| "BENCH_obsv.json".to_owned());
+    let json = format!(
+        "{{\n  \"bench\": \"obsv_overhead\",\n  \"seed\": {},\n  \"toolchain\": \"{}\",\n  \
+         \"git_sha\": \"{}\",\n  \"smoke\": {},\n  \
+         \"recorder_events_per_sec\": {:.1},\n  \
+         \"sim_disabled_secs\": {:.6},\n  \"sim_enabled_secs\": {:.6},\n  \
+         \"enabled_over_disabled\": {:.4}\n}}\n",
+        meta.seed,
+        meta.toolchain,
+        meta.git_sha,
+        meta.smoke,
+        throughput,
+        disabled,
+        enabled,
+        overhead
+    );
+    obsv::json::parse(&json).expect("baseline JSON parses");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("baseline written to {out}");
+}

@@ -1,6 +1,7 @@
 //! Regenerate the paper's ablations experiment. Usage: `exp_ablations [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::ablations::run(seed);
     println!("{}", out.render());
 }

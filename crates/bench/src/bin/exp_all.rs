@@ -17,6 +17,7 @@ fn main() {
         .find(|a| a.parse::<u64>().is_ok())
         .and_then(|a| a.parse().ok())
         .unwrap_or(exp::DEFAULT_SEED);
+    rattrap_bench::meta::print_header(seed);
     // Each experiment is independent and deterministic given the seed:
     // run them in parallel, print in paper order.
     type Job = (&'static str, fn(u64) -> exp::ExperimentOutput);

@@ -1,6 +1,7 @@
 //! Regenerate the offloading-decision study. Usage: `exp_decision [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::decision::run(seed);
     println!("{}", out.render());
 }

@@ -1,6 +1,7 @@
 //! Regenerate the Docker provisioning study. Usage: `exp_docker [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::docker::run(seed);
     println!("{}", out.render());
 }

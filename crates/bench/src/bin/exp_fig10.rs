@@ -1,6 +1,7 @@
 //! Regenerate the paper's fig10 experiment. Usage: `exp_fig10 [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::fig10::run(seed);
     println!("{}", out.render());
 }

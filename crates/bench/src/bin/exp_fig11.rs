@@ -1,6 +1,7 @@
 //! Regenerate the paper's fig11 experiment. Usage: `exp_fig11 [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::fig11::run(seed);
     println!("{}", out.render());
 }

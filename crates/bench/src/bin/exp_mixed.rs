@@ -1,6 +1,7 @@
 //! Regenerate the mixed-tenancy experiment. Usage: `exp_mixed [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::mixed::run(seed);
     println!("{}", out.render());
 }

@@ -1,6 +1,7 @@
 //! Regenerate the paper's osprofile experiment. Usage: `exp_osprofile [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::osprofile::run(seed);
     println!("{}", out.render());
 }

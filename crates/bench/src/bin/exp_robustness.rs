@@ -1,6 +1,7 @@
 //! Multi-seed robustness study. Usage: `exp_robustness [seed offset]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::robustness::run(seed);
     println!("{}", out.render());
 }

@@ -1,6 +1,7 @@
 //! Regenerate the scheduler warm-pool ablation. Usage: `exp_scheduler [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::scheduler::run(seed);
     println!("{}", out.render());
 }

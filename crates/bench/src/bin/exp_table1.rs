@@ -1,6 +1,7 @@
 //! Regenerate the paper's table1 experiment. Usage: `exp_table1 [seed]`
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
     let out = rattrap_bench::experiments::table1::run(seed);
     println!("{}", out.render());
 }

@@ -1,0 +1,39 @@
+//! Print the causal timeline of one offloading request — every span
+//! and instant the observability plane recorded for it, across all
+//! layers, merged with the kernel logcat lines from its namespaces.
+//!
+//! Usage: `trace_request [request-id] [seed]`. Runs one instrumented
+//! Rattrap/OCR replication of the Fig. 9 scenario at the seed
+//! (default [`rattrap_bench::DEFAULT_SEED`]) and renders the request
+//! (default: the one with the most recorded events).
+
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let req_arg: Option<u64> = args.get(1).and_then(|a| a.parse().ok());
+    let seed: u64 = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(rattrap_bench::DEFAULT_SEED);
+
+    rattrap_bench::meta::print_header(seed);
+    let snap = rattrap_bench::traceplane::instrumented_snapshot(seed);
+
+    let req = req_arg.unwrap_or_else(|| {
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for ev in &snap.events {
+            if let Some(r) = ev.request() {
+                *counts.entry(r).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .map(|(r, _)| r)
+            .expect("the instrumented run recorded request events")
+    });
+
+    let notes = rattrap_bench::traceplane::logcat_annotations(&snap);
+    print!("{}", snap.request_timeline_with(req, &notes));
+}

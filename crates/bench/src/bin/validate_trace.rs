@@ -1,0 +1,94 @@
+//! Validate an exported Chrome trace-event JSON file — the CI check
+//! behind the `--trace` smoke artifact.
+//!
+//! Usage: `validate_trace <trace.json>`. Exits non-zero unless the
+//! file (a) parses as JSON, (b) has the trace-event object shape
+//! (`traceEvents` array, `ph`/`pid`/`tid`/`name` per event), and
+//! (c) contains at least one request whose events span five or more
+//! subsystem categories — the cross-layer acceptance bar.
+
+use obsv::json::{self, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn validate(text: &str) -> Result<String, String> {
+    let value = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    if value.get("metadata").is_none() {
+        return Err("missing metadata object".into());
+    }
+    let mut per_request: BTreeMap<u64, BTreeSet<String>> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["ph", "pid", "tid", "name"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event {i} lacks the {field} field"));
+            }
+        }
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            continue; // thread-name metadata carries no cat/ts
+        }
+        if ev.get("cat").is_none() || ev.get("ts").is_none() {
+            return Err(format!("event {i} ({ph:?}) lacks cat/ts"));
+        }
+        if ph == "X" {
+            spans += 1;
+        }
+        let req = ev
+            .get("args")
+            .and_then(|a| a.get("req"))
+            .and_then(Value::as_f64);
+        if let (Some(req), Some(cat)) = (req, ev.get("cat").and_then(Value::as_str)) {
+            per_request
+                .entry(req as u64)
+                .or_default()
+                .insert(cat.to_owned());
+        }
+    }
+    if spans == 0 {
+        return Err("no complete (\"X\") span events".into());
+    }
+    let Some((req, cats)) = per_request.iter().max_by_key(|(_, c)| c.len()) else {
+        return Err("no request-attributed events".into());
+    };
+    if cats.len() < 5 {
+        return Err(format!(
+            "best request ({req}) only crosses {} subsystems: {cats:?}; need >= 5",
+            cats.len()
+        ));
+    }
+    Ok(format!(
+        "ok: {} events, {spans} spans; request {req} crosses {} subsystems {:?}",
+        events.len(),
+        cats.len(),
+        cats
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(report) => {
+            println!("validate_trace {path}: {report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace {path}: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

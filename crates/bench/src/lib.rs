@@ -10,5 +10,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod meta;
+pub mod traceplane;
 
 pub use experiments::{ExperimentOutput, DEFAULT_SEED};
+pub use meta::RunMeta;

@@ -1,0 +1,89 @@
+//! Trace capture for the experiment drivers: `--trace <path>` /
+//! `RATTRAP_TRACE` resolution, one instrumented replication, and the
+//! logcat-annotation plumbing behind `trace_request`.
+
+use obsv::{Recorder, RecorderConfig, TraceSnapshot};
+use rattrap::{PlatformKind, ScenarioConfig, Simulation};
+use workloads::WorkloadKind;
+
+use crate::meta::RunMeta;
+
+/// Where to write a trace, if anywhere: the `--trace <path>` CLI flag
+/// wins, else the `RATTRAP_TRACE` environment variable (the CI smoke
+/// hook). `None` means tracing is off — the zero-cost default.
+pub fn trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(path.to_owned());
+        }
+    }
+    std::env::var("RATTRAP_TRACE")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
+/// Run one fully instrumented Rattrap/OCR replication of the Fig. 9
+/// scenario and return the captured trace, metadata stamped.
+pub fn instrumented_snapshot(seed: u64) -> TraceSnapshot {
+    let cfg =
+        ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, seed);
+    let mut sim = Simulation::new(cfg);
+    let rec = Recorder::enabled(RecorderConfig::default());
+    RunMeta::capture(seed).apply(&rec);
+    rec.set_meta("scenario", "fig9 rattrap/ocr paper_default".to_owned());
+    sim.set_recorder(rec.clone());
+    sim.run();
+    rec.snapshot()
+}
+
+/// Capture one instrumented Fig. 9 replication and write it as
+/// Chrome trace-event JSON (Perfetto-loadable) to `path`.
+pub fn capture_fig9_trace(seed: u64, path: &str) -> std::io::Result<()> {
+    let snap = instrumented_snapshot(seed);
+    std::fs::write(path, snap.chrome_trace())
+}
+
+/// Extract the kernel log dumps the engine exports into recorder
+/// metadata (`logcat.ns<N>` keys, one `"<at_us> <line>"` per record)
+/// as `(at_us, text)` annotations for the causal timeline.
+pub fn logcat_annotations(snap: &TraceSnapshot) -> Vec<(u64, String)> {
+    let mut notes = Vec::new();
+    for (key, dump) in &snap.meta {
+        if !key.starts_with("logcat.ns") {
+            continue;
+        }
+        for line in dump.lines() {
+            let Some((ts, text)) = line.split_once(' ') else {
+                continue;
+            };
+            if let Ok(at_us) = ts.parse::<u64>() {
+                notes.push((at_us, text.to_owned()));
+            }
+        }
+    }
+    notes.sort();
+    notes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumented_snapshot_captures_the_stack_and_logcat() {
+        let snap = instrumented_snapshot(7);
+        assert!(!snap.events.is_empty());
+        assert!(snap.meta.contains_key("toolchain"));
+        let notes = logcat_annotations(&snap);
+        assert!(
+            notes.iter().any(|(_, t)| t.contains("system_server")),
+            "boot logs surface through the logcat dump"
+        );
+        let trace = snap.chrome_trace();
+        obsv::json::parse(&trace).expect("fig9 trace parses");
+    }
+}

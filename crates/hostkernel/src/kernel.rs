@@ -19,9 +19,12 @@ use crate::binder::BinderContext;
 use crate::cgroup::CgroupManager;
 use crate::device::{DeviceHandle, DeviceKind};
 use crate::error::{KernelError, KernelResult};
+use crate::logger::LogRecord;
 use crate::logger::LoggerDriver;
+use crate::module::module_providing;
 use crate::module::{module_by_name, ModuleSpec, ANDROID_CONTAINER_DRIVER};
 use crate::process::ProcessTable;
+use obsv::{AttrValue, Recorder, SpanId, Subsystem};
 use simkit::SimDuration;
 use std::collections::BTreeMap;
 
@@ -80,6 +83,10 @@ pub struct Kernel {
     /// Cgroup hierarchy.
     pub cgroups: CgroupManager,
     kernel_memory: u64,
+    /// Observability handle; disabled by default. The kernel has no
+    /// clock of its own — events stamp from the recorder's sim time,
+    /// which the simulation engine advances at every event pop.
+    rec: Recorder,
 }
 
 /// Default ashmem budget per namespace: half the container allocation is
@@ -100,7 +107,20 @@ impl Kernel {
             processes: ProcessTable::new(),
             cgroups: CgroupManager::new(),
             kernel_memory: 0,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Report module and syscall activity into `rec` (spans for
+    /// `insmod`, instants for `rmmod` / binder transactions / logcat
+    /// writes). A disabled recorder keeps every path zero-cost.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// The kernel's observability handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Host machine description.
@@ -127,6 +147,23 @@ impl Kernel {
         self.modules
             .insert(spec.name, LoadedModule { spec, refs: 0 });
         self.kernel_memory += spec.kernel_memory_bytes;
+        if self.rec.is_enabled() {
+            // The load latency is known up front, so the span's end
+            // is stamped at now + load_time directly.
+            let now = self.rec.now_us();
+            let span = self.rec.span_start_at(
+                Subsystem::Hostkernel,
+                "insmod",
+                SpanId::NONE,
+                now,
+                vec![
+                    ("module", AttrValue::Str(spec.name)),
+                    ("kernel_memory", AttrValue::U64(spec.kernel_memory_bytes)),
+                ],
+            );
+            self.rec
+                .span_end_at(span, now + spec.load_time.as_micros(), Vec::new());
+        }
         Ok(spec.load_time)
     }
 
@@ -155,6 +192,11 @@ impl Kernel {
         }
         let m = self.modules.remove(name).expect("checked above");
         self.kernel_memory -= m.spec.kernel_memory_bytes;
+        self.rec.instant(
+            Subsystem::Hostkernel,
+            "rmmod",
+            vec![("module", AttrValue::Str(m.spec.name))],
+        );
         Ok(())
     }
 
@@ -309,6 +351,40 @@ impl Kernel {
             })
     }
 
+    /// `logcat -d` for namespace `ns`: snapshot its log ring (oldest
+    /// first), without disturbing the ring.
+    ///
+    /// Returns `ENODEV` when the logger *module* is not resident —
+    /// even if the namespace still holds driver state from before an
+    /// `rmmod` — matching real driver semantics where an unloaded
+    /// module's device nodes go dead. (Previously the ring was
+    /// written but never surfaced anywhere, and naive access through
+    /// the stale per-namespace state would have read through an
+    /// unloaded module.) Also `ENODEV` when the namespace never
+    /// opened `/dev/log/main`, and `ESRCH`-style `NoSuchNamespace`
+    /// for an unknown namespace.
+    pub fn dump_log(&self, ns: u32) -> KernelResult<Vec<LogRecord>> {
+        let module = module_providing(DeviceKind::Logger).expect("logger has a providing module");
+        if !self.modules.contains_key(module.name) {
+            return Err(KernelError::NoSuchDevice {
+                device: DeviceKind::Logger.dev_path(),
+            });
+        }
+        let state = self
+            .namespaces
+            .get(&ns)
+            .ok_or(KernelError::NoSuchNamespace { ns })?;
+        let logger = state.logger.as_ref().ok_or(KernelError::NoSuchDevice {
+            device: DeviceKind::Logger.dev_path(),
+        })?;
+        Ok(logger.dump())
+    }
+
+    /// Ids of all live namespaces (including the host's), ascending.
+    pub fn namespace_ids(&self) -> Vec<u32> {
+        self.namespaces.keys().copied().collect()
+    }
+
     /// The namespace's ashmem driver (must have been opened).
     pub fn ashmem_mut(&mut self, ns: u32) -> KernelResult<&mut AshmemDriver> {
         self.ns_state(ns)?
@@ -408,6 +484,92 @@ mod tests {
         assert_eq!(k.processes.len(), 0);
         assert!(!k.namespace_exists(ns));
         assert!(k.destroy_namespace(ns).is_err());
+    }
+
+    #[test]
+    fn dump_log_surfaces_the_ring() {
+        let mut k = kernel();
+        k.load_android_container_driver();
+        let ns = k.create_namespace();
+        k.open_device(ns, DeviceKind::Logger).unwrap();
+        k.logger_mut(ns).unwrap().write(crate::logger::LogRecord {
+            priority: 4,
+            tag: "zygote".into(),
+            message: "preloading classes".into(),
+            pid: 2,
+            at_us: 125,
+        });
+        let dumped = k.dump_log(ns).unwrap();
+        assert_eq!(dumped.len(), 1);
+        assert_eq!(dumped[0].at_us, 125);
+        assert_eq!(dumped[0].render(), "I/zygote(2): preloading classes");
+    }
+
+    #[test]
+    fn dump_log_is_enodev_when_module_unloaded() {
+        let mut k = kernel();
+        k.load_android_container_driver();
+        let ns = k.create_namespace();
+        k.open_device(ns, DeviceKind::Logger).unwrap();
+        k.logger_mut(ns).unwrap().write(crate::logger::LogRecord {
+            priority: 4,
+            tag: "t".into(),
+            message: "m".into(),
+            pid: 1,
+            at_us: 0,
+        });
+        // rmmod the logger module: the namespace still holds stale
+        // driver state, but dumping must fail with ENODEV rather than
+        // read through the unloaded module.
+        k.unload_module("android_logger.ko").unwrap();
+        let err = k.dump_log(ns).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::NoSuchDevice {
+                device: DeviceKind::Logger.dev_path()
+            }
+        );
+        assert_eq!(format!("{err}"), "ENODEV: no such device /dev/log/main");
+    }
+
+    #[test]
+    fn dump_log_is_enodev_when_never_opened_and_esrch_for_unknown_ns() {
+        let mut k = kernel();
+        k.load_android_container_driver();
+        let ns = k.create_namespace();
+        assert!(matches!(
+            k.dump_log(ns),
+            Err(KernelError::NoSuchDevice { .. })
+        ));
+        assert!(matches!(
+            k.dump_log(999),
+            Err(KernelError::NoSuchNamespace { ns: 999 })
+        ));
+    }
+
+    #[test]
+    fn instrumented_kernel_records_module_lifecycle() {
+        use obsv::{RecorderConfig, TraceEvent};
+        let rec = Recorder::enabled(RecorderConfig::default());
+        rec.set_now(1_000);
+        let mut k = kernel();
+        k.attach_recorder(rec.clone());
+        k.load_module("android_binder.ko").unwrap();
+        k.unload_module("android_binder.ko").unwrap();
+        let snap = rec.snapshot();
+        let begin = snap
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Begin { name, at_us, .. } if *name == "insmod" => Some(*at_us),
+                _ => None,
+            })
+            .expect("insmod span recorded");
+        assert_eq!(begin, 1_000);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Instant { name: "rmmod", .. })));
     }
 
     #[test]

@@ -13,10 +13,31 @@ pub struct LogRecord {
     pub message: String,
     /// Writing pid.
     pub pid: u32,
+    /// Simulated write instant, microseconds (0 when the kernel has
+    /// no attached recorder to source a clock from).
+    pub at_us: u64,
+}
+
+impl LogRecord {
+    /// `logcat`-style one-line rendering:
+    /// `P/tag(pid): message` with `P` the priority letter.
+    pub fn render(&self) -> String {
+        let level = match self.priority {
+            2 => 'V',
+            3 => 'D',
+            4 => 'I',
+            5 => 'W',
+            6 => 'E',
+            7 => 'F',
+            _ => '?',
+        };
+        format!("{level}/{}({}): {}", self.tag, self.pid, self.message)
+    }
 }
 
 impl LogRecord {
     fn size_bytes(&self) -> usize {
+        // at_us is metadata outside the simulated logger_entry payload.
         // header (priority + pid + lengths) + payload, matching the
         // logger_entry layout closely enough for capacity accounting.
         20 + self.tag.len() + self.message.len()
@@ -73,6 +94,13 @@ impl LoggerDriver {
         self.records.iter().skip(start).collect()
     }
 
+    /// Snapshot the whole ring (oldest first), like `logcat -d`. The
+    /// ring is left untouched; this feeds the observability plane's
+    /// text timeline exporter.
+    pub fn dump(&self) -> Vec<LogRecord> {
+        self.records.iter().cloned().collect()
+    }
+
     /// Number of records currently held.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -115,6 +143,7 @@ mod tests {
             tag: tag.into(),
             message: msg.into(),
             pid: 1,
+            at_us: 0,
         }
     }
 
@@ -152,9 +181,23 @@ mod tests {
             tag: "t".into(),
             message: "x".repeat(1000),
             pid: 1,
+            at_us: 0,
         });
         assert_eq!(log.len(), 1);
         assert!(log.used_bytes() <= 32);
+    }
+
+    #[test]
+    fn dump_returns_all_records_oldest_first_and_preserves_ring() {
+        let mut log = LoggerDriver::default();
+        log.write(rec("init", "start"));
+        log.write(rec("zygote", "fork"));
+        let dumped = log.dump();
+        assert_eq!(dumped.len(), 2);
+        assert_eq!(dumped[0].tag, "init");
+        assert_eq!(dumped[1].tag, "zygote");
+        assert_eq!(log.len(), 2, "dump is non-destructive");
+        assert_eq!(dumped[0].render(), "I/init(1): start");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::binder::BinderHandle;
 use crate::device::DeviceKind;
 use crate::error::KernelResult;
 use crate::kernel::Kernel;
+use obsv::{AttrValue, Subsystem};
 use simkit::SimTime;
 
 /// The Android syscalls the offloading path exercises.
@@ -116,6 +117,18 @@ impl Kernel {
                 payload_bytes,
             } => {
                 let served = self.binder_mut(ns)?.transact(&service, payload_bytes)?;
+                if self.recorder().is_enabled() {
+                    self.recorder().instant(
+                        Subsystem::Hostkernel,
+                        "binder.transact",
+                        vec![
+                            ("ns", AttrValue::U64(ns as u64)),
+                            ("service", AttrValue::Text(service)),
+                            ("bytes", AttrValue::U64(payload_bytes)),
+                            ("served_by", AttrValue::U64(served as u64)),
+                        ],
+                    );
+                }
                 Ok(SyscallRet::ServedBy(served))
             }
             Syscall::BinderTransactOneway {
@@ -124,6 +137,17 @@ impl Kernel {
             } => {
                 self.binder_mut(ns)?
                     .transact_oneway(pid, &service, payload_bytes)?;
+                if self.recorder().is_enabled() {
+                    self.recorder().instant(
+                        Subsystem::Hostkernel,
+                        "binder.transact_oneway",
+                        vec![
+                            ("ns", AttrValue::U64(ns as u64)),
+                            ("service", AttrValue::Text(service)),
+                            ("bytes", AttrValue::U64(payload_bytes)),
+                        ],
+                    );
+                }
                 Ok(SyscallRet::Unit)
             }
             Syscall::BinderLinkToDeath { service } => {
@@ -143,11 +167,24 @@ impl Kernel {
                 tag,
                 message,
             } => {
+                let at_us = self.recorder().now_us();
+                if self.recorder().is_enabled() {
+                    self.recorder().instant(
+                        Subsystem::Hostkernel,
+                        "logcat",
+                        vec![
+                            ("ns", AttrValue::U64(ns as u64)),
+                            ("priority", AttrValue::U64(priority as u64)),
+                            ("tag", AttrValue::Text(tag.clone())),
+                        ],
+                    );
+                }
                 self.logger_mut(ns)?.write(crate::logger::LogRecord {
                     priority,
                     tag,
                     message,
                     pid,
+                    at_us,
                 });
                 Ok(SyscallRet::Unit)
             }

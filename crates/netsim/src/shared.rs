@@ -27,6 +27,7 @@
 //! [`Link`]: crate::Link
 
 use crate::scenario::{Direction, NetworkScenario};
+use obsv::{AttrValue, Recorder, Subsystem};
 use simkit::{EventQueue, FairShareExecutor, JobId, SimTime};
 
 /// A shared medium of fixed aggregate bandwidth. `T` is the caller's
@@ -35,6 +36,7 @@ use simkit::{EventQueue, FairShareExecutor, JobId, SimTime};
 pub struct SharedLink<T> {
     exec: FairShareExecutor<T>,
     capacity_bps: f64,
+    rec: Recorder,
 }
 
 impl<T> SharedLink<T> {
@@ -46,7 +48,17 @@ impl<T> SharedLink<T> {
         SharedLink {
             exec: FairShareExecutor::new(capacity_bps, per_flow_bps),
             capacity_bps,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Report into `rec`: the inner executor records one span per
+    /// transfer (device label `link`), and the link itself records
+    /// interrupt / degrade / restore instants under the `netsim`
+    /// category.
+    pub fn instrument(&mut self, rec: Recorder) {
+        self.exec.instrument(rec.clone(), "link");
+        self.rec = rec;
     }
 
     /// A medium with the aggregate bandwidth of `scenario` in the given
@@ -94,6 +106,15 @@ impl<T> SharedLink<T> {
     pub fn interrupt(&mut self, now: SimTime, transfer: JobId) -> Option<(T, f64)> {
         let remaining = self.exec.remaining(now, transfer)?;
         let payload = self.exec.cancel(now, transfer)?;
+        self.rec.instant_at(
+            Subsystem::Netsim,
+            "link.interrupt",
+            now.as_micros(),
+            vec![
+                ("transfer", AttrValue::U64(transfer.0)),
+                ("remaining_bytes", AttrValue::F64(remaining)),
+            ],
+        );
         Some((payload, remaining))
     }
 
@@ -113,6 +134,12 @@ impl<T> SharedLink<T> {
             "degradation factor must be in (0, 1]"
         );
         self.exec.set_capacity(now, self.capacity_bps * factor);
+        self.rec.instant_at(
+            Subsystem::Netsim,
+            "link.degrade",
+            now.as_micros(),
+            vec![("factor", AttrValue::F64(factor))],
+        );
     }
 
     /// Close the current degradation epoch at `now`, restoring the
@@ -120,6 +147,8 @@ impl<T> SharedLink<T> {
     /// [`SharedLink::reschedule`].
     pub fn restore(&mut self, now: SimTime) {
         self.exec.set_capacity(now, self.capacity_bps);
+        self.rec
+            .instant_at(Subsystem::Netsim, "link.restore", now.as_micros(), vec![]);
     }
 
     /// Re-arm the completion check after any mutation. `make_event`
@@ -192,6 +221,43 @@ mod tests {
             let secs = t.as_secs_f64();
             assert!((secs - 2.0).abs() < 1e-3, "finished at {secs}");
         }
+    }
+
+    #[test]
+    fn instrumented_link_records_transfers_and_degradations() {
+        use obsv::{RecorderConfig, TraceEvent};
+        let rec = Recorder::enabled(RecorderConfig::default());
+        let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+        link.instrument(rec.clone());
+        let mut queue = EventQueue::new();
+        link.begin_transfer(SimTime::ZERO, 1_000_000, 1);
+        let doomed = link.begin_transfer(SimTime::ZERO, 1_000_000, 2);
+        link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+        let half = SimTime::from_secs_f64(0.5);
+        link.degrade(half, 0.5);
+        link.interrupt(half, doomed);
+        link.reschedule(half, &mut queue, |e| e);
+        link.restore(SimTime::from_secs_f64(1.0));
+        link.reschedule(SimTime::from_secs_f64(1.0), &mut queue, |e| e);
+        drain(&mut link, &mut queue);
+        let snap = rec.snapshot();
+        let names: Vec<&str> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Instant { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"link.degrade"), "{names:?}");
+        assert!(names.contains(&"link.restore"), "{names:?}");
+        assert!(names.contains(&"link.interrupt"), "{names:?}");
+        let spans = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { name: "link", .. }))
+            .count();
+        assert_eq!(spans, 2, "one span per transfer");
     }
 
     #[test]

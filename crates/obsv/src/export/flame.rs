@@ -1,0 +1,103 @@
+//! Collapsed-stack export for flamegraph tooling.
+//!
+//! One line per unique span stack — `root;child;leaf weight` — where
+//! the weight is the stack's *self* time in simulated microseconds
+//! (duration minus time covered by child spans), the format consumed
+//! by `inferno` / `flamegraph.pl`. Frames render as
+//! `subsystem:name`, and aggregation is a `BTreeMap`, so output is
+//! byte-stable for a given snapshot.
+
+use super::{horizon_us, resolve_spans, ResolvedSpan};
+use crate::recorder::TraceSnapshot;
+use crate::span::SpanId;
+use std::collections::BTreeMap;
+
+fn frame(span: &ResolvedSpan) -> String {
+    format!("{}:{}", span.subsystem.name(), span.name)
+}
+
+impl TraceSnapshot {
+    /// Render the snapshot as collapsed stacks (flamegraph input).
+    pub fn collapsed_stacks(&self) -> String {
+        let (spans, index) = resolve_spans(self);
+        let horizon = horizon_us(self);
+        // Child time per parent, to subtract for self-time weights.
+        let mut child_time: BTreeMap<SpanId, u64> = BTreeMap::new();
+        for span in &spans {
+            if span.parent.is_some() && index.contains_key(&span.parent) {
+                *child_time.entry(span.parent).or_insert(0) += span.duration_us(horizon);
+            }
+        }
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for span in &spans {
+            let total = span.duration_us(horizon);
+            let self_us = total.saturating_sub(child_time.get(&span.id).copied().unwrap_or(0));
+            if self_us == 0 {
+                continue;
+            }
+            // Walk ancestors; a missing parent (evicted Begin) roots
+            // the stack at the deepest survivor.
+            let mut path = vec![frame(span)];
+            let mut cursor = span.parent;
+            while cursor.is_some() {
+                let Some(&ix) = index.get(&cursor) else {
+                    break;
+                };
+                path.push(frame(&spans[ix]));
+                cursor = spans[ix].parent;
+            }
+            path.reverse();
+            *stacks.entry(path.join(";")).or_insert(0) += self_us;
+        }
+        let mut out = String::new();
+        for (stack, weight) in stacks {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Recorder, RecorderConfig, SpanId, Subsystem};
+
+    #[test]
+    fn self_time_subtracts_children_and_aggregates() {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        let root = rec.span_start_at(Subsystem::Rattrap, "request", SpanId::NONE, 0, vec![]);
+        let up = rec.span_start_at(Subsystem::Netsim, "upload", root, 0, vec![]);
+        rec.span_end_at(up, 40, vec![]);
+        let cpu = rec.span_start_at(Subsystem::Simkit, "cpu", root, 40, vec![]);
+        rec.span_end_at(cpu, 90, vec![]);
+        rec.span_end_at(root, 100, vec![]);
+        // Second request with the same shape aggregates onto the same
+        // stacks.
+        let root2 = rec.span_start_at(Subsystem::Rattrap, "request", SpanId::NONE, 100, vec![]);
+        let up2 = rec.span_start_at(Subsystem::Netsim, "upload", root2, 100, vec![]);
+        rec.span_end_at(up2, 150, vec![]);
+        rec.span_end_at(root2, 160, vec![]);
+
+        let out = rec.snapshot().collapsed_stacks();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines.contains(&"rattrap:request 20"),
+            "self: 10 + 10\n{out}"
+        );
+        assert!(lines.contains(&"rattrap:request;netsim:upload 90"), "{out}");
+        assert!(lines.contains(&"rattrap:request;simkit:cpu 50"), "{out}");
+    }
+
+    #[test]
+    fn zero_self_time_spans_are_elided() {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        let root = rec.span_start_at(Subsystem::Rattrap, "wrap", SpanId::NONE, 0, vec![]);
+        let child = rec.span_start_at(Subsystem::Virt, "all", root, 0, vec![]);
+        rec.span_end_at(child, 50, vec![]);
+        rec.span_end_at(root, 50, vec![]);
+        let out = rec.snapshot().collapsed_stacks();
+        assert_eq!(out, "rattrap:wrap;virt:all 50\n");
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-request plain-text causal timeline.
+//!
+//! Slices every event stamped with a given request id out of a
+//! full-run snapshot and renders it as one chronologically ordered,
+//! indentation-nested text block — the `trace_request` view. External
+//! annotations (e.g. kernel logcat dumps, which live outside the
+//! ring) can be merged in by timestamp.
+
+use super::{resolve_spans, ResolvedSpan};
+use crate::recorder::TraceSnapshot;
+use crate::span::{SpanId, TraceEvent};
+use std::collections::BTreeMap;
+
+fn fmt_secs(us: u64) -> String {
+    format!("{:>12.6}s", us as f64 / 1e6)
+}
+
+fn fmt_attrs(attrs: &crate::span::Attrs) -> String {
+    let parts: Vec<String> = attrs
+        .iter()
+        .filter(|(k, _)| *k != "req")
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", parts.join(" "))
+    }
+}
+
+/// (time, tiebreak sequence, rendered line body)
+type Entry = (u64, u64, String);
+
+fn depth_of(span: &ResolvedSpan, index: &BTreeMap<SpanId, usize>, spans: &[ResolvedSpan]) -> usize {
+    let mut depth = 0;
+    let mut cursor = span.parent;
+    while cursor.is_some() {
+        let Some(&ix) = index.get(&cursor) else {
+            break;
+        };
+        depth += 1;
+        cursor = spans[ix].parent;
+    }
+    depth
+}
+
+impl TraceSnapshot {
+    /// Render the causal timeline of request `req`.
+    pub fn request_timeline(&self, req: u64) -> String {
+        self.request_timeline_with(req, &[])
+    }
+
+    /// Render the causal timeline of request `req`, merging external
+    /// `(at_us, text)` annotations (kernel log dumps and the like) at
+    /// their timestamps.
+    pub fn request_timeline_with(&self, req: u64, annotations: &[(u64, String)]) -> String {
+        let (spans, index) = resolve_spans(self);
+        let mine: Vec<&ResolvedSpan> = spans.iter().filter(|s| s.request() == Some(req)).collect();
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut seq = 0u64;
+        for span in &mine {
+            let indent = "  ".repeat(depth_of(span, &index, &spans));
+            seq += 1;
+            entries.push((
+                span.start_us,
+                seq,
+                format!(
+                    "{indent}> {:<11} {}{}",
+                    span.subsystem.name(),
+                    span.name,
+                    fmt_attrs(&span.attrs)
+                ),
+            ));
+            if let Some(end) = span.end_us {
+                seq += 1;
+                entries.push((
+                    end,
+                    seq,
+                    format!(
+                        "{indent}< {:<11} {}  (+{:.6}s)",
+                        span.subsystem.name(),
+                        span.name,
+                        (end - span.start_us) as f64 / 1e6
+                    ),
+                ));
+            }
+        }
+        for ev in &self.events {
+            if let TraceEvent::Instant {
+                subsystem,
+                name,
+                at_us,
+                attrs,
+            } = ev
+            {
+                if ev.request() == Some(req) {
+                    seq += 1;
+                    entries.push((
+                        *at_us,
+                        seq,
+                        format!("* {:<11} {}{}", subsystem.name(), name, fmt_attrs(attrs)),
+                    ));
+                }
+            }
+        }
+        for (at_us, text) in annotations {
+            seq += 1;
+            entries.push((*at_us, seq, format!("~ {:<11} {text}", "log")));
+        }
+        entries.sort_by_key(|e| (e.0, e.1));
+        let mut out = format!("=== causal timeline: request {req} ===\n");
+        if entries.is_empty() {
+            out.push_str("(no events recorded for this request)\n");
+            return out;
+        }
+        for (at_us, _, body) in entries {
+            out.push_str(&format!("[{}] {body}\n", fmt_secs(at_us)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AttrValue, Recorder, RecorderConfig, SpanId, Subsystem};
+
+    #[test]
+    fn timeline_selects_one_request_and_orders_by_time() {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        rec.set_current_request(Some(1));
+        let root = rec.span_start_at(Subsystem::Rattrap, "request", SpanId::NONE, 0, vec![]);
+        let up = rec.span_start_at(
+            Subsystem::Netsim,
+            "upload",
+            root,
+            0,
+            vec![("bytes", AttrValue::U64(99))],
+        );
+        rec.span_end_at(up, 40, vec![]);
+        rec.span_end_at(root, 100, vec![]);
+        // A second request that must not leak into request 1's view.
+        rec.set_current_request(Some(2));
+        let other = rec.span_start_at(Subsystem::Rattrap, "request", SpanId::NONE, 10, vec![]);
+        rec.span_end_at(other, 20, vec![]);
+        rec.set_current_request(None);
+
+        let out = rec.snapshot().request_timeline(1);
+        assert!(out.contains("request 1"));
+        assert!(out.contains("bytes=99"));
+        let uploads = out.matches("netsim").count();
+        assert_eq!(uploads, 2, "begin + end lines:\n{out}");
+        assert_eq!(
+            out.matches("> rattrap").count(),
+            1,
+            "request 2 must not appear:\n{out}"
+        );
+    }
+
+    #[test]
+    fn annotations_merge_by_timestamp() {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        rec.set_current_request(Some(5));
+        let root = rec.span_start_at(Subsystem::Rattrap, "request", SpanId::NONE, 0, vec![]);
+        rec.span_end_at(root, 100, vec![]);
+        rec.set_current_request(None);
+        let out = rec
+            .snapshot()
+            .request_timeline_with(5, &[(50, "I/zygote: started".to_owned())]);
+        let log_pos = out.find("I/zygote").expect("annotation present");
+        let end_pos = out.find("< rattrap").expect("end line present");
+        assert!(log_pos < end_pos, "t=50 log sorts before t=100 end:\n{out}");
+    }
+
+    #[test]
+    fn empty_request_renders_placeholder() {
+        let rec = Recorder::enabled(RecorderConfig::default());
+        let out = rec.snapshot().request_timeline(123);
+        assert!(out.contains("no events recorded"));
+    }
+}

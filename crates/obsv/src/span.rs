@@ -1,0 +1,220 @@
+//! Span and event model: ids, parent links, subsystems, attributes.
+
+use std::fmt;
+
+/// Identifier of a recorded span. `SpanId::NONE` (`0`) is the null
+/// id: ending it is a no-op and using it as a parent means "root".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span id — no parent / not recorded.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// `true` for every id except [`SpanId::NONE`].
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// The layer an event originates from. Doubles as the Chrome-trace
+/// category and the per-subsystem sampling key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// `rattrap` — request lifecycle, engine event dispatch.
+    Rattrap,
+    /// `simkit` — fair-share executors, fault plane.
+    Simkit,
+    /// `netsim` — links and transfers.
+    Netsim,
+    /// `hostkernel` — modules, syscalls, binder, logger.
+    Hostkernel,
+    /// `virt` — instance provisioning and boot sequences.
+    Virt,
+    /// `containerfs` — layers, union mounts, tmpfs exchanges.
+    Containerfs,
+    /// `bench` — experiment drivers.
+    Bench,
+}
+
+impl Subsystem {
+    /// Every subsystem, in index order.
+    pub const ALL: [Subsystem; 7] = [
+        Subsystem::Rattrap,
+        Subsystem::Simkit,
+        Subsystem::Netsim,
+        Subsystem::Hostkernel,
+        Subsystem::Virt,
+        Subsystem::Containerfs,
+        Subsystem::Bench,
+    ];
+
+    /// Dense index (sampling tables, Chrome `tid` lanes).
+    pub fn index(self) -> usize {
+        match self {
+            Subsystem::Rattrap => 0,
+            Subsystem::Simkit => 1,
+            Subsystem::Netsim => 2,
+            Subsystem::Hostkernel => 3,
+            Subsystem::Virt => 4,
+            Subsystem::Containerfs => 5,
+            Subsystem::Bench => 6,
+        }
+    }
+
+    /// Stable lowercase name (Chrome `cat` field, timeline column).
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Rattrap => "rattrap",
+            Subsystem::Simkit => "simkit",
+            Subsystem::Netsim => "netsim",
+            Subsystem::Hostkernel => "hostkernel",
+            Subsystem::Virt => "virt",
+            Subsystem::Containerfs => "containerfs",
+            Subsystem::Bench => "bench",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed attribute value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (ids, byte counts, sequence numbers).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (work units, rates).
+    F64(f64),
+    /// Static string (phase names, outcomes).
+    Str(&'static str),
+    /// Owned string (tags, paths).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => f.write_str(v),
+            AttrValue::Text(v) => f.write_str(v),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Attribute list — small, ordered, emitted as the Chrome `args`
+/// object.
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// One entry in the recorder's ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened at `at_us`.
+    Begin {
+        /// Span id (unique within a recorder's lifetime).
+        id: SpanId,
+        /// Enclosing span, or [`SpanId::NONE`] for a root.
+        parent: SpanId,
+        /// Originating layer.
+        subsystem: Subsystem,
+        /// Span name (static — span names form a closed taxonomy).
+        name: &'static str,
+        /// Sim-time start, microseconds.
+        at_us: u64,
+        /// Typed attributes.
+        attrs: Attrs,
+    },
+    /// The span `id` closed at `at_us`.
+    End {
+        /// Span id matching a prior `Begin`.
+        id: SpanId,
+        /// Sim-time end, microseconds.
+        at_us: u64,
+        /// Attributes added at close (outcomes, cancellations).
+        attrs: Attrs,
+    },
+    /// A point event (no duration).
+    Instant {
+        /// Originating layer.
+        subsystem: Subsystem,
+        /// Event name.
+        name: &'static str,
+        /// Sim-time instant, microseconds.
+        at_us: u64,
+        /// Typed attributes.
+        attrs: Attrs,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in microseconds.
+    pub fn at_us(&self) -> u64 {
+        match self {
+            TraceEvent::Begin { at_us, .. }
+            | TraceEvent::End { at_us, .. }
+            | TraceEvent::Instant { at_us, .. } => *at_us,
+        }
+    }
+
+    /// The event's attribute list.
+    pub fn attrs(&self) -> &Attrs {
+        match self {
+            TraceEvent::Begin { attrs, .. }
+            | TraceEvent::End { attrs, .. }
+            | TraceEvent::Instant { attrs, .. } => attrs,
+        }
+    }
+
+    /// The `req` attribute (request id), when present. The engine
+    /// stamps every request-scoped event with it; exporters use it to
+    /// slice one request out of a full-run trace.
+    pub fn request(&self) -> Option<u64> {
+        self.attrs().iter().find_map(|(k, v)| match (k, v) {
+            (&"req", AttrValue::U64(id)) => Some(*id),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_id_none_is_zero_and_falsy() {
+        assert_eq!(SpanId::NONE, SpanId(0));
+        assert!(!SpanId::NONE.is_some());
+        assert!(SpanId(1).is_some());
+    }
+
+    #[test]
+    fn subsystem_indices_are_dense_and_names_stable() {
+        for (i, s) in Subsystem::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Subsystem::Hostkernel.name(), "hostkernel");
+        assert_eq!(Subsystem::ALL.len(), 7);
+    }
+
+    #[test]
+    fn request_attr_is_extracted() {
+        let ev = TraceEvent::Instant {
+            subsystem: Subsystem::Rattrap,
+            name: "x",
+            at_us: 5,
+            attrs: vec![("bytes", AttrValue::U64(3)), ("req", AttrValue::U64(42))],
+        };
+        assert_eq!(ev.request(), Some(42));
+        assert_eq!(ev.at_us(), 5);
+    }
+}

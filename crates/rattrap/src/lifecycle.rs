@@ -89,6 +89,25 @@ impl Phase {
         matches!(self, Phase::Done | Phase::Failed | Phase::Abandoned)
     }
 
+    /// Stable lowercase name, used as the span name in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Dispatch => "dispatch",
+            Phase::DataTransferUp => "upload",
+            Phase::RuntimePrep => "runtime_prep",
+            Phase::CodeLoad => "code_load",
+            Phase::Compute => "compute",
+            Phase::OffloadIo => "offload_io",
+            Phase::DataTransferDown => "download",
+            Phase::LocalExecution => "local_execution",
+            Phase::Retrying => "retrying",
+            Phase::FallbackLocal => "fallback_local",
+            Phase::Done => "done",
+            Phase::Failed => "failed",
+            Phase::Abandoned => "abandoned",
+        }
+    }
+
     fn bucket(self) -> Bucket {
         match self {
             Phase::RuntimePrep | Phase::CodeLoad => Bucket::RuntimePreparation,

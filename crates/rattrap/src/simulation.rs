@@ -36,6 +36,7 @@ use crate::resilience::ResiliencePolicy;
 use crate::scheduler::{Monitor, PoolPolicy, ScaleAction, Scheduler};
 use crate::warehouse::{aid_of, AppWarehouse, WarehouseStats};
 use netsim::{Direction, Link, NetworkScenario};
+use obsv::{AttrValue, Counter, Recorder, SpanId, Subsystem};
 use simkit::faults::{
     link_available_at, transfer_outcome, FaultConfig, FaultPlan, LinkWindow, StragglerWindow,
     TransferOutcome,
@@ -263,6 +264,15 @@ enum Event {
     },
 }
 
+/// Per-slot trace spans, parallel to `Simulation::pending`: the
+/// request's root span and the span of the phase it currently dwells
+/// in. Both are [`SpanId::NONE`] when the recorder is disabled.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReqSpans {
+    root: SpanId,
+    phase: SpanId,
+}
+
 /// The simulation state machine. Create with [`Simulation::new`], run
 /// with [`Simulation::run`] (collecting) or
 /// [`Simulation::run_with_sink`] (streaming).
@@ -321,6 +331,19 @@ pub struct Simulation {
     crash_events: Vec<(SimTime, u64)>,
     /// What the faults did and how the policy absorbed them.
     fault_stats: FaultStats,
+    /// Observability recorder shared with every layer (disabled unless
+    /// [`Simulation::set_recorder`] is called).
+    rec: Recorder,
+    /// Per-slot trace spans, parallel to `pending`.
+    req_spans: Vec<ReqSpans>,
+    /// Events popped off the queue (no-op handle when untraced).
+    ctr_events: Counter,
+    /// Requests delivered to the sink.
+    ctr_completions: Counter,
+    /// Lifecycle slots recycled for reuse.
+    ctr_recycled: Counter,
+    /// Runtime instances provisioned.
+    ctr_provisions: Counter,
 }
 
 /// Seed-stream tag for the fault plan, disjoint from every per-request
@@ -386,7 +409,36 @@ impl Simulation {
                 injected: fault_plan.len() as u64,
                 ..FaultStats::default()
             },
+            rec: Recorder::disabled(),
+            req_spans: Vec::new(),
+            ctr_events: Counter::default(),
+            ctr_completions: Counter::default(),
+            ctr_recycled: Counter::default(),
+            ctr_provisions: Counter::default(),
         }
+    }
+
+    /// Attach an observability recorder. One shared handle is fanned
+    /// out to the host (and through it the kernel), both fair-share
+    /// executors, and the engine itself, so a single trace carries
+    /// spans from every layer. Recording is purely observational: no
+    /// scheduled event, duration, or RNG draw depends on it, so an
+    /// instrumented run reproduces the golden digests bit-for-bit.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.host.attach_recorder(rec.clone());
+        self.cpu.instrument(rec.clone(), "cpu");
+        self.disk.instrument(rec.clone(), "disk");
+        self.ctr_events = rec.counter("rattrap.events_dispatched");
+        self.ctr_completions = rec.counter("rattrap.requests_completed");
+        self.ctr_recycled = rec.counter("rattrap.slots_recycled");
+        self.ctr_provisions = rec.counter("rattrap.instances_provisioned");
+        self.rec = rec;
+    }
+
+    /// The attached recorder (disabled unless [`Self::set_recorder`]
+    /// was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Register a lifecycle observer; it sees every phase transition of
@@ -485,6 +537,10 @@ impl Simulation {
             self.cpu_sampler
                 .record_level(self.last_level_at, now, level);
             self.last_level_at = now;
+            // Share the clock with every clock-less layer (kernel,
+            // host) before dispatching.
+            self.rec.set_now(now.as_micros());
+            self.ctr_events.inc();
             self.handle(now, ev, sink);
             self.peak_disk = self.peak_disk.max(self.host.total_disk_usage());
         }
@@ -499,6 +555,21 @@ impl Simulation {
         let level = self.current_cpu_level();
         self.cpu_sampler
             .record_level(self.last_level_at, self.finished_at, level);
+
+        // Surface every surviving namespace's logcat ring into the
+        // trace metadata (`logcat.ns<N>` → "at_us rendered-line" per
+        // line), where the text timeline exporter picks it up.
+        if self.rec.is_enabled() {
+            for ns in self.host.kernel.namespace_ids() {
+                if let Ok(records) = self.host.kernel.dump_log(ns) {
+                    let text: String = records
+                        .iter()
+                        .map(|r| format!("{} {}\n", r.at_us, r.render()))
+                        .collect();
+                    self.rec.set_meta(&format!("logcat.ns{ns}"), text);
+                }
+            }
+        }
 
         ReportSummary {
             cpu_timeline: self.cpu_sampler.levels(),
@@ -552,13 +623,53 @@ impl Simulation {
             Some(slot) => {
                 self.pending[slot] = lifecycle;
                 self.slot_gen[slot] += 1;
+                self.req_spans[slot] = ReqSpans::default();
                 slot
             }
             None => {
                 self.pending.push(lifecycle);
                 self.slot_gen.push(0);
+                self.req_spans.push(ReqSpans::default());
                 self.pending.len() - 1
             }
+        }
+    }
+
+    /// Record the phase edge of `req` into the trace: open the root
+    /// span on first contact, close the previous phase span, and open
+    /// (or, on a terminal phase, close) the next.
+    fn trace_transition(&mut self, now: SimTime, req: usize, next: Phase) {
+        let at = now.as_micros();
+        if self.req_spans[req].root == SpanId::NONE {
+            let record = &self.pending[req].record;
+            self.req_spans[req].root = self.rec.span_start_at(
+                Subsystem::Rattrap,
+                "request",
+                SpanId::NONE,
+                at,
+                vec![
+                    ("req", AttrValue::U64(record.id)),
+                    ("device", AttrValue::U64(record.device as u64)),
+                    ("app", AttrValue::Str(record.kind.app_id())),
+                ],
+            );
+        }
+        let prev = std::mem::replace(&mut self.req_spans[req].phase, SpanId::NONE);
+        if prev.is_some() {
+            self.rec.span_end_at(prev, at, Vec::new());
+        }
+        if next.is_terminal() {
+            let root = std::mem::replace(&mut self.req_spans[req].root, SpanId::NONE);
+            self.rec
+                .span_end_at(root, at, vec![("outcome", AttrValue::Str(next.name()))]);
+        } else {
+            self.req_spans[req].phase = self.rec.span_start_at(
+                Subsystem::Rattrap,
+                next.name(),
+                self.req_spans[req].root,
+                at,
+                Vec::new(),
+            );
         }
     }
 
@@ -566,6 +677,9 @@ impl Simulation {
     /// every observer.
     fn transition(&mut self, now: SimTime, req: usize, next: Phase) {
         let (from, dwell) = self.pending[req].advance(now, next);
+        if self.rec.is_enabled() {
+            self.trace_transition(now, req, next);
+        }
         if !self.observers.is_empty() {
             let record = &self.pending[req].record;
             for obs in &mut self.observers {
@@ -588,6 +702,24 @@ impl Simulation {
     }
 
     fn handle(&mut self, now: SimTime, ev: Event, sink: &mut dyn RequestSink) {
+        // Attribute everything a request-scoped event triggers — down
+        // to kernel binder instants — to that request. Stale (dropped)
+        // events attribute nothing.
+        if self.rec.is_enabled() {
+            let current = match &ev {
+                Event::UploadDone { req, gen }
+                | Event::CodeLoaded { req, gen }
+                | Event::TmpfsIoDone { req, gen }
+                | Event::RequestComplete { req, gen }
+                | Event::TransferFault { req, gen }
+                | Event::PhaseTimeout { req, gen, .. }
+                | Event::Retry { req, gen } => {
+                    (self.slot_gen[*req] == *gen).then(|| self.pending[*req].record.id)
+                }
+                _ => None,
+            };
+            self.rec.set_current_request(current);
+        }
         match ev {
             Event::Arrival { device, seq } => self.on_arrival(now, device, seq),
             Event::UploadDone { req, gen } => {
@@ -634,6 +766,7 @@ impl Simulation {
                 }
             }
         }
+        self.rec.set_current_request(None);
     }
 
     // ---- arrival & placement -------------------------------------------
@@ -681,15 +814,24 @@ impl Simulation {
                 };
                 self.next_req_id += 1;
                 let req = self.alloc_slot(RequestLifecycle::new(record, task, now));
+                if self.rec.is_enabled() {
+                    self.rec
+                        .set_current_request(Some(self.pending[req].record.id));
+                }
                 self.transition(now, req, Phase::LocalExecution);
                 // The task contends for the device's own (single) CPU —
                 // concurrent local tasks fair-share it.
                 let work = local.as_secs_f64();
-                let exec = self
-                    .device_cpus
-                    .entry(device)
-                    .or_insert_with(|| FairShareExecutor::new(1.0, 1.0));
+                let rec = self.rec.clone();
+                let phase_span = self.req_spans[req].phase;
+                let exec = self.device_cpus.entry(device).or_insert_with(|| {
+                    let mut e = FairShareExecutor::new(1.0, 1.0);
+                    e.instrument(rec.clone(), "device_cpu");
+                    e
+                });
+                rec.set_ambient_parent(phase_span);
                 exec.submit(now, work, req);
+                rec.set_ambient_parent(SpanId::NONE);
                 exec.reschedule(now, &mut self.queue, |epoch| Event::DeviceCpuCheck {
                     device,
                     epoch,
@@ -825,11 +967,16 @@ impl Simulation {
         lifecycle.upfront_connect = charged_connect;
         lifecycle.upfront_transfer = charged_upload;
         let req = self.alloc_slot(lifecycle);
+        if self.rec.is_enabled() {
+            self.rec
+                .set_current_request(Some(self.pending[req].record.id));
+        }
         self.transition(now, req, Phase::DataTransferUp);
         match outcome {
             TransferOutcome::Completes { at } => {
                 let gen = self.slot_gen[req];
                 self.queue.schedule(at, Event::UploadDone { req, gen });
+                self.trace_transfer(now, at, req, "upload", upload_bytes, false);
             }
             TransferOutcome::Interrupted { at, fraction_done } => {
                 let remaining =
@@ -837,8 +984,39 @@ impl Simulation {
                 self.pending[req].resume = Some(ResumeStage::Upload { bytes: remaining });
                 let gen = self.slot_gen[req];
                 self.queue.schedule(at, Event::TransferFault { req, gen });
+                self.trace_transfer(now, at, req, "upload", upload_bytes, true);
             }
         }
+    }
+
+    /// Record a link transfer of `req` as a [`Subsystem::Netsim`] span
+    /// under the request's root. Both endpoints are already priced, so
+    /// the span is opened and closed immediately.
+    fn trace_transfer(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        req: usize,
+        name: &'static str,
+        bytes: u64,
+        interrupted: bool,
+    ) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let span = self.rec.span_start_at(
+            Subsystem::Netsim,
+            name,
+            self.req_spans[req].root,
+            start.as_micros(),
+            vec![("bytes", AttrValue::U64(bytes))],
+        );
+        let attrs = if interrupted {
+            vec![("interrupted", AttrValue::Bool(true))]
+        } else {
+            Vec::new()
+        };
+        self.rec.span_end_at(span, end.as_micros(), attrs);
     }
 
     fn provision(&mut self, now: SimTime, device: u32) -> Option<InstanceId> {
@@ -846,6 +1024,7 @@ impl Simulation {
         match self.host.provision(class) {
             Ok((id, setup)) => {
                 self.instances_provisioned += 1;
+                self.ctr_provisions.inc();
                 let owner = if self.cfg.platform.per_device_instances {
                     Some(device)
                 } else {
@@ -912,9 +1091,24 @@ impl Simulation {
 
     fn start_service(&mut self, now: SimTime, instance: InstanceId, req: usize) {
         self.instance_busy.insert(instance, true);
+        // This can run mid-handler for a *queued* request (finish_io
+        // releasing the runtime), so scope the trace attribution to
+        // this request and restore the caller's afterwards.
+        let saved_req = self.rec.current_request();
+        if self.rec.is_enabled() {
+            self.rec
+                .set_current_request(Some(self.pending[req].record.id));
+        }
         // Everything since UploadDone was runtime preparation (boot wait
         // + queueing for the runtime) — charged by leaving RuntimePrep.
         self.transition(now, req, Phase::CodeLoad);
+
+        // The control-plane hop into the runtime: dispatcher → the
+        // instance's `offloadcontroller` binder service. Zero sim-time;
+        // the kernel's binder bookkeeping is not part of any report.
+        self.host
+            .offload_rpc(instance, self.pending[req].task.control_bytes)
+            .expect("offload RPC against a live runtime");
 
         // Load the mobile code into the runtime if it is not resident.
         let app_id = self.pending[req].record.kind.app_id();
@@ -931,6 +1125,7 @@ impl Simulation {
         let gen = self.slot_gen[req];
         self.queue
             .schedule(now + load_time, Event::CodeLoaded { req, gen });
+        self.rec.set_current_request(saved_req);
     }
 
     fn on_code_loaded(&mut self, now: SimTime, req: usize) {
@@ -955,7 +1150,9 @@ impl Simulation {
         if let Some(factor) = self.straggler_factor_at(now) {
             work_core_seconds *= factor;
         }
+        self.rec.set_ambient_parent(self.req_spans[req].phase);
         let job = self.cpu.submit(now, work_core_seconds, req);
+        self.rec.set_ambient_parent(SpanId::NONE);
         self.pending[req].cpu_job = Some(job);
         self.cpu
             .reschedule(now, &mut self.queue, |epoch| Event::CpuCheck { epoch });
@@ -966,6 +1163,10 @@ impl Simulation {
             return; // stale schedule; a newer one exists
         };
         for (_, req) in finished {
+            if self.rec.is_enabled() {
+                self.rec
+                    .set_current_request(Some(self.pending[req].record.id));
+            }
             self.pending[req].cpu_job = None;
             self.transition(now, req, Phase::OffloadIo);
             self.begin_io(now, req);
@@ -988,6 +1189,10 @@ impl Simulation {
             return;
         };
         for (_, req) in &finished {
+            if self.rec.is_enabled() {
+                self.rec
+                    .set_current_request(Some(self.pending[*req].record.id));
+            }
             self.on_request_complete(now, *req, sink);
         }
         if let Some(exec) = self.device_cpus.get_mut(&device) {
@@ -1020,6 +1225,16 @@ impl Simulation {
                 now + t.max(SimDuration::from_micros(1)),
                 bytes as f64,
             );
+            if self.rec.is_enabled() {
+                self.rec.instant(
+                    Subsystem::Containerfs,
+                    "tmpfs.io",
+                    vec![
+                        ("instance", AttrValue::U64(instance.0 as u64)),
+                        ("bytes", AttrValue::U64(bytes)),
+                    ],
+                );
+            }
             let gen = self.slot_gen[req];
             self.queue
                 .schedule(now + t, Event::TmpfsIoDone { req, gen });
@@ -1027,7 +1242,9 @@ impl Simulation {
             // Random-access traffic on the shared HDD, inflated by the
             // virtualization I/O path.
             let work = bytes as f64 / spec.io_efficiency;
+            self.rec.set_ambient_parent(self.req_spans[req].phase);
             let job = self.disk.submit(now, work, req);
+            self.rec.set_ambient_parent(SpanId::NONE);
             self.pending[req].disk_job = Some(job);
             self.disk
                 .reschedule(now, &mut self.queue, |epoch| Event::DiskCheck { epoch });
@@ -1039,6 +1256,10 @@ impl Simulation {
             return;
         };
         for (_, req) in finished {
+            if self.rec.is_enabled() {
+                self.rec
+                    .set_current_request(Some(self.pending[req].record.id));
+            }
             self.pending[req].disk_job = None;
             let from = self.pending[req].phase_started();
             let bytes = self.pending[req].task.io_bytes as f64;
@@ -1101,6 +1322,7 @@ impl Simulation {
                 lc.upfront_transfer = actual;
                 let gen = self.slot_gen[req];
                 self.queue.schedule(at, Event::RequestComplete { req, gen });
+                self.trace_transfer(now, at, req, "download", bytes, false);
             }
             TransferOutcome::Interrupted { at, fraction_done } => {
                 let remaining = (((1.0 - fraction_done) * bytes as f64).ceil() as u64).max(1);
@@ -1110,6 +1332,7 @@ impl Simulation {
                 lc.resume = Some(ResumeStage::Download { bytes: remaining });
                 let gen = self.slot_gen[req];
                 self.queue.schedule(at, Event::TransferFault { req, gen });
+                self.trace_transfer(now, at, req, "download", bytes, true);
             }
         }
     }
@@ -1129,7 +1352,12 @@ impl Simulation {
         sink: &mut dyn RequestSink,
         terminal: Phase,
     ) {
+        if self.rec.is_enabled() {
+            self.rec
+                .set_current_request(Some(self.pending[req].record.id));
+        }
         self.transition(now, req, terminal);
+        self.ctr_completions.inc();
         self.completed += 1;
         self.finished_at = self.finished_at.max(now);
         self.fault_stats.time_lost += self.pending[req].record.phases.fault_recovery;
@@ -1151,9 +1379,27 @@ impl Simulation {
         // bump drops any event still in flight for this slot.
         self.slot_gen[req] += 1;
         self.free_slots.push(req);
+        self.ctr_recycled.inc();
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Rattrap,
+                "slot.recycle",
+                vec![
+                    ("slot", AttrValue::U64(req as u64)),
+                    ("generation", AttrValue::U64(self.slot_gen[req])),
+                ],
+            );
+        }
     }
 
     fn on_boot_done(&mut self, now: SimTime, instance: InstanceId) {
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Rattrap,
+                "boot.done",
+                vec![("instance", AttrValue::U64(instance.0 as u64))],
+            );
+        }
         self.db.mark_ready(instance);
         if let Some(waiters) = self.boot_waiters.remove(&instance) {
             for req in waiters {
@@ -1197,6 +1443,13 @@ impl Simulation {
     fn crash_instance(&mut self, now: SimTime, victim: InstanceId, sink: &mut dyn RequestSink) {
         if self.host.teardown(victim).is_err() {
             return;
+        }
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Simkit,
+                "fault.instance_crash",
+                vec![("instance", AttrValue::U64(victim.0 as u64))],
+            );
         }
         let mut hit: Vec<usize> = Vec::new();
         if let Some(waiters) = self.boot_waiters.remove(&victim) {
@@ -1275,6 +1528,15 @@ impl Simulation {
     ) {
         let phase = self.pending[req].phase();
         self.fault_stats.record_strike(phase);
+        if self.rec.is_enabled() {
+            self.rec
+                .set_current_request(Some(self.pending[req].record.id));
+            self.rec.instant(
+                Subsystem::Simkit,
+                "fault.strike",
+                vec![("phase", AttrValue::Str(phase.name()))],
+            );
+        }
         // Invalidate every event the dead attempt scheduled.
         self.slot_gen[req] += 1;
         let instance = self.pending[req].instance;
@@ -1371,11 +1633,16 @@ impl Simulation {
             // fair-shared with whatever else the device is running.
             let device = self.pending[req].record.device;
             let work = self.pending[req].record.local_execution.as_secs_f64();
-            let exec = self
-                .device_cpus
-                .entry(device)
-                .or_insert_with(|| FairShareExecutor::new(1.0, 1.0));
+            let rec = self.rec.clone();
+            let phase_span = self.req_spans[req].phase;
+            let exec = self.device_cpus.entry(device).or_insert_with(|| {
+                let mut e = FairShareExecutor::new(1.0, 1.0);
+                e.instrument(rec.clone(), "device_cpu");
+                e
+            });
+            rec.set_ambient_parent(phase_span);
             exec.submit(now, work, req);
+            rec.set_ambient_parent(SpanId::NONE);
             exec.reschedule(now, &mut self.queue, |epoch| Event::DeviceCpuCheck {
                 device,
                 epoch,
@@ -1404,6 +1671,13 @@ impl Simulation {
         let device = self.pending[req].record.device;
         let seq = self.pending[req].record.seq_on_device;
         let attempt = self.pending[req].attempts as u64;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Rattrap,
+                "retry",
+                vec![("attempt", AttrValue::U64(attempt))],
+            );
+        }
         match resume {
             ResumeStage::Download { bytes } => {
                 self.transition(now, req, Phase::DataTransferDown);
@@ -1481,6 +1755,7 @@ impl Simulation {
                         lc.upfront_transfer = actual;
                         let gen = self.slot_gen[req];
                         self.queue.schedule(at, Event::UploadDone { req, gen });
+                        self.trace_transfer(now, at, req, "upload", wire_bytes, false);
                     }
                     TransferOutcome::Interrupted { at, fraction_done } => {
                         let remaining =
@@ -1491,6 +1766,7 @@ impl Simulation {
                         lc.resume = Some(ResumeStage::Upload { bytes: remaining });
                         let gen = self.slot_gen[req];
                         self.queue.schedule(at, Event::TransferFault { req, gen });
+                        self.trace_transfer(now, at, req, "upload", wire_bytes, true);
                     }
                 }
             }

@@ -17,8 +17,9 @@
 //! and copy the `GOLDEN` table printed by the failing test — but treat
 //! that as an interface change, not a routine update.
 
+use obsv::{Recorder, RecorderConfig};
 use rattrap::platform::PlatformKind;
-use rattrap::simulation::{run_scenario, ScenarioConfig};
+use rattrap::simulation::{run_scenario, ScenarioConfig, Simulation};
 use workloads::WorkloadKind;
 
 const GOLDEN_SEED: u64 = 0x2017_0529;
@@ -78,6 +79,39 @@ fn reports_match_committed_digests() {
          (see module docs to regenerate deliberately):\n{}",
         mismatches.join("\n")
     );
+}
+
+/// The observability plane's determinism contract: a fully
+/// instrumented run — recorder enabled, every subsystem recording,
+/// every exporter executed on the result — reproduces all six golden
+/// digests bit-for-bit. Recording is observational only; if tracing
+/// ever feeds back into scheduling, pricing, or RNG draws, this fails.
+#[test]
+fn instrumented_runs_reproduce_all_golden_digests() {
+    for &(platform, workload, expected) in GOLDEN {
+        let cfg = ScenarioConfig::paper_default(platform.config(), workload, GOLDEN_SEED);
+        let mut sim = Simulation::new(cfg);
+        let rec = Recorder::enabled(RecorderConfig::default());
+        sim.set_recorder(rec.clone());
+        let actual = sim.run().digest();
+        assert_eq!(
+            actual,
+            expected,
+            "{}/{:?}: tracing perturbed the simulation",
+            platform.label(),
+            workload
+        );
+        // Run every exporter over the captured trace; none may panic
+        // and each must produce non-trivial output.
+        let snap = rec.snapshot();
+        assert!(!snap.events.is_empty(), "instrumented run recorded events");
+        let chrome = snap.chrome_trace();
+        assert!(obsv::json::parse(&chrome).is_ok(), "chrome trace parses");
+        assert!(!snap.collapsed_stacks().is_empty(), "flamegraph stacks");
+        let some_req = snap.events.iter().find_map(|e| e.request());
+        let timeline = snap.request_timeline(some_req.expect("a request-attributed event"));
+        assert!(timeline.contains("causal timeline"));
+    }
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Observability-plane contract: coverage and structural soundness.
+//!
+//! Two guarantees:
+//!
+//! 1. **Cross-layer coverage** — a single instrumented paper-default
+//!    run yields at least one request whose events span five or more
+//!    subsystems (rattrap, simkit, netsim, hostkernel, containerfs /
+//!    virt). This is the acceptance bar for "one trace shows a request
+//!    crossing every layer".
+//! 2. **Well-formed span trees** — under *arbitrary* fault plans,
+//!    every `End` matches exactly one earlier `Begin`, no span closes
+//!    twice, and every child interval nests inside its parent's
+//!    (equal endpoints allowed: terminal transitions close the phase
+//!    span and the root span at the same microsecond).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use obsv::{Recorder, RecorderConfig, SpanId, Subsystem, TraceEvent};
+use proptest::prelude::*;
+use rattrap::platform::PlatformKind;
+use rattrap::simulation::{ScenarioConfig, Simulation};
+use rattrap::ResiliencePolicy;
+use simkit::FaultConfig;
+use workloads::WorkloadKind;
+
+const GOLDEN_SEED: u64 = 0x2017_0529;
+
+fn instrumented_run(cfg: ScenarioConfig) -> obsv::TraceSnapshot {
+    let mut sim = Simulation::new(cfg);
+    let rec = Recorder::enabled(RecorderConfig::default());
+    sim.set_recorder(rec.clone());
+    sim.run();
+    rec.snapshot()
+}
+
+/// Resolve the subsystem each event belongs to. `End` events carry no
+/// subsystem of their own; they inherit it from the matching `Begin`.
+fn subsystem_of(ev: &TraceEvent, begins: &BTreeMap<SpanId, Subsystem>) -> Option<Subsystem> {
+    match ev {
+        TraceEvent::Begin { subsystem, .. } | TraceEvent::Instant { subsystem, .. } => {
+            Some(*subsystem)
+        }
+        TraceEvent::End { id, .. } => begins.get(id).copied(),
+    }
+}
+
+#[test]
+fn one_request_crosses_at_least_five_subsystems() {
+    let snap = instrumented_run(ScenarioConfig::paper_default(
+        PlatformKind::Rattrap.config(),
+        WorkloadKind::Ocr,
+        GOLDEN_SEED,
+    ));
+
+    let begins: BTreeMap<SpanId, Subsystem> = snap
+        .events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Begin { id, subsystem, .. } => Some((*id, *subsystem)),
+            _ => None,
+        })
+        .collect();
+
+    let mut per_request: BTreeMap<u64, BTreeSet<&'static str>> = BTreeMap::new();
+    for ev in &snap.events {
+        let (Some(req), Some(sub)) = (ev.request(), subsystem_of(ev, &begins)) else {
+            continue;
+        };
+        per_request.entry(req).or_default().insert(sub.name());
+    }
+
+    let best = per_request
+        .iter()
+        .max_by_key(|(_, subs)| subs.len())
+        .expect("instrumented run produced request-attributed events");
+    assert!(
+        best.1.len() >= 5,
+        "expected one request's trace to span >= 5 subsystems, best was \
+         request {} with {:?}",
+        best.0,
+        best.1
+    );
+    for needed in ["rattrap", "netsim", "hostkernel"] {
+        assert!(
+            best.1.contains(needed),
+            "request {} trace is missing the {needed} layer: {:?}",
+            best.0,
+            best.1
+        );
+    }
+}
+
+/// Walk a snapshot's event stream and assert the span trees are
+/// well-formed. Returns an error string instead of panicking so the
+/// proptest harness can attach the failing fault plan.
+fn check_span_trees(snap: &obsv::TraceSnapshot) -> Result<(), String> {
+    // id -> (start_us, parent); removed on End so double-closes show.
+    let mut open: BTreeMap<SpanId, (u64, SpanId)> = BTreeMap::new();
+    // id -> (start_us, end_us, parent) for closed spans.
+    let mut closed: BTreeMap<SpanId, (u64, u64, SpanId)> = BTreeMap::new();
+
+    for ev in &snap.events {
+        match ev {
+            TraceEvent::Begin {
+                id, parent, at_us, ..
+            } => {
+                if !id.is_some() {
+                    return Err("recorded a Begin with the null span id".into());
+                }
+                if open.contains_key(id) || closed.contains_key(id) {
+                    return Err(format!("span {id:?} began twice"));
+                }
+                open.insert(*id, (*at_us, *parent));
+            }
+            TraceEvent::End { id, at_us, .. } => {
+                let Some((start, parent)) = open.remove(id) else {
+                    return Err(if closed.contains_key(id) {
+                        format!("span {id:?} ended twice")
+                    } else {
+                        format!("End for {id:?} has no prior Begin")
+                    });
+                };
+                if *at_us < start {
+                    return Err(format!("span {id:?} ends before it starts"));
+                }
+                closed.insert(*id, (start, *at_us, parent));
+            }
+            TraceEvent::Instant { .. } => {}
+        }
+    }
+
+    for (id, (start, end, parent)) in &closed {
+        if !parent.is_some() {
+            continue;
+        }
+        // A parent may still be open at snapshot time (it contains
+        // everything); only closed parents constrain the child.
+        let Some((pstart, pend, _)) = closed.get(parent) else {
+            if !open.contains_key(parent) {
+                return Err(format!("span {id:?} has unknown parent {parent:?}"));
+            }
+            continue;
+        };
+        if start < pstart || end > pend {
+            return Err(format!(
+                "child {id:?} [{start}, {end}] escapes parent {parent:?} \
+                 [{pstart}, {pend}]"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn fault_free_trace_has_well_formed_span_trees() {
+    for platform in [
+        PlatformKind::VmBaseline,
+        PlatformKind::RattrapWithout,
+        PlatformKind::Rattrap,
+    ] {
+        let snap = instrumented_run(ScenarioConfig::paper_default(
+            platform.config(),
+            WorkloadKind::Ocr,
+            GOLDEN_SEED,
+        ));
+        check_span_trees(&snap).unwrap_or_else(|e| panic!("{}: {e}", platform.label()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary fault plans — crashes mid-boot, transfer strikes,
+    /// retries, local fallbacks — must never produce a malformed span
+    /// tree: every end has a start, nothing closes twice, children
+    /// stay inside their parents.
+    #[test]
+    fn span_trees_stay_well_formed_under_any_fault_plan(
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..8.0,
+        policy_pick in 0usize..3,
+    ) {
+        let policy = match policy_pick {
+            0 => ResiliencePolicy::none(),
+            1 => ResiliencePolicy::retry_only(),
+            _ => ResiliencePolicy::standard(),
+        };
+        let cfg = ScenarioConfig {
+            faults: FaultConfig::scaled(intensity),
+            resilience: policy,
+            ..ScenarioConfig::paper_default(
+                PlatformKind::Rattrap.config(),
+                WorkloadKind::Ocr,
+                seed,
+            )
+        };
+        let snap = instrumented_run(cfg);
+        prop_assert!(!snap.events.is_empty());
+        if let Err(e) = check_span_trees(&snap) {
+            prop_assert!(false, "malformed span tree: {e}");
+        }
+    }
+}

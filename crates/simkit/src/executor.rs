@@ -22,6 +22,7 @@
 use crate::event::EventQueue;
 use crate::resource::{FairShareResource, JobId};
 use crate::time::{SimDuration, SimTime};
+use obsv::{AttrValue, Counter, Recorder, SpanId, Subsystem};
 use std::collections::BTreeMap;
 
 /// Work remaining at or below this is "done" (float slack on
@@ -33,6 +34,20 @@ pub const WORK_EPS: f64 = 1e-9;
 /// hair early would find the job with a sliver of work left and spin.
 const CHECK_SLACK: SimDuration = SimDuration::from_micros(2);
 
+/// Observability hooks for an instrumented executor: one span per
+/// job (opened at submit, closed at completion/cancellation, parented
+/// under the recorder's ambient span) plus epoch counters. Purely
+/// observational — never feeds back into scheduling.
+#[derive(Debug, Clone)]
+struct ExecObs {
+    rec: Recorder,
+    device: &'static str,
+    job_spans: BTreeMap<u64, SpanId>,
+    reschedules: Counter,
+    stale_polls: Counter,
+    completions: Counter,
+}
+
 /// A fair-shared device plus the epoch/job-map bookkeeping needed to
 /// drive it from a discrete-event loop. `T` is the caller's per-job
 /// payload (typically a request index), returned on completion.
@@ -41,6 +56,7 @@ pub struct FairShareExecutor<T> {
     resource: FairShareResource,
     epoch: u64,
     jobs: BTreeMap<u64, T>,
+    obs: Option<ExecObs>,
 }
 
 impl<T> FairShareExecutor<T> {
@@ -60,7 +76,28 @@ impl<T> FairShareExecutor<T> {
             resource,
             epoch: 0,
             jobs: BTreeMap::new(),
+            obs: None,
         }
+    }
+
+    /// Report into `rec` as device `device` ("cpu", "disk", …): one
+    /// span per job plus reschedule / stale-poll / completion
+    /// counters. A disabled recorder keeps the executor on its
+    /// zero-cost path.
+    pub fn instrument(&mut self, rec: Recorder, device: &'static str) {
+        if !rec.is_enabled() {
+            self.obs = None;
+            return;
+        }
+        let counter = |suffix: &str| rec.counter(&format!("simkit.{device}.{suffix}"));
+        self.obs = Some(ExecObs {
+            reschedules: counter("reschedules"),
+            stale_polls: counter("stale_polls"),
+            completions: counter("completions"),
+            rec,
+            device,
+            job_spans: BTreeMap::new(),
+        });
     }
 
     /// The underlying shared device (read-only; mutations must go
@@ -94,6 +131,19 @@ impl<T> FairShareExecutor<T> {
     pub fn submit(&mut self, now: SimTime, work: f64, payload: T) -> JobId {
         let job = self.resource.add_job(now, work);
         self.jobs.insert(job.0, payload);
+        if let Some(obs) = &mut self.obs {
+            let span = obs.rec.span_start_at(
+                Subsystem::Simkit,
+                obs.device,
+                SpanId::NONE,
+                now.as_micros(),
+                vec![
+                    ("job", AttrValue::U64(job.0)),
+                    ("work", AttrValue::F64(work)),
+                ],
+            );
+            obs.job_spans.insert(job.0, span);
+        }
         job
     }
 
@@ -101,6 +151,15 @@ impl<T> FairShareExecutor<T> {
     pub fn cancel(&mut self, now: SimTime, job: JobId) -> Option<T> {
         let payload = self.jobs.remove(&job.0)?;
         self.resource.remove_job(now, job);
+        if let Some(obs) = &mut self.obs {
+            if let Some(span) = obs.job_spans.remove(&job.0) {
+                obs.rec.span_end_at(
+                    span,
+                    now.as_micros(),
+                    vec![("cancelled", AttrValue::Bool(true))],
+                );
+            }
+        }
         Some(payload)
     }
 
@@ -127,6 +186,17 @@ impl<T> FairShareExecutor<T> {
     pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
         self.resource.advance_to(now);
         self.resource.set_capacity(capacity);
+        if let Some(obs) = &self.obs {
+            obs.rec.instant_at(
+                Subsystem::Simkit,
+                "set_capacity",
+                now.as_micros(),
+                vec![
+                    ("device", AttrValue::Str(obs.device)),
+                    ("capacity", AttrValue::F64(capacity)),
+                ],
+            );
+        }
     }
 
     /// Advance the device to `now`, invalidate any outstanding
@@ -142,6 +212,9 @@ impl<T> FairShareExecutor<T> {
     ) {
         self.resource.advance_to(now);
         self.epoch += 1;
+        if let Some(obs) = &self.obs {
+            obs.reschedules.inc();
+        }
         if let Some((t, _)) = self.resource.next_completion() {
             queue.schedule(t.max(now) + CHECK_SLACK, make_event(self.epoch));
         }
@@ -159,6 +232,9 @@ impl<T> FairShareExecutor<T> {
     /// [`reschedule`]: FairShareExecutor::reschedule
     pub fn poll(&mut self, now: SimTime, epoch: u64) -> Option<Vec<(JobId, T)>> {
         if epoch != self.epoch {
+            if let Some(obs) = &self.obs {
+                obs.stale_polls.inc();
+            }
             return None;
         }
         self.resource.advance_to(now);
@@ -177,6 +253,12 @@ impl<T> FairShareExecutor<T> {
         for j in finished {
             let payload = self.jobs.remove(&j).expect("tracked job");
             self.resource.remove_job(now, JobId(j));
+            if let Some(obs) = &mut self.obs {
+                obs.completions.inc();
+                if let Some(span) = obs.job_spans.remove(&j) {
+                    obs.rec.span_end_at(span, now.as_micros(), Vec::new());
+                }
+            }
             out.push((JobId(j), payload));
         }
         Some(out)
@@ -283,6 +365,59 @@ mod tests {
         assert_eq!(exec.cancel(t(1.0), job), Some(9));
         assert_eq!(exec.cancel(t(1.0), job), None);
         assert!(exec.is_idle());
+    }
+
+    #[test]
+    fn instrumented_executor_records_job_spans_and_counters() {
+        use obsv::{Recorder, RecorderConfig, TraceEvent};
+        let rec = Recorder::enabled(RecorderConfig::default());
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        exec.instrument(rec.clone(), "cpu");
+        let mut queue = EventQueue::new();
+        exec.submit(SimTime::ZERO, 2.0, 1u32);
+        let doomed = exec.submit(SimTime::ZERO, 9.0, 2u32);
+        exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+        exec.cancel(t(1.0), doomed);
+        exec.reschedule(t(1.0), &mut queue, Ev::Check);
+        drain(&mut exec, &mut queue);
+        let snap = rec.snapshot();
+        let begins = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { name: "cpu", .. }))
+            .count();
+        let ends = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::End { .. }))
+            .count();
+        assert_eq!(begins, 2, "one span per submitted job");
+        assert_eq!(ends, 2, "cancelled + completed both close");
+        assert_eq!(snap.counters["simkit.cpu.completions"], 1);
+        assert!(snap.counters["simkit.cpu.reschedules"] >= 2);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::End { attrs, .. } if !attrs.is_empty())));
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_completion_times() {
+        let run = |instrument: bool| {
+            let mut exec = FairShareExecutor::new(1.0, 1.0);
+            if instrument {
+                exec.instrument(
+                    obsv::Recorder::enabled(obsv::RecorderConfig::default()),
+                    "cpu",
+                );
+            }
+            let mut queue = EventQueue::new();
+            exec.submit(SimTime::ZERO, 1.0, 10u32);
+            exec.submit(SimTime::ZERO, 3.0, 30u32);
+            exec.reschedule(SimTime::ZERO, &mut queue, Ev::Check);
+            drain(&mut exec, &mut queue)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -121,6 +121,19 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable short name for observability exports (trace-event
+    /// names, counter keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkOutage { .. } => "link_outage",
+            FaultKind::LinkDegradation { .. } => "link_degradation",
+            FaultKind::InstanceCrash { .. } => "instance_crash",
+            FaultKind::Straggler { .. } => "straggler",
+        }
+    }
+}
+
 /// A fault event: what happens and when.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {

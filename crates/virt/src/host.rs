@@ -17,6 +17,7 @@ use containerfs::{
     UnionMount,
 };
 use hostkernel::{CgroupId, DeviceKind, HostSpec, Kernel, KernelError, Syscall, SyscallRet};
+use obsv::{AttrValue, Recorder, SpanId, Subsystem};
 use simkit::resource::OutOfMemory;
 use simkit::{MemoryPool, SimDuration};
 use std::collections::{BTreeMap, BTreeSet};
@@ -104,6 +105,8 @@ pub struct CloudHost {
     container_rootfs_bytes: u64,
     instances: BTreeMap<u32, RuntimeInstance>,
     next_id: u32,
+    /// Observability recorder (disabled unless attached).
+    rec: Recorder,
 }
 
 impl CloudHost {
@@ -131,7 +134,15 @@ impl CloudHost {
             container_rootfs_bytes,
             instances: BTreeMap::new(),
             next_id: 0,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder. The kernel shares the same
+    /// handle, so binder/logcat/insmod events land in the same trace.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.kernel.attach_recorder(rec.clone());
+        self.rec = rec;
     }
 
     /// Host hardware description.
@@ -160,6 +171,7 @@ impl CloudHost {
         spec: RuntimeSpec,
     ) -> Result<(InstanceId, SimDuration), HostError> {
         let id = InstanceId(self.next_id);
+        let t0 = self.rec.now_us();
         let mut setup = class.boot_sequence().total();
 
         let (namespace, init_pid, zygote_pid, mount, exclusive) = if class.is_container() {
@@ -203,6 +215,26 @@ impl CloudHost {
                     },
                 )?;
             }
+            // User-space bring-up leaves its marks in /dev/log/main, the
+            // same ring `dump_log` surfaces into request timelines.
+            for (pid, tag, message) in [
+                (init, "init", "boot completed"),
+                (zygote, "zygote", "preload done, accepting fork requests"),
+                (
+                    system_server,
+                    "system_server",
+                    "core services published on binder",
+                ),
+            ] {
+                self.kernel.syscall(
+                    pid,
+                    Syscall::LogWrite {
+                        priority: 4,
+                        tag: tag.into(),
+                        message: message.into(),
+                    },
+                )?;
+            }
             let (mount, exclusive) = match class {
                 RuntimeClass::CacOptimized => {
                     let mut m = UnionMount::new(&mut self.layers, vec![self.shared_layer]);
@@ -211,6 +243,16 @@ impl CloudHost {
                         m.write(&self.layers, path, entry.clone());
                     }
                     let excl = m.exclusive_bytes();
+                    if self.rec.is_enabled() {
+                        self.rec.instant(
+                            Subsystem::Containerfs,
+                            "union.mount",
+                            vec![
+                                ("instance", AttrValue::U64(id.0 as u64)),
+                                ("exclusive_bytes", AttrValue::U64(excl)),
+                            ],
+                        );
+                    }
                     (Some(m), excl)
                 }
                 // Non-optimized containers copy the full rootfs privately.
@@ -233,6 +275,31 @@ impl CloudHost {
             spec.memory_bytes,
         );
         self.kernel.cgroups.attach(cgroup, init_pid)?;
+
+        if self.rec.is_enabled() {
+            // The boot stages run after any one-time module loading, so
+            // they occupy the tail of the setup window.
+            let span = self.rec.span_start_at(
+                Subsystem::Virt,
+                "provision",
+                SpanId::NONE,
+                t0,
+                vec![
+                    ("instance", AttrValue::U64(id.0 as u64)),
+                    ("class", AttrValue::Str(class.label())),
+                ],
+            );
+            let boot = class.boot_sequence();
+            let mut at = t0 + (setup.as_micros() - boot.total().as_micros());
+            for stage in boot.stages() {
+                let s = self
+                    .rec
+                    .span_start_at(Subsystem::Virt, stage.name, span, at, vec![]);
+                at += stage.duration.as_micros();
+                self.rec.span_end_at(s, at, vec![]);
+            }
+            self.rec.span_end_at(span, t0 + setup.as_micros(), vec![]);
+        }
 
         self.next_id += 1;
         self.instances.insert(
@@ -261,6 +328,16 @@ impl CloudHost {
             .instances
             .remove(&id.0)
             .ok_or(HostError::NoSuchInstance(id))?;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Virt,
+                "teardown",
+                vec![
+                    ("instance", AttrValue::U64(id.0 as u64)),
+                    ("class", AttrValue::Str(inst.class.label())),
+                ],
+            );
+        }
         self.memory.release(inst.class.spec().memory_bytes);
         if inst.class.is_container() {
             self.kernel.destroy_namespace(inst.namespace)?;
@@ -318,7 +395,40 @@ impl CloudHost {
         let t =
             CLASSLOAD_FIXED + SimDuration::from_secs_f64(code_bytes as f64 / (disk_bw * io_eff));
         inst.apps_loaded.insert(app_id.to_string());
+        if self.rec.is_enabled() {
+            let now = self.rec.now_us();
+            let span = self.rec.span_start_at(
+                Subsystem::Virt,
+                "load_app",
+                SpanId::NONE,
+                now,
+                vec![
+                    ("instance", AttrValue::U64(id.0 as u64)),
+                    ("app", AttrValue::Text(app_id.to_string())),
+                    ("code_bytes", AttrValue::U64(code_bytes)),
+                ],
+            );
+            self.rec.span_end_at(span, now + t.as_micros(), vec![]);
+        }
         Ok(t)
+    }
+
+    /// The control-plane hop that starts one offloaded execution: a
+    /// binder transaction against the instance's `offloadcontroller`
+    /// service. VMs carry their own binder inside the guest, so the
+    /// host kernel sees nothing for them.
+    pub fn offload_rpc(&mut self, id: InstanceId, payload_bytes: u64) -> Result<(), HostError> {
+        let Some(zygote) = self.instance(id)?.zygote_pid else {
+            return Ok(());
+        };
+        self.kernel.syscall(
+            zygote,
+            Syscall::BinderTransact {
+                service: "offloadcontroller".into(),
+                payload_bytes,
+            },
+        )?;
+        Ok(())
     }
 
     /// Uncontended service time for `bytes` of offloading I/O inside the
@@ -337,6 +447,16 @@ impl CloudHost {
             // Burn-after-reading: write then consume, leaving no residue.
             if self.tmpfs.write(&path, bytes).is_ok() {
                 self.tmpfs.consume(&path);
+            }
+            if self.rec.is_enabled() {
+                self.rec.instant(
+                    Subsystem::Containerfs,
+                    "tmpfs.io",
+                    vec![
+                        ("instance", AttrValue::U64(id.0 as u64)),
+                        ("bytes", AttrValue::U64(bytes)),
+                    ],
+                );
             }
             Ok(SimDuration::from_secs_f64(bytes as f64 / TMPFS_BANDWIDTH))
         } else {
@@ -583,6 +703,52 @@ mod tests {
         );
         assert_eq!(h.tmpfs.used(), 0, "burn after reading");
         assert!(h.tmpfs.total_written() > 0);
+    }
+
+    #[test]
+    fn instrumented_provision_spans_virt_hostkernel_and_containerfs() {
+        use obsv::{RecorderConfig, TraceEvent};
+        let mut h = host();
+        let rec = obsv::Recorder::enabled(RecorderConfig::default());
+        h.attach_recorder(rec.clone());
+        let (id, _) = h.provision(RuntimeClass::CacOptimized).unwrap();
+        h.offload_rpc(id, 4096).unwrap();
+        let snap = rec.snapshot();
+        let cats: std::collections::BTreeSet<&str> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Begin { subsystem, .. } | TraceEvent::Instant { subsystem, .. } => {
+                    Some(subsystem.name())
+                }
+                TraceEvent::End { .. } => None,
+            })
+            .collect();
+        assert!(cats.contains("virt"), "provision + boot stage spans");
+        assert!(cats.contains("hostkernel"), "insmod + binder instants");
+        assert!(cats.contains("containerfs"), "union.mount instant");
+        // The boot-stage children tile the provision span exactly.
+        let begins = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { name, .. } if *name == "provision"))
+            .count();
+        assert_eq!(begins, 1);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Instant { name, .. } if *name == "binder.transact")));
+        // Boot left renderable lines in the namespace logger ring.
+        let ns = h.instance(id).unwrap().namespace;
+        let lines = h.kernel.dump_log(ns).unwrap();
+        assert!(lines.iter().any(|l| l.tag == "system_server"));
+    }
+
+    #[test]
+    fn offload_rpc_is_a_noop_for_vms() {
+        let mut h = host();
+        let (vm, _) = h.provision(RuntimeClass::AndroidVm).unwrap();
+        h.offload_rpc(vm, 1024).unwrap();
     }
 
     #[test]
