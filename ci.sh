@@ -44,6 +44,8 @@ cargo test -q --offline
 if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
     echo "==> bench smoke (exp_fig9)"
     cargo run --release --offline -p rattrap-bench --bin exp_fig9 >/dev/null
+    echo "==> bench smoke (exp_cluster)"
+    cargo run --release --offline -p rattrap-bench --bin exp_cluster >/dev/null
     if [ -n "${RATTRAP_TRACE:-}" ]; then
         echo "==> validate trace ($RATTRAP_TRACE)"
         cargo run --release --offline -p rattrap-bench --bin validate_trace -- "$RATTRAP_TRACE"

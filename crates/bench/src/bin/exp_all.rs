@@ -37,6 +37,7 @@ fn main() {
         ("docker", exp::docker::run),
         ("mixed", exp::mixed::run),
         ("robustness", exp::robustness::run),
+        ("cluster", exp::cluster::run),
     ];
     let outputs: Vec<(&str, exp::ExperimentOutput)> =
         jobs.par_iter().map(|(name, f)| (*name, f(seed))).collect();

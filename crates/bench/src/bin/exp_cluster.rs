@@ -1,0 +1,8 @@
+//! Fleet control-plane study: scaling, faults + rebalancing,
+//! elasticity. Usage: `exp_cluster [seed]`
+fn main() {
+    let seed = rattrap_bench::experiments::seed_from_args();
+    rattrap_bench::meta::print_header(seed);
+    let out = rattrap_bench::experiments::cluster::run(seed);
+    println!("{}", out.render());
+}

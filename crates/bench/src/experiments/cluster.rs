@@ -1,0 +1,317 @@
+//! Cluster — the fleet control plane's evaluation (`exp_cluster`).
+//!
+//! The paper runs one Rattrap server; this experiment runs N of them
+//! under `fleet`'s router/admission/autoscaler/rebalancer and asks the
+//! questions a deployment would:
+//!
+//! 1. **Scaling** — does cloud throughput scale with host count on a
+//!    skewed LiveLab day heavy enough to saturate one server? The
+//!    acceptance bar is ≥ 2× from one host to four.
+//! 2. **Faults + rebalancing** — with host crashes injected and an
+//!    aggressive imbalance threshold, do crash re-routes and
+//!    checkpoint migrations actually happen, and does the exported
+//!    obsv trace carry the evidence (migrate spans, reroute instants)?
+//! 3. **Elasticity** — starting from a single active host with three
+//!    standby, does the credit-damped autoscaler grow the fleet and
+//!    land near the static-fleet throughput?
+//!
+//! Every run is seeded-deterministic; the 4-host scaling cell doubles
+//! as a digest-equality check, and the faulty cell is run twice (bare
+//! and traced) to prove observation does not perturb the simulation.
+
+use super::ExperimentOutput;
+use analysis::{fnum, Scorecard, Table};
+use fleet::{run_fleet, run_fleet_traced, FleetConfig, FleetReport};
+use obsv::{Recorder, RecorderConfig, Subsystem, TraceEvent};
+use rayon::prelude::*;
+use simkit::faults::FaultConfig;
+use simkit::SimDuration;
+
+/// Host counts swept by the scaling study.
+pub const HOST_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Users that saturate a single paper server on the LanWifi scenario
+/// (one server peaks around 5 req/s remote; 800 users at LiveLab
+/// session rates offer ~14 req/s, so small fleets must shed).
+const STRESS_USERS: u32 = 800;
+
+/// The scaling-sweep scenario at `hosts` hosts.
+pub fn scaling_cfg(hosts: usize, seed: u64, smoke: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::paper_default(hosts, seed);
+    cfg.traffic.users = STRESS_USERS;
+    if smoke {
+        cfg.traffic.duration = SimDuration::from_secs(900);
+    }
+    cfg
+}
+
+/// The fault study: four hosts, crash-heavy plan, rebalancer keyed
+/// low enough that the skew across hosts triggers migrations.
+fn faulty_cfg(seed: u64, smoke: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::paper_default(4, seed);
+    cfg.traffic.users = 400;
+    cfg.faults = FaultConfig::scaled(if smoke { 2.0 } else { 1.0 });
+    cfg.rebalance.imbalance_threshold = 0.25;
+    if smoke {
+        cfg.traffic.duration = SimDuration::from_secs(1200);
+    }
+    cfg
+}
+
+/// The elasticity study: same hardware as the 4-host cell, but only
+/// one host routable at t = 0 — growth is the autoscaler's job.
+fn elastic_cfg(seed: u64, smoke: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::paper_default(4, seed);
+    cfg.traffic.users = 400;
+    cfg.initial_active = 1;
+    cfg.autoscale = fleet::AutoscalePolicy::standard();
+    if smoke {
+        cfg.traffic.duration = SimDuration::from_secs(900);
+    }
+    cfg
+}
+
+/// Count trace evidence: completed `migrate` root spans (Virt) and
+/// crash `reroute` instants (Fleet).
+fn trace_evidence(events: &[TraceEvent]) -> (u64, u64) {
+    let mut migrates = 0;
+    let mut reroutes = 0;
+    for ev in events {
+        match ev {
+            TraceEvent::Begin {
+                subsystem: Subsystem::Virt,
+                name: "migrate",
+                ..
+            } => migrates += 1,
+            TraceEvent::Instant {
+                subsystem: Subsystem::Fleet,
+                name: "reroute",
+                ..
+            } => reroutes += 1,
+            _ => {}
+        }
+    }
+    (migrates, reroutes)
+}
+
+/// Run the cluster study with an explicit smoke flag (tests use this
+/// to stay fast regardless of the environment).
+pub fn run_scaled(seed: u64, smoke: bool) -> ExperimentOutput {
+    // ---- scaling sweep: independent cells, run in parallel. -------------
+    let reports: Vec<FleetReport> = HOST_COUNTS
+        .par_iter()
+        .map(|&h| run_fleet(&scaling_cfg(h, seed, smoke)))
+        .collect();
+    let rps: Vec<f64> = reports.iter().map(|r| r.summary.throughput_rps).collect();
+
+    let mut table = Table::new(
+        &format!("fleet scaling — {STRESS_USERS} LiveLab users, skewed apps, static fleet"),
+        &[
+            "Hosts",
+            "Submitted",
+            "Remote",
+            "Local",
+            "Shed",
+            "Cloud req/s",
+            "Speedup",
+            "p95 (s)",
+        ],
+    );
+    for (r, &h) in reports.iter().zip(&HOST_COUNTS) {
+        table.row(&[
+            h.to_string(),
+            r.summary.submitted.to_string(),
+            r.summary.completed_remote.to_string(),
+            r.summary.fallback_local.to_string(),
+            r.control.shed.to_string(),
+            fnum(r.summary.throughput_rps, 2),
+            format!("{:.2}x", r.summary.throughput_rps / rps[0].max(1e-9)),
+            fnum(r.summary.p95_response_s, 2),
+        ]);
+    }
+
+    // Determinism: the 4-host cell replayed must be bit-identical.
+    let four = &reports[2];
+    let replay = run_fleet(&scaling_cfg(4, seed, smoke));
+
+    // ---- fault + rebalance study, bare and traced. ----------------------
+    let faulty = run_fleet(&faulty_cfg(seed, smoke));
+    let rec = Recorder::enabled(RecorderConfig::default());
+    let traced = run_fleet_traced(&faulty_cfg(seed, smoke), rec.clone());
+    let snap = rec.snapshot();
+    let (migrate_spans, reroute_instants) = trace_evidence(&snap.events);
+
+    let mut ftable = Table::new(
+        "faults + rebalancing — 4 hosts, crash plan, threshold 0.25",
+        &["Metric", "Engine count", "Trace evidence"],
+    );
+    ftable.row(&[
+        "host crashes".into(),
+        faulty.control.host_crashes.to_string(),
+        "—".into(),
+    ]);
+    ftable.row(&[
+        "crash re-routes".into(),
+        faulty.control.crash_reroutes.to_string(),
+        format!("{reroute_instants} reroute instants"),
+    ]);
+    ftable.row(&[
+        "migrations completed".into(),
+        faulty.control.migrations_completed.to_string(),
+        format!("{migrate_spans} migrate spans"),
+    ]);
+    ftable.row(&[
+        "migration bytes".into(),
+        faulty.control.migration_bytes.to_string(),
+        "—".into(),
+    ]);
+    ftable.row(&[
+        "delivered".into(),
+        format!(
+            "{} remote + {} local of {}",
+            faulty.summary.completed_remote,
+            faulty.summary.fallback_local,
+            faulty.summary.submitted
+        ),
+        "—".into(),
+    ]);
+
+    // ---- elasticity study. ----------------------------------------------
+    let elastic = run_fleet(&elastic_cfg(seed, smoke));
+    let static_peer = {
+        let mut cfg = elastic_cfg(seed, smoke);
+        cfg.initial_active = 4;
+        cfg.autoscale = fleet::AutoscalePolicy::static_fleet();
+        run_fleet(&cfg)
+    };
+    let mut etable = Table::new(
+        "elasticity — 1 active + 3 standby vs. static 4-host fleet",
+        &[
+            "Fleet",
+            "Scale-ups",
+            "Drains",
+            "Cloud req/s",
+            "Remote",
+            "Local",
+        ],
+    );
+    etable.row(&[
+        "elastic".into(),
+        elastic.control.scale_ups.to_string(),
+        elastic.control.drains.to_string(),
+        fnum(elastic.summary.throughput_rps, 2),
+        elastic.summary.completed_remote.to_string(),
+        elastic.summary.fallback_local.to_string(),
+    ]);
+    etable.row(&[
+        "static-4".into(),
+        "0".into(),
+        "0".into(),
+        fnum(static_peer.summary.throughput_rps, 2),
+        static_peer.summary.completed_remote.to_string(),
+        static_peer.summary.fallback_local.to_string(),
+    ]);
+
+    // ---- scorecard. ------------------------------------------------------
+    let mut sc = Scorecard::new();
+    sc.expect(
+        "throughput scales ≥ 2x from 1 to 4 hosts",
+        "speedup ≥ 2.0",
+        &format!("{:.2}x", rps[2] / rps[0].max(1e-9)),
+        rps[2] >= 2.0 * rps[0],
+    );
+    sc.expect(
+        "throughput is monotone over 1 → 2 → 4 hosts",
+        "non-decreasing",
+        &format!("{:.2} / {:.2} / {:.2}", rps[0], rps[1], rps[2]),
+        rps[0] <= rps[1] && rps[1] <= rps[2],
+    );
+    sc.expect(
+        "same seed, same fleet, bit-identical report",
+        &format!("{:#018x}", four.digest()),
+        &format!("{:#018x}", replay.digest()),
+        four.digest() == replay.digest(),
+    );
+    sc.expect(
+        "tracing does not perturb the faulty run",
+        &format!("{:#018x}", faulty.digest()),
+        &format!("{:#018x}", traced.digest()),
+        faulty.digest() == traced.digest(),
+    );
+    sc.expect(
+        "crashes strand requests that get re-routed",
+        "crashes ≥ 1 ∧ re-routes ≥ 1",
+        &format!(
+            "{} crashes, {} re-routes",
+            faulty.control.host_crashes, faulty.control.crash_reroutes
+        ),
+        faulty.control.host_crashes >= 1 && faulty.control.crash_reroutes >= 1,
+    );
+    sc.expect(
+        "the rebalancer migrates warm containers",
+        "migrations completed ≥ 1",
+        &faulty.control.migrations_completed.to_string(),
+        faulty.control.migrations_completed >= 1,
+    );
+    sc.expect(
+        "the exported trace carries the evidence",
+        "migrate spans ≥ 1 ∧ reroute instants ≥ 1",
+        &format!("{migrate_spans} spans, {reroute_instants} instants"),
+        migrate_spans >= 1 && reroute_instants >= 1,
+    );
+    sc.expect(
+        "every faulty-run request reaches a terminal phase",
+        "remote + local + abandoned = submitted",
+        &format!(
+            "{} + {} + {} = {}",
+            faulty.summary.completed_remote,
+            faulty.summary.fallback_local,
+            faulty.summary.abandoned,
+            faulty.summary.submitted
+        ),
+        faulty.summary.completed_remote + faulty.summary.fallback_local + faulty.summary.abandoned
+            == faulty.summary.submitted,
+    );
+    sc.expect(
+        "the autoscaler grows a one-host fleet under load",
+        "scale-ups ≥ 1",
+        &elastic.control.scale_ups.to_string(),
+        elastic.control.scale_ups >= 1,
+    );
+    sc.expect(
+        "elastic fleet lands near static throughput",
+        "≥ 0.8x static-4",
+        &format!(
+            "{:.2} vs {:.2}",
+            elastic.summary.throughput_rps, static_peer.summary.throughput_rps
+        ),
+        elastic.summary.throughput_rps >= 0.8 * static_peer.summary.throughput_rps,
+    );
+
+    ExperimentOutput {
+        id: "Cluster",
+        body: format!(
+            "{}\n{}\n{}",
+            table.render(),
+            ftable.render(),
+            etable.render()
+        ),
+        scorecard: sc,
+    }
+}
+
+/// Run the cluster study (smoke mode via `RATTRAP_BENCH_SMOKE`).
+pub fn run(seed: u64) -> ExperimentOutput {
+    run_scaled(seed, super::smoke())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_scorecard_passes_in_smoke_scale() {
+        let out = run_scaled(super::super::DEFAULT_SEED, true);
+        assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+    }
+}

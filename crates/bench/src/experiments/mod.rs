@@ -3,6 +3,7 @@
 //! and integration tests can exercise the full harness.
 
 pub mod ablations;
+pub mod cluster;
 pub mod decision;
 pub mod docker;
 pub mod fig1;

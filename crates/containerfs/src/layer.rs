@@ -240,6 +240,14 @@ impl UnionMount {
     pub fn upper(&self) -> &FsImage {
         &self.upper
     }
+
+    /// Replace the private upper layer wholesale — checkpoint restore.
+    /// The image *is* the writable layer's complete state, so any
+    /// whiteouts of the previous life are cleared with it.
+    pub fn restore_upper(&mut self, upper: FsImage) {
+        self.upper = upper;
+        self.whiteouts.clear();
+    }
 }
 
 /// Aggregate physical disk use of a fleet: shared layers once + every

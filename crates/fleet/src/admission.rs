@@ -1,0 +1,124 @@
+//! Per-host admission control: bounded queues with backpressure.
+//!
+//! A host accepts at most `capacity` concurrently admitted requests
+//! (waiting for a runtime + being served). The router treats a full
+//! host as inadmissible, which first spills traffic around the ring
+//! and — when the whole fleet is saturated — sheds the request to the
+//! resilience layer (fallback-local or abandon). Depth is released
+//! when service completes, fails, or the request is re-routed away.
+
+/// Admission state for every host in the fleet.
+#[derive(Debug)]
+pub struct AdmissionCtl {
+    capacity: usize,
+    depth: Vec<usize>,
+    admitted: Vec<u64>,
+    shed: u64,
+}
+
+impl AdmissionCtl {
+    /// Admission control over `hosts` hosts with the same per-host
+    /// `capacity` bound.
+    pub fn new(hosts: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "admission capacity must be positive");
+        AdmissionCtl {
+            capacity,
+            depth: vec![0; hosts],
+            admitted: vec![0; hosts],
+            shed: 0,
+        }
+    }
+
+    /// Whether `host` can take one more request.
+    pub fn has_room(&self, host: usize) -> bool {
+        self.depth[host] < self.capacity
+    }
+
+    /// Admit one request onto `host`. Returns `false` (and counts
+    /// nothing) when the queue is full.
+    pub fn admit(&mut self, host: usize) -> bool {
+        if !self.has_room(host) {
+            return false;
+        }
+        self.depth[host] += 1;
+        self.admitted[host] += 1;
+        true
+    }
+
+    /// Release one admitted slot (completion, failure, re-route).
+    pub fn release(&mut self, host: usize) {
+        debug_assert!(self.depth[host] > 0, "release without admit");
+        self.depth[host] = self.depth[host].saturating_sub(1);
+    }
+
+    /// Count one fleet-wide shed (no host admitted the request).
+    pub fn count_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Current depth of `host`.
+    pub fn depth(&self, host: usize) -> usize {
+        self.depth[host]
+    }
+
+    /// Depth as a fraction of capacity (the backpressure signal).
+    pub fn utilization(&self, host: usize) -> f64 {
+        self.depth[host] as f64 / self.capacity as f64
+    }
+
+    /// Wipe `host`'s depth (host crash: every admitted request was
+    /// already re-routed or failed individually).
+    pub fn reset_host(&mut self, host: usize) {
+        self.depth[host] = 0;
+    }
+
+    /// Total requests ever admitted per host.
+    pub fn admitted(&self) -> &[u64] {
+        &self.admitted
+    }
+
+    /// Total fleet-wide sheds.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// The configured per-host bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_backpressures() {
+        let mut a = AdmissionCtl::new(2, 2);
+        assert!(a.admit(0));
+        assert!(a.admit(0));
+        assert!(!a.admit(0), "full host refuses");
+        assert!(a.has_room(1));
+        a.release(0);
+        assert!(a.admit(0));
+        assert_eq!(a.admitted()[0], 3);
+    }
+
+    #[test]
+    fn reset_clears_depth_but_keeps_counters() {
+        let mut a = AdmissionCtl::new(1, 4);
+        a.admit(0);
+        a.admit(0);
+        a.reset_host(0);
+        assert_eq!(a.depth(0), 0);
+        assert_eq!(a.admitted()[0], 2);
+    }
+
+    #[test]
+    fn utilization_is_the_backpressure_signal() {
+        let mut a = AdmissionCtl::new(1, 4);
+        a.admit(0);
+        a.admit(0);
+        assert!((a.utilization(0) - 0.5).abs() < 1e-12);
+    }
+}

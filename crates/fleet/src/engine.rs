@@ -1,0 +1,1242 @@
+//! The fleet engine: N rattrap hosts under one deterministic event
+//! loop, fronted by the Router and governed by admission control, the
+//! Autoscaler, and the migration-based Rebalancer.
+//!
+//! Each host is a real `virt::CloudHost` (provisioning runs the full
+//! §IV-B pipeline against the simulated kernel) paired with a
+//! fair-share CPU executor, an App Warehouse for CID hints, and a
+//! bounded admission queue. Devices reach the fleet over one access
+//! network ([`netsim::Link`]); hosts reach each other over a shared
+//! interconnect fabric ([`netsim::SharedLink`]) that migration state
+//! transfers contend on. Every random draw comes from a stream forked
+//! off the master seed in event order, so the same [`FleetConfig`]
+//! reproduces the same [`FleetReport`] bit for bit.
+
+use crate::admission::AdmissionCtl;
+use crate::autoscaler::{Autoscaler, FleetAction};
+use crate::config::FleetConfig;
+use crate::rebalance::Rebalancer;
+use crate::report::{ControlStats, FleetReport, FleetRequestRecord, HostReport};
+use crate::router::{RouteReason, Router};
+use netsim::{Direction, Link, SharedLink};
+use obsv::{AttrValue, Recorder, SpanId, Subsystem};
+use rattrap::warehouse::{aid_of, Aid};
+use rattrap::{AppWarehouse, Phase};
+use simkit::faults::FaultPlan;
+use simkit::{derive_seed, EventQueue, FairShareExecutor, JobId, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use virt::{migrate, Cluster, InstanceId};
+use workloads::{TaskRequest, WorkloadKind};
+
+/// Virtual nodes per host on the router's consistent-hash ring.
+const RING_VNODES: usize = 64;
+
+/// Derived-stream tags (master seed × tag → independent stream).
+const STREAM_TRAFFIC: u64 = 1;
+const STREAM_APPS: u64 = 2;
+const STREAM_NET: u64 = 3;
+const STREAM_SVC: u64 = 4;
+const STREAM_RETRY: u64 = 5;
+const STREAM_FAULTS: u64 = 6;
+
+/// Where a host sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostStatus {
+    /// Routable and serving.
+    Active,
+    /// Powering on (autoscaler activation); not routable yet.
+    Booting,
+    /// Finishing its admitted work; not routable.
+    Draining,
+    /// Crashed; rebooting.
+    Down,
+    /// Powered-off spare capacity.
+    Standby,
+}
+
+/// Discrete events of the fleet simulation.
+#[derive(Debug)]
+enum Event {
+    /// One trace arrival from `user`.
+    Arrive { user: u32, kind: WorkloadKind },
+    /// Request payload finished uploading.
+    UploadDone { req: usize, gen: u32 },
+    /// A provisioned instance finished booting.
+    BootDone {
+        host: usize,
+        inst: InstanceId,
+        gen: u64,
+    },
+    /// Mobile code finished loading; computation can start.
+    CodeLoaded { req: usize, gen: u32 },
+    /// A host CPU executor schedule point.
+    CpuPoll { host: usize, epoch: u64 },
+    /// Offloading I/O finished; the instance frees up.
+    IoDone { req: usize, gen: u32 },
+    /// Result reached the device.
+    DownloadDone { req: usize, gen: u32 },
+    /// Backoff elapsed; re-route the request.
+    RetryFire { req: usize, gen: u32 },
+    /// On-device (fallback) execution finished.
+    LocalDone { req: usize },
+    /// Fault plan: take a whole host down.
+    HostCrash { selector: u64 },
+    /// A crashed or activated host becomes routable.
+    HostUp { host: usize, gen: u64 },
+    /// Interconnect fabric schedule point.
+    FabricPoll { epoch: u64 },
+    /// Migration state landed and the container restored at `dst`.
+    MigrationDone { mig: usize },
+    /// Control-loop tick: observe, scale, rebalance, reclaim.
+    Scan,
+}
+
+/// One request's engine-side state.
+#[derive(Debug)]
+struct ReqState {
+    user: u32,
+    kind: WorkloadKind,
+    task: TaskRequest,
+    arrival: SimTime,
+    finished: SimTime,
+    phase: Phase,
+    fell_back: bool,
+    host: Option<usize>,
+    instance: Option<InstanceId>,
+    cpu_job: Option<JobId>,
+    attempts: u32,
+    rerouted: u32,
+    reason: Option<RouteReason>,
+    /// Bumped on crash re-route; stale in-flight events are dropped.
+    gen: u32,
+}
+
+/// Per-host control state (the `CloudHost` itself lives in the
+/// `virt::Cluster`).
+struct HostCtl {
+    status: HostStatus,
+    /// Bumped on crash; stale `BootDone`/`HostUp`/`MigrationDone`
+    /// events are dropped.
+    gen: u64,
+    cpu: FairShareExecutor<usize>,
+    warehouse: AppWarehouse,
+    /// Idle instances and when they went idle.
+    idle: BTreeMap<InstanceId, SimTime>,
+    /// Busy instances and the request each is serving.
+    busy: BTreeMap<InstanceId, usize>,
+    /// Instances provisioned but still booting.
+    booting: BTreeSet<InstanceId>,
+    /// Instances restored by an in-flight migration.
+    pending_mig: BTreeSet<InstanceId>,
+    /// Admitted requests waiting for an instance.
+    wait: VecDeque<usize>,
+    served: u64,
+    peak_instances: usize,
+    peak_memory: u64,
+    migrations_out: u64,
+    migrations_in: u64,
+    crashes: u64,
+    /// Open `fleet.scale` span while booting (activation).
+    scale_span: SpanId,
+}
+
+/// An in-flight migration.
+#[derive(Debug, Clone, Copy)]
+struct Migration {
+    from: usize,
+    to: usize,
+    new_inst: InstanceId,
+    state_bytes: u64,
+    /// Freeze + restore time (the non-transfer part of downtime),
+    /// appended after the fabric delivers the state.
+    fixed: SimDuration,
+    /// Destination host generation at start; a crash there orphans
+    /// the move.
+    gen_to: u64,
+}
+
+/// The engine.
+struct Engine {
+    cfg: FleetConfig,
+    rec: Recorder,
+    queue: EventQueue<Event>,
+    cluster: Cluster,
+    hosts: Vec<HostCtl>,
+    router: Router,
+    admission: AdmissionCtl,
+    autoscaler: Autoscaler,
+    rebalancer: Rebalancer,
+    fabric: SharedLink<usize>,
+    link: Link,
+    reqs: Vec<ReqState>,
+    migs: Vec<Migration>,
+    control: ControlStats,
+    rng_net: SimRng,
+    rng_svc: SimRng,
+    rng_retry: SimRng,
+    horizon: SimTime,
+    outstanding: usize,
+}
+
+/// Map an app id back to its workload (for code bytes on migration).
+fn kind_of_app(app_id: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL.into_iter().find(|k| k.app_id() == app_id)
+}
+
+/// Run a fleet scenario to completion (untraced).
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    run_fleet_traced(cfg, Recorder::disabled())
+}
+
+/// Run a fleet scenario with an observability recorder attached.
+/// Recording must not perturb the simulation: the report digest is
+/// identical with a disabled recorder.
+pub fn run_fleet_traced(cfg: &FleetConfig, rec: Recorder) -> FleetReport {
+    let mut engine = Engine::new(cfg.clone(), rec);
+    engine.run()
+}
+
+impl Engine {
+    fn new(cfg: FleetConfig, rec: Recorder) -> Self {
+        assert!(
+            cfg.initial_active >= 1 && cfg.initial_active <= cfg.host_specs.len(),
+            "initial_active must name a non-empty prefix of host_specs"
+        );
+        let mut master = SimRng::new(cfg.seed);
+        let rng_net = master.fork(STREAM_NET);
+        let rng_svc = master.fork(STREAM_SVC);
+        let rng_retry = master.fork(STREAM_RETRY);
+
+        let mut cluster = Cluster::from_specs(cfg.host_specs.clone());
+        cluster.attach_recorder(rec.clone());
+
+        let hosts: Vec<HostCtl> = cfg
+            .host_specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| HostCtl {
+                status: if i < cfg.initial_active {
+                    HostStatus::Active
+                } else {
+                    HostStatus::Standby
+                },
+                gen: 0,
+                cpu: FairShareExecutor::new(spec.cores as f64, 1.0),
+                warehouse: AppWarehouse::new(cfg.warehouse_capacity),
+                idle: BTreeMap::new(),
+                busy: BTreeMap::new(),
+                booting: BTreeSet::new(),
+                pending_mig: BTreeSet::new(),
+                wait: VecDeque::new(),
+                served: 0,
+                peak_instances: 0,
+                peak_memory: 0,
+                migrations_out: 0,
+                migrations_in: 0,
+                crashes: 0,
+                scale_span: SpanId::NONE,
+            })
+            .collect();
+
+        let mut router = Router::new(RING_VNODES);
+        router.rebuild(&(0..cfg.initial_active).collect());
+
+        let admission = AdmissionCtl::new(cfg.host_specs.len(), cfg.admission_capacity);
+        let autoscaler = Autoscaler::new(cfg.autoscale);
+        let rebalancer = Rebalancer::new(cfg.rebalance);
+        let fabric = SharedLink::new(cfg.interconnect_bps, cfg.interconnect_bps);
+        let link = Link::new(cfg.scenario);
+        let horizon = SimTime::ZERO.saturating_add(cfg.traffic.duration);
+
+        Engine {
+            cfg,
+            rec,
+            queue: EventQueue::new(),
+            cluster,
+            hosts,
+            router,
+            admission,
+            autoscaler,
+            rebalancer,
+            fabric,
+            link,
+            reqs: Vec::new(),
+            migs: Vec::new(),
+            control: ControlStats::default(),
+            rng_net,
+            rng_svc,
+            rng_retry,
+            horizon,
+            outstanding: 0,
+        }
+    }
+
+    // ---------------------------------------------------------------- setup
+
+    fn seed_events(&mut self) {
+        // Per-user home app under the configured Zipf skew: skewed
+        // popularity is what makes code-cache-affinity routing pay.
+        let mut rng_apps = SimRng::new(derive_seed(self.cfg.seed, STREAM_APPS));
+        let weights = self.cfg.app_weights();
+        let user_app: Vec<WorkloadKind> = (0..self.cfg.traffic.users)
+            .map(|_| WorkloadKind::ALL[rng_apps.weighted_index(&weights)])
+            .collect();
+
+        let mut traffic = self.cfg.traffic.clone();
+        traffic.seed = derive_seed(self.cfg.seed, STREAM_TRAFFIC);
+        for (user, times) in traces::livelab::generate(&traffic).into_iter().enumerate() {
+            for t in times {
+                self.queue.schedule(
+                    t,
+                    Event::Arrive {
+                        user: user as u32,
+                        kind: user_app[user],
+                    },
+                );
+            }
+        }
+
+        let plan = FaultPlan::generate(&self.cfg.faults, derive_seed(self.cfg.seed, STREAM_FAULTS));
+        for (at, selector) in plan.crashes() {
+            self.queue.schedule(at, Event::HostCrash { selector });
+        }
+
+        // Warm pools for the initially active hosts boot from t = 0.
+        for h in 0..self.cfg.initial_active {
+            self.fill_warm_pool(SimTime::ZERO, h);
+        }
+
+        self.queue
+            .schedule_in(self.cfg.autoscale.scan_interval, Event::Scan);
+    }
+
+    fn run(&mut self) -> FleetReport {
+        self.seed_events();
+        while let Some((now, ev)) = self.queue.pop() {
+            self.rec.set_now(now.as_micros());
+            self.dispatch(now, ev);
+        }
+        self.rec.set_current_request(None);
+        let records: Vec<FleetRequestRecord> = self
+            .reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| FleetRequestRecord {
+                id: i as u64,
+                user: r.user,
+                kind: r.kind,
+                arrival: r.arrival,
+                finished: r.finished,
+                phase: r.phase,
+                fell_back: r.fell_back,
+                host: r.host,
+                attempts: r.attempts,
+                rerouted: r.rerouted,
+                reason: r.reason,
+            })
+            .collect();
+        let hosts: Vec<HostReport> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| HostReport {
+                served: h.served,
+                peak_instances: h.peak_instances,
+                peak_memory: h.peak_memory,
+                memory_bytes: self.cfg.host_specs[i].memory_bytes,
+                migrations_out: h.migrations_out,
+                migrations_in: h.migrations_in,
+                crashes: h.crashes,
+            })
+            .collect();
+        FleetReport::summarize(records, self.control, hosts, self.cfg.traffic.duration)
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrive { user, kind } => self.on_arrive(now, user, kind),
+            Event::UploadDone { req, gen } => self.on_upload_done(now, req, gen),
+            Event::BootDone { host, inst, gen } => self.on_boot_done(now, host, inst, gen),
+            Event::CodeLoaded { req, gen } => self.on_code_loaded(now, req, gen),
+            Event::CpuPoll { host, epoch } => self.on_cpu_poll(now, host, epoch),
+            Event::IoDone { req, gen } => self.on_io_done(now, req, gen),
+            Event::DownloadDone { req, gen } => self.on_download_done(now, req, gen),
+            Event::RetryFire { req, gen } => self.on_retry_fire(now, req, gen),
+            Event::LocalDone { req } => self.finish(now, req, Phase::Done),
+            Event::HostCrash { selector } => self.on_host_crash(now, selector),
+            Event::HostUp { host, gen } => self.on_host_up(now, host, gen),
+            Event::FabricPoll { epoch } => self.on_fabric_poll(now, epoch),
+            Event::MigrationDone { mig } => self.on_migration_done(now, mig),
+            Event::Scan => self.on_scan(now),
+        }
+    }
+
+    // ------------------------------------------------------- request intake
+
+    fn on_arrive(&mut self, now: SimTime, user: u32, kind: WorkloadKind) {
+        let task = kind.profile().sample(&mut self.rng_svc);
+        let req = self.reqs.len();
+        self.reqs.push(ReqState {
+            user,
+            kind,
+            task,
+            arrival: now,
+            finished: now,
+            phase: Phase::Dispatch,
+            fell_back: false,
+            host: None,
+            instance: None,
+            cpu_job: None,
+            attempts: 1,
+            rerouted: 0,
+            reason: None,
+            gen: 0,
+        });
+        self.outstanding += 1;
+        self.rec.set_current_request(Some(req as u64));
+        self.route_request(now, req);
+    }
+
+    /// Route (or re-route) `req`: admit onto a host and start the
+    /// upload, or shed to the resilience layer.
+    fn route_request(&mut self, now: SimTime, req: usize) {
+        let aid = aid_of(self.reqs[req].kind.app_id());
+        let warm: Vec<usize> = (0..self.hosts.len())
+            .filter(|&h| {
+                self.hosts[h].status == HostStatus::Active
+                    && !self.hosts[h].warehouse.containers_with(&aid).is_empty()
+            })
+            .collect();
+        let hosts = &self.hosts;
+        let admission = &self.admission;
+        let decision = self.router.route(&aid, &warm, |h| {
+            hosts[h].status == HostStatus::Active && admission.has_room(h)
+        });
+        match decision {
+            Some(d) => {
+                assert!(self.admission.admit(d.host), "router picked a full host");
+                match d.reason {
+                    RouteReason::Affinity => self.control.affinity_routes += 1,
+                    RouteReason::Hash => self.control.hash_routes += 1,
+                    RouteReason::Spill => self.control.spill_routes += 1,
+                }
+                self.reqs[req].host = Some(d.host);
+                self.reqs[req].reason = Some(d.reason);
+                if self.rec.is_enabled() {
+                    self.rec.instant(
+                        Subsystem::Fleet,
+                        "route",
+                        vec![
+                            ("host", AttrValue::U64(d.host as u64)),
+                            ("reason", AttrValue::Str(d.reason.label())),
+                            ("aid", AttrValue::Text(aid.0.clone())),
+                            ("depth", AttrValue::U64(self.admission.depth(d.host) as u64)),
+                        ],
+                    );
+                }
+                self.begin_upload(now, req);
+            }
+            None => self.shed(now, req),
+        }
+    }
+
+    fn begin_upload(&mut self, now: SimTime, req: usize) {
+        self.reqs[req].phase = Phase::DataTransferUp;
+        let bytes = self.reqs[req].task.control_bytes + self.reqs[req].task.payload_bytes;
+        let t = self.link.connect_time(&mut self.rng_net)
+            + self
+                .link
+                .transfer_time(bytes, Direction::Upload, &mut self.rng_net);
+        let gen = self.reqs[req].gen;
+        self.queue
+            .schedule(now.saturating_add(t), Event::UploadDone { req, gen });
+    }
+
+    /// No host admitted the request: degrade per the resilience policy.
+    fn shed(&mut self, now: SimTime, req: usize) {
+        self.control.shed += 1;
+        self.admission.count_shed();
+        self.reqs[req].host = None;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Fleet,
+                "shed",
+                vec![(
+                    "fallback",
+                    AttrValue::U64(self.cfg.resilience.fallback_local as u64),
+                )],
+            );
+        }
+        self.degrade(now, req);
+    }
+
+    /// Finish on-device or abandon, per policy.
+    fn degrade(&mut self, now: SimTime, req: usize) {
+        if self.cfg.resilience.fallback_local {
+            self.reqs[req].fell_back = true;
+            self.reqs[req].phase = Phase::FallbackLocal;
+            let t = self
+                .cfg
+                .device
+                .local_execution_time(self.reqs[req].task.compute);
+            self.queue
+                .schedule(now.saturating_add(t), Event::LocalDone { req });
+        } else {
+            self.finish(now, req, Phase::Abandoned);
+        }
+    }
+
+    fn stale(&self, req: usize, gen: u32) -> bool {
+        self.reqs[req].gen != gen || self.reqs[req].phase.is_terminal()
+    }
+
+    // ---------------------------------------------------- runtime lifecycle
+
+    fn on_upload_done(&mut self, now: SimTime, req: usize, gen: u32) {
+        if self.stale(req, gen) {
+            return;
+        }
+        self.rec.set_current_request(Some(req as u64));
+        self.reqs[req].phase = Phase::RuntimePrep;
+        self.attach_or_queue(now, req);
+    }
+
+    /// Give `req` an idle instance on its host, provision a new one,
+    /// or park it in the host's wait queue.
+    fn attach_or_queue(&mut self, now: SimTime, req: usize) {
+        let h = self.reqs[req].host.expect("routed");
+        let app_id = self.reqs[req].kind.app_id();
+        // Prefer an idle instance that already holds the app's code.
+        let chosen = {
+            let host = self.cluster.host(h);
+            let with_app = self.hosts[h].idle.keys().copied().find(|&i| {
+                host.instance(i)
+                    .map(|r| r.apps_loaded.contains(app_id))
+                    .unwrap_or(false)
+            });
+            with_app.or_else(|| self.hosts[h].idle.keys().next().copied())
+        };
+        if let Some(inst) = chosen {
+            self.start_code_load(now, req, h, inst);
+            return;
+        }
+        // No idle instance: grow the pool if the policy and DRAM allow.
+        if self.cluster.host(h).instance_count() < self.cfg.pool.max_instances {
+            if let Ok((inst, setup)) = self.cluster.host_mut(h).provision(self.cfg.runtime) {
+                self.note_provisioned(h);
+                self.hosts[h].booting.insert(inst);
+                let hgen = self.hosts[h].gen;
+                self.queue.schedule(
+                    now.saturating_add(setup),
+                    Event::BootDone {
+                        host: h,
+                        inst,
+                        gen: hgen,
+                    },
+                );
+            }
+        }
+        self.hosts[h].wait.push_back(req);
+    }
+
+    /// Load the app into `inst` (free when resident), charging a code
+    /// upload from the device when even the App Warehouse misses.
+    fn start_code_load(&mut self, now: SimTime, req: usize, h: usize, inst: InstanceId) {
+        self.hosts[h].idle.remove(&inst);
+        self.hosts[h].busy.insert(inst, req);
+        self.reqs[req].instance = Some(inst);
+        self.reqs[req].phase = Phase::CodeLoad;
+        let app_id = self.reqs[req].kind.app_id();
+        let aid = aid_of(app_id);
+        let code_bytes = self.reqs[req].kind.profile().app_code_bytes;
+        let resident = self
+            .cluster
+            .host(h)
+            .instance(inst)
+            .map(|r| r.apps_loaded.contains(app_id))
+            .unwrap_or(false);
+        let mut t = SimDuration::ZERO;
+        if !resident && !self.hosts[h].warehouse.lookup(&aid) {
+            // Cold everywhere: the device must push the code first.
+            t += self
+                .link
+                .transfer_time(code_bytes, Direction::Upload, &mut self.rng_net);
+            self.hosts[h]
+                .warehouse
+                .insert(aid.clone(), app_id, code_bytes);
+        }
+        t += self
+            .cluster
+            .host_mut(h)
+            .load_app(inst, app_id, code_bytes)
+            .expect("instance is live");
+        self.hosts[h].warehouse.note_loaded(&aid, inst);
+        let gen = self.reqs[req].gen;
+        self.queue
+            .schedule(now.saturating_add(t), Event::CodeLoaded { req, gen });
+    }
+
+    fn on_boot_done(&mut self, now: SimTime, host: usize, inst: InstanceId, gen: u64) {
+        if self.hosts[host].gen != gen {
+            return; // the host crashed while this instance booted
+        }
+        self.hosts[host].booting.remove(&inst);
+        self.hosts[host].idle.insert(inst, now);
+        self.pump(now, host);
+    }
+
+    /// Hand idle instances to waiting requests, in FIFO order.
+    fn pump(&mut self, now: SimTime, host: usize) {
+        while !self.hosts[host].idle.is_empty() {
+            let Some(req) = self.hosts[host].wait.pop_front() else {
+                return;
+            };
+            if self.reqs[req].phase.is_terminal() || self.reqs[req].host != Some(host) {
+                continue; // re-routed or degraded while waiting
+            }
+            self.rec.set_current_request(Some(req as u64));
+            let app_id = self.reqs[req].kind.app_id();
+            let chosen = {
+                let chost = self.cluster.host(host);
+                let with_app = self.hosts[host].idle.keys().copied().find(|&i| {
+                    chost
+                        .instance(i)
+                        .map(|r| r.apps_loaded.contains(app_id))
+                        .unwrap_or(false)
+                });
+                with_app.or_else(|| self.hosts[host].idle.keys().next().copied())
+            };
+            let inst = chosen.expect("idle non-empty");
+            self.start_code_load(now, req, host, inst);
+        }
+    }
+
+    fn on_code_loaded(&mut self, now: SimTime, req: usize, gen: u32) {
+        if self.stale(req, gen) {
+            return;
+        }
+        self.rec.set_current_request(Some(req as u64));
+        self.reqs[req].phase = Phase::Compute;
+        let h = self.reqs[req].host.expect("routed");
+        let spec = self.cfg.runtime.spec();
+        let ghz = self.cluster.host(h).host_spec().clock_ghz;
+        let work = self.reqs[req]
+            .task
+            .compute
+            .seconds_at(ghz, spec.cpu_efficiency);
+        let job = self.hosts[h].cpu.submit(now, work, req);
+        self.reqs[req].cpu_job = Some(job);
+        self.hosts[h]
+            .cpu
+            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll {
+                host: h,
+                epoch,
+            });
+    }
+
+    fn on_cpu_poll(&mut self, now: SimTime, host: usize, epoch: u64) {
+        let Some(finished) = self.hosts[host].cpu.poll(now, epoch) else {
+            return; // stale schedule point
+        };
+        for (_, req) in finished {
+            self.rec.set_current_request(Some(req as u64));
+            self.reqs[req].cpu_job = None;
+            self.reqs[req].phase = Phase::OffloadIo;
+            let t = self.io_time(host, self.reqs[req].task.io_bytes);
+            let gen = self.reqs[req].gen;
+            self.queue
+                .schedule(now.saturating_add(t), Event::IoDone { req, gen });
+        }
+        self.hosts[host]
+            .cpu
+            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll { host, epoch });
+    }
+
+    /// Offloading-I/O wall time: the shared in-memory layer for the
+    /// optimized class, the virtualized disk path otherwise.
+    fn io_time(&self, host: usize, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let spec = self.cfg.runtime.spec();
+        if spec.uses_shared_io_layer {
+            SimDuration::from_secs_f64(bytes as f64 / virt::TMPFS_BANDWIDTH)
+        } else {
+            let disk = self.cfg.host_specs[host].disk_bandwidth;
+            SimDuration::from_secs_f64(bytes as f64 / (disk * spec.io_efficiency))
+        }
+    }
+
+    fn on_io_done(&mut self, now: SimTime, req: usize, gen: u32) {
+        if self.stale(req, gen) {
+            return;
+        }
+        self.rec.set_current_request(Some(req as u64));
+        let h = self.reqs[req].host.expect("routed");
+        if let Some(inst) = self.reqs[req].instance.take() {
+            self.hosts[h].busy.remove(&inst);
+            self.hosts[h].idle.insert(inst, now);
+        }
+        self.hosts[h].served += 1;
+        self.admission.release(h);
+        self.reqs[req].phase = Phase::DataTransferDown;
+        let t = self.link.transfer_time(
+            self.reqs[req].task.result_bytes,
+            Direction::Download,
+            &mut self.rng_net,
+        );
+        self.queue
+            .schedule(now.saturating_add(t), Event::DownloadDone { req, gen });
+        self.pump(now, h);
+    }
+
+    fn on_download_done(&mut self, now: SimTime, req: usize, gen: u32) {
+        if self.stale(req, gen) {
+            return;
+        }
+        self.finish(now, req, Phase::Done);
+    }
+
+    fn finish(&mut self, now: SimTime, req: usize, phase: Phase) {
+        debug_assert!(phase.is_terminal());
+        self.rec.set_current_request(Some(req as u64));
+        self.reqs[req].phase = phase;
+        self.reqs[req].finished = now;
+        self.outstanding -= 1;
+        self.rec.set_current_request(None);
+    }
+
+    // ------------------------------------------------------------ failures
+
+    fn on_retry_fire(&mut self, now: SimTime, req: usize, gen: u32) {
+        if self.stale(req, gen) {
+            return;
+        }
+        self.rec.set_current_request(Some(req as u64));
+        self.route_request(now, req);
+    }
+
+    fn on_host_crash(&mut self, now: SimTime, selector: u64) {
+        self.rec.set_current_request(None);
+        let live: Vec<usize> = (0..self.hosts.len())
+            .filter(|&h| {
+                matches!(
+                    self.hosts[h].status,
+                    HostStatus::Active | HostStatus::Draining
+                )
+            })
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let victim = live[(selector % live.len() as u64) as usize];
+        self.control.host_crashes += 1;
+        self.hosts[victim].crashes += 1;
+        self.hosts[victim].gen += 1;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Fleet,
+                "host_crash",
+                vec![
+                    ("host", AttrValue::U64(victim as u64)),
+                    (
+                        "instances_lost",
+                        AttrValue::U64(self.cluster.host(victim).instance_count() as u64),
+                    ),
+                ],
+            );
+        }
+
+        // Kill every CPU job the host was running.
+        let serving: Vec<usize> = self.hosts[victim].busy.values().copied().collect();
+        for &req in &serving {
+            if let Some(job) = self.reqs[req].cpu_job.take() {
+                self.hosts[victim].cpu.cancel(now, job);
+            }
+        }
+        self.hosts[victim]
+            .cpu
+            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll {
+                host: victim,
+                epoch,
+            });
+
+        // Destroy every instance and the warehouse with it.
+        for inst in self.cluster.host(victim).instance_ids() {
+            let _ = self.cluster.host_mut(victim).teardown(inst);
+        }
+        self.hosts[victim].idle.clear();
+        self.hosts[victim].busy.clear();
+        self.hosts[victim].booting.clear();
+        self.hosts[victim].pending_mig.clear();
+        self.hosts[victim].wait.clear();
+        self.hosts[victim].warehouse = AppWarehouse::new(self.cfg.warehouse_capacity);
+        self.admission.reset_host(victim);
+        self.autoscaler.forget(victim);
+        self.hosts[victim].status = HostStatus::Down;
+        self.rebuild_ring();
+
+        // Every stranded request consumes one attempt and re-routes
+        // after backoff (or degrades when the budget is gone).
+        let affected: Vec<usize> = (0..self.reqs.len())
+            .filter(|&r| self.reqs[r].host == Some(victim) && !self.reqs[r].phase.is_terminal())
+            .collect();
+        for req in affected {
+            self.rec.set_current_request(Some(req as u64));
+            self.reqs[req].gen += 1;
+            self.reqs[req].instance = None;
+            self.reqs[req].cpu_job = None;
+            self.reqs[req].host = None;
+            self.reqs[req].attempts += 1;
+            self.reqs[req].rerouted += 1;
+            self.control.crash_reroutes += 1;
+            if self.rec.is_enabled() {
+                self.rec.instant(
+                    Subsystem::Fleet,
+                    "reroute",
+                    vec![
+                        ("from_host", AttrValue::U64(victim as u64)),
+                        ("attempt", AttrValue::U64(self.reqs[req].attempts as u64)),
+                    ],
+                );
+            }
+            if self.reqs[req].attempts <= self.cfg.resilience.max_retries + 1 {
+                self.reqs[req].phase = Phase::Retrying;
+                let backoff = self
+                    .cfg
+                    .resilience
+                    .backoff_delay(self.reqs[req].attempts - 1, &mut self.rng_retry);
+                let gen = self.reqs[req].gen;
+                self.queue
+                    .schedule(now.saturating_add(backoff), Event::RetryFire { req, gen });
+            } else {
+                self.degrade(now, req);
+            }
+        }
+        self.rec.set_current_request(None);
+
+        let gen = self.hosts[victim].gen;
+        self.queue.schedule(
+            now.saturating_add(self.cfg.crash_reboot),
+            Event::HostUp { host: victim, gen },
+        );
+    }
+
+    fn on_host_up(&mut self, now: SimTime, host: usize, gen: u64) {
+        if self.hosts[host].gen != gen {
+            return;
+        }
+        if !matches!(
+            self.hosts[host].status,
+            HostStatus::Down | HostStatus::Booting
+        ) {
+            return;
+        }
+        self.hosts[host].status = HostStatus::Active;
+        if self.hosts[host].scale_span != SpanId::NONE {
+            self.rec.span_end_at(
+                self.hosts[host].scale_span,
+                now.as_micros(),
+                vec![("host", AttrValue::U64(host as u64))],
+            );
+            self.hosts[host].scale_span = SpanId::NONE;
+        }
+        self.rebuild_ring();
+        self.fill_warm_pool(now, host);
+    }
+
+    // ----------------------------------------------------------- migration
+
+    fn on_fabric_poll(&mut self, now: SimTime, epoch: u64) {
+        let Some(finished) = self.fabric.poll(now, epoch) else {
+            return;
+        };
+        for (_, mig) in finished {
+            let fixed = self.migs[mig].fixed;
+            self.queue
+                .schedule(now.saturating_add(fixed), Event::MigrationDone { mig });
+        }
+        self.fabric
+            .reschedule(now, &mut self.queue, |epoch| Event::FabricPoll { epoch });
+    }
+
+    fn on_migration_done(&mut self, now: SimTime, mig: usize) {
+        self.rec.set_current_request(None);
+        let Migration {
+            from,
+            to,
+            new_inst,
+            state_bytes,
+            gen_to,
+            ..
+        } = self.migs[mig];
+        if self.hosts[to].gen != gen_to {
+            return; // destination crashed mid-move; the container is gone
+        }
+        self.hosts[to].pending_mig.remove(&new_inst);
+        self.hosts[to].idle.insert(new_inst, now);
+        self.hosts[to].migrations_in += 1;
+        self.control.migrations_completed += 1;
+        self.control.migration_bytes += state_bytes;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Fleet,
+                "migration_done",
+                vec![
+                    ("from", AttrValue::U64(from as u64)),
+                    ("to", AttrValue::U64(to as u64)),
+                    ("state_bytes", AttrValue::U64(state_bytes)),
+                ],
+            );
+        }
+        // Publish the arrived container's apps as warm CID hints.
+        let apps: Vec<String> = self
+            .cluster
+            .host(to)
+            .instance(new_inst)
+            .map(|r| r.apps_loaded.iter().cloned().collect())
+            .unwrap_or_default();
+        for app_id in apps {
+            if let Some(kind) = kind_of_app(&app_id) {
+                let aid = aid_of(&app_id);
+                self.hosts[to].warehouse.insert(
+                    aid.clone(),
+                    &app_id,
+                    kind.profile().app_code_bytes,
+                );
+                self.hosts[to].warehouse.note_loaded(&aid, new_inst);
+            }
+        }
+        self.pump(now, to);
+    }
+
+    /// Try one rebalancing migration `from → to`. Picks the lowest-id
+    /// idle container that has an app loaded; charges the state bytes
+    /// through the shared fabric.
+    fn try_migrate(&mut self, now: SimTime, from: usize, to: usize) -> bool {
+        if self.hosts[to].status != HostStatus::Active
+            || self.cluster.host(to).instance_count() >= self.cfg.pool.max_instances
+        {
+            return false;
+        }
+        let victim = {
+            let host = self.cluster.host(from);
+            self.hosts[from].idle.keys().copied().find(|&i| {
+                host.instance(i)
+                    .map(|r| !r.apps_loaded.is_empty())
+                    .unwrap_or(false)
+            })
+        };
+        let Some(victim) = victim else {
+            return false;
+        };
+        self.rec.set_current_request(None);
+        let (src, dst) = self.cluster.host_pair_mut(from, to);
+        let receipt = match migrate(src, victim, dst, self.cfg.interconnect_bps, now) {
+            Ok(r) => r,
+            Err(_) => return false, // destination DRAM is full — skip
+        };
+        self.hosts[from].idle.remove(&victim);
+        self.hosts[from].warehouse.invalidate_container(victim);
+        self.hosts[from].migrations_out += 1;
+        self.control.migrations_started += 1;
+        self.note_provisioned(to);
+        self.hosts[to].pending_mig.insert(receipt.new_id);
+        let ideal =
+            SimDuration::from_secs_f64(receipt.state_bytes as f64 / self.cfg.interconnect_bps);
+        let mig = self.migs.len();
+        self.migs.push(Migration {
+            from,
+            to,
+            new_inst: receipt.new_id,
+            state_bytes: receipt.state_bytes,
+            fixed: receipt.downtime.saturating_sub(ideal),
+            gen_to: self.hosts[to].gen,
+        });
+        self.fabric.begin_transfer(now, receipt.state_bytes, mig);
+        self.fabric
+            .reschedule(now, &mut self.queue, |epoch| Event::FabricPoll { epoch });
+        self.rebalancer.committed(now);
+        true
+    }
+
+    // -------------------------------------------------------- control loop
+
+    fn on_scan(&mut self, now: SimTime) {
+        self.rec.set_current_request(None);
+        let active = self.active_set();
+
+        // Observe per-host pressure into the fleet EWMA monitor.
+        for &h in &active {
+            self.autoscaler.observe(h, self.admission.depth(h) as u32);
+        }
+
+        // Reclaim instances idle past the policy window (keeping the
+        // warm-spare floor on active hosts).
+        for h in 0..self.hosts.len() {
+            match self.hosts[h].status {
+                HostStatus::Active => self.reclaim_idle(now, h, self.cfg.pool.warm_spares),
+                HostStatus::Draining => {
+                    self.reclaim_idle(now, h, 0);
+                    self.maybe_finish_drain(h);
+                }
+                _ => {}
+            }
+        }
+
+        // Refill warm pools.
+        for &h in &active {
+            self.fill_warm_pool(now, h);
+        }
+
+        // Scale.
+        let saturation = if active.is_empty() {
+            0.0
+        } else {
+            active
+                .iter()
+                .map(|&h| self.admission.utilization(h))
+                .sum::<f64>()
+                / active.len() as f64
+        };
+        let standby = self.hosts.iter().any(|h| h.status == HostStatus::Standby);
+        match self.autoscaler.plan(now, saturation, &active, standby) {
+            Some(FleetAction::Activate) => self.activate_standby(now),
+            Some(FleetAction::Drain(victim)) => self.drain(victim),
+            None => {}
+        }
+
+        // Rebalance: migrate one warm container from the hottest to
+        // the coldest active host when the gap warrants it.
+        let capacity = self.admission.capacity() as f64;
+        let hot_cold = self.autoscaler.hot_cold(&self.active_set(), |_| capacity);
+        if let Some(mv) = self.rebalancer.plan(now, hot_cold) {
+            self.try_migrate(now, mv.from, mv.to);
+        }
+
+        if now < self.horizon || self.outstanding > 0 {
+            self.queue
+                .schedule_in(self.cfg.autoscale.scan_interval, Event::Scan);
+        }
+    }
+
+    fn activate_standby(&mut self, now: SimTime) {
+        let Some(host) =
+            (0..self.hosts.len()).find(|&h| self.hosts[h].status == HostStatus::Standby)
+        else {
+            return;
+        };
+        self.hosts[host].status = HostStatus::Booting;
+        self.control.scale_ups += 1;
+        if self.rec.is_enabled() {
+            self.hosts[host].scale_span = self.rec.span_start_at(
+                Subsystem::Fleet,
+                "scale_up",
+                SpanId::NONE,
+                now.as_micros(),
+                vec![("host", AttrValue::U64(host as u64))],
+            );
+        }
+        let gen = self.hosts[host].gen;
+        self.queue.schedule(
+            now.saturating_add(self.cfg.autoscale.host_boot),
+            Event::HostUp { host, gen },
+        );
+    }
+
+    fn drain(&mut self, victim: usize) {
+        if self.hosts[victim].status != HostStatus::Active || self.active_set().len() < 2 {
+            return;
+        }
+        self.hosts[victim].status = HostStatus::Draining;
+        self.control.drains += 1;
+        self.autoscaler.forget(victim);
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Fleet,
+                "drain",
+                vec![("host", AttrValue::U64(victim as u64))],
+            );
+        }
+        self.rebuild_ring();
+    }
+
+    /// A draining host with no admitted work releases its instances
+    /// and parks as standby capacity.
+    fn maybe_finish_drain(&mut self, host: usize) {
+        if !self.hosts[host].busy.is_empty()
+            || !self.hosts[host].wait.is_empty()
+            || !self.hosts[host].pending_mig.is_empty()
+            || self.admission.depth(host) > 0
+        {
+            return;
+        }
+        for inst in self.cluster.host(host).instance_ids() {
+            let _ = self.cluster.host_mut(host).teardown(inst);
+        }
+        self.hosts[host].idle.clear();
+        self.hosts[host].booting.clear();
+        self.hosts[host].warehouse = AppWarehouse::new(self.cfg.warehouse_capacity);
+        self.hosts[host].status = HostStatus::Standby;
+    }
+
+    fn reclaim_idle(&mut self, now: SimTime, host: usize, floor: usize) {
+        let expired: Vec<InstanceId> = self.hosts[host]
+            .idle
+            .iter()
+            .filter(|&(_, &since)| now.saturating_since(since) >= self.cfg.pool.idle_teardown)
+            .map(|(&i, _)| i)
+            .collect();
+        for inst in expired {
+            if self.hosts[host].idle.len() <= floor {
+                break;
+            }
+            let _ = self.cluster.host_mut(host).teardown(inst);
+            self.hosts[host].idle.remove(&inst);
+            self.hosts[host].warehouse.invalidate_container(inst);
+        }
+    }
+
+    /// Keep `warm_spares` instances idle or booting on an active host.
+    fn fill_warm_pool(&mut self, now: SimTime, host: usize) {
+        while self.hosts[host].idle.len() + self.hosts[host].booting.len()
+            < self.cfg.pool.warm_spares
+            && self.cluster.host(host).instance_count() < self.cfg.pool.max_instances
+        {
+            match self.cluster.host_mut(host).provision(self.cfg.runtime) {
+                Ok((inst, setup)) => {
+                    self.note_provisioned(host);
+                    self.hosts[host].booting.insert(inst);
+                    let gen = self.hosts[host].gen;
+                    self.queue.schedule(
+                        now.saturating_add(setup),
+                        Event::BootDone { host, inst, gen },
+                    );
+                }
+                Err(_) => break, // DRAM exhausted: stop growing
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn active_set(&self) -> BTreeSet<usize> {
+        (0..self.hosts.len())
+            .filter(|&h| self.hosts[h].status == HostStatus::Active)
+            .collect()
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.router.rebuild(&self.active_set());
+    }
+
+    fn note_provisioned(&mut self, host: usize) {
+        let count = self.cluster.host(host).instance_count();
+        let mem = self.cluster.host(host).memory_reserved();
+        self.hosts[host].peak_instances = self.hosts[host].peak_instances.max(count);
+        self.hosts[host].peak_memory = self.hosts[host].peak_memory.max(mem);
+    }
+}
+
+/// Collect the AIDs currently warm (live container hints) on a host —
+/// exposed for tests.
+#[doc(hidden)]
+pub fn warm_hosts_for(aid: &Aid, warehouses: &mut [AppWarehouse]) -> Vec<usize> {
+    warehouses
+        .iter_mut()
+        .enumerate()
+        .filter(|(_, w)| !w.containers_with(aid).is_empty())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::faults::FaultConfig;
+
+    fn small(hosts: usize, seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::paper_default(hosts, seed);
+        cfg.traffic.users = 12;
+        cfg.traffic.duration = SimDuration::from_secs(600);
+        cfg
+    }
+
+    #[test]
+    fn every_request_terminates() {
+        let rep = run_fleet(&small(2, 11));
+        assert!(rep.summary.submitted > 0, "trace produced arrivals");
+        for r in &rep.records {
+            assert!(
+                r.phase.is_terminal(),
+                "request {} stuck in {:?}",
+                r.id,
+                r.phase
+            );
+        }
+        assert_eq!(
+            rep.summary.completed_remote + rep.summary.fallback_local + rep.summary.abandoned,
+            rep.summary.submitted
+        );
+    }
+
+    #[test]
+    fn same_seed_same_digest() {
+        let cfg = small(3, 42);
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn different_seed_different_digest() {
+        assert_ne!(
+            run_fleet(&small(2, 1)).digest(),
+            run_fleet(&small(2, 2)).digest()
+        );
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let cfg = small(2, 77);
+        let untraced = run_fleet(&cfg);
+        let rec = Recorder::enabled(obsv::RecorderConfig::default());
+        let traced = run_fleet_traced(&cfg, rec.clone());
+        assert_eq!(untraced.digest(), traced.digest());
+        assert!(!rec.snapshot().events.is_empty(), "spans were recorded");
+    }
+
+    #[test]
+    fn memory_is_never_oversubscribed() {
+        let rep = run_fleet(&small(2, 5));
+        for h in &rep.hosts {
+            assert!(h.peak_memory <= h.memory_bytes);
+        }
+    }
+
+    #[test]
+    fn host_crash_reroutes_without_losing_requests() {
+        let mut cfg = small(3, 9);
+        cfg.faults = FaultConfig::scaled(1.5);
+        let rep = run_fleet(&cfg);
+        for r in &rep.records {
+            assert!(r.phase.is_terminal());
+        }
+        if rep.control.host_crashes > 0 {
+            assert_eq!(
+                rep.summary.completed_remote + rep.summary.fallback_local + rep.summary.abandoned,
+                rep.summary.submitted
+            );
+        }
+    }
+
+    #[test]
+    fn warehouse_helper_reports_warm_hosts() {
+        let mut ws = vec![AppWarehouse::new(1 << 20), AppWarehouse::new(1 << 20)];
+        let aid = aid_of("com.bench.ocr");
+        ws[1].insert(aid.clone(), "com.bench.ocr", 1024);
+        ws[1].note_loaded(&aid, InstanceId(3));
+        assert_eq!(warm_hosts_for(&aid, &mut ws), vec![1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Migration-based rebalancing: when the load gap between the hottest
+//! and coldest active host exceeds the policy threshold, one warm
+//! container is checkpoint-migrated (`virt::migrate`) from hot to
+//! cold. The engine charges the state transfer through the shared
+//! interconnect fabric, so concurrent migrations contend for
+//! bandwidth like any other flow.
+
+use crate::config::RebalancePolicy;
+use simkit::SimTime;
+
+/// A planned move: migrate one container `from` → `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceMove {
+    /// Overloaded source host.
+    pub from: usize,
+    /// Underloaded destination host.
+    pub to: usize,
+}
+
+/// The rebalancer's pacing state.
+#[derive(Debug)]
+pub struct Rebalancer {
+    policy: RebalancePolicy,
+    last_move: Option<SimTime>,
+}
+
+impl Rebalancer {
+    /// A rebalancer under `policy`.
+    pub fn new(policy: RebalancePolicy) -> Self {
+        Rebalancer {
+            policy,
+            last_move: None,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RebalancePolicy {
+        self.policy
+    }
+
+    /// Given the autoscaler's hot/cold reading, decide whether to move
+    /// now. The caller still has to find a migratable victim; it calls
+    /// [`committed`](Rebalancer::committed) only once the migration
+    /// actually starts, so a scan with no idle victim does not burn
+    /// the pacing budget.
+    pub fn plan(
+        &self,
+        now: SimTime,
+        hot_cold: Option<(usize, usize, f64)>,
+    ) -> Option<RebalanceMove> {
+        if !self.policy.enabled {
+            return None;
+        }
+        let (hot, cold, gap) = hot_cold?;
+        if gap < self.policy.imbalance_threshold {
+            return None;
+        }
+        if let Some(last) = self.last_move {
+            if now.saturating_since(last) < self.policy.min_interval {
+                return None;
+            }
+        }
+        Some(RebalanceMove {
+            from: hot,
+            to: cold,
+        })
+    }
+
+    /// Record that a migration started at `now` (starts the pacing
+    /// window).
+    pub fn committed(&mut self, now: SimTime) {
+        self.last_move = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    #[test]
+    fn below_threshold_no_move() {
+        let r = Rebalancer::new(RebalancePolicy::standard());
+        assert_eq!(r.plan(SimTime::ZERO, Some((0, 1, 0.2))), None);
+        assert_eq!(r.plan(SimTime::ZERO, None), None);
+    }
+
+    #[test]
+    fn above_threshold_moves_hot_to_cold() {
+        let r = Rebalancer::new(RebalancePolicy::standard());
+        assert_eq!(
+            r.plan(SimTime::ZERO, Some((2, 0, 0.8))),
+            Some(RebalanceMove { from: 2, to: 0 })
+        );
+    }
+
+    #[test]
+    fn pacing_window_throttles_moves() {
+        let mut r = Rebalancer::new(RebalancePolicy::standard());
+        let gap = Some((1, 0, 0.9));
+        assert!(r.plan(SimTime::ZERO, gap).is_some());
+        r.committed(SimTime::ZERO);
+        let soon = SimTime::from_secs(5);
+        assert_eq!(r.plan(soon, gap), None, "inside the pacing window");
+        let later =
+            SimTime::ZERO.saturating_add(r.policy().min_interval + SimDuration::from_secs(1));
+        assert!(r.plan(later, gap).is_some());
+    }
+
+    #[test]
+    fn disabled_never_moves() {
+        let r = Rebalancer::new(RebalancePolicy::disabled());
+        assert_eq!(r.plan(SimTime::ZERO, Some((1, 0, 10.0))), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Fleet run results: per-request records, control-plane event
+//! counts, per-host accounting, and the canonical digest the golden
+//! determinism suite pins.
+
+use crate::router::RouteReason;
+use rattrap::{Phase, ReportHasher};
+use simkit::{Cdf, SimDuration, SimTime};
+use workloads::WorkloadKind;
+
+/// One request's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequestRecord {
+    /// Request id (arrival order).
+    pub id: u64,
+    /// Originating user (device).
+    pub user: u32,
+    /// The app.
+    pub kind: WorkloadKind,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Terminal instant.
+    pub finished: SimTime,
+    /// Terminal lifecycle phase (always satisfies
+    /// [`Phase::is_terminal`]).
+    pub phase: Phase,
+    /// Whether the task finished on the device's own CPU (shed or
+    /// retry-budget exhaustion, per the resilience policy).
+    pub fell_back: bool,
+    /// Host that finally served it (None for shed/local requests).
+    pub host: Option<usize>,
+    /// Service attempts consumed (1 = clean first try).
+    pub attempts: u32,
+    /// Crash-triggered re-routes survived.
+    pub rerouted: u32,
+    /// How the final placement was chosen.
+    pub reason: Option<RouteReason>,
+}
+
+impl FleetRequestRecord {
+    /// End-to-end response time.
+    pub fn response(&self) -> SimDuration {
+        self.finished.saturating_since(self.arrival)
+    }
+
+    /// Whether the cloud served it (done, and not on the device).
+    pub fn remote(&self) -> bool {
+        self.phase == Phase::Done && !self.fell_back
+    }
+}
+
+/// Counters for the control plane's own activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Requests routed by warm-container affinity.
+    pub affinity_routes: u64,
+    /// Requests routed to their consistent-hash home.
+    pub hash_routes: u64,
+    /// Requests spilled past refusing hosts.
+    pub spill_routes: u64,
+    /// Requests no host admitted (shed to the resilience layer).
+    pub shed: u64,
+    /// Host crashes injected.
+    pub host_crashes: u64,
+    /// Requests re-routed off a crashed host.
+    pub crash_reroutes: u64,
+    /// Rebalancing migrations started.
+    pub migrations_started: u64,
+    /// Rebalancing migrations that completed (dest container live).
+    pub migrations_completed: u64,
+    /// Bytes moved by completed migrations.
+    pub migration_bytes: u64,
+    /// Standby hosts activated by the autoscaler.
+    pub scale_ups: u64,
+    /// Active hosts drained by the autoscaler.
+    pub drains: u64,
+}
+
+/// Per-host accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostReport {
+    /// Requests this host completed.
+    pub served: u64,
+    /// Peak concurrently provisioned instances.
+    pub peak_instances: usize,
+    /// Peak reserved memory, bytes.
+    pub peak_memory: u64,
+    /// The host's DRAM (the bound `peak_memory` must respect).
+    pub memory_bytes: u64,
+    /// Containers migrated away.
+    pub migrations_out: u64,
+    /// Containers migrated in.
+    pub migrations_in: u64,
+    /// Crashes suffered.
+    pub crashes: u64,
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Requests submitted (trace arrivals).
+    pub submitted: u64,
+    /// Served by the cloud.
+    pub completed_remote: u64,
+    /// Degraded to on-device execution.
+    pub fallback_local: u64,
+    /// Abandoned (no fallback in policy).
+    pub abandoned: u64,
+    /// Cloud throughput over the trace duration, requests/second.
+    pub throughput_rps: f64,
+    /// Mean response time of remote completions, seconds.
+    pub mean_response_s: f64,
+    /// Median response time of remote completions, seconds.
+    pub p50_response_s: f64,
+    /// 95th-percentile response time of remote completions, seconds.
+    pub p95_response_s: f64,
+    /// Trace duration, seconds.
+    pub duration_s: f64,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-request outcomes, in arrival order.
+    pub records: Vec<FleetRequestRecord>,
+    /// Control-plane activity.
+    pub control: ControlStats,
+    /// Per-host accounting, index order.
+    pub hosts: Vec<HostReport>,
+    /// Aggregates.
+    pub summary: FleetSummary,
+}
+
+impl FleetReport {
+    /// Build the aggregate summary from records + the trace duration.
+    pub fn summarize(
+        records: Vec<FleetRequestRecord>,
+        control: ControlStats,
+        hosts: Vec<HostReport>,
+        duration: SimDuration,
+    ) -> Self {
+        let submitted = records.len() as u64;
+        let completed_remote = records.iter().filter(|r| r.remote()).count() as u64;
+        let fallback_local = records
+            .iter()
+            .filter(|r| r.fell_back && r.phase == Phase::Done)
+            .count() as u64;
+        let abandoned = records
+            .iter()
+            .filter(|r| matches!(r.phase, Phase::Abandoned | Phase::Failed))
+            .count() as u64;
+        let remote: Vec<f64> = records
+            .iter()
+            .filter(|r| r.remote())
+            .map(|r| r.response().as_secs_f64())
+            .collect();
+        let mean = if remote.is_empty() {
+            0.0
+        } else {
+            remote.iter().sum::<f64>() / remote.len() as f64
+        };
+        let cdf = Cdf::from_samples(remote);
+        let duration_s = duration.as_secs_f64();
+        let summary = FleetSummary {
+            submitted,
+            completed_remote,
+            fallback_local,
+            abandoned,
+            throughput_rps: completed_remote as f64 / duration_s,
+            mean_response_s: mean,
+            p50_response_s: cdf.median().unwrap_or(0.0),
+            p95_response_s: cdf.quantile(0.95).unwrap_or(0.0),
+            duration_s,
+        };
+        FleetReport {
+            records,
+            control,
+            hosts,
+            summary,
+        }
+    }
+
+    /// Canonical digest over every observable field — the golden
+    /// determinism contract. Any microsecond, byte, or float bit that
+    /// moves in the report moves this.
+    pub fn digest(&self) -> u64 {
+        let mut h = ReportHasher::new();
+        h.write_u64(self.records.len() as u64);
+        for r in &self.records {
+            h.write_u64(r.id);
+            h.write_u64(r.user as u64);
+            h.write(format!("{:?}", r.kind).as_bytes());
+            h.write_u64(r.arrival.as_micros());
+            h.write_u64(r.finished.as_micros());
+            h.write(r.phase.name().as_bytes());
+            h.write_u64(r.fell_back as u64);
+            h.write_u64(r.host.map(|x| x as u64 + 1).unwrap_or(0));
+            h.write_u64(r.attempts as u64);
+            h.write_u64(r.rerouted as u64);
+            h.write(match r.reason {
+                None => b"none" as &[u8],
+                Some(x) => x.label().as_bytes(),
+            });
+        }
+        let c = &self.control;
+        for v in [
+            c.affinity_routes,
+            c.hash_routes,
+            c.spill_routes,
+            c.shed,
+            c.host_crashes,
+            c.crash_reroutes,
+            c.migrations_started,
+            c.migrations_completed,
+            c.migration_bytes,
+            c.scale_ups,
+            c.drains,
+        ] {
+            h.write_u64(v);
+        }
+        for hr in &self.hosts {
+            h.write_u64(hr.served);
+            h.write_u64(hr.peak_instances as u64);
+            h.write_u64(hr.peak_memory);
+            h.write_u64(hr.memory_bytes);
+            h.write_u64(hr.migrations_out);
+            h.write_u64(hr.migrations_in);
+            h.write_u64(hr.crashes);
+        }
+        let s = &self.summary;
+        h.write_u64(s.submitted);
+        h.write_u64(s.completed_remote);
+        h.write_u64(s.fallback_local);
+        h.write_u64(s.abandoned);
+        h.write_f64(s.throughput_rps);
+        h.write_f64(s.mean_response_s);
+        h.write_f64(s.p50_response_s);
+        h.write_f64(s.p95_response_s);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, phase: Phase, secs: u64) -> FleetRequestRecord {
+        FleetRequestRecord {
+            id,
+            user: 1,
+            kind: WorkloadKind::Ocr,
+            arrival: SimTime::from_secs(1),
+            finished: SimTime::from_secs(1 + secs),
+            phase,
+            fell_back: false,
+            host: Some(0),
+            attempts: 1,
+            rerouted: 0,
+            reason: Some(RouteReason::Hash),
+        }
+    }
+
+    #[test]
+    fn summary_counts_dispositions() {
+        let mut local = record(2, Phase::Done, 9);
+        local.fell_back = true;
+        let recs = vec![
+            record(0, Phase::Done, 2),
+            record(1, Phase::Done, 4),
+            local,
+            record(3, Phase::Abandoned, 1),
+        ];
+        let rep = FleetReport::summarize(
+            recs,
+            ControlStats::default(),
+            vec![HostReport::default()],
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(rep.summary.submitted, 4);
+        assert_eq!(rep.summary.completed_remote, 2);
+        assert_eq!(rep.summary.fallback_local, 1);
+        assert_eq!(rep.summary.abandoned, 1);
+        assert!((rep.summary.throughput_rps - 0.2).abs() < 1e-12);
+        assert!((rep.summary.mean_response_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_sees_every_field() {
+        let base = FleetReport::summarize(
+            vec![record(0, Phase::Done, 2)],
+            ControlStats::default(),
+            vec![HostReport::default()],
+            SimDuration::from_secs(10),
+        );
+        let mut moved = base.clone();
+        moved.records[0].finished = SimTime::from_secs(4);
+        assert_ne!(base.digest(), moved.digest(), "finish time");
+        let mut routed = base.clone();
+        routed.records[0].reason = Some(RouteReason::Spill);
+        assert_ne!(base.digest(), routed.digest(), "route reason");
+        let mut ctl = base.clone();
+        ctl.control.migrations_completed = 1;
+        assert_ne!(base.digest(), ctl.digest(), "control stats");
+    }
+}

@@ -1,0 +1,234 @@
+//! The front-end Router: code-cache-affinity routing over a
+//! consistent-hash ring.
+//!
+//! Requests are keyed by AID (the App Warehouse cache key, Fig. 8).
+//! Routing prefers a host that already holds a warm container for the
+//! app (the per-host warehouse's CID hints), falls back to the AID's
+//! consistent-hash home host, and spills clockwise around the ring
+//! when the preferred hosts refuse admission. Adding or removing one
+//! host only remaps the ring arcs that host owned — the rest of the
+//! fleet keeps its code caches warm.
+
+use rattrap::warehouse::Aid;
+use std::collections::BTreeSet;
+
+/// Why the router picked the host it picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RouteReason {
+    /// A warm container for the AID already lives there.
+    Affinity,
+    /// The AID's consistent-hash home host.
+    Hash,
+    /// Home (and any warm hosts) refused admission; spilled clockwise.
+    Spill,
+}
+
+impl RouteReason {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteReason::Affinity => "affinity",
+            RouteReason::Hash => "hash",
+            RouteReason::Spill => "spill",
+        }
+    }
+}
+
+/// A routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Target host index.
+    pub host: usize,
+    /// Why.
+    pub reason: RouteReason,
+}
+
+/// Consistent-hash ring over the currently routable hosts.
+#[derive(Debug)]
+pub struct Router {
+    /// (ring point, host), sorted by point.
+    points: Vec<(u64, usize)>,
+    vnodes: usize,
+}
+
+/// FNV-1a over a byte string, with a final avalanche so vnode points
+/// spread even for short keys.
+fn hash_bytes(bytes: &[u8], salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl Router {
+    /// An empty ring with `vnodes` points per host. More vnodes means
+    /// smoother arc ownership; 64 is plenty for single-digit fleets.
+    pub fn new(vnodes: usize) -> Self {
+        assert!(vnodes > 0, "at least one virtual node per host");
+        Router {
+            points: Vec::new(),
+            vnodes,
+        }
+    }
+
+    /// Rebuild the ring over `routable`. Called whenever membership
+    /// changes (activation, drain, crash, rejoin) — placement of every
+    /// AID whose arc owner survived is unchanged.
+    pub fn rebuild(&mut self, routable: &BTreeSet<usize>) {
+        self.points.clear();
+        for &h in routable {
+            for v in 0..self.vnodes {
+                let key = [h.to_le_bytes(), v.to_le_bytes()].concat();
+                self.points.push((hash_bytes(&key, 0x9e37_79b9), h));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Number of distinct hosts on the ring.
+    pub fn host_count(&self) -> usize {
+        self.points
+            .iter()
+            .map(|&(_, h)| h)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Hosts in ring order starting at `key`'s arc, deduplicated —
+    /// the spillover order.
+    fn ring_walk(&self, key: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = BTreeSet::new();
+        let mut order = Vec::new();
+        for i in 0..self.points.len() {
+            let (_, h) = self.points[(start + i) % self.points.len()];
+            if seen.insert(h) {
+                order.push(h);
+            }
+        }
+        order
+    }
+
+    /// Route one request.
+    ///
+    /// * `warm` — hosts whose warehouse holds a live container for the
+    ///   AID (CID hints), in ascending host order.
+    /// * `admissible` — whether a host will accept one more request
+    ///   (active, queue not full).
+    ///
+    /// Preference: warm hosts (first admissible), then the hash home,
+    /// then clockwise spillover. `None` means every routable host
+    /// refused admission — the caller sheds.
+    pub fn route(
+        &self,
+        aid: &Aid,
+        warm: &[usize],
+        mut admissible: impl FnMut(usize) -> bool,
+    ) -> Option<RouteDecision> {
+        if let Some(&h) = warm.iter().find(|&&h| admissible(h)) {
+            return Some(RouteDecision {
+                host: h,
+                reason: RouteReason::Affinity,
+            });
+        }
+        let order = self.ring_walk(hash_bytes(aid.0.as_bytes(), 0));
+        for (i, h) in order.into_iter().enumerate() {
+            if admissible(h) {
+                return Some(RouteDecision {
+                    host: h,
+                    reason: if i == 0 {
+                        RouteReason::Hash
+                    } else {
+                        RouteReason::Spill
+                    },
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rattrap::warehouse::aid_of;
+
+    fn ring(hosts: &[usize]) -> Router {
+        let mut r = Router::new(64);
+        r.rebuild(&hosts.iter().copied().collect());
+        r
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_stable() {
+        let r = ring(&[0, 1, 2, 3]);
+        let aid = aid_of("com.bench.ocr");
+        let a = r.route(&aid, &[], |_| true).unwrap();
+        let b = r.route(&aid, &[], |_| true).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.reason, RouteReason::Hash);
+    }
+
+    #[test]
+    fn warm_host_wins_over_hash_home() {
+        let r = ring(&[0, 1, 2, 3]);
+        let aid = aid_of("com.bench.ocr");
+        let home = r.route(&aid, &[], |_| true).unwrap().host;
+        let warm = (home + 1) % 4;
+        let d = r.route(&aid, &[warm], |_| true).unwrap();
+        assert_eq!(d.host, warm);
+        assert_eq!(d.reason, RouteReason::Affinity);
+    }
+
+    #[test]
+    fn spillover_walks_the_ring_past_full_hosts() {
+        let r = ring(&[0, 1, 2, 3]);
+        let aid = aid_of("com.bench.chessgame");
+        let home = r.route(&aid, &[], |_| true).unwrap().host;
+        let d = r.route(&aid, &[], |h| h != home).unwrap();
+        assert_ne!(d.host, home);
+        assert_eq!(d.reason, RouteReason::Spill);
+    }
+
+    #[test]
+    fn all_full_sheds() {
+        let r = ring(&[0, 1]);
+        assert!(r.route(&aid_of("com.bench.ocr"), &[], |_| false).is_none());
+    }
+
+    #[test]
+    fn membership_change_only_remaps_lost_arcs() {
+        let four = ring(&[0, 1, 2, 3]);
+        let three = ring(&[0, 1, 2]);
+        // Every AID routed to a surviving host keeps its placement.
+        for app in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            let aid = aid_of(app);
+            let before = four.route(&aid, &[], |_| true).unwrap().host;
+            let after = three.route(&aid, &[], |_| true).unwrap().host;
+            if before != 3 {
+                assert_eq!(before, after, "surviving arc moved for {app}");
+            }
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_hosts_over_the_ring() {
+        let r = ring(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(r.host_count(), 8);
+        // Many distinct keys must not all land on one host.
+        let mut hit = BTreeSet::new();
+        for i in 0..64 {
+            let aid = aid_of(&format!("app{i}"));
+            hit.insert(r.route(&aid, &[], |_| true).unwrap().host);
+        }
+        assert!(hit.len() >= 6, "only {} hosts hit", hit.len());
+    }
+}

@@ -150,8 +150,8 @@ mod tests {
         let Some(Value::Array(events)) = top.get("traceEvents") else {
             panic!("traceEvents array missing");
         };
-        // 7 thread-name metadata + 2 spans + 1 instant.
-        assert_eq!(events.len(), 10);
+        // 8 thread-name metadata + 2 spans + 1 instant.
+        assert_eq!(events.len(), 11);
         let Some(Value::Object(meta)) = top.get("metadata") else {
             panic!("metadata object missing");
         };

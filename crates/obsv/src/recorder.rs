@@ -18,14 +18,14 @@ pub struct RecorderConfig {
     /// everything, `n` keeps every n-th *instant* (spans are
     /// structural and are never sampled away while the subsystem is
     /// enabled, so span trees stay well-formed).
-    pub sample: [u32; 7],
+    pub sample: [u32; 8],
 }
 
 impl Default for RecorderConfig {
     fn default() -> Self {
         RecorderConfig {
             capacity: 1 << 20,
-            sample: [1; 7],
+            sample: [1; 8],
         }
     }
 }
@@ -66,7 +66,7 @@ pub(crate) struct Inner {
     ambient_parent: SpanId,
     events: VecDeque<TraceEvent>,
     dropped: u64,
-    sample_counters: [u32; 7],
+    sample_counters: [u32; 8],
     pub(crate) metrics: MetricsStore,
     meta: BTreeMap<String, String>,
 }
@@ -113,7 +113,7 @@ impl Recorder {
                 ambient_parent: SpanId::NONE,
                 events: VecDeque::new(),
                 dropped: 0,
-                sample_counters: [0; 7],
+                sample_counters: [0; 8],
                 metrics: MetricsStore::default(),
                 meta: BTreeMap::new(),
             }))),

@@ -35,11 +35,14 @@ pub enum Subsystem {
     Containerfs,
     /// `bench` — experiment drivers.
     Bench,
+    /// `fleet` — the multi-host control plane: routing, admission,
+    /// autoscaling, rebalancing.
+    Fleet,
 }
 
 impl Subsystem {
     /// Every subsystem, in index order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Rattrap,
         Subsystem::Simkit,
         Subsystem::Netsim,
@@ -47,6 +50,7 @@ impl Subsystem {
         Subsystem::Virt,
         Subsystem::Containerfs,
         Subsystem::Bench,
+        Subsystem::Fleet,
     ];
 
     /// Dense index (sampling tables, Chrome `tid` lanes).
@@ -59,6 +63,7 @@ impl Subsystem {
             Subsystem::Virt => 4,
             Subsystem::Containerfs => 5,
             Subsystem::Bench => 6,
+            Subsystem::Fleet => 7,
         }
     }
 
@@ -72,6 +77,7 @@ impl Subsystem {
             Subsystem::Virt => "virt",
             Subsystem::Containerfs => "containerfs",
             Subsystem::Bench => "bench",
+            Subsystem::Fleet => "fleet",
         }
     }
 }
@@ -203,7 +209,7 @@ mod tests {
             assert_eq!(s.index(), i);
         }
         assert_eq!(Subsystem::Hostkernel.name(), "hostkernel");
-        assert_eq!(Subsystem::ALL.len(), 7);
+        assert_eq!(Subsystem::ALL.len(), 8);
     }
 
     #[test]

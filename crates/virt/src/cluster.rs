@@ -29,14 +29,46 @@ impl Cluster {
     /// pre-loaded (a Rattrap fleet is provisioned that way).
     pub fn new(n: usize, spec: HostSpec) -> Self {
         assert!(n > 0, "a cluster needs at least one host");
-        let hosts = (0..n)
-            .map(|_| {
+        Cluster::from_specs(vec![spec; n])
+    }
+
+    /// Bring up one host per spec — heterogeneous fleets mix machine
+    /// generations (a 2017 Xeon next to a denser refresh), and
+    /// placement must see each host's real memory and clock. The
+    /// Android Container Driver is pre-loaded on every host.
+    pub fn from_specs(specs: Vec<HostSpec>) -> Self {
+        assert!(!specs.is_empty(), "a cluster needs at least one host");
+        let hosts = specs
+            .into_iter()
+            .map(|spec| {
                 let mut h = CloudHost::new(spec);
                 h.kernel.load_android_container_driver();
                 h
             })
             .collect();
         Cluster { hosts }
+    }
+
+    /// Add one more host (scale-out). Returns its index; existing
+    /// indices are never invalidated.
+    pub fn push_host(&mut self, spec: HostSpec) -> usize {
+        let mut h = CloudHost::new(spec);
+        h.kernel.load_android_container_driver();
+        self.hosts.push(h);
+        self.hosts.len() - 1
+    }
+
+    /// Attach one recorder to every host, so a fleet run lands in a
+    /// single trace with cross-host migration spans correctly parented.
+    pub fn attach_recorder(&mut self, rec: obsv::Recorder) {
+        for h in &mut self.hosts {
+            h.attach_recorder(rec.clone());
+        }
+    }
+
+    /// Per-host hardware specs, in index order.
+    pub fn host_specs(&self) -> Vec<HostSpec> {
+        self.hosts.iter().map(|h| h.host_spec()).collect()
     }
 
     /// Number of hosts.
@@ -57,6 +89,13 @@ impl Cluster {
     /// Mutable host accessor.
     pub fn host_mut(&mut self, i: usize) -> &mut CloudHost {
         &mut self.hosts[i]
+    }
+
+    /// Two distinct mutable hosts at once — the shape
+    /// [`migrate`](crate::migrate::migrate) needs (source and
+    /// destination together). Panics if `a == b`.
+    pub fn host_pair_mut(&mut self, a: usize, b: usize) -> (&mut CloudHost, &mut CloudHost) {
+        split_two(&mut self.hosts, a, b)
     }
 
     /// Provision on the host with the most free memory (ties to the
@@ -241,6 +280,51 @@ mod tests {
         }
         let moves = c.rebalance(1.25e9, SimTime::ZERO).unwrap();
         assert!(moves.is_empty(), "VMs cannot checkpoint-migrate");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_keeps_per_host_specs() {
+        let mut big = HostSpec::paper_server();
+        big.memory_bytes *= 2;
+        big.cores = 24;
+        let c = Cluster::from_specs(vec![HostSpec::paper_server(), big]);
+        let specs = c.host_specs();
+        assert_eq!(specs[0].cores, 12);
+        assert_eq!(specs[1].cores, 24);
+        assert_eq!(specs[1].memory_bytes, 2 * specs[0].memory_bytes);
+    }
+
+    #[test]
+    fn placement_sees_heterogeneous_memory() {
+        // Host 1 has double the DRAM; after loading both hosts equally,
+        // reserved bytes are equal, so placement stays index-ordered —
+        // the point is that provisioning against the bigger host can go
+        // further before HostError::OutOfMemory.
+        let mut big = HostSpec::paper_server();
+        big.memory_bytes = 128 * 1024 * 1024; // fits one CAC, not two
+        let mut c = Cluster::from_specs(vec![big, HostSpec::paper_server()]);
+        c.host_mut(0).provision(RuntimeClass::CacOptimized).unwrap();
+        assert!(
+            c.host_mut(0).provision(RuntimeClass::CacOptimized).is_err(),
+            "small host exhausted"
+        );
+        c.host_mut(1).provision(RuntimeClass::CacOptimized).unwrap();
+        c.host_mut(1).provision(RuntimeClass::CacOptimized).unwrap();
+    }
+
+    #[test]
+    fn push_host_extends_the_fleet() {
+        let mut c = cluster(1);
+        for _ in 0..2 {
+            c.provision_least_loaded(RuntimeClass::CacOptimized)
+                .unwrap();
+        }
+        let idx = c.push_host(HostSpec::paper_server());
+        assert_eq!(idx, 1);
+        let (addr, _) = c
+            .provision_least_loaded(RuntimeClass::CacOptimized)
+            .unwrap();
+        assert_eq!(addr.host, 1, "the fresh host is least loaded");
     }
 
     #[test]

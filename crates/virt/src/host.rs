@@ -145,6 +145,14 @@ impl CloudHost {
         self.rec = rec;
     }
 
+    /// The attached observability recorder (disabled by default).
+    /// Cross-host operations — migration, fleet control planes — use
+    /// this to emit spans against the same clock and ring as the
+    /// host's own provision/teardown events.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
     /// Host hardware description.
     pub fn host_spec(&self) -> HostSpec {
         self.kernel.host()

@@ -12,6 +12,7 @@
 use crate::host::{CloudHost, HostError, InstanceId};
 use crate::spec::RuntimeClass;
 use containerfs::FsImage;
+use obsv::{AttrValue, SpanId, Subsystem};
 use simkit::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 
@@ -58,6 +59,18 @@ pub fn checkpoint(
     host: &CloudHost,
     id: InstanceId,
 ) -> Result<(Checkpoint, SimDuration), HostError> {
+    let at = host.recorder().now_us();
+    checkpoint_traced(host, id, SpanId::NONE, at)
+}
+
+/// [`checkpoint`] with explicit span parentage and start instant —
+/// [`migrate`] nests the freeze under its own root span at sim time.
+fn checkpoint_traced(
+    host: &CloudHost,
+    id: InstanceId,
+    parent: SpanId,
+    at_us: u64,
+) -> Result<(Checkpoint, SimDuration), HostError> {
     let inst = host.instance(id)?;
     if !inst.class.is_container() {
         return Err(HostError::Kernel(hostkernel::KernelError::NotPermitted {
@@ -75,6 +88,21 @@ pub fn checkpoint(
         memory_bytes: inst.class.spec().peak_memory_bytes,
     };
     let freeze = SimDuration::from_secs_f64(ckpt.state_bytes() as f64 / CHECKPOINT_BANDWIDTH);
+    let rec = host.recorder();
+    if rec.is_enabled() {
+        let span = rec.span_start_at(
+            Subsystem::Virt,
+            "migrate.checkpoint",
+            parent,
+            at_us,
+            vec![
+                ("instance", AttrValue::U64(id.0 as u64)),
+                ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
+                ("apps", AttrValue::U64(ckpt.apps.len() as u64)),
+            ],
+        );
+        rec.span_end_at(span, at_us + freeze.as_micros(), vec![]);
+    }
     Ok((ckpt, freeze))
 }
 
@@ -86,34 +114,111 @@ pub fn restore(
     host: &mut CloudHost,
     ckpt: &Checkpoint,
 ) -> Result<(InstanceId, SimDuration), HostError> {
+    let at = host.recorder().now_us();
+    restore_traced(host, ckpt, SpanId::NONE, at)
+}
+
+/// [`restore`] with explicit span parentage and start instant. The
+/// parent id is only meaningful when source and destination hosts share
+/// one recorder (a fleet trace); with separate recorders the span still
+/// records, parented to the destination's ambient span.
+fn restore_traced(
+    host: &mut CloudHost,
+    ckpt: &Checkpoint,
+    parent: SpanId,
+    at_us: u64,
+) -> Result<(InstanceId, SimDuration), HostError> {
     let (id, _boot_setup) = host.provision(ckpt.class)?;
     // Process tree, namespaces and mounts exist; reinstate the
     // container's logical state.
     {
         let inst = host.instance_mut(id)?;
         inst.apps_loaded = ckpt.apps.clone();
+        // The writable layer comes back verbatim from the checkpoint,
+        // replacing the fresh instance's default upper.
+        if let Some(m) = inst.mount.as_mut() {
+            m.restore_upper(ckpt.upper.clone());
+        }
     }
     let unpack = SimDuration::from_secs_f64(ckpt.state_bytes() as f64 / CHECKPOINT_BANDWIDTH);
-    Ok((id, RESTORE_FIXED + unpack))
+    let total = RESTORE_FIXED + unpack;
+    let rec = host.recorder();
+    if rec.is_enabled() {
+        let span = rec.span_start_at(
+            Subsystem::Virt,
+            "migrate.restore",
+            parent,
+            at_us,
+            vec![
+                ("instance", AttrValue::U64(id.0 as u64)),
+                ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
+            ],
+        );
+        rec.span_end_at(span, at_us + total.as_micros(), vec![]);
+    }
+    Ok((id, total))
 }
 
 /// Stop-and-copy migration of `id` from `src` to `dst` over a link of
 /// `link_bps` bytes/second.
+///
+/// When the hosts carry a recorder, the whole move is traced: a root
+/// `migrate` span with `migrate.checkpoint` → `migrate.transfer` →
+/// `migrate.restore` children, each carrying `state_bytes`. The spans
+/// are stamped with the recorder's current request (if any), so a
+/// migration triggered on a request's behalf merges into that
+/// request's causal timeline.
 pub fn migrate(
     src: &mut CloudHost,
     id: InstanceId,
     dst: &mut CloudHost,
     link_bps: f64,
-    _now: SimTime,
+    now: SimTime,
 ) -> Result<MigrationReceipt, HostError> {
     assert!(link_bps > 0.0, "link bandwidth must be positive");
-    let (ckpt, freeze) = checkpoint(src, id)?;
+    let rec = src.recorder().clone();
+    let t0 = now.as_micros();
+    let root = rec.span_start_at(
+        Subsystem::Virt,
+        "migrate",
+        SpanId::NONE,
+        t0,
+        vec![
+            ("instance", AttrValue::U64(id.0 as u64)),
+            ("mode", AttrValue::Str("stop_and_copy")),
+        ],
+    );
+    let (ckpt, freeze) = checkpoint_traced(src, id, root, t0)?;
     let transfer = SimDuration::from_secs_f64(ckpt.state_bytes() as f64 / link_bps);
-    let (new_id, restore_time) = restore(dst, &ckpt)?;
+    let transfer_starts = t0 + freeze.as_micros();
+    if rec.is_enabled() {
+        let span = rec.span_start_at(
+            Subsystem::Virt,
+            "migrate.transfer",
+            root,
+            transfer_starts,
+            vec![
+                ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
+                ("link_bps", AttrValue::F64(link_bps)),
+            ],
+        );
+        rec.span_end_at(span, transfer_starts + transfer.as_micros(), vec![]);
+    }
+    let (new_id, restore_time) =
+        restore_traced(dst, &ckpt, root, transfer_starts + transfer.as_micros())?;
     src.teardown(id)?;
+    let downtime = freeze + transfer + restore_time;
+    rec.span_end_at(
+        root,
+        t0 + downtime.as_micros(),
+        vec![
+            ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
+            ("new_instance", AttrValue::U64(new_id.0 as u64)),
+        ],
+    );
     Ok(MigrationReceipt {
         new_id,
-        downtime: freeze + transfer + restore_time,
+        downtime,
         state_bytes: ckpt.state_bytes(),
     })
 }
@@ -132,11 +237,24 @@ pub fn migrate_precopy(
     dst: &mut CloudHost,
     link_bps: f64,
     rounds: u32,
-    _now: SimTime,
+    now: SimTime,
 ) -> Result<MigrationReceipt, HostError> {
     assert!(link_bps > 0.0, "link bandwidth must be positive");
     assert!(rounds >= 1, "at least one pre-copy round");
-    let (ckpt, _freeze) = checkpoint(src, id)?;
+    let rec = src.recorder().clone();
+    let t0 = now.as_micros();
+    let root = rec.span_start_at(
+        Subsystem::Virt,
+        "migrate",
+        SpanId::NONE,
+        t0,
+        vec![
+            ("instance", AttrValue::U64(id.0 as u64)),
+            ("mode", AttrValue::Str("precopy")),
+            ("rounds", AttrValue::U64(rounds as u64)),
+        ],
+    );
+    let (ckpt, _freeze) = checkpoint_traced(src, id, root, t0)?;
     // Round 1 streams all pages; each later round streams what the
     // previous round left dirty. The container runs throughout.
     let mut dirty = ckpt.memory_bytes as f64;
@@ -145,20 +263,46 @@ pub fn migrate_precopy(
         total_bytes += dirty;
         dirty *= DIRTY_RATE;
     }
+    let stream = SimDuration::from_secs_f64(total_bytes / link_bps);
+    if rec.is_enabled() {
+        let span = rec.span_start_at(
+            Subsystem::Virt,
+            "migrate.transfer",
+            root,
+            t0,
+            vec![
+                (
+                    "state_bytes",
+                    AttrValue::U64(total_bytes as u64 + dirty as u64),
+                ),
+                ("link_bps", AttrValue::F64(link_bps)),
+            ],
+        );
+        rec.span_end_at(span, t0 + stream.as_micros(), vec![]);
+    }
     // Stop-and-copy the residual dirty set + restore.
     let final_freeze = SimDuration::from_secs_f64(dirty / CHECKPOINT_BANDWIDTH);
     let final_transfer = SimDuration::from_secs_f64(dirty / link_bps);
-    let (new_id, restore_fixed) = restore(dst, &ckpt)?;
+    let (new_id, restore_fixed) = restore_traced(dst, &ckpt, root, t0 + stream.as_micros())?;
     // Restore unpack already counted full state; for pre-copy the bulk
     // arrived ahead of the switchover, so downtime only pays the fixed
     // restore plus the residual.
     let downtime = final_freeze + final_transfer + RESTORE_FIXED;
     let _ = restore_fixed;
     src.teardown(id)?;
+    let state_bytes = total_bytes as u64 + dirty as u64;
+    rec.span_end_at(
+        root,
+        t0 + stream.as_micros() + downtime.as_micros(),
+        vec![
+            ("state_bytes", AttrValue::U64(state_bytes)),
+            ("new_instance", AttrValue::U64(new_id.0 as u64)),
+        ],
+    );
     Ok(MigrationReceipt {
         new_id,
         downtime,
-        state_bytes: total_bytes as u64 + dirty as u64,
+        state_bytes,
     })
 }
 
@@ -301,6 +445,59 @@ mod tests {
         }
         assert!(downtimes[0] > downtimes[1]);
         assert!(downtimes[1] > downtimes[2]);
+    }
+
+    #[test]
+    fn migration_emits_checkpoint_transfer_restore_spans() {
+        use obsv::{Recorder, RecorderConfig, TraceEvent};
+        let (mut src, mut dst) = two_hosts();
+        let rec = Recorder::enabled(RecorderConfig::default());
+        src.attach_recorder(rec.clone());
+        dst.attach_recorder(rec.clone());
+        rec.set_current_request(Some(42));
+        let (id, _) = src.provision(RuntimeClass::CacOptimized).unwrap();
+        let now = SimTime::from_secs(3);
+        let r = migrate(&mut src, id, &mut dst, 1.25e9, now).unwrap();
+        rec.set_current_request(None);
+
+        let snap = rec.snapshot();
+        let mut root = None;
+        for e in &snap.events {
+            if let TraceEvent::Begin {
+                id, name, at_us, ..
+            } = e
+            {
+                if *name == "migrate" {
+                    assert_eq!(*at_us, now.as_micros());
+                    root = Some(*id);
+                }
+            }
+        }
+        let root = root.expect("root migrate span");
+        for child in ["migrate.checkpoint", "migrate.transfer", "migrate.restore"] {
+            let found = snap.events.iter().any(|e| {
+                matches!(e, TraceEvent::Begin { name, parent, attrs, .. }
+                if *name == child
+                    && *parent == root
+                    && attrs.iter().any(|(k, v)| {
+                        *k == "state_bytes"
+                            && matches!(v, obsv::AttrValue::U64(b) if *b == r.state_bytes)
+                    }))
+            });
+            assert!(found, "{child} span with state_bytes under the root");
+        }
+        // Request-scoped: the whole tree lands in request 42's timeline.
+        let timeline = snap.request_timeline(42);
+        assert!(timeline.contains("migrate.checkpoint"), "{timeline}");
+        assert!(timeline.contains("migrate.restore"));
+    }
+
+    #[test]
+    fn untraced_migration_still_works() {
+        // The recorder-disabled path must stay a pure no-op.
+        let (mut src, mut dst) = two_hosts();
+        let (id, _) = src.provision(RuntimeClass::CacOptimized).unwrap();
+        assert!(migrate(&mut src, id, &mut dst, 1.25e9, SimTime::ZERO).is_ok());
     }
 
     #[test]

@@ -55,6 +55,14 @@ fn ablations_scorecard_passes_on_alternate_seed() {
 }
 
 #[test]
+fn cluster_scorecard_passes_on_alternate_seed() {
+    // Explicit smoke scale: the scorecard's scaling, fault-evidence,
+    // and elasticity contracts must hold even on the shrunk run.
+    let out = exp::cluster::run_scaled(ALT_SEED, true);
+    assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+}
+
+#[test]
 fn experiment_bodies_are_deterministic() {
     let a = exp::fig9::run(42);
     let b = exp::fig9::run(42);
