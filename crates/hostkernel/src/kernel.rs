@@ -279,12 +279,7 @@ impl Kernel {
     /// providing module is loaded; instantiates per-namespace driver
     /// state on first open.
     pub fn open_device(&mut self, ns: u32, kind: DeviceKind) -> KernelResult<DeviceHandle> {
-        let module = crate::module::module_providing(kind).expect("every kind has a module");
-        if !self.modules.contains_key(module.name) {
-            return Err(KernelError::NoSuchDevice {
-                device: kind.dev_path(),
-            });
-        }
+        self.require_module(kind)?;
         let state = self
             .namespaces
             .get_mut(&ns)
@@ -321,8 +316,27 @@ impl Kernel {
             .ok_or(KernelError::NoSuchNamespace { ns })
     }
 
-    /// The namespace's binder context (must have been opened).
+    /// `ENODEV` unless the module providing `kind` is resident. Every
+    /// driver-state access goes through this gate: a namespace may hold
+    /// stale driver state from before an `rmmod`, and reading through
+    /// an unloaded module must fail exactly like `open_device` and
+    /// `dump_log` do — the device nodes of an unloaded module are dead,
+    /// full stop. (The model-checking harness audits this as the
+    /// "ENODEV iff module unloaded" invariant.)
+    fn require_module(&self, kind: DeviceKind) -> KernelResult<()> {
+        let module = module_providing(kind).expect("every kind has a module");
+        if !self.modules.contains_key(module.name) {
+            return Err(KernelError::NoSuchDevice {
+                device: kind.dev_path(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The namespace's binder context (must have been opened, and the
+    /// binder module must still be resident).
     pub fn binder_mut(&mut self, ns: u32) -> KernelResult<&mut BinderContext> {
+        self.require_module(DeviceKind::Binder)?;
         self.ns_state(ns)?
             .binder
             .as_mut()
@@ -331,8 +345,10 @@ impl Kernel {
             })
     }
 
-    /// The namespace's alarm driver (must have been opened).
+    /// The namespace's alarm driver (must have been opened, and the
+    /// alarm module must still be resident).
     pub fn alarm_mut(&mut self, ns: u32) -> KernelResult<&mut AlarmDriver> {
+        self.require_module(DeviceKind::Alarm)?;
         self.ns_state(ns)?
             .alarm
             .as_mut()
@@ -341,8 +357,10 @@ impl Kernel {
             })
     }
 
-    /// The namespace's logger (must have been opened).
+    /// The namespace's logger (must have been opened, and the logger
+    /// module must still be resident).
     pub fn logger_mut(&mut self, ns: u32) -> KernelResult<&mut LoggerDriver> {
+        self.require_module(DeviceKind::Logger)?;
         self.ns_state(ns)?
             .logger
             .as_mut()
@@ -364,12 +382,7 @@ impl Kernel {
     /// opened `/dev/log/main`, and `ESRCH`-style `NoSuchNamespace`
     /// for an unknown namespace.
     pub fn dump_log(&self, ns: u32) -> KernelResult<Vec<LogRecord>> {
-        let module = module_providing(DeviceKind::Logger).expect("logger has a providing module");
-        if !self.modules.contains_key(module.name) {
-            return Err(KernelError::NoSuchDevice {
-                device: DeviceKind::Logger.dev_path(),
-            });
-        }
+        self.require_module(DeviceKind::Logger)?;
         let state = self
             .namespaces
             .get(&ns)
@@ -385,8 +398,10 @@ impl Kernel {
         self.namespaces.keys().copied().collect()
     }
 
-    /// The namespace's ashmem driver (must have been opened).
+    /// The namespace's ashmem driver (must have been opened, and the
+    /// ashmem module must still be resident).
     pub fn ashmem_mut(&mut self, ns: u32) -> KernelResult<&mut AshmemDriver> {
+        self.require_module(DeviceKind::Ashmem)?;
         self.ns_state(ns)?
             .ashmem
             .as_mut()

@@ -1,0 +1,272 @@
+//! Boundary-condition coverage for the network fault plane.
+//!
+//! Three families of edge cases that the happy-path suites never pin
+//! down: zero-byte transfers, transfers landing *exactly* on a
+//! degradation-epoch edge, and outages that swallow an entire
+//! transfer. Where the fast path promises integer exactness the
+//! assertions are `==` on `SimTime`, not float tolerances — the
+//! fault-free pricing must be bit-identical to not pricing at all,
+//! because the golden digests depend on it.
+
+use netsim::SharedLink;
+use simkit::{
+    link_available_at, transfer_outcome, EventQueue, LinkWindow, SimDuration, SimTime,
+    TransferOutcome, WORK_EPS,
+};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn d(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn outage(start: u64, end: u64) -> LinkWindow {
+    LinkWindow {
+        start: t(start),
+        end: t(end),
+        rate_factor: 0.0,
+    }
+}
+
+fn degradation(start: u64, end: u64, factor: f64) -> LinkWindow {
+    LinkWindow {
+        start: t(start),
+        end: t(end),
+        rate_factor: factor,
+    }
+}
+
+// ---- zero-byte transfers ------------------------------------------------
+
+#[test]
+fn zero_length_transfer_on_a_clean_link_completes_instantly() {
+    // No windows at all: the fast path returns exactly `start`.
+    assert_eq!(
+        transfer_outcome(&[], t(5), SimDuration::ZERO),
+        TransferOutcome::Completes { at: t(5) }
+    );
+    // Windows elsewhere on the timeline must not perturb it.
+    assert_eq!(
+        transfer_outcome(&[outage(10, 20)], t(5), SimDuration::ZERO),
+        TransferOutcome::Completes { at: t(5) }
+    );
+}
+
+#[test]
+fn zero_length_transfer_inside_an_outage_is_interrupted_at_start() {
+    // Zero bytes still need a live link: starting mid-outage is an
+    // interruption at the start instant with nothing done.
+    assert_eq!(
+        transfer_outcome(&[outage(0, 10)], t(5), SimDuration::ZERO),
+        TransferOutcome::Interrupted {
+            at: t(5),
+            fraction_done: 0.0,
+        }
+    );
+    // ... but merely *degraded* capacity passes zero bytes fine.
+    assert_eq!(
+        transfer_outcome(&[degradation(0, 10, 0.25)], t(5), SimDuration::ZERO),
+        TransferOutcome::Completes { at: t(5) }
+    );
+}
+
+#[test]
+fn zero_byte_shared_link_transfer_completes_at_submission_instant() {
+    let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+    let mut queue = EventQueue::new();
+    let job = link.begin_transfer(t(3).max(queue.now()), 0, 99);
+    // The zero-work job must not linger as an active flow stealing
+    // fair-share bandwidth from real transfers.
+    link.reschedule(t(3), &mut queue, |e| e);
+    let (now, epoch) = queue.pop().expect("completion check scheduled");
+    // The executor arms its completion check a couple of microseconds
+    // past the predicted finish; zero bytes are done by the very first
+    // check, within that slack of the submission instant.
+    assert!(
+        now >= t(3) && now - t(3) <= SimDuration::from_micros(10),
+        "zero bytes complete at the submission instant, checked at {now}"
+    );
+    let done = link.poll(now, epoch).expect("fresh epoch");
+    assert_eq!(done, vec![(job, 99)]);
+    assert!(link.is_idle());
+}
+
+// ---- degradation-epoch edges --------------------------------------------
+
+#[test]
+fn transfer_ending_exactly_at_window_start_takes_the_exact_fast_path() {
+    // Windows are [start, end): a transfer whose nominal end coincides
+    // with the window's start never overlaps it, so the result is the
+    // integer-exact `start + nominal` — no float walk, no epsilon.
+    let w = [degradation(10, 20, 0.5)];
+    assert_eq!(
+        transfer_outcome(&w, t(4), d(6)),
+        TransferOutcome::Completes { at: t(10) }
+    );
+    // Same boundary against an outage window.
+    assert_eq!(
+        transfer_outcome(&[outage(10, 20)], t(4), d(6)),
+        TransferOutcome::Completes { at: t(10) }
+    );
+}
+
+#[test]
+fn transfer_starting_exactly_at_window_end_takes_the_exact_fast_path() {
+    // The window's end is exclusive: a transfer starting there runs at
+    // nominal rate and the result is exact.
+    assert_eq!(
+        transfer_outcome(&[degradation(10, 20, 0.5)], t(20), d(7)),
+        TransferOutcome::Completes { at: t(27) }
+    );
+    assert_eq!(
+        transfer_outcome(&[outage(10, 20)], t(20), d(7)),
+        TransferOutcome::Completes { at: t(27) }
+    );
+}
+
+#[test]
+fn transfer_starting_at_window_start_is_stretched_for_the_whole_window() {
+    // Starting exactly at the degradation onset: 5 s of nominal work at
+    // factor 0.5 takes 10 s — precisely filling the [10, 20) window, so
+    // the finish lands exactly on the window end.
+    let out = transfer_outcome(&[degradation(10, 20, 0.5)], t(10), d(5));
+    let TransferOutcome::Completes { at } = out else {
+        panic!("degradation never interrupts, got {out:?}");
+    };
+    assert!(
+        (at.as_secs_f64() - 20.0).abs() < 1e-9,
+        "5 s at half rate fills the 10 s window, finished at {at}"
+    );
+}
+
+#[test]
+fn transfer_crossing_into_a_window_pays_only_for_the_overlap() {
+    // Start at 8 with 4 s nominal: 2 s clean, then the remaining 2 s of
+    // work at factor 0.5 takes 4 s → finish at 14.
+    let out = transfer_outcome(&[degradation(10, 20, 0.5)], t(8), d(4));
+    let TransferOutcome::Completes { at } = out else {
+        panic!("expected completion, got {out:?}");
+    };
+    assert!(
+        (at.as_secs_f64() - 14.0).abs() < 1e-9,
+        "2 s clean + 2 s work at half rate, finished at {at}"
+    );
+}
+
+// ---- outages spanning an entire transfer --------------------------------
+
+#[test]
+fn outage_spanning_the_whole_transfer_interrupts_at_start_with_zero_progress() {
+    // The outage opened before the transfer and outlives it: not one
+    // byte crosses. `fraction_done` is exactly 0 — resume-style retries
+    // must re-send everything.
+    let w = [outage(0, 100)];
+    assert_eq!(
+        transfer_outcome(&w, t(10), d(5)),
+        TransferOutcome::Interrupted {
+            at: t(10),
+            fraction_done: 0.0,
+        }
+    );
+    // The retry may not re-attempt before the link returns.
+    assert_eq!(link_available_at(&w, t(10)), t(100));
+}
+
+#[test]
+fn outage_struck_mid_transfer_reports_the_fraction_that_crossed() {
+    // 10 s transfer starting at 5; outage at 10. Half the bytes made it.
+    let w = [outage(10, 20)];
+    let out = transfer_outcome(&w, t(5), d(10));
+    let TransferOutcome::Interrupted { at, fraction_done } = out else {
+        panic!("expected interruption, got {out:?}");
+    };
+    assert_eq!(at, t(10), "cut at the outage onset");
+    assert!(
+        (fraction_done - 0.5).abs() < 1e-9,
+        "5 of 10 s crossed, fraction {fraction_done}"
+    );
+    // Back-to-back outages: the retry instant hops across both.
+    let chained = [outage(10, 20), outage(20, 30)];
+    assert_eq!(link_available_at(&chained, t(10)), t(30));
+    // `fraction_done` is always strictly below 1 — an interruption in
+    // the last instant still forces a retry, never a phantom success.
+    let late = transfer_outcome(&[outage(14, 20)], t(5), d(10));
+    let TransferOutcome::Interrupted { fraction_done, .. } = late else {
+        panic!("expected interruption, got {late:?}");
+    };
+    assert!(fraction_done < 1.0);
+}
+
+// ---- fault-stat accounting on the shared medium -------------------------
+
+#[test]
+fn interrupt_accounting_conserves_bytes_on_the_shared_link() {
+    // Two equal flows share 1 MB/s for 4 s (0.5 MB/s each), then an
+    // outage strikes one. The interrupted flow must report exactly the
+    // bytes that did not cross; the survivor — back at full rate —
+    // finishes with every one of its bytes accounted for.
+    let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+    let mut queue = EventQueue::new();
+    let victim = link.begin_transfer(SimTime::ZERO, 4_000_000, 1);
+    link.begin_transfer(SimTime::ZERO, 4_000_000, 2);
+    link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+
+    let (payload, remaining) = link.interrupt(t(4), victim).expect("victim was in flight");
+    assert_eq!(payload, 1);
+    // 4 s at the 0.5 MB/s fair share moved 2 MB; 2 MB remain.
+    assert!(
+        (remaining - 2_000_000.0).abs() < WORK_EPS * 4_000_000.0,
+        "remaining {remaining}"
+    );
+    link.reschedule(t(4), &mut queue, |e| e);
+    assert_eq!(link.active_transfers(), 1);
+
+    // Survivor: 2 MB left at the restored full 1 MB/s → done at ≈ 6 s.
+    let mut finish = None;
+    while let Some((now, epoch)) = queue.pop() {
+        if let Some(done) = link.poll(now, epoch) {
+            if !done.is_empty() {
+                assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![2]);
+                finish = Some(now);
+            }
+            link.reschedule(now, &mut queue, |e| e);
+        }
+    }
+    let finish = finish.expect("survivor finished");
+    assert!(
+        (finish.as_secs_f64() - 6.0).abs() < 1e-3,
+        "survivor finished at {finish}"
+    );
+    assert!(link.is_idle());
+    // A second interrupt of the same (dead) transfer strikes nothing.
+    assert!(link.interrupt(finish, victim).is_none());
+}
+
+#[test]
+fn degrade_at_the_exact_interrupt_instant_charges_prior_bytes_at_old_rate() {
+    // One 3 MB flow at 1 MB/s; at t=2 the link degrades to quarter
+    // rate. The 2 MB moved before the epoch stay charged at full rate:
+    // the remaining 1 MB at 0.25 MB/s takes 4 s → finish at exactly 6.
+    let mut link: SharedLink<u32> = SharedLink::new(1_000_000.0, 1_000_000.0);
+    let mut queue = EventQueue::new();
+    link.begin_transfer(SimTime::ZERO, 3_000_000, 9);
+    link.reschedule(SimTime::ZERO, &mut queue, |e| e);
+    link.degrade(t(2), 0.25);
+    link.reschedule(t(2), &mut queue, |e| e);
+    let mut finish = None;
+    while let Some((now, epoch)) = queue.pop() {
+        if let Some(done) = link.poll(now, epoch) {
+            if !done.is_empty() {
+                finish = Some(now);
+            }
+            link.reschedule(now, &mut queue, |e| e);
+        }
+    }
+    let finish = finish.expect("transfer finished");
+    assert!(
+        (finish.as_secs_f64() - 6.0).abs() < 1e-3,
+        "finished at {finish}"
+    );
+}

@@ -1,0 +1,149 @@
+//! The failing-run minimizer: greedy bounded delta debugging over a
+//! [`Sample`]'s integer knobs.
+//!
+//! A shrink is *accepted* when the candidate still fires at least one
+//! of the same invariants the original fired — not merely "still
+//! fails", which would let the minimizer wander onto an unrelated bug
+//! and hand back a repro for the wrong defect.
+
+use crate::audit::Audit;
+use crate::harness::run_sample;
+use crate::sample::{Sample, SampleKind};
+use std::collections::BTreeSet;
+
+/// The result of minimizing one failing sample.
+#[derive(Debug)]
+pub struct Minimized {
+    /// The sample as the explorer found it.
+    pub original: Sample,
+    /// The smallest equivalent failure found.
+    pub shrunk: Sample,
+    /// The shrunk sample's audit (evidence for the repro bundle).
+    pub audit: Audit,
+    /// Accepted shrink steps.
+    pub steps: u32,
+    /// Candidate runs spent (accepted + rejected).
+    pub runs: u32,
+    /// The invariants the shrink preserved.
+    pub invariants: Vec<&'static str>,
+}
+
+fn fired(audit: &Audit) -> BTreeSet<&'static str> {
+    audit.violations().iter().map(|v| v.invariant).collect()
+}
+
+/// Every single-knob shrink candidate of `s`, most aggressive first.
+/// Integer knobs halve (delta debugging's classic geometry); seeds get
+/// a small neighbourhood probe — a failure that survives a seed nudge
+/// is structural rather than a measure-zero RNG coincidence, and the
+/// nudged repro often shrinks further.
+fn candidates(s: &Sample) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let mut push = |mutate: &dyn Fn(&mut Sample)| {
+        let mut c = s.clone();
+        mutate(&mut c);
+        if c != *s {
+            out.push(c);
+        }
+    };
+    push(&|c| c.fault_pct = 0);
+    push(&|c| c.fault_pct /= 2);
+    push(&|c| c.resilience = 0);
+    push(&|c| c.traced = false);
+    match s.kind {
+        SampleKind::Rattrap => {
+            push(&|c| c.devices = (c.devices / 2).max(1));
+            push(&|c| c.devices = 1);
+            push(&|c| c.requests_per_device = (c.requests_per_device / 2).max(1));
+            push(&|c| c.requests_per_device = 1);
+        }
+        SampleKind::Fleet => {
+            push(&|c| c.hosts = (c.hosts / 2).max(1));
+            push(&|c| c.users = (c.users / 2).max(1));
+            push(&|c| c.users = 1);
+            push(&|c| c.duration_s = (c.duration_s / 2).max(60));
+        }
+    }
+    push(&|c| c.seed = c.seed.wrapping_sub(1));
+    push(&|c| c.seed = c.seed.wrapping_add(1));
+    push(&|c| c.seed &= 0xFFFF);
+    out
+}
+
+/// Shrink `sample` while its failure (same invariant names) keeps
+/// reproducing. `max_runs` bounds total engine executions so a
+/// pathological landscape cannot stall the nightly job.
+pub fn minimize(sample: &Sample, max_runs: u32) -> Minimized {
+    let original_outcome = run_sample(sample);
+    let target = fired(&original_outcome.audit);
+    let mut best = sample.clone();
+    let mut best_audit = original_outcome.audit;
+    let mut steps = 0;
+    let mut runs = 1;
+
+    if !target.is_empty() {
+        // Greedy passes until a whole pass accepts nothing.
+        'outer: loop {
+            let mut improved = false;
+            for cand in candidates(&best) {
+                if runs >= max_runs {
+                    break 'outer;
+                }
+                let outcome = run_sample(&cand);
+                runs += 1;
+                if fired(&outcome.audit).intersection(&target).next().is_some() {
+                    best = cand;
+                    best_audit = outcome.audit;
+                    steps += 1;
+                    improved = true;
+                    break; // restart candidate generation from the new best
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    Minimized {
+        original: sample.clone(),
+        shrunk: best,
+        audit: best_audit,
+        steps,
+        runs,
+        invariants: target.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_sample_minimizes_to_itself() {
+        let mut s = Sample::draw(5, 0);
+        s.fault_pct = 0;
+        s.devices = 1;
+        s.requests_per_device = 1;
+        let m = minimize(&s, 4);
+        assert_eq!(m.shrunk, s);
+        assert_eq!(m.steps, 0);
+        assert!(m.invariants.is_empty());
+    }
+
+    #[test]
+    fn candidates_shrink_and_never_echo_the_input() {
+        let s = Sample::draw(5, 1);
+        for c in candidates(&s) {
+            assert_ne!(c, s);
+        }
+        let mut one = s.clone();
+        one.devices = 1;
+        one.requests_per_device = 1;
+        one.fault_pct = 0;
+        one.resilience = 0;
+        one.traced = false;
+        // Fully shrunk integer knobs leave only the seed probes.
+        assert_eq!(candidates(&one).len(), 3);
+    }
+}

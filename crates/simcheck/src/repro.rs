@@ -1,0 +1,92 @@
+//! Repro bundles: everything a developer needs to replay a minimized
+//! failure, written as plain files under `results/repros/`.
+//!
+//! A bundle holds the shrunk sample (`config.json`, exact-round-trip
+//! JSON), the original pre-shrink sample, the audit evidence
+//! (`report.txt`), a Chrome-format trace of the failing run
+//! (`trace.json`, load via `chrome://tracing` or Perfetto), and the
+//! causal timeline of the implicated request (`timeline.txt`).
+
+use crate::harness::{run_sample, RunOutcome};
+use crate::minimize::Minimized;
+use crate::sample::Sample;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Write the bundle for one minimized failure; returns its directory.
+pub fn write_bundle(root: &Path, m: &Minimized) -> io::Result<PathBuf> {
+    let tag = format!(
+        "sample-{:04}-{}",
+        m.original.index,
+        m.invariants.first().copied().unwrap_or("clean")
+    );
+    let dir = root.join(tag);
+    std::fs::create_dir_all(&dir)?;
+
+    std::fs::write(dir.join("config.json"), m.shrunk.to_json())?;
+    std::fs::write(dir.join("original.json"), m.original.to_json())?;
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "invariants: {}\nshrink steps: {} (in {} candidate runs)\n\nviolations:\n",
+        m.invariants.join(", "),
+        m.steps,
+        m.runs
+    ));
+    for v in m.audit.violations() {
+        report.push_str(&format!("  {v}\n"));
+    }
+    report.push_str("\nreplay: simcheck_explore --replay <this dir>/config.json\n");
+    std::fs::write(dir.join("report.txt"), report)?;
+
+    // Re-run the shrunk sample with tracing forced on so the bundle
+    // carries a trace even when the shrink turned the recorder off
+    // (tracing is digest-neutral, so this replays the same run).
+    let mut traced = m.shrunk.clone();
+    traced.traced = true;
+    let outcome = run_sample(&traced);
+    if let Some(snap) = &outcome.trace {
+        std::fs::write(dir.join("trace.json"), snap.chrome_trace())?;
+        let req = m
+            .audit
+            .violations()
+            .iter()
+            .find_map(|v| v.subject.strip_prefix("request ")?.parse::<u64>().ok())
+            .unwrap_or(0);
+        std::fs::write(dir.join("timeline.txt"), snap.request_timeline(req))?;
+    }
+    Ok(dir)
+}
+
+/// Replay a bundle's `config.json` (or a bare sample JSON file) and
+/// return the re-audited outcome.
+pub fn replay(config: &Path) -> Result<(Sample, RunOutcome), String> {
+    let text = std::fs::read_to_string(config).map_err(|e| format!("{}: {e}", config.display()))?;
+    let sample = Sample::from_json(&text)?;
+    let outcome = run_sample(&sample);
+    Ok((sample, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::minimize;
+
+    #[test]
+    fn bundle_round_trips_through_replay() {
+        let mut s = Sample::draw(3, 0);
+        s.devices = 1;
+        s.requests_per_device = 1;
+        s.fault_pct = 0;
+        let m = minimize(&s, 2);
+        let root = std::env::temp_dir().join("simcheck-bundle-test");
+        let dir = write_bundle(&root, &m).expect("bundle written");
+        let (back, outcome) = replay(&dir.join("config.json")).expect("replays");
+        assert_eq!(back, m.shrunk);
+        assert!(outcome.is_clean());
+        assert!(dir.join("report.txt").exists());
+        assert!(dir.join("trace.json").exists());
+        assert!(dir.join("timeline.txt").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,245 @@
+//! Swarm samples: one integer-only value describes everything the
+//! explorer varies about a run, so a sample round-trips through JSON
+//! bit-exactly (seeds travel as hex strings — JSON numbers are f64 and
+//! would silently round a u64 seed) and a repro bundle replays the
+//! exact run that failed.
+
+use fleet::FleetConfig;
+use rattrap::{PlatformKind, ResiliencePolicy, ScenarioConfig};
+use simkit::faults::FaultConfig;
+use simkit::{derive_seed, SimDuration, SimRng};
+use workloads::WorkloadKind;
+
+/// Which engine a sample drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Single-host `rattrap::run_scenario`.
+    Rattrap,
+    /// Multi-host `fleet::run_fleet`.
+    Fleet,
+}
+
+/// One point in the explorer's search space. Every field is an integer
+/// (or bool) on purpose: the JSON round-trip must be exact, and the
+/// minimizer shrinks by halving integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Position in the swarm (0-based); also the derivation stream.
+    pub index: u32,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Engine under test.
+    pub kind: SampleKind,
+    /// Platform index into [`Sample::PLATFORMS`] (rattrap only).
+    pub platform: u8,
+    /// Workload index into [`WorkloadKind::ALL`] (rattrap only).
+    pub workload: u8,
+    /// Client devices (rattrap only).
+    pub devices: u32,
+    /// Closed-loop requests per device (rattrap only).
+    pub requests_per_device: u32,
+    /// Fleet hosts (fleet only).
+    pub hosts: u32,
+    /// Trace users (fleet only).
+    pub users: u32,
+    /// Trace horizon, seconds (fleet only).
+    pub duration_s: u32,
+    /// Fault-plan intensity as a percentage: `FaultConfig::scaled(pct/100)`,
+    /// 0 meaning a fault-free run (the metamorphic golden gate).
+    pub fault_pct: u32,
+    /// Resilience policy: 0 none, 1 retry-only, 2 standard.
+    pub resilience: u8,
+    /// Attach an enabled recorder (the traced ≡ untraced oracle runs
+    /// both ways regardless; this picks the default for auditing).
+    pub traced: bool,
+}
+
+impl Sample {
+    /// Platform axis, index-stable for JSON.
+    pub const PLATFORMS: [PlatformKind; 3] = [
+        PlatformKind::VmBaseline,
+        PlatformKind::RattrapWithout,
+        PlatformKind::Rattrap,
+    ];
+
+    /// Draw sample `index` of the swarm rooted at `master` — swarm
+    /// testing over seeds × fault intensities × config mutations.
+    /// Mostly small rattrap scenarios (they are cheap, so the swarm is
+    /// wide) with a sparse stripe of small fleets.
+    pub fn draw(master: u64, index: u32) -> Sample {
+        let mut rng = SimRng::new(derive_seed(master, 0x5A4D_0000 + index as u64));
+        let kind = if index % 7 == 3 {
+            SampleKind::Fleet
+        } else {
+            SampleKind::Rattrap
+        };
+        Sample {
+            index,
+            seed: derive_seed(master, 0xA5A5_0000 + index as u64),
+            kind,
+            platform: rng.uniform_u64(0, 2) as u8,
+            workload: rng.uniform_u64(0, WorkloadKind::ALL.len() as u64 - 1) as u8,
+            devices: rng.uniform_u64(1, 8) as u32,
+            requests_per_device: rng.uniform_u64(1, 6) as u32,
+            hosts: rng.uniform_u64(1, 3) as u32,
+            users: rng.uniform_u64(4, 24) as u32,
+            duration_s: rng.uniform_u64(240, 720) as u32,
+            // Weighted toward faulty runs but keeping a fault-free
+            // stripe alive for the golden-digest oracle.
+            fault_pct: match rng.uniform_u64(0, 9) {
+                0 | 1 => 0,
+                n => (n * 25) as u32, // 50..=225 %
+            },
+            resilience: rng.uniform_u64(0, 2) as u8,
+            traced: rng.bernoulli(0.5),
+        }
+    }
+
+    /// The resilience policy this sample selects.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        match self.resilience {
+            0 => ResiliencePolicy::none(),
+            1 => ResiliencePolicy::retry_only(),
+            _ => ResiliencePolicy::standard(),
+        }
+    }
+
+    /// The fault plan intensity this sample selects.
+    pub fn fault_config(&self) -> FaultConfig {
+        if self.fault_pct == 0 {
+            FaultConfig::none()
+        } else {
+            FaultConfig::scaled(self.fault_pct as f64 / 100.0)
+        }
+    }
+
+    /// Materialise the rattrap scenario (valid for any sample; the
+    /// minimizer uses this even on fleet samples it has re-pointed).
+    pub fn scenario_config(&self) -> ScenarioConfig {
+        let platform = Self::PLATFORMS[self.platform as usize % 3];
+        let workload = WorkloadKind::ALL[self.workload as usize % WorkloadKind::ALL.len()];
+        let mut cfg = ScenarioConfig::paper_default(platform.config(), workload, self.seed);
+        cfg.devices = self.devices.max(1);
+        cfg.requests_per_device = self.requests_per_device.max(1);
+        cfg.faults = self.fault_config();
+        cfg.resilience = self.resilience_policy();
+        cfg
+    }
+
+    /// Materialise the fleet config.
+    pub fn fleet_config(&self) -> FleetConfig {
+        let mut cfg = FleetConfig::paper_default(self.hosts.max(1) as usize, self.seed);
+        cfg.traffic.users = self.users.max(1);
+        cfg.traffic.duration = SimDuration::from_secs(self.duration_s.max(60) as u64);
+        cfg.faults = self.fault_config();
+        cfg.resilience = self.resilience_policy();
+        cfg
+    }
+
+    /// Serialise to JSON. Integers are emitted verbatim; the seed as a
+    /// 16-digit hex string so the round-trip is exact.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"index\": {},\n",
+                "  \"seed\": \"{:016x}\",\n",
+                "  \"kind\": \"{}\",\n",
+                "  \"platform\": {},\n",
+                "  \"workload\": {},\n",
+                "  \"devices\": {},\n",
+                "  \"requests_per_device\": {},\n",
+                "  \"hosts\": {},\n",
+                "  \"users\": {},\n",
+                "  \"duration_s\": {},\n",
+                "  \"fault_pct\": {},\n",
+                "  \"resilience\": {},\n",
+                "  \"traced\": {}\n",
+                "}}\n"
+            ),
+            self.index,
+            self.seed,
+            match self.kind {
+                SampleKind::Rattrap => "rattrap",
+                SampleKind::Fleet => "fleet",
+            },
+            self.platform,
+            self.workload,
+            self.devices,
+            self.requests_per_device,
+            self.hosts,
+            self.users,
+            self.duration_s,
+            self.fault_pct,
+            self.resilience,
+            self.traced,
+        )
+    }
+
+    /// Parse a sample back from [`Sample::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Sample, String> {
+        let v = obsv::json::parse(text)?;
+        let int = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|f| f.as_f64())
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let seed_hex = v
+            .get("seed")
+            .and_then(|s| s.as_str())
+            .ok_or("missing `seed` hex string")?;
+        let seed =
+            u64::from_str_radix(seed_hex, 16).map_err(|e| format!("bad seed `{seed_hex}`: {e}"))?;
+        let kind = match v.get("kind").and_then(|s| s.as_str()) {
+            Some("rattrap") => SampleKind::Rattrap,
+            Some("fleet") => SampleKind::Fleet,
+            other => return Err(format!("bad kind {other:?}")),
+        };
+        let traced = match v.get("traced") {
+            Some(obsv::json::Value::Bool(b)) => *b,
+            _ => return Err("missing bool field `traced`".into()),
+        };
+        Ok(Sample {
+            index: int("index")? as u32,
+            seed,
+            kind,
+            platform: int("platform")? as u8,
+            workload: int("workload")? as u8,
+            devices: int("devices")? as u32,
+            requests_per_device: int("requests_per_device")? as u32,
+            hosts: int("hosts")? as u32,
+            users: int("users")? as u32,
+            duration_s: int("duration_s")? as u32,
+            fault_pct: int("fault_pct")? as u32,
+            resilience: int("resilience")? as u8,
+            traced,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic() {
+        assert_eq!(Sample::draw(7, 13), Sample::draw(7, 13));
+        assert_ne!(Sample::draw(7, 13).seed, Sample::draw(7, 14).seed);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for index in 0..32 {
+            let s = Sample::draw(0xB0B, index);
+            let back = Sample::from_json(&s.to_json()).expect("round trip");
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn fleet_stripe_is_sparse_but_present() {
+        let kinds: Vec<_> = (0..28).map(|i| Sample::draw(1, i).kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == SampleKind::Fleet).count(), 4);
+    }
+}

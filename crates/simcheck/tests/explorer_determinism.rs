@@ -1,0 +1,45 @@
+//! The explorer's own determinism contract: the same seed and budget
+//! must reproduce the same samples, the same violations, and the same
+//! report digest — twice in one process and on every machine.
+
+use simcheck::explorer::{explore, ExplorerConfig};
+use simcheck::sample::Sample;
+
+#[test]
+fn same_seed_same_budget_means_identical_reports() {
+    let cfg = ExplorerConfig::quick(7, 24);
+    let first = explore(&cfg);
+    let second = explore(&cfg);
+    assert_eq!(
+        first.digest, second.digest,
+        "explorer report digest diverged between identical runs"
+    );
+    assert_eq!(first.failures.len(), second.failures.len());
+    for (a, b) in first.failures.iter().zip(&second.failures) {
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.audit.digest(), b.audit.digest());
+    }
+    assert_eq!(first.invariants_checked, second.invariants_checked);
+    assert!(
+        first.is_clean(),
+        "the production engines violate an invariant:\n{}",
+        first.render()
+    );
+}
+
+#[test]
+fn different_seeds_explore_different_samples() {
+    let a = explore(&ExplorerConfig::quick(7, 4));
+    let b = explore(&ExplorerConfig::quick(8, 4));
+    assert_ne!(a.digest, b.digest, "seed must steer the swarm");
+}
+
+#[test]
+fn the_swarm_is_seed_stable_sample_by_sample() {
+    // Pin the derivation itself: sample i of seed 7 is a function of
+    // (7, i) alone, so resuming or sharding an exploration is sound.
+    for i in 0..16 {
+        assert_eq!(Sample::draw(7, i), Sample::draw(7, i));
+    }
+    assert_ne!(Sample::draw(7, 0), Sample::draw(8, 0));
+}

@@ -1,0 +1,461 @@
+//! Every invariant in the catalogue fires when a bug is planted for
+//! it — the auditor is only trustworthy if each check has been seen
+//! catching a real defect. Post-run invariants corrupt a genuine
+//! engine report; live invariants feed the observer fabricated
+//! transitions; model invariants substitute lying component
+//! implementations behind the audit traits.
+
+use obsv::{SpanId, Subsystem, TraceEvent, TraceSnapshot};
+use rattrap::{Phase, PhaseObserver, RequestRecord};
+use simcheck::audit::Audit;
+use simcheck::invariants::{
+    audit_digest_stability, audit_fleet_report, audit_simulation_report, audit_trace,
+    LifecycleAuditor, BYTE_CONSERVATION, CATALOGUE, DIGEST_STABILITY, ENODEV_GATE,
+    EVENT_MONOTONICITY, FLEET_ACCOUNTING, LIFECYCLE_MONOTONE, LIFECYCLE_TERMINAL,
+    LINK_CONSERVATION, MEMORY_BOUND, SPAN_TREE, WAREHOUSE_CONSISTENCY, WORK_CONSERVATION,
+};
+use simcheck::models::{
+    audit_code_cache, audit_device_gate, audit_medium, audit_timeline, CodeCache, DevAccess,
+    DeviceGate, EngineTimeline, FairLink, KernelGate, Medium, Timeline,
+};
+use simcheck::sample::Sample;
+use simkit::{SimDuration, SimTime};
+use workloads::WorkloadKind;
+
+fn fired(audit: &Audit, invariant: &str) -> bool {
+    audit.violations().iter().any(|v| v.invariant == invariant)
+}
+
+/// A small real rattrap report to corrupt.
+fn real_report() -> rattrap::SimulationReport {
+    let mut sample = Sample::draw(99, 0);
+    sample.fault_pct = 0;
+    sample.devices = 2;
+    sample.requests_per_device = 2;
+    rattrap::run_scenario(sample.scenario_config())
+}
+
+/// A small real fleet report to corrupt.
+fn real_fleet_report() -> fleet::FleetReport {
+    let mut sample = Sample::draw(99, 3);
+    sample.fault_pct = 0;
+    sample.hosts = 2;
+    sample.users = 6;
+    sample.duration_s = 240;
+    fleet::run_fleet(&sample.fleet_config())
+}
+
+const DRAM: u64 = 16 * 1024 * 1024 * 1024;
+
+fn record(id: u64) -> RequestRecord {
+    RequestRecord {
+        id,
+        device: 0,
+        kind: WorkloadKind::Ocr,
+        scenario: netsim::NetworkScenario::LanWifi,
+        seq_on_device: 0,
+        arrived_at: SimTime::ZERO,
+        completed_at: SimTime::from_secs(1),
+        phases: Default::default(),
+        upload_bytes: 0,
+        code_bytes_sent: 0,
+        download_bytes: 0,
+        code_transferred: false,
+        cid_affinity_hit: false,
+        local_execution: SimDuration::from_secs(1),
+        upload_time: SimDuration::ZERO,
+        download_time: SimDuration::ZERO,
+        executed_locally: false,
+        retries: 0,
+        fell_back_local: false,
+        abandoned: false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live lifecycle invariants
+// ---------------------------------------------------------------------
+
+#[test]
+fn lifecycle_monotone_fires_on_a_transition_out_of_a_terminal_phase() {
+    let auditor = LifecycleAuditor::new();
+    let mut obs = auditor.clone();
+    let r = record(1);
+    let t = |s| SimTime::from_secs(s);
+    obs.on_transition(&r, Phase::Compute, Phase::Done, SimDuration::ZERO, t(1));
+    obs.on_transition(&r, Phase::Done, Phase::Retrying, SimDuration::ZERO, t(2));
+    assert!(fired(&auditor.finish(), LIFECYCLE_MONOTONE));
+}
+
+#[test]
+fn lifecycle_monotone_fires_on_a_non_chaining_edge_and_a_backwards_clock() {
+    let auditor = LifecycleAuditor::new();
+    let mut obs = auditor.clone();
+    let r = record(2);
+    let t = |s| SimTime::from_secs(s);
+    obs.on_transition(
+        &r,
+        Phase::Dispatch,
+        Phase::DataTransferUp,
+        SimDuration::ZERO,
+        t(1),
+    );
+    // Edge claims to come from Compute, but the request is in
+    // DataTransferUp — and time runs backwards while it does so.
+    obs.on_transition(
+        &r,
+        Phase::Compute,
+        Phase::OffloadIo,
+        SimDuration::ZERO,
+        t(0),
+    );
+    let audit = auditor.finish();
+    let monotone: Vec<_> = audit
+        .violations()
+        .iter()
+        .filter(|v| v.invariant == LIFECYCLE_MONOTONE)
+        .collect();
+    assert!(monotone.len() >= 2, "both defects detected: {monotone:?}");
+}
+
+#[test]
+fn lifecycle_terminal_fires_on_a_request_stuck_mid_flight() {
+    let auditor = LifecycleAuditor::new();
+    let mut obs = auditor.clone();
+    let r = record(3);
+    obs.on_transition(
+        &r,
+        Phase::Dispatch,
+        Phase::Compute,
+        SimDuration::ZERO,
+        SimTime::from_secs(1),
+    );
+    assert!(fired(&auditor.finish(), LIFECYCLE_TERMINAL));
+}
+
+// ---------------------------------------------------------------------
+// Post-run report invariants (corrupt a real report, re-audit)
+// ---------------------------------------------------------------------
+
+#[test]
+fn work_conservation_fires_when_a_phase_bucket_is_inflated() {
+    let mut report = real_report();
+    report.requests[0].phases.computation_execution += SimDuration::from_secs(5);
+    let mut audit = Audit::new();
+    audit_simulation_report(&report, DRAM, &mut audit);
+    assert!(fired(&audit, WORK_CONSERVATION));
+}
+
+#[test]
+fn byte_conservation_fires_on_a_phantom_code_transfer() {
+    let mut report = real_report();
+    report.requests[0].code_transferred = true;
+    report.requests[0].code_bytes_sent = 0;
+    let mut audit = Audit::new();
+    audit_simulation_report(&report, DRAM, &mut audit);
+    assert!(fired(&audit, BYTE_CONSERVATION));
+}
+
+#[test]
+fn byte_conservation_fires_on_an_affinity_hit_that_still_shipped_code() {
+    let mut report = real_report();
+    report.requests[0].cid_affinity_hit = true;
+    report.requests[0].code_bytes_sent = 1024;
+    report.requests[0].code_transferred = true;
+    let mut audit = Audit::new();
+    audit_simulation_report(&report, DRAM, &mut audit);
+    assert!(fired(&audit, BYTE_CONSERVATION));
+}
+
+#[test]
+fn memory_bound_fires_when_the_host_oversubscribes_dram() {
+    let mut report = real_report();
+    report.peak_memory_bytes = DRAM + 1;
+    let mut audit = Audit::new();
+    audit_simulation_report(&report, DRAM, &mut audit);
+    assert!(fired(&audit, MEMORY_BOUND));
+}
+
+#[test]
+fn fleet_accounting_fires_when_a_request_is_lost() {
+    let mut report = real_fleet_report();
+    assert!(report.summary.submitted > 0, "fleet run served traffic");
+    report.summary.submitted += 1;
+    let mut audit = Audit::new();
+    audit_fleet_report(&report, &mut audit);
+    assert!(fired(&audit, FLEET_ACCOUNTING));
+}
+
+#[test]
+fn fleet_memory_bound_fires_on_an_oversubscribed_host() {
+    let mut report = real_fleet_report();
+    report.hosts[0].peak_memory = report.hosts[0].memory_bytes + 1;
+    let mut audit = Audit::new();
+    audit_fleet_report(&report, &mut audit);
+    assert!(fired(&audit, MEMORY_BOUND));
+}
+
+// ---------------------------------------------------------------------
+// Trace invariant (hand-built snapshot)
+// ---------------------------------------------------------------------
+
+#[test]
+fn span_tree_fires_on_unclosed_orphaned_and_inverted_spans() {
+    let snap = TraceSnapshot {
+        events: vec![
+            TraceEvent::Begin {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                subsystem: Subsystem::Rattrap,
+                name: "request",
+                at_us: 10,
+                attrs: vec![],
+            },
+            // Child of a span that never opened.
+            TraceEvent::Begin {
+                id: SpanId(2),
+                parent: SpanId(7),
+                subsystem: Subsystem::Netsim,
+                name: "transfer",
+                at_us: 20,
+                attrs: vec![],
+            },
+            // Ends before it began.
+            TraceEvent::End {
+                id: SpanId(2),
+                at_us: 5,
+                attrs: vec![],
+            },
+            // Span 1 never closes.
+        ],
+        ..TraceSnapshot::default()
+    };
+    let mut audit = Audit::new();
+    audit_trace(&snap, &mut audit);
+    let span_bugs = audit
+        .violations()
+        .iter()
+        .filter(|v| v.invariant == SPAN_TREE)
+        .count();
+    assert!(span_bugs >= 3, "orphan + inversion + unclosed all caught");
+}
+
+#[test]
+fn span_tree_stays_quiet_on_a_real_traced_run() {
+    let mut sample = Sample::draw(99, 1);
+    sample.traced = true;
+    sample.fault_pct = 0;
+    let outcome = simcheck::run_sample(&sample);
+    assert!(outcome.is_clean());
+    assert!(outcome.trace.is_some());
+}
+
+// ---------------------------------------------------------------------
+// Digest stability
+// ---------------------------------------------------------------------
+
+#[test]
+fn digest_stability_fires_on_divergent_same_seed_digests() {
+    let mut audit = Audit::new();
+    audit_digest_stability("planted", &[1, 1, 2], &mut audit);
+    assert!(fired(&audit, DIGEST_STABILITY));
+    let mut clean = Audit::new();
+    audit_digest_stability("planted", &[1, 1, 1], &mut clean);
+    assert!(clean.is_clean());
+}
+
+// ---------------------------------------------------------------------
+// Model invariants (lying implementations behind the audit traits)
+// ---------------------------------------------------------------------
+
+/// A link that silently drops a third of the reversed bytes on
+/// interrupt — the classic lost-accounting bug.
+struct LeakyLink(FairLink);
+
+impl Medium for LeakyLink {
+    fn begin(&mut self, now: SimTime, bytes: u64, tag: u32) {
+        self.0.begin(now, bytes, tag)
+    }
+    fn interrupt(&mut self, now: SimTime, tag: u32) -> Option<f64> {
+        self.0.interrupt(now, tag).map(|r| r * 0.66)
+    }
+    fn drain(&mut self) -> Vec<(SimTime, u32)> {
+        self.0.drain()
+    }
+}
+
+#[test]
+fn link_conservation_fires_on_a_link_that_leaks_reversed_bytes() {
+    let mut audit = Audit::new();
+    audit_medium(|c| LeakyLink(FairLink::new(c)), 0xA1, 4, &mut audit);
+    assert!(fired(&audit, LINK_CONSERVATION));
+}
+
+/// A kernel that keeps answering on device nodes after rmmod.
+struct GhostDriverKernel(KernelGate);
+
+impl DeviceGate for GhostDriverKernel {
+    fn load(&mut self, module: &'static str) {
+        self.0.load(module)
+    }
+    fn unload(&mut self, module: &'static str) -> bool {
+        self.0.unload(module)
+    }
+    fn loaded(&self, module: &'static str) -> bool {
+        self.0.loaded(module)
+    }
+    fn touch(&mut self, module: &'static str) -> DevAccess {
+        // The planted bug: never report ENODEV.
+        match self.0.touch(module) {
+            DevAccess::Enodev => DevAccess::Granted,
+            other => other,
+        }
+    }
+}
+
+#[test]
+fn enodev_gate_fires_on_a_driver_that_survives_rmmod() {
+    let mut audit = Audit::new();
+    audit_device_gate(
+        &mut GhostDriverKernel(KernelGate::new()),
+        0xB2,
+        200,
+        &mut audit,
+    );
+    assert!(fired(&audit, ENODEV_GATE));
+}
+
+/// A warehouse that forgets to drop CID hints when a container dies.
+struct StaleHintCache {
+    inner: rattrap::AppWarehouse,
+}
+
+impl CodeCache for StaleHintCache {
+    fn lookup(&mut self, aid: &rattrap::Aid) -> bool {
+        CodeCache::lookup(&mut self.inner, aid)
+    }
+    fn insert(&mut self, aid: rattrap::Aid, app_id: &str, code_bytes: u64) {
+        CodeCache::insert(&mut self.inner, aid, app_id, code_bytes)
+    }
+    fn note_loaded(&mut self, aid: &rattrap::Aid, container: virt::InstanceId) {
+        CodeCache::note_loaded(&mut self.inner, aid, container)
+    }
+    fn invalidate(&mut self, _container: virt::InstanceId) {
+        // The planted bug: teardown never reaches the hint table.
+    }
+    fn containers_with(&self, aid: &rattrap::Aid) -> Vec<virt::InstanceId> {
+        CodeCache::containers_with(&self.inner, aid)
+    }
+    fn stats(&self) -> (u64, u64, u64) {
+        CodeCache::stats(&self.inner)
+    }
+}
+
+#[test]
+fn warehouse_consistency_fires_on_stale_cid_hints() {
+    let mut audit = Audit::new();
+    audit_code_cache(
+        &mut StaleHintCache {
+            inner: rattrap::AppWarehouse::new(64 * 1024 * 1024),
+        },
+        0xC3,
+        400,
+        &mut audit,
+    );
+    assert!(fired(&audit, WAREHOUSE_CONSISTENCY));
+}
+
+/// A queue that lets cancelled events fire anyway.
+#[derive(Default)]
+struct ZombieTimeline {
+    inner: EngineTimeline,
+}
+
+impl Timeline for ZombieTimeline {
+    fn schedule(&mut self, at: SimTime, tag: u32) -> u64 {
+        self.inner.schedule(at, tag)
+    }
+    fn cancel(&mut self, _id: u64) -> bool {
+        // The planted bug: claim success, remove nothing.
+        true
+    }
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        self.inner.pop()
+    }
+}
+
+#[test]
+fn event_monotonicity_fires_when_cancelled_events_still_pop() {
+    let mut audit = Audit::new();
+    audit_timeline(&mut ZombieTimeline::default(), 0xD4, 64, &mut audit);
+    assert!(fired(&audit, EVENT_MONOTONICITY));
+}
+
+/// A timeline that pops ties in reverse scheduling order (the slot
+/// generation bug the BTreeSet fix in simkit guards against).
+struct LifoTiesTimeline {
+    events: Vec<(SimTime, u32, bool)>, // (at, tag, cancelled)
+}
+
+impl Timeline for LifoTiesTimeline {
+    fn schedule(&mut self, at: SimTime, tag: u32) -> u64 {
+        self.events.push((at, tag, false));
+        self.events.len() as u64 - 1
+    }
+    fn cancel(&mut self, id: u64) -> bool {
+        let slot = &mut self.events[id as usize];
+        let was_live = !slot.2;
+        slot.2 = true;
+        was_live
+    }
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        // Min time, but LAST insertion among ties — LIFO, not FIFO.
+        let (idx, _) = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.2)
+            .max_by(|(ai, a), (bi, b)| b.0.cmp(&a.0).then(ai.cmp(bi)))?;
+        let (at, tag, _) = self.events.remove(idx);
+        Some((at, tag))
+    }
+}
+
+#[test]
+fn event_monotonicity_fires_on_lifo_tie_breaking() {
+    let mut audit = Audit::new();
+    audit_timeline(
+        &mut LifoTiesTimeline { events: Vec::new() },
+        0xE5,
+        64,
+        &mut audit,
+    );
+    assert!(fired(&audit, EVENT_MONOTONICITY));
+}
+
+// ---------------------------------------------------------------------
+// Coverage: the full catalogue is exercised by this suite plus the
+// harness' clean-run audits.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_catalogue_invariant_is_exercised() {
+    // The planted bugs above prove each auditor can fire. This test
+    // proves the clean pipeline *evaluates* every invariant, so a
+    // passing exploration genuinely vouches for the whole catalogue.
+    let mut checked: std::collections::BTreeSet<&'static str> = std::collections::BTreeSet::new();
+    checked.extend(simcheck::run_model_audits(0xF00D).invariants_checked());
+    let mut sample = Sample::draw(99, 2);
+    sample.traced = true;
+    let outcome = simcheck::run_sample(&sample);
+    checked.extend(outcome.audit.invariants_checked());
+    let mut fleet_sample = Sample::draw(99, 3);
+    fleet_sample.traced = true;
+    fleet_sample.users = 6;
+    fleet_sample.duration_s = 240;
+    let fleet_outcome = simcheck::run_sample(&fleet_sample);
+    checked.extend(fleet_outcome.audit.invariants_checked());
+    for inv in CATALOGUE {
+        assert!(checked.contains(inv), "`{inv}` never evaluated");
+    }
+}

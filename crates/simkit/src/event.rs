@@ -7,7 +7,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Handle for a scheduled event, usable with [`EventQueue::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,7 +55,12 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    /// Cancelled-but-not-yet-popped sequence numbers. A `BTreeSet`
+    /// rather than a hash set: nothing here may ever depend on an
+    /// iteration order that varies across builds or processes, even
+    /// defensively — the queue is the determinism root of every
+    /// engine in the workspace.
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -71,7 +76,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }

@@ -15,6 +15,17 @@
 //! Cases are generated from a seed derived deterministically from the
 //! test's module path and name, so every run explores the same inputs.
 //! There is no shrinking: a failing case reports its inputs verbatim.
+//!
+//! Two workspace conventions layer on top (see DESIGN.md):
+//!
+//! - `PROPTEST_CASES` overrides the case count *everywhere*, including
+//!   suites that pin an explicit `with_cases(N)` header — one knob
+//!   scales the whole workspace up for a soak run or down for a smoke.
+//! - A committed seed corpus: if `<test_file>.proptest-regressions`
+//!   exists next to a test's source file, every `cc <hex>` line seeds
+//!   one extra deterministic case (the first 16 hex digits, run before
+//!   the regular generated cases). Suites that once caught a real bug
+//!   commit their corpus so the witness inputs are re-explored forever.
 
 #![forbid(unsafe_code)]
 
@@ -46,20 +57,29 @@ pub mod test_runner {
     }
 
     impl Config {
-        /// A config running `cases` cases per property.
+        /// A config running `cases` cases per property — unless
+        /// `PROPTEST_CASES` is set, which overrides every suite in the
+        /// workspace (explicit headers included) so one knob scales a
+        /// soak run or a smoke run.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            Config {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(64);
-            Config { cases }
+            Config {
+                cases: env_cases().unwrap_or(64),
+            }
         }
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// Deterministic xoshiro256++ stream seeded from the test name.
@@ -77,6 +97,13 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
+            TestRng::from_seed(h)
+        }
+
+        /// Seed from an explicit 64-bit value (SplitMix64 expansion) —
+        /// the entry point for regression-corpus seeds.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut h = seed;
             let mut s = [0u64; 4];
             for w in &mut s {
                 h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -120,6 +147,50 @@ pub mod test_runner {
                 }
             }
         }
+    }
+
+    /// Seeds from the committed regression corpus of a test file, or
+    /// empty when the file has no corpus.
+    ///
+    /// The corpus lives next to the test source as
+    /// `<test_file>.proptest-regressions` (upstream's sibling-file
+    /// layout). `source_file` is the caller's `file!()`, which cargo
+    /// emits relative to the *workspace* root while `manifest_dir` is
+    /// the *crate* root — so the path is resolved by walking up from
+    /// `manifest_dir` until the corpus file (or nothing) is found.
+    pub fn regression_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+        let corpus = std::path::Path::new(source_file).with_extension("proptest-regressions");
+        let mut dir = Some(std::path::Path::new(manifest_dir));
+        while let Some(d) = dir {
+            if let Ok(text) = std::fs::read_to_string(d.join(&corpus)) {
+                return parse_regression_seeds(&text);
+            }
+            dir = d.parent();
+        }
+        Vec::new()
+    }
+
+    /// Parse a regression corpus: one `cc <hex> [# comment]` line per
+    /// seed, matching upstream's file format. The first 16 hex digits
+    /// become the 64-bit seed (upstream records a 256-bit ChaCha key;
+    /// this stub's xoshiro state wants 64 bits, and a prefix keeps
+    /// upstream-written files loadable). Blank lines, `#` comments, and
+    /// malformed lines are skipped — a corpus is advisory, never a
+    /// reason to fail the suite before it runs.
+    pub fn parse_regression_seeds(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let hex: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_hexdigit())
+                    .collect();
+                if hex.len() < 16 {
+                    return None;
+                }
+                u64::from_str_radix(&hex[..16], 16).ok()
+            })
+            .collect()
     }
 }
 
@@ -510,6 +581,29 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::Config = $config;
+            // Committed regression corpus first: seeds that witnessed a
+            // real historical bug replay before any generated case.
+            for __seed in
+                $crate::test_runner::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!())
+            {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property `{}` failed on regression seed {:#018x}:\n{}\ninputs: {}",
+                        stringify!($name), __seed, e, __inputs,
+                    );
+                }
+            }
             let mut __rng = $crate::test_runner::TestRng::for_test(
                 concat!(module_path!(), "::", stringify!($name)),
             );
@@ -672,5 +766,43 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(s.generate(&mut a), s.generate(&mut b));
         }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_seed_sensitive() {
+        let mut a = crate::test_runner::TestRng::from_seed(0x2017_0529);
+        let mut b = crate::test_runner::TestRng::from_seed(0x2017_0529);
+        let mut c = crate::test_runner::TestRng::from_seed(0x2017_052A);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn regression_corpus_parsing() {
+        use crate::test_runner::parse_regression_seeds;
+        // Upstream-format lines: full 256-bit hash, trailing comment.
+        let text = "\
+# This file preserves witness inputs; see DESIGN.md.
+cc 84235cede87f0d62a414c10bfe819f2af05a559d2748373c9d9f04742adc17e0 # shrinks to p = [..]
+
+cc deadbeefcafef00d # short-form 64-bit seed
+cc 123 # too short to be a seed: skipped
+not a corpus line
+";
+        assert_eq!(
+            parse_regression_seeds(text),
+            vec![0x84235cede87f0d62, 0xdeadbeefcafef00d]
+        );
+        assert!(parse_regression_seeds("").is_empty());
+    }
+
+    #[test]
+    fn regression_seeds_empty_when_no_corpus_file() {
+        let seeds = crate::test_runner::regression_seeds(
+            env!("CARGO_MANIFEST_DIR"),
+            "src/no_such_test_file.rs",
+        );
+        assert!(seeds.is_empty());
     }
 }
