@@ -40,12 +40,16 @@ cargo test -q --offline
 # Optional bench smoke: set RATTRAP_BENCH_SMOKE=1 to run the Fig. 9
 # harness at reduced size; set RATTRAP_TRACE=<path> to additionally
 # capture one instrumented replication as Chrome trace-event JSON and
-# validate it (the CI bench-smoke job wires both).
+# validate it (the CI bench-smoke job wires both). The fleet harnesses
+# honour RATTRAP_ENGINE=serial|sharded[:N] (default serial); both
+# engines are bit-identical, so the choice affects wall clock only.
 if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
     echo "==> bench smoke (exp_fig9)"
     cargo run --release --offline -p rattrap-bench --bin exp_fig9 >/dev/null
-    echo "==> bench smoke (exp_cluster)"
+    echo "==> bench smoke (exp_cluster, engine=${RATTRAP_ENGINE:-serial})"
     cargo run --release --offline -p rattrap-bench --bin exp_cluster >/dev/null
+    echo "==> bench smoke (exp_mega, engine=${RATTRAP_ENGINE:-serial})"
+    cargo run --release --offline -p rattrap-bench --bin exp_mega >/dev/null
     if [ -n "${RATTRAP_TRACE:-}" ]; then
         echo "==> validate trace ($RATTRAP_TRACE)"
         cargo run --release --offline -p rattrap-bench --bin validate_trace -- "$RATTRAP_TRACE"

@@ -1,0 +1,255 @@
+//! Event-engine throughput: global-queue serial vs sharded windowed.
+//!
+//! A PHOLD-style closed workload over `HOSTS` simulated hosts, each
+//! owning a 256 KiB state block. A fixed population of event chains
+//! bounces over the hosts: every event touches a pseudo-random set of
+//! cache lines in its host's state, then schedules its continuation —
+//! usually on the same host after ~1 ms, occasionally (1 in 16) on
+//! another host after one sync window. All continuation decisions
+//! derive from the chain's own seed, so **both engines execute the
+//! exact same logical event set** and events/sec is an apples-to-
+//! apples ratio.
+//!
+//! Two engines process that set:
+//!
+//! * **global** — one `EventQueue` over all hosts, the monolithic
+//!   design the fleet engine had before the sharded rewrite.
+//!   Same-timestamp events interleave across hosts, so consecutive
+//!   events touch unrelated state blocks and the working set is
+//!   `HOSTS × 256 KiB`.
+//! * **sharded** — `simkit::shard::run_sharded` with one LP per host
+//!   and a conservative window: each LP drains a *batch* of its own
+//!   events per window, so its 256 KiB block stays hot in cache; on
+//!   multi-core machines `Threads(n)` additionally runs LPs in
+//!   parallel.
+//!
+//! On a single-core machine the sharded speedup is pure locality (the
+//! thread cells are flat); on multi-core it compounds with
+//! parallelism. Writes `BENCH_engine.json` (override the path with
+//! `BENCH_ENGINE_OUT`).
+
+use simkit::shard::{run_sharded, Lp, Outbox, ShardMode};
+use simkit::{derive_seed, EventQueue, SimDuration, SimTime};
+use std::time::Instant;
+
+/// Simulated hosts (= LPs in the sharded engine).
+const HOSTS: usize = 128;
+/// Event chains resident on each host at t = 0.
+const CHAINS_PER_HOST: usize = 4;
+/// u64 slots of per-host state (32768 × 8 B = 256 KiB).
+const STATE_SLOTS: usize = 32_768;
+/// Cache lines touched per event (read-modify-write).
+const TOUCHES: usize = 512;
+/// Conservative sync window, microseconds.
+const WINDOW_US: u64 = 40_000;
+/// Chance denominator of a chain hopping hosts (1 in 16).
+const HOP_MOD: u64 = 16;
+
+/// splitmix-style scramble: cheap, stateless, and good enough to
+/// defeat the hardware prefetcher.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-event work: touch `TOUCHES` pseudo-random slots of the
+/// host's state block.
+#[inline]
+fn touch(state: &mut [u64], seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..TOUCHES {
+        let ix = (mix(seed ^ (i as u64)) as usize) % STATE_SLOTS;
+        state[ix] = state[ix].wrapping_add(acc);
+        acc = acc.wrapping_add(state[ix]);
+    }
+    acc
+}
+
+/// The continuation of a chain event, derived from the chain seed
+/// alone so every engine schedules the identical event set:
+/// `(next_seed, dst_host, delay)`.
+#[inline]
+fn continuation(seed: u64, host: usize) -> (u64, usize, SimDuration) {
+    let next = mix(seed);
+    if next.is_multiple_of(HOP_MOD) {
+        // Hop to another host; one conservative window of latency.
+        let dst = ((next / HOP_MOD) as usize) % HOSTS;
+        (next, dst, SimDuration::from_micros(WINDOW_US))
+    } else {
+        // Stay local after ~0.5–1.5 ms.
+        let delay = 500 + next % 1000;
+        (next, host, SimDuration::from_micros(delay))
+    }
+}
+
+/// Initial chain seeds for one host.
+fn chain_seeds(host: usize) -> Vec<u64> {
+    (0..CHAINS_PER_HOST)
+        .map(|c| derive_seed(0xE4E4, (host * CHAINS_PER_HOST + c) as u64))
+        .collect()
+}
+
+/// The monolithic engine: one queue over every host.
+fn run_global(horizon: SimTime) -> u64 {
+    let mut states: Vec<Vec<u64>> = (0..HOSTS).map(|_| vec![0u64; STATE_SLOTS]).collect();
+    let mut queue: EventQueue<(usize, u64)> = EventQueue::new();
+    for host in 0..HOSTS {
+        for seed in chain_seeds(host) {
+            queue.schedule(SimTime::ZERO, (host, seed));
+        }
+    }
+    let mut events = 0u64;
+    while let Some(t) = queue.peek_time() {
+        if t >= horizon {
+            break;
+        }
+        let (now, (host, seed)) = queue.pop().expect("peeked");
+        std::hint::black_box(touch(&mut states[host], seed));
+        events += 1;
+        let (next, dst, delay) = continuation(seed, host);
+        queue.schedule(now.saturating_add(delay), (dst, next));
+    }
+    events
+}
+
+struct HostShard {
+    host: usize,
+    state: Vec<u64>,
+    queue: EventQueue<u64>,
+    horizon: SimTime,
+    events: u64,
+}
+
+impl Lp for HostShard {
+    type Msg = u64;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn run_window(&mut self, bound: SimTime, out: &mut Outbox<u64>) {
+        while self.queue.peek_time().is_some_and(|t| t < bound) {
+            let (now, seed) = self.queue.pop().expect("peeked");
+            if now >= self.horizon {
+                continue;
+            }
+            std::hint::black_box(touch(&mut self.state, seed));
+            self.events += 1;
+            let (next, dst, delay) = continuation(seed, self.host);
+            if dst == self.host {
+                self.queue.schedule(now.saturating_add(delay), next);
+            } else {
+                out.send(now, dst, next);
+            }
+        }
+    }
+
+    fn accept(&mut self, at: SimTime, _src: usize, msg: u64) {
+        if at < self.horizon {
+            self.queue.schedule(at, msg);
+        }
+    }
+}
+
+/// The sharded engine: one LP per host, conservative windows.
+fn run_lp_engine(horizon: SimTime, mode: ShardMode) -> u64 {
+    let build = move |host: usize| {
+        let mut queue = EventQueue::new();
+        for seed in chain_seeds(host) {
+            queue.schedule(SimTime::ZERO, seed);
+        }
+        HostShard {
+            host,
+            state: vec![0u64; STATE_SLOTS],
+            queue,
+            horizon,
+            events: 0,
+        }
+    };
+    run_sharded(
+        HOSTS,
+        SimDuration::from_micros(WINDOW_US),
+        mode,
+        build,
+        |_, lp: HostShard| lp.events,
+    )
+    .into_iter()
+    .sum()
+}
+
+/// Median wall-seconds of `runs` invocations of `f` (returning the
+/// event count of the last run).
+fn median_secs(runs: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut events = 0;
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            events = f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[samples.len() / 2], events)
+}
+
+fn main() {
+    let meta = rattrap_bench::RunMeta::capture(rattrap_bench::DEFAULT_SEED);
+    println!("{}", meta.header());
+
+    let smoke = rattrap_bench::experiments::smoke();
+    let horizon = SimTime::from_millis(if smoke { 250 } else { 2000 });
+    let timing_runs = if smoke { 1 } else { 5 };
+
+    let (base_wall, base_events) = median_secs(timing_runs, || run_global(horizon));
+    let base_rate = base_events as f64 / base_wall;
+    println!(
+        "global queue: {base_events} events, {:.3}s wall, {:.0} events/s",
+        base_wall, base_rate
+    );
+
+    let mut cells = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (wall, events) = median_secs(timing_runs, || {
+            run_lp_engine(horizon, ShardMode::Threads(threads))
+        });
+        let rate = events as f64 / wall;
+        assert_eq!(
+            events, base_events,
+            "the engines must execute the same event set"
+        );
+        println!(
+            "sharded x{threads}: {events} events, {wall:.3}s wall, {rate:.0} events/s \
+             ({:.2}x global)",
+            rate / base_rate
+        );
+        cells.push((threads, rate, wall));
+    }
+
+    let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_owned());
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|(threads, rate, wall)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"events_per_sec\": {rate:.0}, \
+                 \"wall_secs\": {wall:.4}, \"speedup_vs_global\": {:.3} }}",
+                rate / base_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"toolchain\": \"{}\",\n  \
+         \"git_sha\": \"{}\",\n  \"smoke\": {},\n  \"hosts\": {HOSTS},\n  \
+         \"events\": {base_events},\n  \
+         \"global_events_per_sec\": {base_rate:.0},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        meta.toolchain,
+        meta.git_sha,
+        meta.smoke,
+        rows.join(",\n")
+    );
+    obsv::json::parse(&json).expect("engine JSON parses");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("baseline written to {out}");
+}

@@ -1,6 +1,6 @@
-//! Fleet control-plane study: scaling, faults + rebalancing,
-//! elasticity. Usage: `exp_cluster [seed] [--engine serial|sharded[:N]]`
-//! (the `RATTRAP_ENGINE` env var sets the default engine).
+//! Mega stress study: one million users against a 256-host fleet
+//! (32 hosts / 20k users in smoke mode). Usage:
+//! `exp_mega [seed] [--engine serial|sharded[:N]]`.
 fn main() {
     let seed = rattrap_bench::experiments::seed_from_args();
     let engine = std::env::args()
@@ -14,7 +14,7 @@ fn main() {
     let mut meta = rattrap_bench::RunMeta::capture(seed);
     meta.engine = rattrap_bench::experiments::engine_label(engine);
     println!("{}", meta.header());
-    let out = rattrap_bench::experiments::cluster::run_scaled_with(
+    let out = rattrap_bench::experiments::cluster::run_mega_with(
         seed,
         rattrap_bench::experiments::smoke(),
         engine,

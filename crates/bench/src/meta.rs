@@ -19,6 +19,10 @@ pub struct RunMeta {
     pub git_sha: String,
     /// Whether `RATTRAP_BENCH_SMOKE` shrank the run.
     pub smoke: bool,
+    /// Fleet engine variant (`RATTRAP_ENGINE` / `--engine`): `serial`
+    /// or `sharded:N`. Reports are bit-identical across variants, so
+    /// this is provenance, not a result axis.
+    pub engine: String,
 }
 
 /// Parse the pinned channel out of the committed toolchain file.
@@ -69,14 +73,15 @@ impl RunMeta {
             toolchain: pinned_channel(),
             git_sha: git_sha(),
             smoke: crate::experiments::smoke(),
+            engine: crate::experiments::engine_label(crate::experiments::engine_from_env()),
         }
     }
 
     /// One-line report header, printed before every experiment body.
     pub fn header(&self) -> String {
         format!(
-            "# run-meta: seed={} toolchain={} git={} smoke={}",
-            self.seed, self.toolchain, self.git_sha, self.smoke
+            "# run-meta: seed={} toolchain={} git={} smoke={} engine={}",
+            self.seed, self.toolchain, self.git_sha, self.smoke, self.engine
         )
     }
 
@@ -87,6 +92,7 @@ impl RunMeta {
         rec.set_meta("toolchain", self.toolchain.clone());
         rec.set_meta("git_sha", self.git_sha.clone());
         rec.set_meta("smoke", self.smoke.to_string());
+        rec.set_meta("engine", self.engine.clone());
     }
 }
 

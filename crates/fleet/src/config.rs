@@ -142,6 +142,14 @@ pub struct FleetConfig {
     pub warehouse_capacity: u64,
     /// The handset model used for shed-to-local fallback execution.
     pub device: DeviceSpec,
+    /// Conservative synchronization window of the sharded engine: the
+    /// minimum latency of any cross-host interaction (control-plane
+    /// hop or fabric transfer start). Events inside one window never
+    /// leave their host shard, so shards may run the window in
+    /// parallel; everything cross-shard is exchanged at window
+    /// boundaries. Both engine modes use the same window, which is
+    /// why serial and sharded runs are bit-identical.
+    pub sync_window: SimDuration,
     /// Master seed; every stream in the run is derived from it.
     pub seed: u64,
 }
@@ -179,6 +187,11 @@ impl FleetConfig {
             crash_reboot: SimDuration::from_secs(90),
             warehouse_capacity: 64 * 1024 * 1024,
             device: DeviceSpec::default_handset(),
+            // 1 ms: the floor of a control-plane RPC on the 10 GbE
+            // fabric (propagation + kernel + scheduler jitter), well
+            // under every modelled service time (container setup is
+            // 150 ms+), so windowing adds no observable latency.
+            sync_window: SimDuration::from_millis(1),
             seed,
         }
     }

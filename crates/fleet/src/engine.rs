@@ -1,15 +1,27 @@
-//! The fleet engine: N rattrap hosts under one deterministic event
-//! loop, fronted by the Router and governed by admission control, the
-//! Autoscaler, and the migration-based Rebalancer.
+//! The fleet engine: N rattrap hosts under a sharded discrete-event
+//! runtime, fronted by the Router and governed by admission control,
+//! the Autoscaler, and the migration-based Rebalancer.
 //!
-//! Each host is a real `virt::CloudHost` (provisioning runs the full
-//! §IV-B pipeline against the simulated kernel) paired with a
-//! fair-share CPU executor, an App Warehouse for CID hints, and a
-//! bounded admission queue. Devices reach the fleet over one access
-//! network ([`netsim::Link`]); hosts reach each other over a shared
-//! interconnect fabric ([`netsim::SharedLink`]) that migration state
-//! transfers contend on. Every random draw comes from a stream forked
-//! off the master seed in event order, so the same [`FleetConfig`]
+//! The simulation is decomposed into logical processes for
+//! [`simkit::shard`]: **LP 0 is the control plane** (router, admission,
+//! autoscaler, rebalancer, the device access network, and the shared
+//! interconnect fabric), and **LP `h + 1` is host `h`** — a real
+//! `virt::CloudHost` (provisioning runs the full §IV-B pipeline
+//! against the simulated kernel) paired with a fair-share CPU
+//! executor, an App Warehouse for CID hints, and the host-local
+//! instance pool. Each LP owns a private event queue and advances
+//! freely inside one conservative sync window
+//! ([`FleetConfig::sync_window`], the floor of any cross-host
+//! interaction); everything cross-shard — request hand-off, completion
+//! notices, crash/drain control, migration state — travels as ordered
+//! messages delivered at the next window boundary.
+//!
+//! Both [`EngineMode::Serial`] and [`EngineMode::Sharded`] execute the
+//! *same* windowed algorithm; threads change wall-clock time only, so
+//! every report digest is bit-identical across modes and thread
+//! counts. Every random draw comes from a stream derived from the
+//! master seed (control-plane streams draw in event order; network
+//! streams are derived per request), so the same [`FleetConfig`]
 //! reproduces the same [`FleetReport`] bit for bit.
 
 use crate::admission::AdmissionCtl;
@@ -19,13 +31,16 @@ use crate::rebalance::Rebalancer;
 use crate::report::{ControlStats, FleetReport, FleetRequestRecord, HostReport};
 use crate::router::{RouteReason, Router};
 use netsim::{Direction, Link, SharedLink};
-use obsv::{AttrValue, Recorder, SpanId, Subsystem};
+use obsv::{AttrValue, Recorder, SpanId, Subsystem, TraceSnapshot};
 use rattrap::warehouse::{aid_of, Aid};
 use rattrap::{AppWarehouse, Phase};
 use simkit::faults::FaultPlan;
+use simkit::shard::{run_sharded, Lp, Outbox, ShardMode};
 use simkit::{derive_seed, EventQueue, FairShareExecutor, JobId, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use virt::{migrate, Cluster, InstanceId};
+use std::sync::Arc;
+use virt::migrate::{checkpoint, restore, Checkpoint};
+use virt::{CloudHost, InstanceId};
 use workloads::{TaskRequest, WorkloadKind};
 
 /// Virtual nodes per host on the router's consistent-hash ring.
@@ -39,7 +54,20 @@ const STREAM_SVC: u64 = 4;
 const STREAM_RETRY: u64 = 5;
 const STREAM_FAULTS: u64 = 6;
 
-/// Where a host sits in its lifecycle.
+/// The LP index of the control plane.
+const CTL: usize = 0;
+
+/// Which runtime drives the windowed LP engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Every LP on the caller thread — the reference execution.
+    Serial,
+    /// LPs spread over `n` worker threads (clamped to the LP count).
+    /// Bit-identical to [`EngineMode::Serial`] at any `n`.
+    Sharded(usize),
+}
+
+/// Where a host sits in its lifecycle (control-plane view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum HostStatus {
     /// Routable and serving.
@@ -54,44 +82,82 @@ enum HostStatus {
     Standby,
 }
 
-/// Discrete events of the fleet simulation.
+/// Cross-shard messages. Control → host messages carry the request
+/// hand-off and lifecycle commands; host → control messages carry
+/// completion notices and state the router needs (warm-hint flips).
 #[derive(Debug)]
-enum Event {
+enum Wire {
+    // ------------------------------------------------- control → host
+    /// Serve `req`: the uploaded payload has arrived at the host.
+    Start {
+        req: usize,
+        rgen: u32,
+        task: TaskRequest,
+        /// Seed of the device code-push stream (used only when the
+        /// App Warehouse misses everywhere on the host).
+        xfer_seed: u64,
+    },
+    /// The host is routable again (reboot or activation complete).
+    Online,
+    /// Fault plan: the host dies now. All local state is lost.
+    Crash,
+    /// Stop refilling warm pools; report when admitted work is done.
+    Drain,
+    /// Drain acknowledged by control: release every instance and park.
+    FinishDrain,
+    /// Rebalancer: checkpoint one warm idle container and ship it to
+    /// host `dst`.
+    MigOut { dst: usize },
+    /// Migration state arrived over the fabric: restore it.
+    MigIn { mig: usize, ckpt: Box<Checkpoint> },
+    /// End of simulation: stop the maintenance loop.
+    Shutdown,
+    // ------------------------------------------------- host → control
+    /// `req` finished on-host (compute + offload I/O); the result is
+    /// ready to download.
+    Done { req: usize, rgen: u32 },
+    /// The host's warm-container hint for one app flipped.
+    WarmInfo { kind_ix: usize, warm: bool },
+    /// A draining host has no busy, waiting, or restoring work left.
+    DrainEmpty,
+    /// Checkpoint serialized; ship `ckpt` to host `dst` over the
+    /// fabric.
+    MigState { dst: usize, ckpt: Box<Checkpoint> },
+    /// The migrated container is restored and serving at the
+    /// destination.
+    MigLanded { mig: usize },
+}
+
+// ====================================================================
+// Control plane (LP 0)
+// ====================================================================
+
+/// Control-plane events.
+#[derive(Debug)]
+enum CtlEvent {
     /// One trace arrival from `user`.
     Arrive { user: u32, kind: WorkloadKind },
     /// Request payload finished uploading.
-    UploadDone { req: usize, gen: u32 },
-    /// A provisioned instance finished booting.
-    BootDone {
-        host: usize,
-        inst: InstanceId,
-        gen: u64,
-    },
-    /// Mobile code finished loading; computation can start.
-    CodeLoaded { req: usize, gen: u32 },
-    /// A host CPU executor schedule point.
-    CpuPoll { host: usize, epoch: u64 },
-    /// Offloading I/O finished; the instance frees up.
-    IoDone { req: usize, gen: u32 },
+    UploadDone { req: usize, rgen: u32 },
     /// Result reached the device.
-    DownloadDone { req: usize, gen: u32 },
+    DownloadDone { req: usize, rgen: u32 },
     /// Backoff elapsed; re-route the request.
-    RetryFire { req: usize, gen: u32 },
+    RetryFire { req: usize, rgen: u32 },
     /// On-device (fallback) execution finished.
     LocalDone { req: usize },
     /// Fault plan: take a whole host down.
     HostCrash { selector: u64 },
     /// A crashed or activated host becomes routable.
-    HostUp { host: usize, gen: u64 },
+    HostUp { host: usize, hgen: u64 },
     /// Interconnect fabric schedule point.
     FabricPoll { epoch: u64 },
-    /// Migration state landed and the container restored at `dst`.
-    MigrationDone { mig: usize },
-    /// Control-loop tick: observe, scale, rebalance, reclaim.
+    /// Control-loop tick: observe, scale, rebalance.
     Scan,
+    /// A host message crossed the window boundary.
+    Deliver { src: usize, msg: Wire },
 }
 
-/// One request's engine-side state.
+/// One request's control-plane state.
 #[derive(Debug)]
 struct ReqState {
     user: u32,
@@ -102,66 +168,44 @@ struct ReqState {
     phase: Phase,
     fell_back: bool,
     host: Option<usize>,
-    instance: Option<InstanceId>,
-    cpu_job: Option<JobId>,
     attempts: u32,
     rerouted: u32,
     reason: Option<RouteReason>,
-    /// Bumped on crash re-route; stale in-flight events are dropped.
+    /// Bumped on crash re-route; stale in-flight events and messages
+    /// are dropped.
     gen: u32,
 }
 
-/// Per-host control state (the `CloudHost` itself lives in the
-/// `virt::Cluster`).
-struct HostCtl {
+/// Per-host control-plane state (the host's own pool lives in its LP).
+struct HostSlot {
     status: HostStatus,
-    /// Bumped on crash; stale `BootDone`/`HostUp`/`MigrationDone`
-    /// events are dropped.
+    /// Bumped on crash; stale `HostUp` events and fabric deliveries
+    /// are dropped.
     gen: u64,
-    cpu: FairShareExecutor<usize>,
-    warehouse: AppWarehouse,
-    /// Idle instances and when they went idle.
-    idle: BTreeMap<InstanceId, SimTime>,
-    /// Busy instances and the request each is serving.
-    busy: BTreeMap<InstanceId, usize>,
-    /// Instances provisioned but still booting.
-    booting: BTreeSet<InstanceId>,
-    /// Instances restored by an in-flight migration.
-    pending_mig: BTreeSet<InstanceId>,
-    /// Admitted requests waiting for an instance.
-    wait: VecDeque<usize>,
-    served: u64,
-    peak_instances: usize,
-    peak_memory: u64,
+    crashes: u64,
     migrations_out: u64,
     migrations_in: u64,
-    crashes: u64,
-    /// Open `fleet.scale` span while booting (activation).
+    /// Open `fleet.scale_up` span while booting (activation).
     scale_span: SpanId,
 }
 
-/// An in-flight migration.
-#[derive(Debug, Clone, Copy)]
-struct Migration {
+/// An in-flight migration (control side).
+struct MigSlot {
     from: usize,
     to: usize,
-    new_inst: InstanceId,
     state_bytes: u64,
-    /// Freeze + restore time (the non-transfer part of downtime),
-    /// appended after the fabric delivers the state.
-    fixed: SimDuration,
-    /// Destination host generation at start; a crash there orphans
-    /// the move.
+    /// Taken when the fabric delivers and the state is forwarded.
+    ckpt: Option<Box<Checkpoint>>,
+    /// Destination host generation at transfer start; a crash there
+    /// orphans the move.
     gen_to: u64,
 }
 
-/// The engine.
-struct Engine {
-    cfg: FleetConfig,
+struct ControlLp {
+    cfg: Arc<FleetConfig>,
     rec: Recorder,
-    queue: EventQueue<Event>,
-    cluster: Cluster,
-    hosts: Vec<HostCtl>,
+    queue: EventQueue<CtlEvent>,
+    hosts: Vec<HostSlot>,
     router: Router,
     admission: AdmissionCtl,
     autoscaler: Autoscaler,
@@ -169,11 +213,17 @@ struct Engine {
     fabric: SharedLink<usize>,
     link: Link,
     reqs: Vec<ReqState>,
-    migs: Vec<Migration>,
+    migs: Vec<MigSlot>,
     control: ControlStats,
-    rng_net: SimRng,
+    /// Hosts believed warm per workload ([`WorkloadKind::ALL`] order),
+    /// maintained from [`Wire::WarmInfo`] flips. At most one window
+    /// stale — an acceptable hint-propagation delay.
+    warm_map: Vec<BTreeSet<usize>>,
+    aids: Vec<Aid>,
     rng_svc: SimRng,
     rng_retry: SimRng,
+    /// Root of the per-request network streams.
+    net_root: u64,
     horizon: SimTime,
     outstanding: usize,
 }
@@ -183,57 +233,31 @@ fn kind_of_app(app_id: &str) -> Option<WorkloadKind> {
     WorkloadKind::ALL.into_iter().find(|k| k.app_id() == app_id)
 }
 
-/// Run a fleet scenario to completion (untraced).
-pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    run_fleet_traced(cfg, Recorder::disabled())
+fn kind_ix(kind: WorkloadKind) -> usize {
+    WorkloadKind::ALL
+        .into_iter()
+        .position(|k| k == kind)
+        .expect("kind is one of ALL")
 }
 
-/// Run a fleet scenario with an observability recorder attached.
-/// Recording must not perturb the simulation: the report digest is
-/// identical with a disabled recorder.
-pub fn run_fleet_traced(cfg: &FleetConfig, rec: Recorder) -> FleetReport {
-    let mut engine = Engine::new(cfg.clone(), rec);
-    engine.run()
-}
-
-impl Engine {
-    fn new(cfg: FleetConfig, rec: Recorder) -> Self {
-        assert!(
-            cfg.initial_active >= 1 && cfg.initial_active <= cfg.host_specs.len(),
-            "initial_active must name a non-empty prefix of host_specs"
-        );
+impl ControlLp {
+    fn new(cfg: Arc<FleetConfig>, rec: Recorder) -> Self {
         let mut master = SimRng::new(cfg.seed);
-        let rng_net = master.fork(STREAM_NET);
+        let net_root = derive_seed(cfg.seed, STREAM_NET);
         let rng_svc = master.fork(STREAM_SVC);
         let rng_retry = master.fork(STREAM_RETRY);
 
-        let mut cluster = Cluster::from_specs(cfg.host_specs.clone());
-        cluster.attach_recorder(rec.clone());
-
-        let hosts: Vec<HostCtl> = cfg
-            .host_specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| HostCtl {
+        let hosts: Vec<HostSlot> = (0..cfg.host_specs.len())
+            .map(|i| HostSlot {
                 status: if i < cfg.initial_active {
                     HostStatus::Active
                 } else {
                     HostStatus::Standby
                 },
                 gen: 0,
-                cpu: FairShareExecutor::new(spec.cores as f64, 1.0),
-                warehouse: AppWarehouse::new(cfg.warehouse_capacity),
-                idle: BTreeMap::new(),
-                busy: BTreeMap::new(),
-                booting: BTreeSet::new(),
-                pending_mig: BTreeSet::new(),
-                wait: VecDeque::new(),
-                served: 0,
-                peak_instances: 0,
-                peak_memory: 0,
+                crashes: 0,
                 migrations_out: 0,
                 migrations_in: 0,
-                crashes: 0,
                 scale_span: SpanId::NONE,
             })
             .collect();
@@ -247,12 +271,16 @@ impl Engine {
         let fabric = SharedLink::new(cfg.interconnect_bps, cfg.interconnect_bps);
         let link = Link::new(cfg.scenario);
         let horizon = SimTime::ZERO.saturating_add(cfg.traffic.duration);
+        let aids: Vec<Aid> = WorkloadKind::ALL
+            .iter()
+            .map(|k| aid_of(k.app_id()))
+            .collect();
+        let warm_map = vec![BTreeSet::new(); WorkloadKind::ALL.len()];
 
-        Engine {
+        let mut lp = ControlLp {
             cfg,
             rec,
             queue: EventQueue::new(),
-            cluster,
             hosts,
             router,
             admission,
@@ -263,15 +291,17 @@ impl Engine {
             reqs: Vec::new(),
             migs: Vec::new(),
             control: ControlStats::default(),
-            rng_net,
+            warm_map,
+            aids,
             rng_svc,
             rng_retry,
+            net_root,
             horizon,
             outstanding: 0,
-        }
+        };
+        lp.seed_events();
+        lp
     }
-
-    // ---------------------------------------------------------------- setup
 
     fn seed_events(&mut self) {
         // Per-user home app under the configured Zipf skew: skewed
@@ -288,7 +318,7 @@ impl Engine {
             for t in times {
                 self.queue.schedule(
                     t,
-                    Event::Arrive {
+                    CtlEvent::Arrive {
                         user: user as u32,
                         kind: user_app[user],
                     },
@@ -298,80 +328,60 @@ impl Engine {
 
         let plan = FaultPlan::generate(&self.cfg.faults, derive_seed(self.cfg.seed, STREAM_FAULTS));
         for (at, selector) in plan.crashes() {
-            self.queue.schedule(at, Event::HostCrash { selector });
-        }
-
-        // Warm pools for the initially active hosts boot from t = 0.
-        for h in 0..self.cfg.initial_active {
-            self.fill_warm_pool(SimTime::ZERO, h);
+            self.queue.schedule(at, CtlEvent::HostCrash { selector });
         }
 
         self.queue
-            .schedule_in(self.cfg.autoscale.scan_interval, Event::Scan);
+            .schedule_in(self.cfg.autoscale.scan_interval, CtlEvent::Scan);
     }
 
-    fn run(&mut self) -> FleetReport {
-        self.seed_events();
-        while let Some((now, ev)) = self.queue.pop() {
-            self.rec.set_now(now.as_micros());
-            self.dispatch(now, ev);
-        }
-        self.rec.set_current_request(None);
-        let records: Vec<FleetRequestRecord> = self
-            .reqs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| FleetRequestRecord {
-                id: i as u64,
-                user: r.user,
-                kind: r.kind,
-                arrival: r.arrival,
-                finished: r.finished,
-                phase: r.phase,
-                fell_back: r.fell_back,
-                host: r.host,
-                attempts: r.attempts,
-                rerouted: r.rerouted,
-                reason: r.reason,
-            })
-            .collect();
-        let hosts: Vec<HostReport> = self
-            .hosts
-            .iter()
-            .enumerate()
-            .map(|(i, h)| HostReport {
-                served: h.served,
-                peak_instances: h.peak_instances,
-                peak_memory: h.peak_memory,
-                memory_bytes: self.cfg.host_specs[i].memory_bytes,
-                migrations_out: h.migrations_out,
-                migrations_in: h.migrations_in,
-                crashes: h.crashes,
-            })
-            .collect();
-        FleetReport::summarize(records, self.control, hosts, self.cfg.traffic.duration)
+    /// Independent network stream for one request. Tags keep the
+    /// upload attempts, the download, and the host-side code push on
+    /// disjoint streams of the request's own seed, so host shards
+    /// never contend with control for a shared generator.
+    fn req_rng(&self, req: usize, tag: u64) -> SimRng {
+        SimRng::new(derive_seed(derive_seed(self.net_root, req as u64), tag))
     }
 
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
+    fn dispatch(&mut self, now: SimTime, ev: CtlEvent, out: &mut Outbox<Wire>) {
         match ev {
-            Event::Arrive { user, kind } => self.on_arrive(now, user, kind),
-            Event::UploadDone { req, gen } => self.on_upload_done(now, req, gen),
-            Event::BootDone { host, inst, gen } => self.on_boot_done(now, host, inst, gen),
-            Event::CodeLoaded { req, gen } => self.on_code_loaded(now, req, gen),
-            Event::CpuPoll { host, epoch } => self.on_cpu_poll(now, host, epoch),
-            Event::IoDone { req, gen } => self.on_io_done(now, req, gen),
-            Event::DownloadDone { req, gen } => self.on_download_done(now, req, gen),
-            Event::RetryFire { req, gen } => self.on_retry_fire(now, req, gen),
-            Event::LocalDone { req } => self.finish(now, req, Phase::Done),
-            Event::HostCrash { selector } => self.on_host_crash(now, selector),
-            Event::HostUp { host, gen } => self.on_host_up(now, host, gen),
-            Event::FabricPoll { epoch } => self.on_fabric_poll(now, epoch),
-            Event::MigrationDone { mig } => self.on_migration_done(now, mig),
-            Event::Scan => self.on_scan(now),
+            CtlEvent::Arrive { user, kind } => self.on_arrive(now, user, kind),
+            CtlEvent::UploadDone { req, rgen } => self.on_upload_done(now, req, rgen, out),
+            CtlEvent::DownloadDone { req, rgen } => self.on_download_done(now, req, rgen),
+            CtlEvent::RetryFire { req, rgen } => self.on_retry_fire(now, req, rgen),
+            CtlEvent::LocalDone { req } => self.finish(now, req, Phase::Done),
+            CtlEvent::HostCrash { selector } => self.on_host_crash(now, selector, out),
+            CtlEvent::HostUp { host, hgen } => self.on_host_up(now, host, hgen, out),
+            CtlEvent::FabricPoll { epoch } => self.on_fabric_poll(now, epoch, out),
+            CtlEvent::Scan => self.on_scan(now, out),
+            CtlEvent::Deliver { src, msg } => self.on_msg(now, src, msg, out),
         }
     }
 
-    // ------------------------------------------------------- request intake
+    fn on_msg(&mut self, now: SimTime, src: usize, msg: Wire, out: &mut Outbox<Wire>) {
+        let h = src - 1;
+        match msg {
+            Wire::Done { req, rgen } => self.on_done(now, req, rgen),
+            Wire::WarmInfo { kind_ix, warm } => {
+                if warm {
+                    self.warm_map[kind_ix].insert(h);
+                } else {
+                    self.warm_map[kind_ix].remove(&h);
+                }
+            }
+            Wire::DrainEmpty => {
+                if self.hosts[h].status == HostStatus::Draining && self.admission.depth(h) == 0 {
+                    self.hosts[h].status = HostStatus::Standby;
+                    out.send(now, src, Wire::FinishDrain);
+                }
+            }
+            Wire::MigState { dst, ckpt } => self.on_mig_state(now, h, dst, ckpt),
+            Wire::MigLanded { mig } => self.on_mig_landed(now, mig),
+            _ => unreachable!("control-bound message"),
+        }
+    }
+
+    // ----------------------------------------------------- request intake
 
     fn on_arrive(&mut self, now: SimTime, user: u32, kind: WorkloadKind) {
         let task = kind.profile().sample(&mut self.rng_svc);
@@ -385,8 +395,6 @@ impl Engine {
             phase: Phase::Dispatch,
             fell_back: false,
             host: None,
-            instance: None,
-            cpu_job: None,
             attempts: 1,
             rerouted: 0,
             reason: None,
@@ -400,12 +408,12 @@ impl Engine {
     /// Route (or re-route) `req`: admit onto a host and start the
     /// upload, or shed to the resilience layer.
     fn route_request(&mut self, now: SimTime, req: usize) {
-        let aid = aid_of(self.reqs[req].kind.app_id());
-        let warm: Vec<usize> = (0..self.hosts.len())
-            .filter(|&h| {
-                self.hosts[h].status == HostStatus::Active
-                    && !self.hosts[h].warehouse.containers_with(&aid).is_empty()
-            })
+        let kix = kind_ix(self.reqs[req].kind);
+        let aid = self.aids[kix].clone();
+        let warm: Vec<usize> = self.warm_map[kix]
+            .iter()
+            .copied()
+            .filter(|&h| self.hosts[h].status == HostStatus::Active)
             .collect();
         let hosts = &self.hosts;
         let admission = &self.admission;
@@ -443,13 +451,12 @@ impl Engine {
     fn begin_upload(&mut self, now: SimTime, req: usize) {
         self.reqs[req].phase = Phase::DataTransferUp;
         let bytes = self.reqs[req].task.control_bytes + self.reqs[req].task.payload_bytes;
-        let t = self.link.connect_time(&mut self.rng_net)
-            + self
-                .link
-                .transfer_time(bytes, Direction::Upload, &mut self.rng_net);
-        let gen = self.reqs[req].gen;
+        let mut rng = self.req_rng(req, 10 + self.reqs[req].attempts as u64);
+        let t = self.link.connect_time(&mut rng)
+            + self.link.transfer_time(bytes, Direction::Upload, &mut rng);
+        let rgen = self.reqs[req].gen;
         self.queue
-            .schedule(now.saturating_add(t), Event::UploadDone { req, gen });
+            .schedule(now.saturating_add(t), CtlEvent::UploadDone { req, rgen });
     }
 
     /// No host admitted the request: degrade per the resilience policy.
@@ -480,218 +487,61 @@ impl Engine {
                 .device
                 .local_execution_time(self.reqs[req].task.compute);
             self.queue
-                .schedule(now.saturating_add(t), Event::LocalDone { req });
+                .schedule(now.saturating_add(t), CtlEvent::LocalDone { req });
         } else {
             self.finish(now, req, Phase::Abandoned);
         }
     }
 
-    fn stale(&self, req: usize, gen: u32) -> bool {
-        self.reqs[req].gen != gen || self.reqs[req].phase.is_terminal()
+    fn stale(&self, req: usize, rgen: u32) -> bool {
+        self.reqs[req].gen != rgen || self.reqs[req].phase.is_terminal()
     }
 
-    // ---------------------------------------------------- runtime lifecycle
+    // ------------------------------------------------- service hand-off
 
-    fn on_upload_done(&mut self, now: SimTime, req: usize, gen: u32) {
-        if self.stale(req, gen) {
+    fn on_upload_done(&mut self, now: SimTime, req: usize, rgen: u32, out: &mut Outbox<Wire>) {
+        if self.stale(req, rgen) {
             return;
         }
         self.rec.set_current_request(Some(req as u64));
         self.reqs[req].phase = Phase::RuntimePrep;
-        self.attach_or_queue(now, req);
-    }
-
-    /// Give `req` an idle instance on its host, provision a new one,
-    /// or park it in the host's wait queue.
-    fn attach_or_queue(&mut self, now: SimTime, req: usize) {
         let h = self.reqs[req].host.expect("routed");
-        let app_id = self.reqs[req].kind.app_id();
-        // Prefer an idle instance that already holds the app's code.
-        let chosen = {
-            let host = self.cluster.host(h);
-            let with_app = self.hosts[h].idle.keys().copied().find(|&i| {
-                host.instance(i)
-                    .map(|r| r.apps_loaded.contains(app_id))
-                    .unwrap_or(false)
-            });
-            with_app.or_else(|| self.hosts[h].idle.keys().next().copied())
-        };
-        if let Some(inst) = chosen {
-            self.start_code_load(now, req, h, inst);
-            return;
-        }
-        // No idle instance: grow the pool if the policy and DRAM allow.
-        if self.cluster.host(h).instance_count() < self.cfg.pool.max_instances {
-            if let Ok((inst, setup)) = self.cluster.host_mut(h).provision(self.cfg.runtime) {
-                self.note_provisioned(h);
-                self.hosts[h].booting.insert(inst);
-                let hgen = self.hosts[h].gen;
-                self.queue.schedule(
-                    now.saturating_add(setup),
-                    Event::BootDone {
-                        host: h,
-                        inst,
-                        gen: hgen,
-                    },
-                );
-            }
-        }
-        self.hosts[h].wait.push_back(req);
+        let req_seed = derive_seed(self.net_root, req as u64);
+        out.send(
+            now,
+            h + 1,
+            Wire::Start {
+                req,
+                rgen,
+                task: self.reqs[req].task,
+                xfer_seed: derive_seed(req_seed, 1000 + self.reqs[req].attempts as u64),
+            },
+        );
     }
 
-    /// Load the app into `inst` (free when resident), charging a code
-    /// upload from the device when even the App Warehouse misses.
-    fn start_code_load(&mut self, now: SimTime, req: usize, h: usize, inst: InstanceId) {
-        self.hosts[h].idle.remove(&inst);
-        self.hosts[h].busy.insert(inst, req);
-        self.reqs[req].instance = Some(inst);
-        self.reqs[req].phase = Phase::CodeLoad;
-        let app_id = self.reqs[req].kind.app_id();
-        let aid = aid_of(app_id);
-        let code_bytes = self.reqs[req].kind.profile().app_code_bytes;
-        let resident = self
-            .cluster
-            .host(h)
-            .instance(inst)
-            .map(|r| r.apps_loaded.contains(app_id))
-            .unwrap_or(false);
-        let mut t = SimDuration::ZERO;
-        if !resident && !self.hosts[h].warehouse.lookup(&aid) {
-            // Cold everywhere: the device must push the code first.
-            t += self
-                .link
-                .transfer_time(code_bytes, Direction::Upload, &mut self.rng_net);
-            self.hosts[h]
-                .warehouse
-                .insert(aid.clone(), app_id, code_bytes);
-        }
-        t += self
-            .cluster
-            .host_mut(h)
-            .load_app(inst, app_id, code_bytes)
-            .expect("instance is live");
-        self.hosts[h].warehouse.note_loaded(&aid, inst);
-        let gen = self.reqs[req].gen;
-        self.queue
-            .schedule(now.saturating_add(t), Event::CodeLoaded { req, gen });
-    }
-
-    fn on_boot_done(&mut self, now: SimTime, host: usize, inst: InstanceId, gen: u64) {
-        if self.hosts[host].gen != gen {
-            return; // the host crashed while this instance booted
-        }
-        self.hosts[host].booting.remove(&inst);
-        self.hosts[host].idle.insert(inst, now);
-        self.pump(now, host);
-    }
-
-    /// Hand idle instances to waiting requests, in FIFO order.
-    fn pump(&mut self, now: SimTime, host: usize) {
-        while !self.hosts[host].idle.is_empty() {
-            let Some(req) = self.hosts[host].wait.pop_front() else {
-                return;
-            };
-            if self.reqs[req].phase.is_terminal() || self.reqs[req].host != Some(host) {
-                continue; // re-routed or degraded while waiting
-            }
-            self.rec.set_current_request(Some(req as u64));
-            let app_id = self.reqs[req].kind.app_id();
-            let chosen = {
-                let chost = self.cluster.host(host);
-                let with_app = self.hosts[host].idle.keys().copied().find(|&i| {
-                    chost
-                        .instance(i)
-                        .map(|r| r.apps_loaded.contains(app_id))
-                        .unwrap_or(false)
-                });
-                with_app.or_else(|| self.hosts[host].idle.keys().next().copied())
-            };
-            let inst = chosen.expect("idle non-empty");
-            self.start_code_load(now, req, host, inst);
-        }
-    }
-
-    fn on_code_loaded(&mut self, now: SimTime, req: usize, gen: u32) {
-        if self.stale(req, gen) {
-            return;
-        }
-        self.rec.set_current_request(Some(req as u64));
-        self.reqs[req].phase = Phase::Compute;
-        let h = self.reqs[req].host.expect("routed");
-        let spec = self.cfg.runtime.spec();
-        let ghz = self.cluster.host(h).host_spec().clock_ghz;
-        let work = self.reqs[req]
-            .task
-            .compute
-            .seconds_at(ghz, spec.cpu_efficiency);
-        let job = self.hosts[h].cpu.submit(now, work, req);
-        self.reqs[req].cpu_job = Some(job);
-        self.hosts[h]
-            .cpu
-            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll {
-                host: h,
-                epoch,
-            });
-    }
-
-    fn on_cpu_poll(&mut self, now: SimTime, host: usize, epoch: u64) {
-        let Some(finished) = self.hosts[host].cpu.poll(now, epoch) else {
-            return; // stale schedule point
-        };
-        for (_, req) in finished {
-            self.rec.set_current_request(Some(req as u64));
-            self.reqs[req].cpu_job = None;
-            self.reqs[req].phase = Phase::OffloadIo;
-            let t = self.io_time(host, self.reqs[req].task.io_bytes);
-            let gen = self.reqs[req].gen;
-            self.queue
-                .schedule(now.saturating_add(t), Event::IoDone { req, gen });
-        }
-        self.hosts[host]
-            .cpu
-            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll { host, epoch });
-    }
-
-    /// Offloading-I/O wall time: the shared in-memory layer for the
-    /// optimized class, the virtualized disk path otherwise.
-    fn io_time(&self, host: usize, bytes: u64) -> SimDuration {
-        if bytes == 0 {
-            return SimDuration::ZERO;
-        }
-        let spec = self.cfg.runtime.spec();
-        if spec.uses_shared_io_layer {
-            SimDuration::from_secs_f64(bytes as f64 / virt::TMPFS_BANDWIDTH)
-        } else {
-            let disk = self.cfg.host_specs[host].disk_bandwidth;
-            SimDuration::from_secs_f64(bytes as f64 / (disk * spec.io_efficiency))
-        }
-    }
-
-    fn on_io_done(&mut self, now: SimTime, req: usize, gen: u32) {
-        if self.stale(req, gen) {
+    /// The host reported the result ready: release admission and start
+    /// the download. Arrives one window after the host-side completion
+    /// — the control plane's notification latency.
+    fn on_done(&mut self, now: SimTime, req: usize, rgen: u32) {
+        if self.stale(req, rgen) {
             return;
         }
         self.rec.set_current_request(Some(req as u64));
         let h = self.reqs[req].host.expect("routed");
-        if let Some(inst) = self.reqs[req].instance.take() {
-            self.hosts[h].busy.remove(&inst);
-            self.hosts[h].idle.insert(inst, now);
-        }
-        self.hosts[h].served += 1;
         self.admission.release(h);
         self.reqs[req].phase = Phase::DataTransferDown;
+        let mut rng = self.req_rng(req, 1);
         let t = self.link.transfer_time(
             self.reqs[req].task.result_bytes,
             Direction::Download,
-            &mut self.rng_net,
+            &mut rng,
         );
         self.queue
-            .schedule(now.saturating_add(t), Event::DownloadDone { req, gen });
-        self.pump(now, h);
+            .schedule(now.saturating_add(t), CtlEvent::DownloadDone { req, rgen });
     }
 
-    fn on_download_done(&mut self, now: SimTime, req: usize, gen: u32) {
-        if self.stale(req, gen) {
+    fn on_download_done(&mut self, now: SimTime, req: usize, rgen: u32) {
+        if self.stale(req, rgen) {
             return;
         }
         self.finish(now, req, Phase::Done);
@@ -708,15 +558,15 @@ impl Engine {
 
     // ------------------------------------------------------------ failures
 
-    fn on_retry_fire(&mut self, now: SimTime, req: usize, gen: u32) {
-        if self.stale(req, gen) {
+    fn on_retry_fire(&mut self, now: SimTime, req: usize, rgen: u32) {
+        if self.stale(req, rgen) {
             return;
         }
         self.rec.set_current_request(Some(req as u64));
         self.route_request(now, req);
     }
 
-    fn on_host_crash(&mut self, now: SimTime, selector: u64) {
+    fn on_host_crash(&mut self, now: SimTime, selector: u64, out: &mut Outbox<Wire>) {
         self.rec.set_current_request(None);
         let live: Vec<usize> = (0..self.hosts.len())
             .filter(|&h| {
@@ -733,59 +583,36 @@ impl Engine {
         self.control.host_crashes += 1;
         self.hosts[victim].crashes += 1;
         self.hosts[victim].gen += 1;
+        self.hosts[victim].status = HostStatus::Down;
+        self.admission.reset_host(victim);
+        self.autoscaler.forget(victim);
+        for warm in &mut self.warm_map {
+            warm.remove(&victim);
+        }
+        self.rebuild_ring();
+        out.send(now, victim + 1, Wire::Crash);
+
+        // Every stranded request consumes one attempt and re-routes
+        // after backoff (or degrades when the budget is gone). The
+        // host learns of its own death one window later; any `Done` it
+        // sent in the meantime carries a stale generation and is
+        // dropped.
+        let affected: Vec<usize> = (0..self.reqs.len())
+            .filter(|&r| self.reqs[r].host == Some(victim) && !self.reqs[r].phase.is_terminal())
+            .collect();
         if self.rec.is_enabled() {
             self.rec.instant(
                 Subsystem::Fleet,
                 "host_crash",
                 vec![
                     ("host", AttrValue::U64(victim as u64)),
-                    (
-                        "instances_lost",
-                        AttrValue::U64(self.cluster.host(victim).instance_count() as u64),
-                    ),
+                    ("stranded", AttrValue::U64(affected.len() as u64)),
                 ],
             );
         }
-
-        // Kill every CPU job the host was running.
-        let serving: Vec<usize> = self.hosts[victim].busy.values().copied().collect();
-        for &req in &serving {
-            if let Some(job) = self.reqs[req].cpu_job.take() {
-                self.hosts[victim].cpu.cancel(now, job);
-            }
-        }
-        self.hosts[victim]
-            .cpu
-            .reschedule(now, &mut self.queue, |epoch| Event::CpuPoll {
-                host: victim,
-                epoch,
-            });
-
-        // Destroy every instance and the warehouse with it.
-        for inst in self.cluster.host(victim).instance_ids() {
-            let _ = self.cluster.host_mut(victim).teardown(inst);
-        }
-        self.hosts[victim].idle.clear();
-        self.hosts[victim].busy.clear();
-        self.hosts[victim].booting.clear();
-        self.hosts[victim].pending_mig.clear();
-        self.hosts[victim].wait.clear();
-        self.hosts[victim].warehouse = AppWarehouse::new(self.cfg.warehouse_capacity);
-        self.admission.reset_host(victim);
-        self.autoscaler.forget(victim);
-        self.hosts[victim].status = HostStatus::Down;
-        self.rebuild_ring();
-
-        // Every stranded request consumes one attempt and re-routes
-        // after backoff (or degrades when the budget is gone).
-        let affected: Vec<usize> = (0..self.reqs.len())
-            .filter(|&r| self.reqs[r].host == Some(victim) && !self.reqs[r].phase.is_terminal())
-            .collect();
         for req in affected {
             self.rec.set_current_request(Some(req as u64));
             self.reqs[req].gen += 1;
-            self.reqs[req].instance = None;
-            self.reqs[req].cpu_job = None;
             self.reqs[req].host = None;
             self.reqs[req].attempts += 1;
             self.reqs[req].rerouted += 1;
@@ -806,24 +633,26 @@ impl Engine {
                     .cfg
                     .resilience
                     .backoff_delay(self.reqs[req].attempts - 1, &mut self.rng_retry);
-                let gen = self.reqs[req].gen;
-                self.queue
-                    .schedule(now.saturating_add(backoff), Event::RetryFire { req, gen });
+                let rgen = self.reqs[req].gen;
+                self.queue.schedule(
+                    now.saturating_add(backoff),
+                    CtlEvent::RetryFire { req, rgen },
+                );
             } else {
                 self.degrade(now, req);
             }
         }
         self.rec.set_current_request(None);
 
-        let gen = self.hosts[victim].gen;
+        let hgen = self.hosts[victim].gen;
         self.queue.schedule(
             now.saturating_add(self.cfg.crash_reboot),
-            Event::HostUp { host: victim, gen },
+            CtlEvent::HostUp { host: victim, hgen },
         );
     }
 
-    fn on_host_up(&mut self, now: SimTime, host: usize, gen: u64) {
-        if self.hosts[host].gen != gen {
+    fn on_host_up(&mut self, now: SimTime, host: usize, hgen: u64, out: &mut Outbox<Wire>) {
+        if self.hosts[host].gen != hgen {
             return;
         }
         if !matches!(
@@ -842,39 +671,61 @@ impl Engine {
             self.hosts[host].scale_span = SpanId::NONE;
         }
         self.rebuild_ring();
-        self.fill_warm_pool(now, host);
+        out.send(now, host + 1, Wire::Online);
     }
 
     // ----------------------------------------------------------- migration
 
-    fn on_fabric_poll(&mut self, now: SimTime, epoch: u64) {
+    /// A source host serialized a container: charge the state through
+    /// the shared fabric toward `dst`.
+    fn on_mig_state(&mut self, now: SimTime, from: usize, dst: usize, ckpt: Box<Checkpoint>) {
+        if self.hosts[dst].status != HostStatus::Active {
+            return; // destination left the fleet while the state froze
+        }
+        let state_bytes = ckpt.state_bytes();
+        let mig = self.migs.len();
+        self.migs.push(MigSlot {
+            from,
+            to: dst,
+            state_bytes,
+            ckpt: Some(ckpt),
+            gen_to: self.hosts[dst].gen,
+        });
+        self.control.migrations_started += 1;
+        self.rebalancer.committed(now);
+        self.fabric.begin_transfer(now, state_bytes, mig);
+        self.fabric
+            .reschedule(now, &mut self.queue, |epoch| CtlEvent::FabricPoll { epoch });
+    }
+
+    fn on_fabric_poll(&mut self, now: SimTime, epoch: u64, out: &mut Outbox<Wire>) {
         let Some(finished) = self.fabric.poll(now, epoch) else {
             return;
         };
         for (_, mig) in finished {
-            let fixed = self.migs[mig].fixed;
-            self.queue
-                .schedule(now.saturating_add(fixed), Event::MigrationDone { mig });
+            let to = self.migs[mig].to;
+            if self.hosts[to].gen != self.migs[mig].gen_to
+                || self.hosts[to].status != HostStatus::Active
+            {
+                continue; // destination crashed or drained mid-move
+            }
+            let ckpt = self.migs[mig].ckpt.take().expect("delivered once");
+            out.send(now, to + 1, Wire::MigIn { mig, ckpt });
         }
         self.fabric
-            .reschedule(now, &mut self.queue, |epoch| Event::FabricPoll { epoch });
+            .reschedule(now, &mut self.queue, |epoch| CtlEvent::FabricPoll { epoch });
     }
 
-    fn on_migration_done(&mut self, now: SimTime, mig: usize) {
-        self.rec.set_current_request(None);
-        let Migration {
+    /// The destination restored the container and it is serving.
+    fn on_mig_landed(&mut self, now: SimTime, mig: usize) {
+        let _ = now;
+        let MigSlot {
             from,
             to,
-            new_inst,
             state_bytes,
-            gen_to,
             ..
         } = self.migs[mig];
-        if self.hosts[to].gen != gen_to {
-            return; // destination crashed mid-move; the container is gone
-        }
-        self.hosts[to].pending_mig.remove(&new_inst);
-        self.hosts[to].idle.insert(new_inst, now);
+        self.hosts[from].migrations_out += 1;
         self.hosts[to].migrations_in += 1;
         self.control.migrations_completed += 1;
         self.control.migration_bytes += state_bytes;
@@ -889,104 +740,17 @@ impl Engine {
                 ],
             );
         }
-        // Publish the arrived container's apps as warm CID hints.
-        let apps: Vec<String> = self
-            .cluster
-            .host(to)
-            .instance(new_inst)
-            .map(|r| r.apps_loaded.iter().cloned().collect())
-            .unwrap_or_default();
-        for app_id in apps {
-            if let Some(kind) = kind_of_app(&app_id) {
-                let aid = aid_of(&app_id);
-                self.hosts[to].warehouse.insert(
-                    aid.clone(),
-                    &app_id,
-                    kind.profile().app_code_bytes,
-                );
-                self.hosts[to].warehouse.note_loaded(&aid, new_inst);
-            }
-        }
-        self.pump(now, to);
-    }
-
-    /// Try one rebalancing migration `from → to`. Picks the lowest-id
-    /// idle container that has an app loaded; charges the state bytes
-    /// through the shared fabric.
-    fn try_migrate(&mut self, now: SimTime, from: usize, to: usize) -> bool {
-        if self.hosts[to].status != HostStatus::Active
-            || self.cluster.host(to).instance_count() >= self.cfg.pool.max_instances
-        {
-            return false;
-        }
-        let victim = {
-            let host = self.cluster.host(from);
-            self.hosts[from].idle.keys().copied().find(|&i| {
-                host.instance(i)
-                    .map(|r| !r.apps_loaded.is_empty())
-                    .unwrap_or(false)
-            })
-        };
-        let Some(victim) = victim else {
-            return false;
-        };
-        self.rec.set_current_request(None);
-        let (src, dst) = self.cluster.host_pair_mut(from, to);
-        let receipt = match migrate(src, victim, dst, self.cfg.interconnect_bps, now) {
-            Ok(r) => r,
-            Err(_) => return false, // destination DRAM is full — skip
-        };
-        self.hosts[from].idle.remove(&victim);
-        self.hosts[from].warehouse.invalidate_container(victim);
-        self.hosts[from].migrations_out += 1;
-        self.control.migrations_started += 1;
-        self.note_provisioned(to);
-        self.hosts[to].pending_mig.insert(receipt.new_id);
-        let ideal =
-            SimDuration::from_secs_f64(receipt.state_bytes as f64 / self.cfg.interconnect_bps);
-        let mig = self.migs.len();
-        self.migs.push(Migration {
-            from,
-            to,
-            new_inst: receipt.new_id,
-            state_bytes: receipt.state_bytes,
-            fixed: receipt.downtime.saturating_sub(ideal),
-            gen_to: self.hosts[to].gen,
-        });
-        self.fabric.begin_transfer(now, receipt.state_bytes, mig);
-        self.fabric
-            .reschedule(now, &mut self.queue, |epoch| Event::FabricPoll { epoch });
-        self.rebalancer.committed(now);
-        true
     }
 
     // -------------------------------------------------------- control loop
 
-    fn on_scan(&mut self, now: SimTime) {
+    fn on_scan(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
         self.rec.set_current_request(None);
         let active = self.active_set();
 
         // Observe per-host pressure into the fleet EWMA monitor.
         for &h in &active {
             self.autoscaler.observe(h, self.admission.depth(h) as u32);
-        }
-
-        // Reclaim instances idle past the policy window (keeping the
-        // warm-spare floor on active hosts).
-        for h in 0..self.hosts.len() {
-            match self.hosts[h].status {
-                HostStatus::Active => self.reclaim_idle(now, h, self.cfg.pool.warm_spares),
-                HostStatus::Draining => {
-                    self.reclaim_idle(now, h, 0);
-                    self.maybe_finish_drain(h);
-                }
-                _ => {}
-            }
-        }
-
-        // Refill warm pools.
-        for &h in &active {
-            self.fill_warm_pool(now, h);
         }
 
         // Scale.
@@ -1002,21 +766,30 @@ impl Engine {
         let standby = self.hosts.iter().any(|h| h.status == HostStatus::Standby);
         match self.autoscaler.plan(now, saturation, &active, standby) {
             Some(FleetAction::Activate) => self.activate_standby(now),
-            Some(FleetAction::Drain(victim)) => self.drain(victim),
+            Some(FleetAction::Drain(victim)) => self.drain(now, victim, out),
             None => {}
         }
 
-        // Rebalance: migrate one warm container from the hottest to
-        // the coldest active host when the gap warrants it.
+        // Rebalance: ask the hottest host to ship one warm container
+        // to the coldest when the gap warrants it. The source commits
+        // the move (or silently declines if it has nothing warm).
         let capacity = self.admission.capacity() as f64;
         let hot_cold = self.autoscaler.hot_cold(&self.active_set(), |_| capacity);
         if let Some(mv) = self.rebalancer.plan(now, hot_cold) {
-            self.try_migrate(now, mv.from, mv.to);
+            if self.hosts[mv.to].status == HostStatus::Active {
+                out.send(now, mv.from + 1, Wire::MigOut { dst: mv.to });
+            }
         }
 
         if now < self.horizon || self.outstanding > 0 {
             self.queue
-                .schedule_in(self.cfg.autoscale.scan_interval, Event::Scan);
+                .schedule_in(self.cfg.autoscale.scan_interval, CtlEvent::Scan);
+        } else {
+            // Horizon passed with nothing in flight: stop every host's
+            // maintenance loop so the simulation drains.
+            for h in 0..self.hosts.len() {
+                out.send(now, h + 1, Wire::Shutdown);
+            }
         }
     }
 
@@ -1037,14 +810,14 @@ impl Engine {
                 vec![("host", AttrValue::U64(host as u64))],
             );
         }
-        let gen = self.hosts[host].gen;
+        let hgen = self.hosts[host].gen;
         self.queue.schedule(
             now.saturating_add(self.cfg.autoscale.host_boot),
-            Event::HostUp { host, gen },
+            CtlEvent::HostUp { host, hgen },
         );
     }
 
-    fn drain(&mut self, victim: usize) {
+    fn drain(&mut self, now: SimTime, victim: usize, out: &mut Outbox<Wire>) {
         if self.hosts[victim].status != HostStatus::Active || self.active_set().len() < 2 {
             return;
         }
@@ -1059,63 +832,7 @@ impl Engine {
             );
         }
         self.rebuild_ring();
-    }
-
-    /// A draining host with no admitted work releases its instances
-    /// and parks as standby capacity.
-    fn maybe_finish_drain(&mut self, host: usize) {
-        if !self.hosts[host].busy.is_empty()
-            || !self.hosts[host].wait.is_empty()
-            || !self.hosts[host].pending_mig.is_empty()
-            || self.admission.depth(host) > 0
-        {
-            return;
-        }
-        for inst in self.cluster.host(host).instance_ids() {
-            let _ = self.cluster.host_mut(host).teardown(inst);
-        }
-        self.hosts[host].idle.clear();
-        self.hosts[host].booting.clear();
-        self.hosts[host].warehouse = AppWarehouse::new(self.cfg.warehouse_capacity);
-        self.hosts[host].status = HostStatus::Standby;
-    }
-
-    fn reclaim_idle(&mut self, now: SimTime, host: usize, floor: usize) {
-        let expired: Vec<InstanceId> = self.hosts[host]
-            .idle
-            .iter()
-            .filter(|&(_, &since)| now.saturating_since(since) >= self.cfg.pool.idle_teardown)
-            .map(|(&i, _)| i)
-            .collect();
-        for inst in expired {
-            if self.hosts[host].idle.len() <= floor {
-                break;
-            }
-            let _ = self.cluster.host_mut(host).teardown(inst);
-            self.hosts[host].idle.remove(&inst);
-            self.hosts[host].warehouse.invalidate_container(inst);
-        }
-    }
-
-    /// Keep `warm_spares` instances idle or booting on an active host.
-    fn fill_warm_pool(&mut self, now: SimTime, host: usize) {
-        while self.hosts[host].idle.len() + self.hosts[host].booting.len()
-            < self.cfg.pool.warm_spares
-            && self.cluster.host(host).instance_count() < self.cfg.pool.max_instances
-        {
-            match self.cluster.host_mut(host).provision(self.cfg.runtime) {
-                Ok((inst, setup)) => {
-                    self.note_provisioned(host);
-                    self.hosts[host].booting.insert(inst);
-                    let gen = self.hosts[host].gen;
-                    self.queue.schedule(
-                        now.saturating_add(setup),
-                        Event::BootDone { host, inst, gen },
-                    );
-                }
-                Err(_) => break, // DRAM exhausted: stop growing
-            }
-        }
+        out.send(now, victim + 1, Wire::Drain);
     }
 
     // ------------------------------------------------------------- helpers
@@ -1130,12 +847,804 @@ impl Engine {
         self.router.rebuild(&self.active_set());
     }
 
-    fn note_provisioned(&mut self, host: usize) {
-        let count = self.cluster.host(host).instance_count();
-        let mem = self.cluster.host(host).memory_reserved();
-        self.hosts[host].peak_instances = self.hosts[host].peak_instances.max(count);
-        self.hosts[host].peak_memory = self.hosts[host].peak_memory.max(mem);
+    fn finish_lp(self) -> CtlOut {
+        self.rec.set_current_request(None);
+        let records: Vec<FleetRequestRecord> = self
+            .reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| FleetRequestRecord {
+                id: i as u64,
+                user: r.user,
+                kind: r.kind,
+                arrival: r.arrival,
+                finished: r.finished,
+                phase: r.phase,
+                fell_back: r.fell_back,
+                host: r.host,
+                attempts: r.attempts,
+                rerouted: r.rerouted,
+                reason: r.reason,
+            })
+            .collect();
+        CtlOut {
+            records,
+            control: self.control,
+            hosts: self
+                .hosts
+                .iter()
+                .map(|h| (h.crashes, h.migrations_out, h.migrations_in))
+                .collect(),
+            snapshot: self.rec.snapshot(),
+        }
     }
+}
+
+// ====================================================================
+// Host shard (LP h + 1)
+// ====================================================================
+
+/// Host-shard events. All carry the host's epoch (bumped on crash,
+/// drain completion, and shutdown) so events scheduled against a dead
+/// incarnation drop on the floor.
+#[derive(Debug)]
+enum HostEvent {
+    /// A provisioned instance finished booting.
+    BootDone { inst: InstanceId, epoch: u64 },
+    /// Mobile code finished loading; computation can start.
+    CodeLoaded { inst: InstanceId, epoch: u64 },
+    /// CPU executor schedule point (guarded by the executor's own
+    /// epoch, not the host epoch).
+    CpuPoll { cpu_epoch: u64 },
+    /// Offloading I/O finished; the instance frees up.
+    IoDone { inst: InstanceId, epoch: u64 },
+    /// Checkpoint serialization (freeze) finished; ship the state.
+    MigFrozen {
+        dst: usize,
+        ckpt: Box<Checkpoint>,
+        epoch: u64,
+    },
+    /// A migrated-in container finished restoring.
+    MigReady {
+        inst: InstanceId,
+        mig: usize,
+        epoch: u64,
+    },
+    /// Pool maintenance tick: reclaim idle, refill warm spares.
+    Maintain { epoch: u64 },
+    /// A control message crossed the window boundary.
+    Deliver { msg: Wire },
+}
+
+/// One admitted request waiting for (or holding) an instance.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: usize,
+    rgen: u32,
+    task: TaskRequest,
+    xfer_seed: u64,
+}
+
+struct HostLp {
+    h: usize,
+    cfg: Arc<FleetConfig>,
+    rec: Recorder,
+    queue: EventQueue<HostEvent>,
+    host: CloudHost,
+    cpu: FairShareExecutor<InstanceId>,
+    warehouse: AppWarehouse,
+    link: Link,
+    /// Idle instances and when they went idle.
+    idle: BTreeMap<InstanceId, SimTime>,
+    /// Busy instances and the request each is serving.
+    busy: BTreeMap<InstanceId, Pending>,
+    /// CPU job per busy instance (absent during code load / I/O).
+    jobs: BTreeMap<InstanceId, JobId>,
+    /// Instances provisioned but still booting.
+    booting: BTreeSet<InstanceId>,
+    /// Instances restored by an in-flight migration.
+    pending_mig: BTreeSet<InstanceId>,
+    /// Admitted requests waiting for an instance.
+    wait: VecDeque<Pending>,
+    /// Last warm/cold hint published to control, per workload.
+    published: Vec<bool>,
+    aids: Vec<Aid>,
+    serving: bool,
+    drain_mode: bool,
+    shut: bool,
+    epoch: u64,
+    served: u64,
+    peak_instances: usize,
+    peak_memory: u64,
+}
+
+impl HostLp {
+    fn new(cfg: Arc<FleetConfig>, h: usize, rec: Recorder) -> Self {
+        let spec = cfg.host_specs[h];
+        let mut host = CloudHost::new(spec);
+        host.kernel.load_android_container_driver();
+        host.attach_recorder(rec.clone());
+        let cpu = FairShareExecutor::new(spec.cores as f64, 1.0);
+        let warehouse = AppWarehouse::new(cfg.warehouse_capacity);
+        let link = Link::new(cfg.scenario);
+        let aids: Vec<Aid> = WorkloadKind::ALL
+            .iter()
+            .map(|k| aid_of(k.app_id()))
+            .collect();
+        let serving = h < cfg.initial_active;
+        let mut queue = EventQueue::new();
+        if serving {
+            // Initially active hosts fill their warm pools from t = 0.
+            queue.schedule(SimTime::ZERO, HostEvent::Maintain { epoch: 0 });
+        }
+        HostLp {
+            h,
+            cfg,
+            rec,
+            queue,
+            host,
+            cpu,
+            warehouse,
+            link,
+            idle: BTreeMap::new(),
+            busy: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            booting: BTreeSet::new(),
+            pending_mig: BTreeSet::new(),
+            wait: VecDeque::new(),
+            published: vec![false; WorkloadKind::ALL.len()],
+            aids,
+            serving,
+            drain_mode: false,
+            shut: false,
+            epoch: 0,
+            served: 0,
+            peak_instances: 0,
+            peak_memory: 0,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: HostEvent, out: &mut Outbox<Wire>) {
+        match ev {
+            HostEvent::BootDone { inst, epoch } => {
+                if epoch == self.epoch {
+                    self.booting.remove(&inst);
+                    self.idle.insert(inst, now);
+                    self.pump(now, out);
+                }
+            }
+            HostEvent::CodeLoaded { inst, epoch } => {
+                if epoch == self.epoch {
+                    self.on_code_loaded(now, inst);
+                }
+            }
+            HostEvent::CpuPoll { cpu_epoch } => self.on_cpu_poll(now, cpu_epoch),
+            HostEvent::IoDone { inst, epoch } => {
+                if epoch == self.epoch {
+                    self.on_io_done(now, inst, out);
+                }
+            }
+            HostEvent::MigFrozen { dst, ckpt, epoch } => {
+                if epoch == self.epoch {
+                    out.send(now, CTL, Wire::MigState { dst, ckpt });
+                }
+            }
+            HostEvent::MigReady { inst, mig, epoch } => {
+                if epoch == self.epoch {
+                    self.on_mig_ready(now, inst, mig, out);
+                }
+            }
+            HostEvent::Maintain { epoch } => {
+                if epoch == self.epoch {
+                    self.on_maintain(now, out);
+                }
+            }
+            HostEvent::Deliver { msg } => self.on_msg(now, msg, out),
+        }
+    }
+
+    fn on_msg(&mut self, now: SimTime, msg: Wire, out: &mut Outbox<Wire>) {
+        match msg {
+            Wire::Start {
+                req,
+                rgen,
+                task,
+                xfer_seed,
+            } => {
+                // A `Start` racing this host's crash arrives after the
+                // `Crash` message (per-source FIFO) and is dropped:
+                // control has already stranded and re-routed the
+                // request.
+                if self.serving {
+                    self.rec.set_current_request(Some(req as u64));
+                    self.attach_or_queue(
+                        now,
+                        Pending {
+                            req,
+                            rgen,
+                            task,
+                            xfer_seed,
+                        },
+                        out,
+                    );
+                }
+            }
+            Wire::Online => self.on_online(now),
+            Wire::Crash => self.on_crash(now, out),
+            Wire::Drain => self.drain_mode = true,
+            Wire::FinishDrain => self.on_finish_drain(now, out),
+            Wire::MigOut { dst } => self.on_mig_out(now, dst, out),
+            Wire::MigIn { mig, ckpt } => self.on_mig_in(now, mig, &ckpt),
+            Wire::Shutdown => {
+                self.shut = true;
+                self.serving = false;
+                self.epoch += 1;
+            }
+            _ => unreachable!("host-bound message"),
+        }
+    }
+
+    // --------------------------------------------------- request service
+
+    /// Give the request an idle instance, provision a new one, or park
+    /// it in the wait queue.
+    fn attach_or_queue(&mut self, now: SimTime, pend: Pending, out: &mut Outbox<Wire>) {
+        if let Some(inst) = self.pick_idle(pend.task.kind) {
+            self.start_code_load(now, pend, inst, out);
+            return;
+        }
+        // No idle instance: grow the pool if the policy and DRAM allow.
+        if self.host.instance_count() < self.cfg.pool.max_instances {
+            if let Ok((inst, setup)) = self.host.provision(self.cfg.runtime) {
+                self.note_provisioned();
+                self.booting.insert(inst);
+                let epoch = self.epoch;
+                self.queue.schedule(
+                    now.saturating_add(setup),
+                    HostEvent::BootDone { inst, epoch },
+                );
+            }
+        }
+        self.wait.push_back(pend);
+    }
+
+    /// Prefer an idle instance that already holds the app's code.
+    fn pick_idle(&self, kind: WorkloadKind) -> Option<InstanceId> {
+        let app_id = kind.app_id();
+        let with_app = self.idle.keys().copied().find(|&i| {
+            self.host
+                .instance(i)
+                .map(|r| r.apps_loaded.contains(app_id))
+                .unwrap_or(false)
+        });
+        with_app.or_else(|| self.idle.keys().next().copied())
+    }
+
+    /// Load the app into `inst` (free when resident), charging a code
+    /// upload from the device when even the App Warehouse misses.
+    fn start_code_load(
+        &mut self,
+        now: SimTime,
+        pend: Pending,
+        inst: InstanceId,
+        out: &mut Outbox<Wire>,
+    ) {
+        self.idle.remove(&inst);
+        let kind = pend.task.kind;
+        let app_id = kind.app_id();
+        let aid = self.aids[kind_ix(kind)].clone();
+        let code_bytes = kind.profile().app_code_bytes;
+        let resident = self
+            .host
+            .instance(inst)
+            .map(|r| r.apps_loaded.contains(app_id))
+            .unwrap_or(false);
+        let mut t = SimDuration::ZERO;
+        if !resident && !self.warehouse.lookup(&aid) {
+            // Cold everywhere: the device must push the code first.
+            let mut rng = SimRng::new(pend.xfer_seed);
+            t += self
+                .link
+                .transfer_time(code_bytes, Direction::Upload, &mut rng);
+            self.warehouse.insert(aid.clone(), app_id, code_bytes);
+        }
+        t += self
+            .host
+            .load_app(inst, app_id, code_bytes)
+            .expect("instance is live");
+        self.warehouse.note_loaded(&aid, inst);
+        self.busy.insert(inst, pend);
+        self.publish_warm(now, out);
+        let epoch = self.epoch;
+        self.queue
+            .schedule(now.saturating_add(t), HostEvent::CodeLoaded { inst, epoch });
+    }
+
+    fn on_code_loaded(&mut self, now: SimTime, inst: InstanceId) {
+        let pend = self.busy[&inst];
+        self.rec.set_current_request(Some(pend.req as u64));
+        let spec = self.cfg.runtime.spec();
+        let ghz = self.host.host_spec().clock_ghz;
+        let work = pend.task.compute.seconds_at(ghz, spec.cpu_efficiency);
+        let job = self.cpu.submit(now, work, inst);
+        self.jobs.insert(inst, job);
+        self.cpu
+            .reschedule(now, &mut self.queue, |cpu_epoch| HostEvent::CpuPoll {
+                cpu_epoch,
+            });
+    }
+
+    fn on_cpu_poll(&mut self, now: SimTime, cpu_epoch: u64) {
+        let Some(finished) = self.cpu.poll(now, cpu_epoch) else {
+            return; // stale schedule point
+        };
+        for (_, inst) in finished {
+            self.jobs.remove(&inst);
+            let pend = self.busy[&inst];
+            self.rec.set_current_request(Some(pend.req as u64));
+            let t = self.io_time(pend.task.io_bytes);
+            let epoch = self.epoch;
+            self.queue
+                .schedule(now.saturating_add(t), HostEvent::IoDone { inst, epoch });
+        }
+        self.cpu
+            .reschedule(now, &mut self.queue, |cpu_epoch| HostEvent::CpuPoll {
+                cpu_epoch,
+            });
+    }
+
+    /// Offloading-I/O wall time: the shared in-memory layer for the
+    /// optimized class, the virtualized disk path otherwise.
+    fn io_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let spec = self.cfg.runtime.spec();
+        if spec.uses_shared_io_layer {
+            SimDuration::from_secs_f64(bytes as f64 / virt::TMPFS_BANDWIDTH)
+        } else {
+            let disk = self.cfg.host_specs[self.h].disk_bandwidth;
+            SimDuration::from_secs_f64(bytes as f64 / (disk * spec.io_efficiency))
+        }
+    }
+
+    fn on_io_done(&mut self, now: SimTime, inst: InstanceId, out: &mut Outbox<Wire>) {
+        let pend = self.busy.remove(&inst).expect("instance was serving");
+        self.rec.set_current_request(Some(pend.req as u64));
+        self.idle.insert(inst, now);
+        self.served += 1;
+        out.send(
+            now,
+            CTL,
+            Wire::Done {
+                req: pend.req,
+                rgen: pend.rgen,
+            },
+        );
+        self.pump(now, out);
+    }
+
+    /// Hand idle instances to waiting requests, in FIFO order.
+    fn pump(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
+        while !self.idle.is_empty() {
+            let Some(pend) = self.wait.pop_front() else {
+                return;
+            };
+            self.rec.set_current_request(Some(pend.req as u64));
+            let inst = self.pick_idle(pend.task.kind).expect("idle non-empty");
+            self.start_code_load(now, pend, inst, out);
+        }
+    }
+
+    // ----------------------------------------------------------- lifecycle
+
+    fn on_online(&mut self, now: SimTime) {
+        if self.shut {
+            return;
+        }
+        self.serving = true;
+        self.drain_mode = false;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.queue.schedule(now, HostEvent::Maintain { epoch });
+    }
+
+    /// The host dies: every instance, job, and cached byte is lost.
+    fn on_crash(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
+        self.serving = false;
+        self.drain_mode = false;
+        self.epoch += 1;
+        for (_, job) in std::mem::take(&mut self.jobs) {
+            self.cpu.cancel(now, job);
+        }
+        self.cpu
+            .reschedule(now, &mut self.queue, |cpu_epoch| HostEvent::CpuPoll {
+                cpu_epoch,
+            });
+        self.teardown_all();
+        self.publish_warm(now, out);
+    }
+
+    fn on_finish_drain(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
+        if self.shut {
+            return;
+        }
+        self.serving = false;
+        self.drain_mode = false;
+        self.epoch += 1;
+        self.teardown_all();
+        self.publish_warm(now, out);
+    }
+
+    fn teardown_all(&mut self) {
+        for inst in self.host.instance_ids() {
+            let _ = self.host.teardown(inst);
+        }
+        self.idle.clear();
+        self.busy.clear();
+        self.jobs.clear();
+        self.booting.clear();
+        self.pending_mig.clear();
+        self.wait.clear();
+        self.warehouse = AppWarehouse::new(self.cfg.warehouse_capacity);
+    }
+
+    /// Pool maintenance: reclaim instances idle past the policy
+    /// window, keep the warm-spare floor, and report drain progress.
+    /// Replaces the monolithic engine's central scan for everything
+    /// host-local.
+    fn on_maintain(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
+        self.rec.set_current_request(None);
+        if !self.serving {
+            return;
+        }
+        let floor = if self.drain_mode {
+            0
+        } else {
+            self.cfg.pool.warm_spares
+        };
+        self.reclaim_idle(now, floor, out);
+        if self.drain_mode {
+            if self.busy.is_empty() && self.wait.is_empty() && self.pending_mig.is_empty() {
+                out.send(now, CTL, Wire::DrainEmpty);
+            }
+        } else {
+            self.fill_warm_pool(now);
+        }
+        let epoch = self.epoch;
+        self.queue.schedule_in(
+            self.cfg.autoscale.scan_interval,
+            HostEvent::Maintain { epoch },
+        );
+    }
+
+    fn reclaim_idle(&mut self, now: SimTime, floor: usize, out: &mut Outbox<Wire>) {
+        let expired: Vec<InstanceId> = self
+            .idle
+            .iter()
+            .filter(|&(_, &since)| now.saturating_since(since) >= self.cfg.pool.idle_teardown)
+            .map(|(&i, _)| i)
+            .collect();
+        let mut changed = false;
+        for inst in expired {
+            if self.idle.len() <= floor {
+                break;
+            }
+            let _ = self.host.teardown(inst);
+            self.idle.remove(&inst);
+            self.warehouse.invalidate_container(inst);
+            changed = true;
+        }
+        if changed {
+            self.publish_warm(now, out);
+        }
+    }
+
+    /// Keep `warm_spares` instances idle or booting.
+    fn fill_warm_pool(&mut self, now: SimTime) {
+        while self.idle.len() + self.booting.len() < self.cfg.pool.warm_spares
+            && self.host.instance_count() < self.cfg.pool.max_instances
+        {
+            match self.host.provision(self.cfg.runtime) {
+                Ok((inst, setup)) => {
+                    self.note_provisioned();
+                    self.booting.insert(inst);
+                    let epoch = self.epoch;
+                    self.queue.schedule(
+                        now.saturating_add(setup),
+                        HostEvent::BootDone { inst, epoch },
+                    );
+                }
+                Err(_) => break, // DRAM exhausted: stop growing
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- migration
+
+    /// Control asked this host to ship one warm container to `dst`:
+    /// checkpoint the lowest-id idle instance that has an app loaded.
+    fn on_mig_out(&mut self, now: SimTime, dst: usize, out: &mut Outbox<Wire>) {
+        if !self.serving {
+            return;
+        }
+        let victim = self.idle.keys().copied().find(|&i| {
+            self.host
+                .instance(i)
+                .map(|r| !r.apps_loaded.is_empty())
+                .unwrap_or(false)
+        });
+        let Some(victim) = victim else {
+            return; // nothing warm to move; control's pacing is not spent
+        };
+        self.rec.set_current_request(None);
+        let Ok((ckpt, freeze)) = checkpoint(&self.host, victim) else {
+            return;
+        };
+        if self.rec.is_enabled() {
+            let span = self.rec.span_start_at(
+                Subsystem::Virt,
+                "migrate",
+                SpanId::NONE,
+                now.as_micros(),
+                vec![
+                    ("instance", AttrValue::U64(victim.0 as u64)),
+                    ("dst", AttrValue::U64(dst as u64)),
+                    ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
+                ],
+            );
+            self.rec
+                .span_end_at(span, now.saturating_add(freeze).as_micros(), vec![]);
+        }
+        let _ = self.host.teardown(victim);
+        self.idle.remove(&victim);
+        self.warehouse.invalidate_container(victim);
+        self.publish_warm(now, out);
+        let epoch = self.epoch;
+        self.queue.schedule(
+            now.saturating_add(freeze),
+            HostEvent::MigFrozen {
+                dst,
+                ckpt: Box::new(ckpt),
+                epoch,
+            },
+        );
+    }
+
+    /// Migration state arrived over the fabric: rebuild the container.
+    fn on_mig_in(&mut self, now: SimTime, mig: usize, ckpt: &Checkpoint) {
+        if !self.serving || self.host.instance_count() >= self.cfg.pool.max_instances {
+            return; // the move is orphaned; control never sees MigLanded
+        }
+        self.rec.set_current_request(None);
+        let Ok((inst, d)) = restore(&mut self.host, ckpt) else {
+            return; // DRAM is full — the state is dropped
+        };
+        self.note_provisioned();
+        self.pending_mig.insert(inst);
+        let epoch = self.epoch;
+        self.queue.schedule(
+            now.saturating_add(d),
+            HostEvent::MigReady { inst, mig, epoch },
+        );
+    }
+
+    fn on_mig_ready(&mut self, now: SimTime, inst: InstanceId, mig: usize, out: &mut Outbox<Wire>) {
+        self.pending_mig.remove(&inst);
+        self.idle.insert(inst, now);
+        // Publish the arrived container's apps as warm CID hints.
+        let apps: Vec<String> = self
+            .host
+            .instance(inst)
+            .map(|r| r.apps_loaded.iter().cloned().collect())
+            .unwrap_or_default();
+        for app_id in apps {
+            if let Some(kind) = kind_of_app(&app_id) {
+                let aid = self.aids[kind_ix(kind)].clone();
+                self.warehouse
+                    .insert(aid.clone(), &app_id, kind.profile().app_code_bytes);
+                self.warehouse.note_loaded(&aid, inst);
+            }
+        }
+        self.publish_warm(now, out);
+        out.send(now, CTL, Wire::MigLanded { mig });
+        self.pump(now, out);
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    /// Diff the warehouse's warm set against what control last heard
+    /// and send only the flips — the router's affinity hints.
+    fn publish_warm(&mut self, now: SimTime, out: &mut Outbox<Wire>) {
+        for ix in 0..self.aids.len() {
+            let warm = !self.warehouse.containers_with(&self.aids[ix]).is_empty();
+            if warm != self.published[ix] {
+                self.published[ix] = warm;
+                out.send(now, CTL, Wire::WarmInfo { kind_ix: ix, warm });
+            }
+        }
+    }
+
+    fn note_provisioned(&mut self) {
+        self.peak_instances = self.peak_instances.max(self.host.instance_count());
+        self.peak_memory = self.peak_memory.max(self.host.memory_reserved());
+    }
+
+    fn finish_lp(self) -> HostOut {
+        self.rec.set_current_request(None);
+        HostOut {
+            served: self.served,
+            peak_instances: self.peak_instances,
+            peak_memory: self.peak_memory,
+            snapshot: self.rec.snapshot(),
+        }
+    }
+}
+
+// ====================================================================
+// LP plumbing
+// ====================================================================
+
+enum FleetLp {
+    Ctl(Box<ControlLp>),
+    Host(Box<HostLp>),
+}
+
+impl Lp for FleetLp {
+    type Msg = Wire;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            FleetLp::Ctl(lp) => lp.queue.peek_time(),
+            FleetLp::Host(lp) => lp.queue.peek_time(),
+        }
+    }
+
+    fn run_window(&mut self, bound: SimTime, out: &mut Outbox<Wire>) {
+        match self {
+            FleetLp::Ctl(lp) => {
+                while lp.queue.peek_time().is_some_and(|t| t < bound) {
+                    let (now, ev) = lp.queue.pop().expect("peeked");
+                    lp.rec.set_now(now.as_micros());
+                    lp.dispatch(now, ev, out);
+                }
+            }
+            FleetLp::Host(lp) => {
+                while lp.queue.peek_time().is_some_and(|t| t < bound) {
+                    let (now, ev) = lp.queue.pop().expect("peeked");
+                    lp.rec.set_now(now.as_micros());
+                    lp.dispatch(now, ev, out);
+                }
+            }
+        }
+    }
+
+    fn accept(&mut self, at: SimTime, src: usize, msg: Wire) {
+        match self {
+            FleetLp::Ctl(lp) => {
+                lp.queue.schedule(at, CtlEvent::Deliver { src, msg });
+            }
+            FleetLp::Host(lp) => {
+                let _ = src; // hosts only hear from control
+                lp.queue.schedule(at, HostEvent::Deliver { msg });
+            }
+        }
+    }
+}
+
+struct CtlOut {
+    records: Vec<FleetRequestRecord>,
+    control: ControlStats,
+    /// Per host: (crashes, migrations_out, migrations_in).
+    hosts: Vec<(u64, u64, u64)>,
+    snapshot: TraceSnapshot,
+}
+
+struct HostOut {
+    served: u64,
+    peak_instances: usize,
+    peak_memory: u64,
+    snapshot: TraceSnapshot,
+}
+
+enum LpOut {
+    Ctl(CtlOut),
+    Host(HostOut),
+}
+
+// ====================================================================
+// Entry points
+// ====================================================================
+
+/// Run a fleet scenario to completion (untraced, serial).
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    run_fleet_with(cfg, Recorder::disabled(), EngineMode::Serial)
+}
+
+/// Run a fleet scenario with an observability recorder attached.
+/// Recording must not perturb the simulation: the report digest is
+/// identical with a disabled recorder.
+pub fn run_fleet_traced(cfg: &FleetConfig, rec: Recorder) -> FleetReport {
+    run_fleet_with(cfg, rec, EngineMode::Serial)
+}
+
+/// Run a fleet scenario under an explicit [`EngineMode`]. All modes
+/// and thread counts produce bit-identical reports; `Sharded` trades
+/// memory for wall-clock time on large fleets.
+pub fn run_fleet_with(cfg: &FleetConfig, rec: Recorder, mode: EngineMode) -> FleetReport {
+    assert!(
+        cfg.initial_active >= 1 && cfg.initial_active <= cfg.host_specs.len(),
+        "initial_active must name a non-empty prefix of host_specs"
+    );
+    let shard_mode = match mode {
+        EngineMode::Serial => ShardMode::Serial,
+        EngineMode::Sharded(n) => ShardMode::Threads(n),
+    };
+    let cfg = Arc::new(cfg.clone());
+    let n_lps = cfg.host_specs.len() + 1;
+    let rec_cfg = rec.config();
+
+    let build = {
+        let cfg = Arc::clone(&cfg);
+        move |i: usize| {
+            // Each LP records into its own single-threaded recorder;
+            // the snapshots merge below in LP order, so traced and
+            // untraced runs pop identical event sequences.
+            let lp_rec = match &rec_cfg {
+                Some(c) => Recorder::enabled(c.clone()),
+                None => Recorder::disabled(),
+            };
+            if i == CTL {
+                FleetLp::Ctl(Box::new(ControlLp::new(Arc::clone(&cfg), lp_rec)))
+            } else {
+                FleetLp::Host(Box::new(HostLp::new(Arc::clone(&cfg), i - 1, lp_rec)))
+            }
+        }
+    };
+    let finish = |_: usize, lp: FleetLp| match lp {
+        FleetLp::Ctl(c) => LpOut::Ctl(c.finish_lp()),
+        FleetLp::Host(h) => LpOut::Host(h.finish_lp()),
+    };
+
+    let outs = run_sharded(n_lps, cfg.sync_window, shard_mode, build, finish);
+
+    let mut records = Vec::new();
+    let mut control = ControlStats::default();
+    let mut hosts: Vec<HostReport> = cfg
+        .host_specs
+        .iter()
+        .map(|s| HostReport {
+            served: 0,
+            peak_instances: 0,
+            peak_memory: 0,
+            memory_bytes: s.memory_bytes,
+            migrations_out: 0,
+            migrations_in: 0,
+            crashes: 0,
+        })
+        .collect();
+    for (i, lp_out) in outs.into_iter().enumerate() {
+        match lp_out {
+            LpOut::Ctl(c) => {
+                records = c.records;
+                control = c.control;
+                for (h, (crashes, out, inn)) in c.hosts.into_iter().enumerate() {
+                    hosts[h].crashes = crashes;
+                    hosts[h].migrations_out = out;
+                    hosts[h].migrations_in = inn;
+                }
+                rec.import(&c.snapshot);
+            }
+            LpOut::Host(o) => {
+                let h = i - 1;
+                hosts[h].served = o.served;
+                hosts[h].peak_instances = o.peak_instances;
+                hosts[h].peak_memory = o.peak_memory;
+                rec.import(&o.snapshot);
+            }
+        }
+    }
+    FleetReport::summarize(records, control, hosts, cfg.traffic.duration)
 }
 
 /// Collect the AIDs currently warm (live container hints) on a host —
@@ -1229,6 +1738,34 @@ mod tests {
                 rep.summary.submitted
             );
         }
+    }
+
+    #[test]
+    fn sharded_engine_matches_serial_bit_for_bit() {
+        let mut cfg = small(3, 21);
+        cfg.faults = FaultConfig::scaled(1.0);
+        let serial = run_fleet(&cfg);
+        for threads in [1, 2, 4] {
+            let sharded = run_fleet_with(&cfg, Recorder::disabled(), EngineMode::Sharded(threads));
+            assert_eq!(
+                serial.digest(),
+                sharded.digest(),
+                "Sharded({threads}) diverged from Serial"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_accounting_balances_under_churn() {
+        // Faults + rebalancing exercise every drop path: out must
+        // still equal in, and starts must bound completions.
+        let mut cfg = small(4, 33);
+        cfg.faults = FaultConfig::scaled(1.0);
+        let rep = run_fleet(&cfg);
+        let out: u64 = rep.hosts.iter().map(|h| h.migrations_out).sum();
+        let inn: u64 = rep.hosts.iter().map(|h| h.migrations_in).sum();
+        assert_eq!(out, inn);
+        assert!(rep.control.migrations_completed <= rep.control.migrations_started);
     }
 
     #[test]

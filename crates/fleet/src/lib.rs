@@ -43,7 +43,7 @@ pub mod router;
 pub use admission::AdmissionCtl;
 pub use autoscaler::{Autoscaler, FleetAction};
 pub use config::{AutoscalePolicy, FleetConfig, RebalancePolicy};
-pub use engine::{run_fleet, run_fleet_traced};
+pub use engine::{run_fleet, run_fleet_traced, run_fleet_with, EngineMode};
 pub use rebalance::{RebalanceMove, Rebalancer};
 pub use report::{ControlStats, FleetReport, FleetRequestRecord, FleetSummary, HostReport};
 pub use router::{RouteDecision, RouteReason, Router};

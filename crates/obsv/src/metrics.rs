@@ -92,6 +92,18 @@ impl SimHistogram {
         self.max_us
     }
 
+    /// Fold another histogram into this one: buckets and counts add,
+    /// sums saturate, the max is the max of maxes. Used when merging
+    /// per-shard recorders into one trace.
+    pub fn merge(&mut self, other: &SimHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// Non-empty buckets as `(upper_bound_us, count)` pairs, for
     /// export.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -163,6 +175,10 @@ impl MetricsStore {
 
     pub(crate) fn hist_observe(&mut self, ix: usize, us: u64) {
         self.hists[ix].observe(us);
+    }
+
+    pub(crate) fn hist_merge(&mut self, ix: usize, other: &SimHistogram) {
+        self.hists[ix].merge(other);
     }
 
     pub(crate) fn counters_map(&self) -> BTreeMap<String, u64> {

@@ -324,6 +324,68 @@ impl Recorder {
             .map_or(0, |inner| inner.borrow().dropped)
     }
 
+    /// The live configuration, or `None` when disabled — lets an
+    /// engine construct per-shard recorders that sample identically
+    /// to the caller's.
+    pub fn config(&self) -> Option<RecorderConfig> {
+        self.inner.as_ref().map(|inner| inner.borrow().cfg.clone())
+    }
+
+    /// Merge another recorder's snapshot into this one.
+    ///
+    /// Span ids are remapped past this recorder's own id space so the
+    /// merged trace keeps globally unique ids (parents move with
+    /// them; [`SpanId::NONE`] stays none). Events append through the
+    /// ring — evicting and counting drops as usual — counters add,
+    /// gauges overwrite, histograms merge bucket-wise, metadata
+    /// inserts, and the source's drop count carries over. The sharded
+    /// fleet engine folds per-shard recorders into the caller's
+    /// recorder in shard index order, which keeps the merged trace
+    /// deterministic regardless of thread count.
+    pub fn import(&self, snap: &TraceSnapshot) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut inner = inner.borrow_mut();
+        let offset = inner.next_span;
+        let mut max_id = 0u64;
+        for ev in &snap.events {
+            let mut ev = ev.clone();
+            match &mut ev {
+                TraceEvent::Begin { id, parent, .. } => {
+                    max_id = max_id.max(id.0);
+                    *id = SpanId(id.0 + offset);
+                    if parent.is_some() {
+                        *parent = SpanId(parent.0 + offset);
+                    }
+                }
+                TraceEvent::End { id, .. } => {
+                    max_id = max_id.max(id.0);
+                    *id = SpanId(id.0 + offset);
+                }
+                TraceEvent::Instant { .. } => {}
+            }
+            inner.push(ev);
+        }
+        inner.next_span = offset + max_id;
+        inner.dropped += snap.dropped;
+        for (name, v) in &snap.counters {
+            let ix = inner.metrics.counter_slot(name);
+            inner.metrics.counter_add(ix, *v);
+        }
+        for (name, v) in &snap.gauges {
+            let ix = inner.metrics.gauge_slot(name);
+            inner.metrics.gauge_set(ix, *v);
+        }
+        for (name, h) in &snap.histograms {
+            let ix = inner.metrics.hist_slot(name);
+            inner.metrics.hist_merge(ix, h);
+        }
+        for (k, v) in &snap.meta {
+            inner.meta.insert(k.clone(), v.clone());
+        }
+    }
+
     /// Clone out an immutable snapshot for export. Returns an empty
     /// snapshot on a disabled recorder.
     pub fn snapshot(&self) -> TraceSnapshot {
@@ -453,6 +515,76 @@ mod tests {
             }
             other => panic!("expected Begin, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn import_remaps_span_ids_and_merges_metrics() {
+        let a = Recorder::enabled(RecorderConfig::default());
+        a.set_now(5);
+        let ra = a.span_start(Subsystem::Rattrap, "a", SpanId::NONE);
+        a.span_end(ra);
+        a.counter("served").add(3);
+        a.gauge("load").set(0.25);
+        a.histogram("lat").observe_us(100);
+
+        let b = Recorder::enabled(RecorderConfig::default());
+        b.set_now(7);
+        let rb = b.span_start(Subsystem::Fleet, "b", SpanId::NONE);
+        let child = b.span_start(Subsystem::Virt, "c", rb);
+        b.span_end(child);
+        b.span_end(rb);
+        b.counter("served").add(2);
+        b.gauge("load").set(0.75);
+        b.histogram("lat").observe_us(300);
+
+        a.import(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.events.len(), 6);
+        // b's root (local id 1) remapped past a's id space.
+        match &snap.events[2] {
+            TraceEvent::Begin { id, parent, .. } => {
+                assert_eq!(*id, SpanId(ra.0 + 1));
+                assert_eq!(*parent, SpanId::NONE, "roots stay roots");
+            }
+            other => panic!("expected Begin, got {other:?}"),
+        }
+        match &snap.events[3] {
+            TraceEvent::Begin { id, parent, .. } => {
+                assert_eq!(*id, SpanId(ra.0 + 2));
+                assert_eq!(*parent, SpanId(ra.0 + 1), "parents move with ids");
+            }
+            other => panic!("expected Begin, got {other:?}"),
+        }
+        assert_eq!(snap.counters["served"], 5, "counters add");
+        assert_eq!(snap.gauges["load"], 0.75, "gauges overwrite");
+        assert_eq!(snap.histograms["lat"].count(), 2, "histograms merge");
+        assert_eq!(snap.histograms["lat"].sum_us(), 400);
+
+        // A span opened after the import must not collide.
+        let later = a.span_start(Subsystem::Netsim, "later", SpanId::NONE);
+        assert!(later.0 > ra.0 + 2);
+    }
+
+    #[test]
+    fn import_into_disabled_recorder_is_inert() {
+        let src = Recorder::enabled(RecorderConfig::default());
+        src.instant(Subsystem::Simkit, "x", vec![]);
+        let dst = Recorder::disabled();
+        dst.import(&src.snapshot());
+        assert!(dst.snapshot().events.is_empty());
+        assert_eq!(dst.config(), None);
+    }
+
+    #[test]
+    fn import_respects_ring_capacity() {
+        let src = Recorder::enabled(RecorderConfig::default());
+        for _ in 0..10 {
+            src.instant(Subsystem::Simkit, "tick", vec![]);
+        }
+        let dst = Recorder::enabled(RecorderConfig::with_capacity(4));
+        dst.import(&src.snapshot());
+        assert_eq!(dst.event_count(), 4);
+        assert_eq!(dst.dropped(), 6);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub const RATTRAP_GOLDEN: &[(PlatformKind, WorkloadKind, u64)] = &[
 
 /// The pinned canonical 4-host fleet digest — keep in sync with
 /// `crates/fleet/tests/golden_determinism.rs`.
-pub const FLEET_GOLDEN_DIGEST: u64 = 0x1e6d_980b_66c5_d9eb;
+pub const FLEET_GOLDEN_DIGEST: u64 = 0xc722_c512_a546_9f68;
 
 /// What to explore.
 #[derive(Debug, Clone)]
@@ -243,6 +243,20 @@ fn audit_golden_gate(audit: &mut Audit) {
         got == FLEET_GOLDEN_DIGEST,
         "golden fleet",
         || format!("pinned digest {FLEET_GOLDEN_DIGEST:#018x}, engine produced {got:#018x}"),
+    );
+    // The sharded engine must hit the same anchor, not merely agree
+    // with whatever the serial engine produced today.
+    let sharded = fleet::run_fleet_with(
+        &fleet_cfg,
+        obsv::Recorder::disabled(),
+        fleet::EngineMode::Sharded(2),
+    )
+    .digest();
+    audit.ensure(
+        DIGEST_STABILITY,
+        sharded == FLEET_GOLDEN_DIGEST,
+        "golden fleet (sharded)",
+        || format!("pinned digest {FLEET_GOLDEN_DIGEST:#018x}, sharded engine produced {sharded:#018x}"),
     );
 }
 

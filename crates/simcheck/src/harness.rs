@@ -104,10 +104,15 @@ fn run_fleet_sample(sample: &Sample) -> RunOutcome {
         None
     };
 
+    // Three-way metamorphic oracle: traced serial, untraced serial
+    // replay, and the sharded engine at two threads must all agree
+    // bit for bit — parallel window execution may never leak into
+    // results, under any fault intensity the swarm draws.
     let replay = fleet::run_fleet(&cfg);
+    let sharded = fleet::run_fleet_with(&cfg, Recorder::disabled(), fleet::EngineMode::Sharded(2));
     audit_digest_stability(
-        &format!("fleet sample {}", sample.index),
-        &[report.digest(), replay.digest()],
+        &format!("fleet sample {} (serial ≡ replay ≡ sharded)", sample.index),
+        &[report.digest(), replay.digest(), sharded.digest()],
         &mut audit,
     );
 

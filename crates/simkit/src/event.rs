@@ -61,6 +61,12 @@ pub struct EventQueue<E> {
     /// defensively — the queue is the determinism root of every
     /// engine in the workspace.
     cancelled: BTreeSet<u64>,
+    /// Sequence numbers currently in the heap and not cancelled. Keeps
+    /// `cancel` exact: cancelling an event that already fired (or was
+    /// already cancelled) is a cheap miss instead of a permanent leak
+    /// into `cancelled` — long fault-heavy runs cancel millions of
+    /// stale ids.
+    live: BTreeSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -77,6 +83,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -113,6 +120,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.live.insert(seq);
         EventId(seq)
     }
 
@@ -123,11 +131,22 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event. Returns `true` if the event
     /// had not yet fired (or been cancelled).
+    ///
+    /// Ids below the lowest live sequence number (already fired or
+    /// cancelled) short-circuit without touching the cancellation set,
+    /// so stale handles never accumulate state.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        match self.live.first() {
+            None => return false,
+            Some(&lowest) if id.0 < lowest => return false,
+            _ => {}
         }
-        self.cancelled.insert(id.0)
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
     }
 
     /// Timestamp of the next pending event, if any.
@@ -140,6 +159,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let Reverse(e) = self.heap.pop()?;
+        self.live.remove(&e.seq);
         self.now = e.at;
         Some((e.at, e.payload))
     }
@@ -222,6 +242,41 @@ mod tests {
         q.schedule(SimTime::from_secs(2), 'b');
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_leaks_nothing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 'a');
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 'a')));
+        assert!(!q.cancel(a), "the event already fired");
+        assert!(q.cancelled.is_empty(), "no cancellation state retained");
+        assert_eq!(q.len(), 0);
+        // A fault-heavy pattern: many schedule/fire/late-cancel cycles
+        // must not grow the cancellation set or corrupt `len`.
+        for _ in 0..1000 {
+            let id = q.schedule_in(SimDuration::from_millis(1), 'x');
+            q.pop();
+            assert!(!q.cancel(id));
+        }
+        assert!(q.cancelled.is_empty());
+        assert!(q.live.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancelled_set_drains_as_entries_surface() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..8u32)
+            .map(|i| q.schedule(SimTime::from_secs(i as u64 + 1), i))
+            .collect();
+        for id in &ids[..4] {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.cancelled.len(), 4);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 4)));
+        assert!(q.cancelled.is_empty(), "surfaced cancellations drained");
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

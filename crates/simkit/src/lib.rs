@@ -7,6 +7,8 @@
 //! from an event loop ([`executor`]),
 //! seeded randomness with the distributions the experiments need
 //! ([`random`]), a deterministic fault-injection plan ([`faults`]),
+//! a sharded runtime with conservative time-window synchronization
+//! for multi-queue parallel simulation ([`shard`]),
 //! online statistics and empirical CDFs ([`stats`]),
 //! one-second timeline sampling for server-load figures ([`sampler`]),
 //! and the unit conventions shared by every crate ([`units`]).
@@ -26,6 +28,7 @@ pub mod faults;
 pub mod random;
 pub mod resource;
 pub mod sampler;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -39,5 +42,6 @@ pub use faults::{
 pub use random::{derive_seed, SimRng};
 pub use resource::{FairShareResource, JobId, MemoryPool};
 pub use sampler::TimelineSampler;
+pub use shard::{run_sharded, Envelope, Lp, Outbox, ShardMode};
 pub use stats::{Cdf, OnlineStats};
 pub use time::{SimDuration, SimTime};
