@@ -31,8 +31,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo build --release"
+echo "==> cargo build --release (workspace + benches)"
 cargo build --release --offline
+cargo build --release --offline --benches
 
 echo "==> cargo test"
 cargo test -q --offline
@@ -54,6 +55,21 @@ if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
         echo "==> validate trace ($RATTRAP_TRACE)"
         cargo run --release --offline -p rattrap-bench --bin validate_trace -- "$RATTRAP_TRACE"
     fi
+    # Perf-regression gate: rerun the two perf-sensitive benches in
+    # smoke mode and diff against the committed full-mode baselines.
+    # perf_gate gates machine-independent ratios (loosened for the
+    # smoke/full horizon mismatch) and reports absolute rates as
+    # informational; see crates/bench/src/bin/perf_gate.rs for the
+    # tolerance policy and the baseline-regeneration procedure.
+    echo "==> perf gate (engine_throughput + obsv_overhead vs results/BENCH_*.json)"
+    BENCH_ENGINE_OUT=target/perf_engine.json \
+        cargo bench --offline -p rattrap-bench --bench engine_throughput >/dev/null
+    BENCH_OBSV_OUT=target/perf_obsv.json \
+        cargo bench --offline -p rattrap-bench --bench obsv_overhead >/dev/null
+    cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
+        engine results/BENCH_engine.json target/perf_engine.json
+    cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
+        obsv results/BENCH_obsv.json target/perf_obsv.json
 fi
 
 echo "CI OK"

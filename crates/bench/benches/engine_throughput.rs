@@ -30,6 +30,8 @@
 
 use simkit::shard::{run_sharded, Lp, Outbox, ShardMode};
 use simkit::{derive_seed, EventQueue, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Simulated hosts (= LPs in the sharded engine).
@@ -113,6 +115,96 @@ fn run_global(horizon: SimTime) -> u64 {
         queue.schedule(now.saturating_add(delay), (dst, next));
     }
     events
+}
+
+/// A faithful replica of the engine queue this workspace shipped before
+/// the timing wheel (the one the committed `BENCH_engine.json` baseline
+/// was measured on): a binary heap keyed on `(time, insertion_seq)`
+/// plus the two `BTreeSet`s — `live` (inserted on every schedule,
+/// removed on every pop, keeping `cancel` exact) and `cancelled`
+/// (consulted by `skip_cancelled` on every peek/pop). The sets are what
+/// made the old design `O(log n)` *with large constants*: two ordered-
+/// tree updates per event even when nothing is ever cancelled.
+struct HeapEngineQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    live: std::collections::BTreeSet<u64>,
+    cancelled: std::collections::BTreeSet<u64>,
+    seq: u64,
+}
+
+impl HeapEngineQueue {
+    fn new() -> Self {
+        HeapEngineQueue {
+            heap: BinaryHeap::new(),
+            live: std::collections::BTreeSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, host: usize, seed: u64) {
+        self.heap
+            .push(Reverse((at.as_micros(), self.seq, host, seed)));
+        self.live.insert(self.seq);
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, usize, u64)> {
+        while let Some(Reverse((_, seq, _, _))) = self.heap.peek() {
+            if self.cancelled.remove(seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        let Reverse((at, seq, host, seed)) = self.heap.pop()?;
+        self.live.remove(&seq);
+        Some((SimTime::from_micros(at), host, seed))
+    }
+}
+
+/// Queue-bound PHOLD on the timing-wheel queue: the identical chain /
+/// continuation event set as [`run_global`] with the state touching
+/// removed, so wall time is almost pure scheduler cost (schedule +
+/// pop with `HOSTS × CHAINS_PER_HOST` resident events).
+fn run_queue_bound_wheel(horizon: SimTime) -> u64 {
+    let mut queue: EventQueue<(usize, u64)> = EventQueue::new();
+    for host in 0..HOSTS {
+        for seed in chain_seeds(host) {
+            queue.schedule(SimTime::ZERO, (host, seed));
+        }
+    }
+    let mut events = 0u64;
+    while let Some(t) = queue.peek_time() {
+        if t >= horizon {
+            break;
+        }
+        let (now, (host, seed)) = queue.pop().expect("peeked");
+        events += 1;
+        let (next, dst, delay) = continuation(seed, host);
+        queue.schedule(now.saturating_add(delay), (dst, next));
+    }
+    std::hint::black_box(events)
+}
+
+/// Queue-bound PHOLD on the pre-wheel comparison-ordered reference.
+fn run_queue_bound_heap(horizon: SimTime) -> u64 {
+    let mut queue = HeapEngineQueue::new();
+    for host in 0..HOSTS {
+        for seed in chain_seeds(host) {
+            queue.schedule(SimTime::ZERO, host, seed);
+        }
+    }
+    let mut events = 0u64;
+    while let Some((now, host, seed)) = queue.pop() {
+        if now >= horizon {
+            break;
+        }
+        events += 1;
+        let (next, dst, delay) = continuation(seed, host);
+        queue.schedule(now.saturating_add(delay), dst, next);
+    }
+    std::hint::black_box(events)
 }
 
 struct HostShard {
@@ -228,6 +320,30 @@ fn main() {
         cells.push((threads, rate, wall));
     }
 
+    // Queue-bound cells: same event set, zero state touching — the
+    // heavy cells above amortise the scheduler under 512 cache-line
+    // touches per event, so queue improvements barely move them. These
+    // isolate pure schedule/pop cost, wheel vs the pre-wheel heap.
+    // Cheap enough to always take ≥3 timing runs.
+    let qb_runs = timing_runs.max(3);
+    let (qb_heap_wall, qb_heap_events) = median_secs(qb_runs, || run_queue_bound_heap(horizon));
+    let (qb_wheel_wall, qb_wheel_events) = median_secs(qb_runs, || run_queue_bound_wheel(horizon));
+    assert_eq!(
+        qb_wheel_events, qb_heap_events,
+        "queue-bound engines must execute the same event set"
+    );
+    let qb_heap_rate = qb_heap_events as f64 / qb_heap_wall;
+    let qb_wheel_rate = qb_wheel_events as f64 / qb_wheel_wall;
+    let wheel_over_heap = qb_wheel_rate / qb_heap_rate;
+    println!(
+        "queue-bound heap:  {qb_heap_events} events, {qb_heap_wall:.3}s wall, \
+         {qb_heap_rate:.0} events/s"
+    );
+    println!(
+        "queue-bound wheel: {qb_wheel_events} events, {qb_wheel_wall:.3}s wall, \
+         {qb_wheel_rate:.0} events/s ({wheel_over_heap:.2}x heap)"
+    );
+
     let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_owned());
     let rows: Vec<String> = cells
         .iter()
@@ -243,10 +359,16 @@ fn main() {
         "{{\n  \"bench\": \"engine_throughput\",\n  \"toolchain\": \"{}\",\n  \
          \"git_sha\": \"{}\",\n  \"smoke\": {},\n  \"hosts\": {HOSTS},\n  \
          \"events\": {base_events},\n  \
-         \"global_events_per_sec\": {base_rate:.0},\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"global_events_per_sec\": {base_rate:.0},\n  \
+         \"queue_bound\": {{\n    \"resident_events\": {},\n    \
+         \"heap_events_per_sec\": {qb_heap_rate:.0},\n    \
+         \"wheel_events_per_sec\": {qb_wheel_rate:.0},\n    \
+         \"wheel_over_heap\": {wheel_over_heap:.3}\n  }},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
         meta.toolchain,
         meta.git_sha,
         meta.smoke,
+        HOSTS * CHAINS_PER_HOST,
         rows.join(",\n")
     );
     obsv::json::parse(&json).expect("engine JSON parses");

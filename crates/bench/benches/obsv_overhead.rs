@@ -13,7 +13,7 @@
 //! The vendored Criterion stub has no machine-readable output, so this
 //! bench is a plain `harness = false` main with its own timing loop.
 
-use obsv::{AttrValue, Recorder, RecorderConfig, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, Recorder, RecorderConfig, SpanId, Subsystem};
 use rattrap::{PlatformKind, ScenarioConfig, Simulation};
 use std::hint::black_box;
 use std::time::Instant;
@@ -39,8 +39,8 @@ fn recorder_throughput() -> f64 {
         for i in 0..EVENTS {
             rec.set_now(i);
             let span = rec.span_start(Subsystem::Rattrap, "bench", SpanId::NONE);
-            rec.span_end_at(span, i + 1, vec![("i", AttrValue::U64(i))]);
-            rec.instant(Subsystem::Simkit, "tick", vec![]);
+            rec.span_end_at(span, i + 1, attrs![("i", AttrValue::U64(i))]);
+            rec.instant(Subsystem::Simkit, "tick", attrs![]);
         }
         black_box(rec.event_count());
     });
@@ -48,16 +48,40 @@ fn recorder_throughput() -> f64 {
     (EVENTS * 3) as f64 / secs
 }
 
-fn sim_secs(instrumented: bool) -> f64 {
-    median_secs(15, || {
-        let cfg =
-            ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, 7);
-        let mut sim = Simulation::new(cfg);
-        if instrumented {
-            sim.set_recorder(Recorder::enabled(RecorderConfig::default()));
+/// Disabled- and enabled-recorder wall time of the Fig. 9-scale run.
+///
+/// One run is only ~4 ms, far too short to time on its own, so each
+/// sample aggregates `REPS` back-to-back runs; and the two arms are
+/// sampled *interleaved* (disabled, enabled, disabled, …) so thermal
+/// or allocator drift lands on both equally instead of biasing
+/// whichever arm happens to run second.
+fn sim_pair() -> (f64, f64) {
+    const REPS: usize = 8;
+    const SAMPLES: usize = 9;
+    let run = |instrumented: bool| {
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let cfg =
+                ScenarioConfig::paper_default(PlatformKind::Rattrap.config(), WorkloadKind::Ocr, 7);
+            let mut sim = Simulation::new(cfg);
+            if instrumented {
+                sim.set_recorder(Recorder::enabled(RecorderConfig::default()));
+            }
+            black_box(sim.run());
         }
-        black_box(sim.run());
-    })
+        t.elapsed().as_secs_f64() / REPS as f64
+    };
+    // Warm allocator + caches so neither arm pays first-touch costs.
+    run(false);
+    run(true);
+    let (mut disabled, mut enabled) = (Vec::new(), Vec::new());
+    for _ in 0..SAMPLES {
+        disabled.push(run(false));
+        enabled.push(run(true));
+    }
+    disabled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    enabled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (disabled[SAMPLES / 2], enabled[SAMPLES / 2])
 }
 
 fn main() {
@@ -69,12 +93,7 @@ fn main() {
     let throughput = recorder_throughput();
     println!("recorder throughput: {:.3e} events/sec", throughput);
 
-    // Warm allocator + caches so neither variant pays first-touch
-    // costs; the runs are ~4ms each, small enough for warmup to skew
-    // the ratio otherwise.
-    sim_secs(true);
-    let disabled = sim_secs(false);
-    let enabled = sim_secs(true);
+    let (disabled, enabled) = sim_pair();
     let overhead = enabled / disabled;
     println!("sim (recorder disabled): {disabled:.4}s");
     println!("sim (recorder enabled):  {enabled:.4}s");

@@ -31,7 +31,7 @@ use crate::rebalance::Rebalancer;
 use crate::report::{ControlStats, FleetReport, FleetRequestRecord, HostReport};
 use crate::router::{RouteReason, Router};
 use netsim::{Direction, Link, SharedLink};
-use obsv::{AttrValue, Recorder, SpanId, Subsystem, TraceSnapshot};
+use obsv::{attrs, AttrValue, Recorder, SpanId, Subsystem, TraceSnapshot};
 use rattrap::warehouse::{aid_of, Aid};
 use rattrap::{AppWarehouse, Phase};
 use simkit::faults::FaultPlan;
@@ -268,7 +268,10 @@ impl ControlLp {
         let admission = AdmissionCtl::new(cfg.host_specs.len(), cfg.admission_capacity);
         let autoscaler = Autoscaler::new(cfg.autoscale);
         let rebalancer = Rebalancer::new(cfg.rebalance);
-        let fabric = SharedLink::new(cfg.interconnect_bps, cfg.interconnect_bps);
+        let mut fabric = SharedLink::new(cfg.interconnect_bps, cfg.interconnect_bps);
+        // Digest-neutral for the fleet (no per-pop sampling); see
+        // FairShareExecutor::eager_check_cancel.
+        fabric.eager_check_cancel();
         let link = Link::new(cfg.scenario);
         let horizon = SimTime::ZERO.saturating_add(cfg.traffic.duration);
         let aids: Vec<Aid> = WorkloadKind::ALL
@@ -434,7 +437,7 @@ impl ControlLp {
                     self.rec.instant(
                         Subsystem::Fleet,
                         "route",
-                        vec![
+                        attrs![
                             ("host", AttrValue::U64(d.host as u64)),
                             ("reason", AttrValue::Str(d.reason.label())),
                             ("aid", AttrValue::Text(aid.0.clone())),
@@ -468,7 +471,7 @@ impl ControlLp {
             self.rec.instant(
                 Subsystem::Fleet,
                 "shed",
-                vec![(
+                attrs![(
                     "fallback",
                     AttrValue::U64(self.cfg.resilience.fallback_local as u64),
                 )],
@@ -604,7 +607,7 @@ impl ControlLp {
             self.rec.instant(
                 Subsystem::Fleet,
                 "host_crash",
-                vec![
+                attrs![
                     ("host", AttrValue::U64(victim as u64)),
                     ("stranded", AttrValue::U64(affected.len() as u64)),
                 ],
@@ -621,7 +624,7 @@ impl ControlLp {
                 self.rec.instant(
                     Subsystem::Fleet,
                     "reroute",
-                    vec![
+                    attrs![
                         ("from_host", AttrValue::U64(victim as u64)),
                         ("attempt", AttrValue::U64(self.reqs[req].attempts as u64)),
                     ],
@@ -666,7 +669,7 @@ impl ControlLp {
             self.rec.span_end_at(
                 self.hosts[host].scale_span,
                 now.as_micros(),
-                vec![("host", AttrValue::U64(host as u64))],
+                attrs![("host", AttrValue::U64(host as u64))],
             );
             self.hosts[host].scale_span = SpanId::NONE;
         }
@@ -733,7 +736,7 @@ impl ControlLp {
             self.rec.instant(
                 Subsystem::Fleet,
                 "migration_done",
-                vec![
+                attrs![
                     ("from", AttrValue::U64(from as u64)),
                     ("to", AttrValue::U64(to as u64)),
                     ("state_bytes", AttrValue::U64(state_bytes)),
@@ -807,7 +810,7 @@ impl ControlLp {
                 "scale_up",
                 SpanId::NONE,
                 now.as_micros(),
-                vec![("host", AttrValue::U64(host as u64))],
+                attrs![("host", AttrValue::U64(host as u64))],
             );
         }
         let hgen = self.hosts[host].gen;
@@ -828,7 +831,7 @@ impl ControlLp {
             self.rec.instant(
                 Subsystem::Fleet,
                 "drain",
-                vec![("host", AttrValue::U64(victim as u64))],
+                attrs![("host", AttrValue::U64(victim as u64))],
             );
         }
         self.rebuild_ring();
@@ -964,7 +967,12 @@ impl HostLp {
         let mut host = CloudHost::new(spec);
         host.kernel.load_android_container_driver();
         host.attach_recorder(rec.clone());
-        let cpu = FairShareExecutor::new(spec.cores as f64, 1.0);
+        let mut cpu = FairShareExecutor::new(spec.cores as f64, 1.0);
+        // The fleet samples no per-pop state, so dropping superseded
+        // completion checks from the pop stream is digest-neutral here
+        // (locked by the fleet golden test) and saves a stale pop per
+        // job-set mutation — exp_mega reschedules millions of times.
+        cpu.eager_check_cancel();
         let warehouse = AppWarehouse::new(cfg.warehouse_capacity);
         let link = Link::new(cfg.scenario);
         let aids: Vec<Aid> = WorkloadKind::ALL
@@ -1387,7 +1395,7 @@ impl HostLp {
                 "migrate",
                 SpanId::NONE,
                 now.as_micros(),
-                vec![
+                attrs![
                     ("instance", AttrValue::U64(victim.0 as u64)),
                     ("dst", AttrValue::U64(dst as u64)),
                     ("state_bytes", AttrValue::U64(ckpt.state_bytes())),

@@ -24,7 +24,7 @@ use crate::logger::LoggerDriver;
 use crate::module::module_providing;
 use crate::module::{module_by_name, ModuleSpec, ANDROID_CONTAINER_DRIVER};
 use crate::process::ProcessTable;
-use obsv::{AttrValue, Recorder, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, Recorder, SpanId, Subsystem};
 use simkit::SimDuration;
 use std::collections::BTreeMap;
 
@@ -156,7 +156,7 @@ impl Kernel {
                 "insmod",
                 SpanId::NONE,
                 now,
-                vec![
+                attrs![
                     ("module", AttrValue::Str(spec.name)),
                     ("kernel_memory", AttrValue::U64(spec.kernel_memory_bytes)),
                 ],
@@ -195,7 +195,7 @@ impl Kernel {
         self.rec.instant(
             Subsystem::Hostkernel,
             "rmmod",
-            vec![("module", AttrValue::Str(m.spec.name))],
+            attrs![("module", AttrValue::Str(m.spec.name))],
         );
         Ok(())
     }

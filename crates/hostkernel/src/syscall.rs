@@ -12,7 +12,7 @@ use crate::binder::BinderHandle;
 use crate::device::DeviceKind;
 use crate::error::KernelResult;
 use crate::kernel::Kernel;
-use obsv::{AttrValue, Subsystem};
+use obsv::{attrs, AttrValue, Subsystem};
 use simkit::SimTime;
 
 /// The Android syscalls the offloading path exercises.
@@ -121,7 +121,7 @@ impl Kernel {
                     self.recorder().instant(
                         Subsystem::Hostkernel,
                         "binder.transact",
-                        vec![
+                        attrs![
                             ("ns", AttrValue::U64(ns as u64)),
                             ("service", AttrValue::Text(service)),
                             ("bytes", AttrValue::U64(payload_bytes)),
@@ -141,7 +141,7 @@ impl Kernel {
                     self.recorder().instant(
                         Subsystem::Hostkernel,
                         "binder.transact_oneway",
-                        vec![
+                        attrs![
                             ("ns", AttrValue::U64(ns as u64)),
                             ("service", AttrValue::Text(service)),
                             ("bytes", AttrValue::U64(payload_bytes)),
@@ -172,7 +172,7 @@ impl Kernel {
                     self.recorder().instant(
                         Subsystem::Hostkernel,
                         "logcat",
-                        vec![
+                        attrs![
                             ("ns", AttrValue::U64(ns as u64)),
                             ("priority", AttrValue::U64(priority as u64)),
                             ("tag", AttrValue::Text(tag.clone())),

@@ -27,7 +27,7 @@
 //! [`Link`]: crate::Link
 
 use crate::scenario::{Direction, NetworkScenario};
-use obsv::{AttrValue, Recorder, Subsystem};
+use obsv::{attrs, AttrValue, Recorder, Subsystem};
 use simkit::{EventQueue, FairShareExecutor, JobId, SimTime};
 
 /// A shared medium of fixed aggregate bandwidth. `T` is the caller's
@@ -50,6 +50,15 @@ impl<T> SharedLink<T> {
             capacity_bps,
             rec: Recorder::disabled(),
         }
+    }
+
+    /// Cancel superseded completion checks out of the driving queue
+    /// instead of letting them pop as stale-epoch no-ops (see
+    /// [`simkit::FairShareExecutor::eager_check_cancel`] for the
+    /// pop-stream caveat — consumers pinned to the historical pop
+    /// stream must not enable this).
+    pub fn eager_check_cancel(&mut self) {
+        self.exec.eager_check_cancel();
     }
 
     /// Report into `rec`: the inner executor records one span per
@@ -110,7 +119,7 @@ impl<T> SharedLink<T> {
             Subsystem::Netsim,
             "link.interrupt",
             now.as_micros(),
-            vec![
+            attrs![
                 ("transfer", AttrValue::U64(transfer.0)),
                 ("remaining_bytes", AttrValue::F64(remaining)),
             ],
@@ -138,7 +147,7 @@ impl<T> SharedLink<T> {
             Subsystem::Netsim,
             "link.degrade",
             now.as_micros(),
-            vec![("factor", AttrValue::F64(factor))],
+            attrs![("factor", AttrValue::F64(factor))],
         );
     }
 

@@ -42,4 +42,4 @@ pub mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, SimHistogram};
 pub use recorder::{Recorder, RecorderConfig, TraceSnapshot};
-pub use span::{AttrValue, SpanId, Subsystem, TraceEvent};
+pub use span::{AttrValue, Attrs, AttrsIter, SpanId, Subsystem, TraceEvent};

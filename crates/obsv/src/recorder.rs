@@ -3,7 +3,7 @@
 use crate::metrics::{Counter, Gauge, Histogram, MetricsStore, SimHistogram};
 use crate::span::{AttrValue, Attrs, SpanId, Subsystem, TraceEvent};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Recorder configuration: ring capacity and per-subsystem sampling.
@@ -64,7 +64,12 @@ pub(crate) struct Inner {
     /// lets e.g. an executor parent its job spans under the phase
     /// span the engine is currently in.
     ambient_parent: SpanId,
-    events: VecDeque<TraceEvent>,
+    /// Fixed-capacity ring: grows up to `cfg.capacity`, then wraps in
+    /// place — eviction overwrites the oldest slot directly instead of
+    /// shifting, so a full ring costs one slot drop + one move per
+    /// event. `ring_start` is the logical head once wrapped.
+    events: Vec<TraceEvent>,
+    ring_start: usize,
     dropped: u64,
     sample_counters: [u32; 8],
     pub(crate) metrics: MetricsStore,
@@ -73,11 +78,24 @@ pub(crate) struct Inner {
 
 impl Inner {
     fn push(&mut self, ev: TraceEvent) {
-        if self.events.len() >= self.cfg.capacity {
-            self.events.pop_front();
+        if self.events.len() < self.cfg.capacity {
+            self.events.push(ev);
+        } else if self.cfg.capacity == 0 {
+            self.dropped += 1;
+        } else {
+            self.events[self.ring_start] = ev;
+            self.ring_start += 1;
+            if self.ring_start == self.cfg.capacity {
+                self.ring_start = 0;
+            }
             self.dropped += 1;
         }
-        self.events.push_back(ev);
+    }
+
+    /// Buffered events in emission (oldest-first) order.
+    fn iter_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.events.split_at(self.ring_start);
+        head.iter().chain(tail)
     }
 
     fn stamp_req(&self, attrs: &mut Attrs) {
@@ -111,7 +129,8 @@ impl Recorder {
                 next_span: 0,
                 current_req: None,
                 ambient_parent: SpanId::NONE,
-                events: VecDeque::new(),
+                events: Vec::new(),
+                ring_start: 0,
                 dropped: 0,
                 sample_counters: [0; 8],
                 metrics: MetricsStore::default(),
@@ -173,7 +192,7 @@ impl Recorder {
     /// the subsystem is sampled out entirely.
     pub fn span_start(&self, subsystem: Subsystem, name: &'static str, parent: SpanId) -> SpanId {
         let now = self.now_us();
-        self.span_start_at(subsystem, name, parent, now, Vec::new())
+        self.span_start_at(subsystem, name, parent, now, Attrs::new())
     }
 
     /// Open a span at an explicit time with attributes. Times may be
@@ -186,11 +205,12 @@ impl Recorder {
         name: &'static str,
         parent: SpanId,
         at_us: u64,
-        mut attrs: Attrs,
+        attrs: impl Into<Attrs>,
     ) -> SpanId {
         let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
+        let mut attrs = attrs.into();
         let mut inner = inner.borrow_mut();
         if inner.cfg.sample[subsystem.index()] == 0 {
             return SpanId::NONE;
@@ -218,32 +238,40 @@ impl Recorder {
     /// [`SpanId::NONE`]).
     pub fn span_end(&self, id: SpanId) {
         let now = self.now_us();
-        self.span_end_at(id, now, Vec::new());
+        self.span_end_at(id, now, Attrs::new());
     }
 
     /// Close `id` at an explicit time, attaching closing attributes
     /// (outcomes, cancellation flags).
-    pub fn span_end_at(&self, id: SpanId, at_us: u64, attrs: Attrs) {
+    pub fn span_end_at(&self, id: SpanId, at_us: u64, attrs: impl Into<Attrs>) {
         let Some(inner) = &self.inner else {
             return;
         };
         if !id.is_some() {
             return;
         }
-        inner
-            .borrow_mut()
-            .push(TraceEvent::End { id, at_us, attrs });
+        inner.borrow_mut().push(TraceEvent::End {
+            id,
+            at_us,
+            attrs: attrs.into(),
+        });
     }
 
     /// Record a point event at the current sim time. Instants honor
     /// the per-subsystem 1-in-N sampling control.
-    pub fn instant(&self, subsystem: Subsystem, name: &'static str, attrs: Attrs) {
+    pub fn instant(&self, subsystem: Subsystem, name: &'static str, attrs: impl Into<Attrs>) {
         let now = self.now_us();
         self.instant_at(subsystem, name, now, attrs);
     }
 
     /// Record a point event at an explicit time.
-    pub fn instant_at(&self, subsystem: Subsystem, name: &'static str, at_us: u64, attrs: Attrs) {
+    pub fn instant_at(
+        &self,
+        subsystem: Subsystem,
+        name: &'static str,
+        at_us: u64,
+        attrs: impl Into<Attrs>,
+    ) {
         let Some(inner) = &self.inner else {
             return;
         };
@@ -257,7 +285,7 @@ impl Recorder {
         if *c % n != 0 {
             return;
         }
-        let mut attrs = attrs;
+        let mut attrs = attrs.into();
         inner.stamp_req(&mut attrs);
         inner.push(TraceEvent::Instant {
             subsystem,
@@ -394,7 +422,7 @@ impl Recorder {
         };
         let inner = inner.borrow();
         TraceSnapshot {
-            events: inner.events.iter().cloned().collect(),
+            events: inner.iter_events().cloned().collect(),
             dropped: inner.dropped,
             counters: inner.metrics.counters_map(),
             gauges: inner.metrics.gauges_map(),

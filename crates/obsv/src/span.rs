@@ -118,9 +118,151 @@ impl fmt::Display for AttrValue {
     }
 }
 
+/// Filler for unused inline slots (never observable: iteration stops
+/// at `len`).
+const NO_ATTR: (&str, AttrValue) = ("", AttrValue::Bool(false));
+
 /// Attribute list — small, ordered, emitted as the Chrome `args`
 /// object.
-pub type Attrs = Vec<(&'static str, AttrValue)>;
+///
+/// Holds up to [`Attrs::INLINE`] pairs inline, so the hot recording
+/// path (and the [`attrs!`] builder macro) performs **zero heap
+/// allocation**; longer lists spill to the heap transparently. Keys
+/// are `&'static str` — interned at compile time — so building,
+/// cloning, and comparing attribute lists never copies key bytes.
+///
+/// [`attrs!`]: crate::attrs
+#[derive(Clone)]
+pub struct Attrs {
+    len: u8,
+    inline: [(&'static str, AttrValue); Attrs::INLINE],
+    spill: Vec<(&'static str, AttrValue)>,
+}
+
+impl Attrs {
+    /// Pairs stored inline before spilling to the heap. Sized for the
+    /// workspace's taxonomy: per-*event* emitters (executor job spans,
+    /// transfer spans, phase transitions) attach at most two pairs, so
+    /// the hot path never allocates — while keeping `TraceEvent` small
+    /// enough that ring writes don't eat the savings. The wider
+    /// per-*request* emitters (a root span's `req`/`device`/`app`)
+    /// spill once per request, which is noise.
+    pub const INLINE: usize = 2;
+
+    /// An empty list (no allocation; `const`-constructible).
+    pub const fn new() -> Self {
+        Attrs {
+            len: 0,
+            inline: [NO_ATTR; Attrs::INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append a pair, spilling to the heap past [`Attrs::INLINE`].
+    pub fn push(&mut self, attr: (&'static str, AttrValue)) {
+        if (self.len as usize) < Self::INLINE {
+            self.inline[self.len as usize] = attr;
+            self.len += 1;
+        } else {
+            self.spill.push(attr);
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// `true` when no pairs are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// Iterate pairs in insertion order.
+    pub fn iter(&self) -> AttrsIter<'_> {
+        self.inline[..self.len as usize].iter().chain(&self.spill)
+    }
+}
+
+/// Iterator over an [`Attrs`] list, in insertion order.
+pub type AttrsIter<'a> = std::iter::Chain<
+    std::slice::Iter<'a, (&'static str, AttrValue)>,
+    std::slice::Iter<'a, (&'static str, AttrValue)>,
+>;
+
+impl Default for Attrs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Attrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Attrs {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<'a> IntoIterator for &'a Attrs {
+    type Item = &'a (&'static str, AttrValue);
+    type IntoIter = AttrsIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<(&'static str, AttrValue)> for Attrs {
+    fn from_iter<I: IntoIterator<Item = (&'static str, AttrValue)>>(iter: I) -> Self {
+        let mut attrs = Attrs::new();
+        for attr in iter {
+            attrs.push(attr);
+        }
+        attrs
+    }
+}
+
+impl Extend<(&'static str, AttrValue)> for Attrs {
+    fn extend<I: IntoIterator<Item = (&'static str, AttrValue)>>(&mut self, iter: I) {
+        for attr in iter {
+            self.push(attr);
+        }
+    }
+}
+
+impl From<Vec<(&'static str, AttrValue)>> for Attrs {
+    fn from(v: Vec<(&'static str, AttrValue)>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<const N: usize> From<[(&'static str, AttrValue); N]> for Attrs {
+    fn from(v: [(&'static str, AttrValue); N]) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Build an [`Attrs`] list in place, without heap allocation for up to
+/// [`Attrs::INLINE`] pairs:
+///
+/// ```
+/// use obsv::{attrs, AttrValue};
+/// let a = attrs![("job", AttrValue::U64(7)), ("work", AttrValue::F64(1.5))];
+/// assert_eq!(a.len(), 2);
+/// ```
+#[macro_export]
+macro_rules! attrs {
+    () => { $crate::Attrs::new() };
+    ($($attr:expr),+ $(,)?) => {{
+        let mut a = $crate::Attrs::new();
+        $(a.push($attr);)+
+        a
+    }};
+}
 
 /// One entry in the recorder's ring buffer.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,7 +360,7 @@ mod tests {
             subsystem: Subsystem::Rattrap,
             name: "x",
             at_us: 5,
-            attrs: vec![("bytes", AttrValue::U64(3)), ("req", AttrValue::U64(42))],
+            attrs: attrs![("bytes", AttrValue::U64(3)), ("req", AttrValue::U64(42))],
         };
         assert_eq!(ev.request(), Some(42));
         assert_eq!(ev.at_us(), 5);

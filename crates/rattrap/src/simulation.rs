@@ -36,7 +36,7 @@ use crate::resilience::ResiliencePolicy;
 use crate::scheduler::{Monitor, PoolPolicy, ScaleAction, Scheduler};
 use crate::warehouse::{aid_of, AppWarehouse, WarehouseStats};
 use netsim::{Direction, Link, NetworkScenario};
-use obsv::{AttrValue, Counter, Recorder, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, Counter, Recorder, SpanId, Subsystem};
 use simkit::faults::{
     link_available_at, transfer_outcome, FaultConfig, FaultPlan, LinkWindow, StragglerWindow,
     TransferOutcome,
@@ -647,7 +647,7 @@ impl Simulation {
                 "request",
                 SpanId::NONE,
                 at,
-                vec![
+                attrs![
                     ("req", AttrValue::U64(record.id)),
                     ("device", AttrValue::U64(record.device as u64)),
                     ("app", AttrValue::Str(record.kind.app_id())),
@@ -661,7 +661,7 @@ impl Simulation {
         if next.is_terminal() {
             let root = std::mem::replace(&mut self.req_spans[req].root, SpanId::NONE);
             self.rec
-                .span_end_at(root, at, vec![("outcome", AttrValue::Str(next.name()))]);
+                .span_end_at(root, at, attrs![("outcome", AttrValue::Str(next.name()))]);
         } else {
             self.req_spans[req].phase = self.rec.span_start_at(
                 Subsystem::Rattrap,
@@ -1009,12 +1009,12 @@ impl Simulation {
             name,
             self.req_spans[req].root,
             start.as_micros(),
-            vec![("bytes", AttrValue::U64(bytes))],
+            attrs![("bytes", AttrValue::U64(bytes))],
         );
         let attrs = if interrupted {
-            vec![("interrupted", AttrValue::Bool(true))]
+            attrs![("interrupted", AttrValue::Bool(true))]
         } else {
-            Vec::new()
+            attrs![]
         };
         self.rec.span_end_at(span, end.as_micros(), attrs);
     }
@@ -1229,7 +1229,7 @@ impl Simulation {
                 self.rec.instant(
                     Subsystem::Containerfs,
                     "tmpfs.io",
-                    vec![
+                    attrs![
                         ("instance", AttrValue::U64(instance.0 as u64)),
                         ("bytes", AttrValue::U64(bytes)),
                     ],
@@ -1384,7 +1384,7 @@ impl Simulation {
             self.rec.instant(
                 Subsystem::Rattrap,
                 "slot.recycle",
-                vec![
+                attrs![
                     ("slot", AttrValue::U64(req as u64)),
                     ("generation", AttrValue::U64(self.slot_gen[req])),
                 ],
@@ -1397,7 +1397,7 @@ impl Simulation {
             self.rec.instant(
                 Subsystem::Rattrap,
                 "boot.done",
-                vec![("instance", AttrValue::U64(instance.0 as u64))],
+                attrs![("instance", AttrValue::U64(instance.0 as u64))],
             );
         }
         self.db.mark_ready(instance);
@@ -1448,7 +1448,7 @@ impl Simulation {
             self.rec.instant(
                 Subsystem::Simkit,
                 "fault.instance_crash",
-                vec![("instance", AttrValue::U64(victim.0 as u64))],
+                attrs![("instance", AttrValue::U64(victim.0 as u64))],
             );
         }
         let mut hit: Vec<usize> = Vec::new();
@@ -1534,7 +1534,7 @@ impl Simulation {
             self.rec.instant(
                 Subsystem::Simkit,
                 "fault.strike",
-                vec![("phase", AttrValue::Str(phase.name()))],
+                attrs![("phase", AttrValue::Str(phase.name()))],
             );
         }
         // Invalidate every event the dead attempt scheduled.
@@ -1675,7 +1675,7 @@ impl Simulation {
             self.rec.instant(
                 Subsystem::Rattrap,
                 "retry",
-                vec![("attempt", AttrValue::U64(attempt))],
+                attrs![("attempt", AttrValue::U64(attempt))],
             );
         }
         match resume {

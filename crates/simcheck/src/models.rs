@@ -499,4 +499,98 @@ pub fn audit_timeline<T: Timeline>(timeline: &mut T, seed: u64, events: u32, aud
             );
         }
     }
+
+    // Phase 2: interleaved schedule/pop/cancel under churn. The bulk
+    // phase above loads everything up front; real engines mix the three
+    // constantly, and deltas here deliberately span every wheel regime —
+    // same-instant bursts, bottom-level, cross-level cascades, and
+    // far-future timers past the 2^42 µs horizon (overflow heap).
+    let mut now = last;
+    // Live events in scheduling order: (handle, at, tag). Tags increase
+    // with scheduling, so min-by (at, tag) is exactly the FIFO-tie
+    // reference order.
+    let mut live: Vec<(u64, SimTime, u32)> = Vec::new();
+    let mut next_tag = events;
+    for step in 0..events * 2 {
+        let op = rng.uniform_u64(0, 9);
+        if op < 4 {
+            let delta = match rng.uniform_u64(0, 3) {
+                0 => 0,
+                1 => rng.uniform_u64(0, 63),
+                2 => rng.uniform_u64(64, 1 << 24),
+                _ => rng.uniform_u64(1 << 24, 1 << 43),
+            };
+            let at = SimTime::from_micros(now.as_micros() + delta);
+            let h = timeline.schedule(at, next_tag);
+            live.push((h, at, next_tag));
+            next_tag += 1;
+        } else if op < 8 || live.is_empty() {
+            let reference = live
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(_, at, tag))| (at, tag))
+                .map(|(i, _)| i);
+            match (timeline.pop(), reference) {
+                (Some((at, tag)), Some(i)) => {
+                    let (_, e_at, e_tag) = live.remove(i);
+                    audit.ensure(
+                        EVENT_MONOTONICITY,
+                        (at, tag) == (e_at, e_tag),
+                        format!("churn step {step}"),
+                        || format!("popped ({at}, {tag}), reference says ({e_at}, {e_tag})"),
+                    );
+                    audit.ensure(
+                        EVENT_MONOTONICITY,
+                        at >= now,
+                        format!("churn step {step}"),
+                        || format!("time ran backwards: {now} then {at}"),
+                    );
+                    now = at;
+                }
+                (None, None) => {}
+                (got, want) => {
+                    audit.ensure(
+                        EVENT_MONOTONICITY,
+                        false,
+                        format!("churn step {step}"),
+                        || format!("pop returned {got:?} but reference index is {want:?}"),
+                    );
+                    // Keep the audit clock in sync with whatever the
+                    // (buggy) queue returned, so later schedules stay
+                    // legal and the audit records failures instead of
+                    // tripping the queue's own past-schedule assert.
+                    if let Some((at, _)) = got {
+                        now = now.max(at);
+                    }
+                }
+            }
+        } else {
+            let i = rng.uniform_u64(0, live.len() as u64 - 1) as usize;
+            let (h, _, _) = live.remove(i);
+            audit.ensure(
+                EVENT_MONOTONICITY,
+                timeline.cancel(h),
+                format!("churn step {step}"),
+                || "live event refused cancellation".to_owned(),
+            );
+        }
+    }
+    // Drain what churn left behind; the full remainder must come out in
+    // reference order.
+    live.sort_by_key(|&(_, at, tag)| (at, tag));
+    for (i, &(_, e_at, e_tag)) in live.iter().enumerate() {
+        let got = timeline.pop();
+        audit.ensure(
+            EVENT_MONOTONICITY,
+            got == Some((e_at, e_tag)),
+            format!("churn drain {i}"),
+            || format!("popped {got:?}, reference says ({e_at}, {e_tag})"),
+        );
+    }
+    audit.ensure(
+        EVENT_MONOTONICITY,
+        timeline.pop().is_none(),
+        "churn drain end",
+        || "queue still yields events after the reference model is empty".to_owned(),
+    );
 }

@@ -209,7 +209,7 @@ fn span_tree_fires_on_unclosed_orphaned_and_inverted_spans() {
                 subsystem: Subsystem::Rattrap,
                 name: "request",
                 at_us: 10,
-                attrs: vec![],
+                attrs: obsv::Attrs::new(),
             },
             // Child of a span that never opened.
             TraceEvent::Begin {
@@ -218,13 +218,13 @@ fn span_tree_fires_on_unclosed_orphaned_and_inverted_spans() {
                 subsystem: Subsystem::Netsim,
                 name: "transfer",
                 at_us: 20,
-                attrs: vec![],
+                attrs: obsv::Attrs::new(),
             },
             // Ends before it began.
             TraceEvent::End {
                 id: SpanId(2),
                 at_us: 5,
-                attrs: vec![],
+                attrs: obsv::Attrs::new(),
             },
             // Span 1 never closes.
         ],
@@ -416,7 +416,10 @@ impl Timeline for LifoTiesTimeline {
             .enumerate()
             .filter(|(_, e)| !e.2)
             .max_by(|(ai, a), (bi, b)| b.0.cmp(&a.0).then(ai.cmp(bi)))?;
-        let (at, tag, _) = self.events.remove(idx);
+        // Tombstone rather than remove: handles are positional and must
+        // stay valid for cancels that arrive after pops.
+        let (at, tag, _) = self.events[idx];
+        self.events[idx].2 = true;
         Some((at, tag))
     }
 }

@@ -19,10 +19,10 @@
 //! takes a constructor closure from the fresh epoch to an event, so an
 //! executor embeds in any simulation without dynamic dispatch.
 
-use crate::event::EventQueue;
+use crate::event::{EventId, EventQueue};
 use crate::resource::{FairShareResource, JobId};
 use crate::time::{SimDuration, SimTime};
-use obsv::{AttrValue, Counter, Recorder, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, Counter, Recorder, SpanId, Subsystem};
 use std::collections::BTreeMap;
 
 /// Work remaining at or below this is "done" (float slack on
@@ -56,6 +56,19 @@ pub struct FairShareExecutor<T> {
     resource: FairShareResource,
     epoch: u64,
     jobs: BTreeMap<u64, T>,
+    /// Handle of the outstanding completion-check event, cancelled on
+    /// the next [`FairShareExecutor::reschedule`] (when
+    /// [`FairShareExecutor::eager_check_cancel`] is on) so superseded
+    /// checks never surface from the queue. The epoch stamp stays as
+    /// defense in depth either way.
+    pending: Option<EventId>,
+    /// Cancel superseded checks eagerly instead of letting them pop as
+    /// stale-epoch no-ops. Off by default: consumers whose golden
+    /// digests pin the historical pop stream (the rattrap host closes
+    /// a float-accumulating sampler interval at *every* pop, so even
+    /// semantically-neutral pop removal is bit-visible) must keep the
+    /// legacy stream.
+    eager_cancel: bool,
     obs: Option<ExecObs>,
 }
 
@@ -76,6 +89,8 @@ impl<T> FairShareExecutor<T> {
             resource,
             epoch: 0,
             jobs: BTreeMap::new(),
+            pending: None,
+            eager_cancel: false,
             obs: None,
         }
     }
@@ -98,6 +113,21 @@ impl<T> FairShareExecutor<T> {
             device,
             job_spans: BTreeMap::new(),
         });
+    }
+
+    /// Cancel superseded completion checks out of the queue instead of
+    /// letting them surface as stale-epoch no-op pops. O(1) per
+    /// reschedule on the timing-wheel queue and semantically neutral —
+    /// stale checks are rejected by the epoch guard either way — but
+    /// it *changes the pop stream*, so consumers that derive
+    /// order-sensitive float accumulations from raw pops (the rattrap
+    /// host's per-pop sampler, pinned by the golden digests) must not
+    /// enable it. The same `queue` must then drive the executor for
+    /// its whole lifetime (every caller in the workspace already
+    /// does); generation-tagged [`EventId`]s make a mismatched cancel
+    /// a harmless miss rather than an aliased cancellation.
+    pub fn eager_check_cancel(&mut self) {
+        self.eager_cancel = true;
     }
 
     /// The underlying shared device (read-only; mutations must go
@@ -137,7 +167,7 @@ impl<T> FairShareExecutor<T> {
                 obs.device,
                 SpanId::NONE,
                 now.as_micros(),
-                vec![
+                attrs![
                     ("job", AttrValue::U64(job.0)),
                     ("work", AttrValue::F64(work)),
                 ],
@@ -156,7 +186,7 @@ impl<T> FairShareExecutor<T> {
                 obs.rec.span_end_at(
                     span,
                     now.as_micros(),
-                    vec![("cancelled", AttrValue::Bool(true))],
+                    attrs![("cancelled", AttrValue::Bool(true))],
                 );
             }
         }
@@ -191,7 +221,7 @@ impl<T> FairShareExecutor<T> {
                 Subsystem::Simkit,
                 "set_capacity",
                 now.as_micros(),
-                vec![
+                attrs![
                     ("device", AttrValue::Str(obs.device)),
                     ("capacity", AttrValue::F64(capacity)),
                 ],
@@ -200,10 +230,18 @@ impl<T> FairShareExecutor<T> {
     }
 
     /// Advance the device to `now`, invalidate any outstanding
-    /// completion check by bumping the epoch, and — if jobs remain —
-    /// schedule a fresh check into `queue` at the predicted next
-    /// completion (with grid slack), built by `make_event` from the
-    /// new epoch.
+    /// completion check (cancelling its event *and* bumping the
+    /// epoch), and — if jobs remain — schedule a fresh check into
+    /// `queue` at the predicted next completion (with grid slack),
+    /// built by `make_event` from the new epoch.
+    ///
+    /// With [`eager_check_cancel`] enabled, the superseded check is
+    /// also cancelled out of the queue (O(1) on the timing wheel), so
+    /// the executor keeps **at most one** check event resident per
+    /// device regardless of how often the job set mutates — instead of
+    /// a trail of stale-epoch pops.
+    ///
+    /// [`eager_check_cancel`]: FairShareExecutor::eager_check_cancel
     pub fn reschedule<E>(
         &mut self,
         now: SimTime,
@@ -212,11 +250,16 @@ impl<T> FairShareExecutor<T> {
     ) {
         self.resource.advance_to(now);
         self.epoch += 1;
+        if let Some(id) = self.pending.take() {
+            if self.eager_cancel {
+                queue.cancel(id);
+            }
+        }
         if let Some(obs) = &self.obs {
             obs.reschedules.inc();
         }
         if let Some((t, _)) = self.resource.next_completion() {
-            queue.schedule(t.max(now) + CHECK_SLACK, make_event(self.epoch));
+            self.pending = Some(queue.schedule(t.max(now) + CHECK_SLACK, make_event(self.epoch)));
         }
     }
 
@@ -237,6 +280,8 @@ impl<T> FairShareExecutor<T> {
             }
             return None;
         }
+        // This check just fired; its handle is spent.
+        self.pending = None;
         self.resource.advance_to(now);
         let finished: Vec<u64> = self
             .jobs
@@ -418,6 +463,28 @@ mod tests {
             drain(&mut exec, &mut queue)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reschedule_keeps_at_most_one_check_resident() {
+        let mut exec = FairShareExecutor::new(1.0, 1.0);
+        exec.eager_check_cancel();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        exec.submit(SimTime::ZERO, 100.0, 1u32);
+        // A mutation-heavy pattern: every submit triggers a reschedule,
+        // which previously left the superseded check behind as a
+        // stale-epoch event. Now it is cancelled eagerly.
+        for i in 0..50 {
+            exec.submit(t(0.001 * f64::from(i)), 100.0, i as u32);
+            exec.reschedule(t(0.001 * f64::from(i)), &mut queue, Ev::Check);
+            assert_eq!(queue.len(), 1, "exactly one completion check resident");
+        }
+        // And the surviving check is the live one: draining completes
+        // every job without a single stale pop.
+        let done = drain(&mut exec, &mut queue);
+        assert_eq!(done.len(), 51);
+        assert!(exec.is_idle());
+        assert!(queue.is_empty());
     }
 
     #[test]

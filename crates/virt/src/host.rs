@@ -17,7 +17,7 @@ use containerfs::{
     UnionMount,
 };
 use hostkernel::{CgroupId, DeviceKind, HostSpec, Kernel, KernelError, Syscall, SyscallRet};
-use obsv::{AttrValue, Recorder, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, Recorder, SpanId, Subsystem};
 use simkit::resource::OutOfMemory;
 use simkit::{MemoryPool, SimDuration};
 use std::collections::{BTreeMap, BTreeSet};
@@ -255,7 +255,7 @@ impl CloudHost {
                         self.rec.instant(
                             Subsystem::Containerfs,
                             "union.mount",
-                            vec![
+                            attrs![
                                 ("instance", AttrValue::U64(id.0 as u64)),
                                 ("exclusive_bytes", AttrValue::U64(excl)),
                             ],
@@ -292,7 +292,7 @@ impl CloudHost {
                 "provision",
                 SpanId::NONE,
                 t0,
-                vec![
+                attrs![
                     ("instance", AttrValue::U64(id.0 as u64)),
                     ("class", AttrValue::Str(class.label())),
                 ],
@@ -340,7 +340,7 @@ impl CloudHost {
             self.rec.instant(
                 Subsystem::Virt,
                 "teardown",
-                vec![
+                attrs![
                     ("instance", AttrValue::U64(id.0 as u64)),
                     ("class", AttrValue::Str(inst.class.label())),
                 ],
@@ -410,7 +410,7 @@ impl CloudHost {
                 "load_app",
                 SpanId::NONE,
                 now,
-                vec![
+                attrs![
                     ("instance", AttrValue::U64(id.0 as u64)),
                     ("app", AttrValue::Text(app_id.to_string())),
                     ("code_bytes", AttrValue::U64(code_bytes)),
@@ -460,7 +460,7 @@ impl CloudHost {
                 self.rec.instant(
                     Subsystem::Containerfs,
                     "tmpfs.io",
-                    vec![
+                    attrs![
                         ("instance", AttrValue::U64(id.0 as u64)),
                         ("bytes", AttrValue::U64(bytes)),
                     ],

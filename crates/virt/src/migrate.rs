@@ -12,7 +12,7 @@
 use crate::host::{CloudHost, HostError, InstanceId};
 use crate::spec::RuntimeClass;
 use containerfs::FsImage;
-use obsv::{AttrValue, SpanId, Subsystem};
+use obsv::{attrs, AttrValue, SpanId, Subsystem};
 use simkit::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 
@@ -95,7 +95,7 @@ fn checkpoint_traced(
             "migrate.checkpoint",
             parent,
             at_us,
-            vec![
+            attrs![
                 ("instance", AttrValue::U64(id.0 as u64)),
                 ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
                 ("apps", AttrValue::U64(ckpt.apps.len() as u64)),
@@ -149,7 +149,7 @@ fn restore_traced(
             "migrate.restore",
             parent,
             at_us,
-            vec![
+            attrs![
                 ("instance", AttrValue::U64(id.0 as u64)),
                 ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
             ],
@@ -183,7 +183,7 @@ pub fn migrate(
         "migrate",
         SpanId::NONE,
         t0,
-        vec![
+        attrs![
             ("instance", AttrValue::U64(id.0 as u64)),
             ("mode", AttrValue::Str("stop_and_copy")),
         ],
@@ -197,7 +197,7 @@ pub fn migrate(
             "migrate.transfer",
             root,
             transfer_starts,
-            vec![
+            attrs![
                 ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
                 ("link_bps", AttrValue::F64(link_bps)),
             ],
@@ -211,7 +211,7 @@ pub fn migrate(
     rec.span_end_at(
         root,
         t0 + downtime.as_micros(),
-        vec![
+        attrs![
             ("state_bytes", AttrValue::U64(ckpt.state_bytes())),
             ("new_instance", AttrValue::U64(new_id.0 as u64)),
         ],
@@ -248,7 +248,7 @@ pub fn migrate_precopy(
         "migrate",
         SpanId::NONE,
         t0,
-        vec![
+        attrs![
             ("instance", AttrValue::U64(id.0 as u64)),
             ("mode", AttrValue::Str("precopy")),
             ("rounds", AttrValue::U64(rounds as u64)),
@@ -270,7 +270,7 @@ pub fn migrate_precopy(
             "migrate.transfer",
             root,
             t0,
-            vec![
+            attrs![
                 (
                     "state_bytes",
                     AttrValue::U64(total_bytes as u64 + dirty as u64),
@@ -294,7 +294,7 @@ pub fn migrate_precopy(
     rec.span_end_at(
         root,
         t0 + stream.as_micros() + downtime.as_micros(),
-        vec![
+        attrs![
             ("state_bytes", AttrValue::U64(state_bytes)),
             ("new_instance", AttrValue::U64(new_id.0 as u64)),
         ],
