@@ -57,8 +57,7 @@ fn main() {
     let speedup = cells[2].1 / cells[0].1.max(1e-9);
     println!("1 → 4 host speedup: {speedup:.2}x");
 
-    let out =
-        std::env::var("BENCH_CLUSTER_OUT").unwrap_or_else(|_| "BENCH_cluster.json".to_owned());
+    let out = rattrap_bench::meta::baseline_out("BENCH_CLUSTER_OUT", "BENCH_cluster.json");
     let rows: Vec<String> = cells
         .iter()
         .map(|(h, rps, wall)| {
@@ -81,6 +80,6 @@ fn main() {
         rows.join(",\n")
     );
     obsv::json::parse(&json).expect("baseline JSON parses");
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("baseline written to {out}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("baseline written to {}", out.display());
 }

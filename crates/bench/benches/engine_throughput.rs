@@ -344,7 +344,7 @@ fn main() {
          {qb_wheel_rate:.0} events/s ({wheel_over_heap:.2}x heap)"
     );
 
-    let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_owned());
+    let out = rattrap_bench::meta::baseline_out("BENCH_ENGINE_OUT", "BENCH_engine.json");
     let rows: Vec<String> = cells
         .iter()
         .map(|(threads, rate, wall)| {
@@ -372,6 +372,6 @@ fn main() {
         rows.join(",\n")
     );
     obsv::json::parse(&json).expect("engine JSON parses");
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("baseline written to {out}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("baseline written to {}", out.display());
 }

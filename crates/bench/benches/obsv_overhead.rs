@@ -99,7 +99,7 @@ fn main() {
     println!("sim (recorder enabled):  {enabled:.4}s");
     println!("enabled/disabled ratio:  {overhead:.3}");
 
-    let out = std::env::var("BENCH_OBSV_OUT").unwrap_or_else(|_| "BENCH_obsv.json".to_owned());
+    let out = rattrap_bench::meta::baseline_out("BENCH_OBSV_OUT", "BENCH_obsv.json");
     let json = format!(
         "{{\n  \"bench\": \"obsv_overhead\",\n  \"seed\": {},\n  \"toolchain\": \"{}\",\n  \
          \"git_sha\": \"{}\",\n  \"smoke\": {},\n  \
@@ -116,6 +116,6 @@ fn main() {
         overhead
     );
     obsv::json::parse(&json).expect("baseline JSON parses");
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("baseline written to {out}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("baseline written to {}", out.display());
 }

@@ -2,8 +2,10 @@
 //! committed baseline under `results/` with explicit tolerances.
 //!
 //! ```text
-//! perf_gate engine results/BENCH_engine.json candidate_engine.json
-//! perf_gate obsv   results/BENCH_obsv.json   candidate_obsv.json
+//! perf_gate engine  results/BENCH_engine.json  candidate_engine.json
+//! perf_gate obsv    results/BENCH_obsv.json    candidate_obsv.json
+//! perf_gate cluster results/BENCH_cluster.json candidate_cluster.json
+//! perf_gate geo     results/BENCH_geo.json     candidate_geo.json
 //! ```
 //!
 //! Prints a markdown delta table (also appended to the file named by
@@ -42,10 +44,18 @@
 //!   cargo bench --offline -p rattrap-bench --bench engine_throughput
 //! BENCH_OBSV_OUT=results/BENCH_obsv.json \
 //!   cargo bench --offline -p rattrap-bench --bench obsv_overhead
+//! BENCH_CLUSTER_OUT=results/BENCH_cluster.json \
+//!   cargo bench --offline -p rattrap-bench --bench cluster_scaling
+//! BENCH_GEO_OUT=results/BENCH_geo.json \
+//!   cargo bench --offline -p rattrap-bench --bench geo_hierarchy
 //! ```
 //!
 //! and justify the delta in the PR description (EXPERIMENTS.md keeps
-//! the before/after history).
+//! the before/after history). Relative `BENCH_*_OUT` paths are
+//! anchored at the workspace root regardless of invocation cwd
+//! (`rattrap_bench::meta::baseline_out`) — `cargo bench` runs bench
+//! executables from the package dir, which is never where the
+//! baseline belongs.
 
 use obsv::json::{self, Value};
 use std::fmt;
@@ -261,10 +271,120 @@ fn compare_obsv(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
     rows
 }
 
+fn compare_cluster(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Simulated speedup is seed-deterministic; hardware cancels.
+    check(
+        &mut rows,
+        base,
+        cand,
+        "speedup_1_to_4",
+        "1 → 4 host speedup",
+        true,
+        true,
+        same_mode,
+    );
+    let empty: [Value; 0] = [];
+    let cells = base
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .unwrap_or(&empty);
+    for (i, cell) in cells.iter().enumerate() {
+        let hosts = cell
+            .get("hosts")
+            .and_then(|h| h.as_f64())
+            .map(|h| h as u64)
+            .unwrap_or(i as u64);
+        // Simulated cloud throughput: deterministic given the seed,
+        // but horizon-dependent — gate like a ratio only when the
+        // modes match.
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("cells.{i}.cloud_req_per_sec"),
+            &format!("{hosts}-host cloud req/s"),
+            true,
+            true,
+            same_mode,
+        );
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("cells.{i}.wall_secs"),
+            &format!("{hosts}-host wall secs"),
+            false,
+            false,
+            same_mode,
+        );
+    }
+    rows
+}
+
+fn compare_geo(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Centralized-p99 / geo-p99 over remote regions: a same-run,
+    // same-seed ratio — the headline the edge hierarchy must keep.
+    check(
+        &mut rows,
+        base,
+        cand,
+        "p99_edge_advantage",
+        "p99 edge advantage (min remote region)",
+        true,
+        true,
+        same_mode,
+    );
+    let empty: [Value; 0] = [];
+    let regions = base
+        .get("regions")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    for (i, region) in regions.iter().enumerate() {
+        let r = region
+            .get("region")
+            .and_then(|r| r.as_f64())
+            .map(|r| r as u64)
+            .unwrap_or(i as u64);
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("regions.{i}.geo_p99_s"),
+            &format!("region {r} geo p99 (s)"),
+            false,
+            true,
+            same_mode,
+        );
+    }
+    check(
+        &mut rows,
+        base,
+        cand,
+        "geo_wall_secs",
+        "geo run wall secs",
+        false,
+        false,
+        same_mode,
+    );
+    check(
+        &mut rows,
+        base,
+        cand,
+        "central_wall_secs",
+        "centralized run wall secs",
+        false,
+        false,
+        same_mode,
+    );
+    rows
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, kind, base_path, cand_path] = &args[..] else {
-        eprintln!("usage: perf_gate <engine|obsv> <baseline.json> <candidate.json>");
+        eprintln!("usage: perf_gate <engine|obsv|cluster|geo> <baseline.json> <candidate.json>");
         return ExitCode::from(2);
     };
     let load = |p: &str| -> Value {
@@ -285,8 +405,10 @@ fn main() -> ExitCode {
     let rows = match kind.as_str() {
         "engine" => compare_engine(&base, &cand, same_mode),
         "obsv" => compare_obsv(&base, &cand, same_mode),
+        "cluster" => compare_cluster(&base, &cand, same_mode),
+        "geo" => compare_geo(&base, &cand, same_mode),
         other => {
-            eprintln!("unknown bench kind {other:?} (expected engine|obsv)");
+            eprintln!("unknown bench kind {other:?} (expected engine|obsv|cluster|geo)");
             return ExitCode::from(2);
         }
     };

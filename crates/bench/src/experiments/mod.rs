@@ -12,6 +12,7 @@ pub mod fig11;
 pub mod fig2;
 pub mod fig3;
 pub mod fig9;
+pub mod geo;
 pub mod mixed;
 pub mod osprofile;
 pub mod robustness;

@@ -101,6 +101,25 @@ pub fn print_header(seed: u64) {
     println!("{}", RunMeta::capture(seed).header());
 }
 
+/// Resolve a bench baseline output path: the `env_var` override when
+/// set, else `default`. Relative paths are anchored at the *workspace
+/// root*, not the process working directory — `cargo bench` runs
+/// bench executables with the package dir (`crates/bench`) as cwd, so
+/// a raw relative path would land baselines (and CI gate candidates
+/// like `perf-engine.json`) two levels below where every consumer
+/// looks for them.
+pub fn baseline_out(env_var: &str, default: &str) -> std::path::PathBuf {
+    let raw = std::env::var(env_var).unwrap_or_else(|_| default.to_owned());
+    let path = std::path::PathBuf::from(&raw);
+    if path.is_absolute() {
+        path
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,13 +85,20 @@ enum HostStatus {
 /// Cross-shard messages. Control → host messages carry the request
 /// hand-off and lifecycle commands; host → control messages carry
 /// completion notices and state the router needs (warm-hint flips).
+///
+/// Public (but doc-hidden) because the `geo` crate drives the same
+/// host shards under its own multi-region control plane.
+#[doc(hidden)]
 #[derive(Debug)]
-enum Wire {
+pub enum Wire {
     // ------------------------------------------------- control → host
     /// Serve `req`: the uploaded payload has arrived at the host.
     Start {
+        /// Control-plane request index.
         req: usize,
+        /// Request generation (stale hand-offs are dropped).
         rgen: u32,
+        /// The sampled task.
         task: TaskRequest,
         /// Seed of the device code-push stream (used only when the
         /// App Warehouse misses everywhere on the host).
@@ -107,25 +114,55 @@ enum Wire {
     FinishDrain,
     /// Rebalancer: checkpoint one warm idle container and ship it to
     /// host `dst`.
-    MigOut { dst: usize },
+    MigOut {
+        /// Destination host (control-plane index space).
+        dst: usize,
+    },
     /// Migration state arrived over the fabric: restore it.
-    MigIn { mig: usize, ckpt: Box<Checkpoint> },
+    MigIn {
+        /// Control-plane migration slot.
+        mig: usize,
+        /// The serialized container state.
+        ckpt: Box<Checkpoint>,
+    },
     /// End of simulation: stop the maintenance loop.
     Shutdown,
     // ------------------------------------------------- host → control
     /// `req` finished on-host (compute + offload I/O); the result is
     /// ready to download.
-    Done { req: usize, rgen: u32 },
+    Done {
+        /// Control-plane request index.
+        req: usize,
+        /// Request generation the host was started with.
+        rgen: u32,
+    },
     /// The host's warm-container hint for one app flipped.
-    WarmInfo { kind_ix: usize, warm: bool },
+    WarmInfo {
+        /// Workload index in [`WorkloadKind::ALL`] order.
+        kind_ix: usize,
+        /// New warm/cold state.
+        warm: bool,
+    },
     /// A draining host has no busy, waiting, or restoring work left.
     DrainEmpty,
     /// Checkpoint serialized; ship `ckpt` to host `dst` over the
     /// fabric.
-    MigState { dst: usize, ckpt: Box<Checkpoint> },
+    MigState {
+        /// Destination host (control-plane index space).
+        dst: usize,
+        /// The serialized container state.
+        ckpt: Box<Checkpoint>,
+    },
     /// The migrated container is restored and serving at the
     /// destination.
-    MigLanded { mig: usize },
+    MigLanded {
+        /// Control-plane migration slot.
+        mig: usize,
+        /// State bytes the *destination* measured while restoring —
+        /// an end-to-end conservation check against what the source
+        /// serialized and what the fabric carried.
+        bytes: u64,
+    },
 }
 
 // ====================================================================
@@ -379,7 +416,7 @@ impl ControlLp {
                 }
             }
             Wire::MigState { dst, ckpt } => self.on_mig_state(now, h, dst, ckpt),
-            Wire::MigLanded { mig } => self.on_mig_landed(now, mig),
+            Wire::MigLanded { mig, .. } => self.on_mig_landed(now, mig),
             _ => unreachable!("control-bound message"),
         }
     }
@@ -907,10 +944,13 @@ enum HostEvent {
         ckpt: Box<Checkpoint>,
         epoch: u64,
     },
-    /// A migrated-in container finished restoring.
+    /// A migrated-in container finished restoring. `bytes` is the
+    /// checkpoint size measured on the destination before restore, so
+    /// control can verify end-to-end state conservation.
     MigReady {
         inst: InstanceId,
         mig: usize,
+        bytes: u64,
         epoch: u64,
     },
     /// Pool maintenance tick: reclaim idle, refill warm spares.
@@ -928,7 +968,13 @@ struct Pending {
     xfer_seed: u64,
 }
 
-struct HostLp {
+/// A single cloud host as a logical process: instance pool, CPU
+/// executor, code warehouse, and device-side link. Public (but
+/// doc-hidden) so the `geo` crate can embed fleet host shards in a
+/// multi-region topology; everything else should go through
+/// [`run_fleet`].
+#[doc(hidden)]
+pub struct HostLp {
     h: usize,
     cfg: Arc<FleetConfig>,
     rec: Recorder,
@@ -962,7 +1008,10 @@ struct HostLp {
 }
 
 impl HostLp {
-    fn new(cfg: Arc<FleetConfig>, h: usize, rec: Recorder) -> Self {
+    /// Build host `h` of `cfg`, recording into `rec`. Hosts with
+    /// `h < cfg.initial_active` start serving (and filling their warm
+    /// pool) at `t = 0`; the rest wait in standby for an activation.
+    pub fn new(cfg: Arc<FleetConfig>, h: usize, rec: Recorder) -> Self {
         let spec = cfg.host_specs[h];
         let mut host = CloudHost::new(spec);
         host.kernel.load_android_container_driver();
@@ -1037,9 +1086,14 @@ impl HostLp {
                     out.send(now, CTL, Wire::MigState { dst, ckpt });
                 }
             }
-            HostEvent::MigReady { inst, mig, epoch } => {
+            HostEvent::MigReady {
+                inst,
+                mig,
+                bytes,
+                epoch,
+            } => {
                 if epoch == self.epoch {
-                    self.on_mig_ready(now, inst, mig, out);
+                    self.on_mig_ready(now, inst, mig, bytes, out);
                 }
             }
             HostEvent::Maintain { epoch } => {
@@ -1425,6 +1479,7 @@ impl HostLp {
             return; // the move is orphaned; control never sees MigLanded
         }
         self.rec.set_current_request(None);
+        let bytes = ckpt.state_bytes();
         let Ok((inst, d)) = restore(&mut self.host, ckpt) else {
             return; // DRAM is full — the state is dropped
         };
@@ -1433,11 +1488,23 @@ impl HostLp {
         let epoch = self.epoch;
         self.queue.schedule(
             now.saturating_add(d),
-            HostEvent::MigReady { inst, mig, epoch },
+            HostEvent::MigReady {
+                inst,
+                mig,
+                bytes,
+                epoch,
+            },
         );
     }
 
-    fn on_mig_ready(&mut self, now: SimTime, inst: InstanceId, mig: usize, out: &mut Outbox<Wire>) {
+    fn on_mig_ready(
+        &mut self,
+        now: SimTime,
+        inst: InstanceId,
+        mig: usize,
+        bytes: u64,
+        out: &mut Outbox<Wire>,
+    ) {
         self.pending_mig.remove(&inst);
         self.idle.insert(inst, now);
         // Publish the arrived container's apps as warm CID hints.
@@ -1455,7 +1522,7 @@ impl HostLp {
             }
         }
         self.publish_warm(now, out);
-        out.send(now, CTL, Wire::MigLanded { mig });
+        out.send(now, CTL, Wire::MigLanded { mig, bytes });
         self.pump(now, out);
     }
 
@@ -1478,7 +1545,30 @@ impl HostLp {
         self.peak_memory = self.peak_memory.max(self.host.memory_reserved());
     }
 
-    fn finish_lp(self) -> HostOut {
+    /// Earliest pending local event, if any (the LP's `next_time`).
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drain local events strictly below `bound` (the LP's
+    /// `run_window`), emitting control-bound messages into `out`.
+    pub fn run_window(&mut self, bound: SimTime, out: &mut Outbox<Wire>) {
+        while self.queue.peek_time().is_some_and(|t| t < bound) {
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.rec.set_now(now.as_micros());
+            self.dispatch(now, ev, out);
+        }
+    }
+
+    /// Deliver a control-plane message at `at` (the LP's `accept`).
+    /// Hosts only ever hear from their control LP, so no source index
+    /// is taken.
+    pub fn accept(&mut self, at: SimTime, msg: Wire) {
+        self.queue.schedule(at, HostEvent::Deliver { msg });
+    }
+
+    /// Consume the shard and surface its lifetime counters.
+    pub fn finish_lp(self) -> HostOut {
         self.rec.set_current_request(None);
         HostOut {
             served: self.served,
@@ -1504,7 +1594,7 @@ impl Lp for FleetLp {
     fn next_time(&mut self) -> Option<SimTime> {
         match self {
             FleetLp::Ctl(lp) => lp.queue.peek_time(),
-            FleetLp::Host(lp) => lp.queue.peek_time(),
+            FleetLp::Host(lp) => lp.next_time(),
         }
     }
 
@@ -1517,13 +1607,7 @@ impl Lp for FleetLp {
                     lp.dispatch(now, ev, out);
                 }
             }
-            FleetLp::Host(lp) => {
-                while lp.queue.peek_time().is_some_and(|t| t < bound) {
-                    let (now, ev) = lp.queue.pop().expect("peeked");
-                    lp.rec.set_now(now.as_micros());
-                    lp.dispatch(now, ev, out);
-                }
-            }
+            FleetLp::Host(lp) => lp.run_window(bound, out),
         }
     }
 
@@ -1534,7 +1618,7 @@ impl Lp for FleetLp {
             }
             FleetLp::Host(lp) => {
                 let _ = src; // hosts only hear from control
-                lp.queue.schedule(at, HostEvent::Deliver { msg });
+                lp.accept(at, msg);
             }
         }
     }
@@ -1548,11 +1632,18 @@ struct CtlOut {
     snapshot: TraceSnapshot,
 }
 
-struct HostOut {
-    served: u64,
-    peak_instances: usize,
-    peak_memory: u64,
-    snapshot: TraceSnapshot,
+/// What a host shard reports when its run ends. Doc-hidden, public
+/// for the `geo` crate (see [`HostLp`]).
+#[doc(hidden)]
+pub struct HostOut {
+    /// Requests this host completed.
+    pub served: u64,
+    /// High-water mark of concurrently provisioned instances.
+    pub peak_instances: usize,
+    /// High-water mark of reserved memory, bytes.
+    pub peak_memory: u64,
+    /// The host's trace buffer, for merging in LP order.
+    pub snapshot: TraceSnapshot,
 }
 
 enum LpOut {

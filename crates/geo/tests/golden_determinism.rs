@@ -1,0 +1,121 @@
+//! Determinism and regression contracts for the geo engine.
+//!
+//! The geo layer inherits the fleet's reproducibility bar: the same
+//! [`GeoConfig`] must produce bit-identical [`GeoReport`] digests
+//! under the serial engine and under every sharded thread count, with
+//! or without a recorder attached. The boot-time regression pins the
+//! edge tier's default standby boot against the fleet golden digest,
+//! so retuning the per-tier knob is a visible, deliberate act.
+
+use fleet::{run_fleet, AutoscalePolicy, FleetConfig};
+use geo::{run_geo, run_geo_traced, run_geo_with, EngineMode, GeoConfig, TierSpec};
+use obsv::{Recorder, RecorderConfig};
+use simkit::faults::FaultConfig;
+use simkit::SimDuration;
+
+/// Same seed the rattrap and fleet goldens pin.
+const GOLDEN_SEED: u64 = 0x2017_0529;
+
+/// The fleet's pinned canonical digest (see
+/// `crates/fleet/tests/golden_determinism.rs`) — the boot-time
+/// regression below must reproduce it.
+const GOLDEN_FLEET_DIGEST: u64 = 0xc722_c512_a546_9f68;
+
+/// A 3-region scenario small enough for CI but busy enough to route
+/// cross-region, migrate over the WAN, and exercise every tier.
+fn canonical_geo() -> GeoConfig {
+    let mut cfg = GeoConfig::paper_default(3, GOLDEN_SEED);
+    for r in &mut cfg.regions {
+        r.users = 16;
+    }
+    cfg.traffic.duration = SimDuration::from_secs(1800);
+    cfg
+}
+
+#[test]
+fn serial_and_sharded_agree_bit_for_bit() {
+    let cfg = canonical_geo();
+    let serial = run_geo(&cfg);
+    assert!(serial.summary.submitted > 0, "scenario produced traffic");
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for threads in [1, 2, ncores] {
+        let sharded = run_geo_with(&cfg, Recorder::disabled(), EngineMode::Sharded(threads));
+        assert_eq!(
+            serial.digest(),
+            sharded.digest(),
+            "Sharded({threads}) diverged from Serial"
+        );
+    }
+}
+
+#[test]
+fn tracing_is_digest_neutral() {
+    let cfg = canonical_geo();
+    let baseline = run_geo(&cfg).digest();
+    let rec = Recorder::enabled(RecorderConfig::default());
+    let rep = run_geo_traced(&cfg, rec.clone());
+    assert_eq!(rep.digest(), baseline, "recorder perturbed the run");
+    assert!(!rec.snapshot().events.is_empty(), "traced run recorded");
+
+    let rec = Recorder::enabled(RecorderConfig::default());
+    let rep = run_geo_with(&cfg, rec, EngineMode::Sharded(2));
+    assert_eq!(rep.digest(), baseline, "traced sharded run diverged");
+}
+
+#[test]
+fn neighbouring_seed_diverges() {
+    let mut cfg = canonical_geo();
+    let baseline = run_geo(&cfg).digest();
+    cfg.seed ^= 1;
+    assert_ne!(run_geo(&cfg).digest(), baseline, "digest is seed-blind");
+}
+
+#[test]
+fn saturated_edge_spills_cross_region_and_bursts_to_the_core() {
+    // One hot region with a single-host edge PoP and no edge standby:
+    // overflow must spill around the ring and the edge must borrow
+    // core capacity.
+    let mut cfg = GeoConfig::paper_default(3, GOLDEN_SEED);
+    cfg.admission_capacity = 2;
+    cfg.regions[0].users = 48;
+    cfg.regions[0].edge.hosts = 1;
+    cfg.regions[0].edge.initial_active = 1;
+    cfg.regions[1].users = 4;
+    cfg.regions[2].users = 4;
+    cfg.traffic.duration = SimDuration::from_secs(1800);
+    let rep = run_geo(&cfg);
+    assert!(
+        rep.control.cross_region_routes > 0,
+        "no request left its home region under saturation"
+    );
+    assert!(
+        rep.control.bursts > 0,
+        "the overloaded edge never borrowed core standby"
+    );
+    assert_eq!(rep.control.double_admissions, 0);
+}
+
+/// Satellite: the edge tier's standby boot time is the fleet's own
+/// 45 s default, and feeding that per-tier knob back into the fleet's
+/// canonical scenario reproduces the fleet golden digest exactly —
+/// the geo refactor changed where the number lives, not what it is.
+#[test]
+fn edge_boot_default_reproduces_the_fleet_golden_digest() {
+    assert_eq!(
+        TierSpec::edge().autoscale.host_boot,
+        AutoscalePolicy::standard().host_boot,
+        "edge tier drifted from the fleet's standby boot default"
+    );
+
+    let mut cfg = FleetConfig::paper_default(4, GOLDEN_SEED);
+    cfg.traffic.users = 200;
+    cfg.faults = FaultConfig::scaled(0.5);
+    cfg.autoscale.host_boot = TierSpec::edge().autoscale.host_boot;
+    assert_eq!(
+        run_fleet(&cfg).digest(),
+        GOLDEN_FLEET_DIGEST,
+        "routing host_boot through the tier spec moved the fleet golden"
+    );
+}

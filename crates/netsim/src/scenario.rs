@@ -13,6 +13,11 @@ use simkit::SimDuration;
 pub enum NetworkScenario {
     /// Same-LAN WiFi: stable and fast.
     LanWifi,
+    /// Constrained IoT radio (802.15.4-class gateway uplink): low
+    /// latency to a nearby edge PoP but narrow, slightly lossy pipes.
+    /// Calibrated against Morabito's container-on-IoT evaluation
+    /// (Raspberry Pi 2 class devices on a local gateway).
+    IotRadio,
     /// WAN WiFi through a public IP: ~60 ms latency, stable.
     WanWifi,
     /// Cellular 4G: good bandwidth, less stable than WiFi.
@@ -22,9 +27,12 @@ pub enum NetworkScenario {
 }
 
 impl NetworkScenario {
-    /// All scenarios in the order the paper's figures list them.
-    pub const ALL: [NetworkScenario; 4] = [
+    /// All scenarios, ordered by link quality (ascending RTT). The
+    /// paper's four figure scenarios keep their relative order; the
+    /// IoT gateway radio slots between LAN WiFi and WAN WiFi.
+    pub const ALL: [NetworkScenario; 5] = [
         NetworkScenario::LanWifi,
+        NetworkScenario::IotRadio,
         NetworkScenario::WanWifi,
         NetworkScenario::FourG,
         NetworkScenario::ThreeG,
@@ -34,6 +42,7 @@ impl NetworkScenario {
     pub const fn label(self) -> &'static str {
         match self {
             NetworkScenario::LanWifi => "LAN",
+            NetworkScenario::IotRadio => "IoT",
             NetworkScenario::WanWifi => "WAN",
             NetworkScenario::FourG => "4G",
             NetworkScenario::ThreeG => "3G",
@@ -55,6 +64,17 @@ impl NetworkScenario {
                 downstream_bps: mbps(40.0),
                 loss_rate: 0.001,
                 instability: 0.02,
+            },
+            NetworkScenario::IotRadio => LinkParams {
+                // Gateway hop to a nearby edge PoP: short RTT, but the
+                // constrained radio caps throughput at ~2 Mbps and
+                // drops more frames than infrastructure WiFi.
+                rtt: SimDuration::from_millis(15),
+                rtt_jitter_frac: 0.25,
+                upstream_bps: mbps(2.0),
+                downstream_bps: mbps(2.0),
+                loss_rate: 0.01,
+                instability: 0.08,
             },
             NetworkScenario::WanWifi => LinkParams {
                 // "WAN WiFi has about 60ms latency" (§VI-A).
@@ -122,7 +142,7 @@ mod tests {
 
     #[test]
     fn scenario_ordering_matches_quality() {
-        // RTT: LAN < WAN < 4G < 3G.
+        // RTT: LAN < IoT < WAN < 4G < 3G.
         let rtts: Vec<_> = NetworkScenario::ALL
             .iter()
             .map(|s| s.params().rtt)
@@ -145,6 +165,7 @@ mod tests {
         assert!(NetworkScenario::FourG.is_cellular());
         assert!(!NetworkScenario::LanWifi.is_cellular());
         assert!(!NetworkScenario::WanWifi.is_cellular());
+        assert!(!NetworkScenario::IotRadio.is_cellular());
     }
 
     #[test]
@@ -152,6 +173,16 @@ mod tests {
         let mut labels: Vec<_> = NetworkScenario::ALL.iter().map(|s| s.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), NetworkScenario::ALL.len());
+    }
+
+    #[test]
+    fn iot_radio_is_slow_but_close() {
+        let iot = NetworkScenario::IotRadio.params();
+        let lan = NetworkScenario::LanWifi.params();
+        // Constrained bandwidth (an order of magnitude under WiFi)…
+        assert!(iot.upstream_bps * 10.0 <= lan.upstream_bps);
+        // …but edge-local latency, well under WAN.
+        assert!(iot.rtt < NetworkScenario::WanWifi.params().rtt);
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use simkit::{SimDuration, SimRng};
 
 fn scenario_from(i: u8) -> NetworkScenario {
-    NetworkScenario::ALL[i as usize % 4]
+    NetworkScenario::ALL[i as usize % NetworkScenario::ALL.len()]
 }
 
 proptest! {

@@ -150,8 +150,8 @@ mod tests {
         let Some(Value::Array(events)) = top.get("traceEvents") else {
             panic!("traceEvents array missing");
         };
-        // 8 thread-name metadata + 2 spans + 1 instant.
-        assert_eq!(events.len(), 11);
+        // One thread-name metadata per subsystem + 2 spans + 1 instant.
+        assert_eq!(events.len(), Subsystem::ALL.len() + 3);
         let Some(Value::Object(meta)) = top.get("metadata") else {
             panic!("metadata object missing");
         };

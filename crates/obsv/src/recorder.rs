@@ -18,14 +18,14 @@ pub struct RecorderConfig {
     /// everything, `n` keeps every n-th *instant* (spans are
     /// structural and are never sampled away while the subsystem is
     /// enabled, so span trees stay well-formed).
-    pub sample: [u32; 8],
+    pub sample: [u32; Subsystem::ALL.len()],
 }
 
 impl Default for RecorderConfig {
     fn default() -> Self {
         RecorderConfig {
             capacity: 1 << 20,
-            sample: [1; 8],
+            sample: [1; Subsystem::ALL.len()],
         }
     }
 }
@@ -71,7 +71,7 @@ pub(crate) struct Inner {
     events: Vec<TraceEvent>,
     ring_start: usize,
     dropped: u64,
-    sample_counters: [u32; 8],
+    sample_counters: [u32; Subsystem::ALL.len()],
     pub(crate) metrics: MetricsStore,
     meta: BTreeMap<String, String>,
 }
@@ -132,7 +132,7 @@ impl Recorder {
                 events: Vec::new(),
                 ring_start: 0,
                 dropped: 0,
-                sample_counters: [0; 8],
+                sample_counters: [0; Subsystem::ALL.len()],
                 metrics: MetricsStore::default(),
                 meta: BTreeMap::new(),
             }))),

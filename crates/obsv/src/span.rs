@@ -38,11 +38,14 @@ pub enum Subsystem {
     /// `fleet` — the multi-host control plane: routing, admission,
     /// autoscaling, rebalancing.
     Fleet,
+    /// `geo` — the multi-region layer: latency-aware routing, WAN
+    /// fabrics, cloud-burst, cross-region migration.
+    Geo,
 }
 
 impl Subsystem {
     /// Every subsystem, in index order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::Rattrap,
         Subsystem::Simkit,
         Subsystem::Netsim,
@@ -51,6 +54,7 @@ impl Subsystem {
         Subsystem::Containerfs,
         Subsystem::Bench,
         Subsystem::Fleet,
+        Subsystem::Geo,
     ];
 
     /// Dense index (sampling tables, Chrome `tid` lanes).
@@ -64,6 +68,7 @@ impl Subsystem {
             Subsystem::Containerfs => 5,
             Subsystem::Bench => 6,
             Subsystem::Fleet => 7,
+            Subsystem::Geo => 8,
         }
     }
 
@@ -78,6 +83,7 @@ impl Subsystem {
             Subsystem::Containerfs => "containerfs",
             Subsystem::Bench => "bench",
             Subsystem::Fleet => "fleet",
+            Subsystem::Geo => "geo",
         }
     }
 }
@@ -351,7 +357,8 @@ mod tests {
             assert_eq!(s.index(), i);
         }
         assert_eq!(Subsystem::Hostkernel.name(), "hostkernel");
-        assert_eq!(Subsystem::ALL.len(), 8);
+        assert_eq!(Subsystem::Geo.name(), "geo");
+        assert_eq!(Subsystem::ALL.len(), 9);
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl DevicePowerModel {
     /// The radio profile a network scenario uses.
     pub fn radio_for(&self, scenario: NetworkScenario) -> &RadioProfile {
         match scenario {
-            NetworkScenario::LanWifi | NetworkScenario::WanWifi => &self.wifi,
+            // The IoT gateway radio reuses the WiFi profile: an
+            // 802.15.4-class uplink has no cellular promotion/tail
+            // state machine, and its draw is closest to WiFi's.
+            NetworkScenario::LanWifi | NetworkScenario::WanWifi | NetworkScenario::IotRadio => {
+                &self.wifi
+            }
             NetworkScenario::ThreeG => &self.three_g,
             NetworkScenario::FourG => &self.four_g,
         }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use simkit::SimDuration;
 
 fn scenario_from(i: u8) -> NetworkScenario {
-    NetworkScenario::ALL[i as usize % 4]
+    NetworkScenario::ALL[i as usize % NetworkScenario::ALL.len()]
 }
 
 fn phases(c: u64, u: u64, w: u64, d: u64) -> OffloadPhases {

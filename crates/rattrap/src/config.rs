@@ -27,6 +27,26 @@ impl DeviceSpec {
         }
     }
 
+    /// IoT-class device: Raspberry Pi 2 territory (900 MHz quad
+    /// Cortex-A7, of which one in-order core does the offloadable
+    /// work), calibrated from Morabito's container-on-IoT evaluation.
+    /// Roughly 4× less useful throughput than the default handset, so
+    /// these devices lean hardest on a nearby edge PoP.
+    pub fn iot_class() -> Self {
+        DeviceSpec {
+            clock_ghz: 0.9,
+            efficiency: 0.25,
+        }
+    }
+
+    /// The handset table: every named device profile with its label.
+    pub fn handset_table() -> [(&'static str, DeviceSpec); 2] {
+        [
+            ("handset", Self::default_handset()),
+            ("iot", Self::iot_class()),
+        ]
+    }
+
     /// Time to execute `work` locally on the device.
     pub fn local_execution_time(&self, work: Megacycles) -> SimDuration {
         SimDuration::from_secs_f64(work.seconds_at(self.clock_ghz, self.efficiency))
@@ -105,6 +125,20 @@ mod tests {
             "ratio {}",
             local / server
         );
+    }
+
+    #[test]
+    fn iot_device_is_much_weaker_than_the_handset() {
+        let iot = DeviceSpec::iot_class();
+        let handset = DeviceSpec::default_handset();
+        let work = Megacycles(2660.0);
+        let ratio = iot.local_execution_time(work).as_secs_f64()
+            / handset.local_execution_time(work).as_secs_f64();
+        // 0.48 GHz-equiv handset vs 0.225 GHz-equiv Pi-class device.
+        assert!(ratio > 1.5 && ratio < 4.0, "ratio {ratio}");
+        let table = DeviceSpec::handset_table();
+        assert_eq!(table[0].1, handset);
+        assert_eq!(table[1].1, iot);
     }
 
     #[test]

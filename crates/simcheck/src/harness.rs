@@ -3,8 +3,8 @@
 
 use crate::audit::Audit;
 use crate::invariants::{
-    audit_digest_stability, audit_fleet_report, audit_simulation_report, audit_trace,
-    LifecycleAuditor,
+    audit_digest_stability, audit_fleet_report, audit_geo_report, audit_simulation_report,
+    audit_trace, LifecycleAuditor,
 };
 use crate::models::{
     audit_code_cache, audit_device_gate, audit_medium, audit_timeline, EngineTimeline, FairLink,
@@ -39,6 +39,7 @@ pub fn run_sample(sample: &Sample) -> RunOutcome {
     match sample.kind {
         SampleKind::Rattrap => run_rattrap(sample),
         SampleKind::Fleet => run_fleet_sample(sample),
+        SampleKind::Geo => run_geo_sample(sample),
     }
 }
 
@@ -112,6 +113,40 @@ fn run_fleet_sample(sample: &Sample) -> RunOutcome {
     let sharded = fleet::run_fleet_with(&cfg, Recorder::disabled(), fleet::EngineMode::Sharded(2));
     audit_digest_stability(
         &format!("fleet sample {} (serial ≡ replay ≡ sharded)", sample.index),
+        &[report.digest(), replay.digest(), sharded.digest()],
+        &mut audit,
+    );
+
+    RunOutcome {
+        digest: report.digest(),
+        audit,
+        trace,
+    }
+}
+
+fn run_geo_sample(sample: &Sample) -> RunOutcome {
+    let cfg = sample.geo_config();
+    let mut audit = Audit::new();
+
+    let rec = recorder_for(sample);
+    let report = geo::run_geo_traced(&cfg, rec.clone());
+    audit_geo_report(&report, &mut audit);
+
+    let trace = if rec.is_enabled() {
+        let snap = rec.snapshot();
+        audit_trace(&snap, &mut audit);
+        Some(snap)
+    } else {
+        None
+    };
+
+    // Same three-way metamorphic oracle as the fleet stripe, one layer
+    // up: traced serial, untraced serial replay, and the sharded
+    // engine must agree bit for bit across the whole topology.
+    let replay = geo::run_geo(&cfg);
+    let sharded = geo::run_geo_with(&cfg, Recorder::disabled(), geo::EngineMode::Sharded(2));
+    audit_digest_stability(
+        &format!("geo sample {} (serial ≡ replay ≡ sharded)", sample.index),
         &[report.digest(), replay.digest(), sharded.digest()],
         &mut audit,
     );

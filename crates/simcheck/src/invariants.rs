@@ -35,6 +35,8 @@ pub const CATALOGUE: &[&str] = &[
     LINK_CONSERVATION,
     ENODEV_GATE,
     WAREHOUSE_CONSISTENCY,
+    GEO_MIGRATION_CONSERVATION,
+    GEO_SINGLE_ADMISSION,
     SPAN_TREE,
     EVENT_MONOTONICITY,
     DIGEST_STABILITY,
@@ -66,6 +68,15 @@ pub const ENODEV_GATE: &str = "enodev-gate";
 /// Warehouse CID hints only name containers actually warm (noted
 /// loaded, never invalidated), and its stats match a shadow model.
 pub const WAREHOUSE_CONSISTENCY: &str = "warehouse-consistency";
+/// Cross-region migration conserves container state byte for byte:
+/// what the source serialized equals what the WAN fabric was charged
+/// equals what the destination measured while restoring. Orphaned
+/// moves (destination drained mid-flight) must land nothing.
+pub const GEO_MIGRATION_CONSERVATION: &str = "geo-migration-conservation";
+/// No request is ever admitted twice across regions: however routing
+/// spills clockwise under saturation, a request holds at most one
+/// admission slot at a time.
+pub const GEO_SINGLE_ADMISSION: &str = "geo-single-admission";
 /// Span-tree well-formedness: every span closed, end ≥ begin, parents
 /// open before children.
 pub const SPAN_TREE: &str = "span-tree";
@@ -336,6 +347,155 @@ pub fn audit_fleet_report(report: &FleetReport, audit: &mut Audit) {
                 )
             },
         );
+    }
+}
+
+/// Conservation checks on a finished geo run: the fleet-style
+/// accounting laws, plus the two geo-specific invariants — migration
+/// byte conservation across the WAN fabric and single admission under
+/// cross-region spillover.
+pub fn audit_geo_report(report: &geo::GeoReport, audit: &mut Audit) {
+    let s = &report.summary;
+    audit.ensure(
+        FLEET_ACCOUNTING,
+        s.completed_remote + s.fallback_local + s.abandoned == s.submitted,
+        "geo summary",
+        || {
+            format!(
+                "remote {} + fallback {} + abandoned {} != submitted {}",
+                s.completed_remote, s.fallback_local, s.abandoned, s.submitted
+            )
+        },
+    );
+    audit.ensure(
+        FLEET_ACCOUNTING,
+        report.records.len() as u64 == s.submitted,
+        "geo records",
+        || {
+            format!(
+                "{} records for {} submitted requests",
+                report.records.len(),
+                s.submitted
+            )
+        },
+    );
+    for r in &report.records {
+        audit.ensure(
+            FLEET_ACCOUNTING,
+            r.phase.is_terminal(),
+            format!("geo request {}", r.id),
+            || format!("record finalized in non-terminal {:?}", r.phase),
+        );
+    }
+    for (i, h) in report.hosts.iter().enumerate() {
+        audit.ensure(
+            MEMORY_BOUND,
+            h.peak_memory <= h.memory_bytes,
+            format!("geo host {i}"),
+            || {
+                format!(
+                    "peak memory {} exceeds DRAM {}",
+                    h.peak_memory, h.memory_bytes
+                )
+            },
+        );
+    }
+
+    // Migration byte conservation, end to end: source serialization ==
+    // fabric charge == destination restore, and an orphaned move lands
+    // nothing.
+    let c = &report.control;
+    for (i, m) in report.migrations.iter().enumerate() {
+        let subject = format!("migration {i} ({} → {})", m.from_host, m.to_host);
+        audit.ensure(
+            GEO_MIGRATION_CONSERVATION,
+            m.bytes_wire == m.bytes_src,
+            &subject,
+            || {
+                format!(
+                    "source serialized {} bytes but the fabric carried {}",
+                    m.bytes_src, m.bytes_wire
+                )
+            },
+        );
+        if m.completed {
+            audit.ensure(
+                GEO_MIGRATION_CONSERVATION,
+                m.bytes_dst == m.bytes_src,
+                &subject,
+                || {
+                    format!(
+                        "source serialized {} bytes but the destination restored {}",
+                        m.bytes_src, m.bytes_dst
+                    )
+                },
+            );
+        } else {
+            audit.ensure(
+                GEO_MIGRATION_CONSERVATION,
+                m.bytes_dst == 0,
+                &subject,
+                || format!("orphaned move still landed {} bytes", m.bytes_dst),
+            );
+        }
+    }
+    let completed = report.migrations.iter().filter(|m| m.completed).count() as u64;
+    let landed: u64 = report
+        .migrations
+        .iter()
+        .filter(|m| m.completed)
+        .map(|m| m.bytes_dst)
+        .sum();
+    audit.ensure(
+        GEO_MIGRATION_CONSERVATION,
+        c.migrations_started == report.migrations.len() as u64
+            && c.migrations_completed == completed
+            && c.migration_bytes == landed,
+        "geo migration ledger",
+        || {
+            format!(
+                "control says {}/{} moves and {} bytes, records say {}/{} and {}",
+                c.migrations_started,
+                c.migrations_completed,
+                c.migration_bytes,
+                report.migrations.len(),
+                completed,
+                landed
+            )
+        },
+    );
+    let (out, inn) = report.hosts.iter().fold((0u64, 0u64), |(o, i), h| {
+        (o + h.migrations_out, i + h.migrations_in)
+    });
+    audit.ensure(
+        GEO_MIGRATION_CONSERVATION,
+        out == completed && inn == completed,
+        "geo host migration counters",
+        || format!("{completed} moves completed but hosts recorded {out} out / {inn} in"),
+    );
+
+    // Single admission: the engine counts any request that acquired a
+    // second slot while still holding one; spillover must never do it.
+    audit.ensure(
+        GEO_SINGLE_ADMISSION,
+        c.double_admissions == 0,
+        "geo admission",
+        || {
+            format!(
+                "{} requests held two admission slots at once",
+                c.double_admissions
+            )
+        },
+    );
+    for r in &report.records {
+        if r.phase == rattrap::Phase::Done && !r.fell_back {
+            audit.ensure(
+                GEO_SINGLE_ADMISSION,
+                r.cell.is_some() && r.host.is_some(),
+                format!("geo request {}", r.id),
+                || "remotely completed without a recorded placement".to_string(),
+            );
+        }
     }
 }
 

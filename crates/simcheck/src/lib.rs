@@ -39,8 +39,8 @@ pub use audit::{Audit, Violation};
 pub use explorer::{explore, ExplorerConfig, ExplorerReport, FailedSample};
 pub use harness::{run_model_audits, run_sample, RunOutcome};
 pub use invariants::{
-    audit_digest_stability, audit_fleet_report, audit_simulation_report, audit_trace,
-    LifecycleAuditor, CATALOGUE,
+    audit_digest_stability, audit_fleet_report, audit_geo_report, audit_simulation_report,
+    audit_trace, LifecycleAuditor, CATALOGUE,
 };
 pub use minimize::{minimize, Minimized};
 pub use repro::{replay, write_bundle};

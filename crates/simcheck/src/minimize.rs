@@ -63,6 +63,12 @@ fn candidates(s: &Sample) -> Vec<Sample> {
             push(&|c| c.users = 1);
             push(&|c| c.duration_s = (c.duration_s / 2).max(60));
         }
+        SampleKind::Geo => {
+            push(&|c| c.regions = 2);
+            push(&|c| c.users = (c.users / 2).max(1));
+            push(&|c| c.users = 1);
+            push(&|c| c.duration_s = (c.duration_s / 2).max(60));
+        }
     }
     push(&|c| c.seed = c.seed.wrapping_sub(1));
     push(&|c| c.seed = c.seed.wrapping_add(1));

@@ -5,6 +5,7 @@
 //! exact run that failed.
 
 use fleet::FleetConfig;
+use geo::GeoConfig;
 use rattrap::{PlatformKind, ResiliencePolicy, ScenarioConfig};
 use simkit::faults::FaultConfig;
 use simkit::{derive_seed, SimDuration, SimRng};
@@ -17,6 +18,8 @@ pub enum SampleKind {
     Rattrap,
     /// Multi-host `fleet::run_fleet`.
     Fleet,
+    /// Multi-region `geo::run_geo`.
+    Geo,
 }
 
 /// One point in the explorer's search space. Every field is an integer
@@ -44,6 +47,8 @@ pub struct Sample {
     pub users: u32,
     /// Trace horizon, seconds (fleet only).
     pub duration_s: u32,
+    /// Geo regions (geo only).
+    pub regions: u32,
     /// Fault-plan intensity as a percentage: `FaultConfig::scaled(pct/100)`,
     /// 0 meaning a fault-free run (the metamorphic golden gate).
     pub fault_pct: u32,
@@ -65,13 +70,14 @@ impl Sample {
     /// Draw sample `index` of the swarm rooted at `master` — swarm
     /// testing over seeds × fault intensities × config mutations.
     /// Mostly small rattrap scenarios (they are cheap, so the swarm is
-    /// wide) with a sparse stripe of small fleets.
+    /// wide) with sparse stripes of small fleets and small geo
+    /// topologies.
     pub fn draw(master: u64, index: u32) -> Sample {
         let mut rng = SimRng::new(derive_seed(master, 0x5A4D_0000 + index as u64));
-        let kind = if index % 7 == 3 {
-            SampleKind::Fleet
-        } else {
-            SampleKind::Rattrap
+        let kind = match index % 7 {
+            3 => SampleKind::Fleet,
+            5 => SampleKind::Geo,
+            _ => SampleKind::Rattrap,
         };
         Sample {
             index,
@@ -92,6 +98,9 @@ impl Sample {
             },
             resilience: rng.uniform_u64(0, 2) as u8,
             traced: rng.bernoulli(0.5),
+            // Drawn last so the geo stripe leaves the older axes'
+            // derivations untouched.
+            regions: rng.uniform_u64(2, 3) as u32,
         }
     }
 
@@ -136,6 +145,23 @@ impl Sample {
         cfg
     }
 
+    /// Materialise the geo config. Users are spread across regions and
+    /// the rebalancer is eager so even small swarm runs exercise
+    /// cross-region migration over the WAN fabric.
+    pub fn geo_config(&self) -> GeoConfig {
+        let regions = (self.regions.max(2) as usize).min(4);
+        let mut cfg = GeoConfig::paper_default(regions, self.seed);
+        let per_region = (self.users / regions as u32).max(2);
+        for r in &mut cfg.regions {
+            r.users = per_region;
+        }
+        cfg.traffic.duration = SimDuration::from_secs(self.duration_s.max(60) as u64);
+        cfg.resilience = self.resilience_policy();
+        cfg.rebalance.imbalance_threshold = 0.05;
+        cfg.rebalance.min_interval = SimDuration::from_secs(30);
+        cfg
+    }
+
     /// Serialise to JSON. Integers are emitted verbatim; the seed as a
     /// 16-digit hex string so the round-trip is exact.
     pub fn to_json(&self) -> String {
@@ -152,6 +178,7 @@ impl Sample {
                 "  \"hosts\": {},\n",
                 "  \"users\": {},\n",
                 "  \"duration_s\": {},\n",
+                "  \"regions\": {},\n",
                 "  \"fault_pct\": {},\n",
                 "  \"resilience\": {},\n",
                 "  \"traced\": {}\n",
@@ -162,6 +189,7 @@ impl Sample {
             match self.kind {
                 SampleKind::Rattrap => "rattrap",
                 SampleKind::Fleet => "fleet",
+                SampleKind::Geo => "geo",
             },
             self.platform,
             self.workload,
@@ -170,6 +198,7 @@ impl Sample {
             self.hosts,
             self.users,
             self.duration_s,
+            self.regions,
             self.fault_pct,
             self.resilience,
             self.traced,
@@ -194,6 +223,7 @@ impl Sample {
         let kind = match v.get("kind").and_then(|s| s.as_str()) {
             Some("rattrap") => SampleKind::Rattrap,
             Some("fleet") => SampleKind::Fleet,
+            Some("geo") => SampleKind::Geo,
             other => return Err(format!("bad kind {other:?}")),
         };
         let traced = match v.get("traced") {
@@ -211,6 +241,7 @@ impl Sample {
             hosts: int("hosts")? as u32,
             users: int("users")? as u32,
             duration_s: int("duration_s")? as u32,
+            regions: int("regions")? as u32,
             fault_pct: int("fault_pct")? as u32,
             resilience: int("resilience")? as u8,
             traced,
@@ -238,8 +269,9 @@ mod tests {
     }
 
     #[test]
-    fn fleet_stripe_is_sparse_but_present() {
+    fn fleet_and_geo_stripes_are_sparse_but_present() {
         let kinds: Vec<_> = (0..28).map(|i| Sample::draw(1, i).kind).collect();
         assert_eq!(kinds.iter().filter(|k| **k == SampleKind::Fleet).count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == SampleKind::Geo).count(), 4);
     }
 }

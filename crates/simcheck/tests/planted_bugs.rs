@@ -9,10 +9,11 @@ use obsv::{SpanId, Subsystem, TraceEvent, TraceSnapshot};
 use rattrap::{Phase, PhaseObserver, RequestRecord};
 use simcheck::audit::Audit;
 use simcheck::invariants::{
-    audit_digest_stability, audit_fleet_report, audit_simulation_report, audit_trace,
-    LifecycleAuditor, BYTE_CONSERVATION, CATALOGUE, DIGEST_STABILITY, ENODEV_GATE,
-    EVENT_MONOTONICITY, FLEET_ACCOUNTING, LIFECYCLE_MONOTONE, LIFECYCLE_TERMINAL,
-    LINK_CONSERVATION, MEMORY_BOUND, SPAN_TREE, WAREHOUSE_CONSISTENCY, WORK_CONSERVATION,
+    audit_digest_stability, audit_fleet_report, audit_geo_report, audit_simulation_report,
+    audit_trace, LifecycleAuditor, BYTE_CONSERVATION, CATALOGUE, DIGEST_STABILITY, ENODEV_GATE,
+    EVENT_MONOTONICITY, FLEET_ACCOUNTING, GEO_MIGRATION_CONSERVATION, GEO_SINGLE_ADMISSION,
+    LIFECYCLE_MONOTONE, LIFECYCLE_TERMINAL, LINK_CONSERVATION, MEMORY_BOUND, SPAN_TREE,
+    WAREHOUSE_CONSISTENCY, WORK_CONSERVATION,
 };
 use simcheck::models::{
     audit_code_cache, audit_device_gate, audit_medium, audit_timeline, CodeCache, DevAccess,
@@ -43,6 +44,19 @@ fn real_fleet_report() -> fleet::FleetReport {
     sample.users = 6;
     sample.duration_s = 240;
     fleet::run_fleet(&sample.fleet_config())
+}
+
+/// A small real geo report to corrupt, tuned so cross-region
+/// migrations actually happen (eager rebalance over two regions).
+fn real_geo_report() -> geo::GeoReport {
+    let mut cfg = geo::GeoConfig::paper_default(2, 9);
+    for r in &mut cfg.regions {
+        r.users = 8;
+    }
+    cfg.traffic.duration = SimDuration::from_secs(600);
+    cfg.rebalance.imbalance_threshold = 0.05;
+    cfg.rebalance.min_interval = SimDuration::from_secs(10);
+    geo::run_geo(&cfg)
 }
 
 const DRAM: u64 = 16 * 1024 * 1024 * 1024;
@@ -193,6 +207,76 @@ fn fleet_memory_bound_fires_on_an_oversubscribed_host() {
     let mut audit = Audit::new();
     audit_fleet_report(&report, &mut audit);
     assert!(fired(&audit, MEMORY_BOUND));
+}
+
+// ---------------------------------------------------------------------
+// Geo invariants (corrupt a real multi-region report, re-audit)
+// ---------------------------------------------------------------------
+
+#[test]
+fn geo_report_is_clean_before_corruption() {
+    let report = real_geo_report();
+    assert!(
+        !report.migrations.is_empty(),
+        "scenario must migrate for the planted bugs to mean anything"
+    );
+    let mut audit = Audit::new();
+    audit_geo_report(&report, &mut audit);
+    assert!(
+        audit.is_clean(),
+        "real geo report failed its own audit:\n{}",
+        audit
+            .violations()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn geo_migration_conservation_fires_when_state_is_lost_in_flight() {
+    let mut report = real_geo_report();
+    // The destination restores fewer bytes than the source serialized
+    // — state silently truncated somewhere across the WAN.
+    report.migrations[0].bytes_dst = report.migrations[0].bytes_src / 2;
+    let mut audit = Audit::new();
+    audit_geo_report(&report, &mut audit);
+    assert!(fired(&audit, GEO_MIGRATION_CONSERVATION));
+}
+
+#[test]
+fn geo_migration_conservation_fires_when_the_fabric_is_undercharged() {
+    let mut report = real_geo_report();
+    // The fabric carried fewer bytes than the checkpoint holds — a
+    // free lunch on the shared WAN link.
+    report.migrations[0].bytes_wire = report.migrations[0].bytes_src - 1;
+    let mut audit = Audit::new();
+    audit_geo_report(&report, &mut audit);
+    assert!(fired(&audit, GEO_MIGRATION_CONSERVATION));
+}
+
+#[test]
+fn geo_single_admission_fires_on_a_double_admitted_spillover() {
+    let mut report = real_geo_report();
+    report.control.double_admissions = 1;
+    let mut audit = Audit::new();
+    audit_geo_report(&report, &mut audit);
+    assert!(fired(&audit, GEO_SINGLE_ADMISSION));
+}
+
+#[test]
+fn geo_single_admission_fires_on_a_completion_with_no_placement() {
+    let mut report = real_geo_report();
+    let victim = report
+        .records
+        .iter()
+        .position(|r| r.remote())
+        .expect("some request completed remotely");
+    report.records[victim].host = None;
+    let mut audit = Audit::new();
+    audit_geo_report(&report, &mut audit);
+    assert!(fired(&audit, GEO_SINGLE_ADMISSION));
 }
 
 // ---------------------------------------------------------------------
@@ -458,6 +542,12 @@ fn every_catalogue_invariant_is_exercised() {
     fleet_sample.duration_s = 240;
     let fleet_outcome = simcheck::run_sample(&fleet_sample);
     checked.extend(fleet_outcome.audit.invariants_checked());
+    let mut geo_sample = Sample::draw(99, 5);
+    geo_sample.traced = true;
+    geo_sample.users = 8;
+    geo_sample.duration_s = 240;
+    let geo_outcome = simcheck::run_sample(&geo_sample);
+    checked.extend(geo_outcome.audit.invariants_checked());
     for inv in CATALOGUE {
         assert!(checked.contains(inv), "`{inv}` never evaluated");
     }

@@ -55,7 +55,14 @@ pub const DIURNAL: [f64; 24] = [
 /// The trace starts at 08:00 "wall time" so short traces land in active
 /// hours.
 pub fn generate(cfg: &TraceConfig) -> Vec<Vec<SimTime>> {
-    let start_hour = 8.0;
+    generate_with_start(cfg, 8.0)
+}
+
+/// [`generate`] with an explicit local start hour. Multi-region
+/// topologies use this to phase-shift the shared [`DIURNAL`] profile
+/// per timezone (sun-following load): each region generates its trace
+/// with its own local wall-clock hour at sim time zero.
+pub fn generate_with_start(cfg: &TraceConfig, start_hour: f64) -> Vec<Vec<SimTime>> {
     (0..cfg.users)
         .map(|u| {
             let mut rng = SimRng::new(simkit::derive_seed(cfg.seed, u as u64));
@@ -69,7 +76,7 @@ pub fn generate(cfg: &TraceConfig) -> Vec<Vec<SimTime>> {
                 if t >= horizon {
                     break;
                 }
-                let hour = ((start_hour + t / 3600.0) % 24.0) as usize;
+                let hour = (start_hour + t / 3600.0).rem_euclid(24.0) as usize;
                 if !rng.bernoulli(DIURNAL[hour % 24]) {
                     continue; // thinned out
                 }
@@ -185,6 +192,26 @@ mod tests {
         assert!(night < 0.1, "3am is quiet: {night}");
         assert!(evening > 0.9, "evening peak: {evening}");
         assert_eq!(DIURNAL.len(), 24);
+    }
+
+    #[test]
+    fn start_hour_shifts_volume() {
+        // A short trace started at the 19:00 peak generates far more
+        // requests than the same trace started at 02:00.
+        let cfg = TraceConfig {
+            users: 20,
+            duration: SimDuration::from_secs(2 * 3600),
+            ..Default::default()
+        };
+        let count = |t: &Vec<Vec<SimTime>>| t.iter().map(|u| u.len()).sum::<usize>();
+        let peak = count(&generate_with_start(&cfg, 19.0));
+        let night = count(&generate_with_start(&cfg, 2.0));
+        assert!(
+            peak > 4 * night.max(1),
+            "peak {peak} should dwarf night {night}"
+        );
+        // The default entry point is exactly start_hour = 8.
+        assert_eq!(generate(&cfg), generate_with_start(&cfg, 8.0));
     }
 
     #[test]

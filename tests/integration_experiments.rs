@@ -63,6 +63,14 @@ fn cluster_scorecard_passes_on_alternate_seed() {
 }
 
 #[test]
+fn geo_scorecard_passes_on_alternate_seed() {
+    // The edge-vs-centralized p99 win, cloud-burst, and migration
+    // contracts must hold even on the shrunk run.
+    let out = exp::geo::run_scaled(ALT_SEED, true);
+    assert!(out.scorecard.all_ok(), "\n{}", out.scorecard.render());
+}
+
+#[test]
 fn experiment_bodies_are_deterministic() {
     let a = exp::fig9::run(42);
     let b = exp::fig9::run(42);
