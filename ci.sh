@@ -51,6 +51,10 @@ if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
     cargo run --release --offline -p rattrap-bench --bin exp_cluster >/dev/null
     echo "==> bench smoke (exp_mega, engine=${RATTRAP_ENGINE:-serial})"
     cargo run --release --offline -p rattrap-bench --bin exp_mega >/dev/null
+    echo "==> bench smoke (exp_drift: modeled vs real kernel latency)"
+    cargo run --release --offline -p rattrap-bench --bin exp_drift >/dev/null
+    echo "==> exec serve probe (offload API end to end)"
+    cargo run --release --offline -p rattrap-bench --bin exec_serve -- --probe >/dev/null
     if [ -n "${RATTRAP_TRACE:-}" ]; then
         echo "==> validate trace ($RATTRAP_TRACE)"
         cargo run --release --offline -p rattrap-bench --bin validate_trace -- "$RATTRAP_TRACE"
@@ -66,10 +70,14 @@ if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
         cargo bench --offline -p rattrap-bench --bench engine_throughput >/dev/null
     BENCH_OBSV_OUT=target/perf_obsv.json \
         cargo bench --offline -p rattrap-bench --bench obsv_overhead >/dev/null
+    BENCH_EXEC_OUT=target/perf_exec.json \
+        cargo bench --offline -p rattrap-bench --bench exec_drift >/dev/null
     cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
         engine results/BENCH_engine.json target/perf_engine.json
     cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
         obsv results/BENCH_obsv.json target/perf_obsv.json
+    cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
+        exec results/BENCH_exec.json target/perf_exec.json
 fi
 
 echo "CI OK"

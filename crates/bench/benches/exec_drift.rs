@@ -1,0 +1,66 @@
+//! Real-execution baseline for the `exec` backend.
+//!
+//! Runs every workload kernel for real at every input size on a
+//! bounded worker pool and writes `BENCH_exec.json` (path overridable
+//! via `BENCH_EXEC_OUT`) with, per `(kernel, size)` cell:
+//!
+//! * **real_ms** — median wall time of the genuine kernel execution,
+//! * **modeled_ms** — the cycle model's charge at the paper server's
+//!   clock, and
+//! * **drift_ratio** — `real / modeled`, the calibration signal
+//!   `perf_gate exec` regresses against.
+//!
+//! All twelve cells are always emitted, even in smoke mode (one rep
+//! instead of five) — the gate treats a vanished metric as FAIL, so
+//! coverage itself is gated.
+//!
+//! The vendored Criterion stub has no machine-readable output, so this
+//! bench is a plain `harness = false` main with its own timing loop.
+
+use rattrap_bench::experiments::drift::sweep;
+
+fn main() {
+    let meta = rattrap_bench::RunMeta::capture(rattrap_bench::DEFAULT_SEED);
+    println!("{}", meta.header());
+
+    let smoke = rattrap_bench::experiments::smoke();
+    let rows = sweep(meta.seed, smoke);
+    for r in &rows {
+        println!(
+            "{:<10} {}: modeled {:.2}ms, real {:.2}ms, drift {:.3}x",
+            r.kind.label(),
+            r.size.label(),
+            r.modeled_ms,
+            r.real_ms,
+            r.ratio
+        );
+    }
+
+    let out = rattrap_bench::meta::baseline_out("BENCH_EXEC_OUT", "BENCH_exec.json");
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"kernel\": \"{}\", \"size\": \"{}\", \"real_ms\": {:.4}, \
+                 \"modeled_ms\": {:.4}, \"drift_ratio\": {:.4} }}",
+                r.kind.label(),
+                r.size.label(),
+                r.real_ms,
+                r.modeled_ms,
+                r.ratio
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"exec_drift\",\n  \"seed\": {},\n  \"toolchain\": \"{}\",\n  \
+         \"git_sha\": \"{}\",\n  \"smoke\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        meta.seed,
+        meta.toolchain,
+        meta.git_sha,
+        meta.smoke,
+        cells.join(",\n")
+    );
+    obsv::json::parse(&json).expect("baseline JSON parses");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("baseline written to {}", out.display());
+}

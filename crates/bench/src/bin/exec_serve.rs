@@ -1,0 +1,76 @@
+//! Thin offload API server: the fleet control plane (routing,
+//! admission, warm-affinity) in front of real kernel execution, served
+//! over line-delimited JSON on TCP.
+//!
+//! Usage: `exec_serve [addr] [--hosts N] [--workers N] [--cap N] [--probe]`
+//!
+//! Default address is `127.0.0.1:7117`. With `--probe` the server
+//! binds an ephemeral port, submits one request per kernel through a
+//! real TCP client, verifies every returned checksum against local
+//! re-execution, prints the timing breakdowns, and exits — the CI
+//! smoke for the end-to-end submit → route/admit → execute → copy-back
+//! loop. Without it the server runs until killed.
+use exec::serve::{serve, submit, OffloadRequest};
+use exec::{execute_kernel, SizeClass};
+use fleet::FleetHandler;
+use workloads::WorkloadKind;
+
+fn flag(name: &str, default: usize) -> usize {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let probe = std::env::args().any(|a| a == "--probe");
+    let addr = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            if probe {
+                "127.0.0.1:0".to_owned()
+            } else {
+                "127.0.0.1:7117".to_owned()
+            }
+        });
+    let (hosts, workers, cap) = (flag("--hosts", 3), flag("--workers", 2), flag("--cap", 8));
+    let handler = FleetHandler::new(hosts, workers, cap);
+    let mut server = serve(&addr, handler).expect("bind offload server");
+    println!(
+        "# exec_serve: listening on {} ({hosts} hosts × {workers} workers, cap {cap})",
+        server.addr()
+    );
+
+    if probe {
+        let at = server.addr();
+        for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let req = OffloadRequest {
+                kind,
+                size: SizeClass::Small,
+                seed: 0x2017_0529 + i as u64,
+            };
+            let resp = submit(at, &req).expect("probe round trip");
+            assert!(resp.ok, "{}: {}", kind.label(), resp.error);
+            let local = execute_kernel(req.kind, req.size, req.seed).checksum;
+            assert_eq!(resp.checksum, local, "{} checksum mismatch", kind.label());
+            println!(
+                "probe {:<10} host={} queue={}us exec={}us checksum={:016x} ok",
+                kind.label(),
+                resp.host,
+                resp.queue_micros,
+                resp.exec_micros,
+                resp.checksum
+            );
+        }
+        println!("# exec_serve: probe passed (4/4 checksums verified)");
+        server.shutdown();
+        return;
+    }
+
+    // Serve until killed; the accept loop owns the process from here.
+    loop {
+        std::thread::park();
+    }
+}

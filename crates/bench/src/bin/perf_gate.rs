@@ -6,6 +6,7 @@
 //! perf_gate obsv    results/BENCH_obsv.json    candidate_obsv.json
 //! perf_gate cluster results/BENCH_cluster.json candidate_cluster.json
 //! perf_gate geo     results/BENCH_geo.json     candidate_geo.json
+//! perf_gate exec    results/BENCH_exec.json    candidate_exec.json
 //! ```
 //!
 //! Prints a markdown delta table (also appended to the file named by
@@ -48,6 +49,8 @@
 //!   cargo bench --offline -p rattrap-bench --bench cluster_scaling
 //! BENCH_GEO_OUT=results/BENCH_geo.json \
 //!   cargo bench --offline -p rattrap-bench --bench geo_hierarchy
+//! BENCH_EXEC_OUT=results/BENCH_exec.json \
+//!   cargo bench --offline -p rattrap-bench --bench exec_drift
 //! ```
 //!
 //! and justify the delta in the PR description (EXPERIMENTS.md keeps
@@ -381,10 +384,57 @@ fn compare_geo(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
     rows
 }
 
+fn compare_exec(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let empty: [Value; 0] = [];
+    let cells = base
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .unwrap_or(&empty);
+    for (i, cell) in cells.iter().enumerate() {
+        let label = |key: &str| {
+            cell.get(key)
+                .and_then(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| i.to_string())
+        };
+        let (kernel, size) = (label("kernel"), label("size"));
+        // Real wall time and the real/modeled drift ratio both depend
+        // on the machine that wrote the baseline, so they take the
+        // loose absolute band; a cell missing from the candidate is
+        // still a FAIL — kernel×size coverage itself is gated.
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("cells.{i}.real_ms"),
+            &format!("{kernel}/{size} real ms"),
+            false,
+            false,
+            same_mode,
+        );
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("cells.{i}.drift_ratio"),
+            &format!("{kernel}/{size} drift ratio"),
+            false,
+            false,
+            same_mode,
+        );
+    }
+    rows
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, kind, base_path, cand_path] = &args[..] else {
-        eprintln!("usage: perf_gate <engine|obsv|cluster|geo> <baseline.json> <candidate.json>");
+        eprintln!(
+            "usage: perf_gate <engine|obsv|cluster|geo|exec> <baseline.json> <candidate.json>"
+        );
         return ExitCode::from(2);
     };
     let load = |p: &str| -> Value {
@@ -407,8 +457,9 @@ fn main() -> ExitCode {
         "obsv" => compare_obsv(&base, &cand, same_mode),
         "cluster" => compare_cluster(&base, &cand, same_mode),
         "geo" => compare_geo(&base, &cand, same_mode),
+        "exec" => compare_exec(&base, &cand, same_mode),
         other => {
-            eprintln!("unknown bench kind {other:?} (expected engine|obsv|cluster|geo)");
+            eprintln!("unknown bench kind {other:?} (expected engine|obsv|cluster|geo|exec)");
             return ExitCode::from(2);
         }
     };

@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod cluster;
 pub mod decision;
 pub mod docker;
+pub mod drift;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

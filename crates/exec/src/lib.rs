@@ -1,0 +1,58 @@
+//! `exec` — the real-execution compute backend.
+//!
+//! The discrete-event simulation charges every offloaded request a
+//! *calibrated cycle profile* ([`workloads::WorkloadProfile`]), even
+//! though the four workload kernels (OCR, chess, VirusScan, Linpack)
+//! are genuinely executable Rust. This crate closes that loop with a
+//! pluggable [`ComputeBackend`] the engines (rattrap's `Simulation`,
+//! the `fleet` host shards, and through them every `geo` cell) consult
+//! when a request reaches its compute phase:
+//!
+//! * [`Modeled`] — today's behaviour, verbatim: the sampled task's
+//!   megacycles priced at the host clock and runtime-class efficiency.
+//!   Bit-identical to the pre-backend engines; every golden digest is
+//!   pinned against it.
+//! * [`RealBackend`] — the kernel actually *runs* on a bounded worker
+//!   thread pool. The request's sampled task is quantized to a
+//!   [`SizeClass`], a deterministic kernel input is built from the
+//!   request's seed, and the measured wall time becomes the sim-time
+//!   charge. Every execution is logged as a [`Measurement`] keyed by
+//!   `(WorkloadKind, SizeClass, HostClass)` — the raw material of a
+//!   [`CalibrationMap`].
+//! * [`ReplayBackend`] — a committed calibration map converts recorded
+//!   real/modeled ratios back into deterministic charges, so
+//!   real-informed runs are reproducible: same map, same seed, same
+//!   report, bit for bit. The identity map reproduces [`Modeled`]
+//!   exactly (`modeled × 1.0`), which is how the golden digests stay
+//!   meaningful under replay.
+//!
+//! On top of the backends sits a thin offload API server
+//! ([`serve::serve`]): a client submits `{kind, size, seed}` as one
+//! line of JSON over TCP, a pluggable [`serve::OffloadHandler`]
+//! routes/admits/executes it (the `fleet` crate provides the
+//! control-plane-backed handler), and the response carries the output
+//! checksum plus a queue/execute timing breakdown — the
+//! ship-code/run-remote/copy-back loop of the paper's platform, served
+//! for real.
+//!
+//! Determinism contract: [`Modeled`] and [`ReplayBackend`] are pure
+//! functions of `(ComputeCtx, TaskRequest)` and may be used in golden
+//! runs; [`RealBackend`] measures wall clocks and is explicitly
+//! nondeterministic — its *outputs* (kernel checksums) are still
+//! deterministic and pinned by `tests/kernel_goldens.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod drift;
+pub mod real;
+pub mod replay;
+pub mod serve;
+pub mod workset;
+
+pub use backend::{modeled, BackendHandle, ComputeBackend, ComputeCtx, HostClass, Modeled};
+pub use drift::{calibration_from_rows, measure_drift, DriftConfig, DriftRow};
+pub use real::{Measurement, RealBackend};
+pub use replay::{CalEntry, CalibrationMap, ReplayBackend};
+pub use workset::{execute_kernel, kind_from_label, KernelOutput, SizeClass};

@@ -1,0 +1,319 @@
+//! The replay backend: recorded real wall times as deterministic
+//! sim-time charges.
+//!
+//! A [`CalibrationMap`] holds one [`CalEntry`] per
+//! `"kind/size/host"` key — the mean real/modeled ratio observed by a
+//! [`RealBackend`](crate::real::RealBackend) run. [`ReplayBackend`]
+//! charges `modeled × ratio`: a pure function of `(ctx, task)`, so
+//! real-informed runs are bit-for-bit reproducible from the committed
+//! map. The identity map (every ratio 1.0) reproduces
+//! [`Modeled`](crate::backend::Modeled) exactly, because `x × 1.0 == x`
+//! in IEEE arithmetic — the golden digests hold under replay.
+//!
+//! ## Map format
+//!
+//! ```json
+//! {
+//!   "default_ratio": 1.0,
+//!   "entries": {
+//!     "OCR/M/localhost": { "ratio": 1.07, "wall_micros": 42180, "samples": 5 }
+//!   }
+//! }
+//! ```
+//!
+//! Lookup order for `(kind, size, host)`: exact `"kind/size/host"`,
+//! then wildcard-host `"kind/size/*"`, then `default_ratio`.
+
+use crate::backend::{ComputeBackend, ComputeCtx, HostClass};
+use crate::workset::SizeClass;
+use obsv::json::{self, Value};
+use std::collections::BTreeMap;
+use workloads::{TaskRequest, WorkloadKind};
+
+/// One calibration cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalEntry {
+    /// Mean real/modeled wall-time ratio.
+    pub ratio: f64,
+    /// Mean measured kernel wall time, microseconds (reporting only;
+    /// replay charges use `ratio`).
+    pub wall_micros: u64,
+    /// Samples behind the mean.
+    pub samples: u64,
+}
+
+/// A committed map from `"kind/size/host"` keys to calibration cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationMap {
+    /// Ratio applied when no key matches.
+    pub default_ratio: f64,
+    entries: BTreeMap<String, CalEntry>,
+}
+
+impl CalibrationMap {
+    /// The identity map: every charge replays as pure `Modeled`.
+    pub fn identity() -> CalibrationMap {
+        CalibrationMap {
+            default_ratio: 1.0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The calibration committed with the crate
+    /// (`crates/exec/data/calibration.json`), recorded by
+    /// `exp_drift --write-calibration` on the reference machine.
+    pub fn committed() -> CalibrationMap {
+        CalibrationMap::from_json(include_str!("../data/calibration.json"))
+            .expect("committed calibration map parses")
+    }
+
+    /// Canonical key for one cell.
+    pub fn key(kind: WorkloadKind, size: SizeClass, host: HostClass) -> String {
+        format!("{}/{}/{}", kind.label(), size.label(), host.0)
+    }
+
+    /// Insert or replace a cell.
+    pub fn insert(&mut self, key: String, entry: CalEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Direct entry lookup (no wildcard fallback).
+    pub fn entry(&self, key: &str) -> Option<&CalEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate cells in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CalEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Resolve the ratio for one execution: exact key, then
+    /// wildcard-host, then the default.
+    pub fn ratio(&self, kind: WorkloadKind, size: SizeClass, host: HostClass) -> f64 {
+        if let Some(e) = self.entries.get(&Self::key(kind, size, host)) {
+            return e.ratio;
+        }
+        let wild = format!("{}/{}/*", kind.label(), size.label());
+        if let Some(e) = self.entries.get(&wild) {
+            return e.ratio;
+        }
+        self.default_ratio
+    }
+
+    /// Serialize to the committed JSON format (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"default_ratio\": {},\n", self.default_ratio));
+        s.push_str("  \"entries\": {");
+        let mut first = true;
+        for (key, e) in &self.entries {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    \"{}\": {{ \"ratio\": {}, \"wall_micros\": {}, \"samples\": {} }}",
+                key, e.ratio, e.wall_micros, e.samples
+            ));
+        }
+        if !first {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse the committed JSON format.
+    pub fn from_json(text: &str) -> Result<CalibrationMap, String> {
+        let v = json::parse(text)?;
+        let default_ratio = v
+            .get("default_ratio")
+            .and_then(Value::as_f64)
+            .ok_or("calibration: missing default_ratio")?;
+        let mut entries = BTreeMap::new();
+        if let Some(Value::Object(map)) = v.get("entries") {
+            for (key, cell) in map {
+                let num = |field: &str| -> Result<f64, String> {
+                    cell.get(field)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("calibration {key}: missing {field}"))
+                };
+                entries.insert(
+                    key.clone(),
+                    CalEntry {
+                        ratio: num("ratio")?,
+                        wall_micros: num("wall_micros")? as u64,
+                        samples: num("samples")? as u64,
+                    },
+                );
+            }
+        }
+        Ok(CalibrationMap {
+            default_ratio,
+            entries,
+        })
+    }
+}
+
+/// The deterministic replay backend.
+#[derive(Debug, Clone)]
+pub struct ReplayBackend {
+    map: CalibrationMap,
+}
+
+impl ReplayBackend {
+    /// Replay against an explicit map.
+    pub fn new(map: CalibrationMap) -> ReplayBackend {
+        ReplayBackend { map }
+    }
+
+    /// Replay against the identity map (≡ `Modeled`).
+    pub fn identity() -> ReplayBackend {
+        ReplayBackend::new(CalibrationMap::identity())
+    }
+
+    /// Replay against the committed calibration.
+    pub fn committed() -> ReplayBackend {
+        ReplayBackend::new(CalibrationMap::committed())
+    }
+
+    /// The map replayed against.
+    pub fn map(&self) -> &CalibrationMap {
+        &self.map
+    }
+}
+
+impl ComputeBackend for ReplayBackend {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn charge(&self, ctx: &ComputeCtx, task: &TaskRequest) -> f64 {
+        let modeled = task.compute.seconds_at(ctx.clock_ghz, ctx.cpu_efficiency);
+        modeled * self.map.ratio(ctx.kind, ctx.size, ctx.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Modeled;
+    use simkit::units::Megacycles;
+    use simkit::SimRng;
+
+    fn ctx(kind: WorkloadKind, task: &TaskRequest) -> ComputeCtx {
+        ComputeCtx {
+            kind,
+            size: SizeClass::of(task),
+            host: HostClass::PAPER_SERVER,
+            clock_ghz: 2.66,
+            cpu_efficiency: 0.995,
+            input_seed: 3,
+        }
+    }
+
+    #[test]
+    fn identity_replay_is_bitwise_modeled() {
+        let replay = ReplayBackend::identity();
+        for kind in WorkloadKind::ALL {
+            let mut rng = SimRng::new(21);
+            for _ in 0..64 {
+                let task = kind.profile().sample(&mut rng);
+                let c = ctx(kind, &task);
+                assert_eq!(
+                    replay.charge(&c, &task).to_bits(),
+                    Modeled.charge(&c, &task).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_falls_back_exact_then_wildcard_then_default() {
+        let mut map = CalibrationMap::identity();
+        map.default_ratio = 2.0;
+        map.insert("OCR/M/*".into(), cal(1.5));
+        map.insert(
+            CalibrationMap::key(
+                WorkloadKind::Ocr,
+                SizeClass::Medium,
+                HostClass::PAPER_SERVER,
+            ),
+            cal(1.2),
+        );
+        assert_eq!(
+            map.ratio(
+                WorkloadKind::Ocr,
+                SizeClass::Medium,
+                HostClass::PAPER_SERVER
+            ),
+            1.2
+        );
+        assert_eq!(
+            map.ratio(WorkloadKind::Ocr, SizeClass::Medium, HostClass::EDGE_POP),
+            1.5
+        );
+        assert_eq!(
+            map.ratio(WorkloadKind::Linpack, SizeClass::Small, HostClass::EDGE_POP),
+            2.0
+        );
+    }
+
+    fn cal(ratio: f64) -> CalEntry {
+        CalEntry {
+            ratio,
+            wall_micros: 1000,
+            samples: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut map = CalibrationMap::identity();
+        map.insert("Linpack/S/localhost".into(), cal(0.93));
+        map.insert("OCR/L/*".into(), cal(1.41));
+        let text = map.to_json();
+        let back = CalibrationMap::from_json(&text).unwrap();
+        assert_eq!(map, back);
+        let empty = CalibrationMap::identity();
+        assert_eq!(CalibrationMap::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn committed_map_parses_and_covers_all_kernels() {
+        let map = CalibrationMap::committed();
+        for kind in WorkloadKind::ALL {
+            for size in SizeClass::ALL {
+                let r = map.ratio(kind, size, HostClass::LOCALHOST);
+                assert!(r > 0.0, "{}/{}", kind.label(), size.label());
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_scaled_modeled() {
+        let mut map = CalibrationMap::identity();
+        map.default_ratio = 3.0;
+        let replay = ReplayBackend::new(map);
+        let task = TaskRequest {
+            kind: WorkloadKind::Linpack,
+            payload_bytes: 260,
+            control_bytes: 96,
+            result_bytes: 113,
+            compute: Megacycles(2400.0),
+            io_bytes: 0,
+        };
+        let c = ctx(WorkloadKind::Linpack, &task);
+        assert_eq!(replay.charge(&c, &task), 3.0 * Modeled.charge(&c, &task));
+    }
+}

@@ -1,0 +1,373 @@
+//! A thin offload API server over the compute backends.
+//!
+//! The wire protocol is one JSON object per line over TCP — the
+//! smallest protocol that exercises the paper's full loop (submit →
+//! route/admit → execute → result back):
+//!
+//! ```json
+//! → {"kind": "OCR", "size": "M", "seed": 7}
+//! ← {"ok": true, "kind": "OCR", "size": "M", "host": 3,
+//!    "backend": "real", "checksum": "988d5275376ae587",
+//!    "queue_micros": 120, "exec_micros": 41873, "detail": "..."}
+//! ```
+//!
+//! Checksums travel as hex *strings*: the JSON reader holds numbers as
+//! `f64`, which cannot carry a full 64-bit checksum.
+//!
+//! Routing/admission is behind [`OffloadHandler`]; the `fleet` crate
+//! provides the control-plane-backed implementation (consistent-hash
+//! routing + admission bounds), while [`DirectHandler`] here executes
+//! on a local [`RealBackend`] with no control plane — enough for
+//! loopback tests and single-host serving.
+
+use crate::real::RealBackend;
+use crate::workset::{kind_from_label, SizeClass};
+use obsv::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+use workloads::WorkloadKind;
+
+/// One offload request as submitted by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadRequest {
+    /// Workload to execute.
+    pub kind: WorkloadKind,
+    /// Kernel input size.
+    pub size: SizeClass,
+    /// Deterministic kernel input seed.
+    pub seed: u64,
+}
+
+impl OffloadRequest {
+    /// Encode as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\": \"{}\", \"size\": \"{}\", \"seed\": {}}}",
+            self.kind.label(),
+            self.size.label(),
+            self.seed
+        )
+    }
+
+    /// Parse one protocol line.
+    pub fn from_json(line: &str) -> Result<OffloadRequest, String> {
+        let v = json::parse(line)?;
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .and_then(kind_from_label)
+            .ok_or("request: bad or missing \"kind\"")?;
+        let size = v
+            .get("size")
+            .and_then(Value::as_str)
+            .and_then(SizeClass::from_label)
+            .ok_or("request: bad or missing \"size\"")?;
+        let seed = v
+            .get("seed")
+            .and_then(Value::as_f64)
+            .ok_or("request: bad or missing \"seed\"")? as u64;
+        Ok(OffloadRequest { kind, size, seed })
+    }
+}
+
+/// Outcome of one served offload, as returned to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadResponse {
+    /// Whether execution succeeded.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    pub error: String,
+    /// Deterministic kernel output checksum (the client's proof the
+    /// right work ran).
+    pub checksum: u64,
+    /// Host index the request was routed to (0 for direct serving).
+    pub host: usize,
+    /// Backend label that executed the request.
+    pub backend: String,
+    /// Time spent queued/routed before execution, microseconds.
+    pub queue_micros: u64,
+    /// Kernel execution wall time, microseconds.
+    pub exec_micros: u64,
+    /// Human-readable result summary.
+    pub detail: String,
+}
+
+impl OffloadResponse {
+    /// An error response.
+    pub fn error(msg: impl Into<String>) -> OffloadResponse {
+        OffloadResponse {
+            ok: false,
+            error: msg.into(),
+            checksum: 0,
+            host: 0,
+            backend: String::new(),
+            queue_micros: 0,
+            exec_micros: 0,
+            detail: String::new(),
+        }
+    }
+
+    /// Encode as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ok\": {}, \"error\": \"{}\", \"checksum\": \"{:016x}\", \"host\": {}, \
+             \"backend\": \"{}\", \"queue_micros\": {}, \"exec_micros\": {}, \"detail\": \"{}\"}}",
+            self.ok,
+            escape(&self.error),
+            self.checksum,
+            self.host,
+            self.backend,
+            self.queue_micros,
+            self.exec_micros,
+            escape(&self.detail)
+        )
+    }
+
+    /// Parse one protocol line.
+    pub fn from_json(line: &str) -> Result<OffloadResponse, String> {
+        let v = json::parse(line)?;
+        let b = |key: &str| {
+            v.get(key).and_then(|x| match x {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            })
+        };
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap_or_default()
+        };
+        let n = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let checksum = u64::from_str_radix(&s("checksum"), 16)
+            .map_err(|e| format!("response: bad checksum: {e}"))?;
+        Ok(OffloadResponse {
+            ok: b("ok").ok_or("response: missing \"ok\"")?,
+            error: s("error"),
+            checksum,
+            host: n("host") as usize,
+            backend: s("backend"),
+            queue_micros: n("queue_micros"),
+            exec_micros: n("exec_micros"),
+            detail: s("detail"),
+        })
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Routes, admits, and executes one offload request. The server is
+/// generic over this so the fleet control plane can sit behind it
+/// without `exec` depending on `fleet`.
+pub trait OffloadHandler: Send + Sync + 'static {
+    /// Serve one request to completion.
+    fn handle(&self, req: &OffloadRequest) -> OffloadResponse;
+}
+
+/// The no-control-plane handler: every request executes on a local
+/// [`RealBackend`] pool as host 0.
+#[derive(Debug)]
+pub struct DirectHandler {
+    backend: RealBackend,
+}
+
+impl DirectHandler {
+    /// Direct handler with `workers` pool threads.
+    pub fn new(workers: usize) -> DirectHandler {
+        DirectHandler {
+            backend: RealBackend::new(workers),
+        }
+    }
+}
+
+impl OffloadHandler for DirectHandler {
+    fn handle(&self, req: &OffloadRequest) -> OffloadResponse {
+        let queued = Instant::now();
+        let (out, wall) = self.backend.execute(req.kind, req.size, req.seed);
+        let total = queued.elapsed().as_micros() as u64;
+        OffloadResponse {
+            ok: true,
+            error: String::new(),
+            checksum: out.checksum,
+            host: 0,
+            backend: "real".into(),
+            queue_micros: total.saturating_sub(wall),
+            exec_micros: wall,
+            detail: out.detail,
+        }
+    }
+}
+
+/// A running offload API server.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag between connections;
+        // poke it awake with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start serving `handler` on `addr` (e.g. `"127.0.0.1:0"`).
+/// Connections are handled one thread each; every line received is one
+/// request, answered with one response line.
+pub fn serve<H: OffloadHandler>(addr: &str, handler: H) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let handler = Arc::new(handler);
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread = thread::Builder::new()
+        .name("exec-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                let _ = thread::Builder::new()
+                    .name("exec-serve-conn".into())
+                    .spawn(move || serve_connection(stream, &*handler));
+            }
+        })?;
+    Ok(Server {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_connection<H: OffloadHandler>(stream: TcpStream, handler: &H) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match OffloadRequest::from_json(&line) {
+            Ok(req) => handler.handle(&req),
+            Err(e) => OffloadResponse::error(e),
+        };
+        if writeln!(writer, "{}", response.to_json()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Client side: submit one request to a running server and wait for
+/// the response.
+pub fn submit(addr: impl ToSocketAddrs, req: &OffloadRequest) -> Result<OffloadResponse, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writeln!(writer, "{}", req.to_json()).map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("recv: {e}"))?;
+    if line.is_empty() {
+        return Err("recv: connection closed".into());
+    }
+    OffloadResponse::from_json(line.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workset::execute_kernel;
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let req = OffloadRequest {
+            kind: WorkloadKind::VirusScan,
+            size: SizeClass::Large,
+            seed: 77,
+        };
+        assert_eq!(OffloadRequest::from_json(&req.to_json()).unwrap(), req);
+
+        let resp = OffloadResponse {
+            ok: true,
+            error: String::new(),
+            checksum: 0xdead_beef_0102_0304,
+            host: 5,
+            backend: "real".into(),
+            queue_micros: 12,
+            exec_micros: 3456,
+            detail: "said \"hi\"".into(),
+        };
+        assert_eq!(OffloadResponse::from_json(&resp.to_json()).unwrap(), resp);
+    }
+
+    #[test]
+    fn direct_serving_end_to_end() {
+        let mut server = serve("127.0.0.1:0", DirectHandler::new(2)).unwrap();
+        let req = OffloadRequest {
+            kind: WorkloadKind::Linpack,
+            size: SizeClass::Small,
+            seed: 11,
+        };
+        let resp = submit(server.addr(), &req).unwrap();
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(
+            resp.checksum,
+            execute_kernel(req.kind, req.size, req.seed).checksum
+        );
+        assert!(resp.exec_micros > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_an_error_line() {
+        let mut server = serve("127.0.0.1:0", DirectHandler::new(1)).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"kind\": \"Doom\"}}").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let resp = OffloadResponse::from_json(line.trim_end()).unwrap();
+        assert!(!resp.ok);
+        assert!(resp.error.contains("kind"));
+        server.shutdown();
+    }
+}

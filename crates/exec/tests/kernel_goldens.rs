@@ -1,0 +1,65 @@
+//! Pinned output checksums for every real kernel at two input sizes.
+//!
+//! `Real` execution is verifiable because kernel outputs are pure
+//! functions of `(kind, size, seed)`. These goldens pin that contract:
+//! a checksum change means a kernel's observable output changed, which
+//! invalidates the committed calibration map and every serve-API
+//! response comparison. Regenerate deliberately (print the table with
+//! `cargo test -p exec --test kernel_goldens -- --nocapture`) and
+//! re-record `crates/exec/data/calibration.json` when you do.
+
+use exec::{execute_kernel, SizeClass};
+use workloads::WorkloadKind;
+
+/// The seed every golden cell is pinned at (the paper's date, like the
+/// engine goldens).
+const GOLDEN_SEED: u64 = 0x2017_0529;
+
+/// `(kind, size, checksum)` — regenerated via `print_golden_table`.
+const GOLDEN: [(WorkloadKind, SizeClass, u64); 8] = [
+    (WorkloadKind::Ocr, SizeClass::Small, 0x02c46ac9549f8e7a),
+    (WorkloadKind::Ocr, SizeClass::Medium, 0x5a993172c8864ab5),
+    (
+        WorkloadKind::ChessGame,
+        SizeClass::Small,
+        0x2db98882b5bd7e8a,
+    ),
+    (
+        WorkloadKind::ChessGame,
+        SizeClass::Medium,
+        0x6ed2ccea8b708657,
+    ),
+    (
+        WorkloadKind::VirusScan,
+        SizeClass::Small,
+        0x738b0906b0855336,
+    ),
+    (
+        WorkloadKind::VirusScan,
+        SizeClass::Medium,
+        0x7eefd7971e32f3c6,
+    ),
+    (WorkloadKind::Linpack, SizeClass::Small, 0x8e8ca94974d8cfc1),
+    (WorkloadKind::Linpack, SizeClass::Medium, 0x6b974adeaf8be133),
+];
+
+#[test]
+fn print_golden_table() {
+    for kind in WorkloadKind::ALL {
+        for size in [SizeClass::Small, SizeClass::Medium] {
+            let out = execute_kernel(kind, size, GOLDEN_SEED);
+            println!(
+                "    (WorkloadKind::{:?}, SizeClass::{:?}, 0x{:016x}),",
+                kind, size, out.checksum
+            );
+        }
+    }
+}
+
+#[test]
+fn outputs_match_committed_checksums() {
+    for (kind, size, want) in GOLDEN {
+        let got = execute_kernel(kind, size, GOLDEN_SEED).checksum;
+        assert_eq!(got, want, "{}/{}", kind.label(), size.label());
+    }
+}

@@ -1005,6 +1005,12 @@ pub struct HostLp {
     served: u64,
     peak_instances: usize,
     peak_memory: u64,
+    /// Compute backend pricing every request's compute phase (default
+    /// [`exec::Modeled`], bit-identical to the cycle model).
+    backend: exec::BackendHandle,
+    /// Hardware class this host's executions are attributed to in
+    /// calibration keys (geo overrides per tier).
+    host_class: exec::HostClass,
 }
 
 impl HostLp {
@@ -1058,7 +1064,21 @@ impl HostLp {
             served: 0,
             peak_instances: 0,
             peak_memory: 0,
+            backend: exec::modeled(),
+            host_class: exec::HostClass::PAPER_SERVER,
         }
+    }
+
+    /// Swap the compute backend for this host shard (default
+    /// [`exec::Modeled`], which reproduces the fleet golden digest).
+    pub fn set_backend(&mut self, backend: exec::BackendHandle) {
+        self.backend = backend;
+    }
+
+    /// Attribute this host's executions to a hardware class in
+    /// calibration keys (geo tiers override the default).
+    pub fn set_host_class(&mut self, class: exec::HostClass) {
+        self.host_class = class;
     }
 
     fn dispatch(&mut self, now: SimTime, ev: HostEvent, out: &mut Outbox<Wire>) {
@@ -1227,7 +1247,16 @@ impl HostLp {
         self.rec.set_current_request(Some(pend.req as u64));
         let spec = self.cfg.runtime.spec();
         let ghz = self.host.host_spec().clock_ghz;
-        let work = pend.task.compute.seconds_at(ghz, spec.cpu_efficiency);
+        let ctx = exec::ComputeCtx {
+            kind: pend.task.kind,
+            size: exec::SizeClass::of(&pend.task),
+            host: self.host_class,
+            clock_ghz: ghz,
+            cpu_efficiency: spec.cpu_efficiency,
+            // Disjoint stream tag from the xfer (1000+attempt) tags.
+            input_seed: derive_seed(pend.xfer_seed, 0xE8EC_0000_0000_0001),
+        };
+        let work = self.backend.charge(&ctx, &pend.task);
         let job = self.cpu.submit(now, work, inst);
         self.jobs.insert(inst, job);
         self.cpu
@@ -1671,6 +1700,28 @@ pub fn run_fleet_traced(cfg: &FleetConfig, rec: Recorder) -> FleetReport {
 /// and thread counts produce bit-identical reports; `Sharded` trades
 /// memory for wall-clock time on large fleets.
 pub fn run_fleet_with(cfg: &FleetConfig, rec: Recorder, mode: EngineMode) -> FleetReport {
+    run_fleet_inner(cfg, rec, mode, None)
+}
+
+/// Run a fleet scenario with every host shard charging compute through
+/// `backend` ([`exec::RealBackend`] executes the kernels for real;
+/// [`exec::ReplayBackend`] replays a committed calibration
+/// deterministically). `run_fleet_with` is the `Modeled` special case.
+pub fn run_fleet_backend(
+    cfg: &FleetConfig,
+    rec: Recorder,
+    mode: EngineMode,
+    backend: exec::BackendHandle,
+) -> FleetReport {
+    run_fleet_inner(cfg, rec, mode, Some(backend))
+}
+
+fn run_fleet_inner(
+    cfg: &FleetConfig,
+    rec: Recorder,
+    mode: EngineMode,
+    backend: Option<exec::BackendHandle>,
+) -> FleetReport {
     assert!(
         cfg.initial_active >= 1 && cfg.initial_active <= cfg.host_specs.len(),
         "initial_active must name a non-empty prefix of host_specs"
@@ -1696,7 +1747,11 @@ pub fn run_fleet_with(cfg: &FleetConfig, rec: Recorder, mode: EngineMode) -> Fle
             if i == CTL {
                 FleetLp::Ctl(Box::new(ControlLp::new(Arc::clone(&cfg), lp_rec)))
             } else {
-                FleetLp::Host(Box::new(HostLp::new(Arc::clone(&cfg), i - 1, lp_rec)))
+                let mut host = HostLp::new(Arc::clone(&cfg), i - 1, lp_rec);
+                if let Some(b) = &backend {
+                    host.set_backend(Arc::clone(b));
+                }
+                FleetLp::Host(Box::new(host))
             }
         }
     };

@@ -39,11 +39,13 @@ pub mod engine;
 pub mod rebalance;
 pub mod report;
 pub mod router;
+pub mod serve;
 
 pub use admission::AdmissionCtl;
 pub use autoscaler::{Autoscaler, FleetAction};
 pub use config::{AutoscalePolicy, FleetConfig, RebalancePolicy};
-pub use engine::{run_fleet, run_fleet_traced, run_fleet_with, EngineMode};
+pub use engine::{run_fleet, run_fleet_backend, run_fleet_traced, run_fleet_with, EngineMode};
 pub use rebalance::{RebalanceMove, Rebalancer};
 pub use report::{ControlStats, FleetReport, FleetRequestRecord, FleetSummary, HostReport};
 pub use router::{RouteDecision, RouteReason, Router};
+pub use serve::FleetHandler;

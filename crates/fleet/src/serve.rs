@@ -1,0 +1,166 @@
+//! The fleet control plane behind the `exec::serve` offload API.
+//!
+//! [`FleetHandler`] implements [`exec::serve::OffloadHandler`] with the
+//! same front-end machinery the simulated fleet runs: requests are
+//! keyed by AID, routed over the consistent-hash [`Router`] with
+//! warm-cache affinity, admission-bounded per host, and then executed
+//! *for real* on each host's bounded [`exec::RealBackend`] worker
+//! pool. The response carries the deterministic kernel output checksum
+//! plus the queue/execute timing breakdown — the paper's
+//! route/admit/execute/copy-back loop, served over TCP:
+//!
+//! ```text
+//! exec::serve::serve(addr, FleetHandler::new(hosts, workers, cap))
+//! ```
+
+use crate::router::Router;
+use exec::serve::{OffloadHandler, OffloadRequest, OffloadResponse};
+use exec::RealBackend;
+use rattrap::warehouse::{aid_of, Aid};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use workloads::WorkloadKind;
+
+/// One serving host: its worker pool, admission counter, and the set
+/// of workloads it has warm code for.
+#[derive(Debug)]
+struct HostSlot {
+    backend: RealBackend,
+    in_flight: AtomicUsize,
+    /// Workloads whose code this host has loaded before (the warm-set
+    /// the router's affinity preference keys on).
+    warm: Mutex<BTreeSet<WorkloadKind>>,
+}
+
+/// Routing + admission + real execution over a small host fleet.
+#[derive(Debug)]
+pub struct FleetHandler {
+    router: Router,
+    hosts: Vec<HostSlot>,
+    aids: Vec<Aid>,
+    /// Per-host concurrent-request bound; beyond it the router spills
+    /// clockwise, and when every host is full the request is shed.
+    max_in_flight: usize,
+}
+
+impl FleetHandler {
+    /// A fleet of `hosts` hosts, each with `workers` pool threads and
+    /// room for `max_in_flight` concurrent requests.
+    pub fn new(hosts: usize, workers: usize, max_in_flight: usize) -> FleetHandler {
+        assert!(hosts > 0, "at least one host");
+        assert!(max_in_flight > 0, "admission bound must admit something");
+        let mut router = Router::new(64);
+        router.rebuild(&(0..hosts).collect());
+        FleetHandler {
+            router,
+            hosts: (0..hosts)
+                .map(|_| HostSlot {
+                    backend: RealBackend::new(workers),
+                    in_flight: AtomicUsize::new(0),
+                    warm: Mutex::new(BTreeSet::new()),
+                })
+                .collect(),
+            aids: WorkloadKind::ALL
+                .iter()
+                .map(|k| aid_of(k.app_id()))
+                .collect(),
+            max_in_flight,
+        }
+    }
+
+    fn aid(&self, kind: WorkloadKind) -> &Aid {
+        let i = WorkloadKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every kind has an aid");
+        &self.aids[i]
+    }
+}
+
+impl OffloadHandler for FleetHandler {
+    fn handle(&self, req: &OffloadRequest) -> OffloadResponse {
+        let queued = Instant::now();
+
+        // Route: warm-affinity first, then hash home, then spillover —
+        // exactly the simulated front end's preference order.
+        let warm: Vec<usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.warm.lock().expect("warm set").contains(&req.kind))
+            .map(|(h, _)| h)
+            .collect();
+        let decision = self.router.route(self.aid(req.kind), &warm, |h| {
+            self.hosts[h].in_flight.load(Ordering::SeqCst) < self.max_in_flight
+        });
+        let Some(decision) = decision else {
+            return OffloadResponse::error("admission: every host is full");
+        };
+
+        // Admit (racing submitters may overshoot the bound by the gap
+        // between route and admit; the bound is capacity protection,
+        // not a strict semaphore).
+        let slot = &self.hosts[decision.host];
+        slot.in_flight.fetch_add(1, Ordering::SeqCst);
+        slot.warm.lock().expect("warm set").insert(req.kind);
+
+        // Execute for real on the host's bounded pool.
+        let (out, wall) = slot.backend.execute(req.kind, req.size, req.seed);
+        slot.in_flight.fetch_sub(1, Ordering::SeqCst);
+
+        let total = queued.elapsed().as_micros() as u64;
+        OffloadResponse {
+            ok: true,
+            error: String::new(),
+            checksum: out.checksum,
+            host: decision.host,
+            backend: "real".into(),
+            queue_micros: total.saturating_sub(wall),
+            exec_micros: wall,
+            detail: format!("{} via {}", out.detail, decision.reason.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec::{execute_kernel, SizeClass};
+
+    #[test]
+    fn routes_and_executes_with_verifiable_checksum() {
+        let handler = FleetHandler::new(3, 2, 4);
+        let req = OffloadRequest {
+            kind: WorkloadKind::Linpack,
+            size: SizeClass::Small,
+            seed: 99,
+        };
+        let resp = handler.handle(&req);
+        assert!(resp.ok, "{}", resp.error);
+        assert!(resp.host < 3);
+        assert_eq!(
+            resp.checksum,
+            execute_kernel(req.kind, req.size, req.seed).checksum
+        );
+    }
+
+    #[test]
+    fn repeat_requests_stick_to_the_warm_host() {
+        let handler = FleetHandler::new(4, 1, 8);
+        let req = OffloadRequest {
+            kind: WorkloadKind::ChessGame,
+            size: SizeClass::Small,
+            seed: 1,
+        };
+        let first = handler.handle(&req);
+        assert!(first.ok);
+        for seed in 2..6 {
+            let resp = handler.handle(&OffloadRequest { seed, ..req });
+            assert!(resp.ok);
+            assert_eq!(resp.host, first.host, "affinity broke: {}", resp.detail);
+            assert!(resp.detail.contains("affinity"), "{}", resp.detail);
+        }
+    }
+}

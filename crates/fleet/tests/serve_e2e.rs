@@ -1,0 +1,63 @@
+//! End-to-end offload serving: a TCP client submits requests to an
+//! `exec::serve` server backed by the fleet control plane
+//! ([`fleet::FleetHandler`]) and verifies the returned checksums
+//! against local kernel execution — the full submit → route/admit →
+//! execute-for-real → copy-back loop of the paper's platform.
+
+use exec::serve::{serve, submit, OffloadRequest};
+use exec::{execute_kernel, SizeClass};
+use fleet::FleetHandler;
+use workloads::WorkloadKind;
+
+#[test]
+fn served_checksums_match_local_execution_for_every_kernel() {
+    let mut server = serve("127.0.0.1:0", FleetHandler::new(2, 2, 4)).expect("bind loopback");
+    let addr = server.addr();
+    for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let req = OffloadRequest {
+            kind,
+            size: SizeClass::Small,
+            seed: 0x2017_0529 + i as u64,
+        };
+        let resp = submit(addr, &req).expect("round trip");
+        assert!(resp.ok, "{}: {}", kind.label(), resp.error);
+        assert_eq!(
+            resp.checksum,
+            execute_kernel(req.kind, req.size, req.seed).checksum,
+            "{} served a wrong result",
+            kind.label()
+        );
+        assert!(resp.exec_micros > 0, "{}", kind.label());
+        assert_eq!(resp.backend, "real");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_all_served_correctly() {
+    let mut server = serve("127.0.0.1:0", FleetHandler::new(3, 2, 8)).expect("bind loopback");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let kind = WorkloadKind::ALL[(i % 4) as usize];
+                let req = OffloadRequest {
+                    kind,
+                    size: SizeClass::Small,
+                    seed: 1000 + i,
+                };
+                let resp = submit(addr, &req).expect("round trip");
+                (req, resp)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (req, resp) = h.join().expect("client thread");
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(
+            resp.checksum,
+            execute_kernel(req.kind, req.size, req.seed).checksum
+        );
+    }
+    server.shutdown();
+}

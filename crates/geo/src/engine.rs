@@ -971,6 +971,28 @@ pub fn run_geo_traced(cfg: &GeoConfig, rec: Recorder) -> GeoReport {
 /// Run a geo scenario under an explicit [`EngineMode`]. All modes and
 /// thread counts produce bit-identical reports.
 pub fn run_geo_with(cfg: &GeoConfig, rec: Recorder, mode: EngineMode) -> GeoReport {
+    run_geo_inner(cfg, rec, mode, None)
+}
+
+/// Run a geo scenario with every host shard charging compute through
+/// `backend`. Executions are attributed to
+/// [`exec::HostClass::EDGE_POP`] or [`exec::HostClass::REGIONAL_CORE`]
+/// per tier, so one calibration map can price the two tiers apart.
+pub fn run_geo_backend(
+    cfg: &GeoConfig,
+    rec: Recorder,
+    mode: EngineMode,
+    backend: exec::BackendHandle,
+) -> GeoReport {
+    run_geo_inner(cfg, rec, mode, Some(backend))
+}
+
+fn run_geo_inner(
+    cfg: &GeoConfig,
+    rec: Recorder,
+    mode: EngineMode,
+    backend: Option<exec::BackendHandle>,
+) -> GeoReport {
     let topo = Topology::new(cfg);
     let shard_mode = match mode {
         EngineMode::Serial => ShardMode::Serial,
@@ -1001,11 +1023,19 @@ pub fn run_geo_with(cfg: &GeoConfig, rec: Recorder, mode: EngineMode) -> GeoRepo
             } else {
                 let g = i - 1;
                 let cell = topo.cell_of_host(g);
-                GeoLp::Host(Box::new(HostLp::new(
-                    Arc::clone(&cell_cfgs[cell]),
-                    topo.local_index(g),
-                    lp_rec,
-                )))
+                let mut host =
+                    HostLp::new(Arc::clone(&cell_cfgs[cell]), topo.local_index(g), lp_rec);
+                if let Some(b) = &backend {
+                    host.set_backend(Arc::clone(b));
+                }
+                // Even cells are edge PoPs, odd cells regional cores
+                // (see `GeoConfig::tier`).
+                host.set_host_class(if cell.is_multiple_of(2) {
+                    exec::HostClass::EDGE_POP
+                } else {
+                    exec::HostClass::REGIONAL_CORE
+                });
+                GeoLp::Host(Box::new(host))
             }
         }
     };

@@ -36,7 +36,7 @@ pub mod report;
 pub mod router;
 
 pub use config::{GeoConfig, RegionSpec, TierSpec, Topology, WanConfig};
-pub use engine::{run_geo, run_geo_traced, run_geo_with, EngineMode};
+pub use engine::{run_geo, run_geo_backend, run_geo_traced, run_geo_with, EngineMode};
 pub use report::{
     GeoControlStats, GeoHostReport, GeoMigrationRecord, GeoRegionSummary, GeoReport,
     GeoRequestRecord, GeoSummary,

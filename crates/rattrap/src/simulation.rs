@@ -41,7 +41,6 @@ use simkit::faults::{
     link_available_at, transfer_outcome, FaultConfig, FaultPlan, LinkWindow, StragglerWindow,
     TransferOutcome,
 };
-use simkit::units::Megacycles;
 use simkit::{
     derive_seed, EventQueue, FairShareExecutor, FairShareResource, SimDuration, SimRng, SimTime,
     TimelineSampler,
@@ -334,6 +333,9 @@ pub struct Simulation {
     /// Observability recorder shared with every layer (disabled unless
     /// [`Simulation::set_recorder`] is called).
     rec: Recorder,
+    /// Compute backend pricing every offloaded request's compute phase
+    /// (default [`exec::Modeled`], bit-identical to the cycle model).
+    backend: exec::BackendHandle,
     /// Per-slot trace spans, parallel to `pending`.
     req_spans: Vec<ReqSpans>,
     /// Events popped off the queue (no-op handle when untraced).
@@ -410,6 +412,7 @@ impl Simulation {
                 ..FaultStats::default()
             },
             rec: Recorder::disabled(),
+            backend: exec::modeled(),
             req_spans: Vec::new(),
             ctr_events: Counter::default(),
             ctr_completions: Counter::default(),
@@ -439,6 +442,15 @@ impl Simulation {
     /// was called).
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// Swap the compute backend. The default [`exec::Modeled`] prices
+    /// compute from the calibrated cycle profile exactly as the
+    /// pre-backend engine did, so every golden digest holds; a
+    /// [`exec::RealBackend`] executes the kernels for real, a
+    /// [`exec::ReplayBackend`] replays a committed calibration.
+    pub fn set_backend(&mut self, backend: exec::BackendHandle) {
+        self.backend = backend;
     }
 
     /// Register a lifecycle observer; it sees every phase transition of
@@ -1142,8 +1154,21 @@ impl Simulation {
             .unwrap_or(self.cfg.platform.runtime_class);
         let eff = class.spec().cpu_efficiency;
         let ghz = self.host.host_spec().clock_ghz;
-        let mut work_core_seconds =
-            Megacycles(self.pending[req].task.compute.0).seconds_at(ghz, eff);
+        let task = self.pending[req].task;
+        let ctx = exec::ComputeCtx {
+            kind: task.kind,
+            size: exec::SizeClass::of(&task),
+            host: exec::HostClass::PAPER_SERVER,
+            clock_ghz: ghz,
+            cpu_efficiency: eff,
+            // Disjoint from every req_rng stream (devices stay well
+            // below 0xE8EC_0000).
+            input_seed: derive_seed(
+                self.cfg.seed,
+                0xE8EC_0000_0000_0000 | self.pending[req].record.id,
+            ),
+        };
+        let mut work_core_seconds = self.backend.charge(&ctx, &task);
         // Straggler fault: computations started inside a slowdown
         // window carry the inflation factor (no window — fault-free or
         // otherwise — touches the work term at all).

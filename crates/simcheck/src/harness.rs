@@ -3,8 +3,8 @@
 
 use crate::audit::Audit;
 use crate::invariants::{
-    audit_digest_stability, audit_fleet_report, audit_geo_report, audit_simulation_report,
-    audit_trace, LifecycleAuditor,
+    audit_backend_inertness, audit_digest_stability, audit_fleet_report, audit_geo_report,
+    audit_simulation_report, audit_trace, LifecycleAuditor,
 };
 use crate::models::{
     audit_code_cache, audit_device_gate, audit_medium, audit_timeline, EngineTimeline, FairLink,
@@ -75,10 +75,23 @@ fn run_rattrap(sample: &Sample) -> RunOutcome {
     };
 
     // Same seed, fresh engine: the report must be bit-identical.
-    let replay = Simulation::new(cfg).run();
+    let replay = Simulation::new(cfg.clone()).run();
     audit_digest_stability(
         &format!("rattrap sample {}", sample.index),
         &[report.digest(), replay.digest()],
+        &mut audit,
+    );
+
+    // Backend seam: the identity Replay backend must be inert.
+    let mut with_backend = Simulation::new(cfg);
+    with_backend.set_backend(std::sync::Arc::new(exec::ReplayBackend::identity()));
+    audit_backend_inertness(
+        &format!(
+            "rattrap sample {} (modeled ≡ replay-identity)",
+            sample.index
+        ),
+        report.digest(),
+        with_backend.run().digest(),
         &mut audit,
     );
 
@@ -117,6 +130,21 @@ fn run_fleet_sample(sample: &Sample) -> RunOutcome {
         &mut audit,
     );
 
+    // Backend seam, one layer up: identity Replay through every host
+    // LP must be inert.
+    let with_backend = fleet::run_fleet_backend(
+        &cfg,
+        Recorder::disabled(),
+        fleet::EngineMode::Serial,
+        std::sync::Arc::new(exec::ReplayBackend::identity()),
+    );
+    audit_backend_inertness(
+        &format!("fleet sample {} (modeled ≡ replay-identity)", sample.index),
+        report.digest(),
+        with_backend.digest(),
+        &mut audit,
+    );
+
     RunOutcome {
         digest: report.digest(),
         audit,
@@ -148,6 +176,21 @@ fn run_geo_sample(sample: &Sample) -> RunOutcome {
     audit_digest_stability(
         &format!("geo sample {} (serial ≡ replay ≡ sharded)", sample.index),
         &[report.digest(), replay.digest(), sharded.digest()],
+        &mut audit,
+    );
+
+    // Backend seam across the whole topology: identity Replay through
+    // every edge and core host must be inert.
+    let with_backend = geo::run_geo_backend(
+        &cfg,
+        Recorder::disabled(),
+        geo::EngineMode::Serial,
+        std::sync::Arc::new(exec::ReplayBackend::identity()),
+    );
+    audit_backend_inertness(
+        &format!("geo sample {} (modeled ≡ replay-identity)", sample.index),
+        report.digest(),
+        with_backend.digest(),
         &mut audit,
     );
 

@@ -40,6 +40,7 @@ pub const CATALOGUE: &[&str] = &[
     SPAN_TREE,
     EVENT_MONOTONICITY,
     DIGEST_STABILITY,
+    BACKEND_INERTNESS,
 ];
 
 /// Phase transitions are monotone: edges chain (`from` equals the
@@ -86,6 +87,11 @@ pub const SPAN_TREE: &str = "span-tree";
 pub const EVENT_MONOTONICITY: &str = "event-monotonicity";
 /// Two same-seed runs in one process produce identical digests.
 pub const DIGEST_STABILITY: &str = "digest-stability";
+/// Swapping the default `Modeled` compute backend for
+/// `Replay(identity)` is inert: the report digest must not move
+/// (`modeled × 1.0` is exact in IEEE arithmetic, so any divergence
+/// means the backend seam leaked into engine state).
+pub const BACKEND_INERTNESS: &str = "backend-inertness";
 
 /// Tolerance for µs-rounded phase bookkeeping: each of the ~6 phase
 /// buckets rounds independently, so allow a handful of microseconds.
@@ -591,6 +597,19 @@ pub fn audit_trace(snap: &TraceSnapshot, audit: &mut Audit) {
 /// The same-seed digest-divergence invariant (satellite of the
 /// determinism-hazard fix): every digest from repeated in-process runs
 /// of one configuration must be identical.
+/// The compute-backend inertness invariant: the identity `Replay`
+/// backend must reproduce the `Modeled` digest bit for bit.
+pub fn audit_backend_inertness(context: &str, modeled: u64, replay: u64, audit: &mut Audit) {
+    audit.checked(BACKEND_INERTNESS);
+    if modeled != replay {
+        audit.fail(
+            BACKEND_INERTNESS,
+            context.to_string(),
+            format!("modeled digest {modeled:#018x} != identity-replay digest {replay:#018x}"),
+        );
+    }
+}
+
 pub fn audit_digest_stability(context: &str, digests: &[u64], audit: &mut Audit) {
     audit.checked(DIGEST_STABILITY);
     if let Some(&first) = digests.first() {

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calibration;
 pub mod chess;
 pub mod linpack;
 pub mod ocr;

@@ -13,8 +13,6 @@
 use simkit::units::Megacycles;
 use simkit::SimRng;
 
-const KIB: u64 = 1024;
-
 /// The four benchmark applications (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadKind {
@@ -57,65 +55,23 @@ impl WorkloadKind {
         }
     }
 
-    /// The calibrated offloading profile.
+    /// The calibrated offloading profile, read from the one documented
+    /// table in [`crate::calibration`]. The table's provenance (which
+    /// paper figure pins which column) is documented there; changing a
+    /// cell changes every golden digest.
     pub fn profile(self) -> WorkloadProfile {
-        match self {
-            // Table II: Rattrap upload 29 440 KB vs VM 35 047 KB over
-            // 100 requests / 5 runtimes → app ≈ 1.4 MB, ~280 KB/request.
-            WorkloadKind::Ocr => WorkloadProfile {
-                kind: self,
-                app_code_bytes: 1402 * KIB,
-                payload_bytes_mean: 280 * KIB,
-                payload_cv: 0.30,
-                control_bytes: 410,
-                result_bytes_mean: 1540,
-                compute_megacycles_mean: 6650.0,
-                compute_cv: 0.25,
-                offload_io_factor: 2.0,
-                think_time_secs: 6.0,
-            },
-            // Chess: big APK (engine + opening book), tiny requests;
-            // code is >50 % of migrated data (Fig. 3).
-            WorkloadKind::ChessGame => WorkloadProfile {
-                kind: self,
-                app_code_bytes: 2128 * KIB,
-                payload_bytes_mean: 26 * KIB,
-                payload_cv: 0.40,
-                control_bytes: 610,
-                result_bytes_mean: 348,
-                compute_megacycles_mean: 1600.0,
-                compute_cv: 0.50, // "relatively small … high fluctuation" (§III-C)
-                offload_io_factor: 0.5,
-                think_time_secs: 3.0,
-            },
-            // VirusScan: ~900 KB of files per request, rescanned on
-            // disk → the highest offloading-I/O factor (§III-C).
-            WorkloadKind::VirusScan => WorkloadProfile {
-                kind: self,
-                app_code_bytes: 1730 * KIB,
-                payload_bytes_mean: 902 * KIB,
-                payload_cv: 0.35,
-                control_bytes: 420,
-                result_bytes_mean: 17_400,
-                compute_megacycles_mean: 4500.0,
-                compute_cv: 0.30,
-                offload_io_factor: 2.5,
-                think_time_secs: 8.0,
-            },
-            // Linpack: pure computation; requests are a few hundred
-            // bytes of parameters.
-            WorkloadKind::Linpack => WorkloadProfile {
-                kind: self,
-                app_code_bytes: 134 * KIB,
-                payload_bytes_mean: 260,
-                payload_cv: 0.10,
-                control_bytes: 96,
-                result_bytes_mean: 113,
-                compute_megacycles_mean: 2400.0,
-                compute_cv: 0.10,
-                offload_io_factor: 0.0,
-                think_time_secs: 5.0,
-            },
+        let row = crate::calibration::row(self);
+        WorkloadProfile {
+            kind: self,
+            app_code_bytes: row.app_code_bytes,
+            payload_bytes_mean: row.payload_bytes_mean,
+            payload_cv: row.payload_cv,
+            control_bytes: row.control_bytes,
+            result_bytes_mean: row.result_bytes_mean,
+            compute_megacycles_mean: row.compute_megacycles_mean,
+            compute_cv: row.compute_cv,
+            offload_io_factor: row.offload_io_factor,
+            think_time_secs: row.think_time_secs,
         }
     }
 }
