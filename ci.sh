@@ -51,6 +51,11 @@ if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
     cargo run --release --offline -p rattrap-bench --bin exp_cluster >/dev/null
     echo "==> bench smoke (exp_mega, engine=${RATTRAP_ENGINE:-serial})"
     cargo run --release --offline -p rattrap-bench --bin exp_mega >/dev/null
+    echo "==> bench smoke (exp_storm: scenario plane, engine=${RATTRAP_ENGINE:-serial})"
+    # exp_storm exits non-zero when its scorecard misses, so the smoke
+    # run doubles as the scenario-plane conformance gate.
+    BENCH_STORM_OUT=target/perf_storm.json \
+        cargo run --release --offline -p rattrap-bench --bin exp_storm >/dev/null
     echo "==> bench smoke (exp_drift: modeled vs real kernel latency)"
     cargo run --release --offline -p rattrap-bench --bin exp_drift >/dev/null
     echo "==> exec serve probe (offload API end to end)"
@@ -78,6 +83,8 @@ if [ "${RATTRAP_BENCH_SMOKE:-0}" != "0" ]; then
         obsv results/BENCH_obsv.json target/perf_obsv.json
     cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
         exec results/BENCH_exec.json target/perf_exec.json
+    cargo run --release --offline -p rattrap-bench --bin perf_gate -- \
+        storm results/BENCH_storm.json target/perf_storm.json
 fi
 
 echo "CI OK"

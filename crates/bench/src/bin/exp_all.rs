@@ -38,6 +38,7 @@ fn main() {
         ("mixed", exp::mixed::run),
         ("robustness", exp::robustness::run),
         ("cluster", exp::cluster::run),
+        ("storm", exp::storm::run),
     ];
     let outputs: Vec<(&str, exp::ExperimentOutput)> =
         jobs.par_iter().map(|(name, f)| (*name, f(seed))).collect();

@@ -7,6 +7,7 @@
 //! perf_gate cluster results/BENCH_cluster.json candidate_cluster.json
 //! perf_gate geo     results/BENCH_geo.json     candidate_geo.json
 //! perf_gate exec    results/BENCH_exec.json    candidate_exec.json
+//! perf_gate storm   results/BENCH_storm.json   candidate_storm.json
 //! ```
 //!
 //! Prints a markdown delta table (also appended to the file named by
@@ -51,6 +52,8 @@
 //!   cargo bench --offline -p rattrap-bench --bench geo_hierarchy
 //! BENCH_EXEC_OUT=results/BENCH_exec.json \
 //!   cargo bench --offline -p rattrap-bench --bench exec_drift
+//! cargo run --release --offline -p rattrap-bench --bin exp_storm \
+//!   > results/storm.txt   # writes results/BENCH_storm.json too
 //! ```
 //!
 //! and justify the delta in the PR description (EXPERIMENTS.md keeps
@@ -429,11 +432,77 @@ fn compare_exec(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
     rows
 }
 
+fn compare_storm(base: &Value, cand: &Value, same_mode: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Flash-crowd p95 / quiet p95: same-run, same-seed ratio — the
+    // degradation bound the scenario plane must keep.
+    check(
+        &mut rows,
+        base,
+        cand,
+        "p95_degradation",
+        "flash-crowd p95 degradation (x quiet)",
+        false,
+        true,
+        same_mode,
+    );
+    // Offloaded fraction of scripted interaction-storm events:
+    // seed-deterministic, hardware-free.
+    check(
+        &mut rows,
+        base,
+        cand,
+        "storm_offload_fraction",
+        "interaction-storm offload fraction",
+        true,
+        true,
+        same_mode,
+    );
+    let empty: [Value; 0] = [];
+    let families = base
+        .get("families")
+        .and_then(|f| f.as_array())
+        .unwrap_or(&empty);
+    for (i, fam) in families.iter().enumerate() {
+        let name = fam
+            .get("family")
+            .and_then(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| i.to_string());
+        // Fleet load under each storm is seed-deterministic but
+        // horizon-dependent — gate like a ratio only when the modes
+        // match.
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("families.{i}.fleet_submitted"),
+            &format!("{name} fleet submitted"),
+            true,
+            true,
+            same_mode,
+        );
+        check(
+            &mut rows,
+            base,
+            cand,
+            &format!("families.{i}.wall_secs"),
+            &format!("{name} wall secs"),
+            false,
+            false,
+            same_mode,
+        );
+    }
+    rows
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, kind, base_path, cand_path] = &args[..] else {
         eprintln!(
-            "usage: perf_gate <engine|obsv|cluster|geo|exec> <baseline.json> <candidate.json>"
+            "usage: perf_gate <engine|obsv|cluster|geo|exec|storm> <baseline.json> <candidate.json>"
         );
         return ExitCode::from(2);
     };
@@ -458,8 +527,9 @@ fn main() -> ExitCode {
         "cluster" => compare_cluster(&base, &cand, same_mode),
         "geo" => compare_geo(&base, &cand, same_mode),
         "exec" => compare_exec(&base, &cand, same_mode),
+        "storm" => compare_storm(&base, &cand, same_mode),
         other => {
-            eprintln!("unknown bench kind {other:?} (expected engine|obsv|cluster|geo|exec)");
+            eprintln!("unknown bench kind {other:?} (expected engine|obsv|cluster|geo|exec|storm)");
             return ExitCode::from(2);
         }
     };

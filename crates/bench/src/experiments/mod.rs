@@ -18,6 +18,7 @@ pub mod mixed;
 pub mod osprofile;
 pub mod robustness;
 pub mod scheduler;
+pub mod storm;
 pub mod table1;
 pub mod table2;
 

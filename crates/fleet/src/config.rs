@@ -150,6 +150,12 @@ pub struct FleetConfig {
     /// boundaries. Both engine modes use the same window, which is
     /// why serial and sharded runs are bit-identical.
     pub sync_window: SimDuration,
+    /// Optional adversarial-traffic scenario (flash crowds, correlated
+    /// radio outages, tenant mixes, interaction storms) compiled onto
+    /// the base traffic at seed time. `None` — the default — leaves
+    /// the engine's event stream bit-identical to the pre-scenario
+    /// engine, which is what keeps the pinned golden digests valid.
+    pub scenario_plan: Option<scenario::ScenarioSpec>,
     /// Master seed; every stream in the run is derived from it.
     pub seed: u64,
 }
@@ -192,6 +198,7 @@ impl FleetConfig {
             // under every modelled service time (container setup is
             // 150 ms+), so windowing adds no observable latency.
             sync_window: SimDuration::from_millis(1),
+            scenario_plan: None,
             seed,
         }
     }

@@ -28,13 +28,14 @@ use crate::admission::AdmissionCtl;
 use crate::autoscaler::{Autoscaler, FleetAction};
 use crate::config::FleetConfig;
 use crate::rebalance::Rebalancer;
-use crate::report::{ControlStats, FleetReport, FleetRequestRecord, HostReport};
+use crate::report::{ControlStats, FleetReport, FleetRequestRecord, HostReport, ScenarioStats};
 use crate::router::{RouteReason, Router};
 use netsim::{Direction, Link, SharedLink};
 use obsv::{attrs, AttrValue, Recorder, SpanId, Subsystem, TraceSnapshot};
 use rattrap::warehouse::{aid_of, Aid};
 use rattrap::{AppWarehouse, Phase};
-use simkit::faults::FaultPlan;
+use scenario::ScenarioDriver;
+use simkit::faults::{FaultPlan, TransferOutcome};
 use simkit::shard::{run_sharded, Lp, Outbox, ShardMode};
 use simkit::{derive_seed, EventQueue, FairShareExecutor, JobId, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -53,6 +54,7 @@ const STREAM_NET: u64 = 3;
 const STREAM_SVC: u64 = 4;
 const STREAM_RETRY: u64 = 5;
 const STREAM_FAULTS: u64 = 6;
+const STREAM_SCENARIO: u64 = 7;
 
 /// The LP index of the control plane.
 const CTL: usize = 0;
@@ -263,6 +265,16 @@ struct ControlLp {
     net_root: u64,
     horizon: SimTime,
     outstanding: usize,
+    /// Compiled scenario plan, when the config carries one. Compiled
+    /// once at LP construction from its own derived stream
+    /// ([`STREAM_SCENARIO`]), then read-only: injected arrivals enter
+    /// through the ordinary event queue and cohort radio windows price
+    /// uploads per event, so serial and sharded runs stay
+    /// bit-identical under every scenario.
+    driver: Option<ScenarioDriver>,
+    /// Scenario conservation counters:
+    /// (injected, submitted, suppressed, deferred).
+    scn: (u64, u64, u64, u64),
 }
 
 /// Map an app id back to its workload (for code bytes on migration).
@@ -316,6 +328,13 @@ impl ControlLp {
             .map(|k| aid_of(k.app_id()))
             .collect();
         let warm_map = vec![BTreeSet::new(); WorkloadKind::ALL.len()];
+        let driver = cfg.scenario_plan.as_ref().map(|spec| {
+            ScenarioDriver::compile(
+                spec,
+                cfg.traffic.users,
+                derive_seed(cfg.seed, STREAM_SCENARIO),
+            )
+        });
 
         let mut lp = ControlLp {
             cfg,
@@ -338,6 +357,8 @@ impl ControlLp {
             net_root,
             horizon,
             outstanding: 0,
+            driver,
+            scn: (0, 0, 0, 0),
         };
         lp.seed_events();
         lp
@@ -348,9 +369,19 @@ impl ControlLp {
         // popularity is what makes code-cache-affinity routing pay.
         let mut rng_apps = SimRng::new(derive_seed(self.cfg.seed, STREAM_APPS));
         let weights = self.cfg.app_weights();
-        let user_app: Vec<WorkloadKind> = (0..self.cfg.traffic.users)
+        let mut user_app: Vec<WorkloadKind> = (0..self.cfg.traffic.users)
             .map(|_| WorkloadKind::ALL[rng_apps.weighted_index(&weights)])
             .collect();
+        // Explicit tenancy re-partitions the base population: each
+        // base user's app comes from its tenant's mix instead of the
+        // global Zipf draw.
+        if let Some(d) = &self.driver {
+            for (u, app) in user_app.iter_mut().enumerate() {
+                if let Some(k) = d.base_kind_override(u as u32) {
+                    *app = k;
+                }
+            }
+        }
 
         let mut traffic = self.cfg.traffic.clone();
         traffic.seed = derive_seed(self.cfg.seed, STREAM_TRAFFIC);
@@ -369,6 +400,28 @@ impl ControlLp {
         let plan = FaultPlan::generate(&self.cfg.faults, derive_seed(self.cfg.seed, STREAM_FAULTS));
         for (at, selector) in plan.crashes() {
             self.queue.schedule(at, CtlEvent::HostCrash { selector });
+        }
+
+        // Scenario arrival script: offload events enter the platform
+        // as ordinary arrivals; device-local scripted interactions
+        // (touches that never offload) are counted suppressed. The
+        // conservation contract: injected == submitted + suppressed.
+        if let Some(d) = &self.driver {
+            self.scn.0 = d.injected();
+            for a in d.arrivals() {
+                if a.offload {
+                    self.scn.1 += 1;
+                    self.queue.schedule(
+                        a.at,
+                        CtlEvent::Arrive {
+                            user: a.user,
+                            kind: a.kind,
+                        },
+                    );
+                } else {
+                    self.scn.2 += 1;
+                }
+            }
         }
 
         self.queue
@@ -495,8 +548,60 @@ impl ControlLp {
         let t = self.link.connect_time(&mut rng)
             + self.link.transfer_time(bytes, Direction::Upload, &mut rng);
         let rgen = self.reqs[req].gen;
-        self.queue
-            .schedule(now.saturating_add(t), CtlEvent::UploadDone { req, rgen });
+        // Scenario cohort radio windows price the uplink: degradation
+        // stretches the transfer, an outage cuts it and defers the
+        // attempt to the window edge — where the whole cohort
+        // re-offloads at once (the thundering herd).
+        let outcome = match &self.driver {
+            Some(d) => d.price_transfer(self.reqs[req].user, now, t),
+            None => TransferOutcome::Completes {
+                at: now.saturating_add(t),
+            },
+        };
+        match outcome {
+            TransferOutcome::Completes { at } => {
+                self.queue.schedule(at, CtlEvent::UploadDone { req, rgen });
+            }
+            TransferOutcome::Interrupted { .. } => {
+                let release = self
+                    .driver
+                    .as_ref()
+                    .expect("an interrupted transfer implies a driver")
+                    .release_time(self.reqs[req].user, now);
+                self.defer_upload(now, req, release);
+            }
+        }
+    }
+
+    /// A cohort outage cut this upload: release the admitted slot and
+    /// re-route when the radio returns (or degrade when the retry
+    /// budget is spent). Every deferred request re-fires at the same
+    /// window edge, so the restore instant is a genuine herd.
+    fn defer_upload(&mut self, now: SimTime, req: usize, release: SimTime) {
+        self.scn.3 += 1;
+        if let Some(h) = self.reqs[req].host.take() {
+            self.admission.release(h);
+        }
+        self.reqs[req].gen += 1;
+        self.reqs[req].attempts += 1;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                Subsystem::Fleet,
+                "radio_defer",
+                attrs![
+                    ("release_us", AttrValue::U64(release.as_micros())),
+                    ("attempt", AttrValue::U64(self.reqs[req].attempts as u64)),
+                ],
+            );
+        }
+        if self.reqs[req].attempts <= self.cfg.resilience.max_retries + 1 {
+            self.reqs[req].phase = Phase::Retrying;
+            let rgen = self.reqs[req].gen;
+            self.queue
+                .schedule(release.max(now), CtlEvent::RetryFire { req, rgen });
+        } else {
+            self.degrade(now, req);
+        }
     }
 
     /// No host admitted the request: degrade per the resilience policy.
@@ -907,6 +1012,15 @@ impl ControlLp {
                 reason: r.reason,
             })
             .collect();
+        let scenario = self.driver.as_ref().map(|d| {
+            ScenarioStats::build(
+                d.name(),
+                self.scn,
+                d.tenant_names(),
+                |user| d.tenant_of(user),
+                &records,
+            )
+        });
         CtlOut {
             records,
             control: self.control,
@@ -915,6 +1029,7 @@ impl ControlLp {
                 .iter()
                 .map(|h| (h.crashes, h.migrations_out, h.migrations_in))
                 .collect(),
+            scenario,
             snapshot: self.rec.snapshot(),
         }
     }
@@ -1658,6 +1773,8 @@ struct CtlOut {
     control: ControlStats,
     /// Per host: (crashes, migrations_out, migrations_in).
     hosts: Vec<(u64, u64, u64)>,
+    /// Scenario-plane accounting, when the run carried a plan.
+    scenario: Option<ScenarioStats>,
     snapshot: TraceSnapshot,
 }
 
@@ -1764,6 +1881,7 @@ fn run_fleet_inner(
 
     let mut records = Vec::new();
     let mut control = ControlStats::default();
+    let mut scenario = None;
     let mut hosts: Vec<HostReport> = cfg
         .host_specs
         .iter()
@@ -1782,6 +1900,7 @@ fn run_fleet_inner(
             LpOut::Ctl(c) => {
                 records = c.records;
                 control = c.control;
+                scenario = c.scenario;
                 for (h, (crashes, out, inn)) in c.hosts.into_iter().enumerate() {
                     hosts[h].crashes = crashes;
                     hosts[h].migrations_out = out;
@@ -1798,7 +1917,9 @@ fn run_fleet_inner(
             }
         }
     }
-    FleetReport::summarize(records, control, hosts, cfg.traffic.duration)
+    let mut report = FleetReport::summarize(records, control, hosts, cfg.traffic.duration);
+    report.scenario = scenario;
+    report
 }
 
 /// Collect the AIDs currently warm (live container hints) on a host —

@@ -46,6 +46,9 @@ pub use autoscaler::{Autoscaler, FleetAction};
 pub use config::{AutoscalePolicy, FleetConfig, RebalancePolicy};
 pub use engine::{run_fleet, run_fleet_backend, run_fleet_traced, run_fleet_with, EngineMode};
 pub use rebalance::{RebalanceMove, Rebalancer};
-pub use report::{ControlStats, FleetReport, FleetRequestRecord, FleetSummary, HostReport};
+pub use report::{
+    ControlStats, FleetReport, FleetRequestRecord, FleetSummary, HostReport, ScenarioStats,
+    TenantStats,
+};
 pub use router::{RouteDecision, RouteReason, Router};
 pub use serve::FleetHandler;

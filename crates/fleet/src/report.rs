@@ -117,6 +117,109 @@ pub struct FleetSummary {
     pub duration_s: f64,
 }
 
+/// Per-tenant accounting when a scenario declares explicit tenants
+/// (every request belongs to exactly one tenant, so these partition
+/// the run — the `tenant-isolation-accounting` invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests submitted by this tenant's devices.
+    pub submitted: u64,
+    /// Served by the cloud.
+    pub completed_remote: u64,
+    /// Degraded to on-device execution.
+    pub fallback_local: u64,
+    /// Abandoned or failed.
+    pub abandoned: u64,
+    /// Mean response time of this tenant's remote completions, seconds.
+    pub mean_response_s: f64,
+    /// 99th-percentile response of remote completions, seconds.
+    pub p99_response_s: f64,
+}
+
+/// Scenario-plane accounting, present only when the run carried a
+/// [`scenario::ScenarioSpec`]. The conservation contract
+/// (`scenario-arrival-conservation`): every scripted event is either
+/// submitted to the platform or suppressed on-device —
+/// `injected == submitted + suppressed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioStats {
+    /// The spec's display name.
+    pub name: String,
+    /// Scripted events compiled into the run.
+    pub injected: u64,
+    /// Scripted events that entered the platform as requests.
+    pub submitted: u64,
+    /// Scripted events handled device-locally (never offloaded).
+    pub suppressed: u64,
+    /// Upload attempts cut by a cohort radio outage and re-offloaded
+    /// at restore (the thundering herd, counted per deferral).
+    pub deferred: u64,
+    /// Per-tenant split of *all* requests in the run, tenant order.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ScenarioStats {
+    /// Build the per-tenant split from the finished records plus the
+    /// control plane's scenario counters. `tenant_of` maps any user
+    /// index to its tenant.
+    pub fn build(
+        name: &str,
+        counters: (u64, u64, u64, u64),
+        tenant_names: &[String],
+        tenant_of: impl Fn(u32) -> u32,
+        records: &[FleetRequestRecord],
+    ) -> Self {
+        let (injected, submitted, suppressed, deferred) = counters;
+        let tenants = tenant_names
+            .iter()
+            .enumerate()
+            .map(|(t, name)| {
+                let mine: Vec<&FleetRequestRecord> = records
+                    .iter()
+                    .filter(|r| tenant_of(r.user) == t as u32)
+                    .collect();
+                let remote: Vec<f64> = mine
+                    .iter()
+                    .filter(|r| r.remote())
+                    .map(|r| r.response().as_secs_f64())
+                    .collect();
+                let mean = if remote.is_empty() {
+                    0.0
+                } else {
+                    remote.iter().sum::<f64>() / remote.len() as f64
+                };
+                let completed_remote = remote.len() as u64;
+                let cdf = Cdf::from_samples(remote);
+                TenantStats {
+                    name: name.clone(),
+                    submitted: mine.len() as u64,
+                    completed_remote,
+                    fallback_local: mine
+                        .iter()
+                        .filter(|r| r.fell_back && r.phase == Phase::Done)
+                        .count() as u64,
+                    abandoned: mine
+                        .iter()
+                        .filter(|r| matches!(r.phase, Phase::Abandoned | Phase::Failed))
+                        .count() as u64,
+                    mean_response_s: mean,
+                    p99_response_s: cdf.quantile(0.99).unwrap_or(0.0),
+                }
+            })
+            .collect();
+        ScenarioStats {
+            name: name.to_string(),
+            injected,
+            submitted,
+            suppressed,
+            deferred,
+            tenants,
+        }
+    }
+}
+
 /// Everything a fleet run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -128,6 +231,9 @@ pub struct FleetReport {
     pub hosts: Vec<HostReport>,
     /// Aggregates.
     pub summary: FleetSummary,
+    /// Scenario-plane accounting (`None` unless the config carried a
+    /// scenario plan).
+    pub scenario: Option<ScenarioStats>,
 }
 
 impl FleetReport {
@@ -176,12 +282,15 @@ impl FleetReport {
             control,
             hosts,
             summary,
+            scenario: None,
         }
     }
 
     /// Canonical digest over every observable field — the golden
     /// determinism contract. Any microsecond, byte, or float bit that
-    /// moves in the report moves this.
+    /// moves in the report moves this. The scenario block is hashed
+    /// only when present, so scenario-free runs keep the digests
+    /// pinned before the scenario plane existed.
     pub fn digest(&self) -> u64 {
         let mut h = ReportHasher::new();
         h.write_u64(self.records.len() as u64);
@@ -235,6 +344,23 @@ impl FleetReport {
         h.write_f64(s.mean_response_s);
         h.write_f64(s.p50_response_s);
         h.write_f64(s.p95_response_s);
+        if let Some(sc) = &self.scenario {
+            h.write(sc.name.as_bytes());
+            h.write_u64(sc.injected);
+            h.write_u64(sc.submitted);
+            h.write_u64(sc.suppressed);
+            h.write_u64(sc.deferred);
+            h.write_u64(sc.tenants.len() as u64);
+            for t in &sc.tenants {
+                h.write(t.name.as_bytes());
+                h.write_u64(t.submitted);
+                h.write_u64(t.completed_remote);
+                h.write_u64(t.fallback_local);
+                h.write_u64(t.abandoned);
+                h.write_f64(t.mean_response_s);
+                h.write_f64(t.p99_response_s);
+            }
+        }
         h.finish()
     }
 }
@@ -300,5 +426,50 @@ mod tests {
         let mut ctl = base.clone();
         ctl.control.migrations_completed = 1;
         assert_ne!(base.digest(), ctl.digest(), "control stats");
+    }
+
+    #[test]
+    fn digest_sees_the_scenario_block_only_when_present() {
+        let base = FleetReport::summarize(
+            vec![record(0, Phase::Done, 2)],
+            ControlStats::default(),
+            vec![HostReport::default()],
+            SimDuration::from_secs(10),
+        );
+        let mut with = base.clone();
+        with.scenario = Some(ScenarioStats::build(
+            "s",
+            (3, 2, 1, 0),
+            &["default".to_string()],
+            |_| 0,
+            &with.records,
+        ));
+        assert_ne!(base.digest(), with.digest(), "scenario block is hashed");
+        let mut moved = with.clone();
+        moved.scenario.as_mut().unwrap().deferred = 7;
+        assert_ne!(with.digest(), moved.digest(), "deferred count");
+        let mut tenant = with.clone();
+        tenant.scenario.as_mut().unwrap().tenants[0].submitted += 1;
+        assert_ne!(with.digest(), tenant.digest(), "tenant split");
+    }
+
+    #[test]
+    fn tenant_split_partitions_the_records() {
+        let recs = vec![
+            record(0, Phase::Done, 2),
+            record(1, Phase::Abandoned, 1),
+            record(2, Phase::Done, 4),
+        ];
+        let names = vec!["even".to_string(), "odd".to_string()];
+        let s = ScenarioStats::build("s", (0, 0, 0, 0), &names, |u| u % 2, &recs);
+        // All three test records come from user 1 (odd).
+        assert_eq!(s.tenants[0].submitted, 0);
+        assert_eq!(s.tenants[1].submitted, 3);
+        assert_eq!(s.tenants[1].completed_remote, 2);
+        assert_eq!(s.tenants[1].abandoned, 1);
+        assert_eq!(
+            s.tenants.iter().map(|t| t.submitted).sum::<u64>(),
+            recs.len() as u64
+        );
     }
 }

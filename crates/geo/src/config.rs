@@ -151,6 +151,14 @@ pub struct GeoConfig {
     pub affinity_bonus: SimDuration,
     /// Conservative synchronization window of the sharded engine.
     pub sync_window: SimDuration,
+    /// Optional adversarial-traffic scenario injected on top of the
+    /// diurnal base traffic. The compiled arrival script is folded
+    /// onto the existing population (synthetic burst users map onto
+    /// region-local device indices); cohort radio windows and tenant
+    /// accounting are fleet-level concerns (see `fleet::ScenarioStats`)
+    /// — the geo plane injects arrivals. `None` (default) leaves the
+    /// event stream bit-identical to the pre-scenario engine.
+    pub scenario_plan: Option<scenario::ScenarioSpec>,
     /// Master seed; every stream in the run is derived from it.
     pub seed: u64,
 }
@@ -195,6 +203,7 @@ impl GeoConfig {
             warehouse_capacity: 64 * 1024 * 1024,
             affinity_bonus: SimDuration::from_millis(5),
             sync_window: SimDuration::from_millis(1),
+            scenario_plan: None,
             seed,
         }
     }
@@ -260,6 +269,9 @@ impl GeoConfig {
             warehouse_capacity: self.warehouse_capacity,
             device: self.regions[cell / 2].device,
             sync_window: self.sync_window,
+            // The geo control plane owns arrival injection; the cell's
+            // host shards never compile their own scenario.
+            scenario_plan: None,
             seed: self.seed,
         }
     }

@@ -22,6 +22,7 @@
 use crate::config::{GeoConfig, Topology};
 use crate::report::{
     GeoControlStats, GeoHostReport, GeoMigrationRecord, GeoReport, GeoRequestRecord,
+    GeoScenarioStats,
 };
 use crate::router::GeoRouter;
 use fleet::engine::{HostLp, HostOut, Wire};
@@ -30,6 +31,7 @@ use netsim::{Direction, Link, SharedLink};
 use obsv::{attrs, AttrValue, Recorder, SpanId, Subsystem, TraceSnapshot};
 use rattrap::warehouse::{aid_of, Aid};
 use rattrap::Phase;
+use scenario::ScenarioDriver;
 use simkit::shard::{run_sharded, Lp, Outbox, ShardMode};
 use simkit::{derive_seed, EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::BTreeSet;
@@ -47,6 +49,9 @@ const STREAM_TRAFFIC: u64 = 1;
 const STREAM_APPS: u64 = 2;
 const STREAM_NET: u64 = 3;
 const STREAM_SVC: u64 = 4;
+/// Matches fleet's scenario stream tag, so a spec compiled at the geo
+/// level draws from the same derived-stream family.
+const STREAM_SCENARIO: u64 = 7;
 
 /// The LP index of the geo control plane.
 const CTL: usize = 0;
@@ -154,6 +159,10 @@ struct GeoControlLp {
     aids: Vec<Aid>,
     /// First global user index of each region.
     user_base: Vec<u32>,
+    /// Compiled scenario plan, if the config carries one.
+    driver: Option<ScenarioDriver>,
+    /// Scenario conservation counters: (injected, submitted, suppressed).
+    scn: (u64, u64, u64),
     rng_svc: SimRng,
     net_root: u64,
     horizon: SimTime,
@@ -236,6 +245,9 @@ impl GeoControlLp {
             user_base.push(base);
             base += r.users;
         }
+        let driver = cfg.scenario_plan.as_ref().map(|spec| {
+            ScenarioDriver::compile(spec, base, derive_seed(cfg.seed, STREAM_SCENARIO))
+        });
         let horizon = SimTime::ZERO.saturating_add(cfg.traffic.duration);
         let aids: Vec<Aid> = WorkloadKind::ALL
             .iter()
@@ -261,6 +273,8 @@ impl GeoControlLp {
             control: GeoControlStats::default(),
             aids,
             user_base,
+            driver,
+            scn: (0, 0, 0),
             rng_svc,
             net_root,
             horizon,
@@ -277,9 +291,16 @@ impl GeoControlLp {
         let total_users: u32 = self.cfg.regions.iter().map(|r| r.users).sum();
         let mut rng_apps = SimRng::new(derive_seed(self.cfg.seed, STREAM_APPS));
         let weights = self.cfg.app_weights();
-        let user_app: Vec<WorkloadKind> = (0..total_users)
+        let mut user_app: Vec<WorkloadKind> = (0..total_users)
             .map(|_| WorkloadKind::ALL[rng_apps.weighted_index(&weights)])
             .collect();
+        if let Some(d) = &self.driver {
+            for (u, app) in user_app.iter_mut().enumerate() {
+                if let Some(k) = d.base_kind_override(u as u32) {
+                    *app = k;
+                }
+            }
+        }
 
         for (r, region) in self.cfg.regions.iter().enumerate() {
             let mut traffic = self.cfg.traffic.clone();
@@ -297,6 +318,29 @@ impl GeoControlLp {
                             kind: user_app[user as usize],
                         },
                     );
+                }
+            }
+        }
+
+        // Scenario injection: compiled arrivals enter as ordinary
+        // `Arrive` events through the control queue, so serial and
+        // sharded runs see an identical event stream. Synthetic users
+        // (flash-crowd extras, storm containers) fold onto the real
+        // population so `region_of_user` stays valid.
+        if let Some(d) = &self.driver {
+            self.scn.0 = d.injected();
+            for a in d.arrivals() {
+                if a.offload {
+                    self.scn.1 += 1;
+                    self.queue.schedule(
+                        a.at,
+                        GeoCtlEvent::Arrive {
+                            user: a.user % total_users,
+                            kind: a.kind,
+                        },
+                    );
+                } else {
+                    self.scn.2 += 1;
                 }
             }
         }
@@ -879,9 +923,16 @@ impl GeoControlLp {
                 reason: r.reason,
             })
             .collect();
+        let scenario = self.driver.as_ref().map(|d| GeoScenarioStats {
+            name: d.name().to_string(),
+            injected: self.scn.0,
+            submitted: self.scn.1,
+            suppressed: self.scn.2,
+        });
         GeoCtlOut {
             records,
             control: self.control,
+            scenario,
             host_migs: self
                 .hosts
                 .iter()
@@ -941,6 +992,7 @@ impl Lp for GeoLp {
 struct GeoCtlOut {
     records: Vec<GeoRequestRecord>,
     control: GeoControlStats,
+    scenario: Option<GeoScenarioStats>,
     /// Per host: (migrations_out, migrations_in).
     host_migs: Vec<(u64, u64)>,
     migrations: Vec<GeoMigrationRecord>,
@@ -1049,6 +1101,7 @@ fn run_geo_inner(
     let mut records = Vec::new();
     let mut control = GeoControlStats::default();
     let mut migrations = Vec::new();
+    let mut scenario = None;
     let mut hosts: Vec<GeoHostReport> = (0..topo.n_hosts())
         .map(|g| {
             let cell = topo.cell_of_host(g);
@@ -1065,6 +1118,7 @@ fn run_geo_inner(
                 records = c.records;
                 control = c.control;
                 migrations = c.migrations;
+                scenario = c.scenario;
                 for (g, (m_out, m_in)) in c.host_migs.into_iter().enumerate() {
                     hosts[g].migrations_out = m_out;
                     hosts[g].migrations_in = m_in;
@@ -1080,14 +1134,16 @@ fn run_geo_inner(
             }
         }
     }
-    GeoReport::summarize(
+    let mut report = GeoReport::summarize(
         records,
         control,
         hosts,
         migrations,
         topo.n_regions(),
         cfg.traffic.duration,
-    )
+    );
+    report.scenario = scenario;
+    report
 }
 
 #[cfg(test)]
@@ -1148,6 +1204,42 @@ mod tests {
             "home edge served only {home_edge}/{}",
             remote.len()
         );
+    }
+
+    #[test]
+    fn scenario_injection_adds_load_and_stays_bit_identical() {
+        let quiet = run_geo(&small(2, 7));
+        let mut cfg = small(2, 7);
+        cfg.scenario_plan = Some(scenario::ScenarioSpec::flash_crowd(
+            16,
+            8,
+            SimTime::from_secs(120),
+            SimDuration::from_secs(60),
+        ));
+        let rep = run_geo(&cfg);
+        let s = rep.scenario.as_ref().expect("scenario runs carry stats");
+        assert_eq!(
+            s.injected,
+            s.submitted + s.suppressed,
+            "arrival conservation"
+        );
+        assert!(s.submitted > 0, "the burst must inject arrivals");
+        assert!(
+            rep.summary.submitted > quiet.summary.submitted,
+            "injected load must show up in the summary ({} vs {})",
+            rep.summary.submitted,
+            quiet.summary.submitted
+        );
+        for r in &rep.records {
+            assert!(r.phase.is_terminal(), "request {} stuck", r.id);
+        }
+        // Injection rides the ordinary control-queue event stream, so
+        // the sharded engine replays it bit-identically.
+        let sharded = run_geo_with(&cfg, Recorder::disabled(), EngineMode::Sharded(3));
+        assert_eq!(rep.digest(), sharded.digest());
+        // And the quiet config still digests identically to a build
+        // without the scenario plane compiled in: `None` is the default.
+        assert_eq!(quiet.digest(), run_geo(&small(2, 7)).digest());
     }
 
     #[test]

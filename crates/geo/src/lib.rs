@@ -39,6 +39,6 @@ pub use config::{GeoConfig, RegionSpec, TierSpec, Topology, WanConfig};
 pub use engine::{run_geo, run_geo_backend, run_geo_traced, run_geo_with, EngineMode};
 pub use report::{
     GeoControlStats, GeoHostReport, GeoMigrationRecord, GeoRegionSummary, GeoReport,
-    GeoRequestRecord, GeoSummary,
+    GeoRequestRecord, GeoScenarioStats, GeoSummary,
 };
 pub use router::{GeoDecision, GeoRouter};

@@ -184,6 +184,24 @@ pub struct GeoReport {
     pub migrations: Vec<GeoMigrationRecord>,
     /// Aggregates.
     pub summary: GeoSummary,
+    /// Scenario-plane accounting (`None` unless the config carried a
+    /// scenario plan). Geo wiring injects arrivals; cohort windows and
+    /// tenant splits are fleet-level (see `fleet::ScenarioStats`).
+    pub scenario: Option<GeoScenarioStats>,
+}
+
+/// Geo-level scenario conservation counters: every scripted event is
+/// submitted or suppressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeoScenarioStats {
+    /// The spec's display name.
+    pub name: String,
+    /// Scripted events compiled into the run.
+    pub injected: u64,
+    /// Scripted events submitted as platform requests.
+    pub submitted: u64,
+    /// Scripted events handled device-locally.
+    pub suppressed: u64,
 }
 
 fn response_cdf(records: &[GeoRequestRecord], keep: impl Fn(&GeoRequestRecord) -> bool) -> Cdf {
@@ -265,6 +283,7 @@ impl GeoReport {
             hosts,
             migrations,
             summary,
+            scenario: None,
         }
     }
 
@@ -345,6 +364,14 @@ impl GeoReport {
             h.write_u64(reg.cross_region);
             h.write_f64(reg.p50_response_s);
             h.write_f64(reg.p99_response_s);
+        }
+        // Hashed only when present, so scenario-free runs keep the
+        // digests pinned before the scenario plane existed.
+        if let Some(sc) = &self.scenario {
+            h.write(sc.name.as_bytes());
+            h.write_u64(sc.injected);
+            h.write_u64(sc.submitted);
+            h.write_u64(sc.suppressed);
         }
         h.finish()
     }

@@ -1,0 +1,123 @@
+//! The constrained IoT radio profile (`NetworkScenario::IotRadio`)
+//! under the scenario plane's stress cases: zero-byte transfers,
+//! RTT/bandwidth boundary positions, and composition with the fault
+//! plane's outage epochs (`simkit::faults::transfer_outcome`) — the
+//! primitive the correlated-failure scenario family prices radio
+//! blackouts with.
+
+use netsim::{Direction, Link, NetworkScenario};
+use simkit::faults::{transfer_outcome, LinkWindow, TransferOutcome};
+use simkit::{SimDuration, SimRng, SimTime};
+
+#[test]
+fn zero_byte_transfers_cost_nothing_on_the_iot_radio() {
+    let link = Link::new(NetworkScenario::IotRadio);
+    let mut rng = SimRng::new(7);
+    // Sampled and closed-form paths agree: no bytes, no cost — not
+    // even the half-RTT ACK tail a real transfer pays.
+    for dir in [Direction::Upload, Direction::Download] {
+        assert_eq!(link.transfer_time(0, dir, &mut rng), SimDuration::ZERO);
+        assert_eq!(link.expected_transfer_time(0, dir), SimDuration::ZERO);
+    }
+    // One byte immediately costs at least the ACK tail.
+    assert!(link.expected_transfer_time(1, Direction::Upload) > SimDuration::ZERO);
+}
+
+#[test]
+fn the_iot_radio_sits_between_lan_and_wan_on_rtt_but_last_on_bandwidth() {
+    let iot = NetworkScenario::IotRadio.params();
+    let lan = NetworkScenario::LanWifi.params();
+    let wan = NetworkScenario::WanWifi.params();
+    // Edge-local latency: above the same-LAN link, below the WAN hop.
+    assert!(lan.rtt < iot.rtt && iot.rtt < wan.rtt);
+    // But the narrowest non-cellular uplink of the table, by a wide
+    // margin — the reason IoT cohorts lean hardest on a nearby PoP.
+    assert!(iot.upstream_bps * 5.0 <= wan.upstream_bps);
+    assert!(iot.upstream_bps * 10.0 <= lan.upstream_bps);
+    // Lossier and less stable than infrastructure WiFi.
+    assert!(iot.loss_rate > lan.loss_rate && iot.instability > lan.instability);
+    // The radio is symmetric (gateway hop, not cellular up/down split).
+    assert_eq!(iot.upstream_bps, iot.downstream_bps);
+}
+
+#[test]
+fn expected_iot_transfer_time_is_bandwidth_dominated() {
+    let link = Link::new(NetworkScenario::IotRadio);
+    // 1 MiB over a ~2 Mbps radio: > 4 s of serialization, so the RTT
+    // tail is noise and doubling the bytes roughly doubles the time.
+    let one = link.expected_transfer_time(1 << 20, Direction::Upload);
+    let two = link.expected_transfer_time(2 << 20, Direction::Upload);
+    assert!(one.as_secs_f64() > 4.0, "got {}", one.as_secs_f64());
+    let ratio = two.as_secs_f64() / one.as_secs_f64();
+    assert!((1.9..=2.1).contains(&ratio), "ratio {ratio}");
+}
+
+/// Outage epochs compose with the nominal IoT transfer time exactly
+/// like the correlated-failure family prices them: a transfer that
+/// never meets a window is untouched, one that starts inside the
+/// blackout is cut at its start, and one that crosses the boundary is
+/// interrupted with the pre-outage fraction done.
+#[test]
+fn iot_transfers_price_outage_epochs_through_the_fault_plane() {
+    let link = Link::new(NetworkScenario::IotRadio);
+    let nominal = link.expected_transfer_time(1 << 20, Direction::Upload);
+    let outage = [LinkWindow {
+        start: SimTime::from_secs(100),
+        end: SimTime::from_secs(160),
+        rate_factor: 0.0,
+    }];
+
+    // Clear of the window: bit-exact fast path.
+    let before = transfer_outcome(&outage, SimTime::from_secs(10), nominal);
+    assert_eq!(
+        before,
+        TransferOutcome::Completes {
+            at: SimTime::from_secs(10).saturating_add(nominal)
+        }
+    );
+    let after = transfer_outcome(&outage, SimTime::from_secs(160), nominal);
+    assert_eq!(
+        after,
+        TransferOutcome::Completes {
+            at: SimTime::from_secs(160).saturating_add(nominal)
+        }
+    );
+
+    // Starting mid-blackout: interrupted on the spot with nothing done.
+    match transfer_outcome(&outage, SimTime::from_secs(120), nominal) {
+        TransferOutcome::Interrupted { at, fraction_done } => {
+            assert_eq!(at, SimTime::from_secs(120));
+            assert_eq!(fraction_done, 0.0);
+        }
+        other => panic!("expected interruption, got {other:?}"),
+    }
+
+    // Crossing into the blackout: cut at the onset, partial progress.
+    let start = SimTime::from_secs(98);
+    match transfer_outcome(&outage, start, nominal) {
+        TransferOutcome::Interrupted { at, fraction_done } => {
+            assert_eq!(at, SimTime::from_secs(100));
+            let expected = 2.0 / nominal.as_secs_f64();
+            assert!(
+                (fraction_done - expected).abs() < 1e-6,
+                "fraction {fraction_done} vs {expected}"
+            );
+        }
+        other => panic!("expected interruption, got {other:?}"),
+    }
+
+    // A zero-length transfer still cannot land inside the blackout.
+    match transfer_outcome(&outage, SimTime::from_secs(120), SimDuration::ZERO) {
+        TransferOutcome::Interrupted { at, fraction_done } => {
+            assert_eq!(at, SimTime::from_secs(120));
+            assert_eq!(fraction_done, 0.0);
+        }
+        other => panic!("expected interruption, got {other:?}"),
+    }
+    assert_eq!(
+        transfer_outcome(&outage, SimTime::from_secs(50), SimDuration::ZERO),
+        TransferOutcome::Completes {
+            at: SimTime::from_secs(50)
+        }
+    );
+}

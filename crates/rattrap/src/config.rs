@@ -142,6 +142,39 @@ mod tests {
     }
 
     #[test]
+    fn iot_class_devices_gain_the_most_from_an_edge_pop() {
+        // The geo edge cells pair `iot_class()` devices with the
+        // `IotRadio` link: even over that ~2 Mbps radio, the Pi-class
+        // CPU is weak enough that offloading mean-sized compute to a
+        // warm edge core wins — and by a wider margin than the handset
+        // gains, which is why IoT cohorts route to the nearest PoP.
+        let iot = DeviceSpec::iot_class();
+        let handset = DeviceSpec::default_handset();
+        let link = netsim::Link::new(netsim::NetworkScenario::IotRadio);
+        for kind in WorkloadKind::ALL {
+            let p = kind.profile();
+            let server = Megacycles(p.compute_megacycles_mean).seconds_at(2.66, 0.95);
+            let transfer = link
+                .expected_transfer_time(p.payload_bytes_mean, netsim::Direction::Upload)
+                .as_secs_f64();
+            let warm = server + transfer + 0.05;
+            let iot_gain = iot
+                .local_execution_time(Megacycles(p.compute_megacycles_mean))
+                .as_secs_f64()
+                / warm;
+            let handset_gain = handset
+                .local_execution_time(Megacycles(p.compute_megacycles_mean))
+                .as_secs_f64()
+                / warm;
+            assert!(
+                iot_gain > handset_gain,
+                "{}: iot gain {iot_gain} vs handset {handset_gain}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
     fn warm_offloading_beats_local_for_every_workload() {
         // Sanity: mean compute offloaded to a warm server core (incl. a
         // LAN round trip) must beat local execution — otherwise the

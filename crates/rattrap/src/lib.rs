@@ -49,7 +49,8 @@ pub use decision::{DecisionReport, Ewma, LinkEstimator, Objective, OffloadDecide
 pub use dispatcher::{ContainerDb, DispatchPolicy, Dispatcher, Placement};
 pub use lifecycle::{Phase, PhaseLog, PhaseObserver, PhaseTransition, RequestLifecycle};
 pub use metrics::{
-    CollectingSink, CountingSink, FaultStats, ReportHasher, ReportSummary, RequestSink,
+    CollectingSink, CountingSink, FaultStats, ReportHasher, ReportSummary, RequestSink, TenantLane,
+    TenantSplitSink,
 };
 pub use partition::{
     partition, CallGraph, MethodNode, PartitionCosts, PartitionPlan, Placement as MethodPlacement,

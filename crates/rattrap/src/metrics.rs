@@ -51,6 +51,108 @@ impl RequestSink for CountingSink {
     }
 }
 
+/// Splits completions by tenant for multi-tenant (noisy-neighbor)
+/// replays: each device belongs to one tenant, and the sink accumulates
+/// that tenant's accounting and response times as records stream in.
+/// The scenario plane supplies the device → tenant map; this sink has
+/// no opinion about how it was drawn.
+#[derive(Debug)]
+pub struct TenantSplitSink {
+    /// Tenant index per device; devices past the end wrap.
+    tenant_of: Vec<u32>,
+    lanes: Vec<TenantLane>,
+}
+
+/// One tenant's accumulated view of a run.
+#[derive(Debug, Clone)]
+pub struct TenantLane {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests this tenant submitted (every record counts once).
+    pub submitted: u64,
+    /// Served in the cloud.
+    pub completed_remote: u64,
+    /// Degraded to on-device execution.
+    pub fallback_local: u64,
+    /// Abandoned with no response.
+    pub abandoned: u64,
+    /// Response times, seconds, completion order.
+    response_s: Vec<f64>,
+}
+
+impl TenantLane {
+    /// Mean response time, seconds (0 when the tenant saw no traffic).
+    pub fn mean_response_s(&self) -> f64 {
+        if self.response_s.is_empty() {
+            0.0
+        } else {
+            self.response_s.iter().sum::<f64>() / self.response_s.len() as f64
+        }
+    }
+
+    /// p99 response time, seconds (0 when the tenant saw no traffic).
+    pub fn p99_response_s(&self) -> f64 {
+        if self.response_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.response_s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let ix = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len());
+        sorted[ix - 1]
+    }
+}
+
+impl TenantSplitSink {
+    /// A sink over `names.len()` tenants with `tenant_of[d]` naming
+    /// device `d`'s tenant.
+    pub fn new(names: &[String], tenant_of: Vec<u32>) -> Self {
+        TenantSplitSink {
+            tenant_of,
+            lanes: names
+                .iter()
+                .map(|n| TenantLane {
+                    name: n.clone(),
+                    submitted: 0,
+                    completed_remote: 0,
+                    fallback_local: 0,
+                    abandoned: 0,
+                    response_s: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The accumulated per-tenant lanes, tenant-index order.
+    pub fn tenants(&self) -> &[TenantLane] {
+        &self.lanes
+    }
+
+    /// Total records accepted across every tenant.
+    pub fn total_submitted(&self) -> u64 {
+        self.lanes.iter().map(|l| l.submitted).sum()
+    }
+}
+
+impl RequestSink for TenantSplitSink {
+    fn accept(&mut self, record: RequestRecord) {
+        if self.lanes.is_empty() {
+            return;
+        }
+        let t = self.tenant_of[(record.device as usize) % self.tenant_of.len().max(1)];
+        let n = self.lanes.len();
+        let lane = &mut self.lanes[(t as usize) % n];
+        lane.submitted += 1;
+        if record.abandoned {
+            lane.abandoned += 1;
+        } else if record.fell_back_local || record.executed_locally {
+            lane.fallback_local += 1;
+        } else {
+            lane.completed_remote += 1;
+        }
+        lane.response_s.push(record.response_time().as_secs_f64());
+    }
+}
+
 /// Everything a run produces *besides* the per-request records: the
 /// Fig. 2 timelines, cache/access counters and host-resource peaks.
 ///

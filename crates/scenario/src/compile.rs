@@ -1,0 +1,227 @@
+//! Compile a [`ScenarioSpec`] into concrete injection material.
+
+use crate::spec::{PhaseAction, ScenarioSpec, TenantSpec};
+use simkit::faults::LinkWindow;
+use simkit::{derive_seed, SimDuration, SimRng, SimTime};
+use workloads::WorkloadKind;
+
+/// Derived-stream tags off the scenario root seed.
+const STREAM_BASE_KINDS: u64 = 1;
+/// Phase `p` draws from `derive_seed(root, STREAM_PHASE_BASE + p)`.
+const STREAM_PHASE_BASE: u64 = 100;
+
+/// One scripted event: device `user` acts at `at`. `offload == false`
+/// is a device-local interaction (a scripted touch that never reaches
+/// the platform) — injected but *suppressed* in the conservation
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedArrival {
+    /// When.
+    pub at: SimTime,
+    /// Absolute device index (`>= base_users` for burst/storm cohorts).
+    pub user: u32,
+    /// The app the event exercises.
+    pub kind: WorkloadKind,
+    /// Whether the event offloads (false → suppressed, device-local).
+    pub offload: bool,
+}
+
+/// A radio window over a contiguous user cohort `[lo, hi)`, in the
+/// fault plane's [`LinkWindow`] algebra so scenario outages compose
+/// with FaultPlan pricing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioWindow {
+    /// First affected user (inclusive).
+    pub lo: u32,
+    /// Past-the-end user bound (exclusive).
+    pub hi: u32,
+    /// The window itself (`rate_factor == 0.0` is a hard outage).
+    pub window: LinkWindow,
+}
+
+/// The compiled form: a pure function of `(spec, base_users, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledScenario {
+    /// The engine's own population (users `0..base_users`).
+    pub base_users: u32,
+    /// Base plus every synthetic burst/storm cohort.
+    pub total_users: u32,
+    /// The arrival script, sorted by `(at, user)`.
+    pub arrivals: Vec<InjectedArrival>,
+    /// Cohort radio windows, sorted by window start.
+    pub windows: Vec<RadioWindow>,
+    /// `user → tenant` for every user in `0..total_users`.
+    pub tenant_of: Vec<u32>,
+    /// Tenant display names, index order.
+    pub tenant_names: Vec<String>,
+    /// When the spec declares explicit tenants, the per-base-user app
+    /// replacing the engine's Zipf draw (tenant mixes must bind the
+    /// base population too). `None` when tenancy is implicit.
+    pub base_kinds: Option<Vec<WorkloadKind>>,
+}
+
+fn sample_kind(rng: &mut SimRng, mix: &[f64; 4]) -> WorkloadKind {
+    WorkloadKind::ALL[rng.weighted_index(mix)]
+}
+
+fn mix_weights(t: &TenantSpec) -> [f64; 4] {
+    let w = [
+        t.mix[0] as f64,
+        t.mix[1] as f64,
+        t.mix[2] as f64,
+        t.mix[3] as f64,
+    ];
+    assert!(
+        w.iter().sum::<f64>() > 0.0,
+        "tenant {} has an all-zero mix",
+        t.name
+    );
+    w
+}
+
+impl ScenarioSpec {
+    /// Compile against a base population of `base_users` devices.
+    /// Deterministic in `(self, base_users, seed)`; every draw comes
+    /// from a per-phase, per-user derived stream, so no phase or user
+    /// can perturb another's script.
+    pub fn compile(&self, base_users: u32, seed: u64) -> CompiledScenario {
+        let tenants: Vec<TenantSpec> = if self.tenants.is_empty() {
+            vec![TenantSpec {
+                name: "default".to_string(),
+                share: 1,
+                mix: [1, 1, 1, 1],
+            }]
+        } else {
+            self.tenants.clone()
+        };
+        let mixes: Vec<[f64; 4]> = tenants.iter().map(mix_weights).collect();
+        let total_share: u32 = tenants.iter().map(|t| t.share.max(1)).sum();
+
+        let mut arrivals = Vec::new();
+        let mut windows = Vec::new();
+        let mut next_user = base_users;
+
+        for (p, phase) in self.phases.iter().enumerate() {
+            let phase_seed = derive_seed(seed, STREAM_PHASE_BASE + p as u64);
+            let end = phase.end();
+            match phase.action {
+                PhaseAction::ArrivalBurst { users, mean_iat_ms } => {
+                    let mean_s = (mean_iat_ms.max(1) as f64) / 1_000.0;
+                    for i in 0..users {
+                        let user = next_user + i;
+                        let tenant = tenant_band(user, &tenants, total_share);
+                        let mut rng = SimRng::new(derive_seed(phase_seed, user as u64));
+                        let mut t = phase
+                            .start
+                            .saturating_add(SimDuration::from_secs_f64(rng.exponential(mean_s)));
+                        while t < end {
+                            arrivals.push(InjectedArrival {
+                                at: t,
+                                user,
+                                kind: sample_kind(&mut rng, &mixes[tenant as usize]),
+                                offload: true,
+                            });
+                            t = t.saturating_add(SimDuration::from_secs_f64(
+                                rng.exponential(mean_s),
+                            ));
+                        }
+                    }
+                    next_user += users;
+                }
+                PhaseAction::RadioOutage {
+                    cohort_pct,
+                    rate_pct,
+                } => {
+                    let hi = ((base_users as u64 * cohort_pct.clamp(1, 100) as u64).div_ceil(100))
+                        as u32;
+                    windows.push(RadioWindow {
+                        lo: 0,
+                        hi,
+                        window: LinkWindow {
+                            start: phase.start,
+                            end,
+                            rate_factor: (rate_pct.min(100) as f64) / 100.0,
+                        },
+                    });
+                }
+                PhaseAction::ScriptReplay {
+                    containers,
+                    gap_ms,
+                    offload_pct,
+                } => {
+                    let gap_s = (gap_ms.max(1) as f64) / 1_000.0;
+                    let p_offload = (offload_pct.min(100) as f64) / 100.0;
+                    for i in 0..containers {
+                        let user = next_user + i;
+                        let tenant = tenant_band(user, &tenants, total_share);
+                        let mut rng = SimRng::new(derive_seed(phase_seed, user as u64));
+                        // Stagger script starts across one gap so the
+                        // storm is a sustained wave, not one spike.
+                        let mut t = phase
+                            .start
+                            .saturating_add(SimDuration::from_secs_f64(rng.uniform(0.0, gap_s)));
+                        while t < end {
+                            arrivals.push(InjectedArrival {
+                                at: t,
+                                user,
+                                kind: sample_kind(&mut rng, &mixes[tenant as usize]),
+                                offload: rng.bernoulli(p_offload),
+                            });
+                            // Scripted pacing: fixed gap with ±20% jitter.
+                            t = t.saturating_add(SimDuration::from_secs_f64(
+                                gap_s * rng.uniform(0.8, 1.2),
+                            ));
+                        }
+                    }
+                    next_user += containers;
+                }
+            }
+        }
+
+        arrivals.sort_by_key(|a| (a.at, a.user));
+        windows.sort_by_key(|w| w.window.start);
+
+        let total_users = next_user.max(base_users);
+        let tenant_of: Vec<u32> = (0..total_users)
+            .map(|u| tenant_band(u, &tenants, total_share))
+            .collect();
+        let base_kinds = if self.tenants.is_empty() {
+            None
+        } else {
+            let root = derive_seed(seed, STREAM_BASE_KINDS);
+            Some(
+                (0..base_users)
+                    .map(|u| {
+                        let mut rng = SimRng::new(derive_seed(root, u as u64));
+                        sample_kind(&mut rng, &mixes[tenant_of[u as usize] as usize])
+                    })
+                    .collect(),
+            )
+        };
+
+        CompiledScenario {
+            base_users,
+            total_users,
+            arrivals,
+            windows,
+            tenant_of,
+            tenant_names: tenants.into_iter().map(|t| t.name).collect(),
+            base_kinds,
+        }
+    }
+}
+
+/// Tenant of user `u`: stripe the population by share bands so every
+/// contiguous run of `total_share` users splits exactly per the
+/// declared shares (deterministic, order-stable).
+fn tenant_band(u: u32, tenants: &[TenantSpec], total_share: u32) -> u32 {
+    let band = u % total_share;
+    let mut acc = 0;
+    for (i, t) in tenants.iter().enumerate() {
+        acc += t.share.max(1);
+        if band < acc {
+            return i as u32;
+        }
+    }
+    (tenants.len() - 1) as u32
+}

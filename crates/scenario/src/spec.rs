@@ -1,0 +1,249 @@
+//! Declarative scenario specifications: seeded phases over sim-time.
+
+use simkit::{SimDuration, SimTime};
+
+/// The four shipped scenario families. A spec's family is descriptive
+/// (reports and benches group by it); composition is free — any spec
+/// may mix phase kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// Poisson-burst arrival multiplier (10–50× a region's users).
+    FlashCrowd,
+    /// Regional radio outage + thundering-herd re-offload at restore.
+    CorrelatedFailure,
+    /// Multi-tenant heavy/latency-sensitive workload mixes.
+    NoisyNeighbor,
+    /// Scripted Android-container interaction replay.
+    InteractionStorm,
+}
+
+impl ScenarioFamily {
+    /// All families, presentation order.
+    pub const ALL: [ScenarioFamily; 4] = [
+        ScenarioFamily::FlashCrowd,
+        ScenarioFamily::CorrelatedFailure,
+        ScenarioFamily::NoisyNeighbor,
+        ScenarioFamily::InteractionStorm,
+    ];
+
+    /// Display label (also the bench/report grouping key).
+    pub const fn label(self) -> &'static str {
+        match self {
+            ScenarioFamily::FlashCrowd => "flash_crowd",
+            ScenarioFamily::CorrelatedFailure => "correlated_failure",
+            ScenarioFamily::NoisyNeighbor => "noisy_neighbor",
+            ScenarioFamily::InteractionStorm => "interaction_storm",
+        }
+    }
+}
+
+/// One tenant of the platform: a share of the device population and
+/// an app mix. Tenancy partitions *users* (a device belongs to exactly
+/// one tenant), so per-tenant request accounting must sum to the total
+/// — the `tenant-isolation-accounting` invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Relative share of the device population (weights, not counts).
+    pub share: u32,
+    /// App-mix weights over [`workloads::WorkloadKind::ALL`] order
+    /// (Ocr, ChessGame, VirusScan, Linpack). All-zero is invalid.
+    pub mix: [u32; 4],
+}
+
+impl TenantSpec {
+    /// A tenant running only the heavy batch apps (VirusScan, Linpack).
+    pub fn heavy(name: &str, share: u32) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            share,
+            mix: [0, 0, 1, 1],
+        }
+    }
+
+    /// A tenant running only the latency-sensitive interactive apps
+    /// (OCR, ChessGame).
+    pub fn latency_sensitive(name: &str, share: u32) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            share,
+            mix: [1, 1, 0, 0],
+        }
+    }
+}
+
+/// What one phase does to the traffic while it is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseAction {
+    /// A burst cohort of `users` *extra* devices joins for the phase,
+    /// each issuing Poisson arrivals with mean inter-arrival time
+    /// `mean_iat_ms` milliseconds.
+    ArrivalBurst {
+        /// Burst cohort size (devices beyond the base population).
+        users: u32,
+        /// Mean exponential inter-arrival time per burst device, ms.
+        mean_iat_ms: u32,
+    },
+    /// The radio of `cohort_pct`% of the *base* users (the cohort is
+    /// the population prefix) runs at `rate_pct`% of nominal for the
+    /// phase. `rate_pct == 0` is a hard outage: uploads cut mid-flight
+    /// defer and re-offload together when the window closes.
+    RadioOutage {
+        /// Percent of base users affected (1–100).
+        cohort_pct: u8,
+        /// Link-rate percent during the window (0 = outage).
+        rate_pct: u8,
+    },
+    /// `containers` emulated Android containers each replay a scripted
+    /// event stream for the phase: events separated by `gap_ms` (±20%
+    /// seeded jitter), of which `offload_pct`% offload to the platform
+    /// and the rest are device-local interactions (counted suppressed).
+    ScriptReplay {
+        /// Emulated containers joining for the phase.
+        containers: u32,
+        /// Nominal gap between scripted events, ms.
+        gap_ms: u32,
+        /// Percent of scripted events that offload (0–100).
+        offload_pct: u8,
+    },
+}
+
+/// One seeded phase over sim-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Phase opens (inclusive).
+    pub start: SimTime,
+    /// Phase length.
+    pub duration: SimDuration,
+    /// What happens while it is open.
+    pub action: PhaseAction,
+}
+
+impl PhaseSpec {
+    /// Phase close instant (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start.saturating_add(self.duration)
+    }
+}
+
+/// A declarative scenario: tenants + phases. Compile with
+/// [`ScenarioSpec::compile`] against a base population and a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Display name.
+    pub name: String,
+    /// Family tag (grouping only; phases are free-form).
+    pub family: ScenarioFamily,
+    /// Tenancy partition of the device population. Empty means one
+    /// implicit tenant ("default") owning everyone, mixing all apps.
+    pub tenants: Vec<TenantSpec>,
+    /// The phases, any order (compilation sorts its outputs).
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl ScenarioSpec {
+    /// Family 1 — flash crowd: a burst cohort of
+    /// `base_users × (multiplier − 1)` devices joins at `start`,
+    /// ramping the population to `multiplier`× for `ramp`. Each burst
+    /// device offloads every ~8 s (Poisson), the LiveLab base rate's
+    /// busy-hour pace.
+    pub fn flash_crowd(
+        base_users: u32,
+        multiplier: u32,
+        start: SimTime,
+        ramp: SimDuration,
+    ) -> Self {
+        let extra = base_users
+            .saturating_mul(multiplier.saturating_sub(1))
+            .max(1);
+        ScenarioSpec {
+            name: format!("flash-crowd-{multiplier}x"),
+            family: ScenarioFamily::FlashCrowd,
+            tenants: Vec::new(),
+            phases: vec![PhaseSpec {
+                start,
+                duration: ramp,
+                action: PhaseAction::ArrivalBurst {
+                    users: extra,
+                    mean_iat_ms: 8_000,
+                },
+            }],
+        }
+    }
+
+    /// Family 2 — correlated failure: `cohort_pct`% of base users lose
+    /// their radio for `outage`, then a degraded tail at 25% rate for
+    /// `outage / 2`. Compose with a host-crash
+    /// [`simkit::faults::FaultConfig`] on the engine side for the full
+    /// correlated-failure storm.
+    pub fn correlated_failure(cohort_pct: u8, start: SimTime, outage: SimDuration) -> Self {
+        let cohort_pct = cohort_pct.clamp(1, 100);
+        let tail_start = start.saturating_add(outage);
+        ScenarioSpec {
+            name: format!("radio-outage-{cohort_pct}pct"),
+            family: ScenarioFamily::CorrelatedFailure,
+            tenants: Vec::new(),
+            phases: vec![
+                PhaseSpec {
+                    start,
+                    duration: outage,
+                    action: PhaseAction::RadioOutage {
+                        cohort_pct,
+                        rate_pct: 0,
+                    },
+                },
+                PhaseSpec {
+                    start: tail_start,
+                    duration: SimDuration::from_micros(outage.as_micros() / 2),
+                    action: PhaseAction::RadioOutage {
+                        cohort_pct,
+                        rate_pct: 25,
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Family 3 — noisy neighbor: a heavy batch tenant (VirusScan +
+    /// Linpack, `heavy_share` of the population) shares the hosts with
+    /// a latency-sensitive tenant (OCR + ChessGame). No extra arrivals;
+    /// the scenario re-partitions the base population and splits the
+    /// metrics per tenant.
+    pub fn noisy_neighbor(heavy_share: u32, light_share: u32) -> Self {
+        ScenarioSpec {
+            name: "noisy-neighbor".to_string(),
+            family: ScenarioFamily::NoisyNeighbor,
+            tenants: vec![
+                TenantSpec::heavy("batch", heavy_share.max(1)),
+                TenantSpec::latency_sensitive("interactive", light_share.max(1)),
+            ],
+            phases: Vec::new(),
+        }
+    }
+
+    /// Family 4 — interaction storm: `containers` emulated Android
+    /// containers replay scripted interaction streams for `duration`
+    /// (an event every ~1.5 s, `offload_pct`% of which offload).
+    pub fn interaction_storm(
+        containers: u32,
+        start: SimTime,
+        duration: SimDuration,
+        offload_pct: u8,
+    ) -> Self {
+        ScenarioSpec {
+            name: format!("interaction-storm-{containers}c"),
+            family: ScenarioFamily::InteractionStorm,
+            tenants: Vec::new(),
+            phases: vec![PhaseSpec {
+                start,
+                duration,
+                action: PhaseAction::ScriptReplay {
+                    containers: containers.max(1),
+                    gap_ms: 1_500,
+                    offload_pct: offload_pct.min(100),
+                },
+            }],
+        }
+    }
+}

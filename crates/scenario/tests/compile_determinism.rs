@@ -1,0 +1,192 @@
+//! Compilation contract: deterministic, sorted, tenant-partitioned.
+
+use proptest::prelude::*;
+use scenario::{PhaseAction, PhaseSpec, ScenarioDriver, ScenarioFamily, ScenarioSpec, TenantSpec};
+use simkit::faults::TransferOutcome;
+use simkit::{SimDuration, SimTime};
+
+const SEED: u64 = 0x2017_0529;
+
+#[test]
+fn same_inputs_compile_to_the_same_script() {
+    for spec in [
+        ScenarioSpec::flash_crowd(64, 20, SimTime::from_secs(60), SimDuration::from_secs(30)),
+        ScenarioSpec::correlated_failure(40, SimTime::from_secs(120), SimDuration::from_secs(45)),
+        ScenarioSpec::noisy_neighbor(1, 3),
+        ScenarioSpec::interaction_storm(
+            200,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(90),
+            60,
+        ),
+    ] {
+        let a = spec.compile(64, SEED);
+        let b = spec.compile(64, SEED);
+        assert_eq!(a, b, "{} must compile deterministically", spec.name);
+        let c = spec.compile(64, SEED ^ 1);
+        if !a.arrivals.is_empty() {
+            assert_ne!(a.arrivals, c.arrivals, "{}: seed must matter", spec.name);
+        }
+    }
+}
+
+#[test]
+fn flash_crowd_ramps_the_population() {
+    let base = 50;
+    let spec = ScenarioSpec::flash_crowd(
+        base,
+        10,
+        SimTime::from_secs(100),
+        SimDuration::from_secs(20),
+    );
+    let c = spec.compile(base, SEED);
+    assert_eq!(
+        c.total_users,
+        base + base * 9,
+        "10x = base + 9x burst cohort"
+    );
+    assert!(!c.arrivals.is_empty());
+    for a in &c.arrivals {
+        assert!(
+            a.user >= base,
+            "burst arrivals come from the synthetic cohort"
+        );
+        assert!(a.offload, "flash-crowd events all offload");
+        assert!(
+            a.at >= SimTime::from_secs(100) && a.at < SimTime::from_secs(120),
+            "arrival {:?} outside the phase",
+            a.at
+        );
+    }
+    let sorted = {
+        let mut s = c.arrivals.clone();
+        s.sort_by_key(|a| (a.at, a.user));
+        s
+    };
+    assert_eq!(c.arrivals, sorted, "script is sorted by (at, user)");
+}
+
+#[test]
+fn correlated_failure_cuts_then_degrades_the_cohort() {
+    let spec =
+        ScenarioSpec::correlated_failure(50, SimTime::from_secs(100), SimDuration::from_secs(40));
+    let c = spec.compile(80, SEED);
+    assert_eq!(c.windows.len(), 2, "outage + degraded tail");
+    let outage = &c.windows[0];
+    assert_eq!((outage.lo, outage.hi), (0, 40), "half the base cohort");
+    assert_eq!(outage.window.rate_factor, 0.0);
+    assert_eq!(outage.window.start, SimTime::from_secs(100));
+    assert_eq!(outage.window.end, SimTime::from_secs(140));
+    let tail = &c.windows[1];
+    assert_eq!(tail.window.start, SimTime::from_secs(140));
+    assert!(tail.window.rate_factor > 0.0 && tail.window.rate_factor < 1.0);
+
+    // Driver pricing: a cohort upload starting mid-outage is cut and
+    // released exactly at the window edge; outsiders are untouched.
+    let d = ScenarioDriver::compile(&spec, 80, SEED);
+    let start = SimTime::from_secs(110);
+    match d.price_transfer(3, start, SimDuration::from_secs(5)) {
+        TransferOutcome::Interrupted { .. } => {}
+        other => panic!("cohort upload mid-outage must be cut, got {other:?}"),
+    }
+    assert_eq!(d.release_time(3, start), SimTime::from_secs(140));
+    match d.price_transfer(77, start, SimDuration::from_secs(5)) {
+        TransferOutcome::Completes { at } => assert_eq!(at, SimTime::from_secs(115)),
+        other => panic!("outsider must be fault-free, got {other:?}"),
+    }
+}
+
+#[test]
+fn noisy_neighbor_partitions_every_user_and_overrides_base_kinds() {
+    let spec = ScenarioSpec::noisy_neighbor(1, 3);
+    let c = spec.compile(100, SEED);
+    assert_eq!(c.tenant_names, vec!["batch", "interactive"]);
+    assert_eq!(c.tenant_of.len(), 100);
+    let batch = c.tenant_of.iter().filter(|&&t| t == 0).count();
+    assert_eq!(batch, 25, "1:3 share stripes exactly");
+    let kinds = c
+        .base_kinds
+        .as_ref()
+        .expect("explicit tenants bind base users");
+    assert_eq!(kinds.len(), 100);
+    for (u, k) in kinds.iter().enumerate() {
+        let heavy = matches!(
+            k,
+            workloads::WorkloadKind::VirusScan | workloads::WorkloadKind::Linpack
+        );
+        assert_eq!(
+            heavy,
+            c.tenant_of[u] == 0,
+            "user {u} app {k:?} must match its tenant mix"
+        );
+    }
+}
+
+#[test]
+fn interaction_storm_suppresses_the_declared_share() {
+    let spec = ScenarioSpec::interaction_storm(300, SimTime::ZERO, SimDuration::from_secs(120), 40);
+    let d = ScenarioDriver::compile(&spec, 10, SEED);
+    let injected = d.injected();
+    let offloads = d.planned_offloads();
+    assert!(
+        injected > 0 && offloads < injected,
+        "some events stay on-device"
+    );
+    let ratio = offloads as f64 / injected as f64;
+    assert!(
+        (ratio - 0.40).abs() < 0.05,
+        "offload share {ratio:.3} far from the scripted 40%"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any spec compiles to a sorted script whose users are
+    /// tenant-partitioned, with every arrival inside its phase span.
+    #[test]
+    fn arbitrary_specs_compile_clean(
+        seed in 0u64..u64::MAX,
+        base in 1u32..64,
+        burst in 0u32..40,
+        containers in 0u32..40,
+        cohort_pct in 1u8..=100,
+        offload_pct in 0u8..=100,
+    ) {
+        let spec = ScenarioSpec {
+            name: "prop".to_string(),
+            family: ScenarioFamily::InteractionStorm,
+            tenants: vec![TenantSpec::heavy("b", 1), TenantSpec::latency_sensitive("i", 2)],
+            phases: vec![
+                PhaseSpec {
+                    start: SimTime::from_secs(5),
+                    duration: SimDuration::from_secs(30),
+                    action: PhaseAction::ArrivalBurst { users: burst, mean_iat_ms: 2_000 },
+                },
+                PhaseSpec {
+                    start: SimTime::from_secs(10),
+                    duration: SimDuration::from_secs(20),
+                    action: PhaseAction::RadioOutage { cohort_pct, rate_pct: 0 },
+                },
+                PhaseSpec {
+                    start: SimTime::from_secs(40),
+                    duration: SimDuration::from_secs(25),
+                    action: PhaseAction::ScriptReplay { containers, gap_ms: 900, offload_pct },
+                },
+            ],
+        };
+        let c = spec.compile(base, seed);
+        prop_assert_eq!(c.total_users, base + burst + containers);
+        prop_assert_eq!(c.tenant_of.len(), c.total_users as usize);
+        let mut last = (SimTime::ZERO, 0u32);
+        for a in &c.arrivals {
+            prop_assert!((a.at, a.user) >= last, "script must be sorted");
+            last = (a.at, a.user);
+            prop_assert!(a.user < c.total_users);
+        }
+        prop_assert_eq!(c.windows.len(), 1);
+        prop_assert!(c.windows[0].hi >= 1);
+        // Re-compilation is bit-identical.
+        prop_assert_eq!(&c, &spec.compile(base, seed));
+    }
+}

@@ -40,6 +40,7 @@ pub fn run_sample(sample: &Sample) -> RunOutcome {
         SampleKind::Rattrap => run_rattrap(sample),
         SampleKind::Fleet => run_fleet_sample(sample),
         SampleKind::Geo => run_geo_sample(sample),
+        SampleKind::Scenario => run_scenario_sample(sample),
     }
 }
 
@@ -142,6 +143,46 @@ fn run_fleet_sample(sample: &Sample) -> RunOutcome {
         &format!("fleet sample {} (modeled ≡ replay-identity)", sample.index),
         report.digest(),
         with_backend.digest(),
+        &mut audit,
+    );
+
+    RunOutcome {
+        digest: report.digest(),
+        audit,
+        trace,
+    }
+}
+
+/// The scenario stripe: a fleet run under an adversarial scenario
+/// plan. Rides the fleet auditors (which pick up the scenario block's
+/// arrival-conservation and tenant-isolation invariants when present)
+/// plus the serial ≡ sharded metamorphic oracle — adversarial traffic
+/// must not open a determinism seam.
+fn run_scenario_sample(sample: &Sample) -> RunOutcome {
+    let cfg = sample.scenario_fleet_config();
+    let mut audit = Audit::new();
+
+    let rec = recorder_for(sample);
+    let report = fleet::run_fleet_traced(&cfg, rec.clone());
+    audit_fleet_report(&report, &mut audit);
+
+    let trace = if rec.is_enabled() {
+        let snap = rec.snapshot();
+        audit_trace(&snap, &mut audit);
+        Some(snap)
+    } else {
+        None
+    };
+
+    let replay = fleet::run_fleet(&cfg);
+    let sharded = fleet::run_fleet_with(&cfg, Recorder::disabled(), fleet::EngineMode::Sharded(2));
+    audit_digest_stability(
+        &format!(
+            "scenario sample {} ({}; serial ≡ replay ≡ sharded)",
+            sample.index,
+            sample.scenario_family().label()
+        ),
+        &[report.digest(), replay.digest(), sharded.digest()],
         &mut audit,
     );
 

@@ -41,6 +41,8 @@ pub const CATALOGUE: &[&str] = &[
     EVENT_MONOTONICITY,
     DIGEST_STABILITY,
     BACKEND_INERTNESS,
+    SCENARIO_ARRIVAL_CONSERVATION,
+    TENANT_ISOLATION_ACCOUNTING,
 ];
 
 /// Phase transitions are monotone: edges chain (`from` equals the
@@ -92,6 +94,14 @@ pub const DIGEST_STABILITY: &str = "digest-stability";
 /// (`modeled × 1.0` is exact in IEEE arithmetic, so any divergence
 /// means the backend seam leaked into engine state).
 pub const BACKEND_INERTNESS: &str = "backend-inertness";
+/// The scenario plane loses nothing: every compiled scripted event is
+/// either submitted to the engine or deliberately suppressed
+/// (device-local touches), so `injected == submitted + suppressed`.
+pub const SCENARIO_ARRIVAL_CONSERVATION: &str = "scenario-arrival-conservation";
+/// Per-tenant accounting partitions the run: tenant `submitted` sums
+/// to the fleet total, and each tenant's terminal split partitions its
+/// own submissions — no request is double-billed or unbilled.
+pub const TENANT_ISOLATION_ACCOUNTING: &str = "tenant-isolation-accounting";
 
 /// Tolerance for µs-rounded phase bookkeeping: each of the ~6 phase
 /// buckets rounds independently, so allow a handful of microseconds.
@@ -350,6 +360,49 @@ pub fn audit_fleet_report(report: &FleetReport, audit: &mut Audit) {
                 format!(
                     "peak memory {} exceeds DRAM {}",
                     h.peak_memory, h.memory_bytes
+                )
+            },
+        );
+    }
+    if let Some(sc) = &report.scenario {
+        audit_scenario_stats(sc, s.submitted, audit);
+    }
+}
+
+/// Conservation checks on a fleet run's scenario block: arrival
+/// conservation and per-tenant isolation accounting.
+pub fn audit_scenario_stats(sc: &fleet::ScenarioStats, fleet_submitted: u64, audit: &mut Audit) {
+    audit.ensure(
+        SCENARIO_ARRIVAL_CONSERVATION,
+        sc.injected == sc.submitted + sc.suppressed,
+        format!("scenario {}", sc.name),
+        || {
+            format!(
+                "injected {} != submitted {} + suppressed {}",
+                sc.injected, sc.submitted, sc.suppressed
+            )
+        },
+    );
+    audit.checked(TENANT_ISOLATION_ACCOUNTING);
+    let tenant_total: u64 = sc.tenants.iter().map(|t| t.submitted).sum();
+    if tenant_total != fleet_submitted {
+        audit.fail(
+            TENANT_ISOLATION_ACCOUNTING,
+            format!("scenario {}", sc.name),
+            format!(
+                "tenant submissions sum to {tenant_total} but the fleet served {fleet_submitted}"
+            ),
+        );
+    }
+    for t in &sc.tenants {
+        audit.ensure(
+            TENANT_ISOLATION_ACCOUNTING,
+            t.completed_remote + t.fallback_local + t.abandoned == t.submitted,
+            format!("tenant {}", t.name),
+            || {
+                format!(
+                    "remote {} + fallback {} + abandoned {} != submitted {}",
+                    t.completed_remote, t.fallback_local, t.abandoned, t.submitted
                 )
             },
         );

@@ -69,6 +69,15 @@ fn candidates(s: &Sample) -> Vec<Sample> {
             push(&|c| c.users = 1);
             push(&|c| c.duration_s = (c.duration_s / 2).max(60));
         }
+        SampleKind::Scenario => {
+            // Shrink the fleet under the plan first; dropping to a
+            // plain fleet sample (no scenario) is the last resort —
+            // a failure that survives it was never scenario-specific.
+            push(&|c| c.hosts = (c.hosts / 2).max(1));
+            push(&|c| c.users = (c.users / 2).max(1));
+            push(&|c| c.duration_s = (c.duration_s / 2).max(60));
+            push(&|c| c.kind = SampleKind::Fleet);
+        }
     }
     push(&|c| c.seed = c.seed.wrapping_sub(1));
     push(&|c| c.seed = c.seed.wrapping_add(1));
@@ -139,7 +148,8 @@ mod tests {
 
     #[test]
     fn candidates_shrink_and_never_echo_the_input() {
-        let s = Sample::draw(5, 1);
+        // Index 2 is a rattrap sample (the scenario stripe took 1).
+        let s = Sample::draw(5, 2);
         for c in candidates(&s) {
             assert_ne!(c, s);
         }

@@ -20,6 +20,9 @@ pub enum SampleKind {
     Fleet,
     /// Multi-region `geo::run_geo`.
     Geo,
+    /// A fleet run driven by a scenario plan (flash crowds, correlated
+    /// outages, noisy neighbors, interaction storms).
+    Scenario,
 }
 
 /// One point in the explorer's search space. Every field is an integer
@@ -52,6 +55,9 @@ pub struct Sample {
     /// Fault-plan intensity as a percentage: `FaultConfig::scaled(pct/100)`,
     /// 0 meaning a fault-free run (the metamorphic golden gate).
     pub fault_pct: u32,
+    /// Scenario family index into [`scenario::ScenarioFamily::ALL`]
+    /// (scenario stripe only).
+    pub scenario_family: u8,
     /// Resilience policy: 0 none, 1 retry-only, 2 standard.
     pub resilience: u8,
     /// Attach an enabled recorder (the traced ≡ untraced oracle runs
@@ -75,6 +81,7 @@ impl Sample {
     pub fn draw(master: u64, index: u32) -> Sample {
         let mut rng = SimRng::new(derive_seed(master, 0x5A4D_0000 + index as u64));
         let kind = match index % 7 {
+            1 => SampleKind::Scenario,
             3 => SampleKind::Fleet,
             5 => SampleKind::Geo,
             _ => SampleKind::Rattrap,
@@ -101,6 +108,9 @@ impl Sample {
             // Drawn last so the geo stripe leaves the older axes'
             // derivations untouched.
             regions: rng.uniform_u64(2, 3) as u32,
+            // Likewise drawn after everything older: the scenario
+            // stripe must not perturb pre-existing sample axes.
+            scenario_family: rng.uniform_u64(0, 3) as u8,
         }
     }
 
@@ -145,6 +155,42 @@ impl Sample {
         cfg
     }
 
+    /// The scenario family this sample drives (scenario stripe).
+    pub fn scenario_family(&self) -> scenario::ScenarioFamily {
+        let all = scenario::ScenarioFamily::ALL;
+        all[self.scenario_family as usize % all.len()]
+    }
+
+    /// Materialise the scenario spec, sized for this sample's fleet:
+    /// phase timing scales with the trace horizon so the adversarial
+    /// window always lands inside the run.
+    pub fn scenario_spec(&self) -> scenario::ScenarioSpec {
+        let users = self.users.max(1);
+        let horizon = self.duration_s.max(60) as u64;
+        let start = simkit::SimTime::from_secs(horizon / 4);
+        let window = SimDuration::from_secs(horizon / 6);
+        match self.scenario_family() {
+            scenario::ScenarioFamily::FlashCrowd => {
+                scenario::ScenarioSpec::flash_crowd(users, 8, start, window)
+            }
+            scenario::ScenarioFamily::CorrelatedFailure => {
+                scenario::ScenarioSpec::correlated_failure(50, start, window)
+            }
+            scenario::ScenarioFamily::NoisyNeighbor => scenario::ScenarioSpec::noisy_neighbor(1, 2),
+            scenario::ScenarioFamily::InteractionStorm => {
+                scenario::ScenarioSpec::interaction_storm((users * 4).min(160), start, window, 55)
+            }
+        }
+    }
+
+    /// Materialise the fleet config with this sample's scenario plan
+    /// attached (the scenario stripe's engine input).
+    pub fn scenario_fleet_config(&self) -> FleetConfig {
+        let mut cfg = self.fleet_config();
+        cfg.scenario_plan = Some(self.scenario_spec());
+        cfg
+    }
+
     /// Materialise the geo config. Users are spread across regions and
     /// the rebalancer is eager so even small swarm runs exercise
     /// cross-region migration over the WAN fabric.
@@ -180,6 +226,7 @@ impl Sample {
                 "  \"duration_s\": {},\n",
                 "  \"regions\": {},\n",
                 "  \"fault_pct\": {},\n",
+                "  \"scenario_family\": {},\n",
                 "  \"resilience\": {},\n",
                 "  \"traced\": {}\n",
                 "}}\n"
@@ -190,6 +237,7 @@ impl Sample {
                 SampleKind::Rattrap => "rattrap",
                 SampleKind::Fleet => "fleet",
                 SampleKind::Geo => "geo",
+                SampleKind::Scenario => "scenario",
             },
             self.platform,
             self.workload,
@@ -200,6 +248,7 @@ impl Sample {
             self.duration_s,
             self.regions,
             self.fault_pct,
+            self.scenario_family,
             self.resilience,
             self.traced,
         )
@@ -224,6 +273,7 @@ impl Sample {
             Some("rattrap") => SampleKind::Rattrap,
             Some("fleet") => SampleKind::Fleet,
             Some("geo") => SampleKind::Geo,
+            Some("scenario") => SampleKind::Scenario,
             other => return Err(format!("bad kind {other:?}")),
         };
         let traced = match v.get("traced") {
@@ -243,6 +293,7 @@ impl Sample {
             duration_s: int("duration_s")? as u32,
             regions: int("regions")? as u32,
             fault_pct: int("fault_pct")? as u32,
+            scenario_family: int("scenario_family")? as u8,
             resilience: int("resilience")? as u8,
             traced,
         })
@@ -269,9 +320,23 @@ mod tests {
     }
 
     #[test]
-    fn fleet_and_geo_stripes_are_sparse_but_present() {
+    fn fleet_geo_and_scenario_stripes_are_sparse_but_present() {
         let kinds: Vec<_> = (0..28).map(|i| Sample::draw(1, i).kind).collect();
         assert_eq!(kinds.iter().filter(|k| **k == SampleKind::Fleet).count(), 4);
         assert_eq!(kinds.iter().filter(|k| **k == SampleKind::Geo).count(), 4);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == SampleKind::Scenario).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn the_scenario_stripe_cycles_through_every_family() {
+        let families: std::collections::BTreeSet<_> = (0..64)
+            .map(|i| Sample::draw(1, i))
+            .filter(|s| s.kind == SampleKind::Scenario)
+            .map(|s| s.scenario_family().label())
+            .collect();
+        assert_eq!(families.len(), scenario::ScenarioFamily::ALL.len());
     }
 }

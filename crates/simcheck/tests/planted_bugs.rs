@@ -12,8 +12,9 @@ use simcheck::invariants::{
     audit_digest_stability, audit_fleet_report, audit_geo_report, audit_simulation_report,
     audit_trace, LifecycleAuditor, BYTE_CONSERVATION, CATALOGUE, DIGEST_STABILITY, ENODEV_GATE,
     EVENT_MONOTONICITY, FLEET_ACCOUNTING, GEO_MIGRATION_CONSERVATION, GEO_SINGLE_ADMISSION,
-    LIFECYCLE_MONOTONE, LIFECYCLE_TERMINAL, LINK_CONSERVATION, MEMORY_BOUND, SPAN_TREE,
-    WAREHOUSE_CONSISTENCY, WORK_CONSERVATION,
+    LIFECYCLE_MONOTONE, LIFECYCLE_TERMINAL, LINK_CONSERVATION, MEMORY_BOUND,
+    SCENARIO_ARRIVAL_CONSERVATION, SPAN_TREE, TENANT_ISOLATION_ACCOUNTING, WAREHOUSE_CONSISTENCY,
+    WORK_CONSERVATION,
 };
 use simcheck::models::{
     audit_code_cache, audit_device_gate, audit_medium, audit_timeline, CodeCache, DevAccess,
@@ -207,6 +208,79 @@ fn fleet_memory_bound_fires_on_an_oversubscribed_host() {
     let mut audit = Audit::new();
     audit_fleet_report(&report, &mut audit);
     assert!(fired(&audit, MEMORY_BOUND));
+}
+
+// ---------------------------------------------------------------------
+// Scenario-plane invariants (corrupt a real scenario-striped fleet
+// report, re-audit)
+// ---------------------------------------------------------------------
+
+/// A small real fleet report carrying a scenario block to corrupt.
+fn real_scenario_report() -> fleet::FleetReport {
+    let mut sample = Sample::draw(99, 1);
+    assert_eq!(sample.kind, simcheck::sample::SampleKind::Scenario);
+    sample.fault_pct = 0;
+    sample.hosts = 2;
+    sample.users = 12;
+    sample.duration_s = 600;
+    // The noisy-neighbor family carries a tenant split, so both new
+    // invariants have material to check.
+    sample.scenario_family = 2;
+    let report = fleet::run_fleet(&sample.scenario_fleet_config());
+    assert!(
+        report
+            .scenario
+            .as_ref()
+            .is_some_and(|s| s.tenants.len() > 1),
+        "scenario stripe must produce a multi-tenant block"
+    );
+    report
+}
+
+#[test]
+fn scenario_arrival_conservation_fires_when_an_injected_event_vanishes() {
+    let mut report = real_scenario_report();
+    // A clean report passes.
+    let mut clean = Audit::new();
+    audit_fleet_report(&report, &mut clean);
+    assert!(!fired(&clean, SCENARIO_ARRIVAL_CONSERVATION));
+    // Lose one injected event: the plan claims more scripted arrivals
+    // than the engine ever saw or suppressed.
+    report.scenario.as_mut().unwrap().injected += 1;
+    let mut audit = Audit::new();
+    audit_fleet_report(&report, &mut audit);
+    assert!(fired(&audit, SCENARIO_ARRIVAL_CONSERVATION));
+}
+
+#[test]
+fn tenant_isolation_accounting_fires_on_a_double_billed_tenant() {
+    let mut report = real_scenario_report();
+    let mut clean = Audit::new();
+    audit_fleet_report(&report, &mut clean);
+    assert!(!fired(&clean, TENANT_ISOLATION_ACCOUNTING));
+    // Bill one request to a second tenant: the per-tenant submissions
+    // no longer partition the fleet total.
+    let sc = report.scenario.as_mut().unwrap();
+    sc.tenants[0].submitted += 1;
+    sc.tenants[0].completed_remote += 1;
+    let mut audit = Audit::new();
+    audit_fleet_report(&report, &mut audit);
+    assert!(fired(&audit, TENANT_ISOLATION_ACCOUNTING));
+}
+
+#[test]
+fn tenant_isolation_accounting_fires_when_a_tenant_breakdown_leaks() {
+    let mut report = real_scenario_report();
+    // Keep the cross-tenant total intact but move one billed request
+    // between tenants without its terminal outcome: both tenants'
+    // internal splits now disagree with their submissions.
+    let sc = report.scenario.as_mut().unwrap();
+    assert!(sc.tenants[1].submitted > 0, "tenant 1 saw traffic");
+    sc.tenants[0].submitted += 1;
+    sc.tenants[1].submitted -= 1;
+    let mut audit = Audit::new();
+    audit_fleet_report(&report, &mut audit);
+    assert!(fired(&audit, TENANT_ISOLATION_ACCOUNTING));
 }
 
 // ---------------------------------------------------------------------
@@ -548,6 +622,12 @@ fn every_catalogue_invariant_is_exercised() {
     geo_sample.duration_s = 240;
     let geo_outcome = simcheck::run_sample(&geo_sample);
     checked.extend(geo_outcome.audit.invariants_checked());
+    let mut scenario_sample = Sample::draw(99, 1);
+    scenario_sample.traced = true;
+    scenario_sample.users = 8;
+    scenario_sample.duration_s = 240;
+    let scenario_outcome = simcheck::run_sample(&scenario_sample);
+    checked.extend(scenario_outcome.audit.invariants_checked());
     for inv in CATALOGUE {
         assert!(checked.contains(inv), "`{inv}` never evaluated");
     }
